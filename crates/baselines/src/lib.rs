@@ -1,0 +1,34 @@
+//! Baseline implementations the paper compares against (§6.1.3).
+//!
+//! - [`nonoverlap`]: sequential cuBLAS-then-NCCL execution — the
+//!   normalization baseline of every Fig. 9 plot.
+//! - [`decomposition`]: *VanillaDecomposition* — the output is split into
+//!   row chunks, chunk `k+1`'s GEMM overlaps chunk `k`'s collective
+//!   (cuBLAS + NCCL + events, no peer-to-peer requirement).
+//! - [`async_tp`]: an Async-TP-like ring-pipelined decomposition using
+//!   peer-to-peer copies (NVLink-only, like the PyTorch implementation).
+//! - [`flux`]: a FLUX-like fusion model — tile-level overlap inside one
+//!   kernel, paying a GEMM interference penalty and requiring
+//!   peer-to-peer access.
+//! - [`microbatch`]: multi-dataflow scheduling (§2.4.3) — micro-batch
+//!   co-execution on independent stream pairs, sharing SMs.
+//!
+//! All baselines run against the same simulated substrate as FlashOverlap
+//! so the comparison is apples-to-apples: same GEMM timing model, same
+//! fabric, same per-call overheads.
+
+#![warn(missing_docs)]
+
+pub mod async_tp;
+pub mod decomposition;
+pub mod flux;
+pub mod method;
+pub mod microbatch;
+pub mod nonoverlap;
+
+pub use async_tp::run_async_tp;
+pub use decomposition::{run_decomposition, run_decomposition_tuned};
+pub use flux::run_flux;
+pub use method::{measure, Method};
+pub use microbatch::{run_microbatch, run_microbatch_tuned};
+pub use nonoverlap::run_nonoverlap;

@@ -1,0 +1,215 @@
+//! Criterion microbenchmarks of the library hot paths.
+//!
+//! These benchmark the *reproduction's own* machinery (mapping-table
+//! construction, predictor evaluation, predictive search, simulated runs)
+//! — the costs that determine whether real-time tuning (§4.1.2) is
+//! feasible. The figure/table reproductions live in `src/bin/`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use collectives::Primitive;
+use flashoverlap::partition::candidate_partitions;
+use flashoverlap::runtime::CommPattern;
+use flashoverlap::{
+    predictive_search, LatencyPredictor, OverlapPlan, SystemSpec, WavePartition,
+};
+use gpu_sim::gemm::{GemmConfig, GemmDims};
+use gpu_sim::swizzle::Swizzle;
+use gpu_sim::tile::{TileGrid, TileShape};
+use gpu_sim::wave::WaveSchedule;
+use sim::{Sim, SimDuration};
+
+fn bench_event_engine(c: &mut Criterion) {
+    c.bench_function("sim/10k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut sim: Sim<u64> = Sim::new();
+                for i in 0..10_000u64 {
+                    sim.schedule_at(sim::SimTime::from_nanos(i * 7 % 5000), |w, _| *w += 1);
+                }
+                sim
+            },
+            |mut sim| {
+                let mut world = 0u64;
+                sim.run(&mut world).expect("run");
+                black_box(world)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mapping_build(c: &mut Criterion) {
+    let grid = TileGrid::new(4096, 8192, TileShape::new(256, 128));
+    let order = Swizzle::Strip { width: 4 }.issue_order(&grid);
+    let schedule = WaveSchedule::new(&order, 112);
+    let partition = WavePartition::new(vec![2; (schedule.num_waves() / 2) as usize]);
+    c.bench_function("mapping/tile_build_1024_tiles", |b| {
+        b.iter(|| {
+            black_box(flashoverlap::mapping::TileMapping::build(
+                grid,
+                black_box(&schedule),
+                black_box(&partition),
+            ))
+        })
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let system = SystemSpec::rtx4090(4);
+    let dims = GemmDims::new(4096, 8192, 8192);
+    let predictor = LatencyPredictor::build(dims, Primitive::AllReduce, &system);
+    let waves = predictor.profile().total_waves;
+    let partition = WavePartition::new(vec![2; (waves / 2) as usize + (waves % 2) as usize])
+        .sizes()
+        .to_vec();
+    // Rebuild a covering partition (last group absorbs the remainder).
+    let mut sizes = partition;
+    let covered: u32 = sizes.iter().sum();
+    if covered > waves {
+        let last = sizes.len() - 1;
+        sizes[last] -= covered - waves;
+    }
+    let partition = WavePartition::new(sizes);
+    c.bench_function("predictor/predict_one_partition", |b| {
+        b.iter(|| black_box(predictor.predict(black_box(&partition))))
+    });
+    c.bench_function("predictor/offline_profile_build", |b| {
+        b.iter(|| {
+            black_box(LatencyPredictor::build(
+                black_box(dims),
+                Primitive::AllReduce,
+                &system,
+            ))
+        })
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let system = SystemSpec::rtx4090(4);
+    let dims = GemmDims::new(4096, 8192, 8192);
+    c.bench_function("tuner/predictive_search_t10", |b| {
+        b.iter(|| {
+            black_box(predictive_search(
+                black_box(dims),
+                Primitive::AllReduce,
+                &system,
+            ))
+        })
+    });
+    c.bench_function("tuner/candidate_enumeration_t12", |b| {
+        b.iter(|| black_box(candidate_partitions(black_box(12), 2, 4)))
+    });
+}
+
+fn bench_simulated_run(c: &mut Criterion) {
+    let system = SystemSpec::rtx4090(4);
+    let dims = GemmDims::new(4096, 8192, 8192);
+    let config = GemmConfig::choose(dims, &system.arch);
+    let waves = config.grid(dims).num_tiles().div_ceil(system.compute_sms());
+    let plan = OverlapPlan::new(
+        dims,
+        CommPattern::AllReduce,
+        system.clone(),
+        WavePartition::new(vec![2; (waves / 2) as usize]),
+    )
+    .expect("plan");
+    c.bench_function("runtime/execute_overlap_plan", |b| {
+        b.iter(|| black_box(plan.execute().expect("execute")))
+    });
+    c.bench_function("baseline/nonoverlap_run", |b| {
+        b.iter(|| {
+            black_box(
+                baselines::run_nonoverlap(dims, &CommPattern::AllReduce, &system)
+                    .expect("nonoverlap"),
+            )
+        })
+    });
+}
+
+fn bench_collective_cost(c: &mut Criterion) {
+    let fabric = interconnect::FabricSpec::rtx4090_pcie();
+    c.bench_function("collectives/cost_model_eval", |b| {
+        b.iter(|| {
+            let mut acc = SimDuration::ZERO;
+            for bytes in [1u64 << 20, 1 << 24, 1 << 28] {
+                acc += collectives::collective_duration(
+                    Primitive::AllReduce,
+                    black_box(bytes),
+                    4,
+                    &fabric,
+                );
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_token_mapping(c: &mut Criterion) {
+    let grid = TileGrid::new(8192, 2048, TileShape::new(256, 128));
+    let order = Swizzle::StripRows { height: 1 }.issue_order(&grid);
+    let schedule = WaveSchedule::new(&order, 112);
+    let partition = WavePartition::new(vec![1; schedule.num_waves() as usize]);
+    let routing = workloads::balanced_routing(8192, 8, 3);
+    c.bench_function("mapping/token_build_8192_tokens_8_ranks", |b| {
+        b.iter(|| {
+            black_box(
+                flashoverlap::mapping::TokenMapping::build(
+                    grid,
+                    black_box(&schedule),
+                    black_box(&partition),
+                    black_box(&routing),
+                )
+                .expect("token mapping"),
+            )
+        })
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    use flashoverlap::pipeline::{LayerSpec, Pipeline};
+    use gpu_sim::elementwise::ElementwiseOp;
+    use std::rc::Rc;
+    let system = SystemSpec::rtx4090(4);
+    let dims = GemmDims::new(2048, 2048, 2048);
+    let rms = ElementwiseOp::RmsNorm {
+        weight: Rc::new(vec![1.0; 2048]),
+        eps: 1e-6,
+    };
+    let pipeline = Pipeline::tuned(
+        system,
+        vec![
+            LayerSpec {
+                dims,
+                pattern: CommPattern::AllReduce,
+                epilogue: Some(rms.clone()),
+            },
+            LayerSpec {
+                dims,
+                pattern: CommPattern::AllReduce,
+                epilogue: Some(rms),
+            },
+        ],
+    )
+    .expect("pipeline");
+    c.bench_function("pipeline/two_layer_execute", |b| {
+        b.iter(|| black_box(pipeline.execute().expect("run")))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_event_engine, bench_mapping_build, bench_token_mapping,
+              bench_predictor, bench_search, bench_simulated_run,
+              bench_collective_cost, bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Extension — GEMM+AllGather overlap.
+//!
+//! The paper lists AllGather among the NCCL primitives its
+//! communication-agnostic design can call (§2.2) but only evaluates
+//! AllReduce / ReduceScatter / All-to-All. This extension overlaps the
+//! column-parallel GEMM+AllGather pattern (TP layers that keep the
+//! gathered activation) with the same tile-level reordering machinery,
+//! demonstrating that adding a primitive costs a mapping, not a kernel.
+
+use baselines::{measure, Method};
+use bench::{parallel_map, pattern_for, speedup, system_for, SweepStats};
+use collectives::Primitive;
+use workloads::{table3_shapes, GpuKind};
+
+fn main() {
+    println!("Extension: GEMM+AllGather overlap (not plotted in the paper)");
+    for gpu in [GpuKind::Rtx4090, GpuKind::A800] {
+        // Reuse the platform's ReduceScatter shape grid (AllGather is its
+        // dual and moves the same traffic).
+        let shapes = table3_shapes(Primitive::ReduceScatter, gpu);
+        for &n_gpus in &[2usize, 4] {
+            let system = system_for(gpu, n_gpus);
+            let rows = parallel_map(shapes.clone(), |&dims| {
+                let pattern = pattern_for(Primitive::AllGather, dims, n_gpus, 1);
+                let base = measure(Method::NonOverlap, dims, &pattern, &system)
+                    .expect("baseline");
+                let dec =
+                    measure(Method::VanillaDecomposition, dims, &pattern, &system)
+                        .expect("decomposition");
+                let fo = measure(Method::FlashOverlap, dims, &pattern, &system)
+                    .expect("flashoverlap");
+                (
+                    speedup(base.as_nanos(), dec.as_nanos()),
+                    speedup(base.as_nanos(), fo.as_nanos()),
+                )
+            });
+            let dec: Vec<f64> = rows.iter().map(|r| r.0).collect();
+            let fo: Vec<f64> = rows.iter().map(|r| r.1).collect();
+            println!("\n{gpu} x{n_gpus} ({} shapes):", shapes.len());
+            println!("  VanillaDecomposition: {}", SweepStats::from(&dec));
+            println!("  FlashOverlap        : {}", SweepStats::from(&fo));
+        }
+    }
+}

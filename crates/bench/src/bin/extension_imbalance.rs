@@ -1,0 +1,59 @@
+//! Extension — All-to-All under routing imbalance.
+//!
+//! §2.3 notes that MoE's "dynamic routing mechanism creates inherent
+//! workload imbalance among GPUs, exacerbating the existing communication
+//! overhead" but the paper does not quantify it. This sweep skews an
+//! increasing fraction of all traffic toward rank 0 and measures how the
+//! overlap benefit and the predictive search hold up.
+
+use baselines::{measure, Method};
+use bench::{parallel_map, speedup};
+use flashoverlap::runtime::CommPattern;
+use flashoverlap::SystemSpec;
+use gpu_sim::gemm::GemmDims;
+use workloads::routing::{load_histogram, skewed_routing};
+
+fn main() {
+    println!("Extension: GEMM+All-to-All vs MoE routing imbalance");
+    let system = SystemSpec::rtx4090(4);
+    let dims = GemmDims::new(8192, 2048, 6144);
+    println!(
+        "shape {}x{}x{} on 4x{}; skew = fraction of traffic forced to rank 0\n",
+        dims.m, dims.n, dims.k, system.arch.name
+    );
+    let skews = vec![0.0f64, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+    let rows = parallel_map(skews, |&skew| {
+        let routing = skewed_routing(dims.m as usize, 4, skew, 99);
+        let hot = load_histogram(&routing[0], 4)[0] as f64 / dims.m as f64;
+        let pattern = CommPattern::AllToAll { routing };
+        let base =
+            measure(Method::NonOverlap, dims, &pattern, &system).expect("baseline");
+        let fo = measure(Method::FlashOverlap, dims, &pattern, &system).expect("fo");
+        (skew, hot, base, fo)
+    });
+    let mut table = Vec::new();
+    for (skew, hot, base, fo) in rows {
+        let sp = speedup(base.as_nanos(), fo.as_nanos());
+        table.push(vec![
+            format!("{:.0}%", skew * 100.0),
+            format!("{:.0}%", hot * 100.0),
+            format!("{base}"),
+            format!("{fo}"),
+            format!("{sp:.3}x"),
+            bench::bar(sp, 1.6, 28),
+        ]);
+    }
+    println!(
+        "{}",
+        bench::render_table(
+            &["skew", "rank-0 load", "non-overlap", "FlashOverlap", "speedup", ""],
+            &table
+        )
+    );
+    println!(
+        "Imbalance slows *both* sides (the slowest rank bounds every\n\
+         exchange), and the predictor's imbalance margin keeps the tuner\n\
+         from over-fragmenting, so the relative overlap benefit degrades\n\
+         gracefully rather than collapsing."
+    );
+}

@@ -1,0 +1,319 @@
+//! Shared harness utilities for the figure/table reproduction binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation; this library holds the pieces they share: system
+//! construction per platform, workload-to-pattern plumbing (routing
+//! tables for All-to-All), a parallel sweep driver, and text-table
+//! rendering.
+
+#![warn(missing_docs)]
+
+use collectives::Primitive;
+use flashoverlap::runtime::CommPattern;
+use flashoverlap::SystemSpec;
+use gpu_sim::gemm::GemmDims;
+use workloads::GpuKind;
+
+/// Builds the [`SystemSpec`] for a platform and GPU count.
+pub fn system_for(gpu: GpuKind, n_gpus: usize) -> SystemSpec {
+    match gpu {
+        GpuKind::Rtx4090 => SystemSpec::rtx4090(n_gpus),
+        GpuKind::A800 => SystemSpec::a800(n_gpus),
+    }
+}
+
+/// Builds the [`CommPattern`] for a primitive, generating balanced
+/// routing for All-to-All.
+pub fn pattern_for(primitive: Primitive, dims: GemmDims, n_gpus: usize, seed: u64) -> CommPattern {
+    match primitive {
+        Primitive::AllReduce => CommPattern::AllReduce,
+        Primitive::ReduceScatter => CommPattern::ReduceScatter,
+        Primitive::AllToAll => CommPattern::AllToAll {
+            routing: workloads::balanced_routing(dims.m as usize, n_gpus, seed),
+        },
+        Primitive::AllGather => CommPattern::AllGather,
+    }
+}
+
+/// Speedup of `measured` relative to `baseline` (higher is better).
+pub fn speedup(baseline_ns: u64, measured_ns: u64) -> f64 {
+    baseline_ns as f64 / measured_ns as f64
+}
+
+/// Mean / min / max summary of a speedup series (the bar + whiskers of
+/// Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl SweepStats {
+    /// Summarizes a non-empty series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "empty sweep");
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        SweepStats {
+            mean: sum / values.len() as f64,
+            min,
+            max,
+            count: values.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for SweepStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {:.3}x (min {:.3}, max {:.3}, n={})",
+            self.mean, self.min, self.max, self.count
+        )
+    }
+}
+
+/// Maps a closure over `items` on all CPU cores, preserving order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let results: Vec<parking_lot::Mutex<Option<R>>> =
+        items.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                *results[i].lock() = Some(f(&items[i]));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("worker filled every slot"))
+        .collect()
+}
+
+/// Renders an ASCII table with a header row.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders per-stream operation spans as an ASCII Gantt chart (one row
+/// per (device, stream), time left to right). `width` is the number of
+/// character cells of the time axis.
+pub fn render_timeline(spans: &[gpu_sim::OpSpan], width: usize) -> String {
+    if spans.is_empty() {
+        return "(no spans)".to_string();
+    }
+    let t0 = spans.iter().map(|s| s.start.as_nanos()).min().expect("non-empty");
+    let t1 = spans.iter().map(|s| s.end.as_nanos()).max().expect("non-empty");
+    let range = (t1 - t0).max(1) as f64;
+    let mut rows: std::collections::BTreeMap<(usize, usize), Vec<char>> = Default::default();
+    let glyph = |name: &str| -> char {
+        match name {
+            "gemm" => 'G',
+            "collective" => 'C',
+            "wait_counter" => 'w',
+            "wait_event" => '.',
+            "record_event" => 'r',
+            "elementwise" => 'E',
+            "p2p_copy" => 'P',
+            _ => '#',
+        }
+    };
+    for span in spans {
+        let row = rows
+            .entry((span.device, span.stream))
+            .or_insert_with(|| vec![' '; width]);
+        let a = ((((span.start.as_nanos() - t0) as f64 / range) * width as f64) as usize)
+            .min(width - 1);
+        let b = ((((span.end.as_nanos() - t0) as f64 / range) * width as f64).ceil() as usize)
+            .clamp(a + 1, width);
+        let g = glyph(span.name);
+        for cell in row.iter_mut().take(b).skip(a.min(width - 1)) {
+            if *cell == ' ' || g != 'w' {
+                *cell = g;
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "timeline 0 .. {:.3} ms  (G gemm, C collective, w signal-wait, E elementwise)
+",
+        (t1 - t0) as f64 / 1e6
+    ));
+    for ((device, stream), cells) in rows {
+        out.push_str(&format!(
+            "dev{device} s{stream} |{}|
+",
+            cells.into_iter().collect::<String>()
+        ));
+    }
+    out
+}
+
+/// Serializes operation spans in Chrome trace-event format (load the
+/// output at `chrome://tracing` or in Perfetto): one row per
+/// (device, stream), durations in microseconds.
+pub fn chrome_trace(spans: &[gpu_sim::OpSpan]) -> String {
+    let mut out = String::from("[\n");
+    for (i, span) in spans.iter().enumerate() {
+        let sep = if i + 1 == spans.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": {}, \"tid\": {}}}{sep}\n",
+            span.name,
+            span.start.as_micros_f64(),
+            (span.end - span.start).as_micros_f64(),
+            span.device,
+            span.stream,
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// A simple horizontal ASCII bar for quick visual scanning of a value in
+/// `[0, scale]`.
+pub fn bar(value: f64, scale: f64, width: usize) -> String {
+    let filled = ((value / scale) * width as f64).round().clamp(0.0, width as f64) as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_is_ratio() {
+        assert!((speedup(200, 100) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_stats_summarize() {
+        let s = SweepStats::from(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!((s.min, s.max), (1.0, 3.0));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect::<Vec<u64>>(), |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let table = render_table(
+            &["a", "bbbb"],
+            &[vec!["xx".into(), "y".into()], vec!["z".into(), "wwwww".into()]],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn bar_clamps() {
+        assert_eq!(bar(2.0, 1.0, 4), "####");
+        assert_eq!(bar(0.0, 1.0, 4), "....");
+        assert_eq!(bar(0.5, 1.0, 4), "##..");
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed() {
+        let spans = vec![
+            gpu_sim::OpSpan {
+                device: 0,
+                stream: 0,
+                name: "gemm",
+                start: sim::SimTime::from_nanos(0),
+                end: sim::SimTime::from_nanos(2_000),
+            },
+            gpu_sim::OpSpan {
+                device: 0,
+                stream: 1,
+                name: "collective",
+                start: sim::SimTime::from_nanos(1_000),
+                end: sim::SimTime::from_nanos(5_000),
+            },
+        ];
+        let json = chrome_trace(&spans);
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"name\": \"gemm\""));
+        assert!(json.contains("\"dur\": 4.000"));
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 2);
+        // Exactly one trailing-comma-free last element.
+        assert_eq!(json.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn pattern_for_builds_routing() {
+        let dims = GemmDims::new(64, 64, 64);
+        match pattern_for(Primitive::AllToAll, dims, 4, 1) {
+            CommPattern::AllToAll { routing } => {
+                assert_eq!(routing.len(), 4);
+                assert_eq!(routing[0].len(), 64);
+            }
+            other => panic!("wrong pattern {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Argument parsing for the `flashoverlap` binary.
+
+use std::error::Error;
+use std::fmt;
+
+use collectives::{Algorithm, Primitive};
+use flashoverlap::WavePartition;
+use workloads::GpuKind;
+
+/// A CLI error: message plus whether usage help should follow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Whether the caller should print usage after the message.
+    pub show_usage: bool,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            show_usage: true,
+        }
+    }
+
+    /// A runtime (non-usage) error.
+    pub fn runtime(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            show_usage: false,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for CliError {}
+
+/// The selected subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Tune the wave partition and print it with the predicted latency.
+    Tune,
+    /// Simulate one overlapped run and print the report.
+    Run,
+    /// Measure every applicable method and print the speedup table.
+    Compare,
+    /// Render the per-stream ASCII timeline of one run.
+    Timeline,
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Subcommand.
+    pub command: Command,
+    /// GEMM M.
+    pub m: u32,
+    /// GEMM N.
+    pub n: u32,
+    /// GEMM K.
+    pub k: u32,
+    /// Communication primitive.
+    pub primitive: Primitive,
+    /// GPU count.
+    pub gpus: usize,
+    /// Platform.
+    pub platform: GpuKind,
+    /// Explicit wave partition (otherwise tuned).
+    pub partition: Option<WavePartition>,
+    /// Routing seed for All-to-All workloads.
+    pub seed: u64,
+    /// Collective algorithm.
+    pub algorithm: Algorithm,
+    /// Optional path to write a Chrome trace (timeline command).
+    pub trace_out: Option<String>,
+}
+
+/// The usage text printed on `--help` or parse errors.
+pub const USAGE: &str = "\
+usage: flashoverlap <tune|run|compare|timeline> [options]
+
+options:
+  -m, -n, -k <int>        GEMM dimensions (required)
+  --primitive <name>      allreduce | reducescatter | alltoall | allgather
+                          (default: allreduce)
+  --gpus <int>            parallel group size (default: 4)
+  --platform <name>       rtx4090 | a800 (default: rtx4090)
+  --partition <a,b,c>     explicit wave partition (default: tuned)
+  --seed <int>            routing seed for alltoall (default: 7)
+  --algorithm <name>      ring | direct | auto (default: ring)
+  --trace-out <path>      timeline: also write a Chrome trace JSON
+  -h, --help              this text
+";
+
+fn parse_u32(flag: &str, value: Option<&String>) -> Result<u32, CliError> {
+    value
+        .ok_or_else(|| CliError::usage(format!("missing value for {flag}")))?
+        .parse()
+        .map_err(|_| CliError::usage(format!("invalid integer for {flag}")))
+}
+
+impl Cli {
+    /// Parses `argv` (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] with usage on malformed input.
+    pub fn parse(argv: &[String]) -> Result<Cli, CliError> {
+        let mut it = argv.iter().peekable();
+        let command = match it.next().map(String::as_str) {
+            Some("tune") => Command::Tune,
+            Some("run") => Command::Run,
+            Some("compare") => Command::Compare,
+            Some("timeline") => Command::Timeline,
+            Some("-h") | Some("--help") | None => {
+                return Err(CliError::usage("".to_string()));
+            }
+            Some(other) => {
+                return Err(CliError::usage(format!("unknown command: {other}")));
+            }
+        };
+        let mut m = None;
+        let mut n = None;
+        let mut k = None;
+        let mut primitive = Primitive::AllReduce;
+        let mut gpus = 4usize;
+        let mut platform = GpuKind::Rtx4090;
+        let mut partition = None;
+        let mut seed = 7u64;
+        let mut algorithm = Algorithm::Ring;
+        let mut trace_out = None;
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "-m" => m = Some(parse_u32("-m", it.next())?),
+                "-n" => n = Some(parse_u32("-n", it.next())?),
+                "-k" => k = Some(parse_u32("-k", it.next())?),
+                "--gpus" => gpus = parse_u32("--gpus", it.next())? as usize,
+                "--seed" => seed = parse_u32("--seed", it.next())? as u64,
+                "--primitive" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::usage("missing value for --primitive"))?;
+                    primitive = match v.to_lowercase().as_str() {
+                        "allreduce" | "ar" => Primitive::AllReduce,
+                        "reducescatter" | "rs" => Primitive::ReduceScatter,
+                        "alltoall" | "a2a" => Primitive::AllToAll,
+                        "allgather" | "ag" => Primitive::AllGather,
+                        other => {
+                            return Err(CliError::usage(format!("unknown primitive: {other}")));
+                        }
+                    };
+                }
+                "--platform" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::usage("missing value for --platform"))?;
+                    platform = match v.to_lowercase().as_str() {
+                        "rtx4090" | "4090" => GpuKind::Rtx4090,
+                        "a800" => GpuKind::A800,
+                        other => {
+                            return Err(CliError::usage(format!("unknown platform: {other}")));
+                        }
+                    };
+                }
+                "--partition" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::usage("missing value for --partition"))?;
+                    let sizes: Result<Vec<u32>, _> =
+                        v.split(',').map(|p| p.trim().parse::<u32>()).collect();
+                    let sizes = sizes
+                        .map_err(|_| CliError::usage("partition must be comma-separated ints"))?;
+                    if sizes.is_empty() || sizes.contains(&0) {
+                        return Err(CliError::usage("partition sizes must be positive"));
+                    }
+                    partition = Some(WavePartition::new(sizes));
+                }
+                "--algorithm" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::usage("missing value for --algorithm"))?;
+                    algorithm = match v.to_lowercase().as_str() {
+                        "ring" => Algorithm::Ring,
+                        "direct" => Algorithm::Direct,
+                        "auto" => Algorithm::Auto,
+                        other => {
+                            return Err(CliError::usage(format!("unknown algorithm: {other}")));
+                        }
+                    };
+                }
+                "--trace-out" => {
+                    trace_out = Some(
+                        it.next()
+                            .ok_or_else(|| CliError::usage("missing value for --trace-out"))?
+                            .clone(),
+                    );
+                }
+                "-h" | "--help" => return Err(CliError::usage("".to_string())),
+                other => return Err(CliError::usage(format!("unknown flag: {other}"))),
+            }
+        }
+        let (Some(m), Some(n), Some(k)) = (m, n, k) else {
+            return Err(CliError::usage("-m, -n, and -k are required"));
+        };
+        if gpus < 2 {
+            return Err(CliError::usage("--gpus must be at least 2"));
+        }
+        Ok(Cli {
+            command,
+            m,
+            n,
+            k,
+            primitive,
+            gpus,
+            platform,
+            partition,
+            seed,
+            algorithm,
+            trace_out,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let cli = Cli::parse(&argv(
+            "run -m 4096 -n 8192 -k 2048 --primitive rs --gpus 8 --platform a800 \
+             --partition 1,2,3 --seed 42",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Run);
+        assert_eq!((cli.m, cli.n, cli.k), (4096, 8192, 2048));
+        assert_eq!(cli.primitive, Primitive::ReduceScatter);
+        assert_eq!(cli.gpus, 8);
+        assert_eq!(cli.platform, GpuKind::A800);
+        assert_eq!(cli.partition.unwrap().sizes(), &[1, 2, 3]);
+        assert_eq!(cli.seed, 42);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let cli = Cli::parse(&argv("tune -m 1024 -n 1024 -k 1024")).unwrap();
+        assert_eq!(cli.primitive, Primitive::AllReduce);
+        assert_eq!(cli.gpus, 4);
+        assert_eq!(cli.platform, GpuKind::Rtx4090);
+        assert!(cli.partition.is_none());
+    }
+
+    #[test]
+    fn missing_dims_is_usage_error() {
+        let err = Cli::parse(&argv("tune -m 1024 -n 1024")).unwrap_err();
+        assert!(err.show_usage);
+        assert!(err.message.contains("required"));
+    }
+
+    #[test]
+    fn unknown_command_and_flag_are_rejected() {
+        assert!(Cli::parse(&argv("frobnicate")).unwrap_err().show_usage);
+        assert!(Cli::parse(&argv("run -m 1 -n 1 -k 1 --bogus 3"))
+            .unwrap_err()
+            .show_usage);
+    }
+
+    #[test]
+    fn primitive_aliases() {
+        for (alias, expected) in [
+            ("ar", Primitive::AllReduce),
+            ("a2a", Primitive::AllToAll),
+            ("ag", Primitive::AllGather),
+        ] {
+            let cli =
+                Cli::parse(&argv(&format!("run -m 64 -n 64 -k 64 --primitive {alias}"))).unwrap();
+            assert_eq!(cli.primitive, expected);
+        }
+    }
+
+    #[test]
+    fn zero_partition_size_rejected() {
+        let err = Cli::parse(&argv("run -m 64 -n 64 -k 64 --partition 1,0,2")).unwrap_err();
+        assert!(err.message.contains("positive"));
+    }
+
+    #[test]
+    fn algorithm_and_trace_flags_parse() {
+        let cli = Cli::parse(&argv(
+            "timeline -m 64 -n 64 -k 64 --algorithm auto --trace-out /tmp/t.json",
+        ))
+        .unwrap();
+        assert_eq!(cli.algorithm, Algorithm::Auto);
+        assert_eq!(cli.trace_out.as_deref(), Some("/tmp/t.json"));
+        assert!(Cli::parse(&argv("run -m 1 -n 1 -k 1 --algorithm bogus"))
+            .unwrap_err()
+            .show_usage);
+    }
+
+    #[test]
+    fn help_requests_usage() {
+        assert!(Cli::parse(&argv("--help")).unwrap_err().show_usage);
+        assert!(Cli::parse(&[]).unwrap_err().show_usage);
+    }
+}

@@ -1,0 +1,187 @@
+//! Command execution for the `flashoverlap` binary.
+
+use baselines::{measure, Method};
+use bench::{pattern_for, render_timeline, system_for};
+use flashoverlap::{
+    nonoverlap_latency, predictive_search, theoretical_latency, LatencyPredictor, OverlapPlan,
+};
+use gpu_sim::gemm::GemmDims;
+
+use crate::args::{Cli, CliError, Command};
+
+/// Executes the parsed command, returning the report text.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on infeasible workloads or simulation failures.
+pub fn execute(cli: &Cli) -> Result<String, CliError> {
+    let dims = GemmDims::new(cli.m, cli.n, cli.k);
+    let system = system_for(cli.platform, cli.gpus).with_algorithm(cli.algorithm);
+    let pattern = pattern_for(cli.primitive, dims, cli.gpus, cli.seed);
+    let plan = match &cli.partition {
+        Some(partition) => {
+            OverlapPlan::new(dims, pattern.clone(), system.clone(), partition.clone())
+        }
+        None => OverlapPlan::tuned(dims, pattern.clone(), system.clone()),
+    }
+    .map_err(|e| CliError::runtime(format!("plan construction failed: {e}")))?;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "workload : GEMM {}x{}x{} + {} on {} x {}\n",
+        cli.m, cli.n, cli.k, cli.primitive, cli.gpus, system.arch.name
+    ));
+    out.push_str(&format!(
+        "plan     : tile {}x{}, {} waves, partition {}\n",
+        plan.config.tile.m,
+        plan.config.tile.n,
+        plan.total_waves(),
+        plan.partition
+    ));
+
+    match cli.command {
+        Command::Tune => {
+            let outcome = predictive_search(dims, cli.primitive, &system);
+            let predictor = LatencyPredictor::build(dims, cli.primitive, &system);
+            out.push_str(&format!(
+                "tuned    : partition {} ({} candidates scored)\n",
+                outcome.partition, outcome.evaluated
+            ));
+            out.push_str(&format!(
+                "predicted: {} overlapped vs {} serial ({:.3}x)\n",
+                outcome.latency,
+                predictor.predict_serial(),
+                predictor.predict_serial().as_nanos() as f64
+                    / outcome.latency.as_nanos() as f64
+            ));
+        }
+        Command::Run => {
+            let report = plan
+                .execute()
+                .map_err(|e| CliError::runtime(format!("simulation failed: {e}")))?;
+            let base = nonoverlap_latency(dims, cli.primitive, &system);
+            let theory = theoretical_latency(dims, cli.primitive, &system);
+            out.push_str(&format!("latency  : {}\n", report.latency));
+            out.push_str(&format!("gemm done: {}\n", report.gemm_done));
+            for (g, done) in report.group_comm_done.iter().enumerate() {
+                out.push_str(&format!("  group {g}: comm done at {done}\n"));
+            }
+            out.push_str(&format!(
+                "vs serial: {:.3}x (non-overlap model {base}); theory bound {theory}\n",
+                base.as_nanos() as f64 / report.latency.as_nanos() as f64
+            ));
+        }
+        Command::Compare => {
+            let base = measure(Method::NonOverlap, dims, &pattern, &system)
+                .map_err(|e| CliError::runtime(format!("baseline failed: {e}")))?;
+            out.push_str("method comparison (speedup over non-overlap):\n");
+            for method in Method::ALL {
+                if !method.applicable(&pattern, &system) {
+                    out.push_str(&format!("  {method:<22} n/a (requires P2P)\n"));
+                    continue;
+                }
+                let latency = measure(method, dims, &pattern, &system)
+                    .map_err(|e| CliError::runtime(format!("{method} failed: {e}")))?;
+                out.push_str(&format!(
+                    "  {method:<22} {latency:>12}  {:.3}x\n",
+                    base.as_nanos() as f64 / latency.as_nanos() as f64
+                ));
+            }
+        }
+        Command::Timeline => {
+            let (report, spans) = plan
+                .execute_traced()
+                .map_err(|e| CliError::runtime(format!("simulation failed: {e}")))?;
+            let rank0: Vec<gpu_sim::OpSpan> = spans
+                .into_iter()
+                .filter(|s| s.device == 0 && s.name != "callback")
+                .collect();
+            out.push_str(&format!("latency  : {}\n", report.latency));
+            out.push_str(&render_timeline(&rank0, 100));
+            if let Some(path) = &cli.trace_out {
+                std::fs::write(path, bench::chrome_trace(&rank0))
+                    .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
+                out.push_str(&format!("chrome trace written to {path}\n"));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Convenience for tests: execute against a parsed argv.
+pub fn execute_argv(argv: &[String]) -> Result<String, CliError> {
+    execute(&Cli::parse(argv)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn tune_reports_partition_and_prediction() {
+        let out = execute_argv(&argv("tune -m 2048 -n 4096 -k 8192")).unwrap();
+        assert!(out.contains("tuned"));
+        assert!(out.contains("predicted"));
+        assert!(out.contains("candidates scored"));
+    }
+
+    #[test]
+    fn run_reports_latency_and_groups() {
+        let out = execute_argv(&argv("run -m 2048 -n 4096 -k 8192 --gpus 2")).unwrap();
+        assert!(out.contains("latency"));
+        assert!(out.contains("group 0"));
+        assert!(out.contains("vs serial"));
+    }
+
+    #[test]
+    fn run_accepts_explicit_partition() {
+        // 2048x4096 -> 256 tiles -> 3 contended waves on the 4090.
+        let out =
+            execute_argv(&argv("run -m 2048 -n 4096 -k 4096 --partition 1,2")).unwrap();
+        assert!(out.contains("partition (1,2)"));
+    }
+
+    #[test]
+    fn compare_lists_every_method() {
+        let out = execute_argv(&argv("compare -m 2048 -n 4096 -k 4096 --gpus 2")).unwrap();
+        assert!(out.contains("Non-overlap"));
+        assert!(out.contains("FlashOverlap"));
+        assert!(out.contains("n/a (requires P2P)"), "PCIe hides FLUX");
+        let a800 = execute_argv(&argv(
+            "compare -m 2048 -n 4096 -k 4096 --gpus 2 --platform a800",
+        ))
+        .unwrap();
+        assert!(a800.contains("FLUX"));
+        assert!(!a800.contains("n/a"));
+    }
+
+    #[test]
+    fn timeline_renders_streams() {
+        let out = execute_argv(&argv("timeline -m 2048 -n 4096 -k 4096")).unwrap();
+        assert!(out.contains("dev0 s0"));
+        assert!(out.contains("dev0 s1"));
+        assert!(out.contains('G'), "gemm glyph present");
+        assert!(out.contains('C'), "collective glyph present");
+    }
+
+    #[test]
+    fn bad_partition_surfaces_as_runtime_error() {
+        let err = execute_argv(&argv("run -m 2048 -n 4096 -k 4096 --partition 1,1,1,1,1,1,1"))
+            .unwrap_err();
+        assert!(!err.show_usage);
+        assert!(err.message.contains("plan construction failed"));
+    }
+
+    #[test]
+    fn all_to_all_compare_runs() {
+        let out = execute_argv(&argv(
+            "compare -m 2048 -n 2048 -k 2048 --primitive a2a --gpus 4",
+        ))
+        .unwrap();
+        assert!(out.contains("FlashOverlap"));
+    }
+}

@@ -1,0 +1,815 @@
+//! Communicators and collective stream kernels.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use gpu_sim::cluster::Cluster;
+use gpu_sim::device::DeviceId;
+use gpu_sim::memory::BufferId;
+use gpu_sim::stream::{Completion, Kernel, LaunchCtx};
+use gpu_sim::ClusterSim;
+use interconnect::FabricSpec;
+use sim::SimDuration;
+
+use crate::cost::{
+    all_to_all_duration, collective_duration_with, Algorithm, Primitive, BYTES_PER_ELEM,
+};
+
+/// A contiguous region of one buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// The buffer.
+    pub buf: BufferId,
+    /// Start element offset.
+    pub offset: usize,
+    /// Element count.
+    pub count: usize,
+}
+
+impl Region {
+    /// Creates a region.
+    pub const fn new(buf: BufferId, offset: usize, count: usize) -> Self {
+        Region { buf, offset, count }
+    }
+}
+
+/// An All-to-All(v) exchange plan: `len[s][d]` elements move from offset
+/// `send_off[s][d]` of source `s`'s send buffer to offset `recv_off[d][s]`
+/// of destination `d`'s recv buffer. Self-segments (`s == d`) are copied
+/// locally and cost no wire time.
+#[derive(Debug, Clone, Default)]
+pub struct A2aPlan {
+    /// Per-source, per-destination send offsets.
+    pub send_off: Vec<Vec<usize>>,
+    /// Per-source, per-destination element counts.
+    pub len: Vec<Vec<usize>>,
+    /// Per-destination, per-source receive offsets.
+    pub recv_off: Vec<Vec<usize>>,
+}
+
+/// One collective operation, described for all ranks at once (the SPMD
+/// callsite view).
+#[derive(Debug, Clone)]
+pub enum CollectiveSpec {
+    /// In-place AllReduce over one equal-size region per rank.
+    AllReduce {
+        /// Per-rank region (element counts must match).
+        regions: Vec<Region>,
+    },
+    /// ReduceScatter: each rank contributes `send` (count divisible by the
+    /// rank count) and receives its reduced chunk into `recv`.
+    ReduceScatter {
+        /// Per-rank send regions (`count == n * recv.count`).
+        send: Vec<Region>,
+        /// Per-rank receive regions.
+        recv: Vec<Region>,
+    },
+    /// AllGather: each rank contributes `send` and receives the
+    /// rank-ordered concatenation into `recv`.
+    AllGather {
+        /// Per-rank send regions.
+        send: Vec<Region>,
+        /// Per-rank receive regions (`count == n * send.count`).
+        recv: Vec<Region>,
+    },
+    /// Personalized exchange following an [`A2aPlan`].
+    AllToAllV {
+        /// Per-rank send buffers.
+        send: Vec<BufferId>,
+        /// Per-rank receive buffers.
+        recv: Vec<BufferId>,
+        /// The exchange plan.
+        plan: Rc<A2aPlan>,
+    },
+}
+
+impl CollectiveSpec {
+    /// The primitive this spec instantiates.
+    pub fn primitive(&self) -> Primitive {
+        match self {
+            CollectiveSpec::AllReduce { .. } => Primitive::AllReduce,
+            CollectiveSpec::ReduceScatter { .. } => Primitive::ReduceScatter,
+            CollectiveSpec::AllGather { .. } => Primitive::AllGather,
+            CollectiveSpec::AllToAllV { .. } => Primitive::AllToAll,
+        }
+    }
+
+    /// Per-rank payload bytes (the `S` of the ring cost formulas).
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            CollectiveSpec::AllReduce { regions } => {
+                regions.first().map_or(0, |r| r.count as u64) * BYTES_PER_ELEM
+            }
+            CollectiveSpec::ReduceScatter { send, .. } => {
+                send.first().map_or(0, |r| r.count as u64) * BYTES_PER_ELEM
+            }
+            CollectiveSpec::AllGather { recv, .. } => {
+                recv.first().map_or(0, |r| r.count as u64) * BYTES_PER_ELEM
+            }
+            CollectiveSpec::AllToAllV { plan, .. } => plan
+                .len
+                .iter()
+                .map(|row| row.iter().map(|&l| l as u64).sum::<u64>())
+                .max()
+                .unwrap_or(0)
+                .saturating_mul(BYTES_PER_ELEM),
+        }
+    }
+
+    fn duration(&self, fabric: &FabricSpec, n: usize, algorithm: Algorithm) -> SimDuration {
+        match self {
+            CollectiveSpec::AllToAllV { plan, .. } => {
+                // The slowest rank's egress pattern bounds the exchange.
+                (0..n)
+                    .map(|src| {
+                        let per_dest: Vec<u64> = (0..n)
+                            .filter(|&d| d != src)
+                            .map(|d| plan.len[src][d] as u64 * BYTES_PER_ELEM)
+                            .collect();
+                        all_to_all_duration(&per_dest, n, fabric)
+                    })
+                    .fold(SimDuration::ZERO, SimDuration::max)
+            }
+            _ => collective_duration_with(
+                self.primitive(),
+                self.payload_bytes(),
+                n,
+                fabric,
+                algorithm,
+            ),
+        }
+    }
+
+    fn validate(&self, n: usize) {
+        match self {
+            CollectiveSpec::AllReduce { regions } => {
+                assert_eq!(regions.len(), n, "AllReduce needs one region per rank");
+                let count = regions[0].count;
+                assert!(
+                    regions.iter().all(|r| r.count == count),
+                    "AllReduce regions must have equal counts"
+                );
+            }
+            CollectiveSpec::ReduceScatter { send, recv } => {
+                assert_eq!(send.len(), n, "ReduceScatter needs one send per rank");
+                assert_eq!(recv.len(), n, "ReduceScatter needs one recv per rank");
+                let count = send[0].count;
+                assert!(count % n == 0, "ReduceScatter count must divide by ranks");
+                assert!(
+                    send.iter().all(|r| r.count == count),
+                    "ReduceScatter send counts must match"
+                );
+                assert!(
+                    recv.iter().all(|r| r.count == count / n),
+                    "ReduceScatter recv counts must be count / n"
+                );
+            }
+            CollectiveSpec::AllGather { send, recv } => {
+                assert_eq!(send.len(), n, "AllGather needs one send per rank");
+                assert_eq!(recv.len(), n, "AllGather needs one recv per rank");
+                let count = send[0].count;
+                assert!(
+                    send.iter().all(|r| r.count == count),
+                    "AllGather send counts must match"
+                );
+                assert!(
+                    recv.iter().all(|r| r.count == count * n),
+                    "AllGather recv counts must be count * n"
+                );
+            }
+            CollectiveSpec::AllToAllV { send, recv, plan } => {
+                assert_eq!(send.len(), n, "AllToAll needs one send buffer per rank");
+                assert_eq!(recv.len(), n, "AllToAll needs one recv buffer per rank");
+                assert_eq!(plan.send_off.len(), n, "plan send_off rank mismatch");
+                assert_eq!(plan.len.len(), n, "plan len rank mismatch");
+                assert_eq!(plan.recv_off.len(), n, "plan recv_off rank mismatch");
+            }
+        }
+    }
+
+    /// Applies the data semantics against the cluster (functional mode).
+    fn apply_data(&self, world: &mut Cluster, ranks: &[DeviceId]) {
+        let n = ranks.len();
+        match self {
+            CollectiveSpec::AllReduce { regions } => {
+                let count = regions[0].count;
+                let mut acc = vec![0.0f32; count];
+                for (r, region) in regions.iter().enumerate() {
+                    let data = world.devices[ranks[r]].mem.data(region.buf);
+                    for (a, &x) in acc.iter_mut().zip(&data[region.offset..region.offset + count])
+                    {
+                        *a += x;
+                    }
+                }
+                for (r, region) in regions.iter().enumerate() {
+                    let data = world.devices[ranks[r]].mem.data_mut(region.buf);
+                    data[region.offset..region.offset + count].copy_from_slice(&acc);
+                }
+            }
+            CollectiveSpec::ReduceScatter { send, recv } => {
+                let count = send[0].count;
+                let chunk = count / n;
+                let mut acc = vec![0.0f32; count];
+                for (r, region) in send.iter().enumerate() {
+                    let data = world.devices[ranks[r]].mem.data(region.buf);
+                    for (a, &x) in acc.iter_mut().zip(&data[region.offset..region.offset + count])
+                    {
+                        *a += x;
+                    }
+                }
+                for (r, region) in recv.iter().enumerate() {
+                    let data = world.devices[ranks[r]].mem.data_mut(region.buf);
+                    data[region.offset..region.offset + chunk]
+                        .copy_from_slice(&acc[r * chunk..(r + 1) * chunk]);
+                }
+            }
+            CollectiveSpec::AllGather { send, recv } => {
+                let count = send[0].count;
+                let contributions: Vec<Vec<f32>> = send
+                    .iter()
+                    .enumerate()
+                    .map(|(r, region)| {
+                        world.devices[ranks[r]].mem.data(region.buf)
+                            [region.offset..region.offset + count]
+                            .to_vec()
+                    })
+                    .collect();
+                for (r, region) in recv.iter().enumerate() {
+                    let data = world.devices[ranks[r]].mem.data_mut(region.buf);
+                    for (src, contribution) in contributions.iter().enumerate() {
+                        let dst = region.offset + src * count;
+                        data[dst..dst + count].copy_from_slice(contribution);
+                    }
+                }
+            }
+            CollectiveSpec::AllToAllV { send, recv, plan } => {
+                for src in 0..n {
+                    for dst in 0..n {
+                        let len = plan.len[src][dst];
+                        if len == 0 {
+                            continue;
+                        }
+                        let payload: Vec<f32> = {
+                            let data = world.devices[ranks[src]].mem.data(send[src]);
+                            let off = plan.send_off[src][dst];
+                            data[off..off + len].to_vec()
+                        };
+                        let data = world.devices[ranks[dst]].mem.data_mut(recv[dst]);
+                        let off = plan.recv_off[dst][src];
+                        data[off..off + len].copy_from_slice(&payload);
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct Pending {
+    completions: Vec<Option<Completion>>,
+    arrived: usize,
+}
+
+#[derive(Default)]
+struct CommState {
+    next_call: u64,
+    pending: HashMap<u64, Pending>,
+    /// When the communicator's in-flight work drains: operations on one
+    /// communicator serialize (as in NCCL), even when issued from
+    /// different streams — they share the same ring resources.
+    busy_until: Option<sim::SimTime>,
+}
+
+struct CommInner {
+    ranks: Vec<DeviceId>,
+    fabric: FabricSpec,
+    sm_footprint: u32,
+    algorithm: Algorithm,
+    state: RefCell<CommState>,
+}
+
+/// A communicator over a fixed set of device ranks, mirroring
+/// `ncclComm_t`: it knows its fabric, occupies a constant number of SMs
+/// per in-flight collective (§4.2.1), serializes its operations like a
+/// real NCCL communicator, and matches the per-rank calls of one
+/// collective by call id.
+///
+/// # Examples
+///
+/// ```
+/// use collectives::{CollectiveSpec, Communicator, Region};
+/// use interconnect::FabricSpec;
+///
+/// let comm = Communicator::new(vec![0, 1], FabricSpec::a800_nvlink(), 20);
+/// let spec = CollectiveSpec::AllReduce {
+///     regions: vec![Region::new(0, 0, 1 << 20), Region::new(0, 0, 1 << 20)],
+/// };
+/// // Cost model query (no simulation needed):
+/// assert!(comm.duration_of(&spec).as_nanos() > 0);
+/// // Per-rank kernels to enqueue on each rank's stream:
+/// assert_eq!(comm.kernels(spec).len(), 2);
+/// ```
+#[derive(Clone)]
+pub struct Communicator {
+    inner: Rc<CommInner>,
+}
+
+impl Communicator {
+    /// Creates a communicator over `ranks` using `fabric`, with each
+    /// in-flight collective holding `sm_footprint` SMs on every rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two ranks are given or ranks repeat.
+    pub fn new(ranks: Vec<DeviceId>, fabric: FabricSpec, sm_footprint: u32) -> Self {
+        Self::with_algorithm(ranks, fabric, sm_footprint, Algorithm::Ring)
+    }
+
+    /// Creates a communicator with an explicit collective algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Communicator::new`].
+    pub fn with_algorithm(
+        ranks: Vec<DeviceId>,
+        fabric: FabricSpec,
+        sm_footprint: u32,
+        algorithm: Algorithm,
+    ) -> Self {
+        assert!(ranks.len() >= 2, "communicator needs at least two ranks");
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ranks.len(), "duplicate ranks in communicator");
+        Communicator {
+            inner: Rc::new(CommInner {
+                ranks,
+                fabric,
+                sm_footprint,
+                algorithm,
+                state: RefCell::new(CommState::default()),
+            }),
+        }
+    }
+
+    /// The algorithm this communicator schedules collectives with.
+    pub fn algorithm(&self) -> Algorithm {
+        self.inner.algorithm
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.inner.ranks.len()
+    }
+
+    /// The device ids, by rank.
+    pub fn ranks(&self) -> &[DeviceId] {
+        &self.inner.ranks
+    }
+
+    /// The fabric this communicator runs over.
+    pub fn fabric(&self) -> &FabricSpec {
+        &self.inner.fabric
+    }
+
+    /// The constant SM footprint per in-flight collective.
+    pub fn sm_footprint(&self) -> u32 {
+        self.inner.sm_footprint
+    }
+
+    /// Creates the per-rank kernels of one collective call. The returned
+    /// kernels (rank order) must each be enqueued on their own rank's
+    /// stream; the collective completes on all ranks simultaneously once
+    /// every rank has reached it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is inconsistent with the communicator size.
+    pub fn kernels(&self, spec: CollectiveSpec) -> Vec<CollectiveKernel> {
+        spec.validate(self.size());
+        let call = {
+            let mut st = self.inner.state.borrow_mut();
+            let id = st.next_call;
+            st.next_call += 1;
+            id
+        };
+        let spec = Rc::new(spec);
+        (0..self.size())
+            .map(|rank| CollectiveKernel {
+                comm: self.clone(),
+                call,
+                rank,
+                spec: spec.clone(),
+            })
+            .collect()
+    }
+
+    /// Predicted duration of `spec` on this communicator (used by cost
+    /// models; the runtime uses the same function, so this is exact up to
+    /// rendezvous skew).
+    pub fn duration_of(&self, spec: &CollectiveSpec) -> SimDuration {
+        spec.duration(&self.inner.fabric, self.size(), self.inner.algorithm)
+    }
+}
+
+impl std::fmt::Debug for Communicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Communicator")
+            .field("ranks", &self.inner.ranks)
+            .field("fabric", &self.inner.fabric.name)
+            .field("sm_footprint", &self.inner.sm_footprint)
+            .finish()
+    }
+}
+
+/// One rank's half of a collective call (returned by
+/// [`Communicator::kernels`]).
+pub struct CollectiveKernel {
+    comm: Communicator,
+    call: u64,
+    rank: usize,
+    spec: Rc<CollectiveSpec>,
+}
+
+impl Kernel for CollectiveKernel {
+    fn launch(self: Box<Self>, ctx: LaunchCtx, world: &mut Cluster, sim: &mut ClusterSim) {
+        let inner = &self.comm.inner;
+        let n = inner.ranks.len();
+        assert_eq!(
+            inner.ranks[self.rank], ctx.device,
+            "collective kernel launched on the wrong device"
+        );
+        // The NCCL kernel occupies its SMs from local launch: it spins
+        // waiting for peers, contending with compute the whole time.
+        world.devices[ctx.device].occupy_comm_sms(inner.sm_footprint);
+
+        let all_arrived = {
+            let mut st = inner.state.borrow_mut();
+            let pending = st.pending.entry(self.call).or_insert_with(|| Pending {
+                completions: (0..n).map(|_| None).collect(),
+                arrived: 0,
+            });
+            assert!(
+                pending.completions[self.rank].is_none(),
+                "rank {} reached collective call {} twice",
+                self.rank,
+                self.call
+            );
+            pending.completions[self.rank] = Some(ctx.completion);
+            pending.arrived += 1;
+            pending.arrived == n
+        };
+
+        if all_arrived {
+            let pending = inner
+                .state
+                .borrow_mut()
+                .pending
+                .remove(&self.call)
+                .expect("pending entry exists");
+            // Positive per-call noise models protocol and congestion
+            // non-idealities on real fabrics.
+            let lead = inner.ranks[0];
+            let noise = 1.0
+                + world.devices[lead]
+                    .rng
+                    .uniform(0.0, world.noise.comm_frac.max(0.0));
+            let duration = self
+                .spec
+                .duration(&inner.fabric, n, inner.algorithm)
+                .mul_f64(noise);
+            // Serialize behind earlier collectives on this communicator:
+            // they share the same fabric rings.
+            let start = {
+                let mut st = inner.state.borrow_mut();
+                let start = st.busy_until.map_or(sim.now(), |t| t.max(sim.now()));
+                st.busy_until = Some(start + duration);
+                start
+            };
+            let finish_at = start + duration;
+            let comm = self.comm.clone();
+            let spec = self.spec.clone();
+            sim.schedule_at(finish_at, move |w, s| {
+                if w.functional {
+                    spec.apply_data(w, comm.ranks());
+                }
+                let footprint = comm.sm_footprint();
+                for (rank, completion) in pending.completions.into_iter().enumerate() {
+                    let device = comm.ranks()[rank];
+                    w.devices[device].release_comm_sms(footprint);
+                    let completion = completion.expect("all ranks arrived");
+                    s.schedule_now(move |w, s| completion.finish(w, s));
+                }
+            });
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "collective"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::collective_duration;
+    use gpu_sim::arch::GpuArch;
+    use gpu_sim::stream::{enqueue, Delay};
+    use sim::Sim;
+
+    fn cluster(n: usize) -> (Cluster, ClusterSim) {
+        (Cluster::new(n, GpuArch::rtx4090(), true, 11), Sim::new())
+    }
+
+    fn comm(world: &Cluster) -> Communicator {
+        Communicator::new(
+            (0..world.num_devices()).collect(),
+            FabricSpec::rtx4090_pcie(),
+            16,
+        )
+    }
+
+    fn streams(world: &mut Cluster) -> Vec<usize> {
+        (0..world.num_devices())
+            .map(|d| world.devices[d].create_stream())
+            .collect()
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let (mut world, mut sim) = cluster(4);
+        let comm = comm(&world);
+        let streams = streams(&mut world);
+        let mut regions = Vec::new();
+        for d in 0..4 {
+            let data: Vec<f32> = (0..8).map(|i| (d * 8 + i) as f32).collect();
+            let buf = world.devices[d].mem.alloc_init(&data);
+            regions.push(Region::new(buf, 0, 8));
+        }
+        for (d, kernel) in comm
+            .kernels(CollectiveSpec::AllReduce {
+                regions: regions.clone(),
+            })
+            .into_iter()
+            .enumerate()
+        {
+            enqueue(&mut world, &mut sim, d, streams[d], Box::new(kernel));
+        }
+        sim.run(&mut world).unwrap();
+        for (d, region) in regions.iter().enumerate() {
+            let data = world.devices[d].mem.snapshot(region.buf);
+            for (i, &x) in data.iter().enumerate() {
+                let expected: f32 = (0..4).map(|r| (r * 8 + i) as f32).sum();
+                assert_eq!(x, expected, "rank {d} elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_scatters_reduced_chunks() {
+        let (mut world, mut sim) = cluster(2);
+        let comm = comm(&world);
+        let streams = streams(&mut world);
+        let mut send = Vec::new();
+        let mut recv = Vec::new();
+        for d in 0..2 {
+            let data: Vec<f32> = (0..8).map(|i| (d as f32 + 1.0) * i as f32).collect();
+            let sbuf = world.devices[d].mem.alloc_init(&data);
+            let rbuf = world.devices[d].mem.alloc(4);
+            send.push(Region::new(sbuf, 0, 8));
+            recv.push(Region::new(rbuf, 0, 4));
+        }
+        for (d, kernel) in comm
+            .kernels(CollectiveSpec::ReduceScatter {
+                send,
+                recv: recv.clone(),
+            })
+            .into_iter()
+            .enumerate()
+        {
+            enqueue(&mut world, &mut sim, d, streams[d], Box::new(kernel));
+        }
+        sim.run(&mut world).unwrap();
+        // Reduced buffer is 3*i; rank 0 gets elements 0..4, rank 1 gets 4..8.
+        assert_eq!(
+            world.devices[0].mem.snapshot(recv[0].buf),
+            vec![0.0, 3.0, 6.0, 9.0]
+        );
+        assert_eq!(
+            world.devices[1].mem.snapshot(recv[1].buf),
+            vec![12.0, 15.0, 18.0, 21.0]
+        );
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_rank_order() {
+        let (mut world, mut sim) = cluster(2);
+        let comm = comm(&world);
+        let streams = streams(&mut world);
+        let mut send = Vec::new();
+        let mut recv = Vec::new();
+        for d in 0..2 {
+            let sbuf = world.devices[d].mem.alloc_init(&[d as f32; 3]);
+            let rbuf = world.devices[d].mem.alloc(6);
+            send.push(Region::new(sbuf, 0, 3));
+            recv.push(Region::new(rbuf, 0, 6));
+        }
+        for (d, kernel) in comm
+            .kernels(CollectiveSpec::AllGather {
+                send,
+                recv: recv.clone(),
+            })
+            .into_iter()
+            .enumerate()
+        {
+            enqueue(&mut world, &mut sim, d, streams[d], Box::new(kernel));
+        }
+        sim.run(&mut world).unwrap();
+        for (d, region) in recv.iter().enumerate() {
+            assert_eq!(
+                world.devices[d].mem.snapshot(region.buf),
+                vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0]
+            );
+        }
+    }
+
+    #[test]
+    fn all_to_all_routes_segments() {
+        let (mut world, mut sim) = cluster(2);
+        let comm = comm(&world);
+        let streams = streams(&mut world);
+        // Rank 0 sends [10, 11] to itself and [12] to rank 1;
+        // rank 1 sends [20] to rank 0 and [21, 22] to itself.
+        let s0 = world.devices[0].mem.alloc_init(&[10.0, 11.0, 12.0]);
+        let s1 = world.devices[1].mem.alloc_init(&[20.0, 21.0, 22.0]);
+        let r0 = world.devices[0].mem.alloc(3);
+        let r1 = world.devices[1].mem.alloc(3);
+        let plan = Rc::new(A2aPlan {
+            send_off: vec![vec![0, 2], vec![0, 1]],
+            len: vec![vec![2, 1], vec![1, 2]],
+            recv_off: vec![vec![0, 2], vec![0, 1]],
+        });
+        let spec = CollectiveSpec::AllToAllV {
+            send: vec![s0, s1],
+            recv: vec![r0, r1],
+            plan,
+        };
+        for (d, kernel) in comm.kernels(spec).into_iter().enumerate() {
+            enqueue(&mut world, &mut sim, d, streams[d], Box::new(kernel));
+        }
+        sim.run(&mut world).unwrap();
+        assert_eq!(world.devices[0].mem.snapshot(r0), vec![10.0, 11.0, 20.0]);
+        assert_eq!(world.devices[1].mem.snapshot(r1), vec![12.0, 21.0, 22.0]);
+    }
+
+    #[test]
+    fn collective_waits_for_slowest_rank() {
+        let (mut world, mut sim) = cluster(2);
+        let comm = comm(&world);
+        let streams = streams(&mut world);
+        let mut regions = Vec::new();
+        for d in 0..2 {
+            let buf = world.devices[d].mem.alloc(16);
+            regions.push(Region::new(buf, 0, 16));
+        }
+        let spec = CollectiveSpec::AllReduce {
+            regions: regions.clone(),
+        };
+        let expected_comm = comm.duration_of(&spec);
+        let kernels = comm.kernels(spec);
+        let mut iter = kernels.into_iter();
+        let k0 = iter.next().unwrap();
+        let k1 = iter.next().unwrap();
+        // Rank 1 is delayed by 1 ms before reaching the collective.
+        enqueue(&mut world, &mut sim, 0, streams[0], Box::new(k0));
+        enqueue(
+            &mut world,
+            &mut sim,
+            1,
+            streams[1],
+            Box::new(Delay(SimDuration::from_millis(1))),
+        );
+        enqueue(&mut world, &mut sim, 1, streams[1], Box::new(k1));
+        let end = sim.run(&mut world).unwrap();
+        let expected = SimDuration::from_millis(1) + expected_comm;
+        assert_eq!(end.as_nanos(), expected.as_nanos());
+    }
+
+    #[test]
+    fn collective_occupies_sms_while_in_flight() {
+        let (mut world, mut sim) = cluster(2);
+        let comm = comm(&world);
+        let streams = streams(&mut world);
+        let mut regions = Vec::new();
+        for d in 0..2 {
+            let buf = world.devices[d].mem.alloc(1 << 20);
+            regions.push(Region::new(buf, 0, 1 << 20));
+        }
+        let kernels = comm.kernels(CollectiveSpec::AllReduce { regions });
+        for (d, kernel) in kernels.into_iter().enumerate() {
+            enqueue(&mut world, &mut sim, d, streams[d], Box::new(kernel));
+        }
+        // Mid-flight, both devices hold the footprint.
+        sim.run_until(&mut world, sim::SimTime::from_nanos(100_000))
+            .unwrap();
+        assert_eq!(world.devices[0].comm_sms(), 16);
+        assert_eq!(world.devices[1].comm_sms(), 16);
+        sim.run(&mut world).unwrap();
+        assert_eq!(world.devices[0].comm_sms(), 0);
+        assert_eq!(world.devices[1].comm_sms(), 0);
+    }
+
+    #[test]
+    fn collectives_on_one_communicator_serialize() {
+        // Two concurrent AllReduces on separate streams but the same
+        // communicator must take the sum of their durations, not the max:
+        // they share the fabric rings (NCCL semantics).
+        let (mut world, mut sim) = cluster(2);
+        let comm = comm(&world);
+        let mut all_regions = Vec::new();
+        for _ in 0..2 {
+            let mut regions = Vec::new();
+            for d in 0..2 {
+                let buf = world.devices[d].mem.alloc(1 << 20);
+                regions.push(Region::new(buf, 0, 1 << 20));
+            }
+            all_regions.push(regions);
+        }
+        let spec0 = CollectiveSpec::AllReduce {
+            regions: all_regions[0].clone(),
+        };
+        let one = comm.duration_of(&spec0);
+        for regions in all_regions {
+            let spec = CollectiveSpec::AllReduce { regions };
+            for (d, kernel) in comm.kernels(spec).into_iter().enumerate() {
+                let stream = world.devices[d].create_stream();
+                enqueue(&mut world, &mut sim, d, stream, Box::new(kernel));
+            }
+        }
+        let end = sim.run(&mut world).unwrap();
+        let total = end.as_nanos() as f64;
+        assert!(
+            total >= 1.9 * one.as_nanos() as f64,
+            "collectives overlapped on one communicator: {total} vs {one}"
+        );
+    }
+
+    #[test]
+    fn independent_communicators_run_concurrently() {
+        // Two disjoint 2-rank communicators in a 4-GPU box do not share
+        // rings and overlap fully.
+        let (mut world, mut sim) = cluster(4);
+        let mut durations = Vec::new();
+        for pair in [[0usize, 1], [2, 3]] {
+            let comm = Communicator::new(pair.to_vec(), FabricSpec::rtx4090_pcie(), 16);
+            let mut regions = Vec::new();
+            for &d in &pair {
+                let buf = world.devices[d].mem.alloc(1 << 20);
+                regions.push(Region::new(buf, 0, 1 << 20));
+            }
+            let spec = CollectiveSpec::AllReduce { regions };
+            durations.push(comm.duration_of(&spec));
+            for (r, kernel) in comm.kernels(spec).into_iter().enumerate() {
+                let stream = world.devices[pair[r]].create_stream();
+                enqueue(&mut world, &mut sim, pair[r], stream, Box::new(kernel));
+            }
+        }
+        let end = sim.run(&mut world).unwrap();
+        let max = durations.iter().map(|d| d.as_nanos()).max().unwrap() as f64;
+        assert!(
+            (end.as_nanos() as f64) < 1.2 * max,
+            "disjoint communicators should overlap: {end:?}"
+        );
+    }
+
+    #[test]
+    fn duration_of_matches_cost_model() {
+        let (world, _) = cluster(4);
+        let comm = comm(&world);
+        let regions: Vec<Region> = (0..4).map(|_| Region::new(0, 0, 1 << 20)).collect();
+        let spec = CollectiveSpec::AllReduce { regions };
+        let expected = collective_duration(
+            Primitive::AllReduce,
+            (1u64 << 20) * BYTES_PER_ELEM,
+            4,
+            comm.fabric(),
+        );
+        assert_eq!(comm.duration_of(&spec), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal counts")]
+    fn mismatched_allreduce_counts_panic() {
+        let (world, _) = cluster(2);
+        let comm = comm(&world);
+        let _ = comm.kernels(CollectiveSpec::AllReduce {
+            regions: vec![Region::new(0, 0, 4), Region::new(0, 0, 8)],
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two ranks")]
+    fn single_rank_communicator_panics() {
+        let _ = Communicator::new(vec![0], FabricSpec::rtx4090_pcie(), 16);
+    }
+}

@@ -1,0 +1,139 @@
+//! One-sided point-to-point copies (NVLink peer writes / `ncclSend`+`Recv`
+//! fused into a put), used by the decomposition baselines.
+
+use gpu_sim::cluster::Cluster;
+use gpu_sim::device::DeviceId;
+use gpu_sim::memory::BufferId;
+use gpu_sim::stream::{Kernel, LaunchCtx};
+use gpu_sim::ClusterSim;
+use interconnect::FabricSpec;
+
+use crate::cost::BYTES_PER_ELEM;
+
+/// A one-sided copy of `count` elements from this device's buffer into a
+/// peer's buffer, enqueued on the *source* rank's stream. The destination
+/// does not participate (peer-to-peer put semantics); callers needing
+/// arrival ordering should follow up with events.
+pub struct P2pCopy {
+    /// Fabric the copy crosses.
+    pub fabric: FabricSpec,
+    /// Source buffer (on the launching device).
+    pub src_buf: BufferId,
+    /// Source element offset.
+    pub src_off: usize,
+    /// Destination device.
+    pub dst_dev: DeviceId,
+    /// Destination buffer.
+    pub dst_buf: BufferId,
+    /// Destination element offset.
+    pub dst_off: usize,
+    /// Element count.
+    pub count: usize,
+    /// SMs held on the source device while the copy is in flight.
+    pub sm_footprint: u32,
+}
+
+impl Kernel for P2pCopy {
+    fn launch(self: Box<Self>, ctx: LaunchCtx, world: &mut Cluster, sim: &mut ClusterSim) {
+        assert!(
+            self.fabric.peer_to_peer,
+            "P2pCopy requires a peer-to-peer capable fabric"
+        );
+        let src_dev = ctx.device;
+        world.devices[src_dev].occupy_comm_sms(self.sm_footprint);
+        let noise = 1.0
+            + world.devices[src_dev]
+                .rng
+                .uniform(0.0, world.noise.comm_frac.max(0.0));
+        let duration = self
+            .fabric
+            .p2p
+            .transfer_time(self.count as u64 * BYTES_PER_ELEM)
+            .mul_f64(noise);
+        sim.schedule_in(duration, move |w, s| {
+            if w.functional {
+                let payload: Vec<f32> = {
+                    let data = w.devices[src_dev].mem.data(self.src_buf);
+                    data[self.src_off..self.src_off + self.count].to_vec()
+                };
+                let data = w.devices[self.dst_dev].mem.data_mut(self.dst_buf);
+                data[self.dst_off..self.dst_off + self.count].copy_from_slice(&payload);
+            }
+            w.devices[src_dev].release_comm_sms(self.sm_footprint);
+            ctx.completion.finish(w, s);
+        });
+    }
+
+    fn name(&self) -> &'static str {
+        "p2p_copy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::arch::GpuArch;
+    use gpu_sim::stream::enqueue;
+    use sim::Sim;
+
+    #[test]
+    fn copies_data_between_devices() {
+        let mut world = Cluster::new(2, GpuArch::a800(), true, 1);
+        let mut sim: ClusterSim = Sim::new();
+        let src = world.devices[0].mem.alloc_init(&[1.0, 2.0, 3.0, 4.0]);
+        let dst = world.devices[1].mem.alloc(4);
+        let s = world.devices[0].create_stream();
+        enqueue(
+            &mut world,
+            &mut sim,
+            0,
+            s,
+            Box::new(P2pCopy {
+                fabric: FabricSpec::a800_nvlink(),
+                src_buf: src,
+                src_off: 1,
+                dst_dev: 1,
+                dst_buf: dst,
+                dst_off: 2,
+                count: 2,
+                sm_footprint: 8,
+            }),
+        );
+        let end = sim.run(&mut world).unwrap();
+        assert_eq!(
+            world.devices[1].mem.snapshot(dst),
+            vec![0.0, 0.0, 2.0, 3.0]
+        );
+        let expected = FabricSpec::a800_nvlink()
+            .p2p
+            .transfer_time(2 * BYTES_PER_ELEM);
+        assert_eq!(end.as_nanos(), expected.as_nanos());
+        assert_eq!(world.devices[0].comm_sms(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "peer-to-peer")]
+    fn pcie_fabric_rejects_p2p() {
+        let mut world = Cluster::new(2, GpuArch::rtx4090(), false, 1);
+        let mut sim: ClusterSim = Sim::new();
+        let s = world.devices[0].create_stream();
+        let b = world.devices[0].mem.alloc(4);
+        enqueue(
+            &mut world,
+            &mut sim,
+            0,
+            s,
+            Box::new(P2pCopy {
+                fabric: FabricSpec::rtx4090_pcie(),
+                src_buf: b,
+                src_off: 0,
+                dst_dev: 1,
+                dst_buf: b,
+                dst_off: 0,
+                count: 4,
+                sm_footprint: 8,
+            }),
+        );
+        sim.run(&mut world).unwrap();
+    }
+}

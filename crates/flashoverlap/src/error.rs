@@ -1,0 +1,86 @@
+//! Error types of the FlashOverlap library.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by plan construction, tuning, and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashOverlapError {
+    /// A wave partition's group sizes do not sum to the schedule's wave
+    /// count.
+    PartitionMismatch {
+        /// Waves the partition accounts for.
+        partition_waves: u32,
+        /// Waves the schedule actually has.
+        schedule_waves: u32,
+    },
+    /// The problem shape is incompatible with the primitive's reordering
+    /// constraints (e.g. ReduceScatter needs every tile's rows divisible
+    /// by the rank count).
+    IncompatibleShape {
+        /// Human-readable constraint description.
+        reason: String,
+    },
+    /// The simulation engine failed (runaway event loop).
+    Simulation(String),
+    /// Functional inputs are inconsistent with the plan (wrong matrix
+    /// shapes, wrong rank count, missing routing).
+    BadInputs {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FlashOverlapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashOverlapError::PartitionMismatch {
+                partition_waves,
+                schedule_waves,
+            } => write!(
+                f,
+                "wave partition covers {partition_waves} waves but the schedule has {schedule_waves}"
+            ),
+            FlashOverlapError::IncompatibleShape { reason } => {
+                write!(f, "incompatible shape: {reason}")
+            }
+            FlashOverlapError::Simulation(msg) => write!(f, "simulation failed: {msg}"),
+            FlashOverlapError::BadInputs { reason } => write!(f, "bad inputs: {reason}"),
+        }
+    }
+}
+
+impl Error for FlashOverlapError {}
+
+impl From<sim::SimError> for FlashOverlapError {
+    fn from(e: sim::SimError) -> Self {
+        FlashOverlapError::Simulation(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FlashOverlapError::PartitionMismatch {
+            partition_waves: 5,
+            schedule_waves: 8,
+        };
+        let text = e.to_string();
+        assert!(text.contains('5') && text.contains('8'));
+
+        let e = FlashOverlapError::IncompatibleShape {
+            reason: "rows not divisible".into(),
+        };
+        assert!(e.to_string().contains("rows not divisible"));
+    }
+
+    #[test]
+    fn sim_error_converts() {
+        let e: FlashOverlapError =
+            sim::SimError::EventBudgetExhausted { processed: 3 }.into();
+        assert!(matches!(e, FlashOverlapError::Simulation(_)));
+    }
+}

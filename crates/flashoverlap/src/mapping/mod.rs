@@ -1,0 +1,158 @@
+//! Execution-order-aware reordering (§3.3).
+//!
+//! Contiguous addresses are essential for communication bandwidth, but the
+//! swizzled tile execution order is address-incontiguous. FlashOverlap
+//! therefore packs finished tiles into a *reordered* buffer whose layout
+//! follows the wave schedule — so every group's data is one contiguous
+//! region a single NCCL call can send — and un-permutes after
+//! communication by fusing a gather into the next element-wise kernel.
+//!
+//! Each primitive constrains the legal reorderings differently (§3.3.3):
+//!
+//! - [`tile_map::TileMapping`] (AllReduce): whole tiles reorder freely as
+//!   long as all ranks agree.
+//! - [`subtile_map::SubtileMapping`] (ReduceScatter): tiles split into
+//!   per-destination row-interleaved subtiles so each rank's chunk holds
+//!   complete rows.
+//! - [`token_map::TokenMapping`] (All-to-All): rows (tokens) route to
+//!   per-destination memory pools.
+
+pub mod subtile_map;
+pub mod tile_map;
+pub mod token_map;
+
+pub use subtile_map::SubtileMapping;
+pub use tile_map::TileMapping;
+pub use token_map::TokenMapping;
+
+use gpu_sim::wave::WaveSchedule;
+
+use crate::partition::WavePartition;
+
+/// The wave-group structure shared by every mapping: which group each tile
+/// belongs to, the packed (reordered) tile order, and per-group tile
+/// counts (the counting-table thresholds of §3.2.4).
+#[derive(Debug, Clone)]
+pub struct GroupLayout {
+    /// Group id per address-order tile index.
+    pub group_of_tile: Vec<u32>,
+    /// Tiles in packed order: waves ascending, tile index ascending within
+    /// each wave (§3.3.4: `W_i` is sorted ascendingly).
+    pub reorder_order: Vec<u32>,
+    /// Tiles per group — the signaling thresholds.
+    pub group_tile_counts: Vec<u32>,
+}
+
+impl GroupLayout {
+    /// Derives the group layout from a planned wave schedule and a
+    /// partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition does not cover the schedule's waves; use
+    /// [`WavePartition::check_covers`] first for a recoverable error.
+    pub fn new(schedule: &WaveSchedule, partition: &WavePartition) -> Self {
+        assert_eq!(
+            partition.total_waves(),
+            schedule.num_waves(),
+            "partition/schedule wave mismatch"
+        );
+        let num_tiles = schedule.num_tiles() as usize;
+        let mut group_of_tile = vec![0u32; num_tiles];
+        let mut reorder_order = Vec::with_capacity(num_tiles);
+        let mut group_tile_counts = vec![0u32; partition.num_groups()];
+        for w in 0..schedule.num_waves() {
+            let g = partition.group_of_wave(w);
+            let mut wave_tiles: Vec<u32> = schedule.wave(w).to_vec();
+            wave_tiles.sort_unstable();
+            for &t in &wave_tiles {
+                group_of_tile[t as usize] = g as u32;
+                group_tile_counts[g] += 1;
+            }
+            reorder_order.extend(wave_tiles);
+        }
+        GroupLayout {
+            group_of_tile,
+            reorder_order,
+            group_tile_counts,
+        }
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.group_tile_counts.len()
+    }
+
+    /// Tiles (packed order) of group `g`.
+    pub fn group_tiles(&self, g: usize) -> impl Iterator<Item = u32> + '_ {
+        let start: u32 = self.group_tile_counts[..g].iter().sum();
+        let end = start + self.group_tile_counts[g];
+        self.reorder_order[start as usize..end as usize].iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::swizzle::Swizzle;
+    use gpu_sim::tile::{TileGrid, TileShape};
+
+    fn schedule() -> WaveSchedule {
+        // 2x4 grid of tiles, swizzle width 2, 2 tiles per wave => 4 waves
+        // (the Fig. 5 setup).
+        let grid = TileGrid::new(32, 64, TileShape::new(16, 16));
+        let order = Swizzle::Strip { width: 2 }.issue_order(&grid);
+        WaveSchedule::new(&order, 2)
+    }
+
+    #[test]
+    fn groups_count_their_tiles() {
+        let s = schedule();
+        let p = WavePartition::new(vec![1, 2, 1]);
+        let layout = GroupLayout::new(&s, &p);
+        assert_eq!(layout.group_tile_counts, vec![2, 4, 2]);
+        assert_eq!(layout.num_groups(), 3);
+    }
+
+    #[test]
+    fn reorder_order_sorts_within_wave() {
+        let s = schedule();
+        // Issue order: 0,1,4,5,2,3,6,7 with waves of 2 => waves are
+        // {0,1},{4,5},{2,3},{6,7}; all already sorted.
+        let p = WavePartition::per_wave(4);
+        let layout = GroupLayout::new(&s, &p);
+        assert_eq!(layout.reorder_order, vec![0, 1, 4, 5, 2, 3, 6, 7]);
+    }
+
+    #[test]
+    fn reorder_order_is_permutation() {
+        let grid = TileGrid::new(48, 80, TileShape::new(16, 16));
+        let order = Swizzle::Strip { width: 3 }.issue_order(&grid);
+        let s = WaveSchedule::new(&order, 5);
+        let p = WavePartition::single(s.num_waves());
+        let layout = GroupLayout::new(&s, &p);
+        let mut sorted = layout.reorder_order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..grid.num_tiles()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn group_of_tile_matches_wave_group() {
+        let s = schedule();
+        let p = WavePartition::new(vec![2, 2]);
+        let layout = GroupLayout::new(&s, &p);
+        for t in 0..s.num_tiles() {
+            let expected = p.group_of_wave(s.wave_of(t)) as u32;
+            assert_eq!(layout.group_of_tile[t as usize], expected);
+        }
+    }
+
+    #[test]
+    fn group_tiles_iterates_packed_order() {
+        let s = schedule();
+        let p = WavePartition::new(vec![1, 2, 1]);
+        let layout = GroupLayout::new(&s, &p);
+        let g1: Vec<u32> = layout.group_tiles(1).collect();
+        assert_eq!(g1, vec![4, 5, 2, 3]);
+    }
+}

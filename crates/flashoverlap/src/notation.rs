@@ -1,0 +1,18 @@
+//! Paper-notation glossary (Table 2) — where each symbol lives in code.
+//!
+//! | Paper | Meaning | Here |
+//! |---|---|---|
+//! | `M` | GEMM input dimension | [`gpu_sim::gemm::GemmDims::m`] |
+//! | `N` | GEMM output dimension | [`gpu_sim::gemm::GemmDims::n`] |
+//! | `K` | GEMM accumulation dimension | [`gpu_sim::gemm::GemmDims::k`] |
+//! | `T` | number of waves | [`crate::OverlapPlan::total_waves`] |
+//! | `P` | number of groups | [`crate::WavePartition::num_groups`] |
+//! | `W_i` | the i-th wave (tile set) | [`gpu_sim::wave::WaveSchedule::wave`] |
+//! | `G_j` | the j-th group (wave range) | [`crate::WavePartition::wave_range`] |
+//! | `|G_j|` | waves in group j | [`crate::WavePartition::sizes`] |
+//! | `S_1`, `S_P` | head/tail pruning bounds (§4.1.4) | [`crate::tuner::DEFAULT_S1`], [`crate::tuner::DEFAULT_SP`] |
+//! | counting table | per-group finished-tile counters (§3.2.4) | [`gpu_sim::counter::CounterTable`] |
+//! | mapping table | reordered tile indices (§3.3.4) | [`crate::mapping`] |
+//!
+//! This module carries no code — it exists so the paper-to-implementation
+//! correspondence is part of the rustdoc.

@@ -1,0 +1,434 @@
+//! Multi-layer overlapped pipelines (extension).
+//!
+//! The paper evaluates single operators; real deployments chain them:
+//! every transformer layer runs GEMM + collective (+ norm/activation)
+//! twice, feeding the next layer. A [`Pipeline`] executes a sequence of
+//! tuned [`OverlapPlan`]s in *one* simulation — each layer's GEMM is
+//! enqueued behind the previous layer's fused epilogue on the same
+//! compute stream, so launch behaviour, SM contention, and signaling all
+//! compose exactly as they would on a device, and in functional mode
+//! real activations flow layer to layer.
+
+use gpu_sim::elementwise::ElementwiseOp;
+use gpu_sim::gemm::GemmDims;
+use gpu_sim::ClusterSim;
+use sim::{Sim, SimDuration};
+use tensor::Matrix;
+
+use crate::error::FlashOverlapError;
+use crate::runtime::{CommPattern, FunctionalInputs, OverlapPlan, RunReport, StreamCtx};
+use crate::system::SystemSpec;
+use crate::tuner::predictive_search;
+
+/// One pipeline stage: a communicated GEMM plus the element-wise
+/// epilogue that feeds the next stage.
+pub struct LayerSpec {
+    /// Local GEMM dimensions of this layer.
+    pub dims: GemmDims,
+    /// Communication pattern after the GEMM.
+    pub pattern: CommPattern,
+    /// Fused post-communication epilogue. Required for every layer except
+    /// the last (the next layer consumes its logical output).
+    pub epilogue: Option<ElementwiseOp>,
+}
+
+/// A tuned multi-layer pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use flashoverlap::pipeline::{LayerSpec, Pipeline};
+/// use flashoverlap::runtime::CommPattern;
+/// use flashoverlap::SystemSpec;
+/// use gpu_sim::elementwise::ElementwiseOp;
+/// use gpu_sim::gemm::GemmDims;
+/// use std::rc::Rc;
+///
+/// let dims = GemmDims::new(2048, 2048, 2048);
+/// let rms = ElementwiseOp::RmsNorm { weight: Rc::new(vec![1.0; 2048]), eps: 1e-6 };
+/// let pipeline = Pipeline::tuned(
+///     SystemSpec::rtx4090(4),
+///     vec![
+///         LayerSpec { dims, pattern: CommPattern::AllReduce, epilogue: Some(rms) },
+///         LayerSpec { dims, pattern: CommPattern::AllReduce, epilogue: None },
+///     ],
+/// )?;
+/// let report = pipeline.execute()?;
+/// assert_eq!(report.layers.len(), 2);
+/// # Ok::<(), flashoverlap::FlashOverlapError>(())
+/// ```
+pub struct Pipeline {
+    /// Target system.
+    pub system: SystemSpec,
+    plans: Vec<OverlapPlan>,
+    epilogues: Vec<Option<ElementwiseOp>>,
+}
+
+/// Timing results of a pipeline execution.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// End-to-end simulated time.
+    pub total: SimDuration,
+    /// Per-layer operator reports (latencies are absolute simulation
+    /// times, monotone across layers).
+    pub layers: Vec<RunReport>,
+}
+
+/// Functional pipeline results.
+#[derive(Debug, Clone)]
+pub struct FunctionalPipelineReport {
+    /// Timing.
+    pub report: PipelineReport,
+    /// Per-rank logical outputs of the final layer.
+    pub outputs: Vec<Matrix>,
+}
+
+impl Pipeline {
+    /// Builds a pipeline, tuning every layer's wave partition with the
+    /// predictive search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashOverlapError::BadInputs`] if a non-final layer lacks
+    /// an epilogue or consecutive layers' shapes do not chain
+    /// (`layer l` logical output must be the `M x K` activation of
+    /// `layer l+1` on every rank), and propagates plan-construction
+    /// errors.
+    pub fn tuned(system: SystemSpec, layers: Vec<LayerSpec>) -> Result<Self, FlashOverlapError> {
+        if layers.is_empty() {
+            return Err(FlashOverlapError::BadInputs {
+                reason: "pipeline needs at least one layer".into(),
+            });
+        }
+        let mut plans = Vec::with_capacity(layers.len());
+        let mut epilogues = Vec::with_capacity(layers.len());
+        for (i, layer) in layers.into_iter().enumerate() {
+            let outcome = predictive_search(layer.dims, layer.pattern.primitive(), &system);
+            let plan = OverlapPlan::new(
+                layer.dims,
+                layer.pattern,
+                system.clone(),
+                outcome.partition,
+            )?;
+            if let Some(prev) = plans.last() {
+                let prev_plan: &OverlapPlan = prev;
+                let (rows, cols) = prev_plan.logical_shape(0);
+                if matches!(prev_plan.pattern(), CommPattern::AllToAll { .. }) {
+                    return Err(FlashOverlapError::BadInputs {
+                        reason: "cannot chain after All-to-All: per-rank row counts vary"
+                            .into(),
+                    });
+                }
+                if rows != plan.dims.m as usize || cols != plan.dims.k as usize {
+                    return Err(FlashOverlapError::BadInputs {
+                        reason: format!(
+                            "layer {i} expects {}x{} activations but the previous layer \
+                             produces {rows}x{cols}",
+                            plan.dims.m, plan.dims.k
+                        ),
+                    });
+                }
+                if epilogues.last().is_some_and(Option::is_none) {
+                    return Err(FlashOverlapError::BadInputs {
+                        reason: format!(
+                            "layer {} needs an epilogue to feed layer {i}",
+                            i - 1
+                        ),
+                    });
+                }
+            }
+            if let Some(op) = &layer.epilogue {
+                plan.validate_epilogue(op)?;
+            }
+            plans.push(plan);
+            epilogues.push(layer.epilogue);
+        }
+        Ok(Pipeline {
+            system,
+            plans,
+            epilogues,
+        })
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// The tuned per-layer plans.
+    pub fn plans(&self) -> &[OverlapPlan] {
+        &self.plans
+    }
+
+    /// Runs the whole pipeline in timing mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn execute(&self) -> Result<PipelineReport, FlashOverlapError> {
+        let mut world = self.system.build_cluster(false);
+        let mut sim: ClusterSim = Sim::new();
+        let (reports, _) = self.enqueue_all(&mut world, &mut sim, None)?;
+        let end = sim.run(&mut world)?;
+        Ok(PipelineReport {
+            total: end - sim::SimTime::ZERO,
+            layers: reports
+                .into_iter()
+                .map(crate::runtime::Probes::into_report)
+                .collect(),
+        })
+    }
+
+    /// Runs the whole pipeline functionally: layer 0 consumes
+    /// `inputs.a`; every later layer consumes the previous layer's fused
+    /// epilogue output; `weights[l]` is layer `l`'s per-rank `K x N`
+    /// operand set.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed inputs or simulation failure.
+    pub fn execute_functional(
+        &self,
+        first_a: &[Matrix],
+        weights: &[Vec<Matrix>],
+    ) -> Result<FunctionalPipelineReport, FlashOverlapError> {
+        let n = self.system.n_gpus;
+        if weights.len() != self.plans.len() {
+            return Err(FlashOverlapError::BadInputs {
+                reason: format!(
+                    "{} weight sets for {} layers",
+                    weights.len(),
+                    self.plans.len()
+                ),
+            });
+        }
+        let mut world = self.system.build_cluster(true);
+        let mut sim: ClusterSim = Sim::new();
+        let inputs: Vec<FunctionalInputs> = (0..self.plans.len())
+            .map(|l| FunctionalInputs {
+                a: if l == 0 {
+                    first_a.to_vec()
+                } else {
+                    // Placeholder with the right shape; the runtime reads
+                    // activations from the previous layer's buffer.
+                    vec![
+                        Matrix::zeros(
+                            self.plans[l].dims.m as usize,
+                            self.plans[l].dims.k as usize
+                        );
+                        n
+                    ]
+                },
+                b: weights[l].clone(),
+            })
+            .collect();
+        for (l, inp) in inputs.iter().enumerate() {
+            self.plans[l].check_inputs_pub(inp)?;
+        }
+        let (reports, handles) = self.enqueue_all(&mut world, &mut sim, Some(&inputs))?;
+        let end = sim.run(&mut world)?;
+        let last = self.plans.len() - 1;
+        let outputs = match &self.epilogues[last] {
+            Some(_) => (0..n)
+                .map(|d| {
+                    let (rows, cols) = self.plans[last].logical_shape(d);
+                    let buf = handles.epilogue_bufs[d].expect("epilogue requested");
+                    Matrix::from_vec(rows, cols, world.devices[d].mem.snapshot(buf))
+                })
+                .collect(),
+            None => self.plans[last].extract_outputs(&world, &handles),
+        };
+        Ok(FunctionalPipelineReport {
+            report: PipelineReport {
+                total: end - sim::SimTime::ZERO,
+                layers: reports
+                    .into_iter()
+                    .map(crate::runtime::Probes::into_report)
+                    .collect(),
+            },
+            outputs,
+        })
+    }
+
+    fn enqueue_all(
+        &self,
+        world: &mut gpu_sim::Cluster,
+        sim: &mut ClusterSim,
+        inputs: Option<&[FunctionalInputs]>,
+    ) -> Result<(Vec<crate::runtime::Probes>, crate::runtime::ProgramHandles), FlashOverlapError>
+    {
+        let n = self.system.n_gpus;
+        let streams = StreamCtx::create(world, n);
+        let mut probes = Vec::with_capacity(self.plans.len());
+        let mut prev_outputs: Option<Vec<gpu_sim::memory::BufferId>> = None;
+        let mut last_handles = None;
+        for (l, plan) in self.plans.iter().enumerate() {
+            let layer_inputs = inputs.map(|i| &i[l]);
+            let handles = plan.enqueue_program_on(
+                world,
+                sim,
+                layer_inputs,
+                self.epilogues[l].as_ref(),
+                &streams,
+                prev_outputs.as_deref(),
+            );
+            prev_outputs = self.epilogues[l].as_ref().map(|_| {
+                (0..n)
+                    .map(|d| handles.epilogue_bufs[d].expect("epilogue requested"))
+                    .collect()
+            });
+            probes.push(handles.probes_snapshot());
+            last_handles = Some(handles);
+        }
+        Ok((probes, last_handles.expect("at least one layer")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+    use tensor::{allclose, gemm, rmsnorm};
+
+    fn small_system(n: usize) -> SystemSpec {
+        let mut spec = SystemSpec::rtx4090(n);
+        spec.arch.sm_count = 8;
+        spec.comm_sms = 2;
+        spec
+    }
+
+    fn rms_op(cols: usize) -> ElementwiseOp {
+        ElementwiseOp::RmsNorm {
+            weight: Rc::new(vec![1.0; cols]),
+            eps: 1e-6,
+        }
+    }
+
+    #[test]
+    fn two_layer_pipeline_matches_reference_numerics() {
+        // Layer 1: (256x128x64) + AllReduce + RMSNorm; layer 2 consumes
+        // the normalized activations: (256x64x128) + AllReduce.
+        let system = small_system(2);
+        let l1 = GemmDims::new(256, 128, 64);
+        let l2 = GemmDims::new(256, 64, 128);
+        let pipeline = Pipeline::tuned(
+            system,
+            vec![
+                LayerSpec {
+                    dims: l1,
+                    pattern: CommPattern::AllReduce,
+                    epilogue: Some(rms_op(128)),
+                },
+                LayerSpec {
+                    dims: l2,
+                    pattern: CommPattern::AllReduce,
+                    epilogue: None,
+                },
+            ],
+        )
+        .unwrap();
+
+        let mut rng = sim::DetRng::new(8);
+        let first_a: Vec<Matrix> = (0..2).map(|_| Matrix::random(256, 64, &mut rng)).collect();
+        let weights: Vec<Vec<Matrix>> = vec![
+            (0..2).map(|_| Matrix::random(64, 128, &mut rng)).collect(),
+            (0..2).map(|_| Matrix::random(128, 64, &mut rng)).collect(),
+        ];
+        let result = pipeline.execute_functional(&first_a, &weights).unwrap();
+
+        // Reference: layer 1 reduce + rmsnorm, then layer 2 reduce.
+        let h1 = gemm(&first_a[0], &weights[0][0]).add(&gemm(&first_a[1], &weights[0][1]));
+        let act = rmsnorm(&h1, &vec![1.0; 128], 1e-6);
+        let h2 = gemm(&act, &weights[1][0]).add(&gemm(&act, &weights[1][1]));
+        for (d, out) in result.outputs.iter().enumerate() {
+            assert!(allclose(out, &h2, 5e-2), "rank {d}");
+        }
+        assert_eq!(result.report.layers.len(), 2);
+        assert!(result.report.total >= result.report.layers[1].latency);
+    }
+
+    #[test]
+    fn pipeline_timing_is_monotone_across_layers() {
+        let system = SystemSpec::rtx4090(4);
+        let dims = GemmDims::new(2048, 2048, 2048);
+        let pipeline = Pipeline::tuned(
+            system,
+            vec![
+                LayerSpec {
+                    dims,
+                    pattern: CommPattern::AllReduce,
+                    epilogue: Some(rms_op(2048)),
+                },
+                LayerSpec {
+                    dims,
+                    pattern: CommPattern::AllReduce,
+                    epilogue: Some(rms_op(2048)),
+                },
+                LayerSpec {
+                    dims,
+                    pattern: CommPattern::AllReduce,
+                    epilogue: None,
+                },
+            ],
+        )
+        .unwrap();
+        let report = pipeline.execute().unwrap();
+        assert_eq!(report.layers.len(), 3);
+        for pair in report.layers.windows(2) {
+            assert!(pair[0].latency < pair[1].latency, "layers run in order");
+        }
+        assert!(report.total >= report.layers[2].latency);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let system = small_system(2);
+        let err = Pipeline::tuned(
+            system,
+            vec![
+                LayerSpec {
+                    dims: GemmDims::new(256, 128, 64),
+                    pattern: CommPattern::AllReduce,
+                    epilogue: Some(rms_op(128)),
+                },
+                LayerSpec {
+                    dims: GemmDims::new(256, 64, 999),
+                    pattern: CommPattern::AllReduce,
+                    epilogue: None,
+                },
+            ],
+        )
+        .map(|_| ()).unwrap_err();
+        assert!(matches!(err, FlashOverlapError::BadInputs { .. }));
+    }
+
+    #[test]
+    fn missing_intermediate_epilogue_is_rejected() {
+        let system = small_system(2);
+        let err = Pipeline::tuned(
+            system,
+            vec![
+                LayerSpec {
+                    dims: GemmDims::new(256, 128, 64),
+                    pattern: CommPattern::AllReduce,
+                    epilogue: None,
+                },
+                LayerSpec {
+                    dims: GemmDims::new(256, 64, 128),
+                    pattern: CommPattern::AllReduce,
+                    epilogue: None,
+                },
+            ],
+        )
+        .map(|_| ()).unwrap_err();
+        assert!(matches!(err, FlashOverlapError::BadInputs { .. }));
+    }
+
+    #[test]
+    fn empty_pipeline_is_rejected() {
+        assert!(matches!(
+            Pipeline::tuned(small_system(2), vec![]).map(|_| ()),
+            Err(FlashOverlapError::BadInputs { .. })
+        ));
+    }
+}

@@ -1,0 +1,1422 @@
+//! The FlashOverlap runtime (§3.1, §5).
+//!
+//! One simulated run executes, per rank:
+//!
+//! - a single GEMM kernel on the *compute stream*, with the
+//!   pre-communication reordering packed into its epilogue and a counting
+//!   table hook;
+//! - per wave group, a signaling kernel ([`gpu_sim::stream::WaitCounter`])
+//!   followed by one collective call on the *communication stream*.
+//!
+//! The GEMM main loop is never interrupted; communication of group `G_i`
+//! starts as soon as the counting table shows all of `G_i`'s tiles
+//! finished, while later waves keep computing. The collective is a plain
+//! library call over the group's contiguous packed region — exactly the
+//! NCCL-call structure of the real system.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use collectives::{CollectiveSpec, Communicator, Primitive, Region};
+use gpu_sim::arch::RemapGranularity;
+use gpu_sim::elementwise::{ElementwiseKernel, ElementwiseOp, Gather};
+use gpu_sim::gemm::{CounterHook, EpilogueWriter, GemmConfig, GemmDims, GemmKernel};
+use gpu_sim::memory::BufferId;
+use gpu_sim::stream::{enqueue, Callback, RecordEvent, WaitCounter, WaitEvent};
+use gpu_sim::wave::WaveSchedule;
+use gpu_sim::{Cluster, ClusterSim};
+use sim::{Sim, SimDuration, SimTime};
+use tensor::Matrix;
+
+use crate::error::FlashOverlapError;
+use crate::mapping::{SubtileMapping, TileMapping, TokenMapping};
+use crate::partition::WavePartition;
+use crate::system::SystemSpec;
+use crate::writers::{PackedTileWriter, SubtilePackedWriter, TokenPoolWriter};
+
+/// The communication pattern following the GEMM.
+#[derive(Debug, Clone)]
+pub enum CommPattern {
+    /// Tensor-parallel AllReduce of partial GEMM results.
+    AllReduce,
+    /// ReduceScatter of partial GEMM results (TP training / FSDP).
+    ReduceScatter,
+    /// Expert-parallel All-to-All with per-rank token routing
+    /// (`routing[rank][row] = destination rank`).
+    AllToAll {
+        /// Token routing tables.
+        routing: Vec<Vec<usize>>,
+    },
+    /// Column-parallel AllGather: each rank's local `M x N` output is
+    /// one column shard; every rank ends up with the `M x (N * n)`
+    /// concatenation.
+    AllGather,
+}
+
+impl CommPattern {
+    /// The collective primitive this pattern uses.
+    pub fn primitive(&self) -> Primitive {
+        match self {
+            CommPattern::AllReduce => Primitive::AllReduce,
+            CommPattern::ReduceScatter => Primitive::ReduceScatter,
+            CommPattern::AllToAll { .. } => Primitive::AllToAll,
+            CommPattern::AllGather => Primitive::AllGather,
+        }
+    }
+}
+
+enum PlanMapping {
+    Tile(Rc<TileMapping>),
+    Subtile(Rc<SubtileMapping>),
+    Token(Rc<TokenMapping>),
+    /// AllGather shares the tile-level packing; only the communication
+    /// call and the post-remap differ.
+    Gather(Rc<TileMapping>),
+}
+
+/// A fully resolved overlap execution plan: shape, system, GEMM
+/// configuration, wave partition, and reordering mapping.
+///
+/// # Examples
+///
+/// ```
+/// use flashoverlap::{OverlapPlan, SystemSpec};
+/// use flashoverlap::runtime::CommPattern;
+/// use gpu_sim::gemm::GemmDims;
+///
+/// // Tune and run a tensor-parallel GEMM+AllReduce on 4 simulated 4090s.
+/// let system = SystemSpec::rtx4090(4);
+/// let dims = GemmDims::new(4096, 8192, 8192);
+/// let plan = OverlapPlan::tuned(dims, CommPattern::AllReduce, system)?;
+/// let report = plan.execute()?;
+/// assert!(report.gemm_done <= report.latency);
+/// # Ok::<(), flashoverlap::FlashOverlapError>(())
+/// ```
+pub struct OverlapPlan {
+    /// Target system.
+    pub system: SystemSpec,
+    /// Per-rank local GEMM dimensions.
+    pub dims: GemmDims,
+    /// GEMM kernel configuration (CUTLASS-profiler stand-in output).
+    pub config: GemmConfig,
+    /// Planned wave schedule (with communication SMs subtracted, Alg. 1
+    /// line 3).
+    pub schedule: WaveSchedule,
+    /// The wave partition into groups.
+    pub partition: WavePartition,
+    pattern: CommPattern,
+    mapping: PlanMapping,
+}
+
+/// Timing results of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// GEMM launch to final completion (GEMM and all communication): the
+    /// operator latency compared against baselines.
+    pub latency: SimDuration,
+    /// When the GEMM kernel itself finished.
+    pub gemm_done: SimDuration,
+    /// Completion time of each group's collective (zero for skipped
+    /// zero-payload groups).
+    pub group_comm_done: Vec<SimDuration>,
+    /// Completion of the fused post-communication epilogue kernel, when
+    /// one was requested (`None` otherwise). This is the end-to-end time
+    /// including the remap of Fig. 6.
+    pub epilogue_done: Option<SimDuration>,
+}
+
+/// Per-rank input operands for a functional run.
+#[derive(Debug, Clone)]
+pub struct FunctionalInputs {
+    /// Per-rank `M x K` activations.
+    pub a: Vec<Matrix>,
+    /// Per-rank `K x N` weights.
+    pub b: Vec<Matrix>,
+}
+
+impl FunctionalInputs {
+    /// Generates deterministic random inputs for a problem.
+    pub fn random(dims: GemmDims, n_ranks: usize, seed: u64) -> Self {
+        let mut rng = sim::DetRng::new(seed);
+        let a = (0..n_ranks)
+            .map(|_| Matrix::random(dims.m as usize, dims.k as usize, &mut rng))
+            .collect();
+        let b = (0..n_ranks)
+            .map(|_| Matrix::random(dims.k as usize, dims.n as usize, &mut rng))
+            .collect();
+        FunctionalInputs { a, b }
+    }
+}
+
+/// Results of a functional (data-carrying) run.
+#[derive(Debug, Clone)]
+pub struct FunctionalReport {
+    /// Timing (identical machinery to a timing-mode run).
+    pub report: RunReport,
+    /// Per-rank logical outputs after the post-communication remap: the
+    /// full reduced `M x N` matrix for AllReduce, the rank's `M/n x N`
+    /// row slice (rows `r % n == rank`, ascending) for ReduceScatter, and
+    /// the received tokens (source-major, row-ascending) for All-to-All.
+    pub outputs: Vec<Matrix>,
+}
+
+impl OverlapPlan {
+    /// Builds a plan for `dims` with an explicit wave partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the partition does not cover the planned wave
+    /// count or the shape violates the pattern's reordering constraints.
+    pub fn new(
+        dims: GemmDims,
+        pattern: CommPattern,
+        system: SystemSpec,
+        partition: WavePartition,
+    ) -> Result<Self, FlashOverlapError> {
+        let mut config = GemmConfig::choose(dims, &system.arch);
+        if matches!(pattern, CommPattern::AllToAll { .. }) {
+            // Token pools fill when a row *band* completes (every tile
+            // covering the row). Column-strip swizzling finishes each band
+            // only in its last strip — near the end of the GEMM — which
+            // would serialize all All-to-All traffic behind the
+            // computation. Rasterizing along rows completes bands
+            // progressively; the real system co-selects the rasterization
+            // with the comm pattern in its profiler step.
+            config.swizzle = gpu_sim::swizzle::Swizzle::StripRows { height: 1 };
+        }
+        let grid = config.grid(dims);
+        let issue = config.swizzle.issue_order(&grid);
+        let schedule = WaveSchedule::new(&issue, system.compute_sms());
+        partition.check_covers(schedule.num_waves())?;
+        let mapping = match &pattern {
+            CommPattern::AllReduce => {
+                PlanMapping::Tile(Rc::new(TileMapping::build(grid, &schedule, &partition)))
+            }
+            CommPattern::ReduceScatter => {
+                if !(dims.m as usize).is_multiple_of(system.n_gpus) {
+                    return Err(FlashOverlapError::IncompatibleShape {
+                        reason: format!(
+                            "ReduceScatter output rows {} must divide across {} ranks",
+                            dims.m, system.n_gpus
+                        ),
+                    });
+                }
+                PlanMapping::Subtile(Rc::new(SubtileMapping::build(
+                    grid,
+                    &schedule,
+                    &partition,
+                    system.n_gpus,
+                )?))
+            }
+            CommPattern::AllToAll { routing } => {
+                if routing.len() != system.n_gpus {
+                    return Err(FlashOverlapError::BadInputs {
+                        reason: format!(
+                            "{} routing tables for {} ranks",
+                            routing.len(),
+                            system.n_gpus
+                        ),
+                    });
+                }
+                PlanMapping::Token(Rc::new(TokenMapping::build(
+                    grid, &schedule, &partition, routing,
+                )?))
+            }
+            CommPattern::AllGather => {
+                PlanMapping::Gather(Rc::new(TileMapping::build(grid, &schedule, &partition)))
+            }
+        };
+        Ok(OverlapPlan {
+            system,
+            dims,
+            config,
+            schedule,
+            partition,
+            pattern,
+            mapping,
+        })
+    }
+
+    /// The number of planned waves `T`.
+    pub fn total_waves(&self) -> u32 {
+        self.schedule.num_waves()
+    }
+
+    /// The communication primitive.
+    pub fn primitive(&self) -> Primitive {
+        self.pattern.primitive()
+    }
+
+    /// The communication pattern.
+    pub fn pattern(&self) -> &CommPattern {
+        &self.pattern
+    }
+
+    /// Per-group tile counts (the signaling thresholds).
+    pub fn group_tile_counts(&self) -> &[u32] {
+        match &self.mapping {
+            PlanMapping::Tile(m) | PlanMapping::Gather(m) => &m.layout.group_tile_counts,
+            PlanMapping::Subtile(m) => &m.layout.group_tile_counts,
+            PlanMapping::Token(m) => &m.layout.group_tile_counts,
+        }
+    }
+
+    /// Per-group communicated element counts (per rank; the max across
+    /// ranks for All-to-All).
+    pub fn group_payload_elems(&self) -> Vec<usize> {
+        match &self.mapping {
+            PlanMapping::Tile(m) | PlanMapping::Gather(m) => {
+                m.group_regions.iter().map(|&(_, c)| c).collect()
+            }
+            PlanMapping::Subtile(m) => m.send_group_regions.iter().map(|&(_, c)| c).collect(),
+            PlanMapping::Token(m) => (0..m.group_plans.len())
+                .map(|g| {
+                    (0..m.n_ranks)
+                        .map(|src| m.group_send_elems(g, src))
+                        .max()
+                        .unwrap_or(0)
+                })
+                .collect(),
+        }
+    }
+
+    /// Runs the plan in timing mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashOverlapError::Simulation`] if the simulation engine
+    /// fails.
+    pub fn execute(&self) -> Result<RunReport, FlashOverlapError> {
+        let mut world = self.system.build_cluster(false);
+        let mut sim: ClusterSim = Sim::new();
+        let handles = self.enqueue_program(&mut world, &mut sim, None, None);
+        sim.run(&mut world)?;
+        check_quiescent(&world)?;
+        Ok(handles.probes.into_report())
+    }
+
+    /// Runs `iterations` back-to-back instances of the plan in one
+    /// simulation (kernel launches queued on the same streams, as a
+    /// serving loop would) and returns the steady-state average latency.
+    ///
+    /// The first iteration pays cold-start effects (no prior comm
+    /// backlog); later iterations expose stream back-pressure between
+    /// consecutive operators, which single-shot measurement misses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashOverlapError::Simulation`] on engine failure, and
+    /// [`FlashOverlapError::BadInputs`] if `iterations == 0`.
+    pub fn execute_iterations(
+        &self,
+        iterations: usize,
+    ) -> Result<SimDuration, FlashOverlapError> {
+        if iterations == 0 {
+            return Err(FlashOverlapError::BadInputs {
+                reason: "need at least one iteration".into(),
+            });
+        }
+        let mut world = self.system.build_cluster(false);
+        let mut sim: ClusterSim = Sim::new();
+        let streams = StreamCtx::create(&mut world, self.system.n_gpus);
+        for _ in 0..iterations {
+            let _ = self.enqueue_program_on(&mut world, &mut sim, None, None, &streams, None);
+        }
+        let end = sim.run(&mut world)?;
+        Ok(SimDuration::from_nanos(
+            (end - SimTime::ZERO).as_nanos() / iterations as u64,
+        ))
+    }
+
+    /// Runs the plan in timing mode with per-stream operation spans
+    /// recorded, for timeline rendering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashOverlapError::Simulation`] on engine failure.
+    pub fn execute_traced(
+        &self,
+    ) -> Result<(RunReport, Vec<gpu_sim::OpSpan>), FlashOverlapError> {
+        let mut world = self.system.build_cluster(false);
+        world.enable_op_spans();
+        let mut sim: ClusterSim = Sim::new();
+        let handles = self.enqueue_program(&mut world, &mut sim, None, None);
+        sim.run(&mut world)?;
+        let spans = world.op_spans.take().unwrap_or_default();
+        Ok((handles.probes.into_report(), spans))
+    }
+
+    /// Runs the plan in timing mode with the post-communication remap
+    /// fused into a trailing element-wise kernel (Fig. 6): after the
+    /// last group's collective, each rank runs `op` over its logical
+    /// output, gathering through the reorder mapping and paying the
+    /// granularity-dependent remap cost of Table 4.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on inconsistent operator parameters or
+    /// simulation failure.
+    pub fn execute_with_epilogue(
+        &self,
+        op: &ElementwiseOp,
+    ) -> Result<RunReport, FlashOverlapError> {
+        self.check_epilogue(op)?;
+        let mut world = self.system.build_cluster(false);
+        let mut sim: ClusterSim = Sim::new();
+        let handles = self.enqueue_program(&mut world, &mut sim, None, Some(op));
+        sim.run(&mut world)?;
+        Ok(handles.probes.into_report())
+    }
+
+    /// Runs the plan in functional mode with real data, returning the
+    /// post-remap logical outputs alongside timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed inputs or simulation failure.
+    pub fn execute_functional(
+        &self,
+        inputs: &FunctionalInputs,
+    ) -> Result<FunctionalReport, FlashOverlapError> {
+        self.check_inputs(inputs)?;
+        let mut world = self.system.build_cluster(true);
+        let mut sim: ClusterSim = Sim::new();
+        let handles = self.enqueue_program(&mut world, &mut sim, Some(inputs), None);
+        sim.run(&mut world)?;
+        check_quiescent(&world)?;
+        let outputs = self.extract_outputs(&world, &handles);
+        Ok(FunctionalReport {
+            report: handles.probes.into_report(),
+            outputs,
+        })
+    }
+
+    /// Functional run with the fused epilogue: the returned per-rank
+    /// outputs are `op` applied to the logical output, produced by the
+    /// in-simulator fused kernel (not host-side post-processing).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed inputs/operator or simulation
+    /// failure.
+    pub fn execute_functional_with_epilogue(
+        &self,
+        inputs: &FunctionalInputs,
+        op: &ElementwiseOp,
+    ) -> Result<FunctionalReport, FlashOverlapError> {
+        self.check_inputs(inputs)?;
+        self.check_epilogue(op)?;
+        let mut world = self.system.build_cluster(true);
+        let mut sim: ClusterSim = Sim::new();
+        let handles = self.enqueue_program(&mut world, &mut sim, Some(inputs), Some(op));
+        sim.run(&mut world)?;
+        let n = self.system.n_gpus;
+        let outputs = (0..n)
+            .map(|d| {
+                let (rows, cols) = self.logical_shape(d);
+                let buf = handles.epilogue_bufs[d].expect("epilogue requested");
+                let data = world.devices[d].mem.snapshot(buf);
+                Matrix::from_vec(rows, cols, data)
+            })
+            .collect();
+        Ok(FunctionalReport {
+            report: handles.probes.into_report(),
+            outputs,
+        })
+    }
+
+    /// Validates an epilogue operator against this plan's logical output
+    /// shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashOverlapError::BadInputs`] on parameter-length
+    /// mismatch.
+    pub fn validate_epilogue(&self, op: &ElementwiseOp) -> Result<(), FlashOverlapError> {
+        self.check_epilogue(op)
+    }
+
+    /// Validates functional inputs against this plan's shapes (also used
+    /// by [`crate::pipeline`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashOverlapError::BadInputs`] on shape mismatch.
+    pub fn check_inputs_pub(&self, inputs: &FunctionalInputs) -> Result<(), FlashOverlapError> {
+        self.check_inputs(inputs)
+    }
+
+    fn check_epilogue(&self, op: &ElementwiseOp) -> Result<(), FlashOverlapError> {
+        let (_, cols) = self.logical_shape(0);
+        let len = match op {
+            ElementwiseOp::BiasAdd(bias) => bias.len(),
+            ElementwiseOp::RmsNorm { weight, .. } => weight.len(),
+            _ => cols,
+        };
+        if len != cols {
+            return Err(FlashOverlapError::BadInputs {
+                reason: format!("epilogue parameter length {len} != N = {cols}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Logical output shape of rank `d` after the post-communication
+    /// remap.
+    pub fn logical_shape(&self, d: usize) -> (usize, usize) {
+        match &self.mapping {
+            PlanMapping::Tile(_) => (self.dims.m as usize, self.dims.n as usize),
+            PlanMapping::Subtile(_) => (
+                self.dims.m as usize / self.system.n_gpus,
+                self.dims.n as usize,
+            ),
+            PlanMapping::Token(m) => (m.recv_row_gather[d].len(), self.dims.n as usize),
+            PlanMapping::Gather(_) => (
+                self.dims.m as usize,
+                self.dims.n as usize * self.system.n_gpus,
+            ),
+        }
+    }
+
+    /// The remap granularity of this plan's post-communication gather.
+    pub fn remap_granularity(&self) -> RemapGranularity {
+        match &self.mapping {
+            PlanMapping::Tile(_) | PlanMapping::Gather(_) => RemapGranularity::Tile,
+            PlanMapping::Subtile(_) => RemapGranularity::Subtile,
+            PlanMapping::Token(_) => RemapGranularity::Token,
+        }
+    }
+
+    fn check_inputs(&self, inputs: &FunctionalInputs) -> Result<(), FlashOverlapError> {
+        let n = self.system.n_gpus;
+        if inputs.a.len() != n || inputs.b.len() != n {
+            return Err(FlashOverlapError::BadInputs {
+                reason: format!(
+                    "expected {n} A and B operands, got {} and {}",
+                    inputs.a.len(),
+                    inputs.b.len()
+                ),
+            });
+        }
+        for r in 0..n {
+            if inputs.a[r].rows() != self.dims.m as usize
+                || inputs.a[r].cols() != self.dims.k as usize
+            {
+                return Err(FlashOverlapError::BadInputs {
+                    reason: format!("rank {r} A operand is not {}x{}", self.dims.m, self.dims.k),
+                });
+            }
+            if inputs.b[r].rows() != self.dims.k as usize
+                || inputs.b[r].cols() != self.dims.n as usize
+            {
+                return Err(FlashOverlapError::BadInputs {
+                    reason: format!("rank {r} B operand is not {}x{}", self.dims.k, self.dims.n),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn enqueue_program(
+        &self,
+        world: &mut Cluster,
+        sim: &mut ClusterSim,
+        inputs: Option<&FunctionalInputs>,
+        epilogue: Option<&ElementwiseOp>,
+    ) -> ProgramHandles {
+        let streams = StreamCtx::create(world, self.system.n_gpus);
+        self.enqueue_program_on(world, sim, inputs, epilogue, &streams, None)
+    }
+
+    /// Enqueues the overlap program on caller-provided streams, optionally
+    /// reading activations from existing per-rank buffers instead of
+    /// allocating them (how pipelines chain layers).
+    pub(crate) fn enqueue_program_on(
+        &self,
+        world: &mut Cluster,
+        sim: &mut ClusterSim,
+        inputs: Option<&FunctionalInputs>,
+        epilogue: Option<&ElementwiseOp>,
+        streams: &StreamCtx,
+        a_override: Option<&[BufferId]>,
+    ) -> ProgramHandles {
+        let n = self.system.n_gpus;
+        let comm = Communicator::with_algorithm(
+            (0..n).collect(),
+            self.system.fabric.clone(),
+            self.system.comm_sms,
+            self.system.algorithm,
+        );
+        let counts = self.group_tile_counts().to_vec();
+        let num_groups = counts.len();
+        let grid = self.config.grid(self.dims);
+
+        let compute_streams = &streams.compute;
+        let comm_streams = &streams.comm;
+        let mut tables = Vec::with_capacity(n);
+        let mut packed_bufs = Vec::with_capacity(n);
+        let mut recv_bufs = Vec::with_capacity(n);
+        let mut a_bufs = Vec::with_capacity(n);
+        let mut b_bufs = Vec::with_capacity(n);
+        for d in 0..n {
+            let writer = self.writer_for(d);
+            let dev = &mut world.devices[d];
+            tables.push(dev.create_counter(num_groups));
+            a_bufs.push(match (a_override, inputs) {
+                (Some(bufs), _) => bufs[d],
+                (None, Some(inp)) => dev.mem.alloc_init(inp.a[d].as_slice()),
+                (None, None) => dev.mem.alloc((self.dims.m * self.dims.k) as usize),
+            });
+            b_bufs.push(match inputs {
+                Some(inp) => dev.mem.alloc_init(inp.b[d].as_slice()),
+                None => dev.mem.alloc((self.dims.k * self.dims.n) as usize),
+            });
+            packed_bufs.push(dev.mem.alloc(writer.out_len(&grid)));
+            recv_bufs.push(match &self.mapping {
+                // AllReduce is in place: the packed buffer doubles as recv.
+                PlanMapping::Tile(_) => packed_bufs[d],
+                PlanMapping::Subtile(m) => dev.mem.alloc(m.recv_elems),
+                PlanMapping::Token(m) => dev.mem.alloc(m.recv_elems[d].max(1)),
+                PlanMapping::Gather(m) => {
+                    dev.mem.alloc(m.all_gather_recv_elems(self.system.n_gpus))
+                }
+            });
+        }
+
+        let probes = Probes::new(num_groups);
+
+        // Host-process launch skew: each rank's whole program starts a
+        // random delay late (both its streams — the host thread submits
+        // everything).
+        if self.system.launch_skew_ns > 0 {
+            for d in 0..n {
+                let delay = {
+                    let dev = &mut world.devices[d];
+                    sim::SimDuration::from_nanos(
+                        dev.rng.uniform(0.0, self.system.launch_skew_ns as f64) as u64,
+                    )
+                };
+                enqueue(
+                    world,
+                    sim,
+                    d,
+                    compute_streams[d],
+                    Box::new(gpu_sim::stream::Delay(delay)),
+                );
+                enqueue(
+                    world,
+                    sim,
+                    d,
+                    comm_streams[d],
+                    Box::new(gpu_sim::stream::Delay(delay)),
+                );
+            }
+        }
+
+        // Compute stream: the single GEMM kernel plus a completion probe.
+        for d in 0..n {
+            let kernel = GemmKernel {
+                a: a_bufs[d],
+                b: b_bufs[d],
+                out: packed_bufs[d],
+                dims: self.dims,
+                config: self.config,
+                writer: self.writer_for(d),
+                counter: Some(CounterHook {
+                    table: tables[d],
+                    group_of_tile: Rc::new(self.group_of_tile().to_vec()),
+                }),
+            };
+            enqueue(world, sim, d, compute_streams[d], Box::new(kernel));
+            if d == 0 {
+                let gemm_done = probes.gemm_done.clone();
+                enqueue(
+                    world,
+                    sim,
+                    0,
+                    compute_streams[0],
+                    Box::new(Callback(Box::new(move |_, s| {
+                        gemm_done.set(Some(s.now()));
+                    }))),
+                );
+            }
+        }
+
+        // Communication stream: per group, a signaling kernel then the
+        // collective call.
+        #[expect(clippy::needless_range_loop)]
+        for g in 0..num_groups {
+            let Some(spec) = self.group_spec(g, &packed_bufs, &recv_bufs) else {
+                // Zero-payload group (possible for All-to-All): nothing to
+                // wait for or send.
+                continue;
+            };
+            let kernels = comm.kernels(spec);
+            for (d, kernel) in kernels.into_iter().enumerate() {
+                enqueue(
+                    world,
+                    sim,
+                    d,
+                    comm_streams[d],
+                    Box::new(WaitCounter {
+                        table: tables[d],
+                        group: g,
+                        threshold: counts[g],
+                    }),
+                );
+                enqueue(world, sim, d, comm_streams[d], Box::new(kernel));
+                if d == 0 {
+                    let slot = probes.group_done.clone();
+                    enqueue(
+                        world,
+                        sim,
+                        0,
+                        comm_streams[0],
+                        Box::new(Callback(Box::new(move |_, s| {
+                            slot.borrow_mut()[g] = Some(s.now());
+                        }))),
+                    );
+                }
+            }
+        }
+
+        // Fused post-communication epilogue (Fig. 6): wait for the comm
+        // stream to drain, then run the element-wise kernel with the
+        // remap gathered in.
+        let mut epilogue_bufs: Vec<Option<BufferId>> = vec![None; n];
+        if let Some(op) = epilogue {
+            let granularity = self.remap_granularity();
+            for d in 0..n {
+                let (rows, cols) = self.logical_shape(d);
+                let comm_done = world.devices[d].create_event();
+                enqueue(world, sim, d, comm_streams[d], Box::new(RecordEvent(comm_done)));
+                enqueue(world, sim, d, compute_streams[d], Box::new(WaitEvent(comm_done)));
+                if rows == 0 {
+                    // Nothing received (possible for All-to-All): still
+                    // allocate an empty logical buffer.
+                    epilogue_bufs[d] = Some(world.devices[d].mem.alloc(0));
+                    continue;
+                }
+                let gather = if world.functional {
+                    self.epilogue_gather(d)
+                } else {
+                    Gather::None
+                };
+                let output = world.devices[d].mem.alloc(rows * cols);
+                epilogue_bufs[d] = Some(output);
+                let kernel = ElementwiseKernel {
+                    input: recv_bufs[d],
+                    output,
+                    rows,
+                    cols,
+                    op: op.clone(),
+                    gather,
+                    remap_cost: Some(granularity),
+                };
+                enqueue(world, sim, d, compute_streams[d], Box::new(kernel));
+                if d == 0 {
+                    let slot = probes.epilogue_done.clone();
+                    enqueue(
+                        world,
+                        sim,
+                        0,
+                        compute_streams[0],
+                        Box::new(Callback(Box::new(move |_, s| {
+                            slot.set(Some(s.now()));
+                        }))),
+                    );
+                }
+            }
+        }
+
+        ProgramHandles {
+            probes,
+            packed_bufs,
+            recv_bufs,
+            epilogue_bufs,
+        }
+    }
+
+    /// The gather pattern of the fused remap for rank `d` (functional
+    /// mode only — timing mode needs just the granularity).
+    fn epilogue_gather(&self, d: usize) -> Gather {
+        match &self.mapping {
+            PlanMapping::Tile(m) => Gather::Elements(Rc::new(m.element_gather())),
+            PlanMapping::Subtile(m) => Gather::Elements(Rc::new(m.recv_gather(d))),
+            PlanMapping::Token(m) => Gather::Rows(Rc::new(m.recv_row_gather[d].clone())),
+            PlanMapping::Gather(m) => {
+                Gather::Elements(Rc::new(m.all_gather_gather(self.system.n_gpus)))
+            }
+        }
+    }
+
+    fn writer_for(&self, rank: usize) -> Rc<dyn EpilogueWriter> {
+        match &self.mapping {
+            PlanMapping::Tile(m) | PlanMapping::Gather(m) => {
+                Rc::new(PackedTileWriter { mapping: m.clone() })
+            }
+            PlanMapping::Subtile(m) => Rc::new(SubtilePackedWriter { mapping: m.clone() }),
+            PlanMapping::Token(m) => Rc::new(TokenPoolWriter {
+                mapping: m.clone(),
+                rank,
+            }),
+        }
+    }
+
+    fn group_of_tile(&self) -> &[u32] {
+        match &self.mapping {
+            PlanMapping::Tile(m) | PlanMapping::Gather(m) => &m.layout.group_of_tile,
+            PlanMapping::Subtile(m) => &m.layout.group_of_tile,
+            PlanMapping::Token(m) => &m.layout.group_of_tile,
+        }
+    }
+
+    fn group_spec(&self, g: usize, packed: &[BufferId], recv: &[BufferId]) -> Option<CollectiveSpec> {
+        let n = self.system.n_gpus;
+        match &self.mapping {
+            PlanMapping::Tile(m) => {
+                let (offset, count) = m.group_regions[g];
+                Some(CollectiveSpec::AllReduce {
+                    regions: (0..n)
+                        .map(|d| Region::new(packed[d], offset, count))
+                        .collect(),
+                })
+            }
+            PlanMapping::Subtile(m) => {
+                let (offset, count) = m.send_group_regions[g];
+                let recv_off = m.recv_group_offset[g];
+                Some(CollectiveSpec::ReduceScatter {
+                    send: (0..n)
+                        .map(|d| Region::new(packed[d], offset, count))
+                        .collect(),
+                    recv: (0..n)
+                        .map(|d| Region::new(recv[d], recv_off, count / n))
+                        .collect(),
+                })
+            }
+            PlanMapping::Token(m) => {
+                let plan = &m.group_plans[g];
+                let total: usize = plan.len.iter().map(|row| row.iter().sum::<usize>()).sum();
+                if total == 0 {
+                    return None;
+                }
+                Some(CollectiveSpec::AllToAllV {
+                    send: packed.to_vec(),
+                    recv: recv.to_vec(),
+                    plan: Rc::new(plan.clone()),
+                })
+            }
+            PlanMapping::Gather(m) => {
+                let (offset, count) = m.group_regions[g];
+                let (recv_off, recv_count) = m.all_gather_recv_region(g, n);
+                debug_assert_eq!(recv_count, count * n);
+                Some(CollectiveSpec::AllGather {
+                    send: (0..n)
+                        .map(|d| Region::new(packed[d], offset, count))
+                        .collect(),
+                    recv: (0..n)
+                        .map(|d| Region::new(recv[d], recv_off, recv_count))
+                        .collect(),
+                })
+            }
+        }
+    }
+
+    pub(crate) fn extract_outputs(&self, world: &Cluster, handles: &ProgramHandles) -> Vec<Matrix> {
+        let n = self.system.n_gpus;
+        match &self.mapping {
+            PlanMapping::Tile(m) => {
+                let gather = m.element_gather();
+                (0..n)
+                    .map(|d| {
+                        let packed = world.devices[d].mem.data(handles.packed_bufs[d]);
+                        let data: Vec<f32> =
+                            gather.iter().map(|&i| packed[i as usize]).collect();
+                        Matrix::from_vec(self.dims.m as usize, self.dims.n as usize, data)
+                    })
+                    .collect()
+            }
+            PlanMapping::Subtile(m) => (0..n)
+                .map(|d| {
+                    let recv = world.devices[d].mem.data(handles.recv_bufs[d]);
+                    let gather = m.recv_gather(d);
+                    let data: Vec<f32> = gather.iter().map(|&i| recv[i as usize]).collect();
+                    Matrix::from_vec(self.dims.m as usize / n, self.dims.n as usize, data)
+                })
+                .collect(),
+            PlanMapping::Token(m) => (0..n)
+                .map(|d| {
+                    let recv = world.devices[d].mem.data(handles.recv_bufs[d]);
+                    let n_cols = self.dims.n as usize;
+                    let rows = m.recv_row_gather[d].len();
+                    let mut data = Vec::with_capacity(rows * n_cols);
+                    for &packed_row in &m.recv_row_gather[d] {
+                        let start = packed_row as usize * n_cols;
+                        data.extend_from_slice(&recv[start..start + n_cols]);
+                    }
+                    Matrix::from_vec(rows, n_cols, data)
+                })
+                .collect(),
+            PlanMapping::Gather(m) => {
+                let gather = m.all_gather_gather(n);
+                (0..n)
+                    .map(|d| {
+                        let recv = world.devices[d].mem.data(handles.recv_bufs[d]);
+                        let data: Vec<f32> =
+                            gather.iter().map(|&i| recv[i as usize]).collect();
+                        Matrix::from_vec(
+                            self.dims.m as usize,
+                            self.dims.n as usize * n,
+                            data,
+                        )
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Extra device-memory elements per rank this plan needs beyond the
+    /// non-overlap baseline (staging for reordered packing / receives) —
+    /// the capacity cost of the design.
+    ///
+    /// AllReduce runs in place (zero overhead); ReduceScatter and
+    /// All-to-All need their receive buffers exactly like NCCL's own
+    /// out-of-place calls, so only AllGather's duplicated packed buffer
+    /// counts.
+    pub fn memory_overhead_elems(&self, rank: usize) -> usize {
+        match &self.mapping {
+            // In-place: the packed buffer replaces the plain output.
+            PlanMapping::Tile(_) => 0,
+            // NCCL ReduceScatter is out-of-place too; no extra.
+            PlanMapping::Subtile(_) => 0,
+            // Same receive buffer an unoverlapped MoE exchange needs.
+            PlanMapping::Token(_) => 0,
+            // The packed send copy exists alongside the gathered result.
+            PlanMapping::Gather(m) => {
+                let _ = rank;
+                m.total_elems
+            }
+        }
+    }
+
+    /// The token mapping, when the pattern is All-to-All (verification
+    /// helpers need `recv_expected`).
+    pub fn token_mapping(&self) -> Option<&TokenMapping> {
+        match &self.mapping {
+            PlanMapping::Token(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The tile mapping, when the pattern is AllReduce.
+    pub fn tile_mapping(&self) -> Option<&TileMapping> {
+        match &self.mapping {
+            PlanMapping::Tile(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The subtile mapping, when the pattern is ReduceScatter.
+    pub fn subtile_mapping(&self) -> Option<&SubtileMapping> {
+        match &self.mapping {
+            PlanMapping::Subtile(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Turns a drained-but-wedged simulation into a diagnosable error.
+fn check_quiescent(world: &Cluster) -> Result<(), FlashOverlapError> {
+    world.check_quiescent().map_err(|stuck| {
+        FlashOverlapError::Simulation(format!(
+            "deadlock: streams never drained — {}",
+            stuck.join("; ")
+        ))
+    })
+}
+
+/// Per-rank compute/communication stream pair a program runs on.
+pub(crate) struct StreamCtx {
+    pub(crate) compute: Vec<gpu_sim::stream::StreamId>,
+    pub(crate) comm: Vec<gpu_sim::stream::StreamId>,
+}
+
+impl StreamCtx {
+    pub(crate) fn create(world: &mut Cluster, n: usize) -> Self {
+        let mut compute = Vec::with_capacity(n);
+        let mut comm = Vec::with_capacity(n);
+        for d in 0..n {
+            let dev = &mut world.devices[d];
+            compute.push(dev.create_stream());
+            comm.push(dev.create_stream());
+        }
+        StreamCtx { compute, comm }
+    }
+}
+
+pub(crate) struct ProgramHandles {
+    pub(crate) probes: Probes,
+    pub(crate) packed_bufs: Vec<BufferId>,
+    pub(crate) recv_bufs: Vec<BufferId>,
+    pub(crate) epilogue_bufs: Vec<Option<BufferId>>,
+}
+
+impl ProgramHandles {
+    /// A shared handle to this program's probes (the underlying cells are
+    /// `Rc`, so the snapshot observes the same simulation writes).
+    pub(crate) fn probes_snapshot(&self) -> Probes {
+        self.probes.clone()
+    }
+}
+
+#[derive(Clone)]
+pub(crate) struct Probes {
+    gemm_done: Rc<Cell<Option<SimTime>>>,
+    group_done: Rc<RefCell<Vec<Option<SimTime>>>>,
+    epilogue_done: Rc<Cell<Option<SimTime>>>,
+}
+
+impl Probes {
+    fn new(groups: usize) -> Self {
+        Probes {
+            gemm_done: Rc::new(Cell::new(None)),
+            group_done: Rc::new(RefCell::new(vec![None; groups])),
+            epilogue_done: Rc::new(Cell::new(None)),
+        }
+    }
+
+    pub(crate) fn into_report(self) -> RunReport {
+        let gemm_done = self
+            .gemm_done
+            .get()
+            .map_or(SimDuration::ZERO, |t| t - SimTime::ZERO);
+        let group_comm_done: Vec<SimDuration> = self
+            .group_done
+            .borrow()
+            .iter()
+            .map(|t| t.map_or(SimDuration::ZERO, |t| t - SimTime::ZERO))
+            .collect();
+        let latency = group_comm_done
+            .iter()
+            .copied()
+            .fold(gemm_done, SimDuration::max);
+        RunReport {
+            latency,
+            gemm_done,
+            group_comm_done,
+            epilogue_done: self.epilogue_done.get().map(|t| t - SimTime::ZERO),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::{allclose, gemm};
+
+    fn small_system(n: usize) -> SystemSpec {
+        // A tiny architecture so functional tests stay fast: 8 SMs, small
+        // tiles come from the standard candidate table (64x64 minimum), so
+        // keep shapes modest.
+        let mut spec = SystemSpec::rtx4090(n);
+        spec.arch.sm_count = 8;
+        spec.comm_sms = 2;
+        spec
+    }
+
+    fn reduced_reference(inputs: &FunctionalInputs) -> Matrix {
+        let mut acc = gemm(&inputs.a[0], &inputs.b[0]);
+        for r in 1..inputs.a.len() {
+            acc = acc.add(&gemm(&inputs.a[r], &inputs.b[r]));
+        }
+        acc
+    }
+
+    #[test]
+    fn all_reduce_overlap_is_numerically_exact() {
+        let dims = GemmDims::new(256, 256, 64);
+        let system = small_system(2);
+        let config = GemmConfig::choose(dims, &system.arch);
+        let grid = config.grid(dims);
+        let waves = grid.num_tiles().div_ceil(system.compute_sms());
+        let partition = WavePartition::per_wave(waves);
+        let plan = OverlapPlan::new(dims, CommPattern::AllReduce, system, partition).unwrap();
+        let inputs = FunctionalInputs::random(dims, 2, 77);
+        let result = plan.execute_functional(&inputs).unwrap();
+        let expected = reduced_reference(&inputs);
+        for (d, out) in result.outputs.iter().enumerate() {
+            assert!(
+                allclose(out, &expected, 1e-2),
+                "rank {d} output mismatch"
+            );
+        }
+        assert!(result.report.latency > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn reduce_scatter_overlap_scatters_correct_rows() {
+        let dims = GemmDims::new(256, 128, 64);
+        let system = small_system(2);
+        let plan = {
+            let config = GemmConfig::choose(dims, &system.arch);
+            let waves = config
+                .grid(dims)
+                .num_tiles()
+                .div_ceil(system.compute_sms());
+            OverlapPlan::new(
+                dims,
+                CommPattern::ReduceScatter,
+                system,
+                WavePartition::per_wave(waves),
+            )
+            .unwrap()
+        };
+        let inputs = FunctionalInputs::random(dims, 2, 5);
+        let result = plan.execute_functional(&inputs).unwrap();
+        let expected = reduced_reference(&inputs);
+        for (k, out) in result.outputs.iter().enumerate() {
+            assert_eq!(out.rows(), 128);
+            for i in 0..out.rows() {
+                let global = k + i * 2;
+                for c in 0..out.cols() {
+                    let diff = (out[(i, c)] - expected[(global, c)]).abs();
+                    assert!(diff < 1e-2, "rank {k} row {i} col {c}: diff {diff}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_overlap_routes_tokens_correctly() {
+        let dims = GemmDims::new(128, 128, 32);
+        let system = small_system(2);
+        let mut rng = sim::DetRng::new(13);
+        let routing: Vec<Vec<usize>> = (0..2)
+            .map(|_| (0..128).map(|_| rng.next_below(2) as usize).collect())
+            .collect();
+        let plan = {
+            let config = GemmConfig::choose(dims, &system.arch);
+            let waves = config
+                .grid(dims)
+                .num_tiles()
+                .div_ceil(system.compute_sms());
+            OverlapPlan::new(
+                dims,
+                CommPattern::AllToAll { routing },
+                system,
+                WavePartition::per_wave(waves),
+            )
+            .unwrap()
+        };
+        let inputs = FunctionalInputs::random(dims, 2, 5);
+        let per_rank_out: Vec<Matrix> = (0..2).map(|r| gemm(&inputs.a[r], &inputs.b[r])).collect();
+        let result = plan.execute_functional(&inputs).unwrap();
+        let mapping = plan.token_mapping().unwrap();
+        for d in 0..2 {
+            let out = &result.outputs[d];
+            let expected_rows = &mapping.recv_expected[d];
+            assert_eq!(out.rows(), expected_rows.len());
+            for (i, &(src, row)) in expected_rows.iter().enumerate() {
+                for c in 0..out.cols() {
+                    let diff = (out[(i, c)] - per_rank_out[src][(row as usize, c)]).abs();
+                    assert!(diff < 1e-2, "dest {d} token {i} col {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_partition_matches_per_wave_numerics() {
+        // Different partitions change timing, never data. The shape is
+        // sized to give several waves on the tiny test architecture.
+        let dims = GemmDims::new(512, 512, 32);
+        let system = small_system(2);
+        let config = GemmConfig::choose(dims, &system.arch);
+        let waves = config
+            .grid(dims)
+            .num_tiles()
+            .div_ceil(system.compute_sms());
+        assert!(waves >= 2, "need multiple waves, got {waves}");
+        let inputs = FunctionalInputs::random(dims, 2, 123);
+        let expected = reduced_reference(&inputs);
+        for partition in [
+            WavePartition::per_wave(waves),
+            WavePartition::single(waves),
+            WavePartition::new(vec![1, waves - 1]),
+        ] {
+            let plan = OverlapPlan::new(
+                dims,
+                CommPattern::AllReduce,
+                system.clone(),
+                partition.clone(),
+            )
+            .unwrap();
+            let result = plan.execute_functional(&inputs).unwrap();
+            assert!(
+                allclose(&result.outputs[0], &expected, 1e-2),
+                "partition {partition}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_beats_fully_serialized_partition_when_balanced() {
+        // Timing mode on the real 4090 system: a compute/communication
+        // balanced shape must benefit from splitting into groups.
+        let dims = GemmDims::new(4096, 8192, 16384);
+        let system = SystemSpec::rtx4090(4);
+        let config = GemmConfig::choose(dims, &system.arch);
+        let waves = config
+            .grid(dims)
+            .num_tiles()
+            .div_ceil(system.compute_sms());
+        assert!(waves >= 4, "test needs several waves, got {waves}");
+        let serial = OverlapPlan::new(
+            dims,
+            CommPattern::AllReduce,
+            system.clone(),
+            WavePartition::single(waves),
+        )
+        .unwrap()
+        .execute()
+        .unwrap();
+        let overlapped = OverlapPlan::new(
+            dims,
+            CommPattern::AllReduce,
+            system,
+            WavePartition::new(vec![2; waves as usize / 2]),
+        )
+        .unwrap()
+        .execute()
+        .unwrap();
+        assert!(
+            overlapped.latency < serial.latency,
+            "overlap {} not faster than serial {}",
+            overlapped.latency,
+            serial.latency
+        );
+    }
+
+    #[test]
+    fn group_comm_times_are_monotone() {
+        let dims = GemmDims::new(2048, 4096, 2048);
+        let system = SystemSpec::rtx4090(2);
+        let config = GemmConfig::choose(dims, &system.arch);
+        let waves = config
+            .grid(dims)
+            .num_tiles()
+            .div_ceil(system.compute_sms());
+        let plan = OverlapPlan::new(
+            dims,
+            CommPattern::AllReduce,
+            system,
+            WavePartition::per_wave(waves),
+        )
+        .unwrap();
+        let report = plan.execute().unwrap();
+        for pair in report.group_comm_done.windows(2) {
+            assert!(pair[0] < pair[1], "groups must complete in order");
+        }
+        assert_eq!(report.latency, *report.group_comm_done.last().unwrap());
+        assert!(report.gemm_done < report.latency);
+    }
+
+    #[test]
+    fn all_gather_overlap_concatenates_column_shards() {
+        let dims = GemmDims::new(256, 128, 64);
+        let system = small_system(2);
+        let config = GemmConfig::choose(dims, &system.arch);
+        let waves = config
+            .grid(dims)
+            .num_tiles()
+            .div_ceil(system.compute_sms());
+        let plan = OverlapPlan::new(
+            dims,
+            CommPattern::AllGather,
+            system,
+            WavePartition::per_wave(waves),
+        )
+        .unwrap();
+        let inputs = FunctionalInputs::random(dims, 2, 17);
+        let result = plan.execute_functional(&inputs).unwrap();
+        let shards: Vec<Matrix> = (0..2).map(|r| gemm(&inputs.a[r], &inputs.b[r])).collect();
+        for (d, out) in result.outputs.iter().enumerate() {
+            assert_eq!((out.rows(), out.cols()), (256, 256));
+            for r in 0..256usize {
+                for c in 0..256usize {
+                    let src = c / 128;
+                    let diff = (out[(r, c)] - shards[src][(r, c % 128)]).abs();
+                    assert!(diff < 1e-2, "rank {d} ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn launch_skew_delays_but_never_breaks_runs() {
+        let dims = GemmDims::new(2048, 4096, 4096);
+        let clean = OverlapPlan::tuned(
+            dims,
+            CommPattern::AllReduce,
+            SystemSpec::rtx4090(4),
+        )
+        .unwrap()
+        .execute()
+        .unwrap()
+        .latency;
+        let skewed = OverlapPlan::tuned(
+            dims,
+            CommPattern::AllReduce,
+            SystemSpec::rtx4090(4).with_launch_skew_ns(200_000),
+        )
+        .unwrap()
+        .execute()
+        .unwrap()
+        .latency;
+        assert!(skewed > clean, "skew must cost time");
+        assert!(
+            skewed < clean + sim::SimDuration::from_micros(400),
+            "skew cost bounded by roughly the skew window"
+        );
+    }
+
+    #[test]
+    fn memory_overhead_is_zero_except_allgather() {
+        let system = small_system(2);
+        let dims = GemmDims::new(256, 128, 64);
+        let ar = OverlapPlan::tuned(dims, CommPattern::AllReduce, system.clone()).unwrap();
+        assert_eq!(ar.memory_overhead_elems(0), 0);
+        let ag = OverlapPlan::tuned(dims, CommPattern::AllGather, system).unwrap();
+        assert_eq!(ag.memory_overhead_elems(0), 256 * 128);
+    }
+
+    #[test]
+    fn steady_state_average_is_close_to_single_shot() {
+        let dims = GemmDims::new(4096, 8192, 8192);
+        let system = SystemSpec::rtx4090(4);
+        let plan = OverlapPlan::tuned(dims, CommPattern::AllReduce, system).unwrap();
+        let single = plan.execute().unwrap().latency;
+        let steady = plan.execute_iterations(8).unwrap();
+        let ratio = steady.as_nanos() as f64 / single.as_nanos() as f64;
+        // Back-pressure can stretch or slightly compress iterations, but
+        // the steady state stays near the single-shot latency.
+        assert!((0.8..1.3).contains(&ratio), "ratio {ratio}");
+        assert!(matches!(
+            plan.execute_iterations(0),
+            Err(FlashOverlapError::BadInputs { .. })
+        ));
+    }
+
+    #[test]
+    fn fused_epilogue_applies_rmsnorm_after_overlap() {
+        use gpu_sim::elementwise::ElementwiseOp;
+        use tensor::rmsnorm;
+
+        let dims = GemmDims::new(256, 256, 64);
+        let system = small_system(2);
+        let config = GemmConfig::choose(dims, &system.arch);
+        let waves = config
+            .grid(dims)
+            .num_tiles()
+            .div_ceil(system.compute_sms());
+        let plan = OverlapPlan::new(
+            dims,
+            CommPattern::AllReduce,
+            system,
+            WavePartition::per_wave(waves),
+        )
+        .unwrap();
+        let inputs = FunctionalInputs::random(dims, 2, 44);
+        let weight: Vec<f32> = (0..256).map(|i| 1.0 + (i % 5) as f32 * 0.2).collect();
+        let op = ElementwiseOp::RmsNorm {
+            weight: std::rc::Rc::new(weight.clone()),
+            eps: 1e-6,
+        };
+        let result = plan
+            .execute_functional_with_epilogue(&inputs, &op)
+            .unwrap();
+        let expected = rmsnorm(&reduced_reference(&inputs), &weight, 1e-6);
+        for (d, out) in result.outputs.iter().enumerate() {
+            assert!(allclose(out, &expected, 2e-2), "rank {d}");
+        }
+        let done = result.report.epilogue_done.expect("epilogue probe");
+        assert!(done > result.report.latency, "epilogue runs after comm");
+    }
+
+    #[test]
+    fn fused_epilogue_extends_timing() {
+        use gpu_sim::elementwise::ElementwiseOp;
+
+        let dims = GemmDims::new(4096, 8192, 8192);
+        let system = SystemSpec::rtx4090(4);
+        let plan = OverlapPlan::tuned(dims, CommPattern::AllReduce, system).unwrap();
+        let plain = plan.execute().unwrap();
+        assert!(plain.epilogue_done.is_none());
+        let fused = plan.execute_with_epilogue(&ElementwiseOp::Relu).unwrap();
+        let done = fused.epilogue_done.expect("epilogue requested");
+        assert!(done > fused.latency);
+        // The epilogue adds roughly one memory-bound kernel, not more.
+        let extra = done - fused.latency;
+        let bound = plan
+            .system
+            .arch
+            .elementwise_time(dims.out_elems() * 4, Some(plan.remap_granularity()));
+        assert!(extra <= bound.mul_f64(1.2), "epilogue too slow: {extra}");
+    }
+
+    #[test]
+    fn epilogue_parameter_length_is_validated() {
+        use gpu_sim::elementwise::ElementwiseOp;
+
+        let dims = GemmDims::new(256, 256, 64);
+        let system = small_system(2);
+        let plan = OverlapPlan::tuned(dims, CommPattern::AllReduce, system).unwrap();
+        let bad = ElementwiseOp::RmsNorm {
+            weight: std::rc::Rc::new(vec![1.0; 8]),
+            eps: 1e-6,
+        };
+        assert!(matches!(
+            plan.execute_with_epilogue(&bad),
+            Err(FlashOverlapError::BadInputs { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_partition_is_rejected() {
+        let dims = GemmDims::new(2048, 4096, 2048);
+        let system = SystemSpec::rtx4090(2);
+        let result = OverlapPlan::new(
+            dims,
+            CommPattern::AllReduce,
+            system,
+            WavePartition::new(vec![1]),
+        );
+        assert!(matches!(
+            result.err(),
+            Some(FlashOverlapError::PartitionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_functional_inputs_are_rejected() {
+        let dims = GemmDims::new(256, 256, 64);
+        let system = small_system(2);
+        let config = GemmConfig::choose(dims, &system.arch);
+        let waves = config
+            .grid(dims)
+            .num_tiles()
+            .div_ceil(system.compute_sms());
+        let plan = OverlapPlan::new(
+            dims,
+            CommPattern::AllReduce,
+            system,
+            WavePartition::single(waves),
+        )
+        .unwrap();
+        let bad = FunctionalInputs::random(GemmDims::new(128, 256, 64), 2, 1);
+        assert!(matches!(
+            plan.execute_functional(&bad),
+            Err(FlashOverlapError::BadInputs { .. })
+        ));
+    }
+}

@@ -1,0 +1,148 @@
+//! System specifications: which GPUs, how many, over what fabric.
+
+use collectives::Algorithm;
+use gpu_sim::arch::GpuArch;
+use gpu_sim::cluster::Cluster;
+use interconnect::FabricSpec;
+
+/// A complete description of the simulated multi-GPU server an overlap
+/// plan targets.
+#[derive(Debug, Clone)]
+pub struct SystemSpec {
+    /// GPU architecture of every device.
+    pub arch: GpuArch,
+    /// Inter-GPU fabric.
+    pub fabric: FabricSpec,
+    /// Number of GPUs participating (the parallel group size).
+    pub n_gpus: usize,
+    /// Constant SM footprint of one in-flight collective (§4.2.1:
+    /// "a communication primitive across given GPUs occupies a constant SM
+    /// number using NCCL").
+    pub comm_sms: u32,
+    /// Simulation seed (jitter, polling phase).
+    pub seed: u64,
+    /// Collective algorithm the communication library schedules with
+    /// (the overlap design is agnostic to it; Ring matches the paper's
+    /// NCCL setup).
+    pub algorithm: Algorithm,
+    /// Maximum per-rank launch skew in nanoseconds: each rank starts its
+    /// work a uniformly random delay in `[0, launch_skew_ns)` late,
+    /// modelling host-process jitter in multi-process serving. Zero (the
+    /// default) matches the paper's single-process measurement setup.
+    pub launch_skew_ns: u64,
+}
+
+impl SystemSpec {
+    /// The RTX 4090 server: PCIe across NUMA, no peer-to-peer.
+    pub fn rtx4090(n_gpus: usize) -> Self {
+        SystemSpec {
+            arch: GpuArch::rtx4090(),
+            fabric: FabricSpec::rtx4090_pcie(),
+            n_gpus,
+            comm_sms: 16,
+            seed: 0x5eed,
+            algorithm: Algorithm::Ring,
+            launch_skew_ns: 0,
+        }
+    }
+
+    /// The A800 server: pairwise NVLink, peer-to-peer capable.
+    pub fn a800(n_gpus: usize) -> Self {
+        SystemSpec {
+            arch: GpuArch::a800(),
+            fabric: FabricSpec::a800_nvlink(),
+            n_gpus,
+            comm_sms: 20,
+            seed: 0x5eed,
+            algorithm: Algorithm::Ring,
+            launch_skew_ns: 0,
+        }
+    }
+
+    /// Returns a copy with a different seed (repeat-measurement sweeps).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different collective SM footprint (ablation).
+    pub fn with_comm_sms(mut self, comm_sms: u32) -> Self {
+        self.comm_sms = comm_sms;
+        self
+    }
+
+    /// Returns a copy using a different collective algorithm (ablation;
+    /// the overlap layer is unchanged).
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Returns a copy with per-rank launch skew (robustness studies).
+    pub fn with_launch_skew_ns(mut self, launch_skew_ns: u64) -> Self {
+        self.launch_skew_ns = launch_skew_ns;
+        self
+    }
+
+    /// SMs left to the GEMM while communication is in flight (Alg. 1
+    /// line 3).
+    pub fn compute_sms(&self) -> u32 {
+        self.arch
+            .sm_count
+            .saturating_sub(self.comm_sms)
+            .max(gpu_sim::device::Device::min_compute_sms(self.arch.sm_count))
+    }
+
+    /// Realistic execution noise of the evaluation systems: kernels and
+    /// collectives run up to a few percent slower than the analytic
+    /// model, never faster ("the actual latency is always slightly
+    /// higher than the predicted", §6.4).
+    pub const GEMM_NOISE_FRAC: f64 = 0.03;
+    /// Communication noise fraction (see [`SystemSpec::GEMM_NOISE_FRAC`]).
+    pub const COMM_NOISE_FRAC: f64 = 0.06;
+
+    /// Builds a fresh cluster for one simulation run (with the
+    /// evaluation-grade execution noise enabled).
+    pub fn build_cluster(&self, functional: bool) -> Cluster {
+        let mut cluster = Cluster::new(self.n_gpus, self.arch.clone(), functional, self.seed);
+        cluster.noise = gpu_sim::cluster::NoiseSpec {
+            gemm_frac: Self::GEMM_NOISE_FRAC,
+            comm_frac: Self::COMM_NOISE_FRAC,
+        };
+        cluster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_expose_paper_platforms() {
+        let r = SystemSpec::rtx4090(4);
+        assert_eq!(r.n_gpus, 4);
+        assert!(!r.fabric.peer_to_peer);
+        let a = SystemSpec::a800(2);
+        assert!(a.fabric.peer_to_peer);
+    }
+
+    #[test]
+    fn compute_sms_subtracts_footprint() {
+        let spec = SystemSpec::rtx4090(4);
+        assert_eq!(spec.compute_sms(), 128 - 16);
+        let spec = spec.with_comm_sms(127);
+        assert_eq!(
+            spec.compute_sms(),
+            gpu_sim::device::Device::min_compute_sms(128)
+        );
+    }
+
+    #[test]
+    fn build_cluster_matches_spec() {
+        let spec = SystemSpec::a800(3).with_seed(9);
+        let cluster = spec.build_cluster(true);
+        assert_eq!(cluster.num_devices(), 3);
+        assert!(cluster.functional);
+        assert_eq!(cluster.devices[0].arch.name, "A800");
+    }
+}

@@ -1,0 +1,202 @@
+//! Group-wise tile-counting tables (§3.2.4).
+//!
+//! A counting table has one slot per group `G_1..G_P`. The GEMM epilogue
+//! atomically increments the slot of each finished tile's group; a
+//! signaling kernel waits until a slot reaches the group's tile count and
+//! then lets the corresponding communication proceed. Here the "atomic add"
+//! is an ordinary add inside a single-threaded simulation, and a waiting
+//! signaling kernel is represented by a registered [`Waiter`] that the
+//! increment returns once its threshold is met.
+
+use crate::stream::Completion;
+
+/// A signaling kernel blocked on a counter slot.
+#[derive(Debug)]
+pub struct Waiter {
+    /// The count the waiter is waiting for.
+    pub threshold: u32,
+    /// The stream-op completion to fire once the threshold is reached.
+    pub completion: Completion,
+}
+
+/// A counting table tracking per-group finished-tile counts.
+#[derive(Debug, Default)]
+pub struct CounterTable {
+    counts: Vec<u32>,
+    waiters: Vec<Vec<Waiter>>,
+}
+
+impl CounterTable {
+    /// Creates a table with `groups` zero-initialized slots.
+    pub fn new(groups: usize) -> Self {
+        CounterTable {
+            counts: vec![0; groups],
+            waiters: (0..groups).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Current count of a group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn count(&self, group: usize) -> u32 {
+        self.counts[group]
+    }
+
+    /// Increments `group` by `by` and returns the waiters whose thresholds
+    /// are now satisfied (in registration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn increment(&mut self, group: usize, by: u32) -> Vec<Waiter> {
+        self.counts[group] += by;
+        let count = self.counts[group];
+        let pending = &mut self.waiters[group];
+        let mut woken = Vec::new();
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].threshold <= count {
+                woken.push(pending.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        woken
+    }
+
+    /// Registers a waiter for `group` reaching `threshold`.
+    ///
+    /// If the threshold is already met, the completion is handed straight
+    /// back (`Some`) so the caller can fire it; otherwise it is parked and
+    /// `None` is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn register(
+        &mut self,
+        group: usize,
+        threshold: u32,
+        completion: Completion,
+    ) -> Option<Completion> {
+        if self.counts[group] >= threshold {
+            return Some(completion);
+        }
+        self.waiters[group].push(Waiter {
+            threshold,
+            completion,
+        });
+        None
+    }
+
+    /// Resets all counts to zero (table reuse across iterations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any waiter is still parked — resetting under a waiter
+    /// would deadlock it.
+    pub fn reset(&mut self) {
+        assert!(
+            self.waiters.iter().all(Vec::is_empty),
+            "resetting a counter table with parked waiters"
+        );
+        self.counts.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completion() -> Completion {
+        Completion::for_test(0, 0)
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut t = CounterTable::new(3);
+        t.increment(1, 2);
+        t.increment(1, 3);
+        assert_eq!(t.count(0), 0);
+        assert_eq!(t.count(1), 5);
+    }
+
+    #[test]
+    fn waiter_wakes_exactly_at_threshold() {
+        let mut t = CounterTable::new(1);
+        assert!(t.register(0, 4, completion()).is_none());
+        assert!(t.increment(0, 3).is_empty());
+        let woken = t.increment(0, 1);
+        assert_eq!(woken.len(), 1);
+        assert_eq!(woken[0].threshold, 4);
+    }
+
+    #[test]
+    fn already_met_threshold_returns_completion() {
+        let mut t = CounterTable::new(1);
+        t.increment(0, 10);
+        assert!(t.register(0, 4, completion()).is_some());
+    }
+
+    #[test]
+    fn multiple_waiters_same_group() {
+        let mut t = CounterTable::new(1);
+        assert!(t.register(0, 2, completion()).is_none());
+        assert!(t.register(0, 5, completion()).is_none());
+        let woken = t.increment(0, 2);
+        assert_eq!(woken.len(), 1);
+        let woken = t.increment(0, 3);
+        assert_eq!(woken.len(), 1);
+        assert_eq!(woken[0].threshold, 5);
+    }
+
+    #[test]
+    fn overshoot_wakes_waiter() {
+        let mut t = CounterTable::new(1);
+        assert!(t.register(0, 3, completion()).is_none());
+        let woken = t.increment(0, 7);
+        assert_eq!(woken.len(), 1);
+    }
+
+    #[test]
+    fn reset_zeroes_counts() {
+        let mut t = CounterTable::new(2);
+        t.increment(0, 5);
+        t.reset();
+        assert_eq!(t.count(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parked waiters")]
+    fn reset_with_waiters_panics() {
+        let mut t = CounterTable::new(1);
+        t.register(0, 1, completion());
+        t.reset();
+    }
+
+    #[test]
+    fn fig4_scenario() {
+        // Fig. 4: three groups of |G| = 2, 4, 2 tiles. Waves finish tiles
+        // in bundles; each group's comm triggers exactly when its count
+        // reaches its size.
+        let mut t = CounterTable::new(3);
+        assert!(t.register(0, 2, completion()).is_none());
+        assert!(t.register(1, 4, completion()).is_none());
+        assert!(t.register(2, 2, completion()).is_none());
+        // Wave 1 finishes 2 tiles of G1.
+        assert_eq!(t.increment(0, 2).len(), 1);
+        // Wave 2 finishes 2 tiles of G2: not enough yet.
+        assert_eq!(t.increment(1, 2).len(), 0);
+        // Wave 3 finishes 2 more tiles of G2: triggers.
+        assert_eq!(t.increment(1, 2).len(), 1);
+        // Wave 4 finishes G3.
+        assert_eq!(t.increment(2, 2).len(), 1);
+    }
+}

@@ -1,0 +1,702 @@
+//! The tiled GEMM kernel model.
+//!
+//! The main loop is never modified (the paper's interference-free
+//! property): the kernel executes its tiles wave by wave, where each wave
+//! takes one tile-duration and runs as many tiles as there are SMs
+//! *currently available* — communication kernels that grab SMs slow down
+//! subsequent waves, which is exactly the contention the predictor has to
+//! account for (Alg. 1 line 3). The epilogue is a hook: it can write tiles
+//! at reordered positions ([`EpilogueWriter`]) and bump a counting table
+//! ([`CounterHook`]) without touching the main loop, mirroring the EVT
+//! epilogue integration of §5.
+
+use std::rc::Rc;
+
+use sim::SimDuration;
+use tensor::Matrix;
+
+use crate::arch::GpuArch;
+use crate::cluster::{Cluster, TileCompletion};
+use crate::device::DeviceId;
+use crate::memory::BufferId;
+use crate::stream::{Completion, Kernel, LaunchCtx};
+use crate::swizzle::Swizzle;
+use crate::tile::{TileGrid, TileShape};
+use crate::wave::wave_count;
+use crate::ClusterSim;
+
+/// GEMM problem dimensions: `A^{M x K} x B^{K x N} = C^{M x N}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmDims {
+    /// Output rows.
+    pub m: u32,
+    /// Output columns.
+    pub n: u32,
+    /// Accumulation depth.
+    pub k: u32,
+}
+
+impl GemmDims {
+    /// Creates the dimension triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub const fn new(m: u32, n: u32, k: u32) -> Self {
+        assert!(m > 0 && n > 0 && k > 0, "GEMM dimensions must be positive");
+        GemmDims { m, n, k }
+    }
+
+    /// Output elements (`M * N`).
+    pub const fn out_elems(&self) -> u64 {
+        self.m as u64 * self.n as u64
+    }
+
+    /// Total multiply-accumulate flops (`2 M N K`).
+    pub const fn flops(&self) -> u64 {
+        2 * self.m as u64 * self.n as u64 * self.k as u64
+    }
+}
+
+/// A GEMM kernel configuration: tile shape and rasterization order.
+///
+/// In the real system this comes from the CUTLASS profiler (§5); here
+/// [`GemmConfig::choose`] plays that role with a small candidate table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmConfig {
+    /// Output tile (threadblock tile) shape.
+    pub tile: TileShape,
+    /// Threadblock swizzling pattern.
+    pub swizzle: Swizzle,
+}
+
+/// Candidate tile shapes, largest first (CUTLASS-profiler stand-in).
+const TILE_CANDIDATES: [(u32, u32); 4] = [(256, 128), (128, 128), (128, 64), (64, 64)];
+
+impl GemmConfig {
+    /// Picks the fastest configuration for a problem on an architecture:
+    /// minimize `waves x tile-time` (wave quantization), tie-breaking
+    /// toward larger tiles, like the offline profiler step of §4.2.1.
+    pub fn choose(dims: GemmDims, arch: &GpuArch) -> GemmConfig {
+        let mut best: Option<(u64, TileShape)> = None;
+        for &(tm, tn) in &TILE_CANDIDATES {
+            let tile = TileShape::new(tm, tn);
+            let grid = TileGrid::new(dims.m, dims.n, tile);
+            let waves = wave_count(grid.num_tiles(), arch.sm_count);
+            // Cost: waves x per-tile time — captures both wave
+            // quantization waste and the small-tile efficiency penalty.
+            // Larger tiles win ties because candidates are ordered
+            // largest first and the comparison is strict.
+            let cost = waves as u64 * tile_duration(dims.k, tile, arch).as_nanos();
+            if best.is_none_or(|(c, _)| cost < c) {
+                best = Some((cost, tile));
+            }
+        }
+        let (_, tile) = best.expect("candidate table is non-empty");
+        let grid = TileGrid::new(dims.m, dims.n, tile);
+        GemmConfig {
+            tile,
+            swizzle: Swizzle::Strip {
+                width: grid.tiles_n().clamp(1, 4),
+            },
+        }
+    }
+
+    /// The tile grid this configuration induces for `dims`.
+    pub fn grid(&self, dims: GemmDims) -> TileGrid {
+        TileGrid::new(dims.m, dims.n, self.tile)
+    }
+}
+
+/// Duration of one tile's main loop (== one wave) at depth `k`.
+///
+/// Small tiles sustain a lower fraction of peak (operand reuse shrinks
+/// with the tile), modelled by the `tile_eff_half` saturation term.
+pub fn tile_duration(k: u32, tile: TileShape, arch: &GpuArch) -> SimDuration {
+    let elems = tile.elems() as f64;
+    let tile_eff = elems / (elems + arch.tile_eff_half);
+    let flops = 2.0 * elems * k as f64;
+    SimDuration::from_secs_f64(flops / (arch.per_sm_flops(k) * tile_eff))
+}
+
+/// Static (no-contention) estimate of a GEMM's wave count and duration on
+/// `sms` available SMs — the offline `gemm_config.duration` of Alg. 1.
+pub fn gemm_estimate(
+    dims: GemmDims,
+    config: &GemmConfig,
+    sms: u32,
+    arch: &GpuArch,
+) -> (u32, SimDuration) {
+    let grid = config.grid(dims);
+    let waves = wave_count(grid.num_tiles(), sms.max(1));
+    let dur = arch.kernel_launch() + tile_duration(dims.k, config.tile, arch) * waves as u64;
+    (waves, dur)
+}
+
+/// Writes computed tiles into the output buffer. Implementations choose
+/// the layout: address order (plain GEMM) or a reordered packing
+/// (FlashOverlap's pre-communication reordering).
+pub trait EpilogueWriter {
+    /// Writes the computed block of tile `t` into `out`.
+    fn write_tile(&self, grid: &TileGrid, t: u32, block: &Matrix, out: &mut [f32]);
+
+    /// Required output buffer length in elements.
+    fn out_len(&self, grid: &TileGrid) -> usize {
+        grid.m() as usize * grid.n() as usize
+    }
+}
+
+/// The default epilogue: writes each tile at its natural matrix position,
+/// producing a row-major `M x N` output.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AddressOrderWriter;
+
+impl EpilogueWriter for AddressOrderWriter {
+    fn write_tile(&self, grid: &TileGrid, t: u32, block: &Matrix, out: &mut [f32]) {
+        let rows = grid.rows_of(t);
+        let cols = grid.cols_of(t);
+        let n = grid.n() as usize;
+        for (br, r) in rows.enumerate() {
+            let dst = r as usize * n + cols.start as usize;
+            out[dst..dst + block.cols()].copy_from_slice(block.row(br));
+        }
+    }
+}
+
+/// Epilogue counting-table hook: tile `t` increments slot
+/// `group_of_tile[t]` of `table` when it completes.
+#[derive(Debug, Clone)]
+pub struct CounterHook {
+    /// Counting table index on the launching device.
+    pub table: usize,
+    /// Group id per address-order tile index.
+    pub group_of_tile: Rc<Vec<u32>>,
+}
+
+/// A tiled GEMM stream kernel.
+///
+/// Buffers: `a` is `M x K` row-major, `b` is `K x N` row-major, `out` is
+/// whatever the writer's layout requires (`M x N` row-major for
+/// [`AddressOrderWriter`]).
+pub struct GemmKernel {
+    /// Input A buffer.
+    pub a: BufferId,
+    /// Input B buffer.
+    pub b: BufferId,
+    /// Output buffer.
+    pub out: BufferId,
+    /// Problem dimensions.
+    pub dims: GemmDims,
+    /// Kernel configuration.
+    pub config: GemmConfig,
+    /// Epilogue tile writer.
+    pub writer: Rc<dyn EpilogueWriter>,
+    /// Optional epilogue counting-table hook.
+    pub counter: Option<CounterHook>,
+}
+
+impl GemmKernel {
+    /// Convenience constructor with the default address-order epilogue and
+    /// auto-chosen configuration.
+    pub fn plain(a: BufferId, b: BufferId, out: BufferId, dims: GemmDims, arch: &GpuArch) -> Self {
+        GemmKernel {
+            a,
+            b,
+            out,
+            dims,
+            config: GemmConfig::choose(dims, arch),
+            writer: Rc::new(AddressOrderWriter),
+            counter: None,
+        }
+    }
+}
+
+struct GemmRun {
+    device: DeviceId,
+    a: BufferId,
+    b: BufferId,
+    out: BufferId,
+    dims: GemmDims,
+    grid: TileGrid,
+    tile_dur: SimDuration,
+    issue: Vec<u32>,
+    next: usize,
+    wave_idx: u32,
+    writer: Rc<dyn EpilogueWriter>,
+    counter: Option<CounterHook>,
+    completion: Completion,
+}
+
+impl Kernel for GemmKernel {
+    fn launch(self: Box<Self>, ctx: LaunchCtx, world: &mut Cluster, sim: &mut ClusterSim) {
+        let arch = world.devices[ctx.device].arch.clone();
+        let grid = self.config.grid(self.dims);
+        // Per-launch execution noise (positive only): clocks never beat
+        // the model.
+        let noise = 1.0
+            + world.devices[ctx.device]
+                .rng
+                .uniform(0.0, world.noise.gemm_frac.max(0.0));
+        let run = GemmRun {
+            device: ctx.device,
+            a: self.a,
+            b: self.b,
+            out: self.out,
+            dims: self.dims,
+            grid,
+            tile_dur: tile_duration(self.dims.k, self.config.tile, &arch).mul_f64(noise),
+            issue: self.config.swizzle.issue_order(&grid),
+            next: 0,
+            wave_idx: 0,
+            writer: self.writer,
+            counter: self.counter,
+            completion: ctx.completion,
+        };
+        if world.functional {
+            let mem = &world.devices[ctx.device].mem;
+            assert_eq!(
+                mem.len_of(self.a),
+                (self.dims.m * self.dims.k) as usize,
+                "A buffer length mismatch"
+            );
+            assert_eq!(
+                mem.len_of(self.b),
+                (self.dims.k * self.dims.n) as usize,
+                "B buffer length mismatch"
+            );
+            assert!(
+                mem.len_of(self.out) >= run.writer.out_len(&run.grid),
+                "output buffer too small for epilogue writer"
+            );
+        }
+        let launch = world.devices[ctx.device].arch.kernel_launch();
+        sim.schedule_in(launch, move |w, s| start_wave(run, w, s));
+    }
+
+    fn name(&self) -> &'static str {
+        "gemm"
+    }
+}
+
+fn start_wave(run: GemmRun, world: &mut Cluster, sim: &mut ClusterSim) {
+    // SM availability is sampled at wave start: communication kernels and
+    // other compute kernels that arrived since the previous wave shrink
+    // this wave. The wave holds its SMs until it retires, so concurrent
+    // GEMMs (e.g. micro-batch co-execution) genuinely share the machine.
+    let device = &mut world.devices[run.device];
+    let avail = device.avail_sms_for_compute() as usize;
+    let count = avail.min(run.issue.len() - run.next);
+    device.occupy_compute_sms(count as u32);
+    let dur = run.tile_dur;
+    sim.schedule_in(dur, move |w, s| finish_wave(run, count, w, s));
+}
+
+fn finish_wave(mut run: GemmRun, count: usize, world: &mut Cluster, sim: &mut ClusterSim) {
+    world.devices[run.device].release_compute_sms(count as u32);
+    let wave_tiles: Vec<u32> = run.issue[run.next..run.next + count].to_vec();
+
+    // Functional epilogue: compute each tile's block and write it through
+    // the epilogue writer.
+    if world.functional {
+        for &t in &wave_tiles {
+            let block = {
+                let mem = &world.devices[run.device].mem;
+                compute_tile_block(
+                    mem.data(run.a),
+                    mem.data(run.b),
+                    run.dims,
+                    &run.grid,
+                    t,
+                )
+            };
+            let mem = &mut world.devices[run.device].mem;
+            run.writer.write_tile(&run.grid, t, &block, mem.data_mut(run.out));
+        }
+    }
+
+    // Trace: tiles of a wave complete within a small jitter window before
+    // the wave boundary (§3.2.3: "typically within 5% of the wave
+    // duration").
+    if world.tile_trace.is_some() {
+        let jitter_frac = world.devices[run.device].arch.wave_jitter_frac;
+        let span = run.tile_dur.as_secs_f64() * jitter_frac;
+        let mut records = Vec::with_capacity(wave_tiles.len());
+        for (i, &t) in wave_tiles.iter().enumerate() {
+            // The last tile of the wave lands exactly on the boundary.
+            let jitter = if i + 1 == wave_tiles.len() {
+                SimDuration::ZERO
+            } else {
+                let f = world.devices[run.device].rng.uniform(0.0, span);
+                SimDuration::from_secs_f64(f)
+            };
+            let at = sim.now().duration_since(sim::SimTime::ZERO);
+            let at = sim::SimTime::ZERO + at.saturating_sub(jitter);
+            records.push((
+                at,
+                TileCompletion {
+                    device: run.device,
+                    tile: t,
+                    wave: run.wave_idx,
+                },
+            ));
+        }
+        if let Some(trace) = world.tile_trace.as_mut() {
+            for (at, rec) in records {
+                trace.record(at, rec);
+            }
+        }
+    }
+
+    // Epilogue signaling: bump the counting table per finished tile and
+    // wake any satisfied signaling kernels (with their polling delay).
+    if let Some(hook) = run.counter.clone() {
+        let mut woken = Vec::new();
+        for &t in &wave_tiles {
+            let group = hook.group_of_tile[t as usize] as usize;
+            let table = &mut world.devices[run.device].counters[hook.table];
+            woken.extend(table.increment(group, 1));
+        }
+        crate::stream::wake_counter_waiters(world, sim, run.device, woken);
+    }
+
+    run.next += count;
+    run.wave_idx += 1;
+    if run.next == run.issue.len() {
+        run.completion.finish(world, sim);
+    } else {
+        start_wave(run, world, sim);
+    }
+}
+
+/// Computes the output block of tile `t`: `A[rows, :] x B[:, cols]`.
+fn compute_tile_block(a: &[f32], b: &[f32], dims: GemmDims, grid: &TileGrid, t: u32) -> Matrix {
+    let rows = grid.rows_of(t);
+    let cols = grid.cols_of(t);
+    let (k, n) = (dims.k as usize, dims.n as usize);
+    let mut block = Matrix::zeros((rows.end - rows.start) as usize, (cols.end - cols.start) as usize);
+    for (br, r) in rows.clone().enumerate() {
+        let a_row = &a[r as usize * k..(r as usize + 1) * k];
+        let out_row = block.row_mut(br);
+        for (p, &a_rp) in a_row.iter().enumerate() {
+            let b_row = &b[p * n..p * n + n];
+            for (bc, c) in cols.clone().enumerate() {
+                out_row[bc] += a_rp * b_row[c as usize];
+            }
+        }
+    }
+    block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::stream::{enqueue, Callback, Delay};
+    use sim::{DetRng, Sim};
+    use tensor::{allclose, gemm};
+
+    fn functional_cluster() -> (Cluster, ClusterSim) {
+        (Cluster::new(1, GpuArch::rtx4090(), true, 42), Sim::new())
+    }
+
+    fn run_gemm(dims: GemmDims, config: Option<GemmConfig>) -> (Matrix, SimDuration) {
+        let (mut world, mut sim) = functional_cluster();
+        let mut rng = DetRng::new(9);
+        let a = Matrix::random(dims.m as usize, dims.k as usize, &mut rng);
+        let b = Matrix::random(dims.k as usize, dims.n as usize, &mut rng);
+        let dev = &mut world.devices[0];
+        let a_id = dev.mem.alloc_init(a.as_slice());
+        let b_id = dev.mem.alloc_init(b.as_slice());
+        let out_id = dev.mem.alloc((dims.m * dims.n) as usize);
+        let stream = dev.create_stream();
+        let mut kernel = GemmKernel::plain(a_id, b_id, out_id, dims, &world.devices[0].arch);
+        if let Some(c) = config {
+            kernel.config = c;
+        }
+        enqueue(&mut world, &mut sim, 0, stream, Box::new(kernel));
+        let end = sim.run(&mut world).unwrap();
+        let out = Matrix::from_vec(
+            dims.m as usize,
+            dims.n as usize,
+            world.devices[0].mem.snapshot(out_id),
+        );
+        let expected = gemm(&a, &b);
+        assert!(allclose(&out, &expected, 1e-3), "GEMM output wrong");
+        (out, end - sim::SimTime::ZERO)
+    }
+
+    #[test]
+    fn functional_gemm_matches_reference_exact_tiles() {
+        let dims = GemmDims::new(64, 96, 32);
+        let config = GemmConfig {
+            tile: TileShape::new(16, 16),
+            swizzle: Swizzle::Strip { width: 2 },
+        };
+        run_gemm(dims, Some(config));
+    }
+
+    #[test]
+    fn functional_gemm_matches_reference_ragged_tiles() {
+        let dims = GemmDims::new(50, 70, 24);
+        let config = GemmConfig {
+            tile: TileShape::new(16, 32),
+            swizzle: Swizzle::Strip { width: 3 },
+        };
+        run_gemm(dims, Some(config));
+    }
+
+    #[test]
+    fn functional_gemm_matches_reference_identity_swizzle() {
+        let dims = GemmDims::new(48, 48, 16);
+        let config = GemmConfig {
+            tile: TileShape::new(16, 16),
+            swizzle: Swizzle::Identity,
+        };
+        run_gemm(dims, Some(config));
+    }
+
+    #[test]
+    fn duration_matches_static_estimate_without_contention() {
+        let dims = GemmDims::new(2048, 8192, 8192);
+        let (mut world, mut sim) = (Cluster::new(1, GpuArch::rtx4090(), false, 1), Sim::new());
+        let dev = &mut world.devices[0];
+        let a = dev.mem.alloc((dims.m * dims.k) as usize);
+        let b = dev.mem.alloc((dims.k * dims.n) as usize);
+        let out = dev.mem.alloc((dims.m * dims.n) as usize);
+        let stream = dev.create_stream();
+        let arch = world.devices[0].arch.clone();
+        let kernel = GemmKernel::plain(a, b, out, dims, &arch);
+        let config = kernel.config;
+        enqueue(&mut world, &mut sim, 0, stream, Box::new(kernel));
+        let end = sim.run(&mut world).unwrap();
+        let (waves, est) = gemm_estimate(dims, &config, arch.sm_count, &arch);
+        assert_eq!(waves, 4, "paper example: 512 tiles / 128 SMs");
+        assert_eq!(end.as_nanos(), est.as_nanos());
+    }
+
+    #[test]
+    fn sm_contention_slows_gemm() {
+        let dims = GemmDims::new(2048, 8192, 4096);
+        let mut durations = Vec::new();
+        for comm_sms in [0u32, 64] {
+            let mut world = Cluster::new(1, GpuArch::rtx4090(), false, 1);
+            let mut sim: ClusterSim = Sim::new();
+            let dev = &mut world.devices[0];
+            dev.occupy_comm_sms(comm_sms);
+            let a = dev.mem.alloc(1);
+            let b = dev.mem.alloc(1);
+            let out = dev.mem.alloc(1);
+            let stream = dev.create_stream();
+            let arch = world.devices[0].arch.clone();
+            let kernel = GemmKernel::plain(a, b, out, dims, &arch);
+            enqueue(&mut world, &mut sim, 0, stream, Box::new(kernel));
+            durations.push(sim.run(&mut world).unwrap().as_nanos());
+        }
+        assert!(
+            durations[1] > durations[0],
+            "contended GEMM should be slower: {durations:?}"
+        );
+    }
+
+    #[test]
+    fn mid_run_contention_affects_later_waves() {
+        // Occupying SMs halfway through the GEMM stretches only the
+        // remaining waves.
+        let dims = GemmDims::new(2048, 8192, 4096);
+        let arch = GpuArch::rtx4090();
+        let config = GemmConfig::choose(dims, &arch);
+        let (_, clean) = gemm_estimate(dims, &config, arch.sm_count, &arch);
+
+        let mut world = Cluster::new(1, arch.clone(), false, 1);
+        let mut sim: ClusterSim = Sim::new();
+        let dev = &mut world.devices[0];
+        let a = dev.mem.alloc(1);
+        let b = dev.mem.alloc(1);
+        let out = dev.mem.alloc(1);
+        let s0 = dev.create_stream();
+        let s1 = dev.create_stream();
+        let kernel = GemmKernel::plain(a, b, out, dims, &arch);
+        enqueue(&mut world, &mut sim, 0, s0, Box::new(kernel));
+        // Steal half the SMs at 60% of the clean duration.
+        enqueue(
+            &mut world,
+            &mut sim,
+            0,
+            s1,
+            Box::new(Delay(clean.mul_f64(0.6))),
+        );
+        enqueue(
+            &mut world,
+            &mut sim,
+            0,
+            s1,
+            Box::new(Callback(Box::new(|w, _| {
+                w.devices[0].occupy_comm_sms(64)
+            }))),
+        );
+        let end = sim.run(&mut world).unwrap();
+        let stretched = end - sim::SimTime::ZERO;
+        assert!(stretched > clean, "late contention should stretch the tail");
+        assert!(
+            stretched < clean * 2,
+            "early waves should be unaffected: {stretched:?} vs {clean:?}"
+        );
+    }
+
+    #[test]
+    fn concurrent_gemms_share_the_machine() {
+        // Two identical GEMMs on separate streams must take roughly twice
+        // as long as one (they split the SMs), not run for free.
+        let dims = GemmDims::new(2048, 8192, 4096);
+        let arch = GpuArch::rtx4090();
+        let run = |kernels: usize| -> u64 {
+            let mut world = Cluster::new(1, arch.clone(), false, 1);
+            let mut sim: ClusterSim = Sim::new();
+            for _ in 0..kernels {
+                let dev = &mut world.devices[0];
+                let a = dev.mem.alloc(1);
+                let b = dev.mem.alloc(1);
+                let out = dev.mem.alloc(1);
+                let stream = dev.create_stream();
+                let kernel = GemmKernel::plain(a, b, out, dims, &arch);
+                enqueue(&mut world, &mut sim, 0, stream, Box::new(kernel));
+            }
+            sim.run(&mut world).unwrap().as_nanos()
+        };
+        let one = run(1);
+        let two = run(2);
+        let ratio = two as f64 / one as f64;
+        assert!(
+            (1.5..2.6).contains(&ratio),
+            "two concurrent GEMMs took {ratio}x of one"
+        );
+    }
+
+    #[test]
+    fn counter_hook_counts_every_tile() {
+        let dims = GemmDims::new(64, 64, 16);
+        let config = GemmConfig {
+            tile: TileShape::new(16, 16),
+            swizzle: Swizzle::Strip { width: 2 },
+        };
+        let mut world = Cluster::new(1, GpuArch::rtx4090(), true, 3);
+        let mut sim: ClusterSim = Sim::new();
+        let mut rng = DetRng::new(5);
+        let a = Matrix::random(64, 16, &mut rng);
+        let b = Matrix::random(16, 64, &mut rng);
+        let dev = &mut world.devices[0];
+        let a_id = dev.mem.alloc_init(a.as_slice());
+        let b_id = dev.mem.alloc_init(b.as_slice());
+        let out = dev.mem.alloc(64 * 64);
+        let stream = dev.create_stream();
+        let table = dev.create_counter(2);
+        // Even tiles to group 0, odd tiles to group 1.
+        let grid = config.grid(dims);
+        let groups: Vec<u32> = (0..grid.num_tiles()).map(|t| t % 2).collect();
+        let arch = world.devices[0].arch.clone();
+        let mut kernel = GemmKernel::plain(a_id, b_id, out, dims, &arch);
+        kernel.config = config;
+        kernel.counter = Some(CounterHook {
+            table,
+            group_of_tile: Rc::new(groups),
+        });
+        enqueue(&mut world, &mut sim, 0, stream, Box::new(kernel));
+        sim.run(&mut world).unwrap();
+        let total = grid.num_tiles();
+        assert_eq!(world.devices[0].counter(table).count(0), total / 2);
+        assert_eq!(world.devices[0].counter(table).count(1), total / 2);
+    }
+
+    #[test]
+    fn tile_trace_records_waves() {
+        let dims = GemmDims::new(64, 64, 16);
+        let mut world = Cluster::new(1, GpuArch::rtx4090(), false, 3);
+        world.enable_tile_trace();
+        let mut sim: ClusterSim = Sim::new();
+        let dev = &mut world.devices[0];
+        let a = dev.mem.alloc(1);
+        let b = dev.mem.alloc(1);
+        let out = dev.mem.alloc(1);
+        let stream = dev.create_stream();
+        let arch = world.devices[0].arch.clone();
+        let config = GemmConfig {
+            tile: TileShape::new(16, 16),
+            swizzle: Swizzle::Strip { width: 2 },
+        };
+        let mut kernel = GemmKernel::plain(a, b, out, dims, &arch);
+        kernel.config = config;
+        enqueue(&mut world, &mut sim, 0, stream, Box::new(kernel));
+        sim.run(&mut world).unwrap();
+        let trace = world.tile_trace.as_ref().unwrap();
+        // 16 tiles on 128 SMs: a single wave.
+        assert_eq!(trace.len(), 16);
+        assert!(trace.entries().iter().all(|(_, r)| r.wave == 0));
+    }
+
+    #[test]
+    fn gemm_noise_is_positive_and_bounded() {
+        let dims = GemmDims::new(2048, 4096, 4096);
+        let arch = GpuArch::rtx4090();
+        let config = GemmConfig::choose(dims, &arch);
+        let (_, clean) = gemm_estimate(dims, &config, arch.sm_count, &arch);
+        let mut noisy_durations = Vec::new();
+        for seed in 0..8u64 {
+            let mut world = Cluster::new(1, arch.clone(), false, seed);
+            world.noise = crate::cluster::NoiseSpec {
+                gemm_frac: 0.05,
+                comm_frac: 0.0,
+            };
+            let mut sim: ClusterSim = Sim::new();
+            let dev = &mut world.devices[0];
+            let a = dev.mem.alloc(1);
+            let b = dev.mem.alloc(1);
+            let out = dev.mem.alloc(1);
+            let stream = dev.create_stream();
+            let mut kernel = GemmKernel::plain(a, b, out, dims, &arch);
+            kernel.config = config;
+            enqueue(&mut world, &mut sim, 0, stream, Box::new(kernel));
+            noisy_durations.push(sim.run(&mut world).unwrap().as_nanos());
+        }
+        for &d in &noisy_durations {
+            assert!(d >= clean.as_nanos(), "noise must never speed up");
+            assert!(
+                d <= clean.mul_f64(1.06).as_nanos(),
+                "noise bounded by the configured fraction"
+            );
+        }
+        // Seeds differ, so durations should not all coincide.
+        let distinct: std::collections::HashSet<u64> =
+            noisy_durations.iter().copied().collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn config_choose_prefers_large_tiles_on_big_shapes() {
+        let arch = GpuArch::rtx4090();
+        let config = GemmConfig::choose(GemmDims::new(4096, 8192, 8192), &arch);
+        assert_eq!(config.tile, TileShape::new(256, 128));
+        let grid = config.grid(GemmDims::new(4096, 8192, 8192));
+        assert_eq!(grid.num_tiles(), 1024);
+    }
+
+    #[test]
+    fn config_choose_shrinks_tiles_for_small_m() {
+        let arch = GpuArch::rtx4090();
+        let config = GemmConfig::choose(GemmDims::new(128, 4096, 4096), &arch);
+        // 256-row tiles would waste half of every tile; a smaller tile
+        // must win.
+        assert!(config.tile.m <= 128);
+    }
+
+    #[test]
+    fn tile_duration_scales_with_k() {
+        let arch = GpuArch::rtx4090();
+        let tile = TileShape::new(128, 128);
+        let d1 = tile_duration(2048, tile, &arch);
+        let d2 = tile_duration(4096, tile, &arch);
+        assert!(d2 > d1);
+        // Near-linear at large K (efficiency saturates).
+        let ratio = d2.as_secs_f64() / d1.as_secs_f64();
+        assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
+    }
+}

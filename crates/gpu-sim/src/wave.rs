@@ -1,0 +1,150 @@
+//! Wave structure of tiled GEMM execution.
+//!
+//! A *wave* is the set of tiles executing concurrently (§2.1.1): with one
+//! tile per SM, the `i`-th wave is the `i`-th chunk of the issue order of
+//! width `sm_count`. The wave schedule here is the *planned* (static)
+//! schedule used for building mapping tables and predicting latency; the
+//! runtime in [`crate::gemm`] re-derives actual wave widths dynamically
+//! when communication kernels steal SMs.
+
+/// The planned assignment of tiles to waves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaveSchedule {
+    waves: Vec<Vec<u32>>,
+    wave_of_tile: Vec<u32>,
+}
+
+impl WaveSchedule {
+    /// Chops a tile issue order into waves of `concurrency` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `concurrency` is zero or `issue_order` is empty.
+    pub fn new(issue_order: &[u32], concurrency: u32) -> Self {
+        assert!(concurrency > 0, "concurrency must be positive");
+        assert!(!issue_order.is_empty(), "empty issue order");
+        let mut wave_of_tile = vec![0u32; issue_order.len()];
+        let waves: Vec<Vec<u32>> = issue_order
+            .chunks(concurrency as usize)
+            .enumerate()
+            .map(|(w, chunk)| {
+                for &t in chunk {
+                    wave_of_tile[t as usize] = w as u32;
+                }
+                chunk.to_vec()
+            })
+            .collect();
+        WaveSchedule {
+            waves,
+            wave_of_tile,
+        }
+    }
+
+    /// Number of waves `T`.
+    pub fn num_waves(&self) -> u32 {
+        self.waves.len() as u32
+    }
+
+    /// Tiles of wave `w`, in issue order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn wave(&self, w: u32) -> &[u32] {
+        &self.waves[w as usize]
+    }
+
+    /// All waves.
+    pub fn waves(&self) -> &[Vec<u32>] {
+        &self.waves
+    }
+
+    /// The wave that tile `t` (address-order index) belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn wave_of(&self, t: u32) -> u32 {
+        self.wave_of_tile[t as usize]
+    }
+
+    /// Total number of tiles.
+    pub fn num_tiles(&self) -> u32 {
+        self.wave_of_tile.len() as u32
+    }
+
+    /// Full-wave width (tiles per non-tail wave).
+    pub fn wave_width(&self) -> u32 {
+        self.waves[0].len() as u32
+    }
+}
+
+/// Number of waves needed for `tiles` tiles at `concurrency` tiles/wave.
+///
+/// # Panics
+///
+/// Panics if `concurrency` is zero.
+pub fn wave_count(tiles: u32, concurrency: u32) -> u32 {
+    assert!(concurrency > 0, "concurrency must be positive");
+    tiles.div_ceil(concurrency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swizzle::Swizzle;
+    use crate::tile::{TileGrid, TileShape};
+
+    #[test]
+    fn exact_multiple_of_concurrency() {
+        let order: Vec<u32> = (0..12).collect();
+        let ws = WaveSchedule::new(&order, 4);
+        assert_eq!(ws.num_waves(), 3);
+        assert_eq!(ws.wave(0), &[0, 1, 2, 3]);
+        assert_eq!(ws.wave(2), &[8, 9, 10, 11]);
+        assert_eq!(ws.wave_width(), 4);
+    }
+
+    #[test]
+    fn tail_wave_is_partial() {
+        let order: Vec<u32> = (0..10).collect();
+        let ws = WaveSchedule::new(&order, 4);
+        assert_eq!(ws.num_waves(), 3);
+        assert_eq!(ws.wave(2).len(), 2);
+    }
+
+    #[test]
+    fn wave_of_inverts_waves() {
+        let grid = TileGrid::new(256, 512, TileShape::new(64, 64));
+        let order = Swizzle::Strip { width: 2 }.issue_order(&grid);
+        let ws = WaveSchedule::new(&order, 7);
+        for w in 0..ws.num_waves() {
+            for &t in ws.wave(w) {
+                assert_eq!(ws.wave_of(t), w);
+            }
+        }
+    }
+
+    #[test]
+    fn waves_partition_all_tiles() {
+        let order: Vec<u32> = (0..37).rev().collect();
+        let ws = WaveSchedule::new(&order, 8);
+        let total: usize = ws.waves().iter().map(Vec::len).sum();
+        assert_eq!(total, 37);
+        assert_eq!(ws.num_tiles(), 37);
+    }
+
+    #[test]
+    fn paper_example_four_waves() {
+        // Sec. 2.1.1: 512 tiles / 128 SMs = 4 waves.
+        assert_eq!(wave_count(512, 128), 4);
+        // Sec. 4.1.2: 1024 tiles on 128 SMs gives 8 waves.
+        assert_eq!(wave_count(1024, 128), 8);
+    }
+
+    #[test]
+    fn wave_count_rounds_up() {
+        assert_eq!(wave_count(129, 128), 2);
+        assert_eq!(wave_count(1, 128), 1);
+    }
+}

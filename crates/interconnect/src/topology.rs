@@ -1,0 +1,107 @@
+//! Fabric topology presets for the two evaluation platforms.
+
+use crate::bandwidth::BandwidthModel;
+
+/// The physical link technology between GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// NVLink: high bandwidth, low per-call overhead, peer-to-peer capable.
+    NvLink,
+    /// PCIe traversing host bridges (and possibly NUMA interconnect):
+    /// low bandwidth, high per-call overhead, no peer-to-peer access on the
+    /// evaluated RTX 4090 server.
+    Pcie,
+}
+
+/// A description of the inter-GPU fabric of one server.
+///
+/// The calibration constants are chosen so the simulated Fig. 8 curves land
+/// in the regimes the paper reports: the A800 server has pairwise NVLink
+/// (hundreds of GB/s, cliff below ~1 MiB), while the RTX 4090 server
+/// communicates over PCIe across NUMA nodes (tens of GB/s at best, with a
+/// sharp degradation below a few MiB and heavy per-call overhead).
+#[derive(Debug, Clone)]
+pub struct FabricSpec {
+    /// Human-readable fabric name.
+    pub name: &'static str,
+    /// Link technology.
+    pub kind: LinkKind,
+    /// Point-to-point per-direction bandwidth model between two GPUs.
+    pub p2p: BandwidthModel,
+    /// Whether peer-to-peer (direct remote memory access) is supported.
+    /// Fusion-based baselines (FLUX) and Async-TP require this.
+    pub peer_to_peer: bool,
+}
+
+impl FabricSpec {
+    /// The A800 server fabric: pairwise NVLink.
+    ///
+    /// Calibration: NVLink-400 class links; ~200 GB/s effective saturated
+    /// per direction for collectives, half-saturation near 256 KiB, ~8 us
+    /// per-call overhead (NCCL launch + protocol on a fast fabric).
+    pub fn a800_nvlink() -> Self {
+        FabricSpec {
+            name: "A800-NVLink",
+            kind: LinkKind::NvLink,
+            p2p: BandwidthModel::new(200.0, 256 << 10, 8_000),
+            peer_to_peer: true,
+        }
+    }
+
+    /// The RTX 4090 server fabric: PCIe 4.0 across NUMA nodes.
+    ///
+    /// Calibration: ~12 GB/s effective saturated per direction (PCIe 4.0
+    /// x16 with NUMA-hop losses), half-saturation near 768 KiB, ~20 us
+    /// per-call overhead. No peer-to-peer access (matches the paper's
+    /// statement that FLUX cannot run on this server).
+    pub fn rtx4090_pcie() -> Self {
+        FabricSpec {
+            name: "RTX4090-PCIe",
+            kind: LinkKind::Pcie,
+            p2p: BandwidthModel::new(12.0, 768 << 10, 20_000),
+            peer_to_peer: false,
+        }
+    }
+
+    /// Returns a copy with a scaled peak bandwidth (used by ablation
+    /// benches to sweep fabric speed).
+    pub fn with_peak_gbps(mut self, peak_gbps: f64) -> Self {
+        self.p2p.peak_gbps = peak_gbps;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_ordering() {
+        let nv = FabricSpec::a800_nvlink();
+        let pcie = FabricSpec::rtx4090_pcie();
+        assert!(nv.p2p.peak_gbps > 10.0 * pcie.p2p.peak_gbps);
+        assert!(nv.p2p.call_overhead_ns < pcie.p2p.call_overhead_ns);
+        assert!(nv.peer_to_peer);
+        assert!(!pcie.peer_to_peer);
+    }
+
+    #[test]
+    fn nvlink_saturates_earlier_than_pcie() {
+        // The half-saturation point (bandwidth cliff) is at smaller sizes
+        // on NVLink, as in Fig. 8.
+        let nv = FabricSpec::a800_nvlink();
+        let pcie = FabricSpec::rtx4090_pcie();
+        assert!(nv.p2p.s_half_bytes < pcie.p2p.s_half_bytes);
+    }
+
+    #[test]
+    fn with_peak_scales() {
+        let f = FabricSpec::rtx4090_pcie().with_peak_gbps(24.0);
+        assert_eq!(f.p2p.peak_gbps, 24.0);
+    }
+
+    #[test]
+    fn kinds_are_distinguishable() {
+        assert_ne!(LinkKind::NvLink, LinkKind::Pcie);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests of the fabric models: curves must be monotone,
+//! interpolation must agree with the model at sample points, and the
+//! fragmentation penalty must always be nonnegative.
+
+use interconnect::{log_spaced_sizes, BandwidthModel, FabricSpec, SampledCurve};
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = BandwidthModel> {
+    (1u64..400, 10u64..(64 << 20), 0u64..100_000).prop_map(|(peak, s_half, overhead)| {
+        BandwidthModel::new(peak as f64, s_half, overhead)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Transfer time is strictly increasing in size; effective bandwidth
+    /// is nondecreasing and bounded by peak.
+    #[test]
+    fn model_monotonicity(model in arb_model(), a in 1u64..(1 << 28)) {
+        let b = a * 2;
+        prop_assert!(model.transfer_time(b) > model.transfer_time(a));
+        let bw_a = model.effective_gbps(a);
+        let bw_b = model.effective_gbps(b);
+        prop_assert!(bw_b >= bw_a);
+        prop_assert!(bw_b <= model.peak_gbps);
+    }
+
+    /// Splitting a transfer into k calls never beats one call.
+    #[test]
+    fn fragmentation_never_helps(model in arb_model(), bytes in 1024u64..(1 << 28),
+                                 k in 2u64..16) {
+        let whole = model.transfer_time(bytes);
+        let split = model.transfer_time(bytes / k) * k;
+        prop_assert!(split >= whole);
+    }
+
+    /// A curve sampled from a model interpolates exactly at sample points
+    /// and monotonically between them.
+    #[test]
+    fn sampled_curve_faithful(model in arb_model(), probe in 1u64..(1 << 27)) {
+        let sizes = log_spaced_sizes(1024, 1 << 28, 64);
+        let curve = SampledCurve::from_points(
+            sizes.iter().map(|&s| (s, model.transfer_time(s))).collect(),
+        );
+        for &s in sizes.iter().take(8) {
+            prop_assert_eq!(curve.interpolate(s).as_nanos(), model.transfer_time(s).as_nanos());
+        }
+        // Interpolation error within 5% anywhere inside the sampled range.
+        let probe = probe.max(1024);
+        let truth = model.transfer_time(probe).as_nanos() as f64;
+        let est = curve.interpolate(probe).as_nanos() as f64;
+        prop_assert!((est - truth).abs() / truth < 0.05, "probe {probe}");
+    }
+
+    /// log_spaced_sizes is strictly increasing and hits both endpoints.
+    #[test]
+    fn log_sizes_well_formed(lo_exp in 6u32..16, span in 2u32..14, count in 2usize..128) {
+        let lo = 1u64 << lo_exp;
+        let hi = 1u64 << (lo_exp + span);
+        let sizes = log_spaced_sizes(lo, hi, count);
+        prop_assert_eq!(*sizes.first().unwrap(), lo);
+        prop_assert_eq!(*sizes.last().unwrap(), hi);
+        for pair in sizes.windows(2) {
+            prop_assert!(pair[0] < pair[1]);
+        }
+    }
+
+    /// Both platform presets satisfy the paper's qualitative ordering for
+    /// any message size: NVLink is faster and saturates earlier.
+    #[test]
+    fn preset_ordering_holds_pointwise(bytes in 1024u64..(1 << 30)) {
+        let nv = FabricSpec::a800_nvlink();
+        let pcie = FabricSpec::rtx4090_pcie();
+        prop_assert!(nv.p2p.wire_time(bytes) < pcie.p2p.wire_time(bytes));
+        // Normalized saturation: NVLink reaches a higher fraction of its
+        // peak at the same size.
+        let nv_frac = nv.p2p.effective_gbps(bytes) / nv.p2p.peak_gbps;
+        let pcie_frac = pcie.p2p.effective_gbps(bytes) / pcie.p2p.peak_gbps;
+        prop_assert!(nv_frac >= pcie_frac);
+    }
+}

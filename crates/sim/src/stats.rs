@@ -1,0 +1,302 @@
+//! Summary statistics and empirical CDFs for evaluation output.
+
+use std::fmt;
+
+/// Streaming summary statistics (count / mean / variance / extrema) over a
+/// sequence of `f64` samples, using Welford's online algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use sim::Summary;
+///
+/// let s: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+/// assert_eq!(s.count(), 3);
+/// assert!((s.mean() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples added.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; zero when fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} max={:.4}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min().unwrap_or(f64::NAN),
+            self.max().unwrap_or(f64::NAN)
+        )
+    }
+}
+
+/// An empirical cumulative distribution function over collected samples.
+///
+/// Used to reproduce Fig. 11 (CDF of predictor error ratios).
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Creates an empty CDF.
+    pub fn new() -> Self {
+        Cdf {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns true if no samples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in Cdf"));
+            self.sorted = true;
+        }
+    }
+
+    /// Returns the `q`-quantile (0 ≤ q ≤ 1) by nearest-rank; `None` when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or any sample is NaN.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let idx = ((q * (self.samples.len() - 1) as f64).round() as usize)
+            .min(self.samples.len() - 1);
+        Some(self.samples[idx])
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn fraction_at_most(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.samples.partition_point(|&s| s <= x);
+        n as f64 / self.samples.len() as f64
+    }
+
+    /// Sample mean; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Returns `(value, cumulative fraction)` pairs at `points` evenly
+    /// spaced quantiles, suitable for plotting the CDF curve.
+    pub fn curve(&mut self, points: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        (0..points)
+            .map(|i| {
+                let q = i as f64 / (points - 1).max(1) as f64;
+                let idx = ((q * (n - 1) as f64).round() as usize).min(n - 1);
+                (self.samples[idx], (idx + 1) as f64 / n as f64)
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<f64> for Cdf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut c = Cdf::new();
+        for x in iter {
+            c.add(x);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mean_and_variance() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn summary_empty_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let mut s = Summary::new();
+        s.add(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), Some(3.5));
+    }
+
+    #[test]
+    fn summary_display_contains_fields() {
+        let s: Summary = [1.0, 2.0].into_iter().collect();
+        let text = format!("{s}");
+        assert!(text.contains("n=2"));
+        assert!(text.contains("mean=1.5"));
+    }
+
+    #[test]
+    fn cdf_quantiles() {
+        let mut c: Cdf = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert_eq!(c.quantile(1.0), Some(100.0));
+        let median = c.quantile(0.5).unwrap();
+        assert!((49.0..=51.0).contains(&median));
+    }
+
+    #[test]
+    fn cdf_fraction_at_most() {
+        let mut c: Cdf = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert!((c.fraction_at_most(2.0) - 0.5).abs() < 1e-12);
+        assert_eq!(c.fraction_at_most(0.0), 0.0);
+        assert_eq!(c.fraction_at_most(10.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_curve_is_monotone() {
+        let mut c: Cdf = [5.0, 1.0, 3.0, 2.0, 4.0].into_iter().collect();
+        let curve = c.curve(5);
+        assert_eq!(curve.len(), 5);
+        for pair in curve.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_empty_cases() {
+        let mut c = Cdf::new();
+        assert!(c.is_empty());
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.mean(), 0.0);
+        assert!(c.curve(10).is_empty());
+    }
+
+    #[test]
+    fn cdf_mean() {
+        let c: Cdf = [1.0, 2.0, 3.0].into_iter().collect();
+        assert!((c.mean() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,348 @@
+//! Simulated time: nanosecond-resolution instants and durations.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulated clock, in nanoseconds since simulation start.
+///
+/// `SimTime` is a plain monotonic counter: it has no relation to wall-clock
+/// time, and two simulations with the same inputs produce identical
+/// timestamps.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from nanoseconds since simulation start.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Returns the instant as nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as (fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Returns the instant as (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the instant as (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`; simulated time never runs
+    /// backwards, so this indicates a logic error in the caller.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        assert!(
+            earlier.0 <= self.0,
+            "duration_since: earlier ({}) is after self ({})",
+            earlier.0,
+            self.0
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to nanoseconds.
+    ///
+    /// Negative or non-finite inputs are clamped to zero; model code often
+    /// produces tiny negative values from floating-point cancellation and a
+    /// zero-length duration is always the intended result there.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimDuration(0);
+        }
+        SimDuration((secs * 1e9).round() as u64)
+    }
+
+    /// Creates a duration from fractional microseconds (clamped like
+    /// [`SimDuration::from_secs_f64`]).
+    pub fn from_micros_f64(us: f64) -> Self {
+        Self::from_secs_f64(us / 1e6)
+    }
+
+    /// Returns the duration in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as (fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Returns the duration as (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the duration as (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns true if the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the duration by a non-negative float, rounding to
+    /// nanoseconds.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * factor)
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating subtraction: returns `self - other`, or zero.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        assert!(
+            rhs.0 <= self.0,
+            "SimDuration subtraction underflow: {} - {}",
+            self.0,
+            rhs.0
+        );
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ns", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t0 = SimTime::from_nanos(100);
+        let d = SimDuration::from_nanos(50);
+        let t1 = t0 + d;
+        assert_eq!(t1.as_nanos(), 150);
+        assert_eq!(t1 - t0, d);
+        assert_eq!(t1.duration_since(t0), d);
+    }
+
+    #[test]
+    fn duration_conversions() {
+        assert_eq!(SimDuration::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimDuration::from_millis(2).as_nanos(), 2_000_000);
+        let d = SimDuration::from_secs_f64(1.5e-6);
+        assert_eq!(d.as_nanos(), 1_500);
+        assert!((d.as_micros_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_negative_and_non_finite() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    fn duration_since_panics_on_backwards_time() {
+        let _ = SimTime::from_nanos(1).duration_since(SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        let a = SimDuration::from_nanos(5);
+        let b = SimDuration::from_nanos(9);
+        assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_sub(a), SimDuration::from_nanos(4));
+    }
+
+    #[test]
+    fn min_max_behave() {
+        let a = SimDuration::from_nanos(5);
+        let b = SimDuration::from_nanos(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let t = SimTime::from_nanos(7);
+        assert_eq!(t.max(SimTime::from_nanos(3)), t);
+    }
+
+    #[test]
+    fn mul_f64_rounds_to_nanos() {
+        let d = SimDuration::from_nanos(1000);
+        assert_eq!(d.mul_f64(0.5).as_nanos(), 500);
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_nanos).sum();
+        assert_eq!(total.as_nanos(), 10);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_micros(2)), "2.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(2)), "2.000ms");
+        assert_eq!(format!("{:?}", SimTime::from_nanos(7)), "t+7ns");
+    }
+}

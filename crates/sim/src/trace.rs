@@ -1,0 +1,122 @@
+//! Timestamped trace recording.
+//!
+//! Traces capture what happened and when inside a simulation run — e.g. the
+//! per-tile completion records behind Fig. 2 — without the model code
+//! needing to know how the data will be consumed.
+
+use crate::time::SimTime;
+
+/// A timestamped record sequence of caller-defined entries.
+///
+/// # Examples
+///
+/// ```
+/// use sim::{SimTime, Trace};
+///
+/// let mut trace: Trace<&str> = Trace::new();
+/// trace.record(SimTime::from_nanos(5), "tile 0 done");
+/// trace.record(SimTime::from_nanos(9), "tile 1 done");
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.entries()[0].1, "tile 0 done");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace<T> {
+    entries: Vec<(SimTime, T)>,
+}
+
+impl<T> Default for Trace<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Trace<T> {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends an entry at simulated time `at`.
+    pub fn record(&mut self, at: SimTime, entry: T) {
+        self.entries.push((at, entry));
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in recording order.
+    pub fn entries(&self) -> &[(SimTime, T)] {
+        &self.entries
+    }
+
+    /// Consumes the trace, returning its entries.
+    pub fn into_entries(self) -> Vec<(SimTime, T)> {
+        self.entries
+    }
+
+    /// Iterates over entries matching a predicate.
+    pub fn filter<'a, F>(&'a self, mut pred: F) -> impl Iterator<Item = &'a (SimTime, T)>
+    where
+        F: FnMut(&T) -> bool + 'a,
+    {
+        self.entries.iter().filter(move |(_, e)| pred(e))
+    }
+
+    /// Clears all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t: Trace<u32> = Trace::new();
+        t.record(SimTime::from_nanos(1), 10);
+        t.record(SimTime::from_nanos(2), 20);
+        let e = t.entries();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0], (SimTime::from_nanos(1), 10));
+        assert_eq!(e[1], (SimTime::from_nanos(2), 20));
+    }
+
+    #[test]
+    fn filter_selects_matching() {
+        let mut t: Trace<u32> = Trace::new();
+        for i in 0..10 {
+            t.record(SimTime::from_nanos(i), i as u32);
+        }
+        let even: Vec<_> = t.filter(|e| e % 2 == 0).collect();
+        assert_eq!(even.len(), 5);
+    }
+
+    #[test]
+    fn clear_and_empty() {
+        let mut t: Trace<u32> = Trace::new();
+        assert!(t.is_empty());
+        t.record(SimTime::ZERO, 1);
+        assert!(!t.is_empty());
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn into_entries_consumes() {
+        let mut t: Trace<&str> = Trace::new();
+        t.record(SimTime::ZERO, "a");
+        let v = t.into_entries();
+        assert_eq!(v, vec![(SimTime::ZERO, "a")]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the simulation engine.
+
+use proptest::prelude::*;
+use sim::{Cdf, DetRng, Sim, SimDuration, SimTime};
+
+proptest! {
+    /// Events always fire in nondecreasing time order regardless of the
+    /// order they were scheduled in.
+    #[test]
+    fn events_fire_in_time_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        for &t in &times {
+            sim.schedule_at(SimTime::from_nanos(t), move |w, s| {
+                w.push(s.now().as_nanos());
+            });
+        }
+        let mut fired = Vec::new();
+        sim.run(&mut fired).unwrap();
+        prop_assert_eq!(fired.len(), times.len());
+        for pair in fired.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+        let mut expected = times.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(fired, expected);
+    }
+
+    /// The final clock equals the maximum scheduled time.
+    #[test]
+    fn final_time_is_max(times in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut sim: Sim<()> = Sim::new();
+        for &t in &times {
+            sim.schedule_at(SimTime::from_nanos(t), |_, _| {});
+        }
+        let end = sim.run(&mut ()).unwrap();
+        prop_assert_eq!(end.as_nanos(), *times.iter().max().unwrap());
+    }
+
+    /// Chained events accumulate durations exactly.
+    #[test]
+    fn chained_delays_accumulate(delays in proptest::collection::vec(1u64..10_000, 1..50)) {
+        let total: u64 = delays.iter().sum();
+        let mut sim: Sim<u64> = Sim::new();
+        fn chain(mut rest: Vec<u64>, w: &mut u64, s: &mut Sim<u64>) {
+            if let Some(d) = rest.pop() {
+                s.schedule_in(SimDuration::from_nanos(d), move |w, s| chain(rest, w, s));
+            } else {
+                *w = s.now().as_nanos();
+            }
+        }
+        let mut rev = delays.clone();
+        rev.reverse();
+        sim.schedule_now(move |w, s| chain(rev, w, s));
+        let mut world = 0;
+        sim.run(&mut world).unwrap();
+        prop_assert_eq!(world, total);
+    }
+
+    /// DetRng::next_below always stays below its bound.
+    #[test]
+    fn rng_below_bound(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = DetRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_below(n) < n);
+        }
+    }
+
+    /// DetRng::uniform stays within bounds.
+    #[test]
+    fn rng_uniform_in_bounds(seed in any::<u64>(), lo in -1e6f64..1e6, width in 0.0f64..1e6) {
+        let hi = lo + width;
+        let mut rng = DetRng::new(seed);
+        for _ in 0..50 {
+            let x = rng.uniform(lo, hi);
+            prop_assert!(x >= lo && (x < hi || (x == lo && width == 0.0)));
+        }
+    }
+
+    /// Shuffle is a permutation.
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), len in 0usize..200) {
+        let mut rng = DetRng::new(seed);
+        let mut v: Vec<usize> = (0..len).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    }
+
+    /// Cdf quantile is monotone in q and bounded by the extremes.
+    #[test]
+    fn cdf_quantile_monotone(samples in proptest::collection::vec(-1e9f64..1e9, 1..200)) {
+        let mut cdf: Cdf = samples.iter().copied().collect();
+        let lo = cdf.quantile(0.0).unwrap();
+        let hi = cdf.quantile(1.0).unwrap();
+        prop_assert!(lo <= hi);
+        let mut prev = lo;
+        for i in 1..=10 {
+            let q = cdf.quantile(i as f64 / 10.0).unwrap();
+            prop_assert!(q >= prev);
+            prev = q;
+        }
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(lo, min);
+        prop_assert_eq!(hi, max);
+    }
+}

@@ -1,0 +1,71 @@
+//! Approximate matrix comparison helpers for tests and verification.
+
+use crate::matrix::Matrix;
+
+/// Returns the maximum absolute element-wise difference between two
+/// equal-shape matrices.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn max_abs_diff(a: &Matrix, b: &Matrix) -> f32 {
+    assert_eq!(
+        (a.rows(), a.cols()),
+        (b.rows(), b.cols()),
+        "shape mismatch: {}x{} vs {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+/// Returns true if every element of `a` is within `tol` of `b` (and shapes
+/// match). `tol == 0.0` demands exact equality.
+///
+/// # Panics
+///
+/// Panics on shape mismatch — a shape mismatch in a correctness check is a
+/// bug, not a tolerable difference.
+pub fn allclose(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    max_abs_diff(a, b) <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_matrices_are_close() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * c) as f32);
+        assert!(allclose(&a, &a, 0.0));
+        assert_eq!(max_abs_diff(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn detects_single_element_difference() {
+        let a = Matrix::zeros(2, 2);
+        let mut b = Matrix::zeros(2, 2);
+        b[(1, 0)] = 0.5;
+        assert_eq!(max_abs_diff(&a, &b), 0.5);
+        assert!(!allclose(&a, &b, 0.4));
+        assert!(allclose(&a, &b, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let _ = allclose(&Matrix::zeros(1, 2), &Matrix::zeros(2, 1), 1.0);
+    }
+
+    #[test]
+    fn empty_matrices_are_close() {
+        let a = Matrix::zeros(0, 5);
+        assert!(allclose(&a, &a, 0.0));
+    }
+}

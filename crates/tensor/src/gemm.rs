@@ -1,0 +1,192 @@
+//! Reference general matrix multiplication.
+
+use crate::matrix::Matrix;
+
+/// Computes `A × B` naively in `f32` (the ground-truth implementation).
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use tensor::{gemm, Matrix};
+///
+/// let a = Matrix::from_fn(2, 2, |r, c| (r + c) as f32);
+/// let i = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+/// assert_eq!(gemm(&a, &i), a);
+/// ```
+pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "gemm shape mismatch: {}x{} times {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+            let b_row = b.row(p);
+            for j in 0..n {
+                c_row[j] += a_ip * b_row[j];
+            }
+        }
+    }
+    c
+}
+
+/// Computes `A × B` with cache blocking; numerically identical ordering per
+/// output element is *not* guaranteed versus [`gemm`], so compare with a
+/// tolerance.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree or `block` is zero.
+pub fn gemm_blocked(a: &Matrix, b: &Matrix, block: usize) -> Matrix {
+    assert!(block > 0, "block size must be positive");
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "gemm shape mismatch: {}x{} times {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i0 in (0..m).step_by(block) {
+        let i1 = (i0 + block).min(m);
+        for p0 in (0..k).step_by(block) {
+            let p1 = (p0 + block).min(k);
+            for j0 in (0..n).step_by(block) {
+                let j1 = (j0 + block).min(n);
+                for i in i0..i1 {
+                    let a_row = a.row(i);
+                    let c_row = c.row_mut(i);
+                    for (p, &a_ip) in a_row.iter().enumerate().take(p1).skip(p0) {
+                        let b_row = b.row(p);
+                        for j in j0..j1 {
+                            c_row[j] += a_ip * b_row[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Computes the partial product over a K-slice: `A[:, k0..k1] × B[k0..k1, :]`.
+///
+/// This is what each tensor-parallel rank computes before AllReduce; summing
+/// the partials over a disjoint cover of `0..K` equals the full product.
+///
+/// # Panics
+///
+/// Panics if the slice is out of range or dimensions disagree.
+pub fn gemm_k_slice(a: &Matrix, b: &Matrix, k0: usize, k1: usize) -> Matrix {
+    assert!(k0 <= k1 && k1 <= a.cols(), "bad K slice {k0}..{k1}");
+    assert_eq!(a.cols(), b.rows(), "gemm shape mismatch");
+    let (m, n) = (a.rows(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (p, &a_ip) in a_row.iter().enumerate().take(k1).skip(k0) {
+            let b_row = b.row(p);
+            for j in 0..n {
+                c_row[j] += a_ip * b_row[j];
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::allclose;
+    use sim::DetRng;
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = DetRng::new(1);
+        let a = Matrix::random(5, 5, &mut rng);
+        let i = Matrix::from_fn(5, 5, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert!(allclose(&gemm(&a, &i), &a, 0.0));
+        assert!(allclose(&gemm(&i, &a), &a, 0.0));
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = gemm(&a, &b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        let mut rng = DetRng::new(2);
+        let a = Matrix::random(17, 23, &mut rng);
+        let b = Matrix::random(23, 11, &mut rng);
+        let reference = gemm(&a, &b);
+        for block in [1, 3, 8, 64] {
+            assert!(
+                allclose(&gemm_blocked(&a, &b, block), &reference, 1e-4),
+                "block={block}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_slices_sum_to_full_product() {
+        let mut rng = DetRng::new(3);
+        let a = Matrix::random(6, 12, &mut rng);
+        let b = Matrix::random(12, 5, &mut rng);
+        let full = gemm(&a, &b);
+        let p1 = gemm_k_slice(&a, &b, 0, 4);
+        let p2 = gemm_k_slice(&a, &b, 4, 9);
+        let p3 = gemm_k_slice(&a, &b, 9, 12);
+        let sum = p1.add(&p2).add(&p3);
+        assert!(allclose(&sum, &full, 1e-5));
+    }
+
+    #[test]
+    fn empty_k_slice_is_zero() {
+        let mut rng = DetRng::new(4);
+        let a = Matrix::random(3, 4, &mut rng);
+        let b = Matrix::random(4, 2, &mut rng);
+        let z = gemm_k_slice(&a, &b, 2, 2);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_shapes_panic() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = gemm(&a, &b);
+    }
+
+    #[test]
+    fn degenerate_dimensions() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 2);
+        let c = gemm(&a, &b);
+        assert_eq!((c.rows(), c.cols()), (0, 2));
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 2);
+        let c = gemm(&a, &b);
+        assert_eq!((c.rows(), c.cols()), (2, 2));
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,18 @@
+//! Host-side matrix numerics: the correctness oracle.
+//!
+//! Everything the simulated GPUs compute — tiled GEMMs, reordered
+//! collectives, fused RMSNorm remaps — is checked against the plain,
+//! obviously-correct implementations in this crate. The crate is `f32`,
+//! row-major, and deliberately free of any simulation or device concepts.
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod gemm;
+pub mod matrix;
+pub mod ops;
+
+pub use compare::{allclose, max_abs_diff};
+pub use gemm::{gemm, gemm_blocked};
+pub use matrix::Matrix;
+pub use ops::{bias_add, relu, rmsnorm, silu};

@@ -1,0 +1,144 @@
+//! Element-wise and normalization operators (GEMM epilogues and the
+//! post-communication kernels the paper fuses remapping into).
+
+use crate::matrix::Matrix;
+
+/// Row-wise RMS normalization with a learned gain vector.
+///
+/// Each row `x` becomes `x / sqrt(mean(x^2) + eps) * weight`.
+///
+/// # Panics
+///
+/// Panics if `weight.len() != m.cols()`.
+///
+/// # Examples
+///
+/// ```
+/// use tensor::{rmsnorm, Matrix};
+///
+/// let m = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+/// let out = rmsnorm(&m, &[1.0, 1.0], 0.0);
+/// // RMS of (3, 4) is sqrt(12.5).
+/// assert!((out[(0, 0)] - 3.0 / 12.5f32.sqrt()).abs() < 1e-6);
+/// ```
+pub fn rmsnorm(m: &Matrix, weight: &[f32], eps: f32) -> Matrix {
+    assert_eq!(
+        weight.len(),
+        m.cols(),
+        "rmsnorm weight length {} != cols {}",
+        weight.len(),
+        m.cols()
+    );
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for r in 0..m.rows() {
+        let row = m.row(r);
+        let mean_sq = row.iter().map(|x| x * x).sum::<f32>() / m.cols().max(1) as f32;
+        let inv_rms = 1.0 / (mean_sq + eps).sqrt();
+        let out_row = out.row_mut(r);
+        for (o, (x, w)) in out_row.iter_mut().zip(row.iter().zip(weight)) {
+            *o = x * inv_rms * w;
+        }
+    }
+    out
+}
+
+/// Adds a per-column bias vector to every row.
+///
+/// # Panics
+///
+/// Panics if `bias.len() != m.cols()`.
+pub fn bias_add(m: &Matrix, bias: &[f32]) -> Matrix {
+    assert_eq!(
+        bias.len(),
+        m.cols(),
+        "bias length {} != cols {}",
+        bias.len(),
+        m.cols()
+    );
+    Matrix::from_fn(m.rows(), m.cols(), |r, c| m[(r, c)] + bias[c])
+}
+
+/// Element-wise rectified linear unit.
+pub fn relu(m: &Matrix) -> Matrix {
+    Matrix::from_fn(m.rows(), m.cols(), |r, c| m[(r, c)].max(0.0))
+}
+
+/// Element-wise SiLU (`x * sigmoid(x)`), the activation used by the MoE
+/// expert layers that motivate GEMM+All-to-All.
+pub fn silu(m: &Matrix) -> Matrix {
+    Matrix::from_fn(m.rows(), m.cols(), |r, c| {
+        let x = m[(r, c)];
+        x / (1.0 + (-x).exp())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::allclose;
+    use sim::DetRng;
+
+    #[test]
+    fn rmsnorm_unit_rows_have_unit_rms() {
+        let mut rng = DetRng::new(1);
+        let m = Matrix::random(4, 16, &mut rng);
+        let weight = vec![1.0; 16];
+        let out = rmsnorm(&m, &weight, 0.0);
+        for r in 0..out.rows() {
+            let rms = (out.row(r).iter().map(|x| x * x).sum::<f32>() / 16.0).sqrt();
+            assert!((rms - 1.0).abs() < 1e-4, "row {r} rms {rms}");
+        }
+    }
+
+    #[test]
+    fn rmsnorm_applies_weight() {
+        let m = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let out = rmsnorm(&m, &[2.0, 0.5], 0.0);
+        // RMS is 1, so output is exactly the weights.
+        assert!((out[(0, 0)] - 2.0).abs() < 1e-6);
+        assert!((out[(0, 1)] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rmsnorm_eps_guards_zero_row() {
+        let m = Matrix::zeros(1, 4);
+        let out = rmsnorm(&m, &[1.0; 4], 1e-6);
+        assert!(out.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn bias_add_broadcasts_per_column() {
+        let m = Matrix::zeros(2, 3);
+        let out = bias_add(&m, &[1.0, 2.0, 3.0]);
+        assert_eq!(out.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(out.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let m = Matrix::from_vec(1, 4, vec![-2.0, -0.5, 0.0, 3.0]);
+        assert_eq!(relu(&m).as_slice(), &[0.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn silu_known_values() {
+        let m = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let out = silu(&m);
+        assert_eq!(out[(0, 0)], 0.0);
+        let expected = 1.0 / (1.0 + (-1.0f32).exp());
+        assert!((out[(0, 1)] - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn silu_is_odd_asymptotically_linear() {
+        let m = Matrix::from_vec(1, 1, vec![20.0]);
+        assert!(allclose(&silu(&m), &m, 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight length")]
+    fn rmsnorm_weight_mismatch_panics() {
+        let m = Matrix::zeros(1, 4);
+        let _ = rmsnorm(&m, &[1.0; 3], 0.0);
+    }
+}

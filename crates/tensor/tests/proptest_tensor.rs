@@ -1,0 +1,85 @@
+//! Property-based tests for the numerics oracle.
+
+use proptest::prelude::*;
+use sim::DetRng;
+use tensor::gemm::gemm_k_slice;
+use tensor::{allclose, gemm, gemm_blocked, max_abs_diff, rmsnorm, Matrix};
+
+fn random_matrix(seed: u64, rows: usize, cols: usize) -> Matrix {
+    let mut rng = DetRng::new(seed);
+    Matrix::random(rows, cols, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GEMM distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn gemm_distributes(seed in any::<u64>(), m in 1usize..12, k in 1usize..12, n in 1usize..12) {
+        let a = random_matrix(seed, m, k);
+        let b = random_matrix(seed ^ 1, k, n);
+        let c = random_matrix(seed ^ 2, k, n);
+        let lhs = gemm(&a, &b.add(&c));
+        let rhs = gemm(&a, &b).add(&gemm(&a, &c));
+        prop_assert!(allclose(&lhs, &rhs, 1e-3));
+    }
+
+    /// Blocked GEMM matches the naive reference for arbitrary block sizes.
+    #[test]
+    fn blocked_gemm_matches(seed in any::<u64>(), m in 1usize..20, k in 1usize..20,
+                            n in 1usize..20, block in 1usize..24) {
+        let a = random_matrix(seed, m, k);
+        let b = random_matrix(seed ^ 7, k, n);
+        prop_assert!(allclose(&gemm_blocked(&a, &b, block), &gemm(&a, &b), 1e-3));
+    }
+
+    /// Partial K-slices over any split point sum to the full product
+    /// (the tensor-parallel AllReduce identity).
+    #[test]
+    fn k_slices_partition(seed in any::<u64>(), m in 1usize..10, k in 2usize..24, n in 1usize..10,
+                          split_frac in 0.0f64..1.0) {
+        let a = random_matrix(seed, m, k);
+        let b = random_matrix(seed ^ 3, k, n);
+        let split = ((k as f64 * split_frac) as usize).min(k);
+        let sum = gemm_k_slice(&a, &b, 0, split).add(&gemm_k_slice(&a, &b, split, k));
+        prop_assert!(allclose(&sum, &gemm(&a, &b), 1e-3));
+    }
+
+    /// Transpose reverses multiplication order: (AB)^T = B^T A^T.
+    #[test]
+    fn transpose_of_product(seed in any::<u64>(), m in 1usize..8, k in 1usize..8, n in 1usize..8) {
+        let a = random_matrix(seed, m, k);
+        let b = random_matrix(seed ^ 5, k, n);
+        let lhs = gemm(&a, &b).transpose();
+        let rhs = gemm(&b.transpose(), &a.transpose());
+        prop_assert!(allclose(&lhs, &rhs, 1e-3));
+    }
+
+    /// RMSNorm is invariant to positive row scaling (with eps = 0).
+    #[test]
+    fn rmsnorm_scale_invariant(seed in any::<u64>(), rows in 1usize..6, cols in 1usize..16,
+                               scale in 0.5f32..8.0) {
+        let m = random_matrix(seed, rows, cols);
+        // Skip degenerate all-zero rows, where 0/0 appears with eps = 0.
+        prop_assume!(m.as_slice().iter().any(|&x| x.abs() > 1e-3));
+        let weight = vec![1.0f32; cols];
+        let base = rmsnorm(&m, &weight, 0.0);
+        let scaled = rmsnorm(&m.scale(scale), &weight, 0.0);
+        prop_assert!(max_abs_diff(&base, &scaled) < 1e-3);
+    }
+
+    /// Submatrix extraction followed by write-back at the same offset is the
+    /// identity on that region.
+    #[test]
+    fn submatrix_writeback_roundtrip(seed in any::<u64>(), rows in 1usize..12, cols in 1usize..12) {
+        let m = random_matrix(seed, rows, cols);
+        let r0 = rows / 3;
+        let c0 = cols / 3;
+        let rh = (rows - r0).max(1).min(rows - r0);
+        let cw = (cols - c0).max(1).min(cols - c0);
+        let block = m.submatrix(r0, c0, rh, cw);
+        let mut copy = m.clone();
+        copy.write_block(r0, c0, &block);
+        prop_assert_eq!(copy, m);
+    }
+}

@@ -1,0 +1,15 @@
+//! Evaluation workloads (§6.1.2, Table 3).
+//!
+//! The operator benchmarks sweep GEMM shapes drawn from the ranges of
+//! Table 3 ([`table3`]), real-model projection shapes ([`models`]), and
+//! MoE token-routing tables ([`routing`]). All generators are
+//! deterministic.
+
+#![warn(missing_docs)]
+
+pub mod models;
+pub mod routing;
+pub mod table3;
+
+pub use routing::{balanced_routing, skewed_routing};
+pub use table3::{all_table3, shape_range, table3_shapes, GpuKind, ShapeRange};

@@ -1,0 +1,108 @@
+//! MoE token-routing generators for the All-to-All workloads (§2.3).
+
+use sim::DetRng;
+
+/// Uniform random routing: every token is routed to a uniformly random
+/// destination rank. The expected load is balanced; instantaneous load
+/// fluctuates like real top-k gating under a well-trained router.
+pub fn balanced_routing(tokens: usize, ranks: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(ranks > 0, "need at least one rank");
+    let mut rng = DetRng::new(seed);
+    (0..ranks)
+        .map(|_| {
+            (0..tokens)
+                .map(|_| rng.next_below(ranks as u64) as usize)
+                .collect()
+        })
+        .collect()
+}
+
+/// Skewed routing: destination 0 receives `hot_fraction` of the traffic,
+/// the rest spreads uniformly — the "inherent workload imbalance" the
+/// paper notes for expert parallelism.
+///
+/// # Panics
+///
+/// Panics if `hot_fraction` is outside `[0, 1]` or `ranks == 0`.
+pub fn skewed_routing(
+    tokens: usize,
+    ranks: usize,
+    hot_fraction: f64,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    assert!(ranks > 0, "need at least one rank");
+    assert!(
+        (0.0..=1.0).contains(&hot_fraction),
+        "hot fraction {hot_fraction} out of range"
+    );
+    let mut rng = DetRng::new(seed);
+    (0..ranks)
+        .map(|_| {
+            (0..tokens)
+                .map(|_| {
+                    if rng.next_f64() < hot_fraction {
+                        0
+                    } else {
+                        rng.next_below(ranks as u64) as usize
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Per-destination token counts of one routing table.
+pub fn load_histogram(table: &[usize], ranks: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; ranks];
+    for &d in table {
+        counts[d] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_routing_is_roughly_uniform() {
+        let routing = balanced_routing(40_000, 4, 7);
+        for table in &routing {
+            let hist = load_histogram(table, 4);
+            for &count in &hist {
+                let frac = count as f64 / 40_000.0;
+                assert!((frac - 0.25).abs() < 0.02, "histogram {hist:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_routing_overloads_rank_zero() {
+        let routing = skewed_routing(40_000, 4, 0.5, 3);
+        let hist = load_histogram(&routing[1], 4);
+        let hot = hist[0] as f64 / 40_000.0;
+        assert!(hot > 0.55, "rank 0 got only {hot}");
+        assert!(hist[1] < hist[0] / 3);
+    }
+
+    #[test]
+    fn zero_skew_equals_balanced_statistics() {
+        let routing = skewed_routing(10_000, 4, 0.0, 3);
+        let hist = load_histogram(&routing[0], 4);
+        for &count in &hist {
+            assert!((count as f64 / 10_000.0 - 0.25).abs() < 0.03);
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        assert_eq!(balanced_routing(100, 4, 9), balanced_routing(100, 4, 9));
+        assert_ne!(balanced_routing(100, 4, 9), balanced_routing(100, 4, 10));
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let table = vec![0, 1, 1, 2, 3, 3, 3];
+        assert_eq!(load_histogram(&table, 4), vec![1, 2, 1, 3]);
+    }
+}

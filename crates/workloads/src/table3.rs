@@ -1,0 +1,174 @@
+//! The GEMM shape ranges of Table 3.
+//!
+//! Table 3 gives, per (primitive, GPU), a range of output sizes `M x N`
+//! (in units of 1024^2 elements) and accumulation depths `K` (units of
+//! 1024). The paper evaluates "over 200 GEMM sizes from real-world
+//! workloads" inside these ranges; here a deterministic grid over
+//! power-of-two-friendly `M`, `N`, and `K` values fills each range.
+
+use collectives::Primitive;
+use gpu_sim::gemm::GemmDims;
+
+/// The two evaluation platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuKind {
+    /// RTX 4090 server (PCIe).
+    Rtx4090,
+    /// A800 server (NVLink).
+    A800,
+}
+
+impl std::fmt::Display for GpuKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            GpuKind::Rtx4090 => "RTX4090",
+            GpuKind::A800 => "A800",
+        })
+    }
+}
+
+/// One Table 3 cell: the `M x N` product range (in Mi elements) and `K`
+/// range (in Ki).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeRange {
+    /// Inclusive `M * N` range in units of `1024^2` elements.
+    pub mn_mi: (u64, u64),
+    /// Inclusive `K` range in units of `1024`.
+    pub k_ki: (u32, u32),
+}
+
+/// Returns the Table 3 range for a primitive on a platform, or `None`
+/// where the paper does not evaluate the combination (All-to-All is
+/// 4090-only).
+pub fn shape_range(primitive: Primitive, gpu: GpuKind) -> Option<ShapeRange> {
+    use GpuKind::*;
+    use Primitive::*;
+    match (primitive, gpu) {
+        (AllReduce, Rtx4090) => Some(ShapeRange {
+            mn_mi: (64, 256),
+            k_ki: (4, 8),
+        }),
+        (AllReduce, A800) => Some(ShapeRange {
+            mn_mi: (16, 64),
+            k_ki: (4, 8),
+        }),
+        (ReduceScatter, Rtx4090) => Some(ShapeRange {
+            mn_mi: (64, 256),
+            k_ki: (8, 16),
+        }),
+        (ReduceScatter, A800) => Some(ShapeRange {
+            mn_mi: (16, 64),
+            k_ki: (8, 16),
+        }),
+        (AllToAll, Rtx4090) => Some(ShapeRange {
+            mn_mi: (8, 48),
+            k_ki: (4, 8),
+        }),
+        _ => None,
+    }
+}
+
+const M_CANDIDATES: [u32; 4] = [2048, 4096, 8192, 16384];
+const N_CANDIDATES: [u32; 4] = [2048, 4096, 8192, 16384];
+
+/// Generates the deterministic shape grid for one Table 3 cell.
+///
+/// Returns an empty vector for combinations the paper does not evaluate.
+pub fn table3_shapes(primitive: Primitive, gpu: GpuKind) -> Vec<GemmDims> {
+    let Some(range) = shape_range(primitive, gpu) else {
+        return Vec::new();
+    };
+    let (mn_lo, mn_hi) = (range.mn_mi.0 << 20, range.mn_mi.1 << 20);
+    let mut shapes = Vec::new();
+    for &m in &M_CANDIDATES {
+        for &n in &N_CANDIDATES {
+            let mn = m as u64 * n as u64;
+            if mn < mn_lo || mn > mn_hi {
+                continue;
+            }
+            let mut k_ki = range.k_ki.0;
+            while k_ki <= range.k_ki.1 {
+                shapes.push(GemmDims::new(m, n, k_ki * 1024));
+                k_ki += 2;
+            }
+        }
+    }
+    shapes.sort_by_key(|d| (d.m as u64 * d.n as u64, d.k));
+    shapes
+}
+
+/// Every (primitive, GPU, shape) combination of Table 3 — the full
+/// operator-evaluation workload of Fig. 9.
+pub fn all_table3() -> Vec<(Primitive, GpuKind, GemmDims)> {
+    let mut out = Vec::new();
+    for gpu in [GpuKind::Rtx4090, GpuKind::A800] {
+        for prim in [
+            Primitive::AllReduce,
+            Primitive::ReduceScatter,
+            Primitive::AllToAll,
+        ] {
+            for dims in table3_shapes(prim, gpu) {
+                out.push((prim, gpu, dims));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_has_shapes() {
+        for (prim, gpu) in [
+            (Primitive::AllReduce, GpuKind::Rtx4090),
+            (Primitive::AllReduce, GpuKind::A800),
+            (Primitive::ReduceScatter, GpuKind::Rtx4090),
+            (Primitive::ReduceScatter, GpuKind::A800),
+            (Primitive::AllToAll, GpuKind::Rtx4090),
+        ] {
+            let shapes = table3_shapes(prim, gpu);
+            assert!(shapes.len() >= 4, "{prim} on {gpu}: {}", shapes.len());
+        }
+    }
+
+    #[test]
+    fn shapes_respect_their_ranges() {
+        for (prim, gpu, dims) in all_table3() {
+            let range = shape_range(prim, gpu).unwrap();
+            let mn = dims.m as u64 * dims.n as u64;
+            assert!(mn >= range.mn_mi.0 << 20 && mn <= range.mn_mi.1 << 20);
+            let k_ki = dims.k / 1024;
+            assert!(k_ki >= range.k_ki.0 && k_ki <= range.k_ki.1);
+        }
+    }
+
+    #[test]
+    fn unevaluated_combinations_are_empty() {
+        assert!(table3_shapes(Primitive::AllToAll, GpuKind::A800).is_empty());
+        assert!(table3_shapes(Primitive::AllGather, GpuKind::Rtx4090).is_empty());
+    }
+
+    #[test]
+    fn full_sweep_reaches_papers_scale() {
+        // Sec. 6.1.2: "over 200 GEMM sizes"; the grid delivers a sweep of
+        // the same order across all cells and parallelism settings (each
+        // shape runs at 2-3 parallelism degrees in fig9).
+        let total = all_table3().len();
+        assert!(total >= 60, "only {total} shapes");
+    }
+
+    #[test]
+    fn shapes_are_sorted_and_unique() {
+        let shapes = table3_shapes(Primitive::AllReduce, GpuKind::Rtx4090);
+        for pair in shapes.windows(2) {
+            let a = (pair[0].m as u64 * pair[0].n as u64, pair[0].k);
+            let b = (pair[1].m as u64 * pair[1].n as u64, pair[1].k);
+            assert!(a <= b);
+        }
+        let mut dedup = shapes.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), shapes.len());
+    }
+}

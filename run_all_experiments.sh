@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure reproduction and extension study into
+# results/ (plain text). Takes a few minutes in release mode.
+set -euo pipefail
+cd "$(dirname "$0")"
+mkdir -p results
+BINS=(
+  fig2_wave_pattern fig8_bandwidth_curve fig9_operator_speedup
+  fig10_heatmap fig11_predictor_cdf table4_remap_overhead
+  sec411_baseline_partition sec64_search_quality
+  ablation_comm_sms ablation_reorder ablation_algorithm ablation_pruning
+  extension_allgather extension_pipeline extension_imbalance
+  extension_multidataflow extension_skew timeline_demo
+)
+for bin in "${BINS[@]}"; do
+  echo "== $bin =="
+  cargo run --release -p bench --bin "$bin" > "results/$bin.txt"
+done
+echo "all outputs written to results/"

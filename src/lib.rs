@@ -1,0 +1,4 @@
+//! Umbrella crate for the FlashOverlap reproduction workspace.
+//!
+//! Holds the cross-crate integration tests (`tests/`) and runnable examples
+//! (`examples/`); see the individual crates for the actual library code.

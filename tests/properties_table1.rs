@@ -1,0 +1,109 @@
+//! Executable versions of the three Table 1 properties that
+//! differentiate FlashOverlap from decomposition- and fusion-based
+//! designs: tile-wise overlapping, interference-free computation, and
+//! communication agnosticism.
+
+use flashoverlap::runtime::CommPattern;
+use flashoverlap::{OverlapPlan, SystemSpec, WavePartition};
+use gpu_sim::gemm::{gemm_estimate, GemmConfig, GemmDims};
+
+/// Tile-wise overlapping: with a multi-group partition, early groups'
+/// communication completes strictly before the GEMM finishes — the two
+/// genuinely run concurrently at sub-kernel granularity.
+#[test]
+fn tile_wise_overlapping() {
+    let dims = GemmDims::new(4096, 8192, 16384);
+    let system = SystemSpec::rtx4090(4);
+    let plan = OverlapPlan::tuned(dims, CommPattern::AllReduce, system).unwrap();
+    assert!(
+        plan.partition.num_groups() >= 2,
+        "balanced shape must tune to a multi-group partition"
+    );
+    let report = plan.execute().unwrap();
+    let first_comm = report.group_comm_done[0];
+    assert!(
+        first_comm < report.gemm_done,
+        "first group comm ({first_comm}) must finish inside the GEMM ({})",
+        report.gemm_done
+    );
+}
+
+/// Interference-free computation: the GEMM kernel is byte-for-byte the
+/// same kernel as in the plain execution — with a single-group partition
+/// (no concurrent communication) its duration matches the plain GEMM
+/// estimate exactly, signaling epilogue and reordering included.
+#[test]
+fn interference_free_computation() {
+    let dims = GemmDims::new(2048, 8192, 8192);
+    let mut system = SystemSpec::rtx4090(4);
+    // Disable execution noise for an exact comparison.
+    system.seed = 7;
+    let config = GemmConfig::choose(dims, &system.arch);
+    let waves = config.grid(dims).num_tiles().div_ceil(system.compute_sms());
+    let plan = OverlapPlan::new(
+        dims,
+        CommPattern::AllReduce,
+        system.clone(),
+        WavePartition::single(waves),
+    )
+    .unwrap();
+    let report = plan.execute().unwrap();
+    // Uncontended runtime waves are full-width.
+    let (_, plain) = gemm_estimate(dims, &plan.config, system.arch.sm_count, &system.arch);
+    let ratio = report.gemm_done.as_nanos() as f64 / plain.as_nanos() as f64;
+    assert!(
+        (1.0..1.0 + flashoverlap::SystemSpec::GEMM_NOISE_FRAC + 1e-9).contains(&ratio),
+        "GEMM with reorder epilogue + signaling must cost no more than \
+         plain GEMM plus execution noise (ratio {ratio})"
+    );
+}
+
+/// Under contention the GEMM slows only by the SM share the collective
+/// holds, never more — the main loop itself is untouched.
+#[test]
+fn contention_bounded_computation() {
+    let dims = GemmDims::new(4096, 8192, 2048);
+    let system = SystemSpec::rtx4090(4);
+    let config = GemmConfig::choose(dims, &system.arch);
+    let waves = config.grid(dims).num_tiles().div_ceil(system.compute_sms());
+    let plan = OverlapPlan::new(
+        dims,
+        CommPattern::AllReduce,
+        system.clone(),
+        WavePartition::per_wave(waves),
+    )
+    .unwrap();
+    let report = plan.execute().unwrap();
+    let (_, plain) = gemm_estimate(dims, &plan.config, system.arch.sm_count, &system.arch);
+    let (_, contended) = gemm_estimate(dims, &plan.config, system.compute_sms(), &system.arch);
+    let measured = report.gemm_done.as_nanos() as f64;
+    assert!(
+        measured >= plain.as_nanos() as f64 * 0.999,
+        "cannot beat the uncontended GEMM"
+    );
+    assert!(
+        measured
+            <= contended.as_nanos() as f64 * (1.0 + flashoverlap::SystemSpec::GEMM_NOISE_FRAC),
+        "slowdown bounded by the communication SM share"
+    );
+}
+
+/// Communication agnosticism: the identical runtime drives three
+/// different primitives purely through collective-library calls — no
+/// per-primitive kernels. (Compile-time evidence is the single
+/// `OverlapPlan` type; runtime evidence is that all three execute.)
+#[test]
+fn communication_agnosticism() {
+    let system = SystemSpec::rtx4090(4);
+    let dims = GemmDims::new(2048, 4096, 4096);
+    let routing = workloads::balanced_routing(2048, 4, 1);
+    for pattern in [
+        CommPattern::AllReduce,
+        CommPattern::ReduceScatter,
+        CommPattern::AllToAll { routing },
+    ] {
+        let plan = OverlapPlan::tuned(dims, pattern, system.clone()).unwrap();
+        let report = plan.execute().unwrap();
+        assert!(report.latency > sim::SimDuration::ZERO);
+    }
+}
