@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Lint gate + test suite. Every check here must stay green; run before
+# pushing. SimSan's mutation self-tests are part of `cargo test`.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== rustfmt =="
+cargo fmt --all --check
+
+echo "== clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "ci: all gates passed"

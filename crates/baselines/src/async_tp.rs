@@ -38,8 +38,7 @@ pub fn run_async_tp(
 ) -> Result<SimDuration, FlashOverlapError> {
     if !system.fabric.peer_to_peer {
         return Err(FlashOverlapError::IncompatibleShape {
-            reason: "Async-TP requires peer-to-peer (NVLink) access between all GPU pairs"
-                .into(),
+            reason: "Async-TP requires peer-to-peer (NVLink) access between all GPU pairs".into(),
         });
     }
     let n = system.n_gpus;

@@ -42,9 +42,7 @@ pub fn run_decomposition(
         });
     }
     let chunk_rows = dims.m / chunks;
-    if matches!(pattern, CommPattern::ReduceScatter)
-        && !(chunk_rows as usize).is_multiple_of(n)
-    {
+    if matches!(pattern, CommPattern::ReduceScatter) && !(chunk_rows as usize).is_multiple_of(n) {
         return Err(FlashOverlapError::IncompatibleShape {
             reason: format!("chunk rows {chunk_rows} do not divide {n} ranks"),
         });
@@ -289,8 +287,7 @@ mod tests {
     fn reduce_scatter_decomposition_runs() {
         let dims = GemmDims::new(4096, 4096, 8192);
         let system = SystemSpec::rtx4090(4);
-        let latency =
-            run_decomposition(dims, &CommPattern::ReduceScatter, &system, 4).unwrap();
+        let latency = run_decomposition(dims, &CommPattern::ReduceScatter, &system, 4).unwrap();
         assert!(latency > SimDuration::ZERO);
     }
 

@@ -45,7 +45,10 @@ pub fn run_microbatch(
             ),
         });
     }
-    if matches!(pattern, CommPattern::AllToAll { .. } | CommPattern::AllGather) {
+    if matches!(
+        pattern,
+        CommPattern::AllToAll { .. } | CommPattern::AllGather
+    ) {
         return Err(FlashOverlapError::IncompatibleShape {
             reason: "micro-batch baseline implements AllReduce and ReduceScatter".into(),
         });
@@ -96,14 +99,24 @@ pub fn run_microbatch(
                 counter: None,
             };
             enqueue(&mut world, &mut sim, d, compute, Box::new(kernel));
-            enqueue(&mut world, &mut sim, d, compute, Box::new(RecordEvent(events[d])));
+            enqueue(
+                &mut world,
+                &mut sim,
+                d,
+                compute,
+                Box::new(RecordEvent(events[d])),
+            );
         }
         let spec = match pattern {
             CommPattern::AllReduce => CollectiveSpec::AllReduce {
-                regions: (0..n).map(|d| Region::new(out_bufs[d], 0, mb_elems)).collect(),
+                regions: (0..n)
+                    .map(|d| Region::new(out_bufs[d], 0, mb_elems))
+                    .collect(),
             },
             CommPattern::ReduceScatter => CollectiveSpec::ReduceScatter {
-                send: (0..n).map(|d| Region::new(out_bufs[d], 0, mb_elems)).collect(),
+                send: (0..n)
+                    .map(|d| Region::new(out_bufs[d], 0, mb_elems))
+                    .collect(),
                 recv: (0..n)
                     .map(|d| Region::new(recv_bufs[d], 0, mb_elems / n))
                     .collect(),
@@ -211,8 +224,7 @@ mod tests {
     fn reduce_scatter_microbatching_runs() {
         let dims = GemmDims::new(4096, 4096, 8192);
         let system = SystemSpec::rtx4090(4);
-        let latency =
-            run_microbatch(dims, &CommPattern::ReduceScatter, &system, 2).unwrap();
+        let latency = run_microbatch(dims, &CommPattern::ReduceScatter, &system, 2).unwrap();
         assert!(latency > SimDuration::ZERO);
     }
 }

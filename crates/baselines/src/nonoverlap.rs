@@ -100,7 +100,9 @@ pub fn run_nonoverlap(
 
     let spec = match pattern {
         CommPattern::AllReduce => CollectiveSpec::AllReduce {
-            regions: (0..n).map(|d| Region::new(out_bufs[d], 0, out_elems)).collect(),
+            regions: (0..n)
+                .map(|d| Region::new(out_bufs[d], 0, out_elems))
+                .collect(),
         },
         CommPattern::ReduceScatter => {
             if !out_elems.is_multiple_of(n) {
@@ -109,7 +111,9 @@ pub fn run_nonoverlap(
                 });
             }
             CollectiveSpec::ReduceScatter {
-                send: (0..n).map(|d| Region::new(out_bufs[d], 0, out_elems)).collect(),
+                send: (0..n)
+                    .map(|d| Region::new(out_bufs[d], 0, out_elems))
+                    .collect(),
                 recv: (0..n)
                     .map(|d| Region::new(recv_bufs[d], 0, out_elems / n))
                     .collect(),
@@ -124,7 +128,9 @@ pub fn run_nonoverlap(
             }
         }
         CommPattern::AllGather => CollectiveSpec::AllGather {
-            send: (0..n).map(|d| Region::new(out_bufs[d], 0, out_elems)).collect(),
+            send: (0..n)
+                .map(|d| Region::new(out_bufs[d], 0, out_elems))
+                .collect(),
             recv: (0..n)
                 .map(|d| Region::new(recv_bufs[d], 0, out_elems * n))
                 .collect(),
@@ -261,11 +267,8 @@ mod tests {
     fn all_to_all_runs_with_balanced_routing() {
         let dims = GemmDims::new(1024, 4096, 2048);
         let system = SystemSpec::rtx4090(4);
-        let routing: Vec<Vec<usize>> = (0..4)
-            .map(|_| (0..1024).map(|r| r % 4).collect())
-            .collect();
-        let latency =
-            run_nonoverlap(dims, &CommPattern::AllToAll { routing }, &system).unwrap();
+        let routing: Vec<Vec<usize>> = (0..4).map(|_| (0..1024).map(|r| r % 4).collect()).collect();
+        let latency = run_nonoverlap(dims, &CommPattern::AllToAll { routing }, &system).unwrap();
         assert!(latency > SimDuration::ZERO);
     }
 

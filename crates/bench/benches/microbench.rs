@@ -11,9 +11,7 @@ use std::hint::black_box;
 use collectives::Primitive;
 use flashoverlap::partition::candidate_partitions;
 use flashoverlap::runtime::CommPattern;
-use flashoverlap::{
-    predictive_search, LatencyPredictor, OverlapPlan, SystemSpec, WavePartition,
-};
+use flashoverlap::{predictive_search, LatencyPredictor, OverlapPlan, SystemSpec, WavePartition};
 use gpu_sim::gemm::{GemmConfig, GemmDims};
 use gpu_sim::swizzle::Swizzle;
 use gpu_sim::tile::{TileGrid, TileShape};

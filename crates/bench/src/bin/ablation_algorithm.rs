@@ -35,8 +35,8 @@ fn main() {
             let system = base_system.clone().with_algorithm(algorithm);
             let base = measure(Method::NonOverlap, dims, &CommPattern::AllReduce, &system)
                 .expect("baseline");
-            let plan = OverlapPlan::tuned(dims, CommPattern::AllReduce, system.clone())
-                .expect("plan");
+            let plan =
+                OverlapPlan::tuned(dims, CommPattern::AllReduce, system.clone()).expect("plan");
             let fo = plan.execute().expect("run").latency;
             rows.push(vec![
                 algorithm.to_string(),
@@ -49,7 +49,13 @@ fn main() {
         println!(
             "{}",
             bench::render_table(
-                &["algorithm", "tuned partition", "non-overlap", "FlashOverlap", "speedup"],
+                &[
+                    "algorithm",
+                    "tuned partition",
+                    "non-overlap",
+                    "FlashOverlap",
+                    "speedup"
+                ],
                 &rows
             )
         );

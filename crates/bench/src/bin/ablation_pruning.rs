@@ -9,9 +9,7 @@
 use bench::parallel_map;
 use collectives::Primitive;
 use flashoverlap::runtime::CommPattern;
-use flashoverlap::{
-    exhaustive_search, measure_partition, predictive_search_with, SystemSpec,
-};
+use flashoverlap::{exhaustive_search, measure_partition, predictive_search_with, SystemSpec};
 use gpu_sim::gemm::GemmDims;
 
 fn shapes() -> Vec<GemmDims> {
@@ -47,8 +45,8 @@ fn main() {
     for (s1, sp) in [(1u32, 1u32), (1, 2), (2, 4), (4, 8), (8, 16)] {
         let results = parallel_map(shapes.clone(), |&dims| {
             let outcome = predictive_search_with(dims, Primitive::AllReduce, &system, s1, sp);
-            let actual = measure_partition(dims, &pattern, &system, outcome.partition)
-                .expect("measure");
+            let actual =
+                measure_partition(dims, &pattern, &system, outcome.partition).expect("measure");
             (outcome.evaluated, actual)
         });
         let avg_candidates: f64 =

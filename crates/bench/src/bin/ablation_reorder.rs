@@ -24,8 +24,7 @@ fn main() {
         (SystemSpec::rtx4090(8), GemmDims::new(4096, 8192, 8192)),
         (SystemSpec::a800(4), GemmDims::new(2048, 8192, 8192)),
     ] {
-        let plan = OverlapPlan::tuned(dims, CommPattern::AllReduce, system.clone())
-            .expect("plan");
+        let plan = OverlapPlan::tuned(dims, CommPattern::AllReduce, system.clone()).expect("plan");
         let mapping = plan.tile_mapping().expect("AllReduce uses tile mapping");
         let grid = *mapping.grid();
         let n = system.n_gpus;
@@ -78,7 +77,14 @@ fn main() {
     println!(
         "{}",
         bench::render_table(
-            &["system", "shape", "partition", "comm (reordered)", "comm (segmented)", "penalty"],
+            &[
+                "system",
+                "shape",
+                "partition",
+                "comm (reordered)",
+                "comm (segmented)",
+                "penalty"
+            ],
             &rows
         )
     );

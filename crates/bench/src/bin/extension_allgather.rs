@@ -22,13 +22,11 @@ fn main() {
             let system = system_for(gpu, n_gpus);
             let rows = parallel_map(shapes.clone(), |&dims| {
                 let pattern = pattern_for(Primitive::AllGather, dims, n_gpus, 1);
-                let base = measure(Method::NonOverlap, dims, &pattern, &system)
-                    .expect("baseline");
-                let dec =
-                    measure(Method::VanillaDecomposition, dims, &pattern, &system)
-                        .expect("decomposition");
-                let fo = measure(Method::FlashOverlap, dims, &pattern, &system)
-                    .expect("flashoverlap");
+                let base = measure(Method::NonOverlap, dims, &pattern, &system).expect("baseline");
+                let dec = measure(Method::VanillaDecomposition, dims, &pattern, &system)
+                    .expect("decomposition");
+                let fo =
+                    measure(Method::FlashOverlap, dims, &pattern, &system).expect("flashoverlap");
                 (
                     speedup(base.as_nanos(), dec.as_nanos()),
                     speedup(base.as_nanos(), fo.as_nanos()),

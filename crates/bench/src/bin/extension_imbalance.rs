@@ -26,8 +26,7 @@ fn main() {
         let routing = skewed_routing(dims.m as usize, 4, skew, 99);
         let hot = load_histogram(&routing[0], 4)[0] as f64 / dims.m as f64;
         let pattern = CommPattern::AllToAll { routing };
-        let base =
-            measure(Method::NonOverlap, dims, &pattern, &system).expect("baseline");
+        let base = measure(Method::NonOverlap, dims, &pattern, &system).expect("baseline");
         let fo = measure(Method::FlashOverlap, dims, &pattern, &system).expect("fo");
         (skew, hot, base, fo)
     });
@@ -46,7 +45,14 @@ fn main() {
     println!(
         "{}",
         bench::render_table(
-            &["skew", "rank-0 load", "non-overlap", "FlashOverlap", "speedup", ""],
+            &[
+                "skew",
+                "rank-0 load",
+                "non-overlap",
+                "FlashOverlap",
+                "speedup",
+                ""
+            ],
             &table
         )
     );

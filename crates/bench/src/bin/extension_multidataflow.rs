@@ -24,11 +24,9 @@ fn main() {
         let shapes = table3_shapes(Primitive::AllReduce, gpu);
         let rows = parallel_map(shapes.clone(), |&dims| {
             let pattern = CommPattern::AllReduce;
-            let base =
-                measure(Method::NonOverlap, dims, &pattern, &system).expect("baseline");
+            let base = measure(Method::NonOverlap, dims, &pattern, &system).expect("baseline");
             let mb = run_microbatch_tuned(dims, &pattern, &system).expect("microbatch");
-            let fo =
-                measure(Method::FlashOverlap, dims, &pattern, &system).expect("flashoverlap");
+            let fo = measure(Method::FlashOverlap, dims, &pattern, &system).expect("flashoverlap");
             (
                 speedup(base.as_nanos(), mb.as_nanos()),
                 speedup(base.as_nanos(), fo.as_nanos()),
@@ -37,13 +35,13 @@ fn main() {
         let mb: Vec<f64> = rows.iter().map(|r| r.0).collect();
         let fo: Vec<f64> = rows.iter().map(|r| r.1).collect();
         let wins = rows.iter().filter(|r| r.1 > r.0).count();
-        println!("\n{gpu} x{n_gpus}, GEMM+AllReduce ({} shapes):", shapes.len());
-        println!("  micro-batch co-execution: {}", SweepStats::from(&mb));
-        println!("  FlashOverlap            : {}", SweepStats::from(&fo));
         println!(
-            "  FlashOverlap wins on {wins}/{} shapes",
+            "\n{gpu} x{n_gpus}, GEMM+AllReduce ({} shapes):",
             shapes.len()
         );
+        println!("  micro-batch co-execution: {}", SweepStats::from(&mb));
+        println!("  FlashOverlap            : {}", SweepStats::from(&fo));
+        println!("  FlashOverlap wins on {wins}/{} shapes", shapes.len());
     }
     println!(
         "\nMicro-batching needs no kernel support but halves every GEMM\n\

@@ -58,9 +58,9 @@ fn serial_pipeline(system: &SystemSpec, layers: &[LayerSpec]) -> u64 {
         );
         let waves = match plan {
             Ok(p) => p.total_waves(),
-            Err(flashoverlap::FlashOverlapError::PartitionMismatch {
-                schedule_waves, ..
-            }) => schedule_waves,
+            Err(flashoverlap::FlashOverlapError::PartitionMismatch { schedule_waves, .. }) => {
+                schedule_waves
+            }
             Err(e) => panic!("probe failed: {e}"),
         };
         let plan = OverlapPlan::new(

@@ -23,8 +23,8 @@ fn main() {
     let skews_us = vec![0u64, 50, 100, 200, 500, 1000];
     let rows = parallel_map(skews_us, |&skew_us| {
         let system = SystemSpec::rtx4090(4).with_launch_skew_ns(skew_us * 1_000);
-        let base = measure(Method::NonOverlap, dims, &CommPattern::AllReduce, &system)
-            .expect("baseline");
+        let base =
+            measure(Method::NonOverlap, dims, &CommPattern::AllReduce, &system).expect("baseline");
         let fo = measure(Method::FlashOverlap, dims, &CommPattern::AllReduce, &system)
             .expect("flashoverlap");
         (skew_us, base, fo)

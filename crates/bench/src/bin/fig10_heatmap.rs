@@ -8,7 +8,7 @@
 //! dipping where small, segmented transfers underuse bandwidth.
 
 use baselines::{measure, Method};
-use bench::{parallel_map, system_for, speedup};
+use bench::{parallel_map, speedup, system_for};
 use collectives::Primitive;
 use flashoverlap::runtime::CommPattern;
 use flashoverlap::{nonoverlap_latency, theoretical_latency};
@@ -62,10 +62,9 @@ fn main() {
             .collect();
         let results = parallel_map(cells.clone(), |&(mn, k)| {
             let dims = shape_for(mn, k);
-            let base = measure(Method::NonOverlap, dims, &pattern, &system)
-                .expect("baseline runs");
-            let fo = measure(Method::FlashOverlap, dims, &pattern, &system)
-                .expect("flashoverlap runs");
+            let base = measure(Method::NonOverlap, dims, &pattern, &system).expect("baseline runs");
+            let fo =
+                measure(Method::FlashOverlap, dims, &pattern, &system).expect("flashoverlap runs");
             let sp = speedup(base.as_nanos(), fo.as_nanos());
             let theory = theoretical_latency(dims, primitive, &system);
             let base_analytic = nonoverlap_latency(dims, primitive, &system);
@@ -74,7 +73,10 @@ fn main() {
         });
 
         println!("\n=== {title} ===");
-        for (label, select) in [("speedup over non-overlap", 0usize), ("ratio to theoretical", 1)] {
+        for (label, select) in [
+            ("speedup over non-overlap", 0usize),
+            ("ratio to theoretical", 1),
+        ] {
             println!("\n{label} (rows: K in Ki, cols: M*N in Mi):");
             let mut rows = Vec::new();
             for (ki, &k) in K_KI.iter().enumerate() {
@@ -99,8 +101,6 @@ fn main() {
         }
         let ratios: Vec<f64> = results.iter().map(|&(_, r)| r).collect();
         let stats = bench::SweepStats::from(&ratios);
-        println!(
-            "theoretical-ratio summary: {stats}  (paper: 69-98%, >80% in most cases)"
-        );
+        println!("theoretical-ratio summary: {stats}  (paper: 69-98%, >80% in most cases)");
     }
 }

@@ -52,13 +52,8 @@ fn main() {
             let system = system_for(gpu, *tp);
             let predictor = LatencyPredictor::build(*dims, Primitive::AllReduce, &system);
             let predicted = predictor.predict(partition);
-            let plan = OverlapPlan::new(
-                *dims,
-                CommPattern::AllReduce,
-                system,
-                partition.clone(),
-            )
-            .expect("plan");
+            let plan = OverlapPlan::new(*dims, CommPattern::AllReduce, system, partition.clone())
+                .expect("plan");
             let actual = plan.execute().expect("execute").latency;
             let err = (actual.as_nanos() as f64 - predicted.as_nanos() as f64).abs()
                 / actual.as_nanos() as f64;
@@ -67,8 +62,7 @@ fn main() {
         });
 
         let mut cdf: Cdf = errors.iter().map(|&(e, _)| e).collect();
-        let under_frac =
-            errors.iter().filter(|&&(_, u)| u).count() as f64 / errors.len() as f64;
+        let under_frac = errors.iter().filter(|&&(_, u)| u).count() as f64 / errors.len() as f64;
         println!(
             "average error ratio: {:.2}%  (paper: ~3.4%)",
             100.0 * cdf.mean()

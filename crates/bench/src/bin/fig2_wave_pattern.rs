@@ -53,7 +53,10 @@ fn main() {
     }
     for (wave, entries) in &per_wave {
         let lo = entries.iter().map(|e| e.0).fold(f64::INFINITY, f64::min);
-        let hi = entries.iter().map(|e| e.0).fold(f64::NEG_INFINITY, f64::max);
+        let hi = entries
+            .iter()
+            .map(|e| e.0)
+            .fold(f64::NEG_INFINITY, f64::max);
         let min_tile = entries.iter().map(|e| e.1).min().unwrap_or(0);
         let max_tile = entries.iter().map(|e| e.1).max().unwrap_or(0);
         waves.push((*wave, lo, hi, min_tile, max_tile));
@@ -63,7 +66,13 @@ fn main() {
     println!(
         "{}",
         bench::render_table(
-            &["wave", "tiles", "first done (us)", "last done (us)", "span / wave gap"],
+            &[
+                "wave",
+                "tiles",
+                "first done (us)",
+                "last done (us)",
+                "span / wave gap"
+            ],
             &waves
                 .iter()
                 .map(|&(w, lo, hi, _, _)| {

@@ -65,10 +65,7 @@ fn main() {
         rows.push(vec![
             format!("{k} calls"),
             format!("{:.3} ms", total.as_millis_f64()),
-            format!(
-                "{:.2}x",
-                total.as_nanos() as f64 / whole.as_nanos() as f64
-            ),
+            format!("{:.2}x", total.as_nanos() as f64 / whole.as_nanos() as f64),
         ]);
     }
     println!(

@@ -14,7 +14,12 @@ use workloads::{table3_shapes, GpuKind};
 fn main() {
     println!("Fig. 9 reproduction: operator-level speedups (vs non-overlap)");
     let panels: Vec<(&str, GpuKind, Primitive, Vec<usize>)> = vec![
-        ("(a) GEMM+AllReduce on A800", GpuKind::A800, Primitive::AllReduce, vec![2, 4]),
+        (
+            "(a) GEMM+AllReduce on A800",
+            GpuKind::A800,
+            Primitive::AllReduce,
+            vec![2, 4],
+        ),
         (
             "(b) GEMM+ReduceScatter on A800",
             GpuKind::A800,
@@ -93,7 +98,10 @@ fn main() {
                     bench::bar(stats.mean, 1.8, 36),
                 ]);
             }
-            println!("{}", bench::render_table(&["method", "speedup", ""], &table));
+            println!(
+                "{}",
+                bench::render_table(&["method", "speedup", ""], &table)
+            );
         }
     }
 

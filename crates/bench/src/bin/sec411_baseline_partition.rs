@@ -35,9 +35,7 @@ fn main() {
     let system = SystemSpec::rtx4090(4);
     let pattern = CommPattern::AllReduce;
     let shapes = shapes();
-    println!(
-        "Sec. 4.1.1 reproduction: per-wave baseline partition vs exhaustive optimum"
-    );
+    println!("Sec. 4.1.1 reproduction: per-wave baseline partition vs exhaustive optimum");
     println!(
         "{} GEMM shapes, AllReduce on 4x RTX4090 (paper: >50 shapes)\n",
         shapes.len()
@@ -52,35 +50,38 @@ fn main() {
         );
         let waves = match probe {
             Ok(p) => p.total_waves(),
-            Err(flashoverlap::FlashOverlapError::PartitionMismatch {
-                schedule_waves, ..
-            }) => schedule_waves,
+            Err(flashoverlap::FlashOverlapError::PartitionMismatch { schedule_waves, .. }) => {
+                schedule_waves
+            }
             Err(e) => panic!("probe failed: {e}"),
         };
         let optimum = exhaustive_search(dims, &pattern, &system).expect("exhaustive");
-        let baseline = measure_partition(
-            dims,
-            &pattern,
-            &system,
-            WavePartition::per_wave(waves),
-        )
-        .expect("baseline partition");
-        let degradation =
-            baseline.as_nanos() as f64 / optimum.latency.as_nanos() as f64 - 1.0;
+        let baseline = measure_partition(dims, &pattern, &system, WavePartition::per_wave(waves))
+            .expect("baseline partition");
+        let degradation = baseline.as_nanos() as f64 / optimum.latency.as_nanos() as f64 - 1.0;
         let baseline_is_optimal = optimum.partition == WavePartition::per_wave(waves);
-        (dims, waves, degradation, baseline_is_optimal, optimum.partition)
+        (
+            dims,
+            waves,
+            degradation,
+            baseline_is_optimal,
+            optimum.partition,
+        )
     });
 
     let optimal_count = rows.iter().filter(|r| r.3).count();
-    let avg_degradation: f64 =
-        rows.iter().map(|r| r.2).sum::<f64>() / rows.len() as f64;
+    let avg_degradation: f64 = rows.iter().map(|r| r.2).sum::<f64>() / rows.len() as f64;
     let mut table = Vec::new();
     for (dims, waves, degradation, opt, partition) in rows.iter().take(12) {
         table.push(vec![
             format!("{}x{}x{}", dims.m, dims.n, dims.k),
             waves.to_string(),
             format!("{:.1}%", degradation * 100.0),
-            if *opt { "yes".into() } else { format!("no ({partition})") },
+            if *opt {
+                "yes".into()
+            } else {
+                format!("no ({partition})")
+            },
         ]);
     }
     println!(

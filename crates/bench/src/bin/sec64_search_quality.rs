@@ -42,19 +42,13 @@ fn main() {
             let searched_actual =
                 measure_partition(dims, &pattern, &system, searched.partition.clone())
                     .expect("measure searched");
-            let quality =
-                optimum.latency.as_nanos() as f64 / searched_actual.as_nanos() as f64;
+            let quality = optimum.latency.as_nanos() as f64 / searched_actual.as_nanos() as f64;
             (dims, quality, optimum.evaluated, searched.evaluated)
         });
         let avg_quality: f64 = rows.iter().map(|r| r.1).sum::<f64>() / rows.len() as f64;
-        let worst = rows
-            .iter()
-            .map(|r| r.1)
-            .fold(f64::INFINITY, f64::min);
-        let avg_exhaustive: f64 =
-            rows.iter().map(|r| r.2 as f64).sum::<f64>() / rows.len() as f64;
-        let avg_pruned: f64 =
-            rows.iter().map(|r| r.3 as f64).sum::<f64>() / rows.len() as f64;
+        let worst = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+        let avg_exhaustive: f64 = rows.iter().map(|r| r.2 as f64).sum::<f64>() / rows.len() as f64;
+        let avg_pruned: f64 = rows.iter().map(|r| r.3 as f64).sum::<f64>() / rows.len() as f64;
         println!("\n{gpu} (4 GPUs, AllReduce, {} shapes):", rows.len());
         println!(
             "  searched partition reaches {:.2}% of optimal on average, worst {:.2}% (paper: >99%)",

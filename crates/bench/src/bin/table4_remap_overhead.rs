@@ -67,8 +67,18 @@ fn main() {
         bench::render_table(
             &["GPU", "Tile", "Subtile", "Token"],
             &[
-                vec!["A800".into(), "9.27%".into(), "12.6%".into(), "13.4%".into()],
-                vec!["RTX4090".into(), "5.76%".into(), "3.43%".into(), "7.07%".into()],
+                vec![
+                    "A800".into(),
+                    "9.27%".into(),
+                    "12.6%".into(),
+                    "13.4%".into()
+                ],
+                vec![
+                    "RTX4090".into(),
+                    "5.76%".into(),
+                    "3.43%".into(),
+                    "7.07%".into()
+                ],
             ]
         )
     );

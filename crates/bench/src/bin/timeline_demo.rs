@@ -14,11 +14,7 @@ use gpu_sim::gemm::GemmDims;
 fn main() {
     let system = SystemSpec::rtx4090(4);
     let dims = GemmDims::new(4096, 8192, 8192);
-    let probe = predictive_search(
-        dims,
-        collectives::Primitive::AllReduce,
-        &system,
-    );
+    let probe = predictive_search(dims, collectives::Primitive::AllReduce, &system);
     let waves = {
         // Recover T from the tuned partition.
         probe.partition.total_waves()
@@ -27,10 +23,7 @@ fn main() {
     for (label, partition) in [
         ("no overlap (single group)", WavePartition::single(waves)),
         ("per-wave baseline", WavePartition::per_wave(waves)),
-        (
-            "tuned by predictive search",
-            probe.partition.clone(),
-        ),
+        ("tuned by predictive search", probe.partition.clone()),
     ] {
         let plan = OverlapPlan::new(
             dims,

@@ -100,24 +100,28 @@ where
         .map(|n| n.get())
         .unwrap_or(4)
         .min(items.len().max(1));
-    let results: Vec<parking_lot::Mutex<Option<R>>> =
-        items.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<std::sync::Mutex<Option<R>>> =
+        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
-                *results[i].lock() = Some(f(&items[i]));
+                let result = f(&items[i]);
+                *results[i].lock().expect("sweep slot poisoned") = Some(result);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     results
         .into_iter()
-        .map(|slot| slot.into_inner().expect("worker filled every slot"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep slot poisoned")
+                .expect("worker filled every slot")
+        })
         .collect()
 }
 
@@ -162,8 +166,16 @@ pub fn render_timeline(spans: &[gpu_sim::OpSpan], width: usize) -> String {
     if spans.is_empty() {
         return "(no spans)".to_string();
     }
-    let t0 = spans.iter().map(|s| s.start.as_nanos()).min().expect("non-empty");
-    let t1 = spans.iter().map(|s| s.end.as_nanos()).max().expect("non-empty");
+    let t0 = spans
+        .iter()
+        .map(|s| s.start.as_nanos())
+        .min()
+        .expect("non-empty");
+    let t1 = spans
+        .iter()
+        .map(|s| s.end.as_nanos())
+        .max()
+        .expect("non-empty");
     let range = (t1 - t0).max(1) as f64;
     let mut rows: std::collections::BTreeMap<(usize, usize), Vec<char>> = Default::default();
     let glyph = |name: &str| -> char {
@@ -232,7 +244,9 @@ pub fn chrome_trace(spans: &[gpu_sim::OpSpan]) -> String {
 /// A simple horizontal ASCII bar for quick visual scanning of a value in
 /// `[0, scale]`.
 pub fn bar(value: f64, scale: f64, width: usize) -> String {
-    let filled = ((value / scale) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let filled = ((value / scale) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
     format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
 }
 
@@ -263,7 +277,10 @@ mod tests {
     fn render_table_aligns_columns() {
         let table = render_table(
             &["a", "bbbb"],
-            &[vec!["xx".into(), "y".into()], vec!["z".into(), "wwwww".into()]],
+            &[
+                vec!["xx".into(), "y".into()],
+                vec!["z".into(), "wwwww".into()],
+            ],
         );
         let lines: Vec<&str> = table.lines().collect();
         assert_eq!(lines.len(), 4);

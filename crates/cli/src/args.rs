@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use collectives::{Algorithm, Primitive};
-use flashoverlap::WavePartition;
+use flashoverlap::{SignalMutation, WavePartition};
 use workloads::GpuKind;
 
 /// A CLI error: message plus whether usage help should follow.
@@ -79,6 +79,11 @@ pub struct Cli {
     pub algorithm: Algorithm,
     /// Optional path to write a Chrome trace (timeline command).
     pub trace_out: Option<String>,
+    /// Run under the SimSan happens-before sanitizer (run/timeline).
+    pub sanitize: bool,
+    /// Seeded signal mutation for sanitizer self-tests (implies
+    /// `--sanitize`).
+    pub mutation: Option<SignalMutation>,
 }
 
 /// The usage text printed on `--help` or parse errors.
@@ -95,6 +100,14 @@ options:
   --seed <int>            routing seed for alltoall (default: 7)
   --algorithm <name>      ring | direct | auto (default: ring)
   --trace-out <path>      timeline: also write a Chrome trace JSON
+  --sanitize              run/timeline: attach the SimSan happens-before
+                          sanitizer and report races, lost signals, and
+                          deadlocks after the run
+  --drop-signal <r,g>     run/timeline: mutate the program to skip rank r's
+                          signal wait for group g (sanitizer self-test;
+                          implies --sanitize)
+  --starve-signal <r,g>   run/timeline: mutate rank r's group-g wait to an
+                          unreachable threshold (implies --sanitize)
   -h, --help              this text
 ";
 
@@ -103,6 +116,22 @@ fn parse_u32(flag: &str, value: Option<&String>) -> Result<u32, CliError> {
         .ok_or_else(|| CliError::usage(format!("missing value for {flag}")))?
         .parse()
         .map_err(|_| CliError::usage(format!("invalid integer for {flag}")))
+}
+
+/// Parses a `rank,group` pair for the signal-mutation flags.
+fn parse_rank_group(flag: &str, value: Option<&String>) -> Result<(usize, usize), CliError> {
+    let v = value.ok_or_else(|| CliError::usage(format!("missing value for {flag}")))?;
+    let parts: Vec<&str> = v.split(',').map(str::trim).collect();
+    let [rank, group] = parts.as_slice() else {
+        return Err(CliError::usage(format!("{flag} expects RANK,GROUP")));
+    };
+    let rank = rank
+        .parse()
+        .map_err(|_| CliError::usage(format!("invalid rank for {flag}")))?;
+    let group = group
+        .parse()
+        .map_err(|_| CliError::usage(format!("invalid group for {flag}")))?;
+    Ok((rank, group))
 }
 
 impl Cli {
@@ -135,6 +164,8 @@ impl Cli {
         let mut seed = 7u64;
         let mut algorithm = Algorithm::Ring;
         let mut trace_out = None;
+        let mut sanitize = false;
+        let mut mutation = None;
         while let Some(flag) = it.next() {
             match flag.as_str() {
                 "-m" => m = Some(parse_u32("-m", it.next())?),
@@ -201,6 +232,17 @@ impl Cli {
                             .clone(),
                     );
                 }
+                "--sanitize" => sanitize = true,
+                "--drop-signal" => {
+                    let (rank, group) = parse_rank_group("--drop-signal", it.next())?;
+                    mutation = Some(SignalMutation::DropWait { rank, group });
+                    sanitize = true;
+                }
+                "--starve-signal" => {
+                    let (rank, group) = parse_rank_group("--starve-signal", it.next())?;
+                    mutation = Some(SignalMutation::RaiseThreshold { rank, group });
+                    sanitize = true;
+                }
                 "-h" | "--help" => return Err(CliError::usage("".to_string())),
                 other => return Err(CliError::usage(format!("unknown flag: {other}"))),
             }
@@ -223,6 +265,8 @@ impl Cli {
             seed,
             algorithm,
             trace_out,
+            sanitize,
+            mutation,
         })
     }
 }
@@ -270,9 +314,11 @@ mod tests {
     #[test]
     fn unknown_command_and_flag_are_rejected() {
         assert!(Cli::parse(&argv("frobnicate")).unwrap_err().show_usage);
-        assert!(Cli::parse(&argv("run -m 1 -n 1 -k 1 --bogus 3"))
-            .unwrap_err()
-            .show_usage);
+        assert!(
+            Cli::parse(&argv("run -m 1 -n 1 -k 1 --bogus 3"))
+                .unwrap_err()
+                .show_usage
+        );
     }
 
     #[test]
@@ -302,9 +348,39 @@ mod tests {
         .unwrap();
         assert_eq!(cli.algorithm, Algorithm::Auto);
         assert_eq!(cli.trace_out.as_deref(), Some("/tmp/t.json"));
-        assert!(Cli::parse(&argv("run -m 1 -n 1 -k 1 --algorithm bogus"))
-            .unwrap_err()
-            .show_usage);
+        assert!(
+            Cli::parse(&argv("run -m 1 -n 1 -k 1 --algorithm bogus"))
+                .unwrap_err()
+                .show_usage
+        );
+    }
+
+    #[test]
+    fn sanitizer_flags_parse() {
+        let cli = Cli::parse(&argv("run -m 64 -n 64 -k 64 --sanitize")).unwrap();
+        assert!(cli.sanitize);
+        assert!(cli.mutation.is_none());
+        let cli = Cli::parse(&argv("timeline -m 64 -n 64 -k 64 --drop-signal 1,2")).unwrap();
+        assert!(cli.sanitize, "--drop-signal implies --sanitize");
+        assert_eq!(
+            cli.mutation,
+            Some(SignalMutation::DropWait { rank: 1, group: 2 })
+        );
+        let cli = Cli::parse(&argv("run -m 64 -n 64 -k 64 --starve-signal 0,1")).unwrap();
+        assert_eq!(
+            cli.mutation,
+            Some(SignalMutation::RaiseThreshold { rank: 0, group: 1 })
+        );
+        assert!(
+            Cli::parse(&argv("run -m 1 -n 1 -k 1 --drop-signal nope"))
+                .unwrap_err()
+                .show_usage
+        );
+        assert!(
+            Cli::parse(&argv("run -m 1 -n 1 -k 1 --drop-signal 1,2,3"))
+                .unwrap_err()
+                .show_usage
+        );
     }
 
     #[test]

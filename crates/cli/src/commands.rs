@@ -3,11 +3,50 @@
 use baselines::{measure, Method};
 use bench::{pattern_for, render_timeline, system_for};
 use flashoverlap::{
-    nonoverlap_latency, predictive_search, theoretical_latency, LatencyPredictor, OverlapPlan,
+    nonoverlap_latency, predictive_search, theoretical_latency, Instrumentation, LatencyPredictor,
+    OverlapPlan, RunReport, SignalMutation,
 };
 use gpu_sim::gemm::GemmDims;
+use simsan::Sanitizer;
 
 use crate::args::{Cli, CliError, Command};
+
+/// Executes `plan` under the SimSan sanitizer (optionally with the CLI's
+/// seeded signal mutation) and renders the findings.
+fn sanitized_run(cli: &Cli, plan: &OverlapPlan) -> Result<(RunReport, String), CliError> {
+    if let Some(mutation) = cli.mutation {
+        // An out-of-range mutation would silently no-op and report a clean
+        // run, which reads like a missed detection.
+        let (SignalMutation::DropWait { rank, group }
+        | SignalMutation::RaiseThreshold { rank, group }) = mutation;
+        let groups = plan.partition.num_groups();
+        let ranks = plan.system.n_gpus;
+        if rank >= ranks || group >= groups {
+            return Err(CliError::runtime(format!(
+                "mutation target rank {rank}, group {group} is outside the plan \
+                 ({ranks} ranks, {groups} groups)"
+            )));
+        }
+    }
+    let sanitizer = Sanitizer::new();
+    let instr = Instrumentation {
+        monitor: Some(sanitizer.monitor()),
+        probe: Some(sanitizer.probe()),
+        mutation: cli.mutation,
+    };
+    let report = plan
+        .execute_instrumented(&instr)
+        .map_err(|e| CliError::runtime(format!("simulation failed: {e}")))?;
+    let mut text = String::new();
+    if let Some(mutation) = cli.mutation {
+        text.push_str(&format!("mutation : {mutation:?}\n"));
+    }
+    text.push_str(&format!("sanitizer: {}\n", sanitizer.summary()));
+    for finding in sanitizer.reports() {
+        text.push_str(&format!("  - {finding}\n"));
+    }
+    Ok((report, text))
+}
 
 /// Executes the parsed command, returning the report text.
 ///
@@ -51,14 +90,19 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
                 "predicted: {} overlapped vs {} serial ({:.3}x)\n",
                 outcome.latency,
                 predictor.predict_serial(),
-                predictor.predict_serial().as_nanos() as f64
-                    / outcome.latency.as_nanos() as f64
+                predictor.predict_serial().as_nanos() as f64 / outcome.latency.as_nanos() as f64
             ));
         }
         Command::Run => {
-            let report = plan
-                .execute()
-                .map_err(|e| CliError::runtime(format!("simulation failed: {e}")))?;
+            let (report, sanitizer_text) = if cli.sanitize {
+                let (report, text) = sanitized_run(cli, &plan)?;
+                (report, Some(text))
+            } else {
+                let report = plan
+                    .execute()
+                    .map_err(|e| CliError::runtime(format!("simulation failed: {e}")))?;
+                (report, None)
+            };
             let base = nonoverlap_latency(dims, cli.primitive, &system);
             let theory = theoretical_latency(dims, cli.primitive, &system);
             out.push_str(&format!("latency  : {}\n", report.latency));
@@ -70,6 +114,9 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
                 "vs serial: {:.3}x (non-overlap model {base}); theory bound {theory}\n",
                 base.as_nanos() as f64 / report.latency.as_nanos() as f64
             ));
+            if let Some(text) = sanitizer_text {
+                out.push_str(&text);
+            }
         }
         Command::Compare => {
             let base = measure(Method::NonOverlap, dims, &pattern, &system)
@@ -102,6 +149,13 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
                 std::fs::write(path, bench::chrome_trace(&rank0))
                     .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
                 out.push_str(&format!("chrome trace written to {path}\n"));
+            }
+            if cli.sanitize {
+                // The timeline above shows the *faithful* schedule; the
+                // sanitizer pass replays it (with the seeded mutation, if
+                // any) and appends its verdict.
+                let (_, text) = sanitized_run(cli, &plan)?;
+                out.push_str(&text);
             }
         }
     }
@@ -140,8 +194,7 @@ mod tests {
     #[test]
     fn run_accepts_explicit_partition() {
         // 2048x4096 -> 256 tiles -> 3 contended waves on the 4090.
-        let out =
-            execute_argv(&argv("run -m 2048 -n 4096 -k 4096 --partition 1,2")).unwrap();
+        let out = execute_argv(&argv("run -m 2048 -n 4096 -k 4096 --partition 1,2")).unwrap();
         assert!(out.contains("partition (1,2)"));
     }
 
@@ -170,10 +223,51 @@ mod tests {
 
     #[test]
     fn bad_partition_surfaces_as_runtime_error() {
-        let err = execute_argv(&argv("run -m 2048 -n 4096 -k 4096 --partition 1,1,1,1,1,1,1"))
-            .unwrap_err();
+        let err = execute_argv(&argv(
+            "run -m 2048 -n 4096 -k 4096 --partition 1,1,1,1,1,1,1",
+        ))
+        .unwrap_err();
         assert!(!err.show_usage);
         assert!(err.message.contains("plan construction failed"));
+    }
+
+    #[test]
+    fn run_with_sanitize_reports_clean() {
+        let out = execute_argv(&argv("run -m 2048 -n 4096 -k 4096 --gpus 2 --sanitize")).unwrap();
+        assert!(out.contains("simsan: clean"), "{out}");
+        assert!(out.contains("vs serial"), "sanitize keeps the run report");
+    }
+
+    #[test]
+    fn timeline_with_dropped_signal_flags_use_before_signal() {
+        // Group 0's wait guards the very first collective send, so dropping
+        // it is detectable at any scale.
+        let out = execute_argv(&argv(
+            "timeline -m 2048 -n 4096 -k 4096 --gpus 2 --drop-signal 0,0",
+        ))
+        .unwrap();
+        assert!(out.contains("dev0 s0"), "timeline still renders");
+        assert!(out.contains("mutation : DropWait"), "{out}");
+        assert!(out.contains("use before signal"), "{out}");
+    }
+
+    #[test]
+    fn out_of_range_mutation_is_rejected() {
+        let err = execute_argv(&argv(
+            "run -m 2048 -n 4096 -k 4096 --gpus 2 --drop-signal 0,9",
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("outside the plan"), "{}", err.message);
+    }
+
+    #[test]
+    fn run_with_starved_signal_flags_lost_signal() {
+        let out = execute_argv(&argv(
+            "run -m 2048 -n 4096 -k 4096 --gpus 2 --starve-signal 0,0",
+        ))
+        .unwrap();
+        assert!(out.contains("lost signal"), "{out}");
+        assert!(out.contains("deadlock"), "{out}");
     }
 
     #[test]

@@ -1,20 +1,31 @@
 //! Communicators and collective stream kernels.
+//!
+//! The data/shape/cost semantics of each collective kind live in their own
+//! submodules ([`all_reduce`], [`reduce_scatter`], [`all_gather`],
+//! [`all_to_all`]); [`CollectiveSpec`] is a thin dispatcher over them, and
+//! this module keeps only the kind-independent machinery: rendezvous,
+//! serialization, SM occupancy, and monitor emission.
+
+mod all_gather;
+mod all_reduce;
+mod all_to_all;
+mod reduce_scatter;
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::ops::Range;
 use std::rc::Rc;
 
 use gpu_sim::cluster::Cluster;
 use gpu_sim::device::DeviceId;
 use gpu_sim::memory::BufferId;
-use gpu_sim::stream::{Completion, Kernel, LaunchCtx};
+use gpu_sim::monitor::{Access, AccessKind, AccessScope};
+use gpu_sim::stream::{Completion, Kernel, LaunchCtx, StreamId};
 use gpu_sim::ClusterSim;
 use interconnect::FabricSpec;
 use sim::SimDuration;
 
-use crate::cost::{
-    all_to_all_duration, collective_duration_with, Algorithm, Primitive, BYTES_PER_ELEM,
-};
+use crate::cost::{collective_duration_with, Algorithm, Primitive};
 
 /// A contiguous region of one buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,39 +109,16 @@ impl CollectiveSpec {
     /// Per-rank payload bytes (the `S` of the ring cost formulas).
     pub fn payload_bytes(&self) -> u64 {
         match self {
-            CollectiveSpec::AllReduce { regions } => {
-                regions.first().map_or(0, |r| r.count as u64) * BYTES_PER_ELEM
-            }
-            CollectiveSpec::ReduceScatter { send, .. } => {
-                send.first().map_or(0, |r| r.count as u64) * BYTES_PER_ELEM
-            }
-            CollectiveSpec::AllGather { recv, .. } => {
-                recv.first().map_or(0, |r| r.count as u64) * BYTES_PER_ELEM
-            }
-            CollectiveSpec::AllToAllV { plan, .. } => plan
-                .len
-                .iter()
-                .map(|row| row.iter().map(|&l| l as u64).sum::<u64>())
-                .max()
-                .unwrap_or(0)
-                .saturating_mul(BYTES_PER_ELEM),
+            CollectiveSpec::AllReduce { regions } => all_reduce::payload_bytes(regions),
+            CollectiveSpec::ReduceScatter { send, .. } => reduce_scatter::payload_bytes(send),
+            CollectiveSpec::AllGather { recv, .. } => all_gather::payload_bytes(recv),
+            CollectiveSpec::AllToAllV { plan, .. } => all_to_all::payload_bytes(plan),
         }
     }
 
     fn duration(&self, fabric: &FabricSpec, n: usize, algorithm: Algorithm) -> SimDuration {
         match self {
-            CollectiveSpec::AllToAllV { plan, .. } => {
-                // The slowest rank's egress pattern bounds the exchange.
-                (0..n)
-                    .map(|src| {
-                        let per_dest: Vec<u64> = (0..n)
-                            .filter(|&d| d != src)
-                            .map(|d| plan.len[src][d] as u64 * BYTES_PER_ELEM)
-                            .collect();
-                        all_to_all_duration(&per_dest, n, fabric)
-                    })
-                    .fold(SimDuration::ZERO, SimDuration::max)
-            }
+            CollectiveSpec::AllToAllV { plan, .. } => all_to_all::duration(plan, n, fabric),
             _ => collective_duration_with(
                 self.primitive(),
                 self.payload_bytes(),
@@ -143,123 +131,57 @@ impl CollectiveSpec {
 
     fn validate(&self, n: usize) {
         match self {
-            CollectiveSpec::AllReduce { regions } => {
-                assert_eq!(regions.len(), n, "AllReduce needs one region per rank");
-                let count = regions[0].count;
-                assert!(
-                    regions.iter().all(|r| r.count == count),
-                    "AllReduce regions must have equal counts"
-                );
-            }
+            CollectiveSpec::AllReduce { regions } => all_reduce::validate(regions, n),
             CollectiveSpec::ReduceScatter { send, recv } => {
-                assert_eq!(send.len(), n, "ReduceScatter needs one send per rank");
-                assert_eq!(recv.len(), n, "ReduceScatter needs one recv per rank");
-                let count = send[0].count;
-                assert!(count % n == 0, "ReduceScatter count must divide by ranks");
-                assert!(
-                    send.iter().all(|r| r.count == count),
-                    "ReduceScatter send counts must match"
-                );
-                assert!(
-                    recv.iter().all(|r| r.count == count / n),
-                    "ReduceScatter recv counts must be count / n"
-                );
+                reduce_scatter::validate(send, recv, n);
             }
-            CollectiveSpec::AllGather { send, recv } => {
-                assert_eq!(send.len(), n, "AllGather needs one send per rank");
-                assert_eq!(recv.len(), n, "AllGather needs one recv per rank");
-                let count = send[0].count;
-                assert!(
-                    send.iter().all(|r| r.count == count),
-                    "AllGather send counts must match"
-                );
-                assert!(
-                    recv.iter().all(|r| r.count == count * n),
-                    "AllGather recv counts must be count * n"
-                );
-            }
+            CollectiveSpec::AllGather { send, recv } => all_gather::validate(send, recv, n),
             CollectiveSpec::AllToAllV { send, recv, plan } => {
-                assert_eq!(send.len(), n, "AllToAll needs one send buffer per rank");
-                assert_eq!(recv.len(), n, "AllToAll needs one recv buffer per rank");
-                assert_eq!(plan.send_off.len(), n, "plan send_off rank mismatch");
-                assert_eq!(plan.len.len(), n, "plan len rank mismatch");
-                assert_eq!(plan.recv_off.len(), n, "plan recv_off rank mismatch");
+                all_to_all::validate(send, recv, plan, n);
             }
         }
     }
 
     /// Applies the data semantics against the cluster (functional mode).
     fn apply_data(&self, world: &mut Cluster, ranks: &[DeviceId]) {
-        let n = ranks.len();
         match self {
             CollectiveSpec::AllReduce { regions } => {
-                let count = regions[0].count;
-                let mut acc = vec![0.0f32; count];
-                for (r, region) in regions.iter().enumerate() {
-                    let data = world.devices[ranks[r]].mem.data(region.buf);
-                    for (a, &x) in acc.iter_mut().zip(&data[region.offset..region.offset + count])
-                    {
-                        *a += x;
-                    }
-                }
-                for (r, region) in regions.iter().enumerate() {
-                    let data = world.devices[ranks[r]].mem.data_mut(region.buf);
-                    data[region.offset..region.offset + count].copy_from_slice(&acc);
-                }
+                all_reduce::apply_data(world, ranks, regions);
             }
             CollectiveSpec::ReduceScatter { send, recv } => {
-                let count = send[0].count;
-                let chunk = count / n;
-                let mut acc = vec![0.0f32; count];
-                for (r, region) in send.iter().enumerate() {
-                    let data = world.devices[ranks[r]].mem.data(region.buf);
-                    for (a, &x) in acc.iter_mut().zip(&data[region.offset..region.offset + count])
-                    {
-                        *a += x;
-                    }
-                }
-                for (r, region) in recv.iter().enumerate() {
-                    let data = world.devices[ranks[r]].mem.data_mut(region.buf);
-                    data[region.offset..region.offset + chunk]
-                        .copy_from_slice(&acc[r * chunk..(r + 1) * chunk]);
-                }
+                reduce_scatter::apply_data(world, ranks, send, recv);
             }
             CollectiveSpec::AllGather { send, recv } => {
-                let count = send[0].count;
-                let contributions: Vec<Vec<f32>> = send
-                    .iter()
-                    .enumerate()
-                    .map(|(r, region)| {
-                        world.devices[ranks[r]].mem.data(region.buf)
-                            [region.offset..region.offset + count]
-                            .to_vec()
-                    })
-                    .collect();
-                for (r, region) in recv.iter().enumerate() {
-                    let data = world.devices[ranks[r]].mem.data_mut(region.buf);
-                    for (src, contribution) in contributions.iter().enumerate() {
-                        let dst = region.offset + src * count;
-                        data[dst..dst + count].copy_from_slice(contribution);
-                    }
-                }
+                all_gather::apply_data(world, ranks, send, recv);
             }
             CollectiveSpec::AllToAllV { send, recv, plan } => {
-                for src in 0..n {
-                    for dst in 0..n {
-                        let len = plan.len[src][dst];
-                        if len == 0 {
-                            continue;
-                        }
-                        let payload: Vec<f32> = {
-                            let data = world.devices[ranks[src]].mem.data(send[src]);
-                            let off = plan.send_off[src][dst];
-                            data[off..off + len].to_vec()
-                        };
-                        let data = world.devices[ranks[dst]].mem.data_mut(recv[dst]);
-                        let off = plan.recv_off[dst][src];
-                        data[off..off + len].copy_from_slice(&payload);
-                    }
-                }
+                all_to_all::apply_data(world, ranks, send, recv, plan);
+            }
+        }
+    }
+
+    /// The local buffer ranges rank `rank` contributes — read from the
+    /// moment the rank's collective kernel arrives.
+    pub fn send_ranges(&self, rank: usize) -> Vec<(BufferId, Range<usize>)> {
+        match self {
+            CollectiveSpec::AllReduce { regions } => all_reduce::send_ranges(regions, rank),
+            CollectiveSpec::ReduceScatter { send, .. } => reduce_scatter::send_ranges(send, rank),
+            CollectiveSpec::AllGather { send, .. } => all_gather::send_ranges(send, rank),
+            CollectiveSpec::AllToAllV { send, plan, .. } => {
+                all_to_all::send_ranges(send, plan, rank)
+            }
+        }
+    }
+
+    /// The local buffer ranges rank `rank` receives — written when the
+    /// collective completes.
+    pub fn recv_ranges(&self, rank: usize) -> Vec<(BufferId, Range<usize>)> {
+        match self {
+            CollectiveSpec::AllReduce { regions } => all_reduce::recv_ranges(regions, rank),
+            CollectiveSpec::ReduceScatter { recv, .. } => reduce_scatter::recv_ranges(recv, rank),
+            CollectiveSpec::AllGather { recv, .. } => all_gather::recv_ranges(recv, rank),
+            CollectiveSpec::AllToAllV { recv, plan, .. } => {
+                all_to_all::recv_ranges(recv, plan, rank)
             }
         }
     }
@@ -431,6 +353,15 @@ pub struct CollectiveKernel {
     spec: Rc<CollectiveSpec>,
 }
 
+impl std::fmt::Debug for CollectiveKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollectiveKernel")
+            .field("call", &self.call)
+            .field("rank", &self.rank)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Kernel for CollectiveKernel {
     fn launch(self: Box<Self>, ctx: LaunchCtx, world: &mut Cluster, sim: &mut ClusterSim) {
         let inner = &self.comm.inner;
@@ -442,6 +373,22 @@ impl Kernel for CollectiveKernel {
         // The NCCL kernel occupies its SMs from local launch: it spins
         // waiting for peers, contending with compute the whole time.
         world.devices[ctx.device].occupy_comm_sms(inner.sm_footprint);
+
+        // This rank's contribution is read from arrival on; report it now
+        // so a send region still being produced shows up as a race.
+        if let Some(monitor) = world.monitor.clone() {
+            for (buffer, range) in self.spec.send_ranges(self.rank) {
+                monitor.on_access(&Access {
+                    device: ctx.device,
+                    stream: ctx.stream,
+                    buffer,
+                    range,
+                    kind: AccessKind::Read,
+                    scope: AccessScope::CollectiveSend,
+                    tile: None,
+                });
+            }
+        }
 
         let all_arrived = {
             let mut st = inner.state.borrow_mut();
@@ -467,6 +414,18 @@ impl Kernel for CollectiveKernel {
                 .pending
                 .remove(&self.call)
                 .expect("pending entry exists");
+            // All ranks synchronize with each other at the rendezvous.
+            let participants: Vec<(DeviceId, StreamId)> = pending
+                .completions
+                .iter()
+                .map(|c| {
+                    let c = c.as_ref().expect("all ranks arrived");
+                    (c.device(), c.stream())
+                })
+                .collect();
+            if let Some(monitor) = world.monitor.clone() {
+                monitor.on_rendezvous(&participants);
+            }
             // Positive per-call noise models protocol and congestion
             // non-idealities on real fabrics.
             let lead = inner.ranks[0];
@@ -490,6 +449,21 @@ impl Kernel for CollectiveKernel {
             let comm = self.comm.clone();
             let spec = self.spec.clone();
             sim.schedule_at(finish_at, move |w, s| {
+                if let Some(monitor) = w.monitor.clone() {
+                    for (rank, &(device, stream)) in participants.iter().enumerate() {
+                        for (buffer, range) in spec.recv_ranges(rank) {
+                            monitor.on_access(&Access {
+                                device,
+                                stream,
+                                buffer,
+                                range,
+                                kind: AccessKind::Write,
+                                scope: AccessScope::CollectiveRecv,
+                                tile: None,
+                            });
+                        }
+                    }
+                }
                 if w.functional {
                     spec.apply_data(w, comm.ranks());
                 }
@@ -513,6 +487,7 @@ impl Kernel for CollectiveKernel {
 mod tests {
     use super::*;
     use crate::cost::collective_duration;
+    use crate::BYTES_PER_ELEM;
     use gpu_sim::arch::GpuArch;
     use gpu_sim::stream::{enqueue, Delay};
     use sim::Sim;

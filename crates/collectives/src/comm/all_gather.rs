@@ -1,0 +1,70 @@
+//! AllGather: every rank contributes an equal-size send region and
+//! receives the rank-ordered concatenation of all contributions.
+
+use std::ops::Range;
+
+use gpu_sim::cluster::Cluster;
+use gpu_sim::device::DeviceId;
+use gpu_sim::memory::BufferId;
+
+use super::Region;
+use crate::cost::BYTES_PER_ELEM;
+
+/// Per-rank payload bytes: the gathered total (what each rank receives),
+/// matching the ring formula's `S`.
+pub(super) fn payload_bytes(recv: &[Region]) -> u64 {
+    recv.first().map_or(0, |r| r.count as u64) * BYTES_PER_ELEM
+}
+
+/// Shape checks; panics on SPMD-inconsistent arguments.
+pub(super) fn validate(send: &[Region], recv: &[Region], n: usize) {
+    assert_eq!(send.len(), n, "AllGather needs one send per rank");
+    assert_eq!(recv.len(), n, "AllGather needs one recv per rank");
+    let count = send[0].count;
+    assert!(
+        send.iter().all(|r| r.count == count),
+        "AllGather send counts must match"
+    );
+    assert!(
+        recv.iter().all(|r| r.count == count * n),
+        "AllGather recv counts must be count * n"
+    );
+}
+
+/// Functional-mode data semantics: concatenate all contributions in rank
+/// order into every recv region.
+pub(super) fn apply_data(
+    world: &mut Cluster,
+    ranks: &[DeviceId],
+    send: &[Region],
+    recv: &[Region],
+) {
+    let count = send[0].count;
+    let contributions: Vec<Vec<f32>> = send
+        .iter()
+        .enumerate()
+        .map(|(r, region)| {
+            world.devices[ranks[r]].mem.data(region.buf)[region.offset..region.offset + count]
+                .to_vec()
+        })
+        .collect();
+    for (r, region) in recv.iter().enumerate() {
+        let data = world.devices[ranks[r]].mem.data_mut(region.buf);
+        for (src, contribution) in contributions.iter().enumerate() {
+            let dst = region.offset + src * count;
+            data[dst..dst + count].copy_from_slice(contribution);
+        }
+    }
+}
+
+/// The local elements rank `rank` contributes.
+pub(super) fn send_ranges(send: &[Region], rank: usize) -> Vec<(BufferId, Range<usize>)> {
+    let r = send[rank];
+    vec![(r.buf, r.offset..r.offset + r.count)]
+}
+
+/// The local elements rank `rank` receives (the full concatenation).
+pub(super) fn recv_ranges(recv: &[Region], rank: usize) -> Vec<(BufferId, Range<usize>)> {
+    let r = recv[rank];
+    vec![(r.buf, r.offset..r.offset + r.count)]
+}

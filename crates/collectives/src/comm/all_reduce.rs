@@ -1,0 +1,57 @@
+//! In-place AllReduce: every rank contributes one equal-size region and
+//! receives the element-wise sum back into the same region.
+
+use std::ops::Range;
+
+use gpu_sim::cluster::Cluster;
+use gpu_sim::device::DeviceId;
+use gpu_sim::memory::BufferId;
+
+use super::Region;
+use crate::cost::BYTES_PER_ELEM;
+
+/// Per-rank payload bytes (the `S` of the ring cost formulas).
+pub(super) fn payload_bytes(regions: &[Region]) -> u64 {
+    regions.first().map_or(0, |r| r.count as u64) * BYTES_PER_ELEM
+}
+
+/// Shape checks; panics on SPMD-inconsistent arguments (like NCCL aborts).
+pub(super) fn validate(regions: &[Region], n: usize) {
+    assert_eq!(regions.len(), n, "AllReduce needs one region per rank");
+    let count = regions[0].count;
+    assert!(
+        regions.iter().all(|r| r.count == count),
+        "AllReduce regions must have equal counts"
+    );
+}
+
+/// Functional-mode data semantics: sum all regions, broadcast the sum.
+pub(super) fn apply_data(world: &mut Cluster, ranks: &[DeviceId], regions: &[Region]) {
+    let count = regions[0].count;
+    let mut acc = vec![0.0f32; count];
+    for (r, region) in regions.iter().enumerate() {
+        let data = world.devices[ranks[r]].mem.data(region.buf);
+        for (a, &x) in acc
+            .iter_mut()
+            .zip(&data[region.offset..region.offset + count])
+        {
+            *a += x;
+        }
+    }
+    for (r, region) in regions.iter().enumerate() {
+        let data = world.devices[ranks[r]].mem.data_mut(region.buf);
+        data[region.offset..region.offset + count].copy_from_slice(&acc);
+    }
+}
+
+/// The local elements rank `rank` contributes (read from arrival on).
+pub(super) fn send_ranges(regions: &[Region], rank: usize) -> Vec<(BufferId, Range<usize>)> {
+    let r = regions[rank];
+    vec![(r.buf, r.offset..r.offset + r.count)]
+}
+
+/// The local elements rank `rank` receives (written at completion); the
+/// operation is in place, so this is the send region again.
+pub(super) fn recv_ranges(regions: &[Region], rank: usize) -> Vec<(BufferId, Range<usize>)> {
+    send_ranges(regions, rank)
+}

@@ -1,0 +1,104 @@
+//! Personalized All-to-All(v) exchange following an [`A2aPlan`].
+
+use std::ops::Range;
+
+use gpu_sim::cluster::Cluster;
+use gpu_sim::device::DeviceId;
+use gpu_sim::memory::BufferId;
+use interconnect::FabricSpec;
+use sim::SimDuration;
+
+use super::A2aPlan;
+use crate::cost::{all_to_all_duration, BYTES_PER_ELEM};
+
+/// Per-rank payload bytes: the heaviest single rank's egress.
+pub(super) fn payload_bytes(plan: &A2aPlan) -> u64 {
+    plan.len
+        .iter()
+        .map(|row| row.iter().map(|&l| l as u64).sum::<u64>())
+        .max()
+        .unwrap_or(0)
+        .saturating_mul(BYTES_PER_ELEM)
+}
+
+/// Exchange duration: the slowest rank's egress pattern bounds it.
+pub(super) fn duration(plan: &A2aPlan, n: usize, fabric: &FabricSpec) -> SimDuration {
+    (0..n)
+        .map(|src| {
+            let per_dest: Vec<u64> = (0..n)
+                .filter(|&d| d != src)
+                .map(|d| plan.len[src][d] as u64 * BYTES_PER_ELEM)
+                .collect();
+            all_to_all_duration(&per_dest, n, fabric)
+        })
+        .fold(SimDuration::ZERO, SimDuration::max)
+}
+
+/// Shape checks; panics on SPMD-inconsistent arguments.
+pub(super) fn validate(send: &[BufferId], recv: &[BufferId], plan: &A2aPlan, n: usize) {
+    assert_eq!(send.len(), n, "AllToAll needs one send buffer per rank");
+    assert_eq!(recv.len(), n, "AllToAll needs one recv buffer per rank");
+    assert_eq!(plan.send_off.len(), n, "plan send_off rank mismatch");
+    assert_eq!(plan.len.len(), n, "plan len rank mismatch");
+    assert_eq!(plan.recv_off.len(), n, "plan recv_off rank mismatch");
+}
+
+/// Functional-mode data semantics: move each `(src, dst)` segment.
+pub(super) fn apply_data(
+    world: &mut Cluster,
+    ranks: &[DeviceId],
+    send: &[BufferId],
+    recv: &[BufferId],
+    plan: &A2aPlan,
+) {
+    let n = ranks.len();
+    for src in 0..n {
+        for dst in 0..n {
+            let len = plan.len[src][dst];
+            if len == 0 {
+                continue;
+            }
+            let payload: Vec<f32> = {
+                let data = world.devices[ranks[src]].mem.data(send[src]);
+                let off = plan.send_off[src][dst];
+                data[off..off + len].to_vec()
+            };
+            let data = world.devices[ranks[dst]].mem.data_mut(recv[dst]);
+            let off = plan.recv_off[dst][src];
+            data[off..off + len].copy_from_slice(&payload);
+        }
+    }
+}
+
+/// The local send segments rank `rank` contributes (one per non-empty
+/// destination).
+pub(super) fn send_ranges(
+    send: &[BufferId],
+    plan: &A2aPlan,
+    rank: usize,
+) -> Vec<(BufferId, Range<usize>)> {
+    plan.len[rank]
+        .iter()
+        .enumerate()
+        .filter(|&(_, &len)| len > 0)
+        .map(|(dst, &len)| {
+            let off = plan.send_off[rank][dst];
+            (send[rank], off..off + len)
+        })
+        .collect()
+}
+
+/// The local recv segments rank `rank` receives (one per non-empty
+/// source).
+pub(super) fn recv_ranges(
+    recv: &[BufferId],
+    plan: &A2aPlan,
+    rank: usize,
+) -> Vec<(BufferId, Range<usize>)> {
+    plan.recv_off[rank]
+        .iter()
+        .enumerate()
+        .filter(|&(src, _)| plan.len[src][rank] > 0)
+        .map(|(src, &off)| (recv[rank], off..off + plan.len[src][rank]))
+        .collect()
+}

@@ -1,0 +1,75 @@
+//! ReduceScatter: every rank contributes a full-size send region; rank `r`
+//! receives the `r`-th chunk of the element-wise sum.
+
+use std::ops::Range;
+
+use gpu_sim::cluster::Cluster;
+use gpu_sim::device::DeviceId;
+use gpu_sim::memory::BufferId;
+
+use super::Region;
+use crate::cost::BYTES_PER_ELEM;
+
+/// Per-rank payload bytes (the full contribution, not the chunk).
+pub(super) fn payload_bytes(send: &[Region]) -> u64 {
+    send.first().map_or(0, |r| r.count as u64) * BYTES_PER_ELEM
+}
+
+/// Shape checks; panics on SPMD-inconsistent arguments.
+pub(super) fn validate(send: &[Region], recv: &[Region], n: usize) {
+    assert_eq!(send.len(), n, "ReduceScatter needs one send per rank");
+    assert_eq!(recv.len(), n, "ReduceScatter needs one recv per rank");
+    let count = send[0].count;
+    assert!(
+        count.is_multiple_of(n),
+        "ReduceScatter count must divide by ranks"
+    );
+    assert!(
+        send.iter().all(|r| r.count == count),
+        "ReduceScatter send counts must match"
+    );
+    assert!(
+        recv.iter().all(|r| r.count == count / n),
+        "ReduceScatter recv counts must be count / n"
+    );
+}
+
+/// Functional-mode data semantics: sum all sends, scatter chunk `r` to
+/// rank `r`'s recv region.
+pub(super) fn apply_data(
+    world: &mut Cluster,
+    ranks: &[DeviceId],
+    send: &[Region],
+    recv: &[Region],
+) {
+    let n = ranks.len();
+    let count = send[0].count;
+    let chunk = count / n;
+    let mut acc = vec![0.0f32; count];
+    for (r, region) in send.iter().enumerate() {
+        let data = world.devices[ranks[r]].mem.data(region.buf);
+        for (a, &x) in acc
+            .iter_mut()
+            .zip(&data[region.offset..region.offset + count])
+        {
+            *a += x;
+        }
+    }
+    for (r, region) in recv.iter().enumerate() {
+        let data = world.devices[ranks[r]].mem.data_mut(region.buf);
+        data[region.offset..region.offset + chunk]
+            .copy_from_slice(&acc[r * chunk..(r + 1) * chunk]);
+    }
+}
+
+/// The local elements rank `rank` contributes.
+pub(super) fn send_ranges(send: &[Region], rank: usize) -> Vec<(BufferId, Range<usize>)> {
+    let r = send[rank];
+    vec![(r.buf, r.offset..r.offset + r.count)]
+}
+
+/// The local elements rank `rank` receives (its reduced chunk).
+pub(super) fn recv_ranges(recv: &[Region], rank: usize) -> Vec<(BufferId, Range<usize>)> {
+    let r = recv[rank];
+    vec![(r.buf, r.offset..r.offset + r.count)]
+}

@@ -92,8 +92,9 @@ pub fn collective_duration_with(
     match algorithm {
         Algorithm::Ring => collective_duration(prim, bytes, n, fabric),
         Algorithm::Direct => direct_duration(prim, bytes, n, fabric),
-        Algorithm::Auto => collective_duration(prim, bytes, n, fabric)
-            .min(direct_duration(prim, bytes, n, fabric)),
+        Algorithm::Auto => {
+            collective_duration(prim, bytes, n, fabric).min(direct_duration(prim, bytes, n, fabric))
+        }
     }
 }
 
@@ -228,10 +229,7 @@ mod tests {
     fn zero_bytes_costs_overhead_only() {
         let fabric = FabricSpec::rtx4090_pcie();
         let t = collective_duration(Primitive::AllReduce, 0, 2, &fabric);
-        assert_eq!(
-            t,
-            SimDuration::from_nanos(fabric.p2p.call_overhead_ns)
-        );
+        assert_eq!(t, SimDuration::from_nanos(fabric.p2p.call_overhead_ns));
     }
 
     #[test]
@@ -248,15 +246,15 @@ mod tests {
         let fabric = FabricSpec::a800_nvlink();
         let small = 64 << 10;
         let large = 256 << 20;
-        let ring_small = collective_duration_with(
-            Primitive::AllReduce, small, 8, &fabric, Algorithm::Ring);
-        let direct_small = collective_duration_with(
-            Primitive::AllReduce, small, 8, &fabric, Algorithm::Direct);
+        let ring_small =
+            collective_duration_with(Primitive::AllReduce, small, 8, &fabric, Algorithm::Ring);
+        let direct_small =
+            collective_duration_with(Primitive::AllReduce, small, 8, &fabric, Algorithm::Direct);
         assert!(direct_small < ring_small);
-        let ring_large = collective_duration_with(
-            Primitive::AllReduce, large, 8, &fabric, Algorithm::Ring);
-        let direct_large = collective_duration_with(
-            Primitive::AllReduce, large, 8, &fabric, Algorithm::Direct);
+        let ring_large =
+            collective_duration_with(Primitive::AllReduce, large, 8, &fabric, Algorithm::Ring);
+        let direct_large =
+            collective_duration_with(Primitive::AllReduce, large, 8, &fabric, Algorithm::Direct);
         assert!(ring_large < direct_large);
     }
 
@@ -264,12 +262,17 @@ mod tests {
     fn auto_is_pointwise_minimum() {
         let fabric = FabricSpec::a800_nvlink();
         for bytes in [32u64 << 10, 1 << 20, 64 << 20, 1 << 30] {
-            let ring = collective_duration_with(
-                Primitive::AllReduce, bytes, 4, &fabric, Algorithm::Ring);
+            let ring =
+                collective_duration_with(Primitive::AllReduce, bytes, 4, &fabric, Algorithm::Ring);
             let direct = collective_duration_with(
-                Primitive::AllReduce, bytes, 4, &fabric, Algorithm::Direct);
-            let auto = collective_duration_with(
-                Primitive::AllReduce, bytes, 4, &fabric, Algorithm::Auto);
+                Primitive::AllReduce,
+                bytes,
+                4,
+                &fabric,
+                Algorithm::Direct,
+            );
+            let auto =
+                collective_duration_with(Primitive::AllReduce, bytes, 4, &fabric, Algorithm::Auto);
             assert_eq!(auto, ring.min(direct));
         }
     }

@@ -14,6 +14,7 @@ use crate::cost::BYTES_PER_ELEM;
 /// peer's buffer, enqueued on the *source* rank's stream. The destination
 /// does not participate (peer-to-peer put semantics); callers needing
 /// arrival ordering should follow up with events.
+#[derive(Debug)]
 pub struct P2pCopy {
     /// Fabric the copy crosses.
     pub fabric: FabricSpec,
@@ -100,10 +101,7 @@ mod tests {
             }),
         );
         let end = sim.run(&mut world).unwrap();
-        assert_eq!(
-            world.devices[1].mem.snapshot(dst),
-            vec![0.0, 0.0, 2.0, 3.0]
-        );
+        assert_eq!(world.devices[1].mem.snapshot(dst), vec![0.0, 0.0, 2.0, 3.0]);
         let expected = FabricSpec::a800_nvlink()
             .p2p
             .transfer_time(2 * BYTES_PER_ELEM);

@@ -1,9 +1,7 @@
 //! Property-based tests of the collective library: data semantics for
 //! arbitrary sizes/offsets/rank counts, and cost-model monotonicity.
 
-use collectives::{
-    collective_duration, A2aPlan, CollectiveSpec, Communicator, Primitive, Region,
-};
+use collectives::{collective_duration, A2aPlan, CollectiveSpec, Communicator, Primitive, Region};
 use gpu_sim::arch::GpuArch;
 use gpu_sim::stream::enqueue;
 use gpu_sim::{Cluster, ClusterSim};
@@ -12,7 +10,11 @@ use proptest::prelude::*;
 use sim::{DetRng, Sim};
 use std::rc::Rc;
 
-fn run_collective(n: usize, seed: u64, mut spec_of: impl FnMut(&mut Cluster) -> CollectiveSpec) -> Cluster {
+fn run_collective(
+    n: usize,
+    seed: u64,
+    mut spec_of: impl FnMut(&mut Cluster) -> CollectiveSpec,
+) -> Cluster {
     let mut world = Cluster::new(n, GpuArch::rtx4090(), true, seed);
     let mut sim: ClusterSim = Sim::new();
     let comm = Communicator::new((0..n).collect(), FabricSpec::rtx4090_pcie(), 16);

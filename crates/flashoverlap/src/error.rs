@@ -79,8 +79,7 @@ mod tests {
 
     #[test]
     fn sim_error_converts() {
-        let e: FlashOverlapError =
-            sim::SimError::EventBudgetExhausted { processed: 3 }.into();
+        let e: FlashOverlapError = sim::SimError::EventBudgetExhausted { processed: 3 }.into();
         assert!(matches!(e, FlashOverlapError::Simulation(_)));
     }
 }

@@ -25,8 +25,8 @@
 #![warn(missing_docs)]
 
 pub mod error;
-pub mod notation;
 pub mod mapping;
+pub mod notation;
 pub mod partition;
 pub mod pipeline;
 pub mod predictor;
@@ -40,7 +40,10 @@ pub use error::FlashOverlapError;
 pub use partition::WavePartition;
 pub use pipeline::{LayerSpec, Pipeline, PipelineReport};
 pub use predictor::{LatencyPredictor, OfflineProfile};
-pub use runtime::{CommPattern, FunctionalInputs, FunctionalReport, OverlapPlan, RunReport};
+pub use runtime::{
+    CommPattern, FunctionalInputs, FunctionalReport, Instrumentation, OverlapPlan, RunReport,
+    SignalMutation,
+};
 pub use system::SystemSpec;
 pub use theory::{nonoverlap_latency, theoretical_latency, theoretical_speedup};
 pub use tuner::{

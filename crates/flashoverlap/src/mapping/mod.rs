@@ -87,7 +87,9 @@ impl GroupLayout {
     pub fn group_tiles(&self, g: usize) -> impl Iterator<Item = u32> + '_ {
         let start: u32 = self.group_tile_counts[..g].iter().sum();
         let end = start + self.group_tile_counts[g];
-        self.reorder_order[start as usize..end as usize].iter().copied()
+        self.reorder_order[start as usize..end as usize]
+            .iter()
+            .copied()
     }
 }
 

@@ -145,7 +145,10 @@ impl SubtileMapping {
     ///
     /// Panics if `(r, c)` is out of bounds.
     pub fn packed_send_index(&self, r: u32, c: u32) -> usize {
-        assert!(r < self.grid.m() && c < self.grid.n(), "({r},{c}) out of bounds");
+        assert!(
+            r < self.grid.m() && c < self.grid.n(),
+            "({r},{c}) out of bounds"
+        );
         let t = self
             .grid
             .tile_at(r / self.grid.tile().m, c / self.grid.tile().n);
@@ -167,7 +170,10 @@ impl SubtileMapping {
     ///
     /// Panics if `(r, c)` is out of bounds.
     pub fn packed_recv_index(&self, r: u32, c: u32) -> usize {
-        assert!(r < self.grid.m() && c < self.grid.n(), "({r},{c}) out of bounds");
+        assert!(
+            r < self.grid.m() && c < self.grid.n(),
+            "({r},{c}) out of bounds"
+        );
         let t = self
             .grid
             .tile_at(r / self.grid.tile().m, c / self.grid.tile().n);
@@ -299,10 +305,7 @@ mod tests {
                 let local_row = i / 16;
                 let col = i % 16;
                 let global_row = k + local_row * 2;
-                assert_eq!(
-                    recv[src as usize] as u32,
-                    (global_row * 1000 + col) as u32
-                );
+                assert_eq!(recv[src as usize] as u32, (global_row * 1000 + col) as u32);
             }
         }
     }

@@ -88,7 +88,10 @@ impl TileMapping {
     ///
     /// Panics if `(r, c)` is out of the matrix bounds.
     pub fn packed_index(&self, r: u32, c: u32) -> usize {
-        assert!(r < self.grid.m() && c < self.grid.n(), "({r},{c}) out of bounds");
+        assert!(
+            r < self.grid.m() && c < self.grid.n(),
+            "({r},{c}) out of bounds"
+        );
         let t = self
             .grid
             .tile_at(r / self.grid.tile().m, c / self.grid.tile().n);

@@ -340,14 +340,12 @@ mod tests {
         let schedule = WaveSchedule::new(&order, 4);
         let partition = WavePartition::single(1);
         // Wrong length.
-        let err =
-            TokenMapping::build(grid, &schedule, &partition, &[vec![0; 8], vec![0; 16]])
-                .unwrap_err();
+        let err = TokenMapping::build(grid, &schedule, &partition, &[vec![0; 8], vec![0; 16]])
+            .unwrap_err();
         assert!(matches!(err, FlashOverlapError::BadInputs { .. }));
         // Destination out of range.
-        let err =
-            TokenMapping::build(grid, &schedule, &partition, &[vec![0; 16], vec![5; 16]])
-                .unwrap_err();
+        let err = TokenMapping::build(grid, &schedule, &partition, &[vec![0; 16], vec![5; 16]])
+            .unwrap_err();
         assert!(matches!(err, FlashOverlapError::BadInputs { .. }));
     }
 

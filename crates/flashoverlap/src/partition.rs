@@ -4,6 +4,10 @@
 //! held — a binary decision per wave boundary, giving `2^(T-1)` partitions
 //! of `T` waves into ordered groups. A partition is represented by its
 //! group sizes, e.g. `(1, 2, 2)` for communicating after waves 1, 3, 5.
+//!
+//! `wave_range`/`group_of_wave` run per tile-group inside the planner and
+//! predictor loops, so unchecked indexing is opted out here.
+#![warn(clippy::indexing_slicing)]
 
 use crate::error::FlashOverlapError;
 
@@ -33,10 +37,7 @@ impl WavePartition {
     /// Panics if `sizes` is empty or contains zero.
     pub fn new(sizes: Vec<u32>) -> Self {
         assert!(!sizes.is_empty(), "partition needs at least one group");
-        assert!(
-            sizes.iter().all(|&s| s > 0),
-            "group sizes must be positive"
-        );
+        assert!(sizes.iter().all(|&s| s > 0), "group sizes must be positive");
         WavePartition { sizes }
     }
 
@@ -79,8 +80,9 @@ impl WavePartition {
     ///
     /// Panics if `g` is out of range.
     pub fn wave_range(&self, g: usize) -> std::ops::Range<u32> {
-        let start: u32 = self.sizes[..g].iter().sum();
-        start..start + self.sizes[g]
+        let size = *self.sizes.get(g).expect("group out of range");
+        let start: u32 = self.sizes.iter().take(g).sum();
+        start..start + size
     }
 
     /// The group containing wave `w`.
@@ -142,7 +144,10 @@ pub const EXHAUSTIVE_WAVE_LIMIT: u32 = 14;
 /// Panics if `waves` is zero or exceeds 24 (enumeration would explode).
 pub fn all_partitions(waves: u32) -> Vec<WavePartition> {
     assert!(waves > 0, "need at least one wave");
-    assert!(waves <= 24, "exhaustive enumeration of {waves} waves is intractable");
+    assert!(
+        waves <= 24,
+        "exhaustive enumeration of {waves} waves is intractable"
+    );
     let mut out = Vec::with_capacity(1usize << (waves - 1));
     let mut current = Vec::new();
     fn recurse(remaining: u32, current: &mut Vec<u32>, out: &mut Vec<WavePartition>) {
@@ -182,7 +187,8 @@ pub fn candidate_partitions(waves: u32, s1_max: u32, sp_max: u32) -> Vec<WavePar
                 // The single-group (no-overlap) fallback always stays; the
                 // S1/SP bounds prune everything else.
                 sizes.len() == 1
-                    || (sizes[0] <= s1_max && *sizes.last().expect("non-empty") <= sp_max)
+                    || (sizes.first().is_some_and(|&s| s <= s1_max)
+                        && sizes.last().is_some_and(|&s| s <= sp_max))
             })
             .collect();
     }
@@ -205,13 +211,10 @@ fn structured_partitions(waves: u32, s1_max: u32, sp_max: u32) -> Vec<WavePartit
                 }
                 // Clamp the last group: split its excess into the
                 // second-to-last group when possible.
-                if sizes.len() >= 2 {
-                    let last = *sizes.last().expect("non-empty");
-                    if last > sp_max {
-                        let excess = last - sp_max;
-                        let len = sizes.len();
-                        sizes[len - 1] = sp_max;
-                        sizes[len - 2] += excess;
+                if let [.., second_last, last] = sizes.as_mut_slice() {
+                    if *last > sp_max {
+                        *second_last += *last - sp_max;
+                        *last = sp_max;
                     }
                 }
                 out.push(WavePartition::new(sizes));
@@ -251,6 +254,7 @@ fn structured_partitions(waves: u32, s1_max: u32, sp_max: u32) -> Vec<WavePartit
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)]
 mod tests {
     use super::*;
 

@@ -22,6 +22,7 @@ use crate::tuner::predictive_search;
 
 /// One pipeline stage: a communicated GEMM plus the element-wise
 /// epilogue that feeds the next stage.
+#[derive(Debug)]
 pub struct LayerSpec {
     /// Local GEMM dimensions of this layer.
     pub dims: GemmDims,
@@ -57,6 +58,7 @@ pub struct LayerSpec {
 /// assert_eq!(report.layers.len(), 2);
 /// # Ok::<(), flashoverlap::FlashOverlapError>(())
 /// ```
+#[derive(Debug)]
 pub struct Pipeline {
     /// Target system.
     pub system: SystemSpec,
@@ -104,19 +106,14 @@ impl Pipeline {
         let mut epilogues = Vec::with_capacity(layers.len());
         for (i, layer) in layers.into_iter().enumerate() {
             let outcome = predictive_search(layer.dims, layer.pattern.primitive(), &system);
-            let plan = OverlapPlan::new(
-                layer.dims,
-                layer.pattern,
-                system.clone(),
-                outcome.partition,
-            )?;
+            let plan =
+                OverlapPlan::new(layer.dims, layer.pattern, system.clone(), outcome.partition)?;
             if let Some(prev) = plans.last() {
                 let prev_plan: &OverlapPlan = prev;
                 let (rows, cols) = prev_plan.logical_shape(0);
                 if matches!(prev_plan.pattern(), CommPattern::AllToAll { .. }) {
                     return Err(FlashOverlapError::BadInputs {
-                        reason: "cannot chain after All-to-All: per-rank row counts vary"
-                            .into(),
+                        reason: "cannot chain after All-to-All: per-rank row counts vary".into(),
                     });
                 }
                 if rows != plan.dims.m as usize || cols != plan.dims.k as usize {
@@ -130,10 +127,7 @@ impl Pipeline {
                 }
                 if epilogues.last().is_some_and(Option::is_none) {
                     return Err(FlashOverlapError::BadInputs {
-                        reason: format!(
-                            "layer {} needs an epilogue to feed layer {i}",
-                            i - 1
-                        ),
+                        reason: format!("layer {} needs an epilogue to feed layer {i}", i - 1),
                     });
                 }
             }
@@ -212,10 +206,7 @@ impl Pipeline {
                     // Placeholder with the right shape; the runtime reads
                     // activations from the previous layer's buffer.
                     vec![
-                        Matrix::zeros(
-                            self.plans[l].dims.m as usize,
-                            self.plans[l].dims.k as usize
-                        );
+                        Matrix::zeros(self.plans[l].dims.m as usize, self.plans[l].dims.k as usize);
                         n
                     ]
                 },
@@ -271,6 +262,7 @@ impl Pipeline {
                 self.epilogues[l].as_ref(),
                 &streams,
                 prev_outputs.as_deref(),
+                None,
             );
             prev_outputs = self.epilogues[l].as_ref().map(|_| {
                 (0..n)
@@ -398,7 +390,8 @@ mod tests {
                 },
             ],
         )
-        .map(|_| ()).unwrap_err();
+        .map(|_| ())
+        .unwrap_err();
         assert!(matches!(err, FlashOverlapError::BadInputs { .. }));
     }
 
@@ -420,7 +413,8 @@ mod tests {
                 },
             ],
         )
-        .map(|_| ()).unwrap_err();
+        .map(|_| ())
+        .unwrap_err();
         assert!(matches!(err, FlashOverlapError::BadInputs { .. }));
     }
 

@@ -64,7 +64,9 @@ impl OfflineProfile {
         // Sample the communication latency curve over the range a group
         // can span: one tile up to the whole output.
         let max_bytes = dims.out_elems() * BYTES_PER_ELEM;
-        let min_bytes = (config.tile.elems() * BYTES_PER_ELEM).min(max_bytes / 2).max(2);
+        let min_bytes = (config.tile.elems() * BYTES_PER_ELEM)
+            .min(max_bytes / 2)
+            .max(2);
         let sizes = log_spaced_sizes(min_bytes, max_bytes, Self::CURVE_POINTS);
         let curve = SampledCurve::from_points(
             sizes
@@ -167,8 +169,8 @@ impl LatencyPredictor {
             self.profile.total_waves,
             "partition does not match profiled wave count"
         );
-        let per_wave_ns = self.profile.gemm_duration.as_nanos() as f64
-            / self.profile.total_waves as f64;
+        let per_wave_ns =
+            self.profile.gemm_duration.as_nanos() as f64 / self.profile.total_waves as f64;
         // Per-group signaling thresholds (tiles) and payloads (bytes),
         // cumulative.
         let mut thresholds = Vec::with_capacity(partition.num_groups());

@@ -22,10 +22,11 @@ use gpu_sim::arch::RemapGranularity;
 use gpu_sim::elementwise::{ElementwiseKernel, ElementwiseOp, Gather};
 use gpu_sim::gemm::{CounterHook, EpilogueWriter, GemmConfig, GemmDims, GemmKernel};
 use gpu_sim::memory::BufferId;
+use gpu_sim::monitor::ClusterMonitor;
 use gpu_sim::stream::{enqueue, Callback, RecordEvent, WaitCounter, WaitEvent};
 use gpu_sim::wave::WaveSchedule;
 use gpu_sim::{Cluster, ClusterSim};
-use sim::{Sim, SimDuration, SimTime};
+use sim::{EngineProbe, Sim, SimDuration, SimTime};
 use tensor::Matrix;
 
 use crate::error::FlashOverlapError;
@@ -108,6 +109,17 @@ pub struct OverlapPlan {
     mapping: PlanMapping,
 }
 
+impl std::fmt::Debug for OverlapPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OverlapPlan")
+            .field("dims", &self.dims)
+            .field("config", &self.config)
+            .field("partition", &self.partition)
+            .field("pattern", &self.pattern)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Timing results of one simulated run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -123,6 +135,76 @@ pub struct RunReport {
     /// one was requested (`None` otherwise). This is the end-to-end time
     /// including the remap of Fig. 6.
     pub epilogue_done: Option<SimDuration>,
+}
+
+/// A deliberate corruption of the signaling protocol, used to self-test
+/// dynamic analysis tools: a correct sanitizer must flag every mutated
+/// run. Mirrors mutation testing of the real system's signal kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalMutation {
+    /// Skip `rank`'s signal wait before `group`'s collective, letting the
+    /// communication read tiles the epilogue may not have written yet
+    /// (the use-before-signal bug class).
+    DropWait {
+        /// The rank whose wait is dropped.
+        rank: usize,
+        /// The wave group whose wait is dropped.
+        group: usize,
+    },
+    /// Raise `rank`'s wait threshold for `group` beyond the group's tile
+    /// count, so the signal never arrives and the wait starves (the
+    /// lost-signal / deadlock bug class).
+    RaiseThreshold {
+        /// The rank whose threshold is corrupted.
+        rank: usize,
+        /// The wave group whose threshold is corrupted.
+        group: usize,
+    },
+}
+
+impl SignalMutation {
+    /// The threshold to enqueue for `(rank, group)` given the correct
+    /// `threshold`; `None` means the wait is dropped entirely.
+    fn threshold_for(
+        mutation: Option<SignalMutation>,
+        rank: usize,
+        group: usize,
+        threshold: u32,
+    ) -> Option<u32> {
+        match mutation {
+            Some(SignalMutation::DropWait { rank: r, group: g }) if r == rank && g == group => None,
+            Some(SignalMutation::RaiseThreshold { rank: r, group: g })
+                if r == rank && g == group =>
+            {
+                // Any value above the group's tile count is unreachable.
+                Some(threshold + 1_000_000)
+            }
+            _ => Some(threshold),
+        }
+    }
+}
+
+/// Observation hooks and fault injection for an instrumented run (see
+/// [`OverlapPlan::execute_instrumented`]). The `simsan` crate provides
+/// monitor/probe implementations; this crate stays policy-free.
+#[derive(Default)]
+pub struct Instrumentation {
+    /// Access/synchronization observer to attach to the cluster.
+    pub monitor: Option<Rc<dyn ClusterMonitor>>,
+    /// Engine probe to attach to the simulation (drain callbacks).
+    pub probe: Option<Rc<dyn EngineProbe<Cluster>>>,
+    /// Optional seeded signal-protocol corruption.
+    pub mutation: Option<SignalMutation>,
+}
+
+impl std::fmt::Debug for Instrumentation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Instrumentation")
+            .field("monitor", &self.monitor.is_some())
+            .field("probe", &self.probe.is_some())
+            .field("mutation", &self.mutation)
+            .finish()
+    }
 }
 
 /// Per-rank input operands for a functional run.
@@ -295,6 +377,45 @@ impl OverlapPlan {
         Ok(handles.probes.into_report())
     }
 
+    /// Runs the plan in timing mode with observation hooks attached and
+    /// (optionally) a seeded signal mutation applied — the entry point
+    /// dynamic analysis tools like `simsan` use.
+    ///
+    /// Unlike [`OverlapPlan::execute`], a wedged simulation is *not* an
+    /// error here: a seeded [`SignalMutation::RaiseThreshold`] starves its
+    /// waiter on purpose, and the attached probe is expected to turn the
+    /// hang into lost-signal/deadlock findings at drain time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashOverlapError::Simulation`] if the simulation engine
+    /// itself fails (e.g. the event budget is exhausted).
+    pub fn execute_instrumented(
+        &self,
+        instr: &Instrumentation,
+    ) -> Result<RunReport, FlashOverlapError> {
+        let mut world = self.system.build_cluster(false);
+        if let Some(monitor) = &instr.monitor {
+            world.set_monitor(Rc::clone(monitor));
+        }
+        let mut sim: ClusterSim = Sim::new();
+        if let Some(probe) = &instr.probe {
+            sim.set_probe(Rc::clone(probe));
+        }
+        let streams = StreamCtx::create(&mut world, self.system.n_gpus);
+        let handles = self.enqueue_program_on(
+            &mut world,
+            &mut sim,
+            None,
+            None,
+            &streams,
+            None,
+            instr.mutation,
+        );
+        sim.run(&mut world)?;
+        Ok(handles.probes.into_report())
+    }
+
     /// Runs `iterations` back-to-back instances of the plan in one
     /// simulation (kernel launches queued on the same streams, as a
     /// serving loop would) and returns the steady-state average latency.
@@ -307,10 +428,7 @@ impl OverlapPlan {
     ///
     /// Returns [`FlashOverlapError::Simulation`] on engine failure, and
     /// [`FlashOverlapError::BadInputs`] if `iterations == 0`.
-    pub fn execute_iterations(
-        &self,
-        iterations: usize,
-    ) -> Result<SimDuration, FlashOverlapError> {
+    pub fn execute_iterations(&self, iterations: usize) -> Result<SimDuration, FlashOverlapError> {
         if iterations == 0 {
             return Err(FlashOverlapError::BadInputs {
                 reason: "need at least one iteration".into(),
@@ -320,7 +438,7 @@ impl OverlapPlan {
         let mut sim: ClusterSim = Sim::new();
         let streams = StreamCtx::create(&mut world, self.system.n_gpus);
         for _ in 0..iterations {
-            let _ = self.enqueue_program_on(&mut world, &mut sim, None, None, &streams, None);
+            let _ = self.enqueue_program_on(&mut world, &mut sim, None, None, &streams, None, None);
         }
         let end = sim.run(&mut world)?;
         Ok(SimDuration::from_nanos(
@@ -334,9 +452,7 @@ impl OverlapPlan {
     /// # Errors
     ///
     /// Returns [`FlashOverlapError::Simulation`] on engine failure.
-    pub fn execute_traced(
-        &self,
-    ) -> Result<(RunReport, Vec<gpu_sim::OpSpan>), FlashOverlapError> {
+    pub fn execute_traced(&self) -> Result<(RunReport, Vec<gpu_sim::OpSpan>), FlashOverlapError> {
         let mut world = self.system.build_cluster(false);
         world.enable_op_spans();
         let mut sim: ClusterSim = Sim::new();
@@ -525,12 +641,16 @@ impl OverlapPlan {
         epilogue: Option<&ElementwiseOp>,
     ) -> ProgramHandles {
         let streams = StreamCtx::create(world, self.system.n_gpus);
-        self.enqueue_program_on(world, sim, inputs, epilogue, &streams, None)
+        self.enqueue_program_on(world, sim, inputs, epilogue, &streams, None, None)
     }
 
     /// Enqueues the overlap program on caller-provided streams, optionally
     /// reading activations from existing per-rank buffers instead of
     /// allocating them (how pipelines chain layers).
+    #[expect(
+        clippy::too_many_arguments,
+        reason = "internal plumbing shared by execute/pipeline/mutation paths"
+    )]
     pub(crate) fn enqueue_program_on(
         &self,
         world: &mut Cluster,
@@ -539,6 +659,7 @@ impl OverlapPlan {
         epilogue: Option<&ElementwiseOp>,
         streams: &StreamCtx,
         a_override: Option<&[BufferId]>,
+        mutation: Option<SignalMutation>,
     ) -> ProgramHandles {
         let n = self.system.n_gpus;
         let comm = Communicator::with_algorithm(
@@ -653,17 +774,21 @@ impl OverlapPlan {
             };
             let kernels = comm.kernels(spec);
             for (d, kernel) in kernels.into_iter().enumerate() {
-                enqueue(
-                    world,
-                    sim,
-                    d,
-                    comm_streams[d],
-                    Box::new(WaitCounter {
-                        table: tables[d],
-                        group: g,
-                        threshold: counts[g],
-                    }),
-                );
+                // A seeded mutation may drop or corrupt this rank's wait
+                // (sanitizer self-tests); `None` skips the wait entirely.
+                if let Some(threshold) = SignalMutation::threshold_for(mutation, d, g, counts[g]) {
+                    enqueue(
+                        world,
+                        sim,
+                        d,
+                        comm_streams[d],
+                        Box::new(WaitCounter {
+                            table: tables[d],
+                            group: g,
+                            threshold,
+                        }),
+                    );
+                }
                 enqueue(world, sim, d, comm_streams[d], Box::new(kernel));
                 if d == 0 {
                     let slot = probes.group_done.clone();
@@ -689,8 +814,20 @@ impl OverlapPlan {
             for d in 0..n {
                 let (rows, cols) = self.logical_shape(d);
                 let comm_done = world.devices[d].create_event();
-                enqueue(world, sim, d, comm_streams[d], Box::new(RecordEvent(comm_done)));
-                enqueue(world, sim, d, compute_streams[d], Box::new(WaitEvent(comm_done)));
+                enqueue(
+                    world,
+                    sim,
+                    d,
+                    comm_streams[d],
+                    Box::new(RecordEvent(comm_done)),
+                );
+                enqueue(
+                    world,
+                    sim,
+                    d,
+                    compute_streams[d],
+                    Box::new(WaitEvent(comm_done)),
+                );
                 if rows == 0 {
                     // Nothing received (possible for All-to-All): still
                     // allocate an empty logical buffer.
@@ -771,7 +908,12 @@ impl OverlapPlan {
         }
     }
 
-    fn group_spec(&self, g: usize, packed: &[BufferId], recv: &[BufferId]) -> Option<CollectiveSpec> {
+    fn group_spec(
+        &self,
+        g: usize,
+        packed: &[BufferId],
+        recv: &[BufferId],
+    ) -> Option<CollectiveSpec> {
         let n = self.system.n_gpus;
         match &self.mapping {
             PlanMapping::Tile(m) => {
@@ -830,8 +972,7 @@ impl OverlapPlan {
                 (0..n)
                     .map(|d| {
                         let packed = world.devices[d].mem.data(handles.packed_bufs[d]);
-                        let data: Vec<f32> =
-                            gather.iter().map(|&i| packed[i as usize]).collect();
+                        let data: Vec<f32> = gather.iter().map(|&i| packed[i as usize]).collect();
                         Matrix::from_vec(self.dims.m as usize, self.dims.n as usize, data)
                     })
                     .collect()
@@ -862,13 +1003,8 @@ impl OverlapPlan {
                 (0..n)
                     .map(|d| {
                         let recv = world.devices[d].mem.data(handles.recv_bufs[d]);
-                        let data: Vec<f32> =
-                            gather.iter().map(|&i| recv[i as usize]).collect();
-                        Matrix::from_vec(
-                            self.dims.m as usize,
-                            self.dims.n as usize * n,
-                            data,
-                        )
+                        let data: Vec<f32> = gather.iter().map(|&i| recv[i as usize]).collect();
+                        Matrix::from_vec(self.dims.m as usize, self.dims.n as usize * n, data)
                     })
                     .collect()
             }
@@ -1045,10 +1181,7 @@ mod tests {
         let result = plan.execute_functional(&inputs).unwrap();
         let expected = reduced_reference(&inputs);
         for (d, out) in result.outputs.iter().enumerate() {
-            assert!(
-                allclose(out, &expected, 1e-2),
-                "rank {d} output mismatch"
-            );
+            assert!(allclose(out, &expected, 1e-2), "rank {d} output mismatch");
         }
         assert!(result.report.latency > SimDuration::ZERO);
     }
@@ -1059,10 +1192,7 @@ mod tests {
         let system = small_system(2);
         let plan = {
             let config = GemmConfig::choose(dims, &system.arch);
-            let waves = config
-                .grid(dims)
-                .num_tiles()
-                .div_ceil(system.compute_sms());
+            let waves = config.grid(dims).num_tiles().div_ceil(system.compute_sms());
             OverlapPlan::new(
                 dims,
                 CommPattern::ReduceScatter,
@@ -1096,10 +1226,7 @@ mod tests {
             .collect();
         let plan = {
             let config = GemmConfig::choose(dims, &system.arch);
-            let waves = config
-                .grid(dims)
-                .num_tiles()
-                .div_ceil(system.compute_sms());
+            let waves = config.grid(dims).num_tiles().div_ceil(system.compute_sms());
             OverlapPlan::new(
                 dims,
                 CommPattern::AllToAll { routing },
@@ -1132,10 +1259,7 @@ mod tests {
         let dims = GemmDims::new(512, 512, 32);
         let system = small_system(2);
         let config = GemmConfig::choose(dims, &system.arch);
-        let waves = config
-            .grid(dims)
-            .num_tiles()
-            .div_ceil(system.compute_sms());
+        let waves = config.grid(dims).num_tiles().div_ceil(system.compute_sms());
         assert!(waves >= 2, "need multiple waves, got {waves}");
         let inputs = FunctionalInputs::random(dims, 2, 123);
         let expected = reduced_reference(&inputs);
@@ -1166,10 +1290,7 @@ mod tests {
         let dims = GemmDims::new(4096, 8192, 16384);
         let system = SystemSpec::rtx4090(4);
         let config = GemmConfig::choose(dims, &system.arch);
-        let waves = config
-            .grid(dims)
-            .num_tiles()
-            .div_ceil(system.compute_sms());
+        let waves = config.grid(dims).num_tiles().div_ceil(system.compute_sms());
         assert!(waves >= 4, "test needs several waves, got {waves}");
         let serial = OverlapPlan::new(
             dims,
@@ -1202,10 +1323,7 @@ mod tests {
         let dims = GemmDims::new(2048, 4096, 2048);
         let system = SystemSpec::rtx4090(2);
         let config = GemmConfig::choose(dims, &system.arch);
-        let waves = config
-            .grid(dims)
-            .num_tiles()
-            .div_ceil(system.compute_sms());
+        let waves = config.grid(dims).num_tiles().div_ceil(system.compute_sms());
         let plan = OverlapPlan::new(
             dims,
             CommPattern::AllReduce,
@@ -1226,10 +1344,7 @@ mod tests {
         let dims = GemmDims::new(256, 128, 64);
         let system = small_system(2);
         let config = GemmConfig::choose(dims, &system.arch);
-        let waves = config
-            .grid(dims)
-            .num_tiles()
-            .div_ceil(system.compute_sms());
+        let waves = config.grid(dims).num_tiles().div_ceil(system.compute_sms());
         let plan = OverlapPlan::new(
             dims,
             CommPattern::AllGather,
@@ -1255,15 +1370,11 @@ mod tests {
     #[test]
     fn launch_skew_delays_but_never_breaks_runs() {
         let dims = GemmDims::new(2048, 4096, 4096);
-        let clean = OverlapPlan::tuned(
-            dims,
-            CommPattern::AllReduce,
-            SystemSpec::rtx4090(4),
-        )
-        .unwrap()
-        .execute()
-        .unwrap()
-        .latency;
+        let clean = OverlapPlan::tuned(dims, CommPattern::AllReduce, SystemSpec::rtx4090(4))
+            .unwrap()
+            .execute()
+            .unwrap()
+            .latency;
         let skewed = OverlapPlan::tuned(
             dims,
             CommPattern::AllReduce,
@@ -1315,10 +1426,7 @@ mod tests {
         let dims = GemmDims::new(256, 256, 64);
         let system = small_system(2);
         let config = GemmConfig::choose(dims, &system.arch);
-        let waves = config
-            .grid(dims)
-            .num_tiles()
-            .div_ceil(system.compute_sms());
+        let waves = config.grid(dims).num_tiles().div_ceil(system.compute_sms());
         let plan = OverlapPlan::new(
             dims,
             CommPattern::AllReduce,
@@ -1332,9 +1440,7 @@ mod tests {
             weight: std::rc::Rc::new(weight.clone()),
             eps: 1e-6,
         };
-        let result = plan
-            .execute_functional_with_epilogue(&inputs, &op)
-            .unwrap();
+        let result = plan.execute_functional_with_epilogue(&inputs, &op).unwrap();
         let expected = rmsnorm(&reduced_reference(&inputs), &weight, 1e-6);
         for (d, out) in result.outputs.iter().enumerate() {
             assert!(allclose(out, &expected, 2e-2), "rank {d}");
@@ -1402,10 +1508,7 @@ mod tests {
         let dims = GemmDims::new(256, 256, 64);
         let system = small_system(2);
         let config = GemmConfig::choose(dims, &system.arch);
-        let waves = config
-            .grid(dims)
-            .num_tiles()
-            .div_ceil(system.compute_sms());
+        let waves = config.grid(dims).num_tiles().div_ceil(system.compute_sms());
         let plan = OverlapPlan::new(
             dims,
             CommPattern::AllReduce,

@@ -22,10 +22,20 @@ use crate::system::SystemSpec;
 
 /// The non-overlapped reference latency: full GEMM (all SMs) followed by
 /// one collective over the whole output.
-pub fn nonoverlap_latency(dims: GemmDims, primitive: Primitive, system: &SystemSpec) -> SimDuration {
+pub fn nonoverlap_latency(
+    dims: GemmDims,
+    primitive: Primitive,
+    system: &SystemSpec,
+) -> SimDuration {
     let config = GemmConfig::choose(dims, &system.arch);
     let (_, gemm) = gemm_estimate(dims, &config, system.arch.sm_count, &system.arch);
-    let comm = collective_duration_with(primitive, dims.out_elems() * BYTES_PER_ELEM, system.n_gpus, &system.fabric, system.algorithm);
+    let comm = collective_duration_with(
+        primitive,
+        dims.out_elems() * BYTES_PER_ELEM,
+        system.n_gpus,
+        &system.fabric,
+        system.algorithm,
+    );
     gemm + comm
 }
 
@@ -39,14 +49,25 @@ pub fn theoretical_latency(
     let grid = config.grid(dims);
     let (waves, gemm) = gemm_estimate(dims, &config, system.arch.sm_count, &system.arch);
     let total_bytes = dims.out_elems() * BYTES_PER_ELEM;
-    let comm_total = collective_duration_with(primitive, total_bytes, system.n_gpus, &system.fabric, system.algorithm);
+    let comm_total = collective_duration_with(
+        primitive,
+        total_bytes,
+        system.n_gpus,
+        &system.fabric,
+        system.algorithm,
+    );
     if gemm >= comm_total {
         // Compute-bound: only the last wave's communication peeks out.
         let full_waves_tiles = (waves - 1) * system.arch.sm_count;
         let last_wave_tiles = grid.num_tiles().saturating_sub(full_waves_tiles).max(1);
-        let last_wave_bytes =
-            last_wave_tiles as u64 * config.tile.elems() * BYTES_PER_ELEM;
-        let comm_tail = collective_duration_with(primitive, last_wave_bytes.min(total_bytes), system.n_gpus, &system.fabric, system.algorithm);
+        let last_wave_bytes = last_wave_tiles as u64 * config.tile.elems() * BYTES_PER_ELEM;
+        let comm_tail = collective_duration_with(
+            primitive,
+            last_wave_bytes.min(total_bytes),
+            system.n_gpus,
+            &system.fabric,
+            system.algorithm,
+        );
         gemm + comm_tail
     } else {
         // Communication-bound: only the first wave's computation peeks

@@ -6,7 +6,9 @@ use gpu_sim::gemm::GemmDims;
 use sim::SimDuration;
 
 use crate::error::FlashOverlapError;
-use crate::partition::{all_partitions, candidate_partitions, WavePartition, EXHAUSTIVE_WAVE_LIMIT};
+use crate::partition::{
+    all_partitions, candidate_partitions, WavePartition, EXHAUSTIVE_WAVE_LIMIT,
+};
 use crate::predictor::LatencyPredictor;
 use crate::runtime::{CommPattern, OverlapPlan};
 use crate::system::SystemSpec;
@@ -30,11 +32,7 @@ pub struct TuneOutcome {
 
 /// Predictive search: scores the pruned candidate set with the Alg. 1
 /// predictor and returns the argmin — no online execution at all.
-pub fn predictive_search(
-    dims: GemmDims,
-    primitive: Primitive,
-    system: &SystemSpec,
-) -> TuneOutcome {
+pub fn predictive_search(dims: GemmDims, primitive: Primitive, system: &SystemSpec) -> TuneOutcome {
     predictive_search_with(dims, primitive, system, DEFAULT_S1, DEFAULT_SP)
 }
 
@@ -89,9 +87,7 @@ pub fn exhaustive_search(
     );
     let waves = match probe {
         Ok(p) => p.total_waves(),
-        Err(FlashOverlapError::PartitionMismatch {
-            schedule_waves, ..
-        }) => schedule_waves,
+        Err(FlashOverlapError::PartitionMismatch { schedule_waves, .. }) => schedule_waves,
         Err(e) => return Err(e),
     };
     if waves > EXHAUSTIVE_WAVE_LIMIT {
@@ -195,8 +191,7 @@ mod tests {
         // A small shape keeps the wave count within the exhaustive limit.
         let dims = GemmDims::new(2048, 4096, 2048);
         let system = SystemSpec::rtx4090(4);
-        let exhaustive =
-            exhaustive_search(dims, &CommPattern::AllReduce, &system).unwrap();
+        let exhaustive = exhaustive_search(dims, &CommPattern::AllReduce, &system).unwrap();
         let predicted = predictive_search(dims, Primitive::AllReduce, &system);
         let predicted_actual = measure_partition(
             dims,
@@ -217,13 +212,8 @@ mod tests {
         let dims = GemmDims::new(2048, 8192, 4096);
         let system = SystemSpec::rtx4090(4);
         let tight = predictive_search_with(dims, Primitive::AllReduce, &system, 1, 1);
-        let default = predictive_search_with(
-            dims,
-            Primitive::AllReduce,
-            &system,
-            DEFAULT_S1,
-            DEFAULT_SP,
-        );
+        let default =
+            predictive_search_with(dims, Primitive::AllReduce, &system, DEFAULT_S1, DEFAULT_SP);
         assert!(tight.evaluated < default.evaluated);
         // The default bounds can only improve (or match) the tighter set's
         // predicted optimum.

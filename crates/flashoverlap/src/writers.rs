@@ -35,6 +35,15 @@ impl EpilogueWriter for PackedTileWriter {
     fn out_len(&self, _grid: &TileGrid) -> usize {
         self.mapping.total_elems
     }
+
+    fn write_spans(&self, grid: &TileGrid, t: u32) -> Vec<std::ops::Range<usize>> {
+        // Whole tiles pack contiguously at their reordered base.
+        let base = self.mapping.tile_base(t);
+        let rows = grid.rows_of(t);
+        let cols = grid.cols_of(t);
+        let elems = (rows.end - rows.start) as usize * (cols.end - cols.start) as usize;
+        std::iter::once(base..base + elems).collect()
+    }
 }
 
 /// Packs row-interleaved subtiles per destination rank (ReduceScatter
@@ -57,14 +66,29 @@ impl EpilogueWriter for SubtilePackedWriter {
             // divides the tile height (validated at build time), so every
             // tile starts on a rank-0 row.
             debug_assert_eq!(br % n, dest);
-            let dst =
-                self.mapping.subtile_send_offset[t as usize][dest] + row_in_subtile * width;
+            let dst = self.mapping.subtile_send_offset[t as usize][dest] + row_in_subtile * width;
             out[dst..dst + width].copy_from_slice(block.row(br));
         }
     }
 
     fn out_len(&self, _grid: &TileGrid) -> usize {
         self.mapping.total_send_elems
+    }
+
+    fn write_spans(&self, grid: &TileGrid, t: u32) -> Vec<std::ops::Range<usize>> {
+        let rows = grid.rows_of(t);
+        let cols = grid.cols_of(t);
+        let width = (cols.end - cols.start) as usize;
+        let n = self.mapping.n_ranks;
+        rows.enumerate()
+            .map(|(br, _)| {
+                let dest = br % n;
+                let row_in_subtile = br / n;
+                let dst =
+                    self.mapping.subtile_send_offset[t as usize][dest] + row_in_subtile * width;
+                dst..dst + width
+            })
+            .collect()
     }
 }
 
@@ -92,6 +116,18 @@ impl EpilogueWriter for TokenPoolWriter {
 
     fn out_len(&self, _grid: &TileGrid) -> usize {
         self.mapping.send_pool_elems
+    }
+
+    fn write_spans(&self, grid: &TileGrid, t: u32) -> Vec<std::ops::Range<usize>> {
+        let rows = grid.rows_of(t);
+        let cols = grid.cols_of(t);
+        let width = (cols.end - cols.start) as usize;
+        let offsets = &self.mapping.token_offset[self.rank];
+        rows.map(|r| {
+            let dst = offsets[r as usize] + cols.start as usize;
+            dst..dst + width
+        })
+        .collect()
     }
 }
 
@@ -134,7 +170,13 @@ mod tests {
         let mapping = Rc::new(TileMapping::build(grid, &schedule, &partition));
         let mut rng = DetRng::new(1);
         let src = Matrix::random(48, 64, &mut rng);
-        let out = write_all(&PackedTileWriter { mapping: mapping.clone() }, &grid, &src);
+        let out = write_all(
+            &PackedTileWriter {
+                mapping: mapping.clone(),
+            },
+            &grid,
+            &src,
+        );
         for r in 0..48u32 {
             for c in 0..64u32 {
                 assert_eq!(
@@ -144,15 +186,17 @@ mod tests {
                 );
             }
         }
-        assert!(out.iter().all(|x| !x.is_nan()), "packed buffer fully written");
+        assert!(
+            out.iter().all(|x| !x.is_nan()),
+            "packed buffer fully written"
+        );
     }
 
     #[test]
     fn subtile_writer_agrees_with_send_index() {
         let (grid, schedule) = grid_and_schedule(64, 32);
         let partition = WavePartition::new(vec![1; schedule.num_waves() as usize]);
-        let mapping =
-            Rc::new(SubtileMapping::build(grid, &schedule, &partition, 4).unwrap());
+        let mapping = Rc::new(SubtileMapping::build(grid, &schedule, &partition, 4).unwrap());
         let mut rng = DetRng::new(2);
         let src = Matrix::random(64, 32, &mut rng);
         let out = write_all(
@@ -175,6 +219,60 @@ mod tests {
     }
 
     #[test]
+    fn write_spans_cover_exactly_the_written_elements() {
+        // For every writer kind and every tile, the monitor-facing spans
+        // must name exactly the elements write_tile touches.
+        let (grid, schedule) = grid_and_schedule(64, 32);
+        let tile_partition = WavePartition::single(schedule.num_waves());
+        let sub_partition = WavePartition::new(vec![1; schedule.num_waves() as usize]);
+        let mut rng = DetRng::new(4);
+        let routing: Vec<Vec<usize>> = (0..2)
+            .map(|_| (0..64).map(|_| rng.next_below(2) as usize).collect())
+            .collect();
+        let writers: Vec<Box<dyn EpilogueWriter>> = vec![
+            Box::new(PackedTileWriter {
+                mapping: Rc::new(TileMapping::build(grid, &schedule, &tile_partition)),
+            }),
+            Box::new(SubtilePackedWriter {
+                mapping: Rc::new(
+                    SubtileMapping::build(grid, &schedule, &sub_partition, 4).unwrap(),
+                ),
+            }),
+            Box::new(TokenPoolWriter {
+                mapping: Rc::new(
+                    TokenMapping::build(grid, &schedule, &tile_partition, &routing).unwrap(),
+                ),
+                rank: 0,
+            }),
+        ];
+        let src = Matrix::random(64, 32, &mut rng);
+        for writer in &writers {
+            for t in 0..grid.num_tiles() {
+                let rows = grid.rows_of(t);
+                let cols = grid.cols_of(t);
+                let block = src.submatrix(
+                    rows.start as usize,
+                    cols.start as usize,
+                    (rows.end - rows.start) as usize,
+                    (cols.end - cols.start) as usize,
+                );
+                let mut out = vec![f32::NAN; writer.out_len(&grid)];
+                writer.write_tile(&grid, t, &block, &mut out);
+                let written: Vec<usize> = out
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, x)| !x.is_nan())
+                    .map(|(i, _)| i)
+                    .collect();
+                let mut spanned: Vec<usize> =
+                    writer.write_spans(&grid, t).into_iter().flatten().collect();
+                spanned.sort_unstable();
+                assert_eq!(written, spanned, "tile {t}");
+            }
+        }
+    }
+
+    #[test]
     fn token_writer_fills_each_row_slot() {
         let (grid, schedule) = grid_and_schedule(32, 48);
         let partition = WavePartition::single(schedule.num_waves());
@@ -182,8 +280,7 @@ mod tests {
         let routing: Vec<Vec<usize>> = (0..2)
             .map(|_| (0..32).map(|_| rng.next_below(2) as usize).collect())
             .collect();
-        let mapping =
-            Rc::new(TokenMapping::build(grid, &schedule, &partition, &routing).unwrap());
+        let mapping = Rc::new(TokenMapping::build(grid, &schedule, &partition, &routing).unwrap());
         let src = Matrix::random(32, 48, &mut rng);
         let out = write_all(
             &TokenPoolWriter {

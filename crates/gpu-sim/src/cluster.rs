@@ -1,9 +1,12 @@
 //! The multi-GPU world.
 
+use std::rc::Rc;
+
 use sim::{DetRng, Trace};
 
 use crate::arch::GpuArch;
 use crate::device::{Device, DeviceId};
+use crate::monitor::ClusterMonitor;
 
 /// One tile's completion record (Fig. 2 raw data).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +65,19 @@ pub struct Cluster {
     /// Optional per-stream operation spans (enable for timeline
     /// rendering).
     pub op_spans: Option<Vec<OpSpan>>,
+    /// Optional access/synchronization observer (see [`ClusterMonitor`]).
+    pub monitor: Option<Rc<dyn ClusterMonitor>>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("devices", &self.devices.len())
+            .field("functional", &self.functional)
+            .field("noise", &self.noise)
+            .field("monitor", &self.monitor.is_some())
+            .finish()
+    }
 }
 
 impl Cluster {
@@ -85,7 +101,13 @@ impl Cluster {
             tile_trace: None,
             noise: NoiseSpec::default(),
             op_spans: None,
+            monitor: None,
         }
+    }
+
+    /// Attaches an access/synchronization observer.
+    pub fn set_monitor(&mut self, monitor: Rc<dyn ClusterMonitor>) {
+        self.monitor = Some(monitor);
     }
 
     /// Number of devices.

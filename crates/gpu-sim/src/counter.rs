@@ -7,12 +7,18 @@
 //! is an ordinary add inside a single-threaded simulation, and a waiting
 //! signaling kernel is represented by a registered [`Waiter`] that the
 //! increment returns once its threshold is met.
+//!
+//! This module sits on the per-tile signaling hot path, so unchecked
+//! indexing is opted out in favour of explicit bounds handling.
+#![warn(clippy::indexing_slicing)]
 
 use crate::stream::Completion;
 
 /// A signaling kernel blocked on a counter slot.
 #[derive(Debug)]
 pub struct Waiter {
+    /// The group slot the waiter watches.
+    pub group: usize,
     /// The count the waiter is waiting for.
     pub threshold: u32,
     /// The stream-op completion to fire once the threshold is reached.
@@ -46,7 +52,7 @@ impl CounterTable {
     ///
     /// Panics if `group` is out of range.
     pub fn count(&self, group: usize) -> u32 {
-        self.counts[group]
+        self.counts.get(group).copied().expect("group out of range")
     }
 
     /// Increments `group` by `by` and returns the waiters whose thresholds
@@ -56,19 +62,11 @@ impl CounterTable {
     ///
     /// Panics if `group` is out of range.
     pub fn increment(&mut self, group: usize, by: u32) -> Vec<Waiter> {
-        self.counts[group] += by;
-        let count = self.counts[group];
-        let pending = &mut self.waiters[group];
-        let mut woken = Vec::new();
-        let mut i = 0;
-        while i < pending.len() {
-            if pending[i].threshold <= count {
-                woken.push(pending.remove(i));
-            } else {
-                i += 1;
-            }
-        }
-        woken
+        let slot = self.counts.get_mut(group).expect("group out of range");
+        *slot += by;
+        let count = *slot;
+        let pending = self.waiters.get_mut(group).expect("group out of range");
+        pending.extract_if(.., |w| w.threshold <= count).collect()
     }
 
     /// Registers a waiter for `group` reaching `threshold`.
@@ -86,14 +84,23 @@ impl CounterTable {
         threshold: u32,
         completion: Completion,
     ) -> Option<Completion> {
-        if self.counts[group] >= threshold {
+        if self.count(group) >= threshold {
             return Some(completion);
         }
-        self.waiters[group].push(Waiter {
+        let pending = self.waiters.get_mut(group).expect("group out of range");
+        pending.push(Waiter {
+            group,
             threshold,
             completion,
         });
         None
+    }
+
+    /// Iterates over the still-parked waiters, in registration order per
+    /// group. A non-empty result after the event queue drains means the
+    /// program lost a signal: some threshold can never be reached.
+    pub fn parked_waiters(&self) -> impl Iterator<Item = &Waiter> {
+        self.waiters.iter().flatten()
     }
 
     /// Resets all counts to zero (table reuse across iterations).
@@ -112,6 +119,7 @@ impl CounterTable {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)]
 mod tests {
     use super::*;
 

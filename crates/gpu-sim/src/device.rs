@@ -78,6 +78,12 @@ impl Device {
         &self.counters[table]
     }
 
+    /// Iterates over the device's counting tables with their indices
+    /// (post-run inspection, e.g. for lost-signal diagnosis).
+    pub fn counter_tables(&self) -> impl Iterator<Item = (usize, &CounterTable)> {
+        self.counters.iter().enumerate()
+    }
+
     /// SMs currently available to compute kernels: total minus those held
     /// by communication kernels, floored at [`Device::min_compute_sms`].
     pub fn avail_sms(&self) -> u32 {

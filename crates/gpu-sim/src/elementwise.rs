@@ -134,8 +134,51 @@ impl ElementwiseKernel {
     }
 }
 
+impl ElementwiseKernel {
+    /// The input element spans this kernel reads, per its gather pattern.
+    fn read_spans(&self) -> Vec<std::ops::Range<usize>> {
+        match &self.gather {
+            Gather::None => std::iter::once(0..self.rows * self.cols).collect(),
+            Gather::Rows(map) => map
+                .iter()
+                .map(|&r| r as usize * self.cols..(r as usize + 1) * self.cols)
+                .collect(),
+            Gather::Elements(map) => {
+                // Element maps are dense permutations; one covering span
+                // keeps the record count bounded.
+                let lo = map.iter().copied().min().unwrap_or(0) as usize;
+                let hi = map.iter().copied().max().map_or(0, |m| m as usize + 1);
+                std::iter::once(lo..hi).collect()
+            }
+        }
+    }
+}
+
 impl Kernel for ElementwiseKernel {
     fn launch(self: Box<Self>, ctx: LaunchCtx, world: &mut Cluster, sim: &mut ClusterSim) {
+        if let Some(monitor) = world.monitor.clone() {
+            use crate::monitor::{Access, AccessKind, AccessScope};
+            for range in self.read_spans() {
+                monitor.on_access(&Access {
+                    device: ctx.device,
+                    stream: ctx.stream,
+                    buffer: self.input,
+                    range,
+                    kind: AccessKind::Read,
+                    scope: AccessScope::RemapRead,
+                    tile: None,
+                });
+            }
+            monitor.on_access(&Access {
+                device: ctx.device,
+                stream: ctx.stream,
+                buffer: self.output,
+                range: 0..self.rows * self.cols,
+                kind: AccessKind::Write,
+                scope: AccessScope::ElementwiseWrite,
+                tile: None,
+            });
+        }
         // Read + write one fp16 element each per position.
         let bytes_moved = (self.rows * self.cols) as u64 * 2 * 2;
         let duration = world.devices[ctx.device]

@@ -144,6 +144,20 @@ pub trait EpilogueWriter {
     fn out_len(&self, grid: &TileGrid) -> usize {
         grid.m() as usize * grid.n() as usize
     }
+
+    /// The output ranges tile `t` writes, for access monitors. The default
+    /// matches the address-order layout (one span per tile row); reordered
+    /// writers override this to report their packed destinations.
+    fn write_spans(&self, grid: &TileGrid, t: u32) -> Vec<std::ops::Range<usize>> {
+        let rows = grid.rows_of(t);
+        let cols = grid.cols_of(t);
+        let n = grid.n() as usize;
+        rows.map(|r| {
+            let base = r as usize * n;
+            base + cols.start as usize..base + cols.end as usize
+        })
+        .collect()
+    }
 }
 
 /// The default epilogue: writes each tile at its natural matrix position,
@@ -193,6 +207,19 @@ pub struct GemmKernel {
     pub writer: Rc<dyn EpilogueWriter>,
     /// Optional epilogue counting-table hook.
     pub counter: Option<CounterHook>,
+}
+
+impl std::fmt::Debug for GemmKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GemmKernel")
+            .field("a", &self.a)
+            .field("b", &self.b)
+            .field("out", &self.out)
+            .field("dims", &self.dims)
+            .field("config", &self.config)
+            .field("counter", &self.counter)
+            .finish_non_exhaustive()
+    }
 }
 
 impl GemmKernel {
@@ -295,22 +322,37 @@ fn finish_wave(mut run: GemmRun, count: usize, world: &mut Cluster, sim: &mut Cl
     world.devices[run.device].release_compute_sms(count as u32);
     let wave_tiles: Vec<u32> = run.issue[run.next..run.next + count].to_vec();
 
+    // Access monitoring: report each tile's epilogue writes at the wave
+    // boundary (emitted in timing mode too — the sanitizer tracks ranges,
+    // not values).
+    if let Some(monitor) = world.monitor.clone() {
+        let stream = run.completion.stream();
+        for &t in &wave_tiles {
+            for range in run.writer.write_spans(&run.grid, t) {
+                monitor.on_access(&crate::monitor::Access {
+                    device: run.device,
+                    stream,
+                    buffer: run.out,
+                    range,
+                    kind: crate::monitor::AccessKind::Write,
+                    scope: crate::monitor::AccessScope::TileWrite,
+                    tile: Some(t),
+                });
+            }
+        }
+    }
+
     // Functional epilogue: compute each tile's block and write it through
     // the epilogue writer.
     if world.functional {
         for &t in &wave_tiles {
             let block = {
                 let mem = &world.devices[run.device].mem;
-                compute_tile_block(
-                    mem.data(run.a),
-                    mem.data(run.b),
-                    run.dims,
-                    &run.grid,
-                    t,
-                )
+                compute_tile_block(mem.data(run.a), mem.data(run.b), run.dims, &run.grid, t)
             };
             let mem = &mut world.devices[run.device].mem;
-            run.writer.write_tile(&run.grid, t, &block, mem.data_mut(run.out));
+            run.writer
+                .write_tile(&run.grid, t, &block, mem.data_mut(run.out));
         }
     }
 
@@ -350,13 +392,18 @@ fn finish_wave(mut run: GemmRun, count: usize, world: &mut Cluster, sim: &mut Cl
     // Epilogue signaling: bump the counting table per finished tile and
     // wake any satisfied signaling kernels (with their polling delay).
     if let Some(hook) = run.counter.clone() {
+        let monitor = world.monitor.clone();
+        let stream = run.completion.stream();
         let mut woken = Vec::new();
         for &t in &wave_tiles {
             let group = hook.group_of_tile[t as usize] as usize;
+            if let Some(monitor) = monitor.as_deref() {
+                monitor.on_counter_increment(run.device, stream, hook.table, group, 1);
+            }
             let table = &mut world.devices[run.device].counters[hook.table];
             woken.extend(table.increment(group, 1));
         }
-        crate::stream::wake_counter_waiters(world, sim, run.device, woken);
+        crate::stream::wake_counter_waiters(world, sim, run.device, hook.table, woken);
     }
 
     run.next += count;
@@ -373,7 +420,10 @@ fn compute_tile_block(a: &[f32], b: &[f32], dims: GemmDims, grid: &TileGrid, t: 
     let rows = grid.rows_of(t);
     let cols = grid.cols_of(t);
     let (k, n) = (dims.k as usize, dims.n as usize);
-    let mut block = Matrix::zeros((rows.end - rows.start) as usize, (cols.end - cols.start) as usize);
+    let mut block = Matrix::zeros(
+        (rows.end - rows.start) as usize,
+        (cols.end - cols.start) as usize,
+    );
     for (br, r) in rows.clone().enumerate() {
         let a_row = &a[r as usize * k..(r as usize + 1) * k];
         let out_row = block.row_mut(br);
@@ -530,9 +580,7 @@ mod tests {
             &mut sim,
             0,
             s1,
-            Box::new(Callback(Box::new(|w, _| {
-                w.devices[0].occupy_comm_sms(64)
-            }))),
+            Box::new(Callback(Box::new(|w, _| w.devices[0].occupy_comm_sms(64)))),
         );
         let end = sim.run(&mut world).unwrap();
         let stretched = end - sim::SimTime::ZERO;
@@ -665,8 +713,7 @@ mod tests {
             );
         }
         // Seeds differ, so durations should not all coincide.
-        let distinct: std::collections::HashSet<u64> =
-            noisy_durations.iter().copied().collect();
+        let distinct: std::collections::HashSet<u64> = noisy_durations.iter().copied().collect();
         assert!(distinct.len() > 1);
     }
 

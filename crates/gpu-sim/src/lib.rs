@@ -23,6 +23,7 @@ pub mod device;
 pub mod elementwise;
 pub mod gemm;
 pub mod memory;
+pub mod monitor;
 pub mod stream;
 pub mod swizzle;
 pub mod tile;
@@ -32,6 +33,7 @@ pub use arch::GpuArch;
 pub use cluster::{Cluster, OpSpan, TileCompletion};
 pub use device::{Device, DeviceId};
 pub use memory::BufferId;
+pub use monitor::{Access, AccessKind, AccessScope, ClusterMonitor};
 pub use stream::{Completion, GpuEventId, Kernel, LaunchCtx, StreamId};
 pub use tile::{TileGrid, TileShape};
 pub use wave::WaveSchedule;

@@ -1,0 +1,109 @@
+//! Observation hooks for dynamic analysis tools.
+//!
+//! A [`ClusterMonitor`] attached to a [`Cluster`](crate::cluster::Cluster)
+//! sees every modelled memory access and every synchronization edge the
+//! simulated program creates: GEMM epilogue tile writes, counting-table
+//! increments and satisfied signal waits (§3.2.4/§5), event record/wait
+//! pairs, collective send/recv accesses, and collective rendezvous points.
+//! The `simsan` crate builds its vector-clock happens-before checker on
+//! these callbacks; the hooks themselves are policy-free and cost nothing
+//! when no monitor is attached.
+//!
+//! All callbacks take `&self`: monitors keep interior-mutable state and are
+//! shared through `Rc`, like the event probes of [`sim::EngineProbe`].
+
+use std::ops::Range;
+
+use crate::device::DeviceId;
+use crate::memory::BufferId;
+use crate::stream::{GpuEventId, StreamId};
+
+/// Whether an access reads or writes the buffer range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// The range is read.
+    Read,
+    /// The range is written.
+    Write,
+}
+
+/// What part of the modelled program produced an access. Used by
+/// sanitizers to classify findings (a tile write racing a collective send
+/// is a use-before-signal; everything else is a generic data race).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessScope {
+    /// GEMM epilogue writing a finished tile (possibly reordered).
+    TileWrite,
+    /// A collective reading its local send regions on arrival.
+    CollectiveSend,
+    /// A collective writing its local recv regions on completion.
+    CollectiveRecv,
+    /// An element-wise kernel reading (possibly remap-gathering) its input.
+    RemapRead,
+    /// An element-wise kernel writing its output.
+    ElementwiseWrite,
+}
+
+/// One modelled memory access. Buffers are per-device, so `(device,
+/// buffer)` identifies the storage and `(device, stream)` identifies the
+/// logical thread that touched it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    /// Device owning the buffer (and issuing the access).
+    pub device: DeviceId,
+    /// Stream the accessing operation runs on.
+    pub stream: StreamId,
+    /// The buffer.
+    pub buffer: BufferId,
+    /// Element range within the buffer.
+    pub range: Range<usize>,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Producing operation class.
+    pub scope: AccessScope,
+    /// Address-order tile index, when the access belongs to one tile.
+    pub tile: Option<u32>,
+}
+
+/// Observer of simulated memory accesses and synchronization edges.
+///
+/// Default implementations ignore everything, so monitors override only
+/// the callbacks they need. Callbacks fire *at the simulated time the
+/// modelled effect takes place* (e.g. a parked signal wait is reported
+/// when the increment releases it, not when it was enqueued).
+pub trait ClusterMonitor {
+    /// A buffer range was read or written.
+    fn on_access(&self, _access: &Access) {}
+
+    /// A counting-table slot was incremented (GEMM epilogue, §3.2.4).
+    fn on_counter_increment(
+        &self,
+        _device: DeviceId,
+        _stream: StreamId,
+        _table: usize,
+        _group: usize,
+        _by: u32,
+    ) {
+    }
+
+    /// A signal wait on a counting-table slot was satisfied.
+    fn on_counter_satisfied(
+        &self,
+        _device: DeviceId,
+        _stream: StreamId,
+        _table: usize,
+        _group: usize,
+        _threshold: u32,
+    ) {
+    }
+
+    /// An event was recorded on a stream.
+    fn on_event_record(&self, _device: DeviceId, _stream: StreamId, _event: GpuEventId) {}
+
+    /// A stream's wait on a recorded event was satisfied.
+    fn on_event_wait(&self, _device: DeviceId, _stream: StreamId, _event: GpuEventId) {}
+
+    /// All ranks of a collective arrived; the listed `(device, stream)`
+    /// threads synchronize with each other at this point.
+    fn on_rendezvous(&self, _participants: &[(DeviceId, StreamId)]) {}
+}

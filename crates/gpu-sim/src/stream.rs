@@ -37,6 +37,7 @@ pub trait Kernel {
 }
 
 /// Launch context handed to a kernel.
+#[derive(Debug)]
 pub struct LaunchCtx {
     /// Device the kernel launched on.
     pub device: DeviceId,
@@ -70,6 +71,11 @@ impl Completion {
     /// The device this token belongs to.
     pub fn device(&self) -> DeviceId {
         self.device
+    }
+
+    /// The stream this token belongs to.
+    pub fn stream(&self) -> StreamId {
+        self.stream
     }
 
     /// Marks the operation complete and advances its stream.
@@ -130,7 +136,9 @@ pub fn enqueue(
     stream: StreamId,
     kernel: Box<dyn Kernel>,
 ) {
-    world.devices[device].streams[stream].queue.push_back(kernel);
+    world.devices[device].streams[stream]
+        .queue
+        .push_back(kernel);
     advance_stream(world, sim, device, stream);
 }
 
@@ -185,6 +193,13 @@ impl Kernel for RecordEvent {
         let ev = &mut world.devices[ctx.device].events[self.0];
         ev.recorded = Some(sim.now());
         let waiters = std::mem::take(&mut ev.waiters);
+        if let Some(monitor) = world.monitor.clone() {
+            monitor.on_event_record(ctx.device, ctx.stream, self.0);
+            // Parked waiters synchronize now, at record time.
+            for completion in &waiters {
+                monitor.on_event_wait(completion.device(), completion.stream(), self.0);
+            }
+        }
         for completion in waiters {
             // Wake on a fresh event so each waiter's stream advances after
             // the current call stack unwinds.
@@ -206,6 +221,9 @@ impl Kernel for WaitEvent {
     fn launch(self: Box<Self>, ctx: LaunchCtx, world: &mut Cluster, sim: &mut ClusterSim) {
         let ev = &mut world.devices[ctx.device].events[self.0];
         if ev.recorded.is_some() {
+            if let Some(monitor) = world.monitor.clone() {
+                monitor.on_event_wait(ctx.device, ctx.stream, self.0);
+            }
             ctx.completion.finish(world, sim);
         } else {
             ev.waiters.push(ctx.completion);
@@ -238,6 +256,15 @@ impl Kernel for WaitCounter {
         match dev.counters[self.table].register(self.group, self.threshold, ctx.completion) {
             Some(completion) => {
                 // Already satisfied; still pay one polling quantum.
+                if let Some(monitor) = world.monitor.clone() {
+                    monitor.on_counter_satisfied(
+                        device,
+                        completion.stream(),
+                        self.table,
+                        self.group,
+                        self.threshold,
+                    );
+                }
                 sim.schedule_in(poll, move |w, s| completion.finish(w, s));
             }
             None => {
@@ -259,6 +286,12 @@ pub type CallbackFn = Box<dyn FnOnce(&mut Cluster, &mut ClusterSim)>;
 /// test hooks).
 pub struct Callback(pub CallbackFn);
 
+impl std::fmt::Debug for Callback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Callback(..)")
+    }
+}
+
 impl Kernel for Callback {
     fn launch(self: Box<Self>, ctx: LaunchCtx, world: &mut Cluster, sim: &mut ClusterSim) {
         (self.0)(world, sim);
@@ -276,9 +309,20 @@ pub(crate) fn wake_counter_waiters(
     world: &mut Cluster,
     sim: &mut ClusterSim,
     device: DeviceId,
+    table: usize,
     waiters: Vec<crate::counter::Waiter>,
 ) {
     for waiter in waiters {
+        if let Some(monitor) = world.monitor.clone() {
+            // The parked wait synchronizes now, at the releasing increment.
+            monitor.on_counter_satisfied(
+                device,
+                waiter.completion.stream(),
+                table,
+                waiter.group,
+                waiter.threshold,
+            );
+        }
         let poll = world.devices[device].signal_poll_delay();
         let completion = waiter.completion;
         sim.schedule_in(poll, move |w, s| completion.finish(w, s));
@@ -420,7 +464,7 @@ mod tests {
             s0,
             Box::new(Callback(Box::new(move |w, s| {
                 let woken = w.devices[0].counters[table].increment(0, 4);
-                wake_counter_waiters(w, s, 0, woken);
+                wake_counter_waiters(w, s, 0, table, woken);
             }))),
         );
         let end = sim.run(&mut world).unwrap();

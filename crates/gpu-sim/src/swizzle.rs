@@ -172,6 +172,9 @@ mod tests {
         let order = Swizzle::Strip { width: 2 }.issue_order(&g);
         let first_wave: Vec<u32> = order[..4].to_vec();
         let contiguous = first_wave.windows(2).all(|w| w[1] == w[0] + 1);
-        assert!(!contiguous, "expected incontiguous early tiles: {first_wave:?}");
+        assert!(
+            !contiguous,
+            "expected incontiguous early tiles: {first_wave:?}"
+        );
     }
 }

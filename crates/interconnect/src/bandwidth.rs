@@ -101,10 +101,7 @@ impl SampledCurve {
         points.sort_by_key(|&(bytes, _)| bytes);
         points.dedup_by_key(|&mut (bytes, _)| bytes);
         SampledCurve {
-            points: points
-                .into_iter()
-                .map(|(b, d)| (b, d.as_nanos()))
-                .collect(),
+            points: points.into_iter().map(|(b, d)| (b, d.as_nanos())).collect(),
         }
     }
 
@@ -218,7 +215,10 @@ mod tests {
         let t3 = m.transfer_time(30 << 20).as_nanos() as f64;
         let d1 = t2 - t1;
         let d2 = t3 - t2;
-        assert!((d1 - d2).abs() / d1 < 1e-6, "slope not constant: {d1} vs {d2}");
+        assert!(
+            (d1 - d2).abs() / d1 < 1e-6,
+            "slope not constant: {d1} vs {d2}"
+        );
     }
 
     #[test]
@@ -263,9 +263,8 @@ mod tests {
     fn sampled_curve_tracks_model_closely() {
         let m = BandwidthModel::new(12.0, 4 << 20, 20_000);
         let sizes = log_spaced_sizes(64 << 10, 1 << 30, 64);
-        let curve = SampledCurve::from_points(
-            sizes.iter().map(|&s| (s, m.transfer_time(s))).collect(),
-        );
+        let curve =
+            SampledCurve::from_points(sizes.iter().map(|&s| (s, m.transfer_time(s))).collect());
         for &probe in &[100 << 10, 3 << 20, 50 << 20, 700 << 20] {
             let truth = m.transfer_time(probe).as_nanos() as f64;
             let est = curve.interpolate(probe).as_nanos() as f64;
@@ -312,9 +311,8 @@ mod tests {
     fn effective_gbps_from_curve() {
         let m = BandwidthModel::new(10.0, 1 << 20, 0);
         let sizes = log_spaced_sizes(1 << 10, 1 << 30, 128);
-        let curve = SampledCurve::from_points(
-            sizes.iter().map(|&s| (s, m.transfer_time(s))).collect(),
-        );
+        let curve =
+            SampledCurve::from_points(sizes.iter().map(|&s| (s, m.transfer_time(s))).collect());
         let est = curve.effective_gbps(1 << 25);
         let truth = m.effective_gbps(1 << 25);
         assert!((est - truth).abs() / truth < 0.05);

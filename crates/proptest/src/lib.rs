@@ -1,0 +1,163 @@
+//! A vendored, dependency-free subset of the `proptest` crate.
+//!
+//! The workspace builds in environments with no access to a cargo
+//! registry, so the property-testing surface the test suites rely on is
+//! reimplemented here: the `proptest!` macro grammar, `Strategy` with
+//! `prop_map`, range / tuple / vec / select / `any` strategies, and the
+//! `prop_assert*` family. Sampling is uniform and deterministic (seeded
+//! per test name), without shrinking: a failing case prints the
+//! generated inputs via the assertion message instead.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of `elem` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+/// Sampling strategies (`proptest::sample::select`).
+pub mod sample {
+    use crate::strategy::Select;
+
+    /// A strategy choosing one element of `options` uniformly.
+    pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+}
+
+/// The `prop` facade module re-exported by the prelude
+/// (`prop::sample::select`, `prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Everything a property-test file conventionally imports.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests.
+///
+/// Mirrors the upstream grammar used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     /// Doc comment.
+///     #[test]
+///     fn my_property(x in 0u64..100, flag in any::<bool>()) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each `fn` item into a
+/// standard test that loops over generated cases.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test, failing the current case
+/// (with the formatted message) rather than panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs == *rhs, $($fmt)*);
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
+        );
+    }};
+}
+
+/// Discards the current case when its inputs don't satisfy a
+/// precondition; the runner draws a replacement case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}

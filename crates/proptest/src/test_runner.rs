@@ -1,0 +1,170 @@
+//! The case-loop runner, its RNG, and failure plumbing.
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to execute.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` precondition failed; the case is redrawn.
+    Reject(&'static str),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    #[must_use]
+    pub fn fail(msg: String) -> TestCaseError {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Result type of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic split-mix style RNG used for value generation.
+///
+/// Seeded from the test name so every test draws an independent,
+/// reproducible stream; no global state, no filesystem persistence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A stream derived from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit draw (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        assert!(bound > 0, "below_u128 bound must be positive");
+        let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        wide % bound
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn seed_from_name(name: &str) -> u64 {
+    // FNV-1a: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `f` for `config.cases` successful cases, redrawing rejected
+/// cases (up to a cap) and panicking on the first failure.
+///
+/// # Panics
+///
+/// Panics when a case fails or when `prop_assume!` rejects too many
+/// consecutive draws.
+pub fn run<F>(config: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let mut rng = TestRng::new(seed_from_name(name));
+    let mut executed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let max_rejects = config.cases.saturating_mul(20).saturating_add(100);
+    while executed < config.cases {
+        match f(&mut rng) {
+            Ok(()) => executed += 1,
+            Err(TestCaseError::Reject(cond)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "proptest {name}: too many prop_assume rejections ({cond})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest {name}: case {executed} failed\n{msg}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..1000 {
+            let x = rng.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case 0 failed")]
+    fn failures_panic() {
+        run(&ProptestConfig::with_cases(4), "failures_panic", |_| {
+            Err(TestCaseError::fail("boom".to_string()))
+        });
+    }
+
+    #[test]
+    fn rejects_are_redrawn() {
+        let mut calls = 0u32;
+        run(&ProptestConfig::with_cases(4), "rejects", |_| {
+            calls += 1;
+            if calls.is_multiple_of(2) {
+                Err(TestCaseError::Reject("odd only"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls >= 7);
+    }
+}

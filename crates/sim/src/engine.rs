@@ -4,11 +4,27 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
+use std::rc::Rc;
 
 use crate::time::{SimDuration, SimTime};
 
 /// An event callback: runs against the world and may schedule more events.
 type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+/// An observer attached to the driver with [`Sim::set_probe`].
+///
+/// Probes see the world after every event and once more when the queue
+/// drains; they never mutate the schedule. The sanitizer (`simsan`) uses
+/// the drain hook to flag waits that are still parked when the program
+/// should have finished — a lost signal is invisible to the event loop
+/// itself, which just runs out of events.
+pub trait EngineProbe<W> {
+    /// Called after each event has run, with the clock at that event.
+    fn after_event(&self, _now: SimTime, _world: &mut W) {}
+
+    /// Called once when [`Sim::run`] drains the queue without error.
+    fn on_drain(&self, _now: SimTime, _world: &mut W) {}
+}
 
 /// Errors produced by the simulation driver.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,6 +106,19 @@ pub struct Sim<W> {
     next_seq: u64,
     processed: u64,
     event_budget: u64,
+    probe: Option<Rc<dyn EngineProbe<W>>>,
+}
+
+impl<W> fmt::Debug for Sim<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("processed", &self.processed)
+            .field("event_budget", &self.event_budget)
+            .field("probe", &self.probe.is_some())
+            .finish()
+    }
 }
 
 impl<W> Default for Sim<W> {
@@ -110,6 +139,7 @@ impl<W> Sim<W> {
             next_seq: 0,
             processed: 0,
             event_budget: Self::DEFAULT_EVENT_BUDGET,
+            probe: None,
         }
     }
 
@@ -117,6 +147,11 @@ impl<W> Sim<W> {
     pub fn with_event_budget(mut self, budget: u64) -> Self {
         self.event_budget = budget;
         self
+    }
+
+    /// Attaches an observer called after every event and at queue drain.
+    pub fn set_probe(&mut self, probe: Rc<dyn EngineProbe<W>>) {
+        self.probe = Some(probe);
     }
 
     /// Returns the current simulated time.
@@ -186,6 +221,9 @@ impl<W> Sim<W> {
         self.now = ev.at;
         self.processed += 1;
         (ev.run)(world, self);
+        if let Some(probe) = self.probe.clone() {
+            probe.after_event(self.now, world);
+        }
         true
     }
 
@@ -202,6 +240,9 @@ impl<W> Sim<W> {
                     processed: self.processed,
                 });
             }
+        }
+        if let Some(probe) = self.probe.clone() {
+            probe.on_drain(self.now, world);
         }
         Ok(self.now)
     }
@@ -322,6 +363,37 @@ mod tests {
             s.schedule_at(SimTime::from_nanos(5), |_, _| {});
         });
         sim.run(&mut ()).unwrap();
+    }
+
+    #[test]
+    fn probe_sees_every_event_and_the_drain() {
+        use std::cell::RefCell;
+
+        #[derive(Default)]
+        struct Recorder {
+            after: RefCell<Vec<u64>>,
+            drains: RefCell<u32>,
+        }
+        impl EngineProbe<u32> for Recorder {
+            fn after_event(&self, now: SimTime, world: &mut u32) {
+                self.after.borrow_mut().push(now.as_nanos());
+                *world += 1;
+            }
+            fn on_drain(&self, _now: SimTime, _world: &mut u32) {
+                *self.drains.borrow_mut() += 1;
+            }
+        }
+
+        let probe = Rc::new(Recorder::default());
+        let mut sim: Sim<u32> = Sim::new();
+        sim.set_probe(probe.clone());
+        sim.schedule_at(SimTime::from_nanos(3), |_, _| {});
+        sim.schedule_at(SimTime::from_nanos(7), |_, _| {});
+        let mut world = 0u32;
+        sim.run(&mut world).unwrap();
+        assert_eq!(*probe.after.borrow(), vec![3, 7]);
+        assert_eq!(*probe.drains.borrow(), 1);
+        assert_eq!(world, 2);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Sim, SimError};
+pub use engine::{EngineProbe, Sim, SimError};
 pub use rng::DetRng;
 pub use stats::{Cdf, Summary};
 pub use time::{SimDuration, SimTime};

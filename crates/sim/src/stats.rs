@@ -162,8 +162,8 @@ impl Cdf {
             return None;
         }
         self.ensure_sorted();
-        let idx = ((q * (self.samples.len() - 1) as f64).round() as usize)
-            .min(self.samples.len() - 1);
+        let idx =
+            ((q * (self.samples.len() - 1) as f64).round() as usize).min(self.samples.len() - 1);
         Some(self.samples[idx])
     }
 
@@ -220,7 +220,9 @@ mod tests {
 
     #[test]
     fn summary_mean_and_variance() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.variance() - 4.0).abs() < 1e-12);

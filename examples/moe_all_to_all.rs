@@ -27,7 +27,10 @@ fn main() {
     );
 
     for (label, routing) in [
-        ("balanced routing", balanced_routing(dims.m as usize, n_gpus, 42)),
+        (
+            "balanced routing",
+            balanced_routing(dims.m as usize, n_gpus, 42),
+        ),
         (
             "skewed routing (40% of traffic to rank 0)",
             skewed_routing(dims.m as usize, n_gpus, 0.4, 42),
@@ -40,8 +43,7 @@ fn main() {
             routing: routing.clone(),
         };
         let base = baselines::run_nonoverlap(dims, &pattern, &system).expect("baseline");
-        let plan =
-            OverlapPlan::tuned(dims, pattern, system.clone()).expect("plan");
+        let plan = OverlapPlan::tuned(dims, pattern, system.clone()).expect("plan");
         let report = plan.execute().expect("run");
         println!(
             "   partition {} | non-overlap {base} | FlashOverlap {} ({:.3}x)\n",
@@ -65,7 +67,9 @@ fn main() {
     .expect("small plan");
     let inputs = FunctionalInputs::random(small, n_gpus, 3);
     let result = plan.execute_functional(&inputs).expect("functional");
-    let expert_out: Vec<_> = (0..n_gpus).map(|r| gemm(&inputs.a[r], &inputs.b[r])).collect();
+    let expert_out: Vec<_> = (0..n_gpus)
+        .map(|r| gemm(&inputs.a[r], &inputs.b[r]))
+        .collect();
     let mapping = plan.token_mapping().expect("token mapping");
     for dest in 0..n_gpus {
         for (i, &(src, row)) in mapping.recv_expected[dest].iter().enumerate() {

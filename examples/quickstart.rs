@@ -35,8 +35,8 @@ fn main() {
 
     // Measure the overlapped operator.
     let report = plan.execute().expect("simulation");
-    let baseline = baselines::run_nonoverlap(dims, &CommPattern::AllReduce, &system)
-        .expect("baseline");
+    let baseline =
+        baselines::run_nonoverlap(dims, &CommPattern::AllReduce, &system).expect("baseline");
     println!("FlashOverlap : {}", report.latency);
     println!("non-overlap  : {baseline}");
     println!(

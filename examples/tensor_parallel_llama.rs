@@ -40,8 +40,13 @@ fn main() {
                 &system,
             )
             .expect("decomposition");
-            let fo = measure(Method::FlashOverlap, *dims, &CommPattern::AllReduce, &system)
-                .expect("flashoverlap");
+            let fo = measure(
+                Method::FlashOverlap,
+                *dims,
+                &CommPattern::AllReduce,
+                &system,
+            )
+            .expect("flashoverlap");
             layer_base += base.as_nanos();
             layer_fo += fo.as_nanos();
             println!(

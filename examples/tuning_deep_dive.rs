@@ -38,17 +38,12 @@ fn main() {
         .into_iter()
         .map(|p| {
             let predicted = predictor.predict(&p).as_nanos();
-            let actual = OverlapPlan::new(
-                dims,
-                CommPattern::AllReduce,
-                system.clone(),
-                p.clone(),
-            )
-            .expect("plan")
-            .execute()
-            .expect("run")
-            .latency
-            .as_nanos();
+            let actual = OverlapPlan::new(dims, CommPattern::AllReduce, system.clone(), p.clone())
+                .expect("plan")
+                .execute()
+                .expect("run")
+                .latency
+                .as_nanos();
             (p, predicted, actual)
         })
         .collect();

@@ -82,8 +82,7 @@ fn contention_bounded_computation() {
         "cannot beat the uncontended GEMM"
     );
     assert!(
-        measured
-            <= contended.as_nanos() as f64 * (1.0 + flashoverlap::SystemSpec::GEMM_NOISE_FRAC),
+        measured <= contended.as_nanos() as f64 * (1.0 + flashoverlap::SystemSpec::GEMM_NOISE_FRAC),
         "slowdown bounded by the communication SM share"
     );
 }

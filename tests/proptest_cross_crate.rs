@@ -13,8 +13,7 @@ use tensor::{allclose, gemm};
 fn arb_dims() -> impl Strategy<Value = GemmDims> {
     // Multiples that satisfy every primitive's divisibility constraints
     // for up to 8 ranks.
-    (1u32..=8, 1u32..=8, 1u32..=8)
-        .prop_map(|(m, n, k)| GemmDims::new(m * 512, n * 512, k * 512))
+    (1u32..=8, 1u32..=8, 1u32..=8).prop_map(|(m, n, k)| GemmDims::new(m * 512, n * 512, k * 512))
 }
 
 fn waves_for(dims: GemmDims, system: &SystemSpec) -> u32 {
