@@ -13,4 +13,29 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== profile smoke (trace + metrics JSON round-trip) =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run -q -p flashoverlap-cli --bin flashoverlap -- profile \
+  -m 1024 -n 2048 -k 2048 --gpus 2 --platform a800 \
+  --trace-out "$tmp/trace.json" --metrics-out "$tmp/metrics.json" > /dev/null
+python3 - "$tmp/trace.json" "$tmp/metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    events = json.load(f)["traceEvents"]
+devices = {e["pid"] for e in events if e.get("ph") == "X"}
+assert devices == {0, 1}, f"trace must cover every device, got {devices}"
+assert any(e.get("ph") == "s" for e in events), "missing signal flow events"
+assert any(e.get("ph") == "C" for e in events), "missing counter tracks"
+with open(sys.argv[2]) as f:
+    metrics = json.load(f)
+assert len(metrics["methods"]) == 5, "report must list every method"
+for m in metrics["methods"]:
+    eff = m["overlap_efficiency"]
+    assert eff is None or 0.0 <= eff <= 1.0, m
+assert metrics["signal_latency"]["samples"] > 0, "no signal-latency samples"
+assert metrics["links"], "no link stats"
+print("profile smoke: ok")
+EOF
+
 echo "ci: all gates passed"

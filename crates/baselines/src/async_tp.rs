@@ -10,11 +10,11 @@
 use std::rc::Rc;
 
 use collectives::P2pCopy;
-use flashoverlap::runtime::CommPattern;
+use flashoverlap::runtime::{CommPattern, Instrumentation};
 use flashoverlap::{FlashOverlapError, SystemSpec};
 use gpu_sim::gemm::{AddressOrderWriter, GemmConfig, GemmDims, GemmKernel};
 use gpu_sim::stream::{enqueue, RecordEvent, WaitEvent};
-use gpu_sim::ClusterSim;
+use gpu_sim::{ClusterSim, OpSpan};
 use sim::{Sim, SimDuration, SimTime};
 
 /// SMs a peer-copy kernel occupies (copy engines + a small SM footprint).
@@ -36,6 +36,21 @@ pub fn run_async_tp(
     pattern: &CommPattern,
     system: &SystemSpec,
 ) -> Result<SimDuration, FlashOverlapError> {
+    run_async_tp_traced(dims, pattern, system, &Instrumentation::default()).map(|(l, _)| l)
+}
+
+/// [`run_async_tp`] with observation hooks attached and per-stream
+/// operation spans recorded — the profiling entry point.
+///
+/// # Errors
+///
+/// Same as [`run_async_tp`].
+pub fn run_async_tp_traced(
+    dims: GemmDims,
+    pattern: &CommPattern,
+    system: &SystemSpec,
+    instr: &Instrumentation,
+) -> Result<(SimDuration, Vec<OpSpan>), FlashOverlapError> {
     if !system.fabric.peer_to_peer {
         return Err(FlashOverlapError::IncompatibleShape {
             reason: "Async-TP requires peer-to-peer (NVLink) access between all GPU pairs".into(),
@@ -66,7 +81,14 @@ pub fn run_async_tp(
     let chunk_elems = (chunk_rows * dims.n) as usize;
 
     let mut world = system.build_cluster(false);
+    world.enable_op_spans();
+    if let Some(monitor) = &instr.monitor {
+        world.set_monitor(Rc::clone(monitor));
+    }
     let mut sim: ClusterSim = Sim::new();
+    if let Some(probe) = &instr.probe {
+        sim.set_probe(Rc::clone(probe));
+    }
     let mut compute = Vec::with_capacity(n);
     let mut comm_streams = Vec::with_capacity(n);
     let mut out_bufs = Vec::with_capacity(n);
@@ -167,7 +189,8 @@ pub fn run_async_tp(
         }
     }
     let end = sim.run(&mut world)?;
-    Ok(end - SimTime::ZERO)
+    let spans = world.op_spans.take().unwrap_or_default();
+    Ok((end - SimTime::ZERO, spans))
 }
 
 #[cfg(test)]

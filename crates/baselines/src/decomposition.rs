@@ -11,11 +11,11 @@
 use std::rc::Rc;
 
 use collectives::{A2aPlan, CollectiveSpec, Communicator, Region};
-use flashoverlap::runtime::CommPattern;
+use flashoverlap::runtime::{CommPattern, Instrumentation};
 use flashoverlap::{FlashOverlapError, SystemSpec};
 use gpu_sim::gemm::{AddressOrderWriter, GemmConfig, GemmDims, GemmKernel};
 use gpu_sim::stream::{enqueue, RecordEvent, WaitEvent};
-use gpu_sim::ClusterSim;
+use gpu_sim::{ClusterSim, OpSpan};
 use sim::{Sim, SimDuration, SimTime};
 
 /// Chunk counts tried by [`run_decomposition_tuned`].
@@ -35,6 +35,23 @@ pub fn run_decomposition(
     system: &SystemSpec,
     chunks: u32,
 ) -> Result<SimDuration, FlashOverlapError> {
+    run_decomposition_traced(dims, pattern, system, chunks, &Instrumentation::default())
+        .map(|(l, _)| l)
+}
+
+/// [`run_decomposition`] with observation hooks attached and per-stream
+/// operation spans recorded — the profiling entry point.
+///
+/// # Errors
+///
+/// Same as [`run_decomposition`].
+pub fn run_decomposition_traced(
+    dims: GemmDims,
+    pattern: &CommPattern,
+    system: &SystemSpec,
+    chunks: u32,
+    instr: &Instrumentation,
+) -> Result<(SimDuration, Vec<OpSpan>), FlashOverlapError> {
     let n = system.n_gpus;
     if chunks == 0 || !dims.m.is_multiple_of(chunks) {
         return Err(FlashOverlapError::IncompatibleShape {
@@ -49,7 +66,14 @@ pub fn run_decomposition(
     }
 
     let mut world = system.build_cluster(false);
+    world.enable_op_spans();
+    if let Some(monitor) = &instr.monitor {
+        world.set_monitor(Rc::clone(monitor));
+    }
     let mut sim: ClusterSim = Sim::new();
+    if let Some(probe) = &instr.probe {
+        sim.set_probe(Rc::clone(probe));
+    }
     let comm = Communicator::with_algorithm(
         (0..n).collect(),
         system.fabric.clone(),
@@ -151,7 +175,8 @@ pub fn run_decomposition(
         }
     }
     let end = sim.run(&mut world)?;
-    Ok(end - SimTime::ZERO)
+    let spans = world.op_spans.take().unwrap_or_default();
+    Ok((end - SimTime::ZERO, spans))
 }
 
 /// Runs the decomposition baseline at every chunk count in
@@ -187,6 +212,44 @@ pub fn run_decomposition_tuned(
             reason: "no feasible chunk count".into(),
         })
     })
+}
+
+/// Tunes the chunk count with plain (unobserved) runs, then re-runs the
+/// winner with observation hooks attached, so the recorded telemetry
+/// covers exactly one run of the configuration a practitioner would
+/// deploy.
+///
+/// # Errors
+///
+/// Returns the first error if *no* candidate is feasible.
+pub fn run_decomposition_tuned_traced(
+    dims: GemmDims,
+    pattern: &CommPattern,
+    system: &SystemSpec,
+    instr: &Instrumentation,
+) -> Result<(SimDuration, Vec<OpSpan>), FlashOverlapError> {
+    let mut best: Option<(u32, SimDuration)> = None;
+    let mut first_err = None;
+    for &chunks in &CHUNK_CANDIDATES {
+        match run_decomposition(dims, pattern, system, chunks) {
+            Ok(latency) => {
+                if best.is_none_or(|(_, b)| latency < b) {
+                    best = Some((chunks, latency));
+                }
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    let Some((chunks, _)) = best else {
+        return Err(first_err.unwrap_or(FlashOverlapError::IncompatibleShape {
+            reason: "no feasible chunk count".into(),
+        }));
+    };
+    run_decomposition_traced(dims, pattern, system, chunks, instr)
 }
 
 /// All-to-All plan for the rows `[row0, row0 + rows)` of a chunk.

@@ -26,9 +26,11 @@ pub mod method;
 pub mod microbatch;
 pub mod nonoverlap;
 
-pub use async_tp::run_async_tp;
-pub use decomposition::{run_decomposition, run_decomposition_tuned};
+pub use async_tp::{run_async_tp, run_async_tp_traced};
+pub use decomposition::{
+    run_decomposition, run_decomposition_tuned, run_decomposition_tuned_traced,
+};
 pub use flux::run_flux;
-pub use method::{measure, Method};
+pub use method::{measure, measure_traced, Method, MethodProfile};
 pub use microbatch::{run_microbatch, run_microbatch_tuned};
-pub use nonoverlap::run_nonoverlap;
+pub use nonoverlap::{run_nonoverlap, run_nonoverlap_traced};

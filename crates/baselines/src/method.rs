@@ -1,15 +1,16 @@
 //! A unified dispatcher over all evaluated methods, for the benchmark
 //! harness.
 
-use flashoverlap::runtime::CommPattern;
+use flashoverlap::runtime::{CommPattern, Instrumentation};
 use flashoverlap::{FlashOverlapError, OverlapPlan, SystemSpec};
 use gpu_sim::gemm::GemmDims;
+use gpu_sim::OpSpan;
 use sim::SimDuration;
 
-use crate::async_tp::run_async_tp;
-use crate::decomposition::run_decomposition_tuned;
+use crate::async_tp::{run_async_tp, run_async_tp_traced};
+use crate::decomposition::{run_decomposition_tuned, run_decomposition_tuned_traced};
 use crate::flux::run_flux;
-use crate::nonoverlap::run_nonoverlap;
+use crate::nonoverlap::{run_nonoverlap, run_nonoverlap_traced};
 
 /// The methods compared in Fig. 9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,6 +87,71 @@ pub fn measure(
         Method::FlashOverlap => {
             let plan = OverlapPlan::tuned(dims, pattern.clone(), system.clone())?;
             Ok(plan.execute()?.latency)
+        }
+    }
+}
+
+/// One method's profiled run: latency plus, for simulation-backed
+/// methods, the per-stream operation spans of the run.
+#[derive(Debug, Clone)]
+pub struct MethodProfile {
+    /// Operator latency (same number [`measure`] returns).
+    pub latency: SimDuration,
+    /// Per-stream operation spans; `None` for methods modelled purely
+    /// analytically (FLUX), which never run the simulator.
+    pub spans: Option<Vec<OpSpan>>,
+}
+
+/// [`measure`] with observation hooks attached and per-stream operation
+/// spans recorded.
+///
+/// FLUX is an analytic model — it yields latency only (no spans, and the
+/// hooks never fire). Every other method runs the simulator with
+/// `instr`'s monitor/probe installed.
+///
+/// # Errors
+///
+/// Same as [`measure`].
+pub fn measure_traced(
+    method: Method,
+    dims: GemmDims,
+    pattern: &CommPattern,
+    system: &SystemSpec,
+    instr: &Instrumentation,
+) -> Result<MethodProfile, FlashOverlapError> {
+    match method {
+        Method::NonOverlap => {
+            let (latency, spans) = run_nonoverlap_traced(dims, pattern, system, instr)?;
+            Ok(MethodProfile {
+                latency,
+                spans: Some(spans),
+            })
+        }
+        Method::VanillaDecomposition => {
+            let (latency, spans) = run_decomposition_tuned_traced(dims, pattern, system, instr)?;
+            Ok(MethodProfile {
+                latency,
+                spans: Some(spans),
+            })
+        }
+        Method::AsyncTp => {
+            let (latency, spans) = run_async_tp_traced(dims, pattern, system, instr)?;
+            Ok(MethodProfile {
+                latency,
+                spans: Some(spans),
+            })
+        }
+        Method::Flux => Ok(MethodProfile {
+            latency: run_flux(dims, pattern.primitive(), system)?,
+            spans: None,
+        }),
+        Method::FlashOverlap => {
+            let plan = OverlapPlan::tuned(dims, pattern.clone(), system.clone())?;
+            let (report, spans) = plan.execute_traced_instrumented(instr)?;
+            Ok(MethodProfile {
+                latency: report.latency,
+                spans: Some(spans),
+            })
         }
     }
 }

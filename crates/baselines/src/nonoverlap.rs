@@ -3,11 +3,11 @@
 use std::rc::Rc;
 
 use collectives::{A2aPlan, CollectiveSpec, Communicator, Region};
-use flashoverlap::runtime::CommPattern;
+use flashoverlap::runtime::{CommPattern, Instrumentation};
 use flashoverlap::{FlashOverlapError, SystemSpec};
 use gpu_sim::gemm::{GemmConfig, GemmDims, GemmKernel};
 use gpu_sim::stream::{enqueue, RecordEvent, WaitEvent};
-use gpu_sim::ClusterSim;
+use gpu_sim::{ClusterSim, OpSpan};
 use sim::{Sim, SimDuration, SimTime};
 
 /// Runs `GEMM; AllReduce/ReduceScatter/AllToAll` sequentially (cuBLAS then
@@ -21,9 +21,31 @@ pub fn run_nonoverlap(
     pattern: &CommPattern,
     system: &SystemSpec,
 ) -> Result<SimDuration, FlashOverlapError> {
+    run_nonoverlap_traced(dims, pattern, system, &Instrumentation::default()).map(|(l, _)| l)
+}
+
+/// [`run_nonoverlap`] with observation hooks attached and per-stream
+/// operation spans recorded — the profiling entry point.
+///
+/// # Errors
+///
+/// Propagates simulation failures and malformed All-to-All routing.
+pub fn run_nonoverlap_traced(
+    dims: GemmDims,
+    pattern: &CommPattern,
+    system: &SystemSpec,
+    instr: &Instrumentation,
+) -> Result<(SimDuration, Vec<OpSpan>), FlashOverlapError> {
     let n = system.n_gpus;
     let mut world = system.build_cluster(false);
+    world.enable_op_spans();
+    if let Some(monitor) = &instr.monitor {
+        world.set_monitor(Rc::clone(monitor));
+    }
     let mut sim: ClusterSim = Sim::new();
+    if let Some(probe) = &instr.probe {
+        sim.set_probe(Rc::clone(probe));
+    }
     let comm = Communicator::with_algorithm(
         (0..n).collect(),
         system.fabric.clone(),
@@ -147,7 +169,8 @@ pub fn run_nonoverlap(
         enqueue(&mut world, &mut sim, d, comm_streams[d], Box::new(kernel));
     }
     let end = sim.run(&mut world)?;
-    Ok(end - SimTime::ZERO)
+    let spans = world.op_spans.take().unwrap_or_default();
+    Ok((end - SimTime::ZERO, spans))
 }
 
 /// Builds a one-shot All-to-All plan over natural row order: rank `s`

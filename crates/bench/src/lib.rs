@@ -221,26 +221,6 @@ pub fn render_timeline(spans: &[gpu_sim::OpSpan], width: usize) -> String {
     out
 }
 
-/// Serializes operation spans in Chrome trace-event format (load the
-/// output at `chrome://tracing` or in Perfetto): one row per
-/// (device, stream), durations in microseconds.
-pub fn chrome_trace(spans: &[gpu_sim::OpSpan]) -> String {
-    let mut out = String::from("[\n");
-    for (i, span) in spans.iter().enumerate() {
-        let sep = if i + 1 == spans.len() { "" } else { "," };
-        out.push_str(&format!(
-            "  {{\"name\": \"{}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": {}, \"tid\": {}}}{sep}\n",
-            span.name,
-            span.start.as_micros_f64(),
-            (span.end - span.start).as_micros_f64(),
-            span.device,
-            span.stream,
-        ));
-    }
-    out.push_str("]\n");
-    out
-}
-
 /// A simple horizontal ASCII bar for quick visual scanning of a value in
 /// `[0, scale]`.
 pub fn bar(value: f64, scale: f64, width: usize) -> String {
@@ -292,34 +272,6 @@ mod tests {
         assert_eq!(bar(2.0, 1.0, 4), "####");
         assert_eq!(bar(0.0, 1.0, 4), "....");
         assert_eq!(bar(0.5, 1.0, 4), "##..");
-    }
-
-    #[test]
-    fn chrome_trace_is_well_formed() {
-        let spans = vec![
-            gpu_sim::OpSpan {
-                device: 0,
-                stream: 0,
-                name: "gemm",
-                start: sim::SimTime::from_nanos(0),
-                end: sim::SimTime::from_nanos(2_000),
-            },
-            gpu_sim::OpSpan {
-                device: 0,
-                stream: 1,
-                name: "collective",
-                start: sim::SimTime::from_nanos(1_000),
-                end: sim::SimTime::from_nanos(5_000),
-            },
-        ];
-        let json = chrome_trace(&spans);
-        assert!(json.starts_with('['));
-        assert!(json.trim_end().ends_with(']'));
-        assert!(json.contains("\"name\": \"gemm\""));
-        assert!(json.contains("\"dur\": 4.000"));
-        assert_eq!(json.matches("\"ph\": \"X\"").count(), 2);
-        // Exactly one trailing-comma-free last element.
-        assert_eq!(json.matches("},").count(), 1);
     }
 
     #[test]

@@ -52,6 +52,9 @@ pub enum Command {
     Compare,
     /// Render the per-stream ASCII timeline of one run.
     Timeline,
+    /// Profile every method with telemetry attached: Perfetto trace,
+    /// signal-latency / link-utilization metrics, overlap efficiency.
+    Profile,
 }
 
 /// Parsed command-line options.
@@ -77,8 +80,12 @@ pub struct Cli {
     pub seed: u64,
     /// Collective algorithm.
     pub algorithm: Algorithm,
-    /// Optional path to write a Chrome trace (timeline command).
+    /// Optional path to write a Perfetto/Chrome trace (timeline and
+    /// profile commands).
     pub trace_out: Option<String>,
+    /// Optional path to write the machine-readable metrics report
+    /// (run, compare, and profile commands).
+    pub metrics_out: Option<String>,
     /// Run under the SimSan happens-before sanitizer (run/timeline).
     pub sanitize: bool,
     /// Seeded signal mutation for sanitizer self-tests (implies
@@ -88,7 +95,7 @@ pub struct Cli {
 
 /// The usage text printed on `--help` or parse errors.
 pub const USAGE: &str = "\
-usage: flashoverlap <tune|run|compare|timeline> [options]
+usage: flashoverlap <tune|run|compare|timeline|profile> [options]
 
 options:
   -m, -n, -k <int>        GEMM dimensions (required)
@@ -99,7 +106,11 @@ options:
   --partition <a,b,c>     explicit wave partition (default: tuned)
   --seed <int>            routing seed for alltoall (default: 7)
   --algorithm <name>      ring | direct | auto (default: ring)
-  --trace-out <path>      timeline: also write a Chrome trace JSON
+  --trace-out <path>      timeline/profile: also write a Perfetto
+                          (Chrome trace-event) JSON covering all devices
+  --metrics-out <path>    run/compare/profile: also write the metrics
+                          report JSON (signal latency, link utilization,
+                          overlap efficiency)
   --sanitize              run/timeline: attach the SimSan happens-before
                           sanitizer and report races, lost signals, and
                           deadlocks after the run
@@ -147,6 +158,7 @@ impl Cli {
             Some("run") => Command::Run,
             Some("compare") => Command::Compare,
             Some("timeline") => Command::Timeline,
+            Some("profile") => Command::Profile,
             Some("-h") | Some("--help") | None => {
                 return Err(CliError::usage("".to_string()));
             }
@@ -164,6 +176,7 @@ impl Cli {
         let mut seed = 7u64;
         let mut algorithm = Algorithm::Ring;
         let mut trace_out = None;
+        let mut metrics_out = None;
         let mut sanitize = false;
         let mut mutation = None;
         while let Some(flag) = it.next() {
@@ -232,6 +245,13 @@ impl Cli {
                             .clone(),
                     );
                 }
+                "--metrics-out" => {
+                    metrics_out = Some(
+                        it.next()
+                            .ok_or_else(|| CliError::usage("missing value for --metrics-out"))?
+                            .clone(),
+                    );
+                }
                 "--sanitize" => sanitize = true,
                 "--drop-signal" => {
                     let (rank, group) = parse_rank_group("--drop-signal", it.next())?;
@@ -265,6 +285,7 @@ impl Cli {
             seed,
             algorithm,
             trace_out,
+            metrics_out,
             sanitize,
             mutation,
         })
@@ -350,6 +371,24 @@ mod tests {
         assert_eq!(cli.trace_out.as_deref(), Some("/tmp/t.json"));
         assert!(
             Cli::parse(&argv("run -m 1 -n 1 -k 1 --algorithm bogus"))
+                .unwrap_err()
+                .show_usage
+        );
+    }
+
+    #[test]
+    fn profile_command_and_metrics_out_parse() {
+        let cli = Cli::parse(&argv(
+            "profile -m 4096 -n 4096 -k 4096 --trace-out t.json --metrics-out m.json",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Profile);
+        assert_eq!(cli.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(cli.metrics_out.as_deref(), Some("m.json"));
+        let cli = Cli::parse(&argv("run -m 64 -n 64 -k 64 --metrics-out m.json")).unwrap();
+        assert_eq!(cli.metrics_out.as_deref(), Some("m.json"));
+        assert!(
+            Cli::parse(&argv("profile -m 1 -n 1 -k 1 --metrics-out"))
                 .unwrap_err()
                 .show_usage
         );

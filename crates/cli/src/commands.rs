@@ -9,7 +9,39 @@ use flashoverlap::{
 use gpu_sim::gemm::GemmDims;
 use simsan::Sanitizer;
 
+use flashoverlap::runtime::CommPattern;
+
 use crate::args::{Cli, CliError, Command};
+
+/// Profiles every method on the workload and writes the metrics report
+/// (and, for the `profile` command, the Perfetto trace). Returns the
+/// human-readable summary.
+fn profiled_report(
+    cli: &Cli,
+    dims: GemmDims,
+    pattern: &CommPattern,
+    system: &flashoverlap::SystemSpec,
+) -> Result<String, CliError> {
+    let profile = telemetry::profile(dims, pattern, system)
+        .map_err(|e| CliError::runtime(format!("profiling failed: {e}")))?;
+    let mut out = profile.report.summary();
+    if cli.command == Command::Profile {
+        if let Some(path) = &cli.trace_out {
+            let trace = profile.trace_string().ok_or_else(|| {
+                CliError::runtime("FlashOverlap run failed; no trace to write".to_owned())
+            })?;
+            std::fs::write(path, trace)
+                .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
+            out.push_str(&format!("perfetto trace written to {path}\n"));
+        }
+    }
+    if let Some(path) = &cli.metrics_out {
+        std::fs::write(path, profile.report.to_json().to_json_pretty())
+            .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
+        out.push_str(&format!("metrics written to {path}\n"));
+    }
+    Ok(out)
+}
 
 /// Executes `plan` under the SimSan sanitizer (optionally with the CLI's
 /// seeded signal mutation) and renders the findings.
@@ -117,6 +149,9 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
             if let Some(text) = sanitizer_text {
                 out.push_str(&text);
             }
+            if cli.metrics_out.is_some() {
+                out.push_str(&profiled_report(cli, dims, &pattern, &system)?);
+            }
         }
         Command::Compare => {
             let base = measure(Method::NonOverlap, dims, &pattern, &system)
@@ -134,21 +169,27 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
                     base.as_nanos() as f64 / latency.as_nanos() as f64
                 ));
             }
+            if cli.metrics_out.is_some() {
+                out.push_str(&profiled_report(cli, dims, &pattern, &system)?);
+            }
         }
         Command::Timeline => {
             let (report, spans) = plan
                 .execute_traced()
                 .map_err(|e| CliError::runtime(format!("simulation failed: {e}")))?;
+            // The ASCII view shows rank 0 (all ranks render identically),
+            // but the exported trace covers every device.
             let rank0: Vec<gpu_sim::OpSpan> = spans
-                .into_iter()
+                .iter()
                 .filter(|s| s.device == 0 && s.name != "callback")
+                .copied()
                 .collect();
             out.push_str(&format!("latency  : {}\n", report.latency));
             out.push_str(&render_timeline(&rank0, 100));
             if let Some(path) = &cli.trace_out {
-                std::fs::write(path, bench::chrome_trace(&rank0))
+                std::fs::write(path, telemetry::perfetto::trace_string(&spans, None))
                     .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
-                out.push_str(&format!("chrome trace written to {path}\n"));
+                out.push_str(&format!("perfetto trace written to {path}\n"));
             }
             if cli.sanitize {
                 // The timeline above shows the *faithful* schedule; the
@@ -157,6 +198,9 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
                 let (_, text) = sanitized_run(cli, &plan)?;
                 out.push_str(&text);
             }
+        }
+        Command::Profile => {
+            out.push_str(&profiled_report(cli, dims, &pattern, &system)?);
         }
     }
     Ok(out)
@@ -268,6 +312,90 @@ mod tests {
         .unwrap();
         assert!(out.contains("lost signal"), "{out}");
         assert!(out.contains("deadlock"), "{out}");
+    }
+
+    /// A fresh path in the per-test temp area.
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("flashoverlap-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn profile_emits_summary_trace_and_metrics() {
+        let trace = temp_path("profile-trace.json");
+        let metrics = temp_path("profile-metrics.json");
+        let out = execute_argv(&argv(&format!(
+            "profile -m 2048 -n 4096 -k 4096 --gpus 2 --platform a800 \
+             --trace-out {} --metrics-out {}",
+            trace.display(),
+            metrics.display()
+        )))
+        .unwrap();
+        assert!(out.contains("overlap-eff"), "{out}");
+        assert!(out.contains("FlashOverlap"), "{out}");
+        assert!(out.contains("signal latency"), "{out}");
+        assert!(out.contains("link d0->d1"), "{out}");
+        // Both artifacts must be valid JSON with the expected shape.
+        let trace_doc = telemetry::json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let events = trace_doc.get("traceEvents").unwrap().as_arr().unwrap();
+        for device in [0.0, 1.0] {
+            assert!(
+                events.iter().any(|e| {
+                    e.get("ph").and_then(telemetry::json::Value::as_str) == Some("X")
+                        && e.get("pid").and_then(telemetry::json::Value::as_f64) == Some(device)
+                }),
+                "trace covers device {device}"
+            );
+        }
+        let metrics_doc =
+            telemetry::json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert_eq!(
+            metrics_doc.get("methods").unwrap().as_arr().unwrap().len(),
+            5
+        );
+    }
+
+    #[test]
+    fn run_and_compare_accept_metrics_out() {
+        let metrics = temp_path("run-metrics.json");
+        let out = execute_argv(&argv(&format!(
+            "run -m 2048 -n 4096 -k 4096 --gpus 2 --metrics-out {}",
+            metrics.display()
+        )))
+        .unwrap();
+        assert!(out.contains("metrics written to"), "{out}");
+        let doc = telemetry::json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert!(doc.get("signal_latency").is_some());
+        let metrics = temp_path("compare-metrics.json");
+        let out = execute_argv(&argv(&format!(
+            "compare -m 2048 -n 4096 -k 4096 --gpus 2 --metrics-out {}",
+            metrics.display()
+        )))
+        .unwrap();
+        assert!(out.contains("metrics written to"), "{out}");
+    }
+
+    #[test]
+    fn timeline_trace_covers_every_device() {
+        // Regression: the exported trace used to keep only rank 0's spans.
+        let trace = temp_path("timeline-trace.json");
+        let out = execute_argv(&argv(&format!(
+            "timeline -m 2048 -n 4096 -k 4096 --gpus 2 --trace-out {}",
+            trace.display()
+        )))
+        .unwrap();
+        assert!(out.contains("perfetto trace written to"), "{out}");
+        let doc = telemetry::json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let devices: std::collections::BTreeSet<i64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(telemetry::json::Value::as_str) == Some("X"))
+            .filter_map(|e| e.get("pid").and_then(telemetry::json::Value::as_f64))
+            .map(|p| p as i64)
+            .collect();
+        assert_eq!(devices.into_iter().collect::<Vec<_>>(), vec![0, 1]);
     }
 
     #[test]

@@ -16,16 +16,16 @@ use std::collections::HashMap;
 use std::ops::Range;
 use std::rc::Rc;
 
-use gpu_sim::cluster::Cluster;
+use gpu_sim::cluster::{Cluster, SpanMeta};
 use gpu_sim::device::DeviceId;
 use gpu_sim::memory::BufferId;
-use gpu_sim::monitor::{Access, AccessKind, AccessScope};
+use gpu_sim::monitor::{Access, AccessKind, AccessScope, LinkTransfer};
 use gpu_sim::stream::{Completion, Kernel, LaunchCtx, StreamId};
 use gpu_sim::ClusterSim;
 use interconnect::FabricSpec;
 use sim::SimDuration;
 
-use crate::cost::{collective_duration_with, Algorithm, Primitive};
+use crate::cost::{collective_duration_with, Algorithm, Primitive, BYTES_PER_ELEM};
 
 /// A contiguous region of one buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +173,43 @@ impl CollectiveSpec {
         }
     }
 
+    /// Per-link byte loads of the exchange as `(src_rank, dst_rank,
+    /// bytes)` triples, for link-utilization telemetry.
+    ///
+    /// Ring collectives are modelled over the ring schedule (rank `i` →
+    /// rank `i + 1 mod n`), the bandwidth-optimal default: AllReduce moves
+    /// `2 S (n-1)/n` bytes per link, ReduceScatter/AllGather `S (n-1)/n`.
+    /// All-to-All reads its explicit plan, skipping self-segments.
+    pub fn link_loads(&self, n: usize) -> Vec<(usize, usize, u64)> {
+        if n < 2 {
+            return Vec::new();
+        }
+        match self {
+            CollectiveSpec::AllToAllV { plan, .. } => {
+                let mut loads = Vec::new();
+                for (src, row) in plan.len.iter().enumerate() {
+                    for (dst, &len) in row.iter().enumerate() {
+                        if src != dst && len > 0 {
+                            loads.push((src, dst, len as u64 * BYTES_PER_ELEM));
+                        }
+                    }
+                }
+                loads
+            }
+            _ => {
+                let s = self.payload_bytes();
+                let per_link = match self.primitive() {
+                    Primitive::AllReduce => 2 * s * (n as u64 - 1) / n as u64,
+                    _ => s * (n as u64 - 1) / n as u64,
+                };
+                if per_link == 0 {
+                    return Vec::new();
+                }
+                (0..n).map(|src| (src, (src + 1) % n, per_link)).collect()
+            }
+        }
+    }
+
     /// The local buffer ranges rank `rank` receives — written when the
     /// collective completes.
     pub fn recv_ranges(&self, rank: usize) -> Vec<(BufferId, Range<usize>)> {
@@ -308,6 +345,21 @@ impl Communicator {
     ///
     /// Panics if the spec is inconsistent with the communicator size.
     pub fn kernels(&self, spec: CollectiveSpec) -> Vec<CollectiveKernel> {
+        self.kernels_tagged(spec, None)
+    }
+
+    /// Like [`Communicator::kernels`], but tags every kernel with the
+    /// signal group it serves, so span metadata and trace flow events can
+    /// tie the collective back to its counting-table slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is inconsistent with the communicator size.
+    pub fn kernels_tagged(
+        &self,
+        spec: CollectiveSpec,
+        group: Option<usize>,
+    ) -> Vec<CollectiveKernel> {
         spec.validate(self.size());
         let call = {
             let mut st = self.inner.state.borrow_mut();
@@ -321,6 +373,7 @@ impl Communicator {
                 comm: self.clone(),
                 call,
                 rank,
+                group,
                 spec: spec.clone(),
             })
             .collect()
@@ -350,6 +403,8 @@ pub struct CollectiveKernel {
     comm: Communicator,
     call: u64,
     rank: usize,
+    /// Signal group this collective serves (overlap runtime only).
+    group: Option<usize>,
     spec: Rc<CollectiveSpec>,
 }
 
@@ -358,6 +413,7 @@ impl std::fmt::Debug for CollectiveKernel {
         f.debug_struct("CollectiveKernel")
             .field("call", &self.call)
             .field("rank", &self.rank)
+            .field("group", &self.group)
             .finish_non_exhaustive()
     }
 }
@@ -373,6 +429,7 @@ impl Kernel for CollectiveKernel {
         // The NCCL kernel occupies its SMs from local launch: it spins
         // waiting for peers, contending with compute the whole time.
         world.devices[ctx.device].occupy_comm_sms(inner.sm_footprint);
+        world.notify_sm_occupancy(sim.now(), ctx.device);
 
         // This rank's contribution is read from arrival on; report it now
         // so a send region still being produced shows up as a race.
@@ -424,7 +481,7 @@ impl Kernel for CollectiveKernel {
                 })
                 .collect();
             if let Some(monitor) = world.monitor.clone() {
-                monitor.on_rendezvous(&participants);
+                monitor.on_rendezvous(sim.now(), &participants);
             }
             // Positive per-call noise models protocol and congestion
             // non-idealities on real fabrics.
@@ -446,6 +503,19 @@ impl Kernel for CollectiveKernel {
                 start
             };
             let finish_at = start + duration;
+            // The wire is busy for the whole [start, finish_at) window;
+            // report each link's share for utilization timelines.
+            if let Some(monitor) = world.monitor.clone() {
+                for (src, dst, bytes) in self.spec.link_loads(n) {
+                    monitor.on_link_transfer(&LinkTransfer {
+                        src: inner.ranks[src],
+                        dst: inner.ranks[dst],
+                        bytes,
+                        start,
+                        end: finish_at,
+                    });
+                }
+            }
             let comm = self.comm.clone();
             let spec = self.spec.clone();
             sim.schedule_at(finish_at, move |w, s| {
@@ -471,6 +541,7 @@ impl Kernel for CollectiveKernel {
                 for (rank, completion) in pending.completions.into_iter().enumerate() {
                     let device = comm.ranks()[rank];
                     w.devices[device].release_comm_sms(footprint);
+                    w.notify_sm_occupancy(s.now(), device);
                     let completion = completion.expect("all ranks arrived");
                     s.schedule_now(move |w, s| completion.finish(w, s));
                 }
@@ -480,6 +551,13 @@ impl Kernel for CollectiveKernel {
 
     fn name(&self) -> &'static str {
         "collective"
+    }
+
+    fn span_meta(&self) -> SpanMeta {
+        SpanMeta::Collective {
+            bytes: self.spec.payload_bytes(),
+            group: self.group,
+        }
     }
 }
 

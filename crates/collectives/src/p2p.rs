@@ -1,9 +1,10 @@
 //! One-sided point-to-point copies (NVLink peer writes / `ncclSend`+`Recv`
 //! fused into a put), used by the decomposition baselines.
 
-use gpu_sim::cluster::Cluster;
+use gpu_sim::cluster::{Cluster, SpanMeta};
 use gpu_sim::device::DeviceId;
 use gpu_sim::memory::BufferId;
+use gpu_sim::monitor::LinkTransfer;
 use gpu_sim::stream::{Kernel, LaunchCtx};
 use gpu_sim::ClusterSim;
 use interconnect::FabricSpec;
@@ -42,6 +43,7 @@ impl Kernel for P2pCopy {
         );
         let src_dev = ctx.device;
         world.devices[src_dev].occupy_comm_sms(self.sm_footprint);
+        world.notify_sm_occupancy(sim.now(), src_dev);
         let noise = 1.0
             + world.devices[src_dev]
                 .rng
@@ -51,6 +53,15 @@ impl Kernel for P2pCopy {
             .p2p
             .transfer_time(self.count as u64 * BYTES_PER_ELEM)
             .mul_f64(noise);
+        if let Some(monitor) = world.monitor.clone() {
+            monitor.on_link_transfer(&LinkTransfer {
+                src: src_dev,
+                dst: self.dst_dev,
+                bytes: self.count as u64 * BYTES_PER_ELEM,
+                start: sim.now(),
+                end: sim.now() + duration,
+            });
+        }
         sim.schedule_in(duration, move |w, s| {
             if w.functional {
                 let payload: Vec<f32> = {
@@ -61,12 +72,20 @@ impl Kernel for P2pCopy {
                 data[self.dst_off..self.dst_off + self.count].copy_from_slice(&payload);
             }
             w.devices[src_dev].release_comm_sms(self.sm_footprint);
+            w.notify_sm_occupancy(s.now(), src_dev);
             ctx.completion.finish(w, s);
         });
     }
 
     fn name(&self) -> &'static str {
         "p2p_copy"
+    }
+
+    fn span_meta(&self) -> SpanMeta {
+        SpanMeta::Collective {
+            bytes: self.count as u64 * BYTES_PER_ELEM,
+            group: None,
+        }
     }
 }
 

@@ -416,6 +416,44 @@ impl OverlapPlan {
         Ok(handles.probes.into_report())
     }
 
+    /// Runs the plan in timing mode with observation hooks attached *and*
+    /// per-stream operation spans recorded — the entry point the
+    /// `telemetry` crate's profiler uses, combining
+    /// [`OverlapPlan::execute_instrumented`] with
+    /// [`OverlapPlan::execute_traced`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashOverlapError::Simulation`] if the simulation engine
+    /// itself fails.
+    pub fn execute_traced_instrumented(
+        &self,
+        instr: &Instrumentation,
+    ) -> Result<(RunReport, Vec<gpu_sim::OpSpan>), FlashOverlapError> {
+        let mut world = self.system.build_cluster(false);
+        world.enable_op_spans();
+        if let Some(monitor) = &instr.monitor {
+            world.set_monitor(Rc::clone(monitor));
+        }
+        let mut sim: ClusterSim = Sim::new();
+        if let Some(probe) = &instr.probe {
+            sim.set_probe(Rc::clone(probe));
+        }
+        let streams = StreamCtx::create(&mut world, self.system.n_gpus);
+        let handles = self.enqueue_program_on(
+            &mut world,
+            &mut sim,
+            None,
+            None,
+            &streams,
+            None,
+            instr.mutation,
+        );
+        sim.run(&mut world)?;
+        let spans = world.op_spans.take().unwrap_or_default();
+        Ok((handles.probes.into_report(), spans))
+    }
+
     /// Runs `iterations` back-to-back instances of the plan in one
     /// simulation (kernel launches queued on the same streams, as a
     /// serving loop would) and returns the steady-state average latency.
@@ -772,7 +810,7 @@ impl OverlapPlan {
                 // wait for or send.
                 continue;
             };
-            let kernels = comm.kernels(spec);
+            let kernels = comm.kernels_tagged(spec, Some(g));
             for (d, kernel) in kernels.into_iter().enumerate() {
                 // A seeded mutation may drop or corrupt this rank's wait
                 // (sanitizer self-tests); `None` skips the wait entirely.

@@ -19,6 +19,31 @@ pub struct TileCompletion {
     pub wave: u32,
 }
 
+/// Structured metadata a kernel attaches to its [`OpSpan`] at the source
+/// (via [`crate::stream::Kernel::span_meta`]), so trace exporters never
+/// reverse-engineer kernel names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpanMeta {
+    /// No metadata (control ops, delays, callbacks).
+    #[default]
+    None,
+    /// A GEMM kernel: its grid's tile and wave totals.
+    Gemm {
+        /// Total output tiles in the grid.
+        tiles: u32,
+        /// Contended wave count of the grid.
+        waves: u32,
+    },
+    /// A collective (or peer copy): bytes it moves per rank, and the
+    /// signal group it serves when launched by the overlap runtime.
+    Collective {
+        /// Per-rank payload bytes.
+        bytes: u64,
+        /// Signal group index, if the collective is group-tagged.
+        group: Option<usize>,
+    },
+}
+
 /// One completed stream operation, for timeline rendering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpSpan {
@@ -28,6 +53,8 @@ pub struct OpSpan {
     pub stream: usize,
     /// Kernel name (from [`crate::stream::Kernel::name`]).
     pub name: &'static str,
+    /// Source-attached kernel metadata.
+    pub meta: SpanMeta,
     /// When the op started occupying the stream.
     pub start: sim::SimTime,
     /// When it completed.
@@ -143,6 +170,16 @@ impl Cluster {
         self.op_spans = Some(Vec::new());
     }
 
+    /// Reports `device`'s SM-occupancy totals to the monitor, if one is
+    /// attached. Kernels call this right after an `occupy_*`/`release_*`
+    /// edge so telemetry sees every occupancy change.
+    pub fn notify_sm_occupancy(&self, at: sim::SimTime, device: DeviceId) {
+        if let Some(monitor) = &self.monitor {
+            let dev = &self.devices[device];
+            monitor.on_sm_occupancy(at, device, dev.compute_sms(), dev.comm_sms());
+        }
+    }
+
     /// Checks that every stream has drained: no in-flight or queued
     /// operations remain.
     ///
@@ -161,7 +198,7 @@ impl Cluster {
                 if stream.busy || !stream.queue.is_empty() {
                     let what = stream
                         .current
-                        .map(|(name, _)| name)
+                        .map(|(name, _, _)| name)
                         .unwrap_or("queued work");
                     stuck.push(format!(
                         "device {} stream {sid}: {} in flight, {} queued ({what})",

@@ -16,7 +16,7 @@ use sim::SimDuration;
 use tensor::Matrix;
 
 use crate::arch::GpuArch;
-use crate::cluster::{Cluster, TileCompletion};
+use crate::cluster::{Cluster, SpanMeta, TileCompletion};
 use crate::device::DeviceId;
 use crate::memory::BufferId;
 use crate::stream::{Completion, Kernel, LaunchCtx};
@@ -303,6 +303,15 @@ impl Kernel for GemmKernel {
     fn name(&self) -> &'static str {
         "gemm"
     }
+
+    fn span_meta(&self) -> SpanMeta {
+        // The realized (contended) wave count is unknown at launch; the
+        // retire path overwrites `waves` with the runtime value.
+        SpanMeta::Gemm {
+            tiles: self.config.grid(self.dims).num_tiles(),
+            waves: 0,
+        }
+    }
 }
 
 fn start_wave(run: GemmRun, world: &mut Cluster, sim: &mut ClusterSim) {
@@ -314,12 +323,14 @@ fn start_wave(run: GemmRun, world: &mut Cluster, sim: &mut ClusterSim) {
     let avail = device.avail_sms_for_compute() as usize;
     let count = avail.min(run.issue.len() - run.next);
     device.occupy_compute_sms(count as u32);
+    world.notify_sm_occupancy(sim.now(), run.device);
     let dur = run.tile_dur;
     sim.schedule_in(dur, move |w, s| finish_wave(run, count, w, s));
 }
 
 fn finish_wave(mut run: GemmRun, count: usize, world: &mut Cluster, sim: &mut ClusterSim) {
     world.devices[run.device].release_compute_sms(count as u32);
+    world.notify_sm_occupancy(sim.now(), run.device);
     let wave_tiles: Vec<u32> = run.issue[run.next..run.next + count].to_vec();
 
     // Access monitoring: report each tile's epilogue writes at the wave
@@ -398,7 +409,7 @@ fn finish_wave(mut run: GemmRun, count: usize, world: &mut Cluster, sim: &mut Cl
         for &t in &wave_tiles {
             let group = hook.group_of_tile[t as usize] as usize;
             if let Some(monitor) = monitor.as_deref() {
-                monitor.on_counter_increment(run.device, stream, hook.table, group, 1);
+                monitor.on_counter_increment(sim.now(), run.device, stream, hook.table, group, 1);
             }
             let table = &mut world.devices[run.device].counters[hook.table];
             woken.extend(table.increment(group, 1));
@@ -409,6 +420,18 @@ fn finish_wave(mut run: GemmRun, count: usize, world: &mut Cluster, sim: &mut Cl
     run.next += count;
     run.wave_idx += 1;
     if run.next == run.issue.len() {
+        // Overwrite the launch-time placeholder with the realized wave
+        // count before the span retires (contention can stretch the
+        // schedule past the static estimate).
+        if world.op_spans.is_some() {
+            let st = &mut world.devices[run.device].streams[run.completion.stream()];
+            if let Some((_, meta, _)) = st.current.as_mut() {
+                *meta = SpanMeta::Gemm {
+                    tiles: run.grid.num_tiles(),
+                    waves: run.wave_idx,
+                };
+            }
+        }
         run.completion.finish(world, sim);
     } else {
         start_wave(run, world, sim);

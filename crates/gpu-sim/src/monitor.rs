@@ -14,6 +14,8 @@
 
 use std::ops::Range;
 
+use sim::SimTime;
+
 use crate::device::DeviceId;
 use crate::memory::BufferId;
 use crate::stream::{GpuEventId, StreamId};
@@ -65,12 +67,30 @@ pub struct Access {
     pub tile: Option<u32>,
 }
 
+/// One modelled bulk transfer over an inter-GPU link. Collectives emit one
+/// interval per (src, dst) link they keep busy, so telemetry can derive
+/// per-link bandwidth-utilization timelines (Fig. 8-style curves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkTransfer {
+    /// Device the bytes leave.
+    pub src: DeviceId,
+    /// Device the bytes arrive at.
+    pub dst: DeviceId,
+    /// Bytes moved over this link during the interval.
+    pub bytes: u64,
+    /// Transfer start (simulated time).
+    pub start: SimTime,
+    /// Transfer end (simulated time).
+    pub end: SimTime,
+}
+
 /// Observer of simulated memory accesses and synchronization edges.
 ///
 /// Default implementations ignore everything, so monitors override only
 /// the callbacks they need. Callbacks fire *at the simulated time the
 /// modelled effect takes place* (e.g. a parked signal wait is reported
-/// when the increment releases it, not when it was enqueued).
+/// when the increment releases it, not when it was enqueued); `at` carries
+/// that time so monitors need no access to the engine clock.
 pub trait ClusterMonitor {
     /// A buffer range was read or written.
     fn on_access(&self, _access: &Access) {}
@@ -78,6 +98,7 @@ pub trait ClusterMonitor {
     /// A counting-table slot was incremented (GEMM epilogue, §3.2.4).
     fn on_counter_increment(
         &self,
+        _at: SimTime,
         _device: DeviceId,
         _stream: StreamId,
         _table: usize,
@@ -89,6 +110,7 @@ pub trait ClusterMonitor {
     /// A signal wait on a counting-table slot was satisfied.
     fn on_counter_satisfied(
         &self,
+        _at: SimTime,
         _device: DeviceId,
         _stream: StreamId,
         _table: usize,
@@ -98,12 +120,35 @@ pub trait ClusterMonitor {
     }
 
     /// An event was recorded on a stream.
-    fn on_event_record(&self, _device: DeviceId, _stream: StreamId, _event: GpuEventId) {}
+    fn on_event_record(
+        &self,
+        _at: SimTime,
+        _device: DeviceId,
+        _stream: StreamId,
+        _event: GpuEventId,
+    ) {
+    }
 
     /// A stream's wait on a recorded event was satisfied.
-    fn on_event_wait(&self, _device: DeviceId, _stream: StreamId, _event: GpuEventId) {}
+    fn on_event_wait(
+        &self,
+        _at: SimTime,
+        _device: DeviceId,
+        _stream: StreamId,
+        _event: GpuEventId,
+    ) {
+    }
 
     /// All ranks of a collective arrived; the listed `(device, stream)`
     /// threads synchronize with each other at this point.
-    fn on_rendezvous(&self, _participants: &[(DeviceId, StreamId)]) {}
+    fn on_rendezvous(&self, _at: SimTime, _participants: &[(DeviceId, StreamId)]) {}
+
+    /// A collective (or peer copy) occupies an inter-GPU link for the
+    /// reported interval. Fired when the transfer is scheduled, which may
+    /// be before `transfer.end` arrives on the simulated clock.
+    fn on_link_transfer(&self, _transfer: &LinkTransfer) {}
+
+    /// A device's SM allocation changed: `compute_sms` and `comm_sms` are
+    /// the occupancy totals *after* the change took effect at `at`.
+    fn on_sm_occupancy(&self, _at: SimTime, _device: DeviceId, _compute_sms: u32, _comm_sms: u32) {}
 }

@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 
 use sim::{SimDuration, SimTime};
 
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, SpanMeta};
 use crate::device::DeviceId;
 use crate::ClusterSim;
 
@@ -33,6 +33,15 @@ pub trait Kernel {
     /// Human-readable kernel name for traces and errors.
     fn name(&self) -> &'static str {
         "kernel"
+    }
+
+    /// Structured metadata recorded on the kernel's [`OpSpan`]
+    /// (bytes/group for collectives, tiles/waves for GEMMs). Control ops
+    /// keep the default [`SpanMeta::None`].
+    ///
+    /// [`OpSpan`]: crate::cluster::OpSpan
+    fn span_meta(&self) -> SpanMeta {
+        SpanMeta::None
     }
 }
 
@@ -83,12 +92,13 @@ impl Completion {
         let stream = &mut world.devices[self.device].streams[self.stream];
         debug_assert!(stream.busy, "completion fired on an idle stream");
         stream.busy = false;
-        if let Some((name, start)) = stream.current.take() {
+        if let Some((name, meta, start)) = stream.current.take() {
             if let Some(spans) = world.op_spans.as_mut() {
                 spans.push(crate::cluster::OpSpan {
                     device: self.device,
                     stream: self.stream,
                     name,
+                    meta,
                     start,
                     end: sim.now(),
                 });
@@ -103,8 +113,9 @@ impl Completion {
 pub struct Stream {
     pub(crate) queue: VecDeque<Box<dyn Kernel>>,
     pub(crate) busy: bool,
-    /// Name and start time of the in-flight op (span recording only).
-    pub(crate) current: Option<(&'static str, SimTime)>,
+    /// Name, metadata, and start time of the in-flight op (span recording
+    /// only).
+    pub(crate) current: Option<(&'static str, SpanMeta, SimTime)>,
 }
 
 impl std::fmt::Debug for Stream {
@@ -158,7 +169,8 @@ pub(crate) fn advance_stream(
     };
     st.busy = true;
     if world.op_spans.is_some() {
-        world.devices[device].streams[stream].current = Some((kernel.name(), sim.now()));
+        world.devices[device].streams[stream].current =
+            Some((kernel.name(), kernel.span_meta(), sim.now()));
     }
     let ctx = LaunchCtx {
         device,
@@ -194,10 +206,10 @@ impl Kernel for RecordEvent {
         ev.recorded = Some(sim.now());
         let waiters = std::mem::take(&mut ev.waiters);
         if let Some(monitor) = world.monitor.clone() {
-            monitor.on_event_record(ctx.device, ctx.stream, self.0);
+            monitor.on_event_record(sim.now(), ctx.device, ctx.stream, self.0);
             // Parked waiters synchronize now, at record time.
             for completion in &waiters {
-                monitor.on_event_wait(completion.device(), completion.stream(), self.0);
+                monitor.on_event_wait(sim.now(), completion.device(), completion.stream(), self.0);
             }
         }
         for completion in waiters {
@@ -222,7 +234,7 @@ impl Kernel for WaitEvent {
         let ev = &mut world.devices[ctx.device].events[self.0];
         if ev.recorded.is_some() {
             if let Some(monitor) = world.monitor.clone() {
-                monitor.on_event_wait(ctx.device, ctx.stream, self.0);
+                monitor.on_event_wait(sim.now(), ctx.device, ctx.stream, self.0);
             }
             ctx.completion.finish(world, sim);
         } else {
@@ -258,6 +270,7 @@ impl Kernel for WaitCounter {
                 // Already satisfied; still pay one polling quantum.
                 if let Some(monitor) = world.monitor.clone() {
                     monitor.on_counter_satisfied(
+                        sim.now(),
                         device,
                         completion.stream(),
                         self.table,
@@ -316,6 +329,7 @@ pub(crate) fn wake_counter_waiters(
         if let Some(monitor) = world.monitor.clone() {
             // The parked wait synchronizes now, at the releasing increment.
             monitor.on_counter_satisfied(
+                sim.now(),
                 device,
                 waiter.completion.stream(),
                 table,

@@ -6,6 +6,11 @@
 //! schedule used for building mapping tables and predicting latency; the
 //! runtime in [`crate::gemm`] re-derives actual wave widths dynamically
 //! when communication kernels steal SMs.
+//!
+//! Mapping-table construction walks these schedules per tile, so unchecked
+//! indexing is opted out in favour of explicit bounds handling with the
+//! invariants written down at each access.
+#![warn(clippy::indexing_slicing)]
 
 /// The planned assignment of tiles to waves.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,7 +24,10 @@ impl WaveSchedule {
     ///
     /// # Panics
     ///
-    /// Panics if `concurrency` is zero or `issue_order` is empty.
+    /// Panics if `concurrency` is zero, `issue_order` is empty, or the
+    /// order names a tile index `>= issue_order.len()` (valid orders are
+    /// permutations of `0..len`, as produced by
+    /// [`crate::swizzle::Swizzle::issue_order`]).
     pub fn new(issue_order: &[u32], concurrency: u32) -> Self {
         assert!(concurrency > 0, "concurrency must be positive");
         assert!(!issue_order.is_empty(), "empty issue order");
@@ -29,7 +37,12 @@ impl WaveSchedule {
             .enumerate()
             .map(|(w, chunk)| {
                 for &t in chunk {
-                    wave_of_tile[t as usize] = w as u32;
+                    // In bounds for permutations (t < len); a malformed
+                    // order is a caller bug surfaced here.
+                    let slot = wave_of_tile
+                        .get_mut(t as usize)
+                        .expect("issue order names a tile outside 0..len");
+                    *slot = w as u32;
                 }
                 chunk.to_vec()
             })
@@ -51,7 +64,7 @@ impl WaveSchedule {
     ///
     /// Panics if `w` is out of range.
     pub fn wave(&self, w: u32) -> &[u32] {
-        &self.waves[w as usize]
+        self.waves.get(w as usize).expect("wave out of range")
     }
 
     /// All waves.
@@ -65,7 +78,10 @@ impl WaveSchedule {
     ///
     /// Panics if `t` is out of range.
     pub fn wave_of(&self, t: u32) -> u32 {
-        self.wave_of_tile[t as usize]
+        self.wave_of_tile
+            .get(t as usize)
+            .copied()
+            .expect("tile out of range")
     }
 
     /// Total number of tiles.
@@ -75,7 +91,12 @@ impl WaveSchedule {
 
     /// Full-wave width (tiles per non-tail wave).
     pub fn wave_width(&self) -> u32 {
-        self.waves[0].len() as u32
+        // The constructor rejects empty issue orders, so at least one
+        // wave always exists.
+        self.waves
+            .first()
+            .map(Vec::len)
+            .expect("constructor guarantees >= 1 wave") as u32
     }
 }
 
@@ -90,6 +111,7 @@ pub fn wave_count(tiles: u32, concurrency: u32) -> u32 {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)]
 mod tests {
     use super::*;
     use crate::swizzle::Swizzle;

@@ -419,6 +419,7 @@ impl ClusterMonitor for Inner {
 
     fn on_counter_increment(
         &self,
+        _at: SimTime,
         device: DeviceId,
         stream: StreamId,
         table: usize,
@@ -432,6 +433,7 @@ impl ClusterMonitor for Inner {
 
     fn on_counter_satisfied(
         &self,
+        _at: SimTime,
         device: DeviceId,
         stream: StreamId,
         table: usize,
@@ -443,19 +445,19 @@ impl ClusterMonitor for Inner {
         st.acquire_from(tid, VClockKey::Counter((device, table, group)));
     }
 
-    fn on_event_record(&self, device: DeviceId, stream: StreamId, event: GpuEventId) {
+    fn on_event_record(&self, _at: SimTime, device: DeviceId, stream: StreamId, event: GpuEventId) {
         let mut st = self.state.borrow_mut();
         let tid = st.tid(device, stream);
         st.release_into(tid, VClockKey::Event((device, event)));
     }
 
-    fn on_event_wait(&self, device: DeviceId, stream: StreamId, event: GpuEventId) {
+    fn on_event_wait(&self, _at: SimTime, device: DeviceId, stream: StreamId, event: GpuEventId) {
         let mut st = self.state.borrow_mut();
         let tid = st.tid(device, stream);
         st.acquire_from(tid, VClockKey::Event((device, event)));
     }
 
-    fn on_rendezvous(&self, participants: &[(DeviceId, StreamId)]) {
+    fn on_rendezvous(&self, _at: SimTime, participants: &[(DeviceId, StreamId)]) {
         self.state.borrow_mut().rendezvous(participants);
     }
 }
@@ -697,8 +699,8 @@ mod tests {
             AccessScope::TileWrite,
             Some(0),
         ));
-        m.on_counter_increment(0, 0, 0, 0, 1);
-        m.on_counter_satisfied(0, 1, 0, 0, 1);
+        m.on_counter_increment(SimTime::ZERO, 0, 0, 0, 0, 1);
+        m.on_counter_satisfied(SimTime::ZERO, 0, 1, 0, 0, 1);
         m.on_access(&access(
             0,
             1,
@@ -715,8 +717,8 @@ mod tests {
     fn writes_after_the_increment_still_race() {
         let s = Sanitizer::new();
         let m = s.monitor();
-        m.on_counter_increment(0, 0, 0, 0, 1);
-        m.on_counter_satisfied(0, 1, 0, 0, 1);
+        m.on_counter_increment(SimTime::ZERO, 0, 0, 0, 0, 1);
+        m.on_counter_satisfied(SimTime::ZERO, 0, 1, 0, 0, 1);
         // This write happens after the release, so the acquire does not
         // cover it.
         m.on_access(&access(
@@ -753,8 +755,8 @@ mod tests {
             AccessScope::CollectiveRecv,
             None,
         ));
-        m.on_event_record(0, 0, 0);
-        m.on_event_wait(0, 1, 0);
+        m.on_event_record(SimTime::ZERO, 0, 0, 0);
+        m.on_event_wait(SimTime::ZERO, 0, 1, 0);
         m.on_access(&access(
             0,
             1,
@@ -784,7 +786,7 @@ mod tests {
             AccessScope::ElementwiseWrite,
             None,
         ));
-        m.on_rendezvous(&[(0, 0), (0, 1)]);
+        m.on_rendezvous(SimTime::ZERO, &[(0, 0), (0, 1)]);
         m.on_access(&access(
             0,
             1,

@@ -1,0 +1,415 @@
+//! A minimal JSON document model with a writer and a parser.
+//!
+//! The build environment has no registry access, so instead of
+//! `serde_json` the exporters build [`Value`] trees and serialize them
+//! here; the parser exists so tests and the CI smoke run can validate
+//! that emitted traces and metric reports round-trip.
+//!
+//! Scope: exactly RFC 8259 documents the exporters emit — objects keep
+//! insertion order, numbers are `f64`, non-finite numbers serialize as
+//! `null`.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`, like JavaScript).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order is preserved on write.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// A number value (non-finite inputs become `null` on write).
+    pub fn num(n: f64) -> Value {
+        Value::Num(n)
+    }
+
+    /// Looks up `key` in an object (`None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with 2-space indentation, for human-inspected output.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => write_num(out, *n),
+            Value::Str(s) => write_str(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                if !items.is_empty() {
+                    newline(out, indent, depth);
+                }
+                out.push(']');
+            }
+            Value::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent, depth + 1);
+                    write_str(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                if !pairs.is_empty() {
+                    newline(out, indent, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9e15 {
+        // Integral values print without a fraction; `i64` is exact here.
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        // Rust's shortest round-trip float formatting is valid JSON.
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable description (with byte offset) of the first
+/// syntax error.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        let end = self.pos + word.len();
+        if self.bytes.get(self.pos..end) == Some(word.as_bytes()) {
+            self.pos = end;
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other, self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            pairs.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            // Surrogate pairs are not needed for the BMP
+                            // identifiers the exporters emit.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| format!("invalid UTF-8 at byte {}", self.pos))?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at byte {start}"))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_documents() {
+        let v = Value::obj(vec![
+            ("name", Value::str("gemm \"x\"\n")),
+            ("ts", Value::num(12.375)),
+            ("n", Value::num(-3.0)),
+            ("flag", Value::Bool(true)),
+            ("none", Value::Null),
+            (
+                "arr",
+                Value::Arr(vec![Value::num(1.0), Value::str("two"), Value::Null]),
+            ),
+        ]);
+        for text in [v.to_json(), v.to_json_pretty()] {
+            assert_eq!(parse(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parses_hand_written_json() {
+        let v = parse(r#" { "a" : [ 1, 2.5e1, -0.5 ] , "b" : {} , "c": [] } "#).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[1].as_f64(), Some(25.0));
+        assert_eq!(v.get("b"), Some(&Value::Obj(vec![])));
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(Value::num(5.0).to_json(), "5");
+        assert_eq!(Value::num(5.25).to_json(), "5.25");
+        assert_eq!(Value::num(f64::NAN).to_json(), "null");
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v = parse(r#""aA\t""#).unwrap();
+        assert_eq!(v.as_str(), Some("aA\t"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "[1,]", "nul", "\"abc", "{\"a\" 1}", "1 2"] {
+            assert!(parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+}

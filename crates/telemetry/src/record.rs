@@ -1,0 +1,238 @@
+//! The telemetry recorder: a [`ClusterMonitor`] + engine probe pair that
+//! captures the full causal record of a simulated run — counting-table
+//! increments, released waits, rendezvous points, per-link transfer
+//! intervals, and SM-occupancy changes — for the metrics and exporters
+//! in this crate to derive from.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use flashoverlap::runtime::Instrumentation;
+use gpu_sim::monitor::{ClusterMonitor, LinkTransfer};
+use gpu_sim::stream::GpuEventId;
+use gpu_sim::{Cluster, DeviceId, StreamId};
+use sim::{EngineProbe, SimTime};
+
+/// One counting-table increment, as the GEMM epilogue fired it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncrementEvent {
+    /// When the increment landed.
+    pub at: SimTime,
+    /// Device owning the counting table.
+    pub device: DeviceId,
+    /// Stream of the incrementing kernel.
+    pub stream: StreamId,
+    /// Counting table index.
+    pub table: usize,
+    /// Wave group slot.
+    pub group: usize,
+    /// Increment amount.
+    pub by: u32,
+}
+
+/// One signal wait crossing its threshold (the moment a blocked
+/// communication stream is released).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitSatisfied {
+    /// When the wait was released.
+    pub at: SimTime,
+    /// Device of the waiting stream.
+    pub device: DeviceId,
+    /// The waiting stream (the communication stream).
+    pub stream: StreamId,
+    /// Counting table index.
+    pub table: usize,
+    /// Wave group slot.
+    pub group: usize,
+    /// The threshold that was met.
+    pub threshold: u32,
+}
+
+/// A collective rendezvous: the instant the last participant arrived.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RendezvousEvent {
+    /// When the last participant arrived.
+    pub at: SimTime,
+    /// The participating (device, stream) pairs.
+    pub participants: Vec<(DeviceId, StreamId)>,
+}
+
+/// A point sample of one device's SM allocation (totals *after* the
+/// change that triggered the sample).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancySample {
+    /// Sample time.
+    pub at: SimTime,
+    /// Sampled device.
+    pub device: DeviceId,
+    /// SMs held by compute kernels.
+    pub compute_sms: u32,
+    /// SMs held by communication kernels.
+    pub comm_sms: u32,
+}
+
+/// Everything the recorder captured from one run, in arrival order.
+#[derive(Debug, Default, Clone)]
+pub struct TelemetryRecord {
+    /// Counting-table increments.
+    pub increments: Vec<IncrementEvent>,
+    /// Released signal waits.
+    pub satisfied: Vec<WaitSatisfied>,
+    /// Collective rendezvous points.
+    pub rendezvous: Vec<RendezvousEvent>,
+    /// Per-link transfer intervals (`end` may lie in the future of the
+    /// emission time: transfers are recorded when scheduled).
+    pub transfers: Vec<LinkTransfer>,
+    /// SM-occupancy samples.
+    pub occupancy: Vec<OccupancySample>,
+    /// GPU event records/waits, kept for completeness: `(at, device,
+    /// stream, event, is_wait)`.
+    pub gpu_events: Vec<(SimTime, DeviceId, StreamId, GpuEventId, bool)>,
+    /// When the engine last drained its queue (end of run).
+    pub drained_at: Option<SimTime>,
+}
+
+#[derive(Default)]
+struct Inner {
+    state: RefCell<TelemetryRecord>,
+}
+
+impl ClusterMonitor for Inner {
+    fn on_counter_increment(
+        &self,
+        at: SimTime,
+        device: DeviceId,
+        stream: StreamId,
+        table: usize,
+        group: usize,
+        by: u32,
+    ) {
+        self.state.borrow_mut().increments.push(IncrementEvent {
+            at,
+            device,
+            stream,
+            table,
+            group,
+            by,
+        });
+    }
+
+    fn on_counter_satisfied(
+        &self,
+        at: SimTime,
+        device: DeviceId,
+        stream: StreamId,
+        table: usize,
+        group: usize,
+        threshold: u32,
+    ) {
+        self.state.borrow_mut().satisfied.push(WaitSatisfied {
+            at,
+            device,
+            stream,
+            table,
+            group,
+            threshold,
+        });
+    }
+
+    fn on_event_record(&self, at: SimTime, device: DeviceId, stream: StreamId, event: GpuEventId) {
+        self.state
+            .borrow_mut()
+            .gpu_events
+            .push((at, device, stream, event, false));
+    }
+
+    fn on_event_wait(&self, at: SimTime, device: DeviceId, stream: StreamId, event: GpuEventId) {
+        self.state
+            .borrow_mut()
+            .gpu_events
+            .push((at, device, stream, event, true));
+    }
+
+    fn on_rendezvous(&self, at: SimTime, participants: &[(DeviceId, StreamId)]) {
+        self.state.borrow_mut().rendezvous.push(RendezvousEvent {
+            at,
+            participants: participants.to_vec(),
+        });
+    }
+
+    fn on_link_transfer(&self, transfer: &LinkTransfer) {
+        self.state.borrow_mut().transfers.push(*transfer);
+    }
+
+    fn on_sm_occupancy(&self, at: SimTime, device: DeviceId, compute_sms: u32, comm_sms: u32) {
+        self.state.borrow_mut().occupancy.push(OccupancySample {
+            at,
+            device,
+            compute_sms,
+            comm_sms,
+        });
+    }
+}
+
+impl EngineProbe<Cluster> for Inner {
+    fn on_drain(&self, now: SimTime, _world: &mut Cluster) {
+        self.state.borrow_mut().drained_at = Some(now);
+    }
+}
+
+/// A telemetry recording session. Attach [`Telemetry::monitor`] to the
+/// cluster and [`Telemetry::probe`] to the engine (or pass
+/// [`Telemetry::instrumentation`] to an instrumented entry point), run,
+/// then harvest with [`Telemetry::take_record`].
+pub struct Telemetry {
+    inner: Rc<Inner>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.inner.state.borrow();
+        f.debug_struct("Telemetry")
+            .field("increments", &state.increments.len())
+            .field("satisfied", &state.satisfied.len())
+            .field("transfers", &state.transfers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// A fresh, empty recording session.
+    pub fn new() -> Self {
+        Telemetry {
+            inner: Rc::new(Inner::default()),
+        }
+    }
+
+    /// The cluster-side observer.
+    pub fn monitor(&self) -> Rc<dyn ClusterMonitor> {
+        Rc::clone(&self.inner) as Rc<dyn ClusterMonitor>
+    }
+
+    /// The engine-side probe (records the drain time).
+    pub fn probe(&self) -> Rc<dyn EngineProbe<Cluster>> {
+        Rc::clone(&self.inner) as Rc<dyn EngineProbe<Cluster>>
+    }
+
+    /// Both hooks bundled for the instrumented runtime entry points (no
+    /// signal mutation).
+    pub fn instrumentation(&self) -> Instrumentation {
+        Instrumentation {
+            monitor: Some(self.monitor()),
+            probe: Some(self.probe()),
+            mutation: None,
+        }
+    }
+
+    /// Drains and returns everything recorded so far, resetting the
+    /// session.
+    pub fn take_record(&self) -> TelemetryRecord {
+        self.inner.state.take()
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the telemetry metrics and the vendored JSON
+//! codec.
+
+use proptest::prelude::*;
+use sim::SimDuration;
+use telemetry::json::{self, Value};
+use telemetry::overlap_efficiency;
+
+/// Characters the string generator draws from — ASCII, the JSON escape
+/// set, control characters, and multi-byte UTF-8 (incl. non-BMP).
+const PALETTE: [char; 12] = [
+    'a', 'Z', '0', ' ', '"', '\\', '\n', '\t', '\u{1}', 'µ', '→', '😀',
+];
+
+/// Deterministically interprets a word stream as a JSON document of
+/// bounded depth, covering every [`Value`] variant.
+fn build_value(words: &mut std::slice::Iter<'_, u64>, depth: u32) -> Value {
+    let w = *words.next().unwrap_or(&0);
+    let variants = if depth == 0 { 4 } else { 6 };
+    match w % variants {
+        0 => Value::Null,
+        1 => Value::Bool(w & 8 != 0),
+        2 => {
+            let x = (w as f64 / u64::MAX as f64 - 0.5) * 2e12;
+            Value::Num(if w & 16 != 0 { x.trunc() } else { x })
+        }
+        3 => Value::Str(
+            (0..w % 9)
+                .map(|i| PALETTE[((w >> (4 * i)) % PALETTE.len() as u64) as usize])
+                .collect(),
+        ),
+        4 => Value::Arr((0..w % 5).map(|_| build_value(words, depth - 1)).collect()),
+        _ => Value::Obj(
+            (0..w % 5)
+                .map(|i| (format!("k{i}"), build_value(words, depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Serialize → parse is the identity on any JSON document, for both
+    /// the compact and the pretty writer.
+    #[test]
+    fn json_round_trips(words in prop::collection::vec(any::<u64>(), 1..64)) {
+        let v = build_value(&mut words.iter(), 3);
+        let compact = json::parse(&v.to_json());
+        prop_assert_eq!(compact.as_ref(), Ok(&v));
+        let pretty = json::parse(&v.to_json_pretty());
+        prop_assert_eq!(pretty.as_ref(), Ok(&v));
+    }
+
+    /// Overlap efficiency is always in [0, 1] whenever it is defined,
+    /// regardless of where the measured latency lands relative to the
+    /// reference and the bound.
+    #[test]
+    fn overlap_efficiency_stays_in_unit_interval(
+        measured in 0u64..2_000_000,
+        base in 0u64..2_000_000,
+        theory in 0u64..2_000_000,
+    ) {
+        let eff = overlap_efficiency(
+            SimDuration::from_nanos(measured),
+            SimDuration::from_nanos(base),
+            SimDuration::from_nanos(theory),
+        );
+        match eff {
+            Some(e) => {
+                prop_assert!((0.0..=1.0).contains(&e), "eff {}", e);
+                prop_assert!(base > theory);
+            }
+            None => prop_assert!(base <= theory),
+        }
+    }
+
+    /// Efficiency is monotone: a faster measured latency never scores
+    /// lower, hitting the bound scores a perfect 1, and matching the
+    /// non-overlap reference scores 0.
+    #[test]
+    fn overlap_efficiency_is_monotone(
+        theory_ns in 1u64..1_000_000,
+        headroom in 1u64..1_000_000,
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+    ) {
+        let base = SimDuration::from_nanos(theory_ns + headroom);
+        let theory = SimDuration::from_nanos(theory_ns);
+        let (fast, slow) = (a.min(b), a.max(b));
+        let eff = |m: u64| {
+            overlap_efficiency(SimDuration::from_nanos(m), base, theory)
+                .expect("base > theory")
+        };
+        prop_assert!(eff(theory_ns + fast) >= eff(theory_ns + slow));
+        prop_assert!((eff(theory_ns) - 1.0).abs() < 1e-12);
+        prop_assert!(eff(theory_ns + headroom).abs() < 1e-12);
+    }
+}
