@@ -38,4 +38,25 @@ assert metrics["links"], "no link stats"
 print("profile smoke: ok")
 EOF
 
+echo "== chaos smoke (seeded fault campaigns, zero hangs, zero violations) =="
+# `timeout` doubles as the hang gate: every campaign must terminate under
+# the watchdog, so the whole sweep finishing inside the limit proves it.
+timeout 300 cargo run -q -p flashoverlap-cli --bin flashoverlap -- chaos \
+  --seed 7 --campaigns 20 --metrics-out "$tmp/chaos.json" > /dev/null
+python3 - "$tmp/chaos.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    chaos = json.load(f)
+assert chaos["campaigns"] == 20, chaos["campaigns"]
+assert chaos["hangs"] == 0, "a campaign hung"
+assert chaos["violations"] == 0, "bit-exact-or-degraded invariant violated"
+for r in chaos["results"]:
+    assert r["faults"] >= 1, "every campaign must inject at least one fault"
+    assert r["bit_exact"] or (r["outcome"] == "degraded" and r["cause"]), r
+recovered = sum(r["outcome"] == "recovered" for r in chaos["results"])
+assert recovered >= 1, "sweep must exercise the tail-recovery path"
+print(f"chaos smoke: ok ({recovered} recovered, "
+      f"{sum(r['outcome'] == 'degraded' for r in chaos['results'])} degraded)")
+EOF
+
 echo "ci: all gates passed"

@@ -55,6 +55,9 @@ pub enum Command {
     /// Profile every method with telemetry attached: Perfetto trace,
     /// signal-latency / link-utilization metrics, overlap efficiency.
     Profile,
+    /// Run a seeded fault-injection campaign sweep through the watchdog
+    /// runtime and verify every verdict against the fault-free reference.
+    Chaos,
 }
 
 /// Parsed command-line options.
@@ -91,14 +94,17 @@ pub struct Cli {
     /// Seeded signal mutation for sanitizer self-tests (implies
     /// `--sanitize`).
     pub mutation: Option<SignalMutation>,
+    /// Number of fault campaigns for the `chaos` command.
+    pub campaigns: usize,
 }
 
 /// The usage text printed on `--help` or parse errors.
 pub const USAGE: &str = "\
-usage: flashoverlap <tune|run|compare|timeline|profile> [options]
+usage: flashoverlap <tune|run|compare|timeline|profile|chaos> [options]
 
 options:
-  -m, -n, -k <int>        GEMM dimensions (required)
+  -m, -n, -k <int>        GEMM dimensions (required except for chaos,
+                          which defaults to its 384x512x64 campaign shape)
   --primitive <name>      allreduce | reducescatter | alltoall | allgather
                           (default: allreduce)
   --gpus <int>            parallel group size (default: 4)
@@ -119,7 +125,14 @@ options:
                           implies --sanitize)
   --starve-signal <r,g>   run/timeline: mutate rank r's group-g wait to an
                           unreachable threshold (implies --sanitize)
+  --campaigns <int>       chaos: number of seeded fault campaigns
+                          (default: 20); campaign i draws faults from
+                          seed + i
   -h, --help              this text
+
+chaos verdicts: every campaign must end bit-exact (clean or recovered via
+tail collectives) or degraded with a named cause; anything else counts as
+a violation and fails the sweep.
 ";
 
 fn parse_u32(flag: &str, value: Option<&String>) -> Result<u32, CliError> {
@@ -159,6 +172,7 @@ impl Cli {
             Some("compare") => Command::Compare,
             Some("timeline") => Command::Timeline,
             Some("profile") => Command::Profile,
+            Some("chaos") => Command::Chaos,
             Some("-h") | Some("--help") | None => {
                 return Err(CliError::usage("".to_string()));
             }
@@ -170,7 +184,9 @@ impl Cli {
         let mut n = None;
         let mut k = None;
         let mut primitive = Primitive::AllReduce;
-        let mut gpus = 4usize;
+        // Chaos sweeps default to the miniature two-rank campaign system
+        // (matching `ChaosConfig::default`) so 50-campaign runs stay fast.
+        let mut gpus = if command == Command::Chaos { 2 } else { 4 };
         let mut platform = GpuKind::Rtx4090;
         let mut partition = None;
         let mut seed = 7u64;
@@ -179,6 +195,7 @@ impl Cli {
         let mut metrics_out = None;
         let mut sanitize = false;
         let mut mutation = None;
+        let mut campaigns = 20usize;
         while let Some(flag) = it.next() {
             match flag.as_str() {
                 "-m" => m = Some(parse_u32("-m", it.next())?),
@@ -253,6 +270,12 @@ impl Cli {
                     );
                 }
                 "--sanitize" => sanitize = true,
+                "--campaigns" => {
+                    campaigns = parse_u32("--campaigns", it.next())? as usize;
+                    if campaigns == 0 {
+                        return Err(CliError::usage("--campaigns must be at least 1"));
+                    }
+                }
                 "--drop-signal" => {
                     let (rank, group) = parse_rank_group("--drop-signal", it.next())?;
                     mutation = Some(SignalMutation::DropWait { rank, group });
@@ -267,8 +290,15 @@ impl Cli {
                 other => return Err(CliError::usage(format!("unknown flag: {other}"))),
             }
         }
-        let (Some(m), Some(n), Some(k)) = (m, n, k) else {
-            return Err(CliError::usage("-m, -n, and -k are required"));
+        // Chaos has a sensible built-in workload (the default campaign
+        // shape); every other command needs explicit dimensions.
+        let (m, n, k) = if command == Command::Chaos {
+            (m.unwrap_or(384), n.unwrap_or(512), k.unwrap_or(64))
+        } else {
+            let (Some(m), Some(n), Some(k)) = (m, n, k) else {
+                return Err(CliError::usage("-m, -n, and -k are required"));
+            };
+            (m, n, k)
         };
         if gpus < 2 {
             return Err(CliError::usage("--gpus must be at least 2"));
@@ -288,6 +318,7 @@ impl Cli {
             metrics_out,
             sanitize,
             mutation,
+            campaigns,
         })
     }
 }
@@ -417,6 +448,25 @@ mod tests {
         );
         assert!(
             Cli::parse(&argv("run -m 1 -n 1 -k 1 --drop-signal 1,2,3"))
+                .unwrap_err()
+                .show_usage
+        );
+    }
+
+    #[test]
+    fn chaos_defaults_and_flags_parse() {
+        let cli = Cli::parse(&argv("chaos --seed 7 --campaigns 50")).unwrap();
+        assert_eq!(cli.command, Command::Chaos);
+        assert_eq!((cli.m, cli.n, cli.k), (384, 512, 64), "campaign shape");
+        assert_eq!(cli.gpus, 2, "chaos defaults to the two-rank system");
+        assert_eq!(cli.campaigns, 50);
+        assert_eq!(cli.seed, 7);
+        let cli = Cli::parse(&argv("chaos -m 256 -n 256 -k 64 --gpus 3")).unwrap();
+        assert_eq!((cli.m, cli.n, cli.k), (256, 256, 64));
+        assert_eq!(cli.gpus, 3);
+        assert_eq!(cli.campaigns, 20);
+        assert!(
+            Cli::parse(&argv("chaos --campaigns 0"))
                 .unwrap_err()
                 .show_usage
         );

@@ -3,11 +3,13 @@
 use baselines::{measure, Method};
 use bench::{pattern_for, render_timeline, system_for};
 use flashoverlap::{
-    nonoverlap_latency, predictive_search, theoretical_latency, Instrumentation, LatencyPredictor,
-    OverlapPlan, RunReport, SignalMutation,
+    nonoverlap_latency, predictive_search, run_chaos, theoretical_latency, ChaosConfig,
+    ChaosReport, Instrumentation, LatencyPredictor, OverlapPlan, ResilientOutcome, RunReport,
+    SignalMutation,
 };
 use gpu_sim::gemm::GemmDims;
 use simsan::Sanitizer;
+use telemetry::json::Value;
 
 use flashoverlap::runtime::CommPattern;
 
@@ -80,12 +82,114 @@ fn sanitized_run(cli: &Cli, plan: &OverlapPlan) -> Result<(RunReport, String), C
     Ok((report, text))
 }
 
+/// Renders a chaos sweep as JSON for `--metrics-out`.
+fn chaos_json(report: &ChaosReport) -> Value {
+    let results = report
+        .results
+        .iter()
+        .map(|r| {
+            let cause = match &r.outcome {
+                ResilientOutcome::Degraded { cause, .. } => Value::str(cause.clone()),
+                _ => Value::Null,
+            };
+            Value::obj(vec![
+                ("seed", Value::num(r.seed as f64)),
+                ("faults", Value::num(r.faults as f64)),
+                ("outcome", Value::str(r.outcome.label())),
+                ("cause", cause),
+                ("bit_exact", Value::Bool(r.bit_exact)),
+                ("latency_ns", Value::num(r.latency_ns as f64)),
+                ("events", Value::num(r.events as f64)),
+            ])
+        })
+        .collect();
+    Value::obj(vec![
+        ("seed", Value::num(report.config.seed as f64)),
+        ("campaigns", Value::num(report.results.len() as f64)),
+        ("gpus", Value::num(report.config.gpus as f64)),
+        (
+            "reference_latency_ns",
+            Value::num(report.reference_latency_ns as f64),
+        ),
+        ("clean", Value::num(report.clean() as f64)),
+        ("recovered", Value::num(report.recovered() as f64)),
+        ("degraded", Value::num(report.degraded() as f64)),
+        ("bit_exact", Value::num(report.bit_exact() as f64)),
+        ("violations", Value::num(report.violations() as f64)),
+        ("hangs", Value::num(0.0)),
+        ("results", Value::Arr(results)),
+    ])
+}
+
+/// Runs the `chaos` command: a seeded fault-campaign sweep with a
+/// violation gate.
+fn execute_chaos(cli: &Cli) -> Result<String, CliError> {
+    let config = ChaosConfig {
+        seed: cli.seed,
+        campaigns: cli.campaigns,
+        dims: GemmDims::new(cli.m, cli.n, cli.k),
+        gpus: cli.gpus,
+        ..ChaosConfig::default()
+    };
+    let report =
+        run_chaos(&config).map_err(|e| CliError::runtime(format!("chaos sweep failed: {e}")))?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "chaos    : {} campaigns, base seed {}, GEMM {}x{}x{} + allreduce on {} ranks\n",
+        report.results.len(),
+        config.seed,
+        cli.m,
+        cli.n,
+        cli.k,
+        config.gpus,
+    ));
+    out.push_str(&format!(
+        "reference: {} ns fault-free\n",
+        report.reference_latency_ns
+    ));
+    out.push_str(&format!(
+        "verdicts : {} clean, {} recovered, {} degraded; {}/{} bit-exact\n",
+        report.clean(),
+        report.recovered(),
+        report.degraded(),
+        report.bit_exact(),
+        report.results.len(),
+    ));
+    for r in &report.results {
+        if let ResilientOutcome::Degraded { cause, .. } = &r.outcome {
+            out.push_str(&format!("  seed {}: degraded ({cause})\n", r.seed));
+        }
+    }
+    out.push_str(&format!(
+        "hangs    : 0 (every campaign terminated under the watchdog)\n\
+         violations: {}\n",
+        report.violations()
+    ));
+    if let Some(path) = &cli.metrics_out {
+        std::fs::write(path, chaos_json(&report).to_json_pretty())
+            .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
+        out.push_str(&format!("metrics written to {path}\n"));
+    }
+    if report.violations() > 0 {
+        return Err(CliError::runtime(format!(
+            "{} campaign(s) violated the bit-exact-or-degraded invariant:\n{out}",
+            report.violations()
+        )));
+    }
+    Ok(out)
+}
+
 /// Executes the parsed command, returning the report text.
 ///
 /// # Errors
 ///
 /// Returns [`CliError`] on infeasible workloads or simulation failures.
 pub fn execute(cli: &Cli) -> Result<String, CliError> {
+    if cli.command == Command::Chaos {
+        // Chaos builds its own miniature campaign system; the shared
+        // plan-construction preamble below does not apply.
+        return execute_chaos(cli);
+    }
     let dims = GemmDims::new(cli.m, cli.n, cli.k);
     let system = system_for(cli.platform, cli.gpus).with_algorithm(cli.algorithm);
     let pattern = pattern_for(cli.primitive, dims, cli.gpus, cli.seed);
@@ -202,6 +306,8 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
         Command::Profile => {
             out.push_str(&profiled_report(cli, dims, &pattern, &system)?);
         }
+        // Dispatched before the plan preamble above.
+        Command::Chaos => unreachable!("chaos is handled by execute_chaos"),
     }
     Ok(out)
 }
@@ -396,6 +502,31 @@ mod tests {
             .map(|p| p as i64)
             .collect();
         assert_eq!(devices.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn chaos_sweep_reports_verdicts_and_metrics() {
+        let metrics = temp_path("chaos-metrics.json");
+        let out = execute_argv(&argv(&format!(
+            "chaos --seed 7 --campaigns 5 --metrics-out {}",
+            metrics.display()
+        )))
+        .unwrap();
+        assert!(out.contains("chaos    : 5 campaigns, base seed 7"), "{out}");
+        assert!(out.contains("verdicts"), "{out}");
+        assert!(out.contains("hangs    : 0"), "{out}");
+        assert!(out.contains("violations: 0"), "{out}");
+        let doc = telemetry::json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("violations")
+                .and_then(telemetry::json::Value::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(
+            doc.get("results").unwrap().as_arr().unwrap().len(),
+            5,
+            "one entry per campaign"
+        );
     }
 
     #[test]

@@ -360,6 +360,22 @@ impl Communicator {
         spec: CollectiveSpec,
         group: Option<usize>,
     ) -> Vec<CollectiveKernel> {
+        self.kernels_with_role(spec, group, CollectiveRole::Overlap)
+    }
+
+    /// Like [`Communicator::kernels_tagged`], with an explicit
+    /// [`CollectiveRole`] so recovery collectives are distinguishable in
+    /// traces ("tail-collective" / "bulk-collective" spans).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is inconsistent with the communicator size.
+    pub fn kernels_with_role(
+        &self,
+        spec: CollectiveSpec,
+        group: Option<usize>,
+        role: CollectiveRole,
+    ) -> Vec<CollectiveKernel> {
         spec.validate(self.size());
         let call = {
             let mut st = self.inner.state.borrow_mut();
@@ -374,9 +390,40 @@ impl Communicator {
                 call,
                 rank,
                 group,
+                role,
                 spec: spec.clone(),
             })
             .collect()
+    }
+
+    /// Aborts every pending (not yet fully rendezvoused) collective call:
+    /// the arrived ranks release their SMs and their stream completions
+    /// fire without any data moving — the `ncclCommAbort` analog the
+    /// watchdog escalates through when a peer rank can never arrive.
+    /// Returns the number of aborted calls.
+    ///
+    /// In-flight collectives (already rendezvoused and transferring) are
+    /// not affected; they complete normally.
+    pub fn abort_pending(&self, world: &mut Cluster, sim: &mut ClusterSim) -> usize {
+        let pending: Vec<Pending> = {
+            let mut st = self.inner.state.borrow_mut();
+            let calls: Vec<u64> = st.pending.keys().copied().collect();
+            calls
+                .into_iter()
+                .filter_map(|c| st.pending.remove(&c))
+                .collect()
+        };
+        let aborted = pending.len();
+        let footprint = self.inner.sm_footprint;
+        for call in pending {
+            for completion in call.completions.into_iter().flatten() {
+                let device = completion.device();
+                world.devices[device].release_comm_sms(footprint);
+                world.notify_sm_occupancy(sim.now(), device);
+                sim.schedule_now(move |w, s| completion.finish(w, s));
+            }
+        }
+        aborted
     }
 
     /// Predicted duration of `spec` on this communicator (used by cost
@@ -397,6 +444,20 @@ impl std::fmt::Debug for Communicator {
     }
 }
 
+/// Why a collective was issued: as part of the planned overlap schedule,
+/// or by the watchdog's recovery ladder. The role only changes the span
+/// name, so traces show recovery collectives distinctly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollectiveRole {
+    /// A planned, signal-gated overlap collective.
+    #[default]
+    Overlap,
+    /// A tail collective re-issued by the watchdog for a starved group.
+    Tail,
+    /// A bulk non-overlapped collective issued in degraded mode.
+    Bulk,
+}
+
 /// One rank's half of a collective call (returned by
 /// [`Communicator::kernels`]).
 pub struct CollectiveKernel {
@@ -405,6 +466,8 @@ pub struct CollectiveKernel {
     rank: usize,
     /// Signal group this collective serves (overlap runtime only).
     group: Option<usize>,
+    /// Planned-overlap vs. recovery issue reason (span naming).
+    role: CollectiveRole,
     spec: Rc<CollectiveSpec>,
 }
 
@@ -490,10 +553,28 @@ impl Kernel for CollectiveKernel {
                 + world.devices[lead]
                     .rng
                     .uniform(0.0, world.noise.comm_frac.max(0.0));
+            // Injected fabric faults: a persistent bandwidth-degradation
+            // multiplier, plus a transient per-collective stall while the
+            // stall budget lasts.
+            let slowdown = world.comm_fault.slowdown_factor();
+            let stall = world.comm_fault.take_stall().unwrap_or(SimDuration::ZERO);
+            if stall.as_nanos() > 0 {
+                world.notify_runtime_event(&gpu_sim::monitor::RuntimeEvent {
+                    at: sim.now(),
+                    device: lead,
+                    kind: gpu_sim::monitor::RuntimeEventKind::FaultInjected,
+                    group: self.group,
+                    detail: format!(
+                        "link stall of {stall:?} before collective call {}",
+                        self.call
+                    ),
+                });
+            }
             let duration = self
                 .spec
                 .duration(&inner.fabric, n, inner.algorithm)
-                .mul_f64(noise);
+                .mul_f64(noise * slowdown)
+                + stall;
             // Serialize behind earlier collectives on this communicator:
             // they share the same fabric rings.
             let start = {
@@ -550,7 +631,11 @@ impl Kernel for CollectiveKernel {
     }
 
     fn name(&self) -> &'static str {
-        "collective"
+        match self.role {
+            CollectiveRole::Overlap => "collective",
+            CollectiveRole::Tail => "tail-collective",
+            CollectiveRole::Bulk => "bulk-collective",
+        }
     }
 
     fn span_meta(&self) -> SpanMeta {
@@ -832,6 +917,92 @@ mod tests {
         assert!(
             (end.as_nanos() as f64) < 1.2 * max,
             "disjoint communicators should overlap: {end:?}"
+        );
+    }
+
+    #[test]
+    fn comm_fault_slows_and_stalls_collectives() {
+        let run = |slowdown: f64, stall_ns: u64| -> u64 {
+            let (mut world, mut sim) = cluster(2);
+            world.comm_fault = gpu_sim::CommFault {
+                slowdown,
+                stall: SimDuration::from_nanos(stall_ns),
+                stall_count: u32::from(stall_ns > 0),
+            };
+            let comm = comm(&world);
+            let streams = streams(&mut world);
+            let mut regions = Vec::new();
+            for d in 0..2 {
+                let buf = world.devices[d].mem.alloc(1 << 20);
+                regions.push(Region::new(buf, 0, 1 << 20));
+            }
+            let spec = CollectiveSpec::AllReduce { regions };
+            for (d, kernel) in comm.kernels(spec).into_iter().enumerate() {
+                enqueue(&mut world, &mut sim, d, streams[d], Box::new(kernel));
+            }
+            sim.run(&mut world).unwrap().as_nanos()
+        };
+        let clean = run(1.0, 0);
+        let slowed = run(3.0, 0);
+        let stalled = run(1.0, 500_000);
+        assert!(
+            slowed as f64 >= 2.9 * clean as f64,
+            "degraded link should stretch the collective: {slowed} vs {clean}"
+        );
+        assert_eq!(stalled, clean + 500_000, "stall adds a fixed delay");
+    }
+
+    #[test]
+    fn abort_pending_releases_arrived_ranks() {
+        let (mut world, mut sim) = cluster(2);
+        let comm = comm(&world);
+        let streams = streams(&mut world);
+        let mut regions = Vec::new();
+        for d in 0..2 {
+            let buf = world.devices[d].mem.alloc(16);
+            regions.push(Region::new(buf, 0, 16));
+        }
+        let kernels = comm.kernels(CollectiveSpec::AllReduce { regions });
+        // Only rank 0's kernel is ever enqueued: rank 1 never arrives, so
+        // the call parks forever (the hang the watchdog must break).
+        let mut iter = kernels.into_iter();
+        let k0 = iter.next().unwrap();
+        drop(iter);
+        enqueue(&mut world, &mut sim, 0, streams[0], Box::new(k0));
+        sim.run(&mut world).unwrap();
+        assert!(world.check_quiescent().is_err(), "rank 0 is wedged");
+        assert_eq!(world.devices[0].comm_sms(), 16);
+        assert_eq!(comm.abort_pending(&mut world, &mut sim), 1);
+        sim.run(&mut world).unwrap();
+        assert!(world.check_quiescent().is_ok(), "abort unwedges the rank");
+        assert_eq!(world.devices[0].comm_sms(), 0);
+        assert_eq!(comm.abort_pending(&mut world, &mut sim), 0);
+    }
+
+    #[test]
+    fn recovery_roles_rename_spans() {
+        let (mut world, mut sim) = cluster(2);
+        world.enable_op_spans();
+        let comm = comm(&world);
+        let streams = streams(&mut world);
+        let mut regions = Vec::new();
+        for d in 0..2 {
+            let buf = world.devices[d].mem.alloc(16);
+            regions.push(Region::new(buf, 0, 16));
+        }
+        let kernels = comm.kernels_with_role(
+            CollectiveSpec::AllReduce { regions },
+            Some(3),
+            CollectiveRole::Tail,
+        );
+        for (d, kernel) in kernels.into_iter().enumerate() {
+            enqueue(&mut world, &mut sim, d, streams[d], Box::new(kernel));
+        }
+        sim.run(&mut world).unwrap();
+        let spans = world.op_spans.as_ref().unwrap();
+        assert!(
+            spans.iter().all(|s| s.name == "tail-collective"),
+            "{spans:?}"
         );
     }
 

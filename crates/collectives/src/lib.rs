@@ -15,7 +15,7 @@ pub mod comm;
 pub mod cost;
 pub mod p2p;
 
-pub use comm::{A2aPlan, CollectiveKernel, CollectiveSpec, Communicator, Region};
+pub use comm::{A2aPlan, CollectiveKernel, CollectiveRole, CollectiveSpec, Communicator, Region};
 pub use cost::{all_to_all_duration, collective_duration_with, Algorithm};
 pub use cost::{collective_duration, Primitive, BYTES_PER_ELEM};
 pub use p2p::P2pCopy;

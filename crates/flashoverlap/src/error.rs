@@ -23,6 +23,18 @@ pub enum FlashOverlapError {
     },
     /// The simulation engine failed (runaway event loop).
     Simulation(String),
+    /// The event queue drained but streams never did: at least one rank
+    /// is wedged. `waits` carries the precise signal-starvation context —
+    /// blocked rank, counter group, reached count, unmet threshold — when
+    /// the wedge is a starved signal wait (the lost-signal bug class);
+    /// `streams` has one line per wedged stream either way.
+    Deadlock {
+        /// One diagnostic line per wedged stream (device, stream, op in
+        /// flight, queued depth).
+        streams: Vec<String>,
+        /// Every starved signal wait, with its counter context.
+        waits: Vec<gpu_sim::StuckWait>,
+    },
     /// Functional inputs are inconsistent with the plan (wrong matrix
     /// shapes, wrong rank count, missing routing).
     BadInputs {
@@ -45,6 +57,13 @@ impl fmt::Display for FlashOverlapError {
                 write!(f, "incompatible shape: {reason}")
             }
             FlashOverlapError::Simulation(msg) => write!(f, "simulation failed: {msg}"),
+            FlashOverlapError::Deadlock { streams, waits } => {
+                write!(f, "deadlock: streams never drained — {}", streams.join("; "))?;
+                for wait in waits {
+                    write!(f, "; {wait}")?;
+                }
+                Ok(())
+            }
             FlashOverlapError::BadInputs { reason } => write!(f, "bad inputs: {reason}"),
         }
     }
@@ -75,6 +94,25 @@ mod tests {
             reason: "rows not divisible".into(),
         };
         assert!(e.to_string().contains("rows not divisible"));
+    }
+
+    #[test]
+    fn deadlock_names_the_starved_wait() {
+        let e = FlashOverlapError::Deadlock {
+            streams: vec!["device 1 stream 1: 1 in flight, 2 queued (wait-counter)".into()],
+            waits: vec![gpu_sim::StuckWait {
+                device: 1,
+                stream: 1,
+                table: 0,
+                group: 3,
+                count: 5,
+                threshold: 8,
+            }],
+        };
+        let text = e.to_string();
+        assert!(text.contains("rank 1"), "{text}");
+        assert!(text.contains("group 3"), "{text}");
+        assert!(text.contains("count 5 < threshold 8"), "{text}");
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod notation;
 pub mod partition;
 pub mod pipeline;
 pub mod predictor;
+pub mod resilience;
 pub mod runtime;
 pub mod system;
 pub mod theory;
@@ -40,6 +41,10 @@ pub use error::FlashOverlapError;
 pub use partition::WavePartition;
 pub use pipeline::{LayerSpec, Pipeline, PipelineReport};
 pub use predictor::{LatencyPredictor, OfflineProfile};
+pub use resilience::{
+    run_chaos, CampaignResult, ChaosConfig, ChaosReport, Fault, FaultPlan,
+    ResilientFunctionalReport, ResilientOutcome, ResilientReport, WatchdogConfig,
+};
 pub use runtime::{
     CommPattern, FunctionalInputs, FunctionalReport, Instrumentation, OverlapPlan, RunReport,
     SignalMutation,

@@ -162,7 +162,55 @@ impl Pipeline {
     pub fn execute(&self) -> Result<PipelineReport, FlashOverlapError> {
         let mut world = self.system.build_cluster(false);
         let mut sim: ClusterSim = Sim::new();
-        let (reports, _) = self.enqueue_all(&mut world, &mut sim, None)?;
+        let (reports, _) = self.enqueue_all(&mut world, &mut sim, None, None)?;
+        let end = sim.run(&mut world)?;
+        Ok(PipelineReport {
+            total: end - sim::SimTime::ZERO,
+            layers: reports
+                .into_iter()
+                .map(crate::runtime::Probes::into_report)
+                .collect(),
+        })
+    }
+
+    /// Runs the whole pipeline in timing mode with observation hooks
+    /// attached — the sanitizer entry point for the multi-layer path. A
+    /// seeded [`crate::runtime::SignalMutation`] in `instr` applies to
+    /// layer `mutate_layer` only, and — as with
+    /// [`OverlapPlan::execute_instrumented`] — a wedge it causes is left
+    /// for the attached probe to report at drain time, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashOverlapError::BadInputs`] if `mutate_layer` is out
+    /// of range, and [`FlashOverlapError::Simulation`] on engine failure.
+    pub fn execute_instrumented(
+        &self,
+        instr: &crate::runtime::Instrumentation,
+        mutate_layer: usize,
+    ) -> Result<PipelineReport, FlashOverlapError> {
+        if mutate_layer >= self.plans.len() {
+            return Err(FlashOverlapError::BadInputs {
+                reason: format!(
+                    "mutation targets layer {mutate_layer} of a {}-layer pipeline",
+                    self.plans.len()
+                ),
+            });
+        }
+        let mut world = self.system.build_cluster(false);
+        if let Some(monitor) = &instr.monitor {
+            world.set_monitor(std::rc::Rc::clone(monitor));
+        }
+        let mut sim: ClusterSim = Sim::new();
+        if let Some(probe) = &instr.probe {
+            sim.set_probe(std::rc::Rc::clone(probe));
+        }
+        let (reports, _) = self.enqueue_all(
+            &mut world,
+            &mut sim,
+            None,
+            instr.mutation.map(|m| (mutate_layer, m)),
+        )?;
         let end = sim.run(&mut world)?;
         Ok(PipelineReport {
             total: end - sim::SimTime::ZERO,
@@ -216,7 +264,7 @@ impl Pipeline {
         for (l, inp) in inputs.iter().enumerate() {
             self.plans[l].check_inputs_pub(inp)?;
         }
-        let (reports, handles) = self.enqueue_all(&mut world, &mut sim, Some(&inputs))?;
+        let (reports, handles) = self.enqueue_all(&mut world, &mut sim, Some(&inputs), None)?;
         let end = sim.run(&mut world)?;
         let last = self.plans.len() - 1;
         let outputs = match &self.epilogues[last] {
@@ -246,15 +294,73 @@ impl Pipeline {
         world: &mut gpu_sim::Cluster,
         sim: &mut ClusterSim,
         inputs: Option<&[FunctionalInputs]>,
+        mutation: Option<(usize, crate::runtime::SignalMutation)>,
     ) -> Result<(Vec<crate::runtime::Probes>, crate::runtime::ProgramHandles), FlashOverlapError>
     {
+        use gpu_sim::stream::{enqueue, RecordEvent, ResetCounter, WaitEvent};
+
         let n = self.system.n_gpus;
         let streams = StreamCtx::create(world, n);
         let mut probes = Vec::with_capacity(self.plans.len());
         let mut prev_outputs: Option<Vec<gpu_sim::memory::BufferId>> = None;
         let mut last_handles = None;
+        // Counting tables are allocated once, sized for the widest layer,
+        // and ping-ponged between two sets across layers (steady-state
+        // double buffering): layer `l`'s signals must not land in a table
+        // whose waits layer `l - 1` still consumes.
+        let max_groups = self
+            .plans
+            .iter()
+            .map(|p| p.group_tile_counts().len())
+            .max()
+            .unwrap_or(0);
+        let table_sets: [Vec<usize>; 2] = std::array::from_fn(|_| {
+            (0..n)
+                .map(|d| world.devices[d].create_counter(max_groups))
+                .collect()
+        });
+        // Per set: comm-done events of the layer that last used it.
+        let mut last_use: [Option<Vec<gpu_sim::GpuEventId>>; 2] = [None, None];
         for (l, plan) in self.plans.iter().enumerate() {
+            let parity = l % 2;
+            if let Some(events) = last_use[parity].take() {
+                // Reuse: reset the tables on the compute stream, ordered
+                // after the previous user's comm stream drained its waits.
+                for d in 0..n {
+                    enqueue(
+                        world,
+                        sim,
+                        d,
+                        streams.compute[d],
+                        Box::new(WaitEvent(events[d])),
+                    );
+                    enqueue(
+                        world,
+                        sim,
+                        d,
+                        streams.compute[d],
+                        Box::new(ResetCounter {
+                            table: table_sets[parity][d],
+                        }),
+                    );
+                    // The comm stream must not consult the table before the
+                    // reset lands: a stale (pre-reset) count would satisfy
+                    // the new layer's wait and release its collective
+                    // before any tile is written. (SimSan flags exactly
+                    // this as use-before-signal when the edge is missing.)
+                    let ready = world.devices[d].create_event();
+                    enqueue(
+                        world,
+                        sim,
+                        d,
+                        streams.compute[d],
+                        Box::new(RecordEvent(ready)),
+                    );
+                    enqueue(world, sim, d, streams.comm[d], Box::new(WaitEvent(ready)));
+                }
+            }
             let layer_inputs = inputs.map(|i| &i[l]);
+            let layer_mutation = mutation.and_then(|(target, m)| (target == l).then_some(m));
             let handles = plan.enqueue_program_on(
                 world,
                 sim,
@@ -262,8 +368,17 @@ impl Pipeline {
                 self.epilogues[l].as_ref(),
                 &streams,
                 prev_outputs.as_deref(),
-                None,
+                layer_mutation,
+                Some(&table_sets[parity]),
             );
+            let events: Vec<gpu_sim::GpuEventId> = (0..n)
+                .map(|d| {
+                    let ev = world.devices[d].create_event();
+                    enqueue(world, sim, d, streams.comm[d], Box::new(RecordEvent(ev)));
+                    ev
+                })
+                .collect();
+            last_use[parity] = Some(events);
             prev_outputs = self.epilogues[l].as_ref().map(|_| {
                 (0..n)
                     .map(|d| handles.epilogue_bufs[d].expect("epilogue requested"))

@@ -164,6 +164,28 @@ impl LatencyPredictor {
     ///
     /// Panics if the partition does not cover the profiled wave count.
     pub fn predict(&self, partition: &WavePartition) -> SimDuration {
+        let (time, completions) = self.walk(partition);
+        let comm_done = completions.last().copied().unwrap_or(0.0);
+        SimDuration::from_nanos(comm_done.max(time) as u64)
+    }
+
+    /// Predicts when each group's collective completes (absolute, from
+    /// GEMM launch) — the per-wait deadlines the watchdog runtime derives
+    /// its escalation timers from. The last entry equals
+    /// [`LatencyPredictor::predict`] when communication is the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition does not cover the profiled wave count.
+    pub fn predict_group_completions(&self, partition: &WavePartition) -> Vec<SimDuration> {
+        let (_, completions) = self.walk(partition);
+        completions
+            .into_iter()
+            .map(|ns| SimDuration::from_nanos(ns as u64))
+            .collect()
+    }
+
+    fn walk(&self, partition: &WavePartition) -> (f64, Vec<f64>) {
         assert_eq!(
             partition.total_waves(),
             self.profile.total_waves,
@@ -209,6 +231,7 @@ impl LatencyPredictor {
         let mut comm_busy_from = f64::INFINITY;
         let mut comm_free = 0.0f64;
         let mut next_group = 0usize;
+        let mut completions = Vec::with_capacity(payloads.len());
         while tiles_done < total_tiles {
             // A wave dispatches the moment the previous one retires —
             // before a just-signalled collective can grab its SMs — so it
@@ -228,11 +251,12 @@ impl LatencyPredictor {
                 } else {
                     comm_free += payloads[next_group];
                 }
+                completions.push(comm_free);
                 next_group += 1;
             }
         }
         debug_assert_eq!(next_group, thresholds.len(), "every group signalled");
-        SimDuration::from_nanos(comm_free.max(time) as u64)
+        (time, completions)
     }
 
     /// Predicted latency of the non-overlapped execution (single group).
@@ -333,6 +357,19 @@ mod tests {
         ] {
             assert!(p.predict(&partition) > p.profile().gemm_duration);
         }
+    }
+
+    #[test]
+    fn group_completions_are_monotone_and_end_at_prediction() {
+        let p = predictor();
+        let t = p.profile().total_waves;
+        let partition = WavePartition::new(vec![2; t as usize / 2]);
+        let completions = p.predict_group_completions(&partition);
+        assert_eq!(completions.len(), partition.num_groups());
+        for pair in completions.windows(2) {
+            assert!(pair[0] <= pair[1], "completions must not go backwards");
+        }
+        assert_eq!(*completions.last().unwrap(), p.predict(&partition));
     }
 
     #[test]

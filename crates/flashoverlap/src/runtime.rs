@@ -17,21 +17,27 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use collectives::{CollectiveSpec, Communicator, Primitive, Region};
+use collectives::{CollectiveRole, CollectiveSpec, Communicator, Primitive, Region};
 use gpu_sim::arch::RemapGranularity;
 use gpu_sim::elementwise::{ElementwiseKernel, ElementwiseOp, Gather};
 use gpu_sim::gemm::{CounterHook, EpilogueWriter, GemmConfig, GemmDims, GemmKernel};
 use gpu_sim::memory::BufferId;
 use gpu_sim::monitor::ClusterMonitor;
-use gpu_sim::stream::{enqueue, Callback, RecordEvent, WaitCounter, WaitEvent};
+use gpu_sim::stream::{
+    abort_counter_waits, enqueue, Callback, RecordEvent, ResetCounter, WaitCounter, WaitEvent,
+};
 use gpu_sim::wave::WaveSchedule;
-use gpu_sim::{Cluster, ClusterSim};
+use gpu_sim::{Cluster, ClusterSim, IncrementFault, RuntimeEvent, RuntimeEventKind};
 use sim::{EngineProbe, Sim, SimDuration, SimTime};
 use tensor::Matrix;
 
 use crate::error::FlashOverlapError;
 use crate::mapping::{SubtileMapping, TileMapping, TokenMapping};
 use crate::partition::WavePartition;
+use crate::predictor::LatencyPredictor;
+use crate::resilience::{
+    Fault, FaultPlan, ResilientFunctionalReport, ResilientOutcome, ResilientReport, WatchdogConfig,
+};
 use crate::system::SystemSpec;
 use crate::writers::{PackedTileWriter, SubtilePackedWriter, TokenPoolWriter};
 
@@ -411,6 +417,7 @@ impl OverlapPlan {
             &streams,
             None,
             instr.mutation,
+            None,
         );
         sim.run(&mut world)?;
         Ok(handles.probes.into_report())
@@ -448,6 +455,7 @@ impl OverlapPlan {
             &streams,
             None,
             instr.mutation,
+            None,
         );
         sim.run(&mut world)?;
         let spans = world.op_spans.take().unwrap_or_default();
@@ -467,16 +475,133 @@ impl OverlapPlan {
     /// Returns [`FlashOverlapError::Simulation`] on engine failure, and
     /// [`FlashOverlapError::BadInputs`] if `iterations == 0`.
     pub fn execute_iterations(&self, iterations: usize) -> Result<SimDuration, FlashOverlapError> {
+        self.run_iterations(iterations, &Instrumentation::default())
+    }
+
+    /// Steady-state iteration with observation hooks attached — the
+    /// sanitizer entry point for the serving-loop path. A seeded
+    /// [`SignalMutation`] in `instr` applies to the *final* iteration
+    /// (after counting-table reuse reached steady state), and — as with
+    /// [`OverlapPlan::execute_instrumented`] — a wedge it causes is left
+    /// for the attached probe to report at drain time, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashOverlapError::Simulation`] on engine failure, and
+    /// [`FlashOverlapError::BadInputs`] if `iterations == 0`.
+    pub fn execute_iterations_instrumented(
+        &self,
+        iterations: usize,
+        instr: &Instrumentation,
+    ) -> Result<SimDuration, FlashOverlapError> {
+        self.run_iterations(iterations, instr)
+    }
+
+    fn run_iterations(
+        &self,
+        iterations: usize,
+        instr: &Instrumentation,
+    ) -> Result<SimDuration, FlashOverlapError> {
         if iterations == 0 {
             return Err(FlashOverlapError::BadInputs {
                 reason: "need at least one iteration".into(),
             });
         }
         let mut world = self.system.build_cluster(false);
+        if let Some(monitor) = &instr.monitor {
+            world.set_monitor(Rc::clone(monitor));
+        }
         let mut sim: ClusterSim = Sim::new();
-        let streams = StreamCtx::create(&mut world, self.system.n_gpus);
-        for _ in 0..iterations {
-            let _ = self.enqueue_program_on(&mut world, &mut sim, None, None, &streams, None, None);
+        if let Some(probe) = &instr.probe {
+            sim.set_probe(Rc::clone(probe));
+        }
+        let n = self.system.n_gpus;
+        let streams = StreamCtx::create(&mut world, n);
+        // A serving loop allocates counting tables once and ping-pongs
+        // between two sets (double buffering): iteration `i`'s signals must
+        // not land in a table whose waits iteration `i - 1` still consumes.
+        let num_groups = self.group_tile_counts().len();
+        let table_sets: [Vec<usize>; 2] = std::array::from_fn(|_| {
+            (0..n)
+                .map(|d| world.devices[d].create_counter(num_groups))
+                .collect()
+        });
+        // Per set: the comm-done events of the iteration that last used it.
+        let mut last_use: [Option<Vec<gpu_sim::GpuEventId>>; 2] = [None, None];
+        for i in 0..iterations {
+            let parity = i % 2;
+            if let Some(events) = last_use[parity].take() {
+                // Reuse: reset each rank's table on the compute stream,
+                // ordered after the previous user's comm stream drained its
+                // waits (resetting under a parked waiter is a bug).
+                for d in 0..n {
+                    enqueue(
+                        &mut world,
+                        &mut sim,
+                        d,
+                        streams.compute[d],
+                        Box::new(WaitEvent(events[d])),
+                    );
+                    enqueue(
+                        &mut world,
+                        &mut sim,
+                        d,
+                        streams.compute[d],
+                        Box::new(ResetCounter {
+                            table: table_sets[parity][d],
+                        }),
+                    );
+                    // The comm stream must not consult the table before the
+                    // reset lands: a stale (pre-reset) count would satisfy
+                    // the new iteration's wait and release its collective
+                    // before any tile is written. (SimSan flags exactly
+                    // this as use-before-signal when the edge is missing.)
+                    let ready = world.devices[d].create_event();
+                    enqueue(
+                        &mut world,
+                        &mut sim,
+                        d,
+                        streams.compute[d],
+                        Box::new(RecordEvent(ready)),
+                    );
+                    enqueue(
+                        &mut world,
+                        &mut sim,
+                        d,
+                        streams.comm[d],
+                        Box::new(WaitEvent(ready)),
+                    );
+                }
+            }
+            let mutation = if i + 1 == iterations {
+                instr.mutation
+            } else {
+                None
+            };
+            let _ = self.enqueue_program_on(
+                &mut world,
+                &mut sim,
+                None,
+                None,
+                &streams,
+                None,
+                mutation,
+                Some(&table_sets[parity]),
+            );
+            let events: Vec<gpu_sim::GpuEventId> = (0..n)
+                .map(|d| {
+                    let ev = world.devices[d].create_event();
+                    enqueue(
+                        &mut world,
+                        &mut sim,
+                        d,
+                        streams.comm[d],
+                        Box::new(RecordEvent(ev)),
+                    );
+                    ev
+                })
+                .collect();
+            last_use[parity] = Some(events);
         }
         let end = sim.run(&mut world)?;
         Ok(SimDuration::from_nanos(
@@ -679,7 +804,7 @@ impl OverlapPlan {
         epilogue: Option<&ElementwiseOp>,
     ) -> ProgramHandles {
         let streams = StreamCtx::create(world, self.system.n_gpus);
-        self.enqueue_program_on(world, sim, inputs, epilogue, &streams, None, None)
+        self.enqueue_program_on(world, sim, inputs, epilogue, &streams, None, None, None)
     }
 
     /// Enqueues the overlap program on caller-provided streams, optionally
@@ -698,6 +823,7 @@ impl OverlapPlan {
         streams: &StreamCtx,
         a_override: Option<&[BufferId]>,
         mutation: Option<SignalMutation>,
+        tables_override: Option<&[usize]>,
     ) -> ProgramHandles {
         let n = self.system.n_gpus;
         let comm = Communicator::with_algorithm(
@@ -720,7 +846,12 @@ impl OverlapPlan {
         for d in 0..n {
             let writer = self.writer_for(d);
             let dev = &mut world.devices[d];
-            tables.push(dev.create_counter(num_groups));
+            tables.push(match tables_override {
+                // Reused (serving-loop) tables: the caller reset them and
+                // guarantees they have at least `num_groups` slots.
+                Some(t) => t[d],
+                None => dev.create_counter(num_groups),
+            });
             a_bufs.push(match (a_override, inputs) {
                 (Some(bufs), _) => bufs[d],
                 (None, Some(inp)) => dev.mem.alloc_init(inp.a[d].as_slice()),
@@ -909,6 +1040,8 @@ impl OverlapPlan {
             packed_bufs,
             recv_bufs,
             epilogue_bufs,
+            comm,
+            tables,
         }
     }
 
@@ -1099,14 +1232,455 @@ impl OverlapPlan {
     }
 }
 
-/// Turns a drained-but-wedged simulation into a diagnosable error.
+/// What one resilient run yields internally: the report, the functional
+/// outputs (when inputs were supplied), and the recorded spans (when
+/// tracing was on).
+type ResilientRun = (ResilientReport, Option<Vec<Matrix>>, Vec<gpu_sim::OpSpan>);
+
+/// Watchdog and degraded-mode execution (see [`crate::resilience`] for
+/// the fault and outcome vocabulary).
+impl OverlapPlan {
+    /// The predictor's expected operator latency for this plan — the
+    /// base the watchdog deadline is derived from.
+    pub fn expected_latency(&self) -> SimDuration {
+        let predictor = LatencyPredictor::build(self.dims, self.primitive(), &self.system);
+        if predictor.profile().total_waves == self.partition.total_waves() {
+            predictor.predict(&self.partition)
+        } else {
+            // Swizzle overrides can shift the planned wave count away
+            // from the profiled estimate; fall back to the serial bound.
+            predictor.predict_serial()
+        }
+    }
+
+    /// Runs the plan in timing mode under the watchdog: `faults` are
+    /// injected at the simulator's seams, and a wedge (lost signal,
+    /// starved rendezvous) is broken by the escalation ladder — deadline
+    /// extensions, then tail recovery, then the bulk degraded fallback —
+    /// so the run terminates with a structured outcome instead of
+    /// hanging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashOverlapError::BadInputs`] if a fault targets a
+    /// rank or group the plan does not have, and
+    /// [`FlashOverlapError::Simulation`] on engine failure.
+    pub fn execute_resilient(
+        &self,
+        faults: &FaultPlan,
+        watchdog: &WatchdogConfig,
+    ) -> Result<ResilientReport, FlashOverlapError> {
+        let (report, _, _) = self.run_resilient(None, faults, watchdog, false, None)?;
+        Ok(report)
+    }
+
+    /// Functional (data-carrying) resilient run: the returned outputs
+    /// are bit-exact against a fault-free run whenever the outcome is
+    /// `Clean` or `Recovered` — and for every `Degraded` run whose bulk
+    /// fallback completed, since recovery collectives only read
+    /// GEMM-complete buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed inputs, out-of-range fault targets,
+    /// or engine failure.
+    pub fn execute_functional_resilient(
+        &self,
+        inputs: &FunctionalInputs,
+        faults: &FaultPlan,
+        watchdog: &WatchdogConfig,
+    ) -> Result<ResilientFunctionalReport, FlashOverlapError> {
+        self.check_inputs(inputs)?;
+        let (resilient, outputs, _) =
+            self.run_resilient(Some(inputs), faults, watchdog, false, None)?;
+        Ok(ResilientFunctionalReport {
+            resilient,
+            outputs: outputs.unwrap_or_default(),
+        })
+    }
+
+    /// Resilient run with per-stream operation spans recorded and an
+    /// optional monitor attached — how telemetry captures the recovery
+    /// timeline (tail/bulk collective spans, fault and recovery instant
+    /// events).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on out-of-range fault targets or engine failure.
+    pub fn execute_resilient_traced(
+        &self,
+        faults: &FaultPlan,
+        watchdog: &WatchdogConfig,
+        monitor: Option<Rc<dyn ClusterMonitor>>,
+    ) -> Result<(ResilientReport, Vec<gpu_sim::OpSpan>), FlashOverlapError> {
+        let (report, _, spans) = self.run_resilient(None, faults, watchdog, true, monitor)?;
+        Ok((report, spans))
+    }
+
+    fn run_resilient(
+        &self,
+        inputs: Option<&FunctionalInputs>,
+        faults: &FaultPlan,
+        watchdog: &WatchdogConfig,
+        spans: bool,
+        monitor: Option<Rc<dyn ClusterMonitor>>,
+    ) -> Result<ResilientRun, FlashOverlapError> {
+        let n = self.system.n_gpus;
+        let num_groups = self.group_tile_counts().len();
+        faults.validate(n, num_groups)?;
+
+        let mut world = self.system.build_cluster(inputs.is_some());
+        if spans {
+            world.enable_op_spans();
+        }
+        if let Some(m) = monitor {
+            world.set_monitor(m);
+        }
+        let mut sim: ClusterSim = Sim::new();
+        let mut events: Vec<RuntimeEvent> = Vec::new();
+
+        // Cluster-level faults exist before the program starts.
+        for fault in &faults.faults {
+            match *fault {
+                Fault::LinkDegradation { slowdown } => {
+                    let prior = world.comm_fault.slowdown.max(1.0);
+                    world.comm_fault.slowdown = prior * slowdown.max(1.0);
+                }
+                Fault::LinkStall { stall, count } => {
+                    world.comm_fault.stall = world.comm_fault.stall.max(stall);
+                    world.comm_fault.stall_count += count;
+                }
+                Fault::StragglerSms { rank, sms } => {
+                    // Holding communication SMs shrinks the rank's wave
+                    // width for the whole run (never released).
+                    world.devices[rank].occupy_comm_sms(sms);
+                }
+                _ => {}
+            }
+            let event = RuntimeEvent {
+                at: sim.now(),
+                device: fault_device(fault),
+                kind: RuntimeEventKind::FaultInjected,
+                group: fault_group(fault),
+                detail: format!("armed: {fault}"),
+            };
+            world.notify_runtime_event(&event);
+            events.push(event);
+        }
+
+        let streams = StreamCtx::create(&mut world, n);
+        // Straggler ranks launch their whole program late, beyond the
+        // modelled host skew.
+        for fault in &faults.faults {
+            if let Fault::SlowRank { rank, delay } = *fault {
+                for stream in [streams.compute[rank], streams.comm[rank]] {
+                    enqueue(
+                        &mut world,
+                        &mut sim,
+                        rank,
+                        stream,
+                        Box::new(gpu_sim::stream::Delay(delay)),
+                    );
+                }
+            }
+        }
+        let handles = self.enqueue_program_on(
+            &mut world, &mut sim, inputs, None, &streams, None, None, None,
+        );
+        // Counting-table faults arm once the tables exist.
+        for fault in &faults.faults {
+            match *fault {
+                Fault::DroppedIncrement { rank, group, count } => {
+                    world.devices[rank]
+                        .counter_mut(handles.tables[rank])
+                        .arm_fault(group, IncrementFault::Dropped, count);
+                }
+                Fault::DelayedIncrement {
+                    rank,
+                    group,
+                    count,
+                    delay,
+                } => {
+                    world.devices[rank]
+                        .counter_mut(handles.tables[rank])
+                        .arm_fault(group, IncrementFault::Delayed(delay), count);
+                }
+                _ => {}
+            }
+        }
+
+        // The watchdog ladder. `base` is the per-step budget: expected
+        // latency times the configured multiplier (plus the launch-skew
+        // window, which the predictor does not model).
+        let base = self
+            .expected_latency()
+            .mul_f64(watchdog.deadline_multiplier.max(1.0))
+            + SimDuration::from_nanos(self.system.launch_skew_ns.max(1));
+        let mut deadline = SimTime::ZERO + base;
+        let mut retries = 0u32;
+        let mut rung = 0u32; // 0 = overlap, 1 = tail issued, 2 = bulk issued
+        let mut tail_groups: Vec<usize> = Vec::new();
+        let mut degraded_cause: Option<String> = None;
+        let mut recovered_groups: Vec<usize> = Vec::new();
+
+        loop {
+            sim.run_until(&mut world, deadline)?;
+            if sim.pending() == 0 {
+                let Err(error) = check_quiescent(&world) else {
+                    break; // Streams drained: the program completed.
+                };
+                // True wedge: the event queue drained with streams still
+                // busy. `error` names every blocked rank, counter group,
+                // reached count, and unmet threshold.
+                if rung >= 2 {
+                    // Even the bulk fallback wedged (recovery collectives
+                    // wait on nothing but GEMM completion, so this should
+                    // be unreachable). Give up without hanging.
+                    degraded_cause = Some(format!("recovery wedged: {error}"));
+                    break;
+                }
+                let done = completed_groups(&handles);
+                let fired = RuntimeEvent {
+                    at: sim.now(),
+                    device: 0,
+                    kind: RuntimeEventKind::WatchdogFired,
+                    group: None,
+                    detail: format!("wedge detected: {error}"),
+                };
+                world.notify_runtime_event(&fired);
+                events.push(fired);
+                // Late release with per-group tail collectives while part
+                // of the plan survived; bulk fallback when the overlap
+                // produced nothing or already failed once.
+                let role = if rung == 0 && !done.is_empty() {
+                    CollectiveRole::Tail
+                } else {
+                    CollectiveRole::Bulk
+                };
+                if matches!(role, CollectiveRole::Bulk) && degraded_cause.is_none() {
+                    degraded_cause = Some(format!("overlap abandoned: {error}"));
+                    recovered_groups = done;
+                }
+                let issued = self.issue_recovery(
+                    &mut world,
+                    &mut sim,
+                    &handles,
+                    &streams,
+                    role,
+                    &mut events,
+                );
+                if matches!(role, CollectiveRole::Tail) {
+                    tail_groups = issued;
+                    rung = 1;
+                } else {
+                    rung = 2;
+                }
+                deadline = sim.now() + base;
+            } else {
+                // Deadline passed with events still flowing: the run is
+                // slow (degraded link, straggler), not stuck. Extend
+                // within budget, then mark it degraded but keep driving
+                // to completion — an in-flight collective cannot be
+                // abandoned without double-applying its data.
+                if retries < watchdog.max_retries {
+                    retries += 1;
+                    let fired = RuntimeEvent {
+                        at: sim.now(),
+                        device: 0,
+                        kind: RuntimeEventKind::WatchdogFired,
+                        group: None,
+                        detail: format!(
+                            "deadline passed with {} events in flight; extension {retries}/{}",
+                            sim.pending(),
+                            watchdog.max_retries
+                        ),
+                    };
+                    world.notify_runtime_event(&fired);
+                    events.push(fired);
+                } else if degraded_cause.is_none() {
+                    degraded_cause = Some(format!(
+                        "watchdog deadline exceeded after {} extensions",
+                        watchdog.max_retries
+                    ));
+                    recovered_groups = completed_groups(&handles);
+                    let fallback = RuntimeEvent {
+                        at: sim.now(),
+                        device: 0,
+                        kind: RuntimeEventKind::DegradedFallback,
+                        group: None,
+                        detail: "run marked degraded; completing without abandoning in-flight work"
+                            .into(),
+                    };
+                    world.notify_runtime_event(&fallback);
+                    events.push(fallback);
+                }
+                deadline = sim.now() + base;
+            }
+        }
+
+        let outcome = if let Some(cause) = degraded_cause {
+            ResilientOutcome::Degraded {
+                cause,
+                recovered_groups,
+            }
+        } else if rung == 1 {
+            ResilientOutcome::Recovered {
+                retries,
+                tail_groups,
+            }
+        } else {
+            ResilientOutcome::Clean
+        };
+        let spans_out = if spans {
+            world.op_spans.take().unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        let outputs = inputs.map(|_| self.extract_outputs(&world, &handles));
+        let report = ResilientReport {
+            report: handles.probes_snapshot().into_report(),
+            outcome,
+            events,
+            faults_armed: faults.faults.len(),
+        };
+        Ok((report, outputs, spans_out))
+    }
+
+    /// One rung of the recovery ladder: abort the starved communication
+    /// state and re-issue every incomplete group as a `role` collective
+    /// gated on GEMM completion.
+    fn issue_recovery(
+        &self,
+        world: &mut Cluster,
+        sim: &mut ClusterSim,
+        handles: &ProgramHandles,
+        streams: &StreamCtx,
+        role: CollectiveRole,
+        events: &mut Vec<RuntimeEvent>,
+    ) -> Vec<usize> {
+        let n = self.system.n_gpus;
+        // 1. Drop queued communication work — the stale waits and
+        //    collectives of the groups about to be re-issued. Queued
+        //    kernels have no completion token yet, so this is safe.
+        for d in 0..n {
+            world.abort_stream_queue(d, streams.comm[d]);
+        }
+        // 2. Release ranks parked inside the communicator rendezvous
+        //    without moving data (the `ncclCommAbort` analog); their
+        //    streams then go idle against the cleared queues.
+        handles.comm.abort_pending(world, sim);
+        // 3. Revoke starved signal waits the same way.
+        for d in 0..n {
+            abort_counter_waits(world, sim, d, handles.tables[d]);
+        }
+        // 4. Gate recovery on GEMM completion: the main loop writes every
+        //    tile regardless of lost signals, so once the GEMM retires
+        //    the packed buffers hold exactly the data the original
+        //    collectives would have read — recovery stays bit-exact.
+        for d in 0..n {
+            let done = world.devices[d].create_event();
+            enqueue(
+                world,
+                sim,
+                d,
+                streams.compute[d],
+                Box::new(RecordEvent(done)),
+            );
+            enqueue(world, sim, d, streams.comm[d], Box::new(WaitEvent(done)));
+        }
+        // 5. Re-issue every group whose collective never completed.
+        let completed: Vec<bool> = handles
+            .probes
+            .group_done
+            .borrow()
+            .iter()
+            .map(Option::is_some)
+            .collect();
+        let (kind, what) = match role {
+            CollectiveRole::Tail => (RuntimeEventKind::TailRecovery, "tail"),
+            _ => (RuntimeEventKind::DegradedFallback, "bulk"),
+        };
+        let mut issued = Vec::new();
+        for (g, done) in completed.iter().enumerate() {
+            if *done {
+                continue;
+            }
+            let Some(spec) = self.group_spec(g, &handles.packed_bufs, &handles.recv_bufs) else {
+                continue; // Zero-payload group: nothing was ever owed.
+            };
+            let kernels = handles.comm.kernels_with_role(spec, Some(g), role);
+            for (d, kernel) in kernels.into_iter().enumerate() {
+                enqueue(world, sim, d, streams.comm[d], Box::new(kernel));
+                if d == 0 {
+                    let slot = handles.probes.group_done.clone();
+                    enqueue(
+                        world,
+                        sim,
+                        0,
+                        streams.comm[0],
+                        Box::new(Callback(Box::new(move |_, s| {
+                            slot.borrow_mut()[g] = Some(s.now());
+                        }))),
+                    );
+                }
+            }
+            let event = RuntimeEvent {
+                at: sim.now(),
+                device: 0,
+                kind,
+                group: Some(g),
+                detail: format!("group {g} re-issued as {what} collective"),
+            };
+            world.notify_runtime_event(&event);
+            events.push(event);
+            issued.push(g);
+        }
+        issued
+    }
+}
+
+/// Groups whose collectives have completed (overlap or recovery).
+fn completed_groups(handles: &ProgramHandles) -> Vec<usize> {
+    handles
+        .probes
+        .group_done
+        .borrow()
+        .iter()
+        .enumerate()
+        .filter_map(|(g, t)| t.map(|_| g))
+        .collect()
+}
+
+/// The rank a fault targets (the lead rank for cluster-wide faults).
+fn fault_device(fault: &Fault) -> gpu_sim::DeviceId {
+    match *fault {
+        Fault::DroppedIncrement { rank, .. }
+        | Fault::DelayedIncrement { rank, .. }
+        | Fault::StragglerSms { rank, .. }
+        | Fault::SlowRank { rank, .. } => rank,
+        Fault::LinkDegradation { .. } | Fault::LinkStall { .. } => 0,
+    }
+}
+
+/// The wave group a fault targets, when it has one.
+fn fault_group(fault: &Fault) -> Option<usize> {
+    match *fault {
+        Fault::DroppedIncrement { group, .. } | Fault::DelayedIncrement { group, .. } => {
+            Some(group)
+        }
+        _ => None,
+    }
+}
+
+/// Turns a drained-but-wedged simulation into a diagnosable error
+/// carrying the full counter context of every starved signal wait.
 fn check_quiescent(world: &Cluster) -> Result<(), FlashOverlapError> {
-    world.check_quiescent().map_err(|stuck| {
-        FlashOverlapError::Simulation(format!(
-            "deadlock: streams never drained — {}",
-            stuck.join("; ")
-        ))
-    })
+    world
+        .check_quiescent()
+        .map_err(|streams| FlashOverlapError::Deadlock {
+            waits: world.stuck_waits(),
+            streams,
+        })
 }
 
 /// Per-rank compute/communication stream pair a program runs on.
@@ -1133,6 +1707,13 @@ pub(crate) struct ProgramHandles {
     pub(crate) packed_bufs: Vec<BufferId>,
     pub(crate) recv_bufs: Vec<BufferId>,
     pub(crate) epilogue_bufs: Vec<Option<BufferId>>,
+    /// The communicator the program's collective kernels rendezvous
+    /// through — the recovery runtime aborts its pending state, exactly
+    /// like `ncclCommAbort` on the real library's communicator handle.
+    pub(crate) comm: Communicator,
+    /// Per-rank counting-table indices (fault arming and wait revocation
+    /// need them after enqueue).
+    pub(crate) tables: Vec<usize>,
 }
 
 impl ProgramHandles {
@@ -1222,6 +1803,162 @@ mod tests {
             assert!(allclose(out, &expected, 1e-2), "rank {d} output mismatch");
         }
         assert!(result.report.latency > SimDuration::ZERO);
+    }
+
+    fn all_reduce_plan(dims: GemmDims, n: usize) -> OverlapPlan {
+        let system = small_system(n);
+        let config = GemmConfig::choose(dims, &system.arch);
+        let waves = config.grid(dims).num_tiles().div_ceil(system.compute_sms());
+        OverlapPlan::new(
+            dims,
+            CommPattern::AllReduce,
+            system,
+            WavePartition::per_wave(waves),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn resilient_run_without_faults_is_clean_and_matches_execute() {
+        let plan = all_reduce_plan(GemmDims::new(256, 256, 64), 2);
+        let clean = plan.execute().unwrap();
+        let resilient = plan
+            .execute_resilient(
+                &crate::resilience::FaultPlan::none(),
+                &WatchdogConfig::default(),
+            )
+            .unwrap();
+        assert!(resilient.outcome.is_clean(), "{:?}", resilient.outcome);
+        assert_eq!(resilient.report.latency, clean.latency);
+        assert_eq!(resilient.faults_armed, 0);
+        assert!(resilient.events.is_empty());
+    }
+
+    #[test]
+    fn dropped_increment_recovers_via_tail_collective() {
+        let dims = GemmDims::new(256, 256, 64);
+        let plan = all_reduce_plan(dims, 2);
+        assert!(
+            plan.group_tile_counts().len() >= 2,
+            "need a completed group"
+        );
+        // Rank 0 loses one signal of group 1: its wait never satisfies, the
+        // overlap wedges after group 0, and the watchdog must late-release
+        // the remaining groups as tail collectives.
+        let faults = crate::resilience::FaultPlan::single(Fault::DroppedIncrement {
+            rank: 0,
+            group: 1,
+            count: 1,
+        });
+        let inputs = FunctionalInputs::random(dims, 2, 21);
+        let result = plan
+            .execute_functional_resilient(&inputs, &faults, &WatchdogConfig::default())
+            .unwrap();
+        match &result.resilient.outcome {
+            ResilientOutcome::Recovered { tail_groups, .. } => {
+                assert!(
+                    tail_groups.contains(&1),
+                    "group 1 re-issued: {tail_groups:?}"
+                );
+            }
+            other => panic!("expected tail recovery, got {other:?}"),
+        }
+        assert!(
+            !result
+                .resilient
+                .events_of(RuntimeEventKind::TailRecovery)
+                .is_empty(),
+            "tail recovery must be visible in the event log"
+        );
+        assert!(
+            !result
+                .resilient
+                .events_of(RuntimeEventKind::WatchdogFired)
+                .is_empty(),
+            "the watchdog fired before recovery"
+        );
+        // The lost signal cost only the signal, never the tile data: the
+        // recovered run stays bit-exact.
+        let expected = reduced_reference(&inputs);
+        for (d, out) in result.outputs.iter().enumerate() {
+            assert!(allclose(out, &expected, 1e-2), "rank {d} output mismatch");
+        }
+    }
+
+    #[test]
+    fn lost_first_signal_degrades_to_bulk_but_stays_exact() {
+        let dims = GemmDims::new(256, 256, 64);
+        let plan = all_reduce_plan(dims, 2);
+        // Group 0 never signals on rank 0, so the overlap completes nothing
+        // before wedging: the ladder skips straight to the bulk fallback and
+        // reports a structured degradation instead of hanging.
+        let faults = crate::resilience::FaultPlan::single(Fault::DroppedIncrement {
+            rank: 0,
+            group: 0,
+            count: 1,
+        });
+        let inputs = FunctionalInputs::random(dims, 2, 22);
+        let result = plan
+            .execute_functional_resilient(&inputs, &faults, &WatchdogConfig::default())
+            .unwrap();
+        match &result.resilient.outcome {
+            ResilientOutcome::Degraded {
+                cause,
+                recovered_groups,
+            } => {
+                assert!(!cause.is_empty());
+                assert!(cause.contains("group 0"), "cause names the wedge: {cause}");
+                assert!(recovered_groups.is_empty(), "{recovered_groups:?}");
+            }
+            other => panic!("expected degraded fallback, got {other:?}"),
+        }
+        assert!(!result
+            .resilient
+            .events_of(RuntimeEventKind::DegradedFallback)
+            .is_empty());
+        let expected = reduced_reference(&inputs);
+        for (d, out) in result.outputs.iter().enumerate() {
+            assert!(allclose(out, &expected, 1e-2), "rank {d} output mismatch");
+        }
+    }
+
+    #[test]
+    fn slow_link_completes_without_recovery() {
+        let plan = all_reduce_plan(GemmDims::new(256, 256, 64), 2);
+        // A 3x-degraded link makes the run slow, not stuck: the watchdog may
+        // extend the deadline but must never abort in-flight collectives.
+        let faults = crate::resilience::FaultPlan::single(Fault::LinkDegradation { slowdown: 3.0 });
+        let report = plan
+            .execute_resilient(&faults, &WatchdogConfig::default())
+            .unwrap();
+        assert!(
+            !report.outcome.is_degraded() || !report.events.is_empty(),
+            "a degraded verdict needs an event trail"
+        );
+        assert!(report.report.latency > SimDuration::ZERO);
+        assert!(
+            report.events_of(RuntimeEventKind::TailRecovery).is_empty(),
+            "no recovery collectives for a merely slow link"
+        );
+    }
+
+    #[test]
+    fn straggler_rank_terminates_with_verdict() {
+        let dims = GemmDims::new(256, 256, 64);
+        let plan = all_reduce_plan(dims, 2);
+        let faults = crate::resilience::FaultPlan::single(Fault::SlowRank {
+            rank: 1,
+            delay: SimDuration::from_micros(400),
+        });
+        let inputs = FunctionalInputs::random(dims, 2, 23);
+        let result = plan
+            .execute_functional_resilient(&inputs, &faults, &WatchdogConfig::default())
+            .unwrap();
+        // Whatever the verdict, the run terminated and the data is right.
+        let expected = reduced_reference(&inputs);
+        for (d, out) in result.outputs.iter().enumerate() {
+            assert!(allclose(out, &expected, 1e-2), "rank {d} output mismatch");
+        }
     }
 
     #[test]

@@ -201,3 +201,136 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Multi-layer and steady-state paths (counting-table reuse).
+//
+// `Pipeline::execute` and `OverlapPlan::execute_iterations` allocate
+// counting tables once and ping-pong between two sets, resetting a set
+// before reuse. The sanitizer must treat each reset as an epoch boundary:
+// clean runs stay clean (no stale-label false positives), and a signal
+// edge deleted *after* resets started is still caught (no stale-label
+// false negatives).
+// ---------------------------------------------------------------------------
+
+fn three_layer_pipeline() -> flashoverlap::Pipeline {
+    use flashoverlap::pipeline::LayerSpec;
+    use gpu_sim::elementwise::ElementwiseOp;
+    use std::rc::Rc;
+
+    let rms = |cols: usize| ElementwiseOp::RmsNorm {
+        weight: Rc::new(vec![1.0; cols]),
+        eps: 1e-6,
+    };
+    // Three layers so layer 2 reuses (and resets) layer 0's table set.
+    flashoverlap::Pipeline::tuned(
+        small_system(2),
+        vec![
+            LayerSpec {
+                dims: GemmDims::new(384, 512, 64),
+                pattern: CommPattern::AllReduce,
+                epilogue: Some(rms(512)),
+            },
+            LayerSpec {
+                dims: GemmDims::new(384, 256, 512),
+                pattern: CommPattern::AllReduce,
+                epilogue: Some(rms(256)),
+            },
+            LayerSpec {
+                dims: GemmDims::new(384, 128, 256),
+                pattern: CommPattern::AllReduce,
+                epilogue: None,
+            },
+        ],
+    )
+    .expect("valid pipeline")
+}
+
+#[test]
+fn multi_layer_pipeline_is_race_free_under_simsan() {
+    let pipeline = three_layer_pipeline();
+    let sanitizer = Sanitizer::new();
+    let instr = Instrumentation {
+        monitor: Some(sanitizer.monitor()),
+        probe: Some(sanitizer.probe()),
+        mutation: None,
+    };
+    pipeline
+        .execute_instrumented(&instr, 0)
+        .expect("pipeline runs");
+    assert!(sanitizer.is_clean(), "{}", sanitizer.summary());
+    assert!(sanitizer.accesses_checked() > 0, "monitor saw no accesses");
+}
+
+#[test]
+fn late_layer_mutation_is_caught_through_table_reuse() {
+    // Layer 2 runs on a reset table set; a wait dropped there must still
+    // surface even though the same (device, table, group) slots carried
+    // legitimate layer-0 signals before the reset.
+    let pipeline = three_layer_pipeline();
+    let sanitizer = Sanitizer::new();
+    let instr = Instrumentation {
+        monitor: Some(sanitizer.monitor()),
+        probe: Some(sanitizer.probe()),
+        mutation: Some(SignalMutation::DropWait { rank: 0, group: 0 }),
+    };
+    pipeline
+        .execute_instrumented(&instr, 2)
+        .expect("pipeline runs");
+    assert!(
+        !sanitizer.is_clean(),
+        "layer-2 dropped wait went undetected: {}",
+        sanitizer.summary()
+    );
+}
+
+#[test]
+fn steady_state_iterations_are_race_free_under_simsan() {
+    let p = plan(CommPattern::AllReduce, 2);
+    let sanitizer = Sanitizer::new();
+    let instr = Instrumentation {
+        monitor: Some(sanitizer.monitor()),
+        probe: Some(sanitizer.probe()),
+        mutation: None,
+    };
+    p.execute_iterations_instrumented(5, &instr)
+        .expect("iterations run");
+    assert!(sanitizer.is_clean(), "{}", sanitizer.summary());
+    assert!(sanitizer.accesses_checked() > 0, "monitor saw no accesses");
+}
+
+#[test]
+fn final_iteration_mutation_is_caught_after_reuse() {
+    let p = plan(CommPattern::AllReduce, 2);
+    let sanitizer = Sanitizer::new();
+    let instr = Instrumentation {
+        monitor: Some(sanitizer.monitor()),
+        probe: Some(sanitizer.probe()),
+        mutation: Some(SignalMutation::DropWait { rank: 0, group: 0 }),
+    };
+    p.execute_iterations_instrumented(4, &instr)
+        .expect("iterations run");
+    assert!(
+        !sanitizer.is_clean(),
+        "final-iteration dropped wait went undetected: {}",
+        sanitizer.summary()
+    );
+
+    // A starved wait in the final iteration is a lost signal + deadlock,
+    // exactly as in the single-shot path.
+    let sanitizer = Sanitizer::new();
+    let instr = Instrumentation {
+        monitor: Some(sanitizer.monitor()),
+        probe: Some(sanitizer.probe()),
+        mutation: Some(SignalMutation::RaiseThreshold { rank: 1, group: 1 }),
+    };
+    p.execute_iterations_instrumented(4, &instr)
+        .expect("iterations run");
+    let reports = sanitizer.reports();
+    assert!(
+        reports
+            .iter()
+            .any(|f| matches!(f, Finding::LostSignal { .. })),
+        "starved final-iteration wait not flagged: {reports:?}"
+    );
+}

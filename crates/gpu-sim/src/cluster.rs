@@ -75,6 +75,67 @@ pub struct NoiseSpec {
     pub comm_frac: f64,
 }
 
+/// Injected communication-fabric misbehaviour, consumed by collective
+/// kernels at rendezvous: a persistent bandwidth-degradation multiplier
+/// and a budget of transient stalls (each stall delays one collective).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommFault {
+    /// Multiplier (≥ 1) applied to every collective's duration — models a
+    /// persistently underdelivering link. Values below 1 are clamped up.
+    pub slowdown: f64,
+    /// Extra delay added to the next `stall_count` collectives (transient
+    /// link stalls: retransmits, congestion bursts).
+    pub stall: sim::SimDuration,
+    /// How many upcoming collectives the stall still applies to.
+    pub stall_count: u32,
+}
+
+impl CommFault {
+    /// Consumes one stall application, if any remain.
+    pub fn take_stall(&mut self) -> Option<sim::SimDuration> {
+        if self.stall_count == 0 || self.stall.as_nanos() == 0 {
+            return None;
+        }
+        self.stall_count -= 1;
+        Some(self.stall)
+    }
+
+    /// The effective duration multiplier (clamped to ≥ 1).
+    pub fn slowdown_factor(&self) -> f64 {
+        self.slowdown.max(1.0)
+    }
+}
+
+/// One blocked signal wait, with the full counter context: which rank is
+/// stuck, on which table slot, and how far the count is from the unmet
+/// threshold. Produced by [`Cluster::stuck_waits`] for deadlock
+/// diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckWait {
+    /// The blocked rank (device id).
+    pub device: DeviceId,
+    /// The stream whose signal wait is parked.
+    pub stream: usize,
+    /// Counting-table index on the device.
+    pub table: usize,
+    /// The starved group slot.
+    pub group: usize,
+    /// The count the slot actually reached.
+    pub count: u32,
+    /// The threshold the wait needs (never met).
+    pub threshold: u32,
+}
+
+impl std::fmt::Display for StuckWait {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} stream {} blocked on counter table {} group {}: count {} < threshold {}",
+            self.device, self.stream, self.table, self.group, self.count, self.threshold
+        )
+    }
+}
+
 /// The simulation world: a homogeneous multi-GPU server.
 ///
 /// `Cluster` is the `W` type of [`sim::Sim`]; every kernel and collective
@@ -94,6 +155,8 @@ pub struct Cluster {
     pub op_spans: Option<Vec<OpSpan>>,
     /// Optional access/synchronization observer (see [`ClusterMonitor`]).
     pub monitor: Option<Rc<dyn ClusterMonitor>>,
+    /// Injected communication-fabric faults (none by default).
+    pub comm_fault: CommFault,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -129,6 +192,7 @@ impl Cluster {
             noise: NoiseSpec::default(),
             op_spans: None,
             monitor: None,
+            comm_fault: CommFault::default(),
         }
     }
 
@@ -180,6 +244,30 @@ impl Cluster {
         }
     }
 
+    /// Every signal wait still parked on a counting table, with its full
+    /// counter context (blocked rank, group, reached count, unmet
+    /// threshold). After the event queue drains, each entry is a wait
+    /// whose threshold can never be met — the precise cause behind a
+    /// wedged stream that [`Cluster::check_quiescent`] reports.
+    pub fn stuck_waits(&self) -> Vec<StuckWait> {
+        let mut waits = Vec::new();
+        for device in &self.devices {
+            for (table, counters) in device.counter_tables() {
+                for waiter in counters.parked_waiters() {
+                    waits.push(StuckWait {
+                        device: waiter.completion.device(),
+                        stream: waiter.completion.stream(),
+                        table,
+                        group: waiter.group,
+                        count: counters.count(waiter.group),
+                        threshold: waiter.threshold,
+                    });
+                }
+            }
+        }
+        waits
+    }
+
     /// Checks that every stream has drained: no in-flight or queued
     /// operations remain.
     ///
@@ -190,8 +278,11 @@ impl Cluster {
     ///
     /// # Errors
     ///
-    /// Returns one line per wedged stream, naming the in-flight op.
+    /// Returns one line per wedged stream, naming the in-flight op — and,
+    /// when the wedge is a starved signal wait, the blocked rank, counter
+    /// group, reached count, and unmet threshold.
     pub fn check_quiescent(&self) -> Result<(), Vec<String>> {
+        let stuck_waits = self.stuck_waits();
         let mut stuck = Vec::new();
         for device in &self.devices {
             for (sid, stream) in device.streams.iter().enumerate() {
@@ -200,12 +291,19 @@ impl Cluster {
                         .current
                         .map(|(name, _, _)| name)
                         .unwrap_or("queued work");
-                    stuck.push(format!(
+                    let mut line = format!(
                         "device {} stream {sid}: {} in flight, {} queued ({what})",
                         device.id,
                         u32::from(stream.busy),
                         stream.queue.len(),
-                    ));
+                    );
+                    if let Some(wait) = stuck_waits
+                        .iter()
+                        .find(|w| w.device == device.id && w.stream == sid)
+                    {
+                        line = format!("{line} — {wait}");
+                    }
+                    stuck.push(line);
                 }
             }
         }
@@ -213,6 +311,29 @@ impl Cluster {
             Ok(())
         } else {
             Err(stuck)
+        }
+    }
+
+    /// Drops every not-yet-launched kernel queued on `(device, stream)`
+    /// and returns how many were discarded. The NCCL `commAbort` analog
+    /// for the watchdog: queued kernels have no completion token yet, so
+    /// discarding them is safe; an *in-flight* op is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device or stream does not exist.
+    pub fn abort_stream_queue(&mut self, device: DeviceId, stream: usize) -> usize {
+        let queue = &mut self.devices[device].streams[stream].queue;
+        let dropped = queue.len();
+        queue.clear();
+        dropped
+    }
+
+    /// Reports a fault/recovery occurrence to the monitor, if one is
+    /// attached (see [`crate::monitor::RuntimeEvent`]).
+    pub fn notify_runtime_event(&self, event: &crate::monitor::RuntimeEvent) {
+        if let Some(monitor) = &self.monitor {
+            monitor.on_runtime_event(event);
         }
     }
 }
@@ -248,6 +369,83 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn empty_cluster_panics() {
         let _ = Cluster::new(0, GpuArch::rtx4090(), false, 1);
+    }
+
+    #[test]
+    fn stuck_wait_diagnostic_names_rank_group_count_threshold() {
+        use crate::stream::{enqueue, WaitCounter};
+        let mut c = Cluster::new(2, GpuArch::rtx4090(), false, 1);
+        let mut sim: crate::ClusterSim = sim::Sim::new();
+        let s = c.devices[1].create_stream();
+        let table = c.devices[1].create_counter(3);
+        c.devices[1].counters[table].increment(2, 4);
+        enqueue(
+            &mut c,
+            &mut sim,
+            1,
+            s,
+            Box::new(WaitCounter {
+                table,
+                group: 2,
+                threshold: 9,
+            }),
+        );
+        sim.run(&mut c).unwrap();
+        let waits = c.stuck_waits();
+        assert_eq!(
+            waits,
+            vec![StuckWait {
+                device: 1,
+                stream: s,
+                table,
+                group: 2,
+                count: 4,
+                threshold: 9,
+            }]
+        );
+        let stuck = c.check_quiescent().unwrap_err();
+        assert_eq!(stuck.len(), 1);
+        assert!(
+            stuck[0].contains("rank 1")
+                && stuck[0].contains("group 2")
+                && stuck[0].contains("count 4")
+                && stuck[0].contains("threshold 9"),
+            "diagnostic missing counter context: {stuck:?}"
+        );
+    }
+
+    #[test]
+    fn abort_stream_queue_discards_queued_work_only() {
+        use crate::stream::{enqueue, Delay, WaitEvent};
+        let mut c = Cluster::new(1, GpuArch::rtx4090(), false, 1);
+        let mut sim: crate::ClusterSim = sim::Sim::new();
+        let s = c.devices[0].create_stream();
+        let ev = c.devices[0].create_event();
+        enqueue(&mut c, &mut sim, 0, s, Box::new(WaitEvent(ev)));
+        enqueue(
+            &mut c,
+            &mut sim,
+            0,
+            s,
+            Box::new(Delay(sim::SimDuration::from_nanos(5))),
+        );
+        sim.run(&mut c).unwrap();
+        // The wait is in flight (wedged); only the delay is queued.
+        assert_eq!(c.abort_stream_queue(0, s), 1);
+        assert!(c.check_quiescent().is_err(), "in-flight op untouched");
+    }
+
+    #[test]
+    fn comm_fault_stall_budget_is_consumed() {
+        let mut fault = CommFault {
+            slowdown: 0.5,
+            stall: sim::SimDuration::from_nanos(100),
+            stall_count: 2,
+        };
+        assert_eq!(fault.slowdown_factor(), 1.0, "slowdown clamps to >= 1");
+        assert!(fault.take_stall().is_some());
+        assert!(fault.take_stall().is_some());
+        assert!(fault.take_stall().is_none());
     }
 
     #[test]

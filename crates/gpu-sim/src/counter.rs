@@ -12,6 +12,8 @@
 //! indexing is opted out in favour of explicit bounds handling.
 #![warn(clippy::indexing_slicing)]
 
+use sim::SimDuration;
+
 use crate::stream::Completion;
 
 /// A signaling kernel blocked on a counter slot.
@@ -25,11 +27,30 @@ pub struct Waiter {
     pub completion: Completion,
 }
 
+/// What an armed fault does to one epilogue increment (fault injection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncrementFault {
+    /// The increment is lost: the count never advances (a lost signal).
+    Dropped,
+    /// The increment lands late: the count advances only after the delay.
+    Delayed(SimDuration),
+}
+
+/// An armed increment fault: the next `remaining` increments to `group`
+/// take `kind` instead of landing normally.
+#[derive(Debug, Clone, Copy)]
+struct ArmedFault {
+    group: usize,
+    kind: IncrementFault,
+    remaining: u32,
+}
+
 /// A counting table tracking per-group finished-tile counts.
 #[derive(Debug, Default)]
 pub struct CounterTable {
     counts: Vec<u32>,
     waiters: Vec<Vec<Waiter>>,
+    faults: Vec<ArmedFault>,
 }
 
 impl CounterTable {
@@ -38,6 +59,7 @@ impl CounterTable {
         CounterTable {
             counts: vec![0; groups],
             waiters: (0..groups).map(|_| Vec::new()).collect(),
+            faults: Vec::new(),
         }
     }
 
@@ -101,6 +123,44 @@ impl CounterTable {
     /// program lost a signal: some threshold can never be reached.
     pub fn parked_waiters(&self) -> impl Iterator<Item = &Waiter> {
         self.waiters.iter().flatten()
+    }
+
+    /// Removes and returns every parked waiter (watchdog recovery: the
+    /// caller decides what to do with the revoked completions). The counts
+    /// are left untouched.
+    pub fn take_parked(&mut self) -> Vec<Waiter> {
+        self.waiters.iter_mut().flat_map(std::mem::take).collect()
+    }
+
+    /// Arms a fault: the next `count` increments to `group` take `fault`
+    /// instead of landing normally (consumed by
+    /// [`CounterTable::take_increment_fault`] on the epilogue hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn arm_fault(&mut self, group: usize, fault: IncrementFault, count: u32) {
+        assert!(group < self.counts.len(), "group out of range");
+        if count > 0 {
+            self.faults.push(ArmedFault {
+                group,
+                kind: fault,
+                remaining: count,
+            });
+        }
+    }
+
+    /// Consumes one armed fault application for an increment to `group`,
+    /// if any is armed. Returns what the fault does to the increment.
+    pub fn take_increment_fault(&mut self, group: usize) -> Option<IncrementFault> {
+        let armed = self
+            .faults
+            .iter_mut()
+            .find(|f| f.group == group && f.remaining > 0)?;
+        armed.remaining -= 1;
+        let kind = armed.kind;
+        self.faults.retain(|f| f.remaining > 0);
+        Some(kind)
     }
 
     /// Resets all counts to zero (table reuse across iterations).
@@ -187,6 +247,44 @@ mod tests {
         let mut t = CounterTable::new(1);
         t.register(0, 1, completion());
         t.reset();
+    }
+
+    #[test]
+    fn armed_drop_fault_is_consumed_per_increment() {
+        let mut t = CounterTable::new(2);
+        t.arm_fault(1, IncrementFault::Dropped, 2);
+        assert_eq!(t.take_increment_fault(0), None);
+        assert_eq!(t.take_increment_fault(1), Some(IncrementFault::Dropped));
+        assert_eq!(t.take_increment_fault(1), Some(IncrementFault::Dropped));
+        assert_eq!(t.take_increment_fault(1), None, "fault budget exhausted");
+    }
+
+    #[test]
+    fn armed_delay_fault_carries_duration() {
+        let mut t = CounterTable::new(1);
+        let d = SimDuration::from_nanos(750);
+        t.arm_fault(0, IncrementFault::Delayed(d), 1);
+        assert_eq!(t.take_increment_fault(0), Some(IncrementFault::Delayed(d)));
+        assert_eq!(t.take_increment_fault(0), None);
+    }
+
+    #[test]
+    fn take_parked_revokes_waiters() {
+        let mut t = CounterTable::new(2);
+        assert!(t.register(0, 3, completion()).is_none());
+        assert!(t.register(1, 5, completion()).is_none());
+        let parked = t.take_parked();
+        assert_eq!(parked.len(), 2);
+        assert_eq!(t.parked_waiters().count(), 0);
+        // Counts untouched; a later register sees the real state.
+        assert_eq!(t.count(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "group out of range")]
+    fn arming_fault_out_of_range_panics() {
+        let mut t = CounterTable::new(1);
+        t.arm_fault(3, IncrementFault::Dropped, 1);
     }
 
     #[test]

@@ -84,6 +84,16 @@ impl Device {
         self.counters.iter().enumerate()
     }
 
+    /// Mutable access to a counting table (fault-injection hook: arming
+    /// dropped/delayed increments before a run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table does not exist.
+    pub fn counter_mut(&mut self, table: usize) -> &mut CounterTable {
+        &mut self.counters[table]
+    }
+
     /// SMs currently available to compute kernels: total minus those held
     /// by communication kernels, floored at [`Device::min_compute_sms`].
     pub fn avail_sms(&self) -> u32 {

@@ -405,16 +405,60 @@ fn finish_wave(mut run: GemmRun, count: usize, world: &mut Cluster, sim: &mut Cl
     if let Some(hook) = run.counter.clone() {
         let monitor = world.monitor.clone();
         let stream = run.completion.stream();
+        let device = run.device;
+        let table_idx = hook.table;
         let mut woken = Vec::new();
         for &t in &wave_tiles {
             let group = hook.group_of_tile[t as usize] as usize;
-            if let Some(monitor) = monitor.as_deref() {
-                monitor.on_counter_increment(sim.now(), run.device, stream, hook.table, group, 1);
+            // Fault injection: an armed fault can drop or delay this
+            // increment (the tile's data write above is unaffected — only
+            // the signal misbehaves, as when a real epilogue's atomic is
+            // lost or lands late across an incoherent interconnect).
+            let fault = world.devices[device].counters[table_idx].take_increment_fault(group);
+            match fault {
+                Some(crate::counter::IncrementFault::Dropped) => {
+                    world.notify_runtime_event(&crate::monitor::RuntimeEvent {
+                        at: sim.now(),
+                        device,
+                        kind: crate::monitor::RuntimeEventKind::FaultInjected,
+                        group: Some(group),
+                        detail: format!("dropped counter increment (tile {t})"),
+                    });
+                    continue;
+                }
+                Some(crate::counter::IncrementFault::Delayed(by)) => {
+                    world.notify_runtime_event(&crate::monitor::RuntimeEvent {
+                        at: sim.now(),
+                        device,
+                        kind: crate::monitor::RuntimeEventKind::FaultInjected,
+                        group: Some(group),
+                        detail: format!("delayed counter increment by {by:?} (tile {t})"),
+                    });
+                    sim.schedule_in(by, move |w, s| {
+                        if let Some(monitor) = w.monitor.clone() {
+                            monitor.on_counter_increment(
+                                s.now(),
+                                device,
+                                stream,
+                                table_idx,
+                                group,
+                                1,
+                            );
+                        }
+                        let late = w.devices[device].counters[table_idx].increment(group, 1);
+                        crate::stream::wake_counter_waiters(w, s, device, table_idx, late);
+                    });
+                    continue;
+                }
+                None => {}
             }
-            let table = &mut world.devices[run.device].counters[hook.table];
+            if let Some(monitor) = monitor.as_deref() {
+                monitor.on_counter_increment(sim.now(), device, stream, table_idx, group, 1);
+            }
+            let table = &mut world.devices[device].counters[table_idx];
             woken.extend(table.increment(group, 1));
         }
-        crate::stream::wake_counter_waiters(world, sim, run.device, hook.table, woken);
+        crate::stream::wake_counter_waiters(world, sim, device, table_idx, woken);
     }
 
     run.next += count;
@@ -676,6 +720,81 @@ mod tests {
         let total = grid.num_tiles();
         assert_eq!(world.devices[0].counter(table).count(0), total / 2);
         assert_eq!(world.devices[0].counter(table).count(1), total / 2);
+    }
+
+    #[test]
+    fn dropped_increment_fault_loses_exactly_that_many_signals() {
+        let dims = GemmDims::new(64, 64, 16);
+        let config = GemmConfig {
+            tile: TileShape::new(16, 16),
+            swizzle: Swizzle::Strip { width: 2 },
+        };
+        let mut world = Cluster::new(1, GpuArch::rtx4090(), false, 3);
+        let mut sim: ClusterSim = Sim::new();
+        let dev = &mut world.devices[0];
+        let a_id = dev.mem.alloc(1);
+        let b_id = dev.mem.alloc(1);
+        let out = dev.mem.alloc(1);
+        let stream = dev.create_stream();
+        let table = dev.create_counter(2);
+        dev.counters[table].arm_fault(1, crate::counter::IncrementFault::Dropped, 3);
+        let grid = config.grid(dims);
+        let groups: Vec<u32> = (0..grid.num_tiles()).map(|t| t % 2).collect();
+        let arch = world.devices[0].arch.clone();
+        let mut kernel = GemmKernel::plain(a_id, b_id, out, dims, &arch);
+        kernel.config = config;
+        kernel.counter = Some(CounterHook {
+            table,
+            group_of_tile: Rc::new(groups),
+        });
+        enqueue(&mut world, &mut sim, 0, stream, Box::new(kernel));
+        sim.run(&mut world).unwrap();
+        let total = grid.num_tiles();
+        assert_eq!(world.devices[0].counter(table).count(0), total / 2);
+        assert_eq!(world.devices[0].counter(table).count(1), total / 2 - 3);
+    }
+
+    #[test]
+    fn delayed_increment_fault_lands_late_but_completely() {
+        let dims = GemmDims::new(64, 64, 16);
+        let config = GemmConfig {
+            tile: TileShape::new(16, 16),
+            swizzle: Swizzle::Strip { width: 2 },
+        };
+        let run = |delayed: u32| -> (u32, u64) {
+            let mut world = Cluster::new(1, GpuArch::rtx4090(), false, 3);
+            let mut sim: ClusterSim = Sim::new();
+            let dev = &mut world.devices[0];
+            let a_id = dev.mem.alloc(1);
+            let b_id = dev.mem.alloc(1);
+            let out = dev.mem.alloc(1);
+            let stream = dev.create_stream();
+            let table = dev.create_counter(1);
+            dev.counters[table].arm_fault(
+                0,
+                crate::counter::IncrementFault::Delayed(SimDuration::from_micros(50)),
+                delayed,
+            );
+            let grid = config.grid(dims);
+            let groups: Vec<u32> = (0..grid.num_tiles()).map(|_| 0).collect();
+            let arch = world.devices[0].arch.clone();
+            let mut kernel = GemmKernel::plain(a_id, b_id, out, dims, &arch);
+            kernel.config = config;
+            kernel.counter = Some(CounterHook {
+                table,
+                group_of_tile: Rc::new(groups),
+            });
+            enqueue(&mut world, &mut sim, 0, stream, Box::new(kernel));
+            let end = sim.run(&mut world).unwrap();
+            (world.devices[0].counter(table).count(0), end.as_nanos())
+        };
+        let (clean_count, clean_end) = run(0);
+        let (count, end) = run(2);
+        assert_eq!(count, clean_count, "delayed increments still land");
+        assert!(
+            end >= clean_end + SimDuration::from_micros(50).as_nanos(),
+            "delayed increment should push the drain time: {end} vs {clean_end}"
+        );
     }
 
     #[test]

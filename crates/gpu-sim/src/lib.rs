@@ -30,10 +30,13 @@ pub mod tile;
 pub mod wave;
 
 pub use arch::GpuArch;
-pub use cluster::{Cluster, OpSpan, SpanMeta, TileCompletion};
+pub use cluster::{Cluster, CommFault, OpSpan, SpanMeta, StuckWait, TileCompletion};
+pub use counter::IncrementFault;
 pub use device::{Device, DeviceId};
 pub use memory::BufferId;
-pub use monitor::{Access, AccessKind, AccessScope, ClusterMonitor, LinkTransfer};
+pub use monitor::{
+    Access, AccessKind, AccessScope, ClusterMonitor, LinkTransfer, RuntimeEvent, RuntimeEventKind,
+};
 pub use stream::{Completion, GpuEventId, Kernel, LaunchCtx, StreamId};
 pub use tile::{TileGrid, TileShape};
 pub use wave::WaveSchedule;

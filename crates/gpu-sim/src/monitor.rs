@@ -84,6 +84,40 @@ pub struct LinkTransfer {
     pub end: SimTime,
 }
 
+/// The class of a fault-injection or watchdog-recovery occurrence, so
+/// traces can distinguish the injected cause from the runtime's response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuntimeEventKind {
+    /// A fault fired: an injected misbehaviour took effect (dropped or
+    /// delayed increment, link stall/degradation, straggler SMs, slow
+    /// rank).
+    FaultInjected,
+    /// A watchdog deadline expired and the runtime escalated.
+    WatchdogFired,
+    /// A starved group was recovered through the tail-collective path.
+    TailRecovery,
+    /// The overlap plan was abandoned; remaining output completed via
+    /// bulk non-overlapped collectives.
+    DegradedFallback,
+}
+
+/// One fault or recovery occurrence, reported by the fault-injection
+/// seams and the watchdog so telemetry can place instant events on the
+/// trace timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeEvent {
+    /// When the event took effect (simulated time).
+    pub at: SimTime,
+    /// The device the event concerns.
+    pub device: DeviceId,
+    /// Fault or recovery class.
+    pub kind: RuntimeEventKind,
+    /// The counter group concerned, when the event targets one.
+    pub group: Option<usize>,
+    /// Human-readable description (cause, parameters).
+    pub detail: String,
+}
+
 /// Observer of simulated memory accesses and synchronization edges.
 ///
 /// Default implementations ignore everything, so monitors override only
@@ -151,4 +185,12 @@ pub trait ClusterMonitor {
     /// A device's SM allocation changed: `compute_sms` and `comm_sms` are
     /// the occupancy totals *after* the change took effect at `at`.
     fn on_sm_occupancy(&self, _at: SimTime, _device: DeviceId, _compute_sms: u32, _comm_sms: u32) {}
+
+    /// A fault was injected or the watchdog performed a recovery action.
+    fn on_runtime_event(&self, _event: &RuntimeEvent) {}
+
+    /// A counting table was reset for reuse (steady-state double
+    /// buffering): all slot counts returned to zero, starting a new epoch
+    /// for every `(table, group)` label on `device`.
+    fn on_counter_reset(&self, _at: SimTime, _device: DeviceId, _stream: StreamId, _table: usize) {}
 }

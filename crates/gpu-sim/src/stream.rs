@@ -316,6 +316,58 @@ impl Kernel for Callback {
     }
 }
 
+/// Resets a counting table for reuse as a zero-duration stream op: every
+/// group count returns to zero (steady-state double buffering — a serving
+/// loop allocates tables once and ping-pongs between two sets instead of
+/// allocating per iteration). The caller must order the reset after the
+/// previous user's waits through an event edge; resetting under a parked
+/// waiter panics.
+#[derive(Debug, Clone, Copy)]
+pub struct ResetCounter {
+    /// Counting table index on the device.
+    pub table: usize,
+}
+
+impl Kernel for ResetCounter {
+    fn launch(self: Box<Self>, ctx: LaunchCtx, world: &mut Cluster, sim: &mut ClusterSim) {
+        world.devices[ctx.device].counters[self.table].reset();
+        if let Some(monitor) = world.monitor.clone() {
+            monitor.on_counter_reset(sim.now(), ctx.device, ctx.stream, self.table);
+        }
+        ctx.completion.finish(world, sim);
+    }
+
+    fn name(&self) -> &'static str {
+        "reset_counter"
+    }
+}
+
+/// Revokes every signal wait parked on `(device, table)` and finishes
+/// their completions immediately, unblocking the streams that were
+/// starving on lost signals. The counts themselves are untouched — this
+/// releases the *waiters*, not the signals. Recovery runtimes call this
+/// after clearing the stream queues so the released streams go idle
+/// instead of advancing into stale work. Returns the number of waits
+/// revoked.
+///
+/// # Panics
+///
+/// Panics if the device or table does not exist.
+pub fn abort_counter_waits(
+    world: &mut Cluster,
+    sim: &mut ClusterSim,
+    device: DeviceId,
+    table: usize,
+) -> usize {
+    let waiters = world.devices[device].counters[table].take_parked();
+    let revoked = waiters.len();
+    for waiter in waiters {
+        let completion = waiter.completion;
+        sim.schedule_now(move |w, s| completion.finish(w, s));
+    }
+    revoked
+}
+
 /// Wakes counter waiters returned by an increment: each parked signaling
 /// kernel observes the counter after its polling delay.
 pub(crate) fn wake_counter_waiters(

@@ -69,6 +69,19 @@ impl FabricSpec {
         self.p2p.peak_gbps = peak_gbps;
         self
     }
+
+    /// Returns a copy of this fabric with every link degraded by `factor`
+    /// (0 < factor ≤ 1): peak bandwidth is scaled down by `factor` and the
+    /// per-call overhead scaled up by `1/factor`. Models a congested or
+    /// partially failed link (e.g. a PCIe switch renegotiating to a lower
+    /// generation) for fault-injection campaigns.
+    pub fn degraded(mut self, factor: f64) -> Self {
+        let factor = factor.clamp(f64::MIN_POSITIVE, 1.0);
+        self.p2p.peak_gbps *= factor;
+        let overhead = self.p2p.call_overhead_ns as f64 / factor;
+        self.p2p.call_overhead_ns = overhead.min(u64::MAX as f64) as u64;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +111,17 @@ mod tests {
     fn with_peak_scales() {
         let f = FabricSpec::rtx4090_pcie().with_peak_gbps(24.0);
         assert_eq!(f.p2p.peak_gbps, 24.0);
+    }
+
+    #[test]
+    fn degraded_scales_bandwidth_down_and_overhead_up() {
+        let base = FabricSpec::rtx4090_pcie();
+        let bad = base.clone().degraded(0.25);
+        assert_eq!(bad.p2p.peak_gbps, base.p2p.peak_gbps * 0.25);
+        assert_eq!(bad.p2p.call_overhead_ns, base.p2p.call_overhead_ns * 4);
+        // Degradation never *improves* a link.
+        let noop = base.clone().degraded(4.0);
+        assert_eq!(noop.p2p.peak_gbps, base.p2p.peak_gbps);
     }
 
     #[test]

@@ -460,6 +460,19 @@ impl ClusterMonitor for Inner {
     fn on_rendezvous(&self, _at: SimTime, participants: &[(DeviceId, StreamId)]) {
         self.state.borrow_mut().rendezvous(participants);
     }
+
+    fn on_counter_reset(&self, _at: SimTime, device: DeviceId, _stream: StreamId, table: usize) {
+        // Epoch boundary: a reset slot's accumulated release label
+        // describes signals a previous layer/iteration consumed. A wait of
+        // the new epoch must be ordered only by the new epoch's
+        // increments, so the stale labels are dropped — otherwise an
+        // acquire against a reused slot would inherit edges no surviving
+        // signal justifies.
+        self.state
+            .borrow_mut()
+            .counter_labels
+            .retain(|&(d, t, _), _| d != device || t != table);
+    }
 }
 
 impl EngineProbe<Cluster> for Inner {
@@ -877,6 +890,42 @@ mod tests {
         assert_eq!(s.suppressed(), 10);
         assert!(!s.is_clean());
         assert!(s.summary().contains("suppressed"), "{}", s.summary());
+    }
+
+    #[test]
+    fn reset_reused_slot_does_not_leak_stale_edges() {
+        let s = Sanitizer::new();
+        let m = s.monitor();
+        // Epoch 1: a tile write released into the slot's label (via a later
+        // increment of the same table, which folds the write's clock in).
+        m.on_access(&access(
+            0,
+            0,
+            3,
+            0..128,
+            AccessKind::Write,
+            AccessScope::TileWrite,
+            Some(0),
+        ));
+        m.on_counter_increment(SimTime::ZERO, 0, 0, 0, 1, 1);
+        // The table is reset for reuse: accumulated labels must not survive
+        // the epoch boundary.
+        m.on_counter_reset(SimTime::ZERO, 0, 0, 0);
+        // Epoch 2: a wait satisfied against the reused slot acquires
+        // nothing, so the collective read still races the unsignalled
+        // write.
+        m.on_counter_satisfied(SimTime::ZERO, 0, 1, 0, 1, 1);
+        m.on_access(&access(
+            0,
+            1,
+            3,
+            0..128,
+            AccessKind::Read,
+            AccessScope::CollectiveSend,
+            None,
+        ));
+        assert_eq!(s.reports().len(), 1, "{:?}", s.reports());
+        assert_eq!(s.reports()[0].kind(), "use-before-signal");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!
 //! Timestamps are microseconds (the trace-event format's unit).
 
-use gpu_sim::{OpSpan, SpanMeta};
+use gpu_sim::{OpSpan, RuntimeEventKind, SpanMeta};
 use sim::SimTime;
 
 use crate::json::Value;
@@ -101,6 +101,7 @@ pub fn trace(spans: &[OpSpan], record: Option<&TelemetryRecord>) -> Value {
     if let Some(record) = record {
         flow_events(record, spans, &mut events);
         counter_events(record, &mut events);
+        instant_events(record, &mut events);
     }
 
     Value::obj(vec![
@@ -157,6 +158,34 @@ fn flow_events(record: &TelemetryRecord, spans: &[OpSpan], events: &mut Vec<Valu
         // Bind to the enclosing (collective) slice that begins here.
         f.push(("bp", Value::str("e")));
         events.push(Value::obj(f));
+    }
+}
+
+/// Instant markers (`ph: "i"`, process scope) for fault-injection and
+/// watchdog-recovery occurrences — the recovery timeline of a resilient
+/// run, placed on the affected device's track.
+fn instant_events(record: &TelemetryRecord, events: &mut Vec<Value>) {
+    for ev in &record.runtime_events {
+        let name = match ev.kind {
+            RuntimeEventKind::FaultInjected => "fault-injected",
+            RuntimeEventKind::WatchdogFired => "watchdog-fired",
+            RuntimeEventKind::TailRecovery => "tail-recovery",
+            RuntimeEventKind::DegradedFallback => "degraded-fallback",
+        };
+        let mut e = event("i", name, ev.device, 0, us(ev.at));
+        e.push(("s", Value::str("p")));
+        e.push(("cat", Value::str("resilience")));
+        e.push((
+            "args",
+            Value::obj(vec![
+                ("detail", Value::str(ev.detail.clone())),
+                (
+                    "group",
+                    ev.group.map_or(Value::Null, |g| Value::num(g as f64)),
+                ),
+            ]),
+        ));
+        events.push(Value::obj(e));
     }
 }
 

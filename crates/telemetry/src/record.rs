@@ -88,6 +88,9 @@ pub struct TelemetryRecord {
     /// GPU event records/waits, kept for completeness: `(at, device,
     /// stream, event, is_wait)`.
     pub gpu_events: Vec<(SimTime, DeviceId, StreamId, GpuEventId, bool)>,
+    /// Fault-injection and watchdog-recovery occurrences, in arrival
+    /// order (the recovery timeline of a resilient run).
+    pub runtime_events: Vec<gpu_sim::RuntimeEvent>,
     /// When the engine last drained its queue (end of run).
     pub drained_at: Option<SimTime>,
 }
@@ -168,6 +171,10 @@ impl ClusterMonitor for Inner {
             compute_sms,
             comm_sms,
         });
+    }
+
+    fn on_runtime_event(&self, event: &gpu_sim::RuntimeEvent) {
+        self.state.borrow_mut().runtime_events.push(event.clone());
     }
 }
 
