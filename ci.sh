@@ -59,4 +59,32 @@ print(f"chaos smoke: ok ({recovered} recovered, "
       f"{sum(r['outcome'] == 'degraded' for r in chaos['results'])} degraded)")
 EOF
 
+echo "== serve smoke (seeded continuous batching, full accounting, warm cache) =="
+# Two identical seeded runs: the byte-compare is the determinism gate,
+# the timeout is the no-silent-hang gate.
+timeout 300 cargo run -q -p flashoverlap-cli --bin flashoverlap -- serve \
+  --requests 120 --seed 7 --chaos --metrics-out "$tmp/serve.json" > /dev/null
+timeout 300 cargo run -q -p flashoverlap-cli --bin flashoverlap -- serve \
+  --requests 120 --seed 7 --chaos --metrics-out "$tmp/serve2.json" > /dev/null
+cmp "$tmp/serve.json" "$tmp/serve2.json" \
+  || { echo "serve smoke: same seed wrote different metrics"; exit 1; }
+python3 - "$tmp/serve.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    serve = json.load(f)
+reqs = serve["requests"]
+assert reqs["completed"] + reqs["shed"] == serve["offered"], reqs
+assert reqs["clean"] + reqs["recovered"] + reqs["degraded"] == reqs["completed"], reqs
+assert serve["plan_cache"]["hit_rate"] > 0, "token buckets must drive plan reuse"
+assert serve["plan_cache"]["hits"] + serve["plan_cache"]["misses"] \
+    == serve["batches"]["executed"], "every batch takes exactly one cache lookup"
+dispositions = {r["disposition"] for r in serve["per_request"]}
+assert dispositions <= {"clean", "recovered", "degraded", "shed"}, dispositions
+assert len(serve["per_request"]) == serve["offered"], "every request accounted"
+assert serve["latency"]["p50_ns"] <= serve["latency"]["p99_ns"], serve["latency"]
+print(f"serve smoke: ok (hit rate {serve['plan_cache']['hit_rate']:.2f}, "
+      f"{reqs['recovered']} recovered, {reqs['degraded']} degraded, "
+      f"{reqs['shed']} shed)")
+EOF
+
 echo "ci: all gates passed"

@@ -58,6 +58,19 @@ pub enum Command {
     /// Run a seeded fault-injection campaign sweep through the watchdog
     /// runtime and verify every verdict against the fault-free reference.
     Chaos,
+    /// Serve a seeded request trace through the continuous-batching
+    /// scheduler with the tuned-plan cache and print the SLO report.
+    Serve,
+}
+
+/// Arrival process selector for the `serve` command (rates attach in
+/// the command layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeArrival {
+    /// Poisson arrivals at `--rate`.
+    Poisson,
+    /// Calm/burst modulated arrivals around `--rate`.
+    Bursty,
 }
 
 /// Parsed command-line options.
@@ -96,11 +109,24 @@ pub struct Cli {
     pub mutation: Option<SignalMutation>,
     /// Number of fault campaigns for the `chaos` command.
     pub campaigns: usize,
+    /// Number of requests for the `serve` command.
+    pub requests: usize,
+    /// Arrival process for the `serve` command.
+    pub arrival: ServeArrival,
+    /// Mean arrival rate in requests per second (`serve`).
+    pub rate: f64,
+    /// Latency SLO in milliseconds (`serve`).
+    pub slo_ms: f64,
+    /// Arm per-batch fault injection during `serve`.
+    pub serve_chaos: bool,
+    /// Also serve the untuned non-overlap baseline and report speedups
+    /// (`serve`).
+    pub baseline: bool,
 }
 
 /// The usage text printed on `--help` or parse errors.
 pub const USAGE: &str = "\
-usage: flashoverlap <tune|run|compare|timeline|profile|chaos> [options]
+usage: flashoverlap <tune|run|compare|timeline|profile|chaos|serve> [options]
 
 options:
   -m, -n, -k <int>        GEMM dimensions (required except for chaos,
@@ -128,11 +154,26 @@ options:
   --campaigns <int>       chaos: number of seeded fault campaigns
                           (default: 20); campaign i draws faults from
                           seed + i
+  --requests <int>        serve: requests to offer (default: 200)
+  --arrival <name>        serve: poisson | bursty (default: poisson)
+  --rate <float>          serve: mean arrival rate in requests per second
+                          (default: 500); bursty alternates calm/burst
+                          phases around this mean
+  --slo-ms <float>        serve: latency SLO in milliseconds (default: 20)
+  --chaos                 serve: arm a deterministic per-batch fault plan
+                          and execute through the resilient runtime
+  --baseline              serve: also serve the identical trace with
+                          untuned non-overlap plans and report speedups
   -h, --help              this text
 
 chaos verdicts: every campaign must end bit-exact (clean or recovered via
 tail collectives) or degraded with a named cause; anything else counts as
 a violation and fails the sweep.
+
+serve accounting: every offered request terminates as clean, recovered,
+degraded (chaos), or shed at admission; the report carries p50/p95/p99
+latency, goodput, shed rate, and plan-cache hit rate. serve defaults to
+--gpus 2 and ignores -m/-n/-k (shapes come from the traffic mix).
 ";
 
 fn parse_u32(flag: &str, value: Option<&String>) -> Result<u32, CliError> {
@@ -140,6 +181,17 @@ fn parse_u32(flag: &str, value: Option<&String>) -> Result<u32, CliError> {
         .ok_or_else(|| CliError::usage(format!("missing value for {flag}")))?
         .parse()
         .map_err(|_| CliError::usage(format!("invalid integer for {flag}")))
+}
+
+fn parse_f64(flag: &str, value: Option<&String>) -> Result<f64, CliError> {
+    let v: f64 = value
+        .ok_or_else(|| CliError::usage(format!("missing value for {flag}")))?
+        .parse()
+        .map_err(|_| CliError::usage(format!("invalid number for {flag}")))?;
+    if !v.is_finite() || v <= 0.0 {
+        return Err(CliError::usage(format!("{flag} must be positive")));
+    }
+    Ok(v)
 }
 
 /// Parses a `rank,group` pair for the signal-mutation flags.
@@ -173,6 +225,7 @@ impl Cli {
             Some("timeline") => Command::Timeline,
             Some("profile") => Command::Profile,
             Some("chaos") => Command::Chaos,
+            Some("serve") => Command::Serve,
             Some("-h") | Some("--help") | None => {
                 return Err(CliError::usage("".to_string()));
             }
@@ -185,8 +238,13 @@ impl Cli {
         let mut k = None;
         let mut primitive = Primitive::AllReduce;
         // Chaos sweeps default to the miniature two-rank campaign system
-        // (matching `ChaosConfig::default`) so 50-campaign runs stay fast.
-        let mut gpus = if command == Command::Chaos { 2 } else { 4 };
+        // (matching `ChaosConfig::default`) so 50-campaign runs stay fast;
+        // serve does the same so hundred-request traces stay fast.
+        let mut gpus = if matches!(command, Command::Chaos | Command::Serve) {
+            2
+        } else {
+            4
+        };
         let mut platform = GpuKind::Rtx4090;
         let mut partition = None;
         let mut seed = 7u64;
@@ -196,6 +254,12 @@ impl Cli {
         let mut sanitize = false;
         let mut mutation = None;
         let mut campaigns = 20usize;
+        let mut requests = 200usize;
+        let mut arrival = ServeArrival::Poisson;
+        let mut rate = 500.0f64;
+        let mut slo_ms = 20.0f64;
+        let mut serve_chaos = false;
+        let mut baseline = false;
         while let Some(flag) = it.next() {
             match flag.as_str() {
                 "-m" => m = Some(parse_u32("-m", it.next())?),
@@ -276,6 +340,28 @@ impl Cli {
                         return Err(CliError::usage("--campaigns must be at least 1"));
                     }
                 }
+                "--requests" => {
+                    requests = parse_u32("--requests", it.next())? as usize;
+                    if requests == 0 {
+                        return Err(CliError::usage("--requests must be at least 1"));
+                    }
+                }
+                "--arrival" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::usage("missing value for --arrival"))?;
+                    arrival = match v.to_lowercase().as_str() {
+                        "poisson" => ServeArrival::Poisson,
+                        "bursty" => ServeArrival::Bursty,
+                        other => {
+                            return Err(CliError::usage(format!("unknown arrival: {other}")));
+                        }
+                    };
+                }
+                "--rate" => rate = parse_f64("--rate", it.next())?,
+                "--slo-ms" => slo_ms = parse_f64("--slo-ms", it.next())?,
+                "--chaos" => serve_chaos = true,
+                "--baseline" => baseline = true,
                 "--drop-signal" => {
                     let (rank, group) = parse_rank_group("--drop-signal", it.next())?;
                     mutation = Some(SignalMutation::DropWait { rank, group });
@@ -291,8 +377,9 @@ impl Cli {
             }
         }
         // Chaos has a sensible built-in workload (the default campaign
-        // shape); every other command needs explicit dimensions.
-        let (m, n, k) = if command == Command::Chaos {
+        // shape) and serve draws shapes from the traffic mix; every other
+        // command needs explicit dimensions.
+        let (m, n, k) = if matches!(command, Command::Chaos | Command::Serve) {
             (m.unwrap_or(384), n.unwrap_or(512), k.unwrap_or(64))
         } else {
             let (Some(m), Some(n), Some(k)) = (m, n, k) else {
@@ -319,6 +406,12 @@ impl Cli {
             sanitize,
             mutation,
             campaigns,
+            requests,
+            arrival,
+            rate,
+            slo_ms,
+            serve_chaos,
+            baseline,
         })
     }
 }
@@ -467,6 +560,51 @@ mod tests {
         assert_eq!(cli.campaigns, 20);
         assert!(
             Cli::parse(&argv("chaos --campaigns 0"))
+                .unwrap_err()
+                .show_usage
+        );
+    }
+
+    #[test]
+    fn serve_defaults_and_flags_parse() {
+        let cli = Cli::parse(&argv("serve")).unwrap();
+        assert_eq!(cli.command, Command::Serve);
+        assert_eq!(cli.requests, 200);
+        assert_eq!(cli.arrival, ServeArrival::Poisson);
+        assert_eq!(cli.gpus, 2, "serve defaults to the two-rank system");
+        assert!((cli.rate - 500.0).abs() < 1e-9);
+        assert!((cli.slo_ms - 20.0).abs() < 1e-9);
+        assert!(!cli.serve_chaos && !cli.baseline);
+        let cli = Cli::parse(&argv(
+            "serve --requests 50 --arrival bursty --rate 800 --slo-ms 2.5 \
+             --seed 9 --chaos --baseline --gpus 4 --metrics-out s.json",
+        ))
+        .unwrap();
+        assert_eq!(cli.requests, 50);
+        assert_eq!(cli.arrival, ServeArrival::Bursty);
+        assert!((cli.rate - 800.0).abs() < 1e-9);
+        assert!((cli.slo_ms - 2.5).abs() < 1e-9);
+        assert_eq!(cli.seed, 9);
+        assert!(cli.serve_chaos && cli.baseline);
+        assert_eq!(cli.gpus, 4);
+        assert_eq!(cli.metrics_out.as_deref(), Some("s.json"));
+    }
+
+    #[test]
+    fn serve_rejects_bad_values() {
+        assert!(
+            Cli::parse(&argv("serve --requests 0"))
+                .unwrap_err()
+                .show_usage
+        );
+        assert!(
+            Cli::parse(&argv("serve --arrival sometimes"))
+                .unwrap_err()
+                .show_usage
+        );
+        assert!(Cli::parse(&argv("serve --rate -3")).unwrap_err().show_usage);
+        assert!(
+            Cli::parse(&argv("serve --slo-ms 0"))
                 .unwrap_err()
                 .show_usage
         );

@@ -13,7 +13,7 @@ use telemetry::json::Value;
 
 use flashoverlap::runtime::CommPattern;
 
-use crate::args::{Cli, CliError, Command};
+use crate::args::{Cli, CliError, Command, ServeArrival};
 
 /// Profiles every method on the workload and writes the metrics report
 /// (and, for the `profile` command, the Perfetto trace). Returns the
@@ -179,6 +179,43 @@ fn execute_chaos(cli: &Cli) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Runs the `serve` command: a seeded continuous-batching trace through
+/// the tuned-plan cache, with optional chaos and baseline arms.
+fn execute_serve(cli: &Cli) -> Result<String, CliError> {
+    let system = system_for(cli.platform, cli.gpus).with_algorithm(cli.algorithm);
+    let mut config = serving::ServeConfig::new(system);
+    config.seed = cli.seed;
+    config.requests = cli.requests;
+    config.slo_ns = (cli.slo_ms * 1e6).round() as u64;
+    config.chaos = cli.serve_chaos;
+    config.process = match cli.arrival {
+        ServeArrival::Poisson => serving::ArrivalProcess::Poisson { rate_rps: cli.rate },
+        // Bursty keeps the requested mean: half-rate calm phases
+        // alternating with 8x-rate bursts, 5 ms mean phase length.
+        ServeArrival::Bursty => serving::ArrivalProcess::Bursty {
+            base_rps: cli.rate * 0.5,
+            burst_rps: cli.rate * 8.0,
+            mean_phase_ms: 5.0,
+        },
+    };
+    let (out, json) = if cli.baseline {
+        let cmp = serving::serve_comparison(&config)
+            .map_err(|e| CliError::runtime(format!("serve comparison failed: {e}")))?;
+        (cmp.summary(), cmp.to_json())
+    } else {
+        let report =
+            serving::serve(&config).map_err(|e| CliError::runtime(format!("serve failed: {e}")))?;
+        (report.summary(), report.to_json())
+    };
+    let mut out = out;
+    if let Some(path) = &cli.metrics_out {
+        std::fs::write(path, json.to_json_pretty())
+            .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
+        out.push_str(&format!("metrics written to {path}\n"));
+    }
+    Ok(out)
+}
+
 /// Executes the parsed command, returning the report text.
 ///
 /// # Errors
@@ -189,6 +226,10 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
         // Chaos builds its own miniature campaign system; the shared
         // plan-construction preamble below does not apply.
         return execute_chaos(cli);
+    }
+    if cli.command == Command::Serve {
+        // Serve draws its GEMM shapes from the traffic mix, not -m/-n/-k.
+        return execute_serve(cli);
     }
     let dims = GemmDims::new(cli.m, cli.n, cli.k);
     let system = system_for(cli.platform, cli.gpus).with_algorithm(cli.algorithm);
@@ -308,6 +349,7 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
         }
         // Dispatched before the plan preamble above.
         Command::Chaos => unreachable!("chaos is handled by execute_chaos"),
+        Command::Serve => unreachable!("serve is handled by execute_serve"),
     }
     Ok(out)
 }
@@ -426,6 +468,46 @@ mod tests {
             std::env::temp_dir().join(format!("flashoverlap-cli-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name)
+    }
+
+    #[test]
+    fn serve_reports_and_writes_deterministic_metrics() {
+        let metrics_a = temp_path("serve-a.json");
+        let metrics_b = temp_path("serve-b.json");
+        let cmd = |path: &std::path::Path| {
+            format!(
+                "serve --requests 40 --seed 3 --metrics-out {}",
+                path.display()
+            )
+        };
+        let out = execute_argv(&argv(&cmd(&metrics_a))).unwrap();
+        assert!(out.contains("serve: 40 offered"));
+        assert!(out.contains("plan cache hit rate"));
+        assert!(out.contains("goodput"));
+        execute_argv(&argv(&cmd(&metrics_b))).unwrap();
+        let a = std::fs::read_to_string(&metrics_a).unwrap();
+        let b = std::fs::read_to_string(&metrics_b).unwrap();
+        assert_eq!(a, b, "same seed must write byte-identical metrics");
+        let json = telemetry::json::parse(&a).unwrap();
+        assert_eq!(
+            json.get("kind").and_then(|v| v.as_str()),
+            Some("flashoverlap-serve")
+        );
+    }
+
+    #[test]
+    fn serve_baseline_reports_speedup() {
+        let out = execute_argv(&argv("serve --requests 30 --seed 5 --baseline")).unwrap();
+        assert!(out.contains("tuned arm:"));
+        assert!(out.contains("baseline (non-overlap) arm:"));
+        assert!(out.contains("speedup tuned vs baseline"));
+    }
+
+    #[test]
+    fn serve_chaos_accounts_every_request() {
+        let out = execute_argv(&argv("serve --requests 30 --seed 11 --chaos")).unwrap();
+        assert!(out.contains("with chaos"));
+        assert!(out.contains("completed"));
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //!   complete rows.
 //! - [`token_map::TokenMapping`] (All-to-All): rows (tokens) route to
 //!   per-destination memory pools.
+//!
+//! The mapping builders run once per plan but their tables are read on
+//! every epilogue write and remap, so unchecked indexing is opted out
+//! across the module; each site carries its index proof in the `expect`
+//! message (ROADMAP: "extend to the mapping builders once their index
+//! proofs are written down").
+#![warn(clippy::indexing_slicing)]
 
 pub mod subtile_map;
 pub mod tile_map;
@@ -66,8 +73,17 @@ impl GroupLayout {
             let mut wave_tiles: Vec<u32> = schedule.wave(w).to_vec();
             wave_tiles.sort_unstable();
             for &t in &wave_tiles {
-                group_of_tile[t as usize] = g as u32;
-                group_tile_counts[g] += 1;
+                // Index proofs: the schedule's waves partition exactly the
+                // tiles 0..num_tiles (WaveSchedule invariant), so t is in
+                // range; group_of_wave returns < num_groups for any wave
+                // the partition covers, and the assert above pins the
+                // partition to this schedule.
+                *group_of_tile
+                    .get_mut(t as usize)
+                    .expect("schedule tile ids are < num_tiles") = g as u32;
+                *group_tile_counts
+                    .get_mut(g)
+                    .expect("group_of_wave returns < num_groups") += 1;
             }
             reorder_order.extend(wave_tiles);
         }
@@ -84,16 +100,37 @@ impl GroupLayout {
     }
 
     /// Tiles (packed order) of group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= num_groups()`.
     pub fn group_tiles(&self, g: usize) -> impl Iterator<Item = u32> + '_ {
-        let start: u32 = self.group_tile_counts[..g].iter().sum();
-        let end = start + self.group_tile_counts[g];
-        self.reorder_order[start as usize..end as usize]
+        // Index proofs: g is bounds-checked by the first get; the prefix
+        // sums of group_tile_counts total reorder_order.len() (every tile
+        // is packed exactly once), so [start, end) is within the packed
+        // order.
+        let start: u32 = self
+            .group_tile_counts
+            .get(..g)
+            .expect("group out of range")
+            .iter()
+            .sum();
+        let end = start
+            + self
+                .group_tile_counts
+                .get(g)
+                .copied()
+                .expect("group out of range");
+        self.reorder_order
+            .get(start as usize..end as usize)
+            .expect("group tile counts sum to the packed tile count")
             .iter()
             .copied()
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)]
 mod tests {
     use super::*;
     use gpu_sim::swizzle::Swizzle;

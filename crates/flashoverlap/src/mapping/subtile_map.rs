@@ -100,17 +100,23 @@ impl SubtileMapping {
             let block: usize = tiles.iter().map(|&t| subtile_elems(t)).sum();
             let group_start = send_acc;
             recv_group_offset.push(recv_acc);
-            // Indexing by `dest` mirrors the layout math; an iterator
-            // would obscure the offset arithmetic.
-            #[expect(clippy::needless_range_loop)]
             for dest in 0..n_ranks {
                 let mut within = 0usize;
                 for &t in &tiles {
                     let offset = group_start + dest * block + within;
-                    subtile_send_offset[t as usize][dest] = offset;
+                    // Index proofs: group_tiles yields tiles of the grid
+                    // (t < num_tiles, the outer Vec length), and dest
+                    // ranges over 0..n_ranks (the inner Vec length).
+                    *subtile_send_offset
+                        .get_mut(t as usize)
+                        .expect("group_tiles yields in-grid tiles")
+                        .get_mut(dest)
+                        .expect("dest ranges over n_ranks") = offset;
                     if dest == 0 {
                         // Receive layout mirrors one dest block per group.
-                        recv_subtile_offset[t as usize] = recv_acc + within;
+                        *recv_subtile_offset
+                            .get_mut(t as usize)
+                            .expect("group_tiles yields in-grid tiles") = recv_acc + within;
                     }
                     within += subtile_elems(t);
                 }
@@ -158,7 +164,14 @@ impl SubtileMapping {
         let dest = (r as usize) % self.n_ranks;
         // Rows of this tile with the same parity, below r.
         let row_in_subtile = ((r - rows.start) / self.n_ranks as u32) as usize;
-        self.subtile_send_offset[t as usize][dest]
+        // Index proofs: tile_at returns an in-grid tile (table length is
+        // num_tiles), and dest = r % n_ranks < n_ranks (inner length).
+        *self
+            .subtile_send_offset
+            .get(t as usize)
+            .expect("tile_at returns an in-grid tile")
+            .get(dest)
+            .expect("r % n_ranks is < n_ranks")
             + row_in_subtile * width
             + (c - cols.start) as usize
     }
@@ -181,7 +194,14 @@ impl SubtileMapping {
         let cols = self.grid.cols_of(t);
         let width = (cols.end - cols.start) as usize;
         let row_in_subtile = ((r - rows.start) / self.n_ranks as u32) as usize;
-        self.recv_subtile_offset[t as usize] + row_in_subtile * width + (c - cols.start) as usize
+        // Index proof: tile_at returns an in-grid tile; the table holds
+        // one entry per tile.
+        *self
+            .recv_subtile_offset
+            .get(t as usize)
+            .expect("tile_at returns an in-grid tile")
+            + row_in_subtile * width
+            + (c - cols.start) as usize
     }
 
     /// The post-communication element gather for rank `k`: restores the
@@ -219,6 +239,7 @@ impl SubtileMapping {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)]
 mod tests {
     use super::*;
     use gpu_sim::swizzle::Swizzle;

@@ -43,7 +43,12 @@ impl TileMapping {
         let mut slot_offset = Vec::with_capacity(num_tiles);
         let mut acc = 0usize;
         for (slot, &t) in layout.reorder_order.iter().enumerate() {
-            slot_of_tile[t as usize] = slot as u32;
+            // Index proof: reorder_order is a permutation of
+            // 0..num_tiles (GroupLayout invariant), so t indexes
+            // slot_of_tile.
+            *slot_of_tile
+                .get_mut(t as usize)
+                .expect("reorder_order permutes 0..num_tiles") = slot as u32;
             slot_offset.push(acc);
             acc += grid.tile_elems(t) as usize;
         }
@@ -51,13 +56,24 @@ impl TileMapping {
         let mut group_regions = Vec::with_capacity(layout.num_groups());
         let mut slot = 0usize;
         for g in 0..layout.num_groups() {
-            let tiles = layout.group_tile_counts[g] as usize;
-            let start = slot_offset[slot];
+            let tiles = *layout
+                .group_tile_counts
+                .get(g)
+                .expect("g ranges over num_groups") as usize;
+            // Index proofs: slot walks the prefix sums of
+            // group_tile_counts, which total num_tiles, so slot <
+            // num_tiles here and end_slot <= num_tiles (the == case is
+            // handled without indexing).
+            let start = *slot_offset
+                .get(slot)
+                .expect("slot stays below the packed tile count");
             let end_slot = slot + tiles;
             let end = if end_slot == num_tiles {
                 acc
             } else {
-                slot_offset[end_slot]
+                *slot_offset
+                    .get(end_slot)
+                    .expect("non-final group ends below the packed tile count")
             };
             group_regions.push((start, end - start));
             slot = end_slot;
@@ -78,8 +94,21 @@ impl TileMapping {
     }
 
     /// Element offset of tile `t`'s block in the packed buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not a tile of the grid.
     pub fn tile_base(&self, t: u32) -> usize {
-        self.slot_offset[self.slot_of_tile[t as usize] as usize]
+        // Index proof: slot_of_tile values are enumeration indices of
+        // reorder_order, hence < num_tiles == slot_offset.len().
+        let slot = *self
+            .slot_of_tile
+            .get(t as usize)
+            .expect("tile out of range");
+        *self
+            .slot_offset
+            .get(slot as usize)
+            .expect("slots enumerate the packed order")
     }
 
     /// Packed-buffer index of logical element `(r, c)`.
@@ -109,8 +138,12 @@ impl TileMapping {
 
     /// Receive-buffer region of group `g` under AllGather: each group's
     /// region expands by the rank count, preserving group order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
     pub fn all_gather_recv_region(&self, g: usize, n_ranks: usize) -> (usize, usize) {
-        let (offset, count) = self.group_regions[g];
+        let (offset, count) = *self.group_regions.get(g).expect("group out of range");
         (offset * n_ranks, count * n_ranks)
     }
 
@@ -128,8 +161,18 @@ impl TileMapping {
                 let tile = self
                     .grid
                     .tile_at(r / self.grid.tile().m, local_col / self.grid.tile().n);
-                let g = self.layout.group_of_tile[tile as usize] as usize;
-                let (off, count) = self.group_regions[g];
+                // Index proofs: tile_at returns a tile of the grid
+                // (< num_tiles), and group_of_tile values come from
+                // group_of_wave (< num_groups == group_regions.len()).
+                let g = *self
+                    .layout
+                    .group_of_tile
+                    .get(tile as usize)
+                    .expect("tile_at returns an in-grid tile") as usize;
+                let (off, count) = *self
+                    .group_regions
+                    .get(g)
+                    .expect("group ids are < num_groups");
                 let recv_idx = n_ranks * off + src * count + (p - off);
                 map.push(recv_idx as u32);
             }
@@ -153,6 +196,7 @@ impl TileMapping {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)]
 mod tests {
     use super::*;
     use gpu_sim::swizzle::Swizzle;

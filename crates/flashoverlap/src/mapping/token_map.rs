@@ -107,8 +107,22 @@ impl TokenMapping {
             vec![vec![vec![Vec::new(); n_ranks]; num_groups]; n_ranks];
         for (src, table) in routing.iter().enumerate() {
             for (row, &dest) in table.iter().enumerate() {
-                let g = group_of_row[row] as usize;
-                pools[src][g][dest].push(row as u32);
+                // Index proofs: every table has exactly m entries
+                // (validated above) and group_of_row has one entry per
+                // row; src enumerates routing (< n_ranks), g comes from
+                // group_of_wave (< num_groups), and dest was validated
+                // < n_ranks above.
+                let g = *group_of_row
+                    .get(row)
+                    .expect("tables have one entry per row") as usize;
+                pools
+                    .get_mut(src)
+                    .expect("src enumerates the n_ranks tables")
+                    .get_mut(g)
+                    .expect("group ids are < num_groups")
+                    .get_mut(dest)
+                    .expect("destinations validated < n_ranks")
+                    .push(row as u32);
             }
         }
 
@@ -120,9 +134,29 @@ impl TokenMapping {
             let mut acc = 0usize;
             for g in 0..num_groups {
                 for dest in 0..n_ranks {
-                    send_off[g][src][dest] = acc;
-                    for &row in &pools[src][g][dest] {
-                        token_offset[src][row as usize] = acc;
+                    // Index proofs: g / src / dest range over exactly the
+                    // dimensions send_off and pools were allocated with,
+                    // and pool rows were pushed from 0..m above.
+                    *send_off
+                        .get_mut(g)
+                        .expect("g ranges over num_groups")
+                        .get_mut(src)
+                        .expect("src ranges over n_ranks")
+                        .get_mut(dest)
+                        .expect("dest ranges over n_ranks") = acc;
+                    let pool = pools
+                        .get(src)
+                        .expect("src ranges over n_ranks")
+                        .get(g)
+                        .expect("g ranges over num_groups")
+                        .get(dest)
+                        .expect("dest ranges over n_ranks");
+                    for &row in pool {
+                        *token_offset
+                            .get_mut(src)
+                            .expect("src ranges over n_ranks")
+                            .get_mut(row as usize)
+                            .expect("pool rows are < m") = acc;
                         acc += n_cols;
                     }
                 }
@@ -139,14 +173,32 @@ impl TokenMapping {
             let mut acc = 0usize;
             for g in 0..num_groups {
                 for src in 0..n_ranks {
-                    recv_off[g][dest][src] = acc;
-                    for &row in &pools[src][g][dest] {
-                        received[dest].push((src, row));
+                    // Index proofs: identical allocation dimensions as the
+                    // send-side loop above.
+                    *recv_off
+                        .get_mut(g)
+                        .expect("g ranges over num_groups")
+                        .get_mut(dest)
+                        .expect("dest ranges over n_ranks")
+                        .get_mut(src)
+                        .expect("src ranges over n_ranks") = acc;
+                    let pool = pools
+                        .get(src)
+                        .expect("src ranges over n_ranks")
+                        .get(g)
+                        .expect("g ranges over num_groups")
+                        .get(dest)
+                        .expect("dest ranges over n_ranks");
+                    for &row in pool {
+                        received
+                            .get_mut(dest)
+                            .expect("dest ranges over n_ranks")
+                            .push((src, row));
                         acc += n_cols;
                     }
                 }
             }
-            recv_elems[dest] = acc;
+            *recv_elems.get_mut(dest).expect("dest ranges over n_ranks") = acc;
         }
 
         let group_plans: Vec<A2aPlan> = (0..num_groups)
@@ -154,14 +206,26 @@ impl TokenMapping {
                 let len: Vec<Vec<usize>> = (0..n_ranks)
                     .map(|src| {
                         (0..n_ranks)
-                            .map(|dest| pools[src][g][dest].len() * n_cols)
+                            .map(|dest| {
+                                // Index proof: same allocation dimensions
+                                // as every pools access above.
+                                pools
+                                    .get(src)
+                                    .expect("src ranges over n_ranks")
+                                    .get(g)
+                                    .expect("g ranges over num_groups")
+                                    .get(dest)
+                                    .expect("dest ranges over n_ranks")
+                                    .len()
+                                    * n_cols
+                            })
                             .collect()
                     })
                     .collect();
                 A2aPlan {
-                    send_off: send_off[g].clone(),
+                    send_off: send_off.get(g).expect("g ranges over num_groups").clone(),
                     len,
-                    recv_off: recv_off[g].clone(),
+                    recv_off: recv_off.get(g).expect("g ranges over num_groups").clone(),
                 }
             })
             .collect();
@@ -202,12 +266,24 @@ impl TokenMapping {
     }
 
     /// Bytes each rank sends in group `g` (for cost inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` or `src` is out of range.
     pub fn group_send_elems(&self, g: usize, src: usize) -> usize {
-        self.group_plans[g].len[src].iter().sum()
+        self.group_plans
+            .get(g)
+            .expect("group out of range")
+            .len
+            .get(src)
+            .expect("rank out of range")
+            .iter()
+            .sum()
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)]
 mod tests {
     use super::*;
     use gpu_sim::swizzle::Swizzle;

@@ -1,0 +1,202 @@
+//! Continuous batching: folding queued requests into GEMM-shaped work.
+//!
+//! The batch former implements the standard continuous-batching
+//! trade-off: wait to accumulate tokens (bigger, more efficient GEMMs)
+//! versus dispatch now (lower queueing latency). A batch closes when it
+//! reaches [`BatchConfig::max_batch_tokens`] or when the head request
+//! has waited [`BatchConfig::max_wait_ns`]. Batches are same-model and
+//! FIFO — the head of the queue fixes the model, and only requests for
+//! that model join (head-of-line batching, as in single-model serving
+//! engines replicated per model).
+//!
+//! A closed batch's token total is padded up to the token bucket and
+//! mapped to the model's tensor-parallel MLP down-projection shape
+//! `(M = padded tokens, N = hidden, K = intermediate / tp)` — the
+//! GEMM→AllReduce pair FlashOverlap targets in TP inference.
+
+use gpu_sim::gemm::GemmDims;
+use workloads::{quantize_tokens, ModelSpec};
+
+use crate::traffic::Request;
+
+/// Batch-former policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Close the batch once accumulated tokens reach this (a single
+    /// larger request still forms its own batch).
+    pub max_batch_tokens: u32,
+    /// Close the batch once the head request has queued this long.
+    pub max_wait_ns: u64,
+    /// Token-bucket granularity: batch `M` is padded up to a multiple
+    /// of this, bounding distinct GEMM shapes (and driving plan reuse).
+    pub token_bucket: u32,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            // Sized for prefill-scale traffic: a full batch reaches the
+            // multi-wave M where partition tuning beats non-overlap.
+            max_batch_tokens: 2048,
+            max_wait_ns: 2_000_000,
+            token_bucket: 256,
+        }
+    }
+}
+
+/// A closed batch ready for execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Monotonic batch id in dispatch order.
+    pub id: u64,
+    /// Model every member targets.
+    pub model: ModelSpec,
+    /// Member requests, FIFO.
+    pub requests: Vec<Request>,
+    /// Sum of member token counts (before padding).
+    pub tokens: u32,
+    /// `M` after token-bucket padding.
+    pub padded_tokens: u32,
+}
+
+impl Batch {
+    /// The GEMM shape this batch executes: the TP MLP down-projection
+    /// `(padded_tokens, hidden, intermediate / tp)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tp` is zero or does not divide the model's
+    /// intermediate size (the server validates this at startup).
+    pub fn gemm_dims(&self, tp: u32) -> GemmDims {
+        assert!(tp > 0, "tensor-parallel degree must be positive");
+        assert_eq!(
+            self.model.intermediate % tp,
+            0,
+            "{}: intermediate {} not divisible by tp {}",
+            self.model.name,
+            self.model.intermediate,
+            tp
+        );
+        GemmDims::new(
+            self.padded_tokens,
+            self.model.hidden,
+            self.model.intermediate / tp,
+        )
+    }
+}
+
+/// Pops the next batch off the FIFO `queue` (same-model, FIFO, bounded
+/// by `max_batch_tokens`) and stamps it with `id`. The caller decides
+/// *when* a batch should close; this only decides *what* goes in it.
+/// Returns `None` on an empty queue.
+pub fn form_batch(queue: &mut Vec<Request>, config: &BatchConfig, id: u64) -> Option<Batch> {
+    let head = queue.first()?;
+    let model = head.model;
+    let mut tokens = 0u32;
+    let mut take = 0usize;
+    for r in queue.iter() {
+        if r.model != model {
+            break;
+        }
+        // Always take the head, even when it alone exceeds the budget.
+        if take > 0 && tokens + r.tokens > config.max_batch_tokens {
+            break;
+        }
+        tokens += r.tokens;
+        take += 1;
+        if tokens >= config.max_batch_tokens {
+            break;
+        }
+    }
+    let requests: Vec<Request> = queue.drain(..take).collect();
+    Some(Batch {
+        id,
+        model,
+        requests,
+        tokens,
+        padded_tokens: quantize_tokens(tokens, config.token_bucket),
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::indexing_slicing)]
+mod tests {
+    use super::*;
+    use workloads::models::{DEEPSEEK_MOE_EXPERT, LLAMA3_8B};
+
+    fn req(id: u64, model: ModelSpec, tokens: u32) -> Request {
+        Request {
+            id,
+            arrival_ns: id * 1000,
+            model,
+            tokens,
+        }
+    }
+
+    #[test]
+    fn batches_are_same_model_fifo_and_token_bounded() {
+        let cfg = BatchConfig {
+            max_batch_tokens: 200,
+            token_bucket: 64,
+            ..BatchConfig::default()
+        };
+        let mut queue = vec![
+            req(0, DEEPSEEK_MOE_EXPERT, 100),
+            req(1, DEEPSEEK_MOE_EXPERT, 90),
+            req(2, DEEPSEEK_MOE_EXPERT, 80),
+            req(3, LLAMA3_8B, 10),
+        ];
+        let b = form_batch(&mut queue, &cfg, 0).unwrap();
+        // 100 + 90 < 200 so both join; adding 80 would exceed the cap.
+        assert_eq!(b.requests.len(), 2);
+        assert_eq!(b.tokens, 190);
+        assert_eq!(b.padded_tokens, 192);
+        assert_eq!(queue.len(), 2, "rest stays queued");
+        assert_eq!(queue[0].id, 2);
+    }
+
+    #[test]
+    fn model_boundary_closes_the_batch() {
+        let cfg = BatchConfig::default();
+        let mut queue = vec![
+            req(0, LLAMA3_8B, 50),
+            req(1, DEEPSEEK_MOE_EXPERT, 50),
+            req(2, LLAMA3_8B, 50),
+        ];
+        let b = form_batch(&mut queue, &cfg, 0).unwrap();
+        assert_eq!(b.model, LLAMA3_8B);
+        assert_eq!(b.requests.len(), 1, "different model blocks the batch");
+    }
+
+    #[test]
+    fn oversize_head_forms_its_own_batch() {
+        let cfg = BatchConfig {
+            max_batch_tokens: 64,
+            ..BatchConfig::default()
+        };
+        let mut queue = vec![req(0, LLAMA3_8B, 500), req(1, LLAMA3_8B, 10)];
+        let b = form_batch(&mut queue, &cfg, 0).unwrap();
+        assert_eq!(b.requests.len(), 1);
+        assert_eq!(b.tokens, 500);
+    }
+
+    #[test]
+    fn dims_map_to_tp_down_projection() {
+        let mut queue = vec![req(0, DEEPSEEK_MOE_EXPERT, 100)];
+        let b = form_batch(&mut queue, &BatchConfig::default(), 0).unwrap();
+        let dims = b.gemm_dims(2);
+        assert_eq!(
+            (dims.m, dims.n, dims.k),
+            (
+                256,
+                DEEPSEEK_MOE_EXPERT.hidden,
+                DEEPSEEK_MOE_EXPERT.intermediate / 2
+            )
+        );
+    }
+
+    #[test]
+    fn empty_queue_forms_nothing() {
+        assert!(form_batch(&mut Vec::new(), &BatchConfig::default(), 0).is_none());
+    }
+}

@@ -1,0 +1,310 @@
+//! Tuned-plan cache: amortizing predictive search across a serve run.
+//!
+//! The paper's tuning cost argument (§4.1.4) is that predictive search
+//! is cheap enough to run *online*: when a serving batch produces a GEMM
+//! shape the runtime has not seen, the scheduler tunes a partition for
+//! it analytically (no execution) and caches the resulting
+//! [`OverlapPlan`]. Subsequent batches with the same shape on the same
+//! system reuse the plan — the common case once token-bucket
+//! quantization bounds the distinct shapes in flight.
+//!
+//! The cache is keyed by `(GemmDims, Primitive, system fingerprint)`
+//! and bounded with LRU eviction. Recency is a monotonic tick (no wall
+//! clock), and ticks are unique, so eviction order is deterministic
+//! regardless of `HashMap` iteration order.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use collectives::Primitive;
+use flashoverlap::{
+    predictive_search, CommPattern, FlashOverlapError, OverlapPlan, SystemSpec, WavePartition,
+};
+use gpu_sim::gemm::{GemmConfig, GemmDims};
+
+/// Cache key: the GEMM shape, the collective primitive, and a
+/// fingerprint of the system the plan was tuned for. A plan tuned for
+/// one fabric/SM budget is wrong for another, so the fingerprint keeps
+/// heterogeneous systems from aliasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// GEMM problem shape.
+    pub dims: GemmDims,
+    /// Collective primitive overlapped with the GEMM.
+    pub primitive: Primitive,
+    /// [`system_fingerprint`] of the target system.
+    pub system_fp: u64,
+}
+
+/// FNV-1a over the plan-relevant fields of a [`SystemSpec`]. Two specs
+/// with equal fingerprints tune to the same partition: the hash covers
+/// everything `predictive_search` and plan construction read (arch,
+/// fabric, group size, SM budget, algorithm, seed, launch skew).
+pub fn system_fingerprint(system: &SystemSpec) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(system.arch.name.as_bytes());
+    eat(&system.arch.sm_count.to_le_bytes());
+    eat(system.fabric.name.as_bytes());
+    eat(&(system.n_gpus as u64).to_le_bytes());
+    eat(&system.comm_sms.to_le_bytes());
+    eat(&system.seed.to_le_bytes());
+    eat(&[match system.algorithm {
+        collectives::Algorithm::Ring => 0u8,
+        collectives::Algorithm::Direct => 1,
+        collectives::Algorithm::Auto => 2,
+    }]);
+    eat(&system.launch_skew_ns.to_le_bytes());
+    h
+}
+
+/// Hit/miss/eviction counters for a serve run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that tuned and built a fresh plan.
+    pub misses: u64,
+    /// Plans evicted to stay within capacity.
+    pub evictions: u64,
+    /// Total partitions evaluated by predictive search across all
+    /// misses (the online tuning work the cache amortizes).
+    pub tune_evaluated: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when the cache is cold).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    plan: Rc<OverlapPlan>,
+    last_used: u64,
+}
+
+/// Bounded LRU cache of tuned [`OverlapPlan`]s.
+// Debug by hand: `OverlapPlan` itself is not Debug.
+pub struct PlanCache {
+    entries: HashMap<PlanKey, Entry>,
+    capacity: usize,
+    tick: u64,
+    stats: CacheStats,
+    /// When false, misses build the non-overlap baseline partition
+    /// (single group) instead of tuning — the serve-vs-baseline
+    /// comparison runs the identical loop with only this bit flipped.
+    tuned: bool,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("len", &self.entries.len())
+            .field("capacity", &self.capacity)
+            .field("tick", &self.tick)
+            .field("stats", &self.stats)
+            .field("tuned", &self.tuned)
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` plans (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            stats: CacheStats::default(),
+            tuned: true,
+        }
+    }
+
+    /// An empty cache whose misses build untuned single-group
+    /// (non-overlap) plans — the baseline arm of a comparison run.
+    pub fn new_untuned(capacity: usize) -> Self {
+        PlanCache {
+            tuned: false,
+            ..PlanCache::new(capacity)
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Plans currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the plan for `(dims, pattern, system)`, tuning and
+    /// constructing it on a miss. Returns the plan and whether the
+    /// lookup hit.
+    pub fn get_or_tune(
+        &mut self,
+        dims: GemmDims,
+        pattern: &CommPattern,
+        system: &SystemSpec,
+    ) -> Result<(Rc<OverlapPlan>, bool), FlashOverlapError> {
+        let key = PlanKey {
+            dims,
+            primitive: pattern.primitive(),
+            system_fp: system_fingerprint(system),
+        };
+        self.tick += 1;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.last_used = self.tick;
+            self.stats.hits += 1;
+            return Ok((Rc::clone(&entry.plan), true));
+        }
+        self.stats.misses += 1;
+        let partition = if self.tuned {
+            let outcome = predictive_search(dims, key.primitive, system);
+            self.stats.tune_evaluated += outcome.evaluated as u64;
+            outcome.partition
+        } else {
+            // Non-overlap baseline: one group spanning every wave of the
+            // schedule the plan will choose for this shape.
+            let config = GemmConfig::choose(dims, &system.arch);
+            let waves = config.grid(dims).num_tiles().div_ceil(system.compute_sms());
+            WavePartition::single(waves.max(1))
+        };
+        let plan = Rc::new(OverlapPlan::new(
+            dims,
+            pattern.clone(),
+            system.clone(),
+            partition,
+        )?);
+        if self.entries.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                plan: Rc::clone(&plan),
+                last_used: self.tick,
+            },
+        );
+        Ok((plan, false))
+    }
+
+    /// Removes the least-recently-used entry. Ticks are unique, so the
+    /// minimum is unique and eviction is deterministic even though
+    /// `HashMap` iteration order is not.
+    fn evict_lru(&mut self) {
+        if let Some(key) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| *k)
+        {
+            self.entries.remove(&key);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn system() -> SystemSpec {
+        SystemSpec::rtx4090(2)
+    }
+
+    #[test]
+    fn second_lookup_hits_and_reuses_the_plan() {
+        let mut cache = PlanCache::new(8);
+        let dims = GemmDims::new(256, 2048, 704);
+        let sys = system();
+        let (a, hit_a) = cache
+            .get_or_tune(dims, &CommPattern::AllReduce, &sys)
+            .unwrap();
+        let (b, hit_b) = cache
+            .get_or_tune(dims, &CommPattern::AllReduce, &sys)
+            .unwrap();
+        assert!(!hit_a && hit_b);
+        assert!(Rc::ptr_eq(&a, &b), "hit must return the cached plan");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 0));
+        assert!(stats.tune_evaluated > 0, "miss must run predictive search");
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_shape() {
+        let mut cache = PlanCache::new(2);
+        let sys = system();
+        let d1 = GemmDims::new(128, 2048, 704);
+        let d2 = GemmDims::new(256, 2048, 704);
+        let d3 = GemmDims::new(384, 2048, 704);
+        cache
+            .get_or_tune(d1, &CommPattern::AllReduce, &sys)
+            .unwrap();
+        cache
+            .get_or_tune(d2, &CommPattern::AllReduce, &sys)
+            .unwrap();
+        // Touch d1 so d2 is the LRU, then overflow with d3.
+        cache
+            .get_or_tune(d1, &CommPattern::AllReduce, &sys)
+            .unwrap();
+        cache
+            .get_or_tune(d3, &CommPattern::AllReduce, &sys)
+            .unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+        let (_, d1_hit) = cache
+            .get_or_tune(d1, &CommPattern::AllReduce, &sys)
+            .unwrap();
+        assert!(d1_hit, "recently used entry must survive eviction");
+        let (_, d2_hit) = cache
+            .get_or_tune(d2, &CommPattern::AllReduce, &sys)
+            .unwrap();
+        assert!(!d2_hit, "LRU entry must have been evicted");
+    }
+
+    #[test]
+    fn fingerprint_separates_systems() {
+        let a = SystemSpec::rtx4090(2);
+        let b = SystemSpec::rtx4090(4);
+        let c = SystemSpec::a800(2);
+        assert_ne!(system_fingerprint(&a), system_fingerprint(&b));
+        assert_ne!(system_fingerprint(&a), system_fingerprint(&c));
+        assert_eq!(
+            system_fingerprint(&a),
+            system_fingerprint(&SystemSpec::rtx4090(2))
+        );
+    }
+
+    #[test]
+    fn untuned_cache_builds_single_group_plans() {
+        let mut cache = PlanCache::new_untuned(4);
+        let dims = GemmDims::new(256, 2048, 704);
+        let (plan, _) = cache
+            .get_or_tune(dims, &CommPattern::AllReduce, &system())
+            .unwrap();
+        assert_eq!(plan.partition.num_groups(), 1, "baseline is non-overlap");
+        assert_eq!(cache.stats().tune_evaluated, 0, "baseline never tunes");
+    }
+}

@@ -1,0 +1,39 @@
+//! Continuous-batching serving layer over the FlashOverlap runtime.
+//!
+//! The paper evaluates FlashOverlap operator-by-operator; this crate
+//! closes the loop to the setting that motivates online tuning in the
+//! first place: an inference server whose GEMM shapes churn with the
+//! traffic. It is the simulated stand-in for a vLLM/Triton-style
+//! serving engine (see DESIGN.md's substitution table), built from
+//! four deterministic pieces:
+//!
+//! - [`traffic`] — seeded open-loop arrival traces (Poisson or bursty)
+//!   over a weighted model mix ([`workloads::ServeMix`]);
+//! - [`batch`] — continuous batching with a token budget, a max-wait
+//!   deadline, and token-bucket shape quantization;
+//! - [`cache`] — a bounded LRU of tuned [`OverlapPlan`]s keyed by
+//!   `(shape, primitive, system fingerprint)`, running the paper's
+//!   predictive search (§4.1.4) online on each miss;
+//! - [`server`] — the admission/batching/execution loop over virtual
+//!   time, with bounded-queue shedding, optional per-batch fault
+//!   injection through the resilient runtime, and full per-request
+//!   accounting into a [`report::ServeReport`].
+//!
+//! Everything is seeded: the same [`server::ServeConfig`] produces a
+//! bit-identical report, JSON included.
+//!
+//! [`OverlapPlan`]: flashoverlap::OverlapPlan
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod report;
+pub mod server;
+pub mod traffic;
+
+pub use batch::{form_batch, Batch, BatchConfig};
+pub use cache::{system_fingerprint, CacheStats, PlanCache, PlanKey};
+pub use report::{BatchRecord, ComparisonReport, Disposition, RequestRecord, ServeReport};
+pub use server::{serve, serve_baseline, serve_comparison, ServeConfig};
+pub use traffic::{generate, ArrivalProcess, Request};

@@ -1,0 +1,385 @@
+//! Serve-run accounting: per-request dispositions, SLO statistics, and
+//! the JSON report.
+//!
+//! Every request that enters the generator leaves exactly one
+//! [`RequestRecord`] — completed (clean / recovered / degraded under
+//! chaos) or shed at admission. The aggregate [`ServeReport`] carries
+//! latency percentiles (via [`telemetry::metrics::percentiles`]),
+//! goodput, shed rate, plan-cache counters, and signaling cost, and
+//! serializes through the vendored `telemetry::json` module so `--seed`
+//! determinism is checkable byte-for-byte on the JSON output.
+
+use telemetry::json::Value;
+use telemetry::Percentiles;
+
+use crate::cache::CacheStats;
+
+/// How a request left the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Completed with no recovery intervention.
+    Clean,
+    /// Completed after watchdog-driven recovery (bit-exact result).
+    Recovered,
+    /// Completed via the degraded non-overlap fallback.
+    Degraded,
+    /// Rejected at admission (queue full).
+    Shed,
+}
+
+impl Disposition {
+    /// Stable label used in JSON and summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Disposition::Clean => "clean",
+            Disposition::Recovered => "recovered",
+            Disposition::Degraded => "degraded",
+            Disposition::Shed => "shed",
+        }
+    }
+
+    /// Maps a [`ResilientOutcome`](flashoverlap::ResilientOutcome) label.
+    pub fn from_outcome_label(label: &str) -> Disposition {
+        match label {
+            "recovered" => Disposition::Recovered,
+            "degraded" => Disposition::Degraded,
+            _ => Disposition::Clean,
+        }
+    }
+}
+
+/// Final accounting for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Request id (arrival order).
+    pub id: u64,
+    /// Model name.
+    pub model: &'static str,
+    /// Token count.
+    pub tokens: u32,
+    /// Arrival time.
+    pub arrival_ns: u64,
+    /// How the request left the system.
+    pub disposition: Disposition,
+    /// Batch that executed it (`None` when shed).
+    pub batch: Option<u64>,
+    /// Enqueue→complete latency (`None` when shed).
+    pub latency_ns: Option<u64>,
+}
+
+/// Accounting for one executed batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRecord {
+    /// Batch id (dispatch order).
+    pub id: u64,
+    /// Model the batch ran.
+    pub model: &'static str,
+    /// Member request count.
+    pub requests: u64,
+    /// Raw token total.
+    pub tokens: u32,
+    /// Padded `M` actually executed.
+    pub padded_tokens: u32,
+    /// Dispatch time.
+    pub start_ns: u64,
+    /// Executed operator latency.
+    pub exec_ns: u64,
+    /// Whether the plan lookup hit the cache.
+    pub cache_hit: bool,
+    /// Resilient outcome label ("clean" outside chaos mode).
+    pub outcome: &'static str,
+}
+
+/// Aggregate report of one serve run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Seed the run was generated from.
+    pub seed: u64,
+    /// Arrival-process label.
+    pub arrival: &'static str,
+    /// Requests offered.
+    pub offered: u64,
+    /// GPUs in the serving group.
+    pub gpus: usize,
+    /// GPU platform name.
+    pub platform: &'static str,
+    /// Latency SLO.
+    pub slo_ns: u64,
+    /// Whether fault injection was armed.
+    pub chaos: bool,
+    /// Whether plans were tuned (false = non-overlap baseline arm).
+    pub tuned: bool,
+    /// Virtual time from first arrival epoch to last completion.
+    pub makespan_ns: u64,
+    /// Requests completed (any disposition but shed).
+    pub completed: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Completed cleanly.
+    pub clean: u64,
+    /// Completed after recovery.
+    pub recovered: u64,
+    /// Completed degraded.
+    pub degraded: u64,
+    /// Completed within the SLO, not degraded.
+    pub slo_met: u64,
+    /// Latency percentiles over completed requests.
+    pub latency: Option<Percentiles>,
+    /// Mean completed-request latency.
+    pub mean_latency_ns: f64,
+    /// Worst completed-request latency.
+    pub max_latency_ns: u64,
+    /// SLO-met requests per virtual second.
+    pub goodput_rps: f64,
+    /// Offered arrival rate over the trace span.
+    pub offered_rps: f64,
+    /// Shed fraction of offered requests.
+    pub shed_rate: f64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Mean requests per batch.
+    pub mean_batch_requests: f64,
+    /// Mean (unpadded) tokens per batch.
+    pub mean_batch_tokens: f64,
+    /// Distinct GEMM shapes executed.
+    pub distinct_shapes: u64,
+    /// Plan-cache counters.
+    pub cache: CacheStats,
+    /// Mean signal latency across batch executions (signaling cost of
+    /// §4, aggregated over the run).
+    pub mean_signal_ns: f64,
+    /// Signal-latency samples behind the mean.
+    pub signal_samples: u64,
+    /// Per-request accounting, id order.
+    pub records: Vec<RequestRecord>,
+    /// Per-batch accounting, dispatch order.
+    pub batch_records: Vec<BatchRecord>,
+}
+
+impl ServeReport {
+    /// Serializes to the vendored JSON model. Deterministic: field
+    /// order is fixed and no map iteration is involved.
+    pub fn to_json(&self) -> Value {
+        let latency = match &self.latency {
+            Some(p) => Value::obj(vec![
+                ("p50_ns", Value::num(p.p50 as f64)),
+                ("p95_ns", Value::num(p.p95 as f64)),
+                ("p99_ns", Value::num(p.p99 as f64)),
+                ("mean_ns", Value::num(self.mean_latency_ns)),
+                ("max_ns", Value::num(self.max_latency_ns as f64)),
+            ]),
+            None => Value::Null,
+        };
+        Value::obj(vec![
+            ("kind", Value::str("flashoverlap-serve")),
+            ("seed", Value::num(self.seed as f64)),
+            ("arrival", Value::str(self.arrival)),
+            ("offered", Value::num(self.offered as f64)),
+            ("gpus", Value::num(self.gpus as f64)),
+            ("platform", Value::str(self.platform)),
+            ("slo_ms", Value::num(self.slo_ns as f64 / 1e6)),
+            ("chaos", Value::Bool(self.chaos)),
+            ("tuned", Value::Bool(self.tuned)),
+            ("makespan_ns", Value::num(self.makespan_ns as f64)),
+            (
+                "requests",
+                Value::obj(vec![
+                    ("completed", Value::num(self.completed as f64)),
+                    ("shed", Value::num(self.shed as f64)),
+                    ("clean", Value::num(self.clean as f64)),
+                    ("recovered", Value::num(self.recovered as f64)),
+                    ("degraded", Value::num(self.degraded as f64)),
+                    ("slo_met", Value::num(self.slo_met as f64)),
+                ]),
+            ),
+            ("latency", latency),
+            (
+                "throughput",
+                Value::obj(vec![
+                    ("goodput_rps", Value::num(self.goodput_rps)),
+                    ("offered_rps", Value::num(self.offered_rps)),
+                    ("shed_rate", Value::num(self.shed_rate)),
+                ]),
+            ),
+            (
+                "batches",
+                Value::obj(vec![
+                    ("executed", Value::num(self.batches as f64)),
+                    ("mean_requests", Value::num(self.mean_batch_requests)),
+                    ("mean_tokens", Value::num(self.mean_batch_tokens)),
+                    ("distinct_shapes", Value::num(self.distinct_shapes as f64)),
+                ]),
+            ),
+            (
+                "plan_cache",
+                Value::obj(vec![
+                    ("hits", Value::num(self.cache.hits as f64)),
+                    ("misses", Value::num(self.cache.misses as f64)),
+                    ("evictions", Value::num(self.cache.evictions as f64)),
+                    ("hit_rate", Value::num(self.cache.hit_rate())),
+                    (
+                        "tune_evaluated",
+                        Value::num(self.cache.tune_evaluated as f64),
+                    ),
+                ]),
+            ),
+            (
+                "signaling",
+                Value::obj(vec![
+                    ("mean_signal_ns", Value::num(self.mean_signal_ns)),
+                    ("samples", Value::num(self.signal_samples as f64)),
+                ]),
+            ),
+            (
+                "per_request",
+                Value::Arr(self.records.iter().map(request_json).collect()),
+            ),
+            (
+                "per_batch",
+                Value::Arr(self.batch_records.iter().map(batch_json).collect()),
+            ),
+        ])
+    }
+
+    /// Short human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "serve: {} offered over {:.2} ms virtual ({} {}, seed {})\n",
+            self.offered,
+            self.makespan_ns as f64 / 1e6,
+            self.arrival,
+            if self.chaos {
+                "with chaos"
+            } else {
+                "fault-free"
+            },
+            self.seed,
+        ));
+        out.push_str(&format!(
+            "  completed {} (clean {}, recovered {}, degraded {}), shed {} ({:.1}%)\n",
+            self.completed,
+            self.clean,
+            self.recovered,
+            self.degraded,
+            self.shed,
+            self.shed_rate * 100.0,
+        ));
+        if let Some(p) = &self.latency {
+            out.push_str(&format!(
+                "  latency p50/p95/p99: {:.1}/{:.1}/{:.1} us (slo {:.1} ms met by {})\n",
+                p.p50 as f64 / 1e3,
+                p.p95 as f64 / 1e3,
+                p.p99 as f64 / 1e3,
+                self.slo_ns as f64 / 1e6,
+                self.slo_met,
+            ));
+        }
+        out.push_str(&format!(
+            "  goodput {:.0} rps of {:.0} rps offered\n",
+            self.goodput_rps, self.offered_rps,
+        ));
+        out.push_str(&format!(
+            "  {} batches, {} shapes, plan cache hit rate {:.1}% ({} hits / {} misses, {} evictions)\n",
+            self.batches,
+            self.distinct_shapes,
+            self.cache.hit_rate() * 100.0,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+        ));
+        out
+    }
+}
+
+fn request_json(r: &RequestRecord) -> Value {
+    Value::obj(vec![
+        ("id", Value::num(r.id as f64)),
+        ("model", Value::str(r.model)),
+        ("tokens", Value::num(f64::from(r.tokens))),
+        ("arrival_ns", Value::num(r.arrival_ns as f64)),
+        ("disposition", Value::str(r.disposition.label())),
+        (
+            "batch",
+            r.batch.map_or(Value::Null, |b| Value::num(b as f64)),
+        ),
+        (
+            "latency_ns",
+            r.latency_ns.map_or(Value::Null, |l| Value::num(l as f64)),
+        ),
+    ])
+}
+
+fn batch_json(b: &BatchRecord) -> Value {
+    Value::obj(vec![
+        ("id", Value::num(b.id as f64)),
+        ("model", Value::str(b.model)),
+        ("requests", Value::num(b.requests as f64)),
+        ("tokens", Value::num(f64::from(b.tokens))),
+        ("padded_tokens", Value::num(f64::from(b.padded_tokens))),
+        ("start_ns", Value::num(b.start_ns as f64)),
+        ("exec_ns", Value::num(b.exec_ns as f64)),
+        ("cache_hit", Value::Bool(b.cache_hit)),
+        ("outcome", Value::str(b.outcome)),
+    ])
+}
+
+/// Tuned-vs-baseline comparison: the same seeded traffic served twice,
+/// once with predictive-search plans and once with single-group
+/// non-overlap plans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonReport {
+    /// The tuned arm.
+    pub tuned: ServeReport,
+    /// The non-overlap baseline arm.
+    pub baseline: ServeReport,
+}
+
+impl ComparisonReport {
+    /// Speedup of tuned over baseline at p50 / p95 / mean latency
+    /// (`None` when either arm completed nothing).
+    pub fn speedups(&self) -> Option<(f64, f64, f64)> {
+        let t = self.tuned.latency.as_ref()?;
+        let b = self.baseline.latency.as_ref()?;
+        if t.p50 == 0 || t.p95 == 0 || self.tuned.mean_latency_ns == 0.0 {
+            return None;
+        }
+        Some((
+            b.p50 as f64 / t.p50 as f64,
+            b.p95 as f64 / t.p95 as f64,
+            self.baseline.mean_latency_ns / self.tuned.mean_latency_ns,
+        ))
+    }
+
+    /// Serializes both arms plus the speedup summary.
+    pub fn to_json(&self) -> Value {
+        let speedup = match self.speedups() {
+            Some((p50, p95, mean)) => Value::obj(vec![
+                ("p50", Value::num(p50)),
+                ("p95", Value::num(p95)),
+                ("mean", Value::num(mean)),
+            ]),
+            None => Value::Null,
+        };
+        Value::obj(vec![
+            ("kind", Value::str("flashoverlap-serve-comparison")),
+            ("speedup", speedup),
+            ("tuned", self.tuned.to_json()),
+            ("baseline", self.baseline.to_json()),
+        ])
+    }
+
+    /// Human-readable summary of both arms.
+    pub fn summary(&self) -> String {
+        let mut out = String::from("tuned arm:\n");
+        out.push_str(&self.tuned.summary());
+        out.push_str("baseline (non-overlap) arm:\n");
+        out.push_str(&self.baseline.summary());
+        if let Some((p50, p95, mean)) = self.speedups() {
+            out.push_str(&format!(
+                "speedup tuned vs baseline: p50 {p50:.3}x, p95 {p95:.3}x, mean {mean:.3}x\n"
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,134 @@
+//! End-to-end serving tests: golden determinism, chaos accounting, and
+//! tuned-vs-baseline sanity.
+
+use flashoverlap::SystemSpec;
+use serving::{serve, serve_comparison, ArrivalProcess, Disposition, ServeConfig};
+
+fn config(seed: u64, requests: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::new(SystemSpec::rtx4090(2));
+    cfg.seed = seed;
+    cfg.requests = requests;
+    cfg
+}
+
+#[test]
+fn same_seed_gives_bit_identical_report_json() {
+    let cfg = config(42, 80);
+    let a = serve(&cfg).expect("serve run");
+    let b = serve(&cfg).expect("serve rerun");
+    assert_eq!(a, b, "reports must be structurally identical");
+    assert_eq!(
+        a.to_json().to_json_pretty(),
+        b.to_json().to_json_pretty(),
+        "serialized reports must be byte-identical"
+    );
+}
+
+#[test]
+fn different_seeds_give_different_reports() {
+    let a = serve(&config(1, 60)).expect("serve seed 1");
+    let b = serve(&config(2, 60)).expect("serve seed 2");
+    assert_ne!(
+        a.to_json().to_json_pretty(),
+        b.to_json().to_json_pretty(),
+        "different seeds must produce different traces"
+    );
+}
+
+#[test]
+fn every_request_is_accounted_and_the_cache_warms() {
+    let cfg = config(7, 100);
+    let report = serve(&cfg).expect("serve run");
+    assert_eq!(report.offered, 100);
+    assert_eq!(report.completed + report.shed, report.offered);
+    assert_eq!(
+        report.clean + report.recovered + report.degraded,
+        report.completed
+    );
+    assert_eq!(report.records.len(), 100);
+    // Records are in id order and every completed one has a latency.
+    for (i, r) in report.records.iter().enumerate() {
+        assert_eq!(r.id, i as u64);
+        assert_eq!(r.latency_ns.is_some(), r.disposition != Disposition::Shed);
+    }
+    // Token-bucket quantization must drive shape reuse.
+    assert!(
+        report.cache.hit_rate() > 0.0,
+        "expected plan-cache hits under shape reuse, stats {:?}",
+        report.cache
+    );
+    assert!(report.batches > 0);
+    assert_eq!(report.cache.hits + report.cache.misses, report.batches);
+    assert!(report.distinct_shapes <= report.cache.misses);
+    assert!(report.latency.is_some());
+}
+
+#[test]
+fn bursty_overload_sheds_and_still_accounts_everyone() {
+    let mut cfg = config(13, 150);
+    cfg.process = ArrivalProcess::Bursty {
+        base_rps: 1000.0,
+        burst_rps: 500_000.0,
+        mean_phase_ms: 2.0,
+    };
+    cfg.queue_capacity = 8;
+    let report = serve(&cfg).expect("serve run");
+    assert_eq!(report.completed + report.shed, report.offered);
+    assert!(
+        report.shed > 0,
+        "a 500k-rps burst against an 8-deep queue must shed"
+    );
+    assert!(report.shed_rate > 0.0);
+}
+
+#[test]
+fn chaos_serve_terminates_with_full_accounting() {
+    let mut cfg = config(21, 50);
+    cfg.chaos = true;
+    let report = serve(&cfg).expect("chaos serve must terminate");
+    assert!(report.chaos);
+    assert_eq!(report.completed + report.shed, report.offered);
+    assert_eq!(
+        report.clean + report.recovered + report.degraded,
+        report.completed,
+        "every completed request carries a resilient outcome"
+    );
+    // With 1-3 faults armed per batch, at least one batch should need
+    // recovery or degrade across 50 requests; all outcomes must be
+    // legal labels either way.
+    for b in &report.batch_records {
+        assert!(
+            ["clean", "recovered", "degraded"].contains(&b.outcome),
+            "unexpected outcome {}",
+            b.outcome
+        );
+    }
+    assert!(
+        report.recovered + report.degraded > 0,
+        "fault plans should perturb at least one batch"
+    );
+}
+
+#[test]
+fn comparison_runs_both_arms_on_identical_traffic() {
+    let cfg = config(5, 60);
+    let cmp = serve_comparison(&cfg).expect("comparison run");
+    assert!(cmp.tuned.tuned && !cmp.baseline.tuned);
+    assert_eq!(cmp.tuned.offered, cmp.baseline.offered);
+    // Identical traffic: same arrival trace feeds both arms.
+    let arrivals_t: Vec<u64> = cmp.tuned.records.iter().map(|r| r.arrival_ns).collect();
+    let arrivals_b: Vec<u64> = cmp.baseline.records.iter().map(|r| r.arrival_ns).collect();
+    assert_eq!(arrivals_t, arrivals_b);
+    // The baseline never tunes; the tuned arm always does on a miss.
+    assert_eq!(cmp.baseline.cache.tune_evaluated, 0);
+    assert!(cmp.tuned.cache.tune_evaluated > 0);
+    let (p50, _p95, mean) = cmp.speedups().expect("both arms completed requests");
+    // The prefill-heavy default mix reaches multi-wave batches where
+    // tuned overlap beats non-overlap; queueing noise on a small run
+    // can dilute p50 but the mean must come out ahead.
+    assert!(
+        mean > 1.0,
+        "tuned serving should beat non-overlap, mean {mean}"
+    );
+    assert!(p50 > 0.9, "p50 {p50}");
+}

@@ -31,8 +31,8 @@ pub mod profile;
 pub mod record;
 
 pub use metrics::{
-    link_stats, occupancy_stats, overlap_efficiency, signal_summary, stream_stats, LinkStats,
-    OccupancyStats, SignalSample, SignalSummary, StreamStats,
+    link_stats, occupancy_stats, overlap_efficiency, percentile, percentiles, signal_summary,
+    stream_stats, LinkStats, OccupancyStats, Percentiles, SignalSample, SignalSummary, StreamStats,
 };
 pub use profile::{profile, MethodMetrics, MethodRun, MetricsReport, Profile, Workload};
 pub use record::{Telemetry, TelemetryRecord};

@@ -313,6 +313,50 @@ pub fn occupancy_stats(
         .collect()
 }
 
+/// Tail-latency percentiles over a set of span durations, in
+/// nanoseconds. Produced by [`percentiles`]; consumed by the serving
+/// layer's SLO accounting (`serving::ServeReport`) and usable over any
+/// span population (request latencies, signal latencies, link busy
+/// intervals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median (50th percentile).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// Nearest-rank percentile of `sorted` (ascending): the smallest sample
+/// whose cumulative rank reaches `q * n`. Returns `None` on an empty
+/// slice. `q` is clamped to `[0, 1]`.
+pub fn percentile(sorted: &[u64], q: f64) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let n = sorted.len();
+    // Nearest-rank: rank = ceil(q * n), 1-based; clamp keeps the index
+    // in range for q = 0 and q = 1.
+    let rank = (q.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+    sorted.get(rank.max(1) - 1).copied()
+}
+
+/// p50/p95/p99 over `samples` (any order; sorted internally). Returns
+/// `None` when there are no samples — an empty population has no tail.
+pub fn percentiles(samples: &[u64]) -> Option<Percentiles> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    Some(Percentiles {
+        p50: percentile(&sorted, 0.50)?,
+        p95: percentile(&sorted, 0.95)?,
+        p99: percentile(&sorted, 0.99)?,
+    })
+}
+
 /// Overlap efficiency of a measured latency against the non-overlap
 /// reference and the perfect-overlap bound (§6.3):
 /// `(base − measured) / (base − theory)`, clamped to `[0, 1]`.
@@ -408,6 +452,40 @@ mod tests {
     #[test]
     fn no_waits_means_no_signal_summary() {
         assert!(signal_summary(&TelemetryRecord::default(), &[]).is_none());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        // 1..=100: nearest-rank pXX of a 100-sample population is
+        // exactly the XXth value.
+        let samples: Vec<u64> = (1..=100).collect();
+        let p = percentiles(&samples).unwrap();
+        assert_eq!((p.p50, p.p95, p.p99), (50, 95, 99));
+        // Order must not matter.
+        let mut reversed = samples.clone();
+        reversed.reverse();
+        assert_eq!(percentiles(&reversed).unwrap(), p);
+    }
+
+    #[test]
+    fn percentiles_of_small_populations() {
+        assert!(percentiles(&[]).is_none());
+        let p = percentiles(&[42]).unwrap();
+        assert_eq!((p.p50, p.p95, p.p99), (42, 42, 42));
+        // Two samples: p50 is the first (rank ceil(0.5*2)=1), the tail
+        // percentiles take the second.
+        let p = percentiles(&[10, 20]).unwrap();
+        assert_eq!((p.p50, p.p95, p.p99), (10, 20, 20));
+    }
+
+    #[test]
+    fn percentile_clamps_q() {
+        let sorted = [1u64, 2, 3];
+        assert_eq!(percentile(&sorted, -1.0), Some(1));
+        assert_eq!(percentile(&sorted, 0.0), Some(1));
+        assert_eq!(percentile(&sorted, 1.0), Some(3));
+        assert_eq!(percentile(&sorted, 2.0), Some(3));
+        assert_eq!(percentile(&[], 0.5), None);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 
 pub mod models;
 pub mod routing;
+pub mod serve_mix;
 pub mod table3;
 
+pub use models::ModelSpec;
 pub use routing::{balanced_routing, skewed_routing};
+pub use serve_mix::{quantize_tokens, MixEntry, ServeMix};
 pub use table3::{all_table3, shape_range, table3_shapes, GpuKind, ShapeRange};

@@ -1,0 +1,190 @@
+//! Serving-traffic shape sampling: which model a request targets and how
+//! many tokens it carries.
+//!
+//! The serving layer (`crates/serving`) drives the cluster with a stream
+//! of requests whose GEMM shapes churn — the setting where the paper's
+//! cheap predictive search (§4.1.4) pays off, because plans are tuned
+//! online per shape and reused from a cache. This module owns the shape
+//! side of that traffic: a weighted mix of [`ModelSpec`]s, a log-uniform
+//! token-count distribution per entry, and the token-bucket quantization
+//! that bounds the number of distinct shapes (and therefore makes plan
+//! reuse possible at all).
+//!
+//! Everything samples through [`sim::DetRng`], so a seeded request
+//! stream is bit-reproducible.
+
+use sim::DetRng;
+
+use crate::models::ModelSpec;
+
+/// One entry of a serving mix: a model, its traffic share, and the
+/// token-count range its requests draw from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixEntry {
+    /// The model whose TP layer shapes this traffic exercises.
+    pub model: ModelSpec,
+    /// Relative traffic weight (need not be normalized).
+    pub weight: u32,
+    /// Minimum tokens per request (inclusive).
+    pub min_tokens: u32,
+    /// Maximum tokens per request (inclusive).
+    pub max_tokens: u32,
+}
+
+/// A weighted mix of models with per-entry token distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeMix {
+    entries: Vec<MixEntry>,
+}
+
+impl ServeMix {
+    /// Builds a mix from entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty, any weight is zero, or any token
+    /// range is empty or starts at zero.
+    pub fn new(entries: Vec<MixEntry>) -> Self {
+        assert!(!entries.is_empty(), "mix needs at least one entry");
+        for e in &entries {
+            assert!(e.weight > 0, "{}: weight must be positive", e.model.name);
+            assert!(
+                0 < e.min_tokens && e.min_tokens <= e.max_tokens,
+                "{}: bad token range [{}, {}]",
+                e.model.name,
+                e.min_tokens,
+                e.max_tokens
+            );
+        }
+        ServeMix { entries }
+    }
+
+    /// The default serving mix: mostly prefill-scale Llama-3-8B traffic
+    /// (hundreds to thousands of tokens — batches reach the multi-wave
+    /// M where wave-partition overlap actually pays on the simulated
+    /// systems) with a minority of small MoE-expert decode requests
+    /// whose 1–2-wave shapes tune to trivial single-group plans. Two
+    /// models keep the plan cache under shape churn, not one hot key.
+    pub fn default_mix() -> Self {
+        ServeMix::new(vec![
+            MixEntry {
+                model: crate::models::LLAMA3_8B,
+                weight: 3,
+                min_tokens: 512,
+                max_tokens: 4096,
+            },
+            MixEntry {
+                model: crate::models::DEEPSEEK_MOE_EXPERT,
+                weight: 1,
+                min_tokens: 64,
+                max_tokens: 512,
+            },
+        ])
+    }
+
+    /// The entries.
+    pub fn entries(&self) -> &[MixEntry] {
+        &self.entries
+    }
+
+    /// Samples one `(model, token count)` pair: the entry by weight, the
+    /// token count log-uniformly over the entry's range (request sizes in
+    /// serving traces are heavy-tailed; log-uniform is the standard
+    /// stand-in).
+    pub fn sample(&self, rng: &mut DetRng) -> (ModelSpec, u32) {
+        let total: u64 = self.entries.iter().map(|e| u64::from(e.weight)).sum();
+        let mut pick = rng.next_below(total);
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| {
+                if pick < u64::from(e.weight) {
+                    true
+                } else {
+                    pick -= u64::from(e.weight);
+                    false
+                }
+            })
+            .expect("pick < sum of weights selects an entry");
+        let tokens = if entry.min_tokens == entry.max_tokens {
+            entry.min_tokens
+        } else {
+            let lo = f64::from(entry.min_tokens).ln();
+            let hi = f64::from(entry.max_tokens).ln();
+            let t = rng.uniform(lo, hi).exp().round() as u32;
+            t.clamp(entry.min_tokens, entry.max_tokens)
+        };
+        (entry.model, tokens)
+    }
+}
+
+/// Rounds a token count up to its bucket boundary: the next multiple of
+/// `granularity`. Batches quantize their padded token count through this
+/// before mapping to [`GemmDims`](gpu_sim::gemm::GemmDims), which bounds
+/// the distinct GEMM shapes in flight — the plan cache's hit rate is a
+/// direct function of this granularity.
+///
+/// # Panics
+///
+/// Panics if `granularity` is zero.
+pub fn quantize_tokens(tokens: u32, granularity: u32) -> u32 {
+    assert!(granularity > 0, "bucket granularity must be positive");
+    tokens.div_ceil(granularity).max(1) * granularity
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_and_in_range() {
+        let mix = ServeMix::default_mix();
+        let mut a = DetRng::new(11);
+        let mut b = DetRng::new(11);
+        for _ in 0..200 {
+            let (model, tokens) = mix.sample(&mut a);
+            assert_eq!((model, tokens), mix.sample(&mut b), "same seed, same draw");
+            let entry = mix
+                .entries()
+                .iter()
+                .find(|e| e.model == model)
+                .expect("sampled model is in the mix");
+            assert!(tokens >= entry.min_tokens && tokens <= entry.max_tokens);
+        }
+    }
+
+    #[test]
+    fn weights_bias_the_draw() {
+        let mix = ServeMix::default_mix();
+        let mut rng = DetRng::new(7);
+        let mut heavy = 0usize;
+        for _ in 0..400 {
+            let (model, _) = mix.sample(&mut rng);
+            if model == crate::models::LLAMA3_8B {
+                heavy += 1;
+            }
+        }
+        // Weight 3-vs-1 should put the heavy entry well above half.
+        assert!(heavy > 240, "heavy entry drew only {heavy}/400");
+    }
+
+    #[test]
+    fn quantize_rounds_up_to_bucket() {
+        assert_eq!(quantize_tokens(1, 64), 64);
+        assert_eq!(quantize_tokens(64, 64), 64);
+        assert_eq!(quantize_tokens(65, 64), 128);
+        assert_eq!(quantize_tokens(300, 128), 384);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn zero_weight_rejected() {
+        let _ = ServeMix::new(vec![MixEntry {
+            model: crate::models::LLAMA3_8B,
+            weight: 0,
+            min_tokens: 1,
+            max_tokens: 2,
+        }]);
+    }
+}
