@@ -87,4 +87,48 @@ print(f"serve smoke: ok (hit rate {serve['plan_cache']['hit_rate']:.2f}, "
       f"{reqs['shed']} shed)")
 EOF
 
+echo "== multi-replica smoke (routing, per-replica accounting, scaling, pipelining) =="
+timeout 300 cargo run -q -p flashoverlap-cli --bin flashoverlap -- serve \
+  --requests 120 --rate 2400 --seed 7 --replicas 4 --router shape-affinity \
+  --metrics-out "$tmp/affinity.json" > /dev/null
+timeout 300 cargo run -q -p flashoverlap-cli --bin flashoverlap -- serve \
+  --requests 120 --rate 2400 --seed 7 --replicas 4 --router round-robin \
+  --metrics-out "$tmp/rr.json" > /dev/null
+timeout 300 cargo run -q -p flashoverlap-cli --bin flashoverlap -- serve \
+  --requests 120 --rate 2400 --seed 7 --replicas 4 --router shape-affinity \
+  --scaling --metrics-out "$tmp/scaling.json" > /dev/null
+python3 - "$tmp/affinity.json" "$tmp/rr.json" "$tmp/scaling.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    affinity = json.load(f)
+assert affinity["replicas"] == 4 and affinity["router"] == "shape-affinity", affinity
+per = affinity["per_replica"]
+assert len(per) == 4, "one stats row per replica"
+assert sum(r["batches"] for r in per) == affinity["batches"]["executed"], \
+    "per-replica batches must sum to the total"
+assert sum(r["requests"] for r in per) == affinity["requests"]["completed"], \
+    "per-replica requests must sum to completed"
+assert sum(r["cache"]["hits"] for r in per) == affinity["plan_cache"]["hits"], \
+    "per-replica cache hits must sum to the total"
+assert sum(r["cache"]["misses"] for r in per) == affinity["plan_cache"]["misses"], \
+    "per-replica cache misses must sum to the total"
+for r in per:
+    assert 0.0 <= r["utilization"] <= 1.0, r
+with open(sys.argv[2]) as f:
+    rr = json.load(f)
+assert affinity["plan_cache"]["hit_rate"] >= rr["plan_cache"]["hit_rate"], \
+    "shape affinity must not lose to round-robin on cache hit rate"
+with open(sys.argv[3]) as f:
+    scaling = json.load(f)
+assert scaling["goodput_scaling"] >= 3.0, \
+    f"4 replicas must deliver >= 3x goodput, got {scaling['goodput_scaling']:.2f}"
+pipe = scaling["pipelining"]
+assert pipe["pipelined_p95_ns"] < pipe["serial_p95_ns"], \
+    "cross-batch pipelining must beat serial chains on p95"
+print(f"multi-replica smoke: ok ({scaling['goodput_scaling']:.2f}x goodput, "
+      f"p95 {pipe['pipelined_p95_ns']/1e3:.0f}us vs {pipe['serial_p95_ns']/1e3:.0f}us, "
+      f"affinity hit rate {affinity['plan_cache']['hit_rate']:.2f} "
+      f"vs rr {rr['plan_cache']['hit_rate']:.2f})")
+EOF
+
 echo "ci: all gates passed"

@@ -86,7 +86,10 @@ pub fn measure(
         Method::Flux => run_flux(dims, pattern.primitive(), system),
         Method::FlashOverlap => {
             let plan = OverlapPlan::tuned(dims, pattern.clone(), system.clone())?;
-            Ok(plan.execute()?.latency)
+            Ok(plan
+                .execute_with(&flashoverlap::ExecOptions::new())?
+                .report
+                .latency)
         }
     }
 }
@@ -147,7 +150,9 @@ pub fn measure_traced(
         }),
         Method::FlashOverlap => {
             let plan = OverlapPlan::tuned(dims, pattern.clone(), system.clone())?;
-            let (report, spans) = plan.execute_traced_instrumented(instr)?;
+            let out =
+                plan.execute_with(&flashoverlap::ExecOptions::new().instrument(instr).trace())?;
+            let (report, spans) = (out.report, out.spans);
             Ok(MethodProfile {
                 latency: report.latency,
                 spans: Some(spans),

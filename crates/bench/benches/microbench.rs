@@ -114,7 +114,12 @@ fn bench_simulated_run(c: &mut Criterion) {
     )
     .expect("plan");
     c.bench_function("runtime/execute_overlap_plan", |b| {
-        b.iter(|| black_box(plan.execute().expect("execute")))
+        b.iter(|| {
+            black_box(
+                plan.execute_with(&flashoverlap::ExecOptions::new())
+                    .expect("execute"),
+            )
+        })
     });
     c.bench_function("baseline/nonoverlap_run", |b| {
         b.iter(|| {
@@ -192,7 +197,13 @@ fn bench_pipeline(c: &mut Criterion) {
     )
     .expect("pipeline");
     c.bench_function("pipeline/two_layer_execute", |b| {
-        b.iter(|| black_box(pipeline.execute().expect("run")))
+        b.iter(|| {
+            black_box(
+                pipeline
+                    .execute_with(&flashoverlap::PipelineExecOptions::new())
+                    .expect("run"),
+            )
+        })
     });
 }
 

@@ -37,7 +37,11 @@ fn main() {
                 .expect("baseline");
             let plan =
                 OverlapPlan::tuned(dims, CommPattern::AllReduce, system.clone()).expect("plan");
-            let fo = plan.execute().expect("run").latency;
+            let fo = plan
+                .execute_with(&flashoverlap::ExecOptions::new())
+                .expect("run")
+                .report
+                .latency;
             rows.push(vec![
                 algorithm.to_string(),
                 plan.partition.to_string(),

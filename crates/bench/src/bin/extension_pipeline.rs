@@ -71,8 +71,12 @@ fn serial_pipeline(system: &SystemSpec, layers: &[LayerSpec]) -> u64 {
         )
         .expect("plan");
         let report = plan
-            .execute_with_epilogue(layer.epilogue.as_ref().expect("epilogue"))
-            .expect("run");
+            .execute_with(
+                &flashoverlap::ExecOptions::new()
+                    .epilogue(layer.epilogue.as_ref().expect("epilogue")),
+            )
+            .expect("run")
+            .report;
         total += report.epilogue_done.expect("epilogue").as_nanos();
     }
     total
@@ -86,7 +90,10 @@ fn main() {
             let layers = block_layers(tokens, tp);
             let serial_ns = serial_pipeline(&system, &layers);
             let pipeline = Pipeline::tuned(system.clone(), layers).expect("pipeline");
-            let report = pipeline.execute().expect("run");
+            let report = pipeline
+                .execute_with(&flashoverlap::PipelineExecOptions::new())
+                .expect("run")
+                .report;
             println!(
                 "  {tokens:>5} tokens: overlapped {:.3} ms vs sequential {:.3} ms  ({:.3}x end to end)",
                 report.total.as_millis_f64(),

@@ -54,7 +54,11 @@ fn main() {
             let predicted = predictor.predict(partition);
             let plan = OverlapPlan::new(*dims, CommPattern::AllReduce, system, partition.clone())
                 .expect("plan");
-            let actual = plan.execute().expect("execute").latency;
+            let actual = plan
+                .execute_with(&flashoverlap::ExecOptions::new())
+                .expect("execute")
+                .report
+                .latency;
             let err = (actual.as_nanos() as f64 - predicted.as_nanos() as f64).abs()
                 / actual.as_nanos() as f64;
             let under = predicted <= actual;

@@ -32,7 +32,10 @@ fn main() {
             partition.clone(),
         )
         .expect("plan");
-        let (report, spans) = plan.execute_traced().expect("run");
+        let out = plan
+            .execute_with(&flashoverlap::ExecOptions::new().trace())
+            .expect("run");
+        let (report, spans) = (out.report, out.spans);
         let rank0: Vec<gpu_sim::OpSpan> = spans
             .into_iter()
             .filter(|s| s.device == 0 && s.name != "callback")

@@ -5,6 +5,7 @@ use std::fmt;
 
 use collectives::{Algorithm, Primitive};
 use flashoverlap::{SignalMutation, WavePartition};
+use serving::RouterPolicy;
 use workloads::GpuKind;
 
 /// A CLI error: message plus whether usage help should follow.
@@ -122,6 +123,21 @@ pub struct Cli {
     /// Also serve the untuned non-overlap baseline and report speedups
     /// (`serve`).
     pub baseline: bool,
+    /// Number of independent TP replica groups (`serve`).
+    pub replicas: usize,
+    /// Routing policy assigning closed batches to replicas (`serve`).
+    pub router: RouterPolicy,
+    /// Disable cross-batch pipelining: full barrier between chained
+    /// batches on a replica (`serve --no-pipeline`).
+    pub no_pipeline: bool,
+    /// Also serve the single-replica and unpipelined arms and report
+    /// the scaling comparison (`serve --scaling`).
+    pub scaling: bool,
+    /// Path to a tuned-plan-cache snapshot to preload (`serve`).
+    pub plan_cache_in: Option<String>,
+    /// Path to write the tuned-plan-cache snapshot after serving
+    /// (`serve`).
+    pub plan_cache_out: Option<String>,
 }
 
 /// The usage text printed on `--help` or parse errors.
@@ -164,6 +180,19 @@ options:
                           and execute through the resilient runtime
   --baseline              serve: also serve the identical trace with
                           untuned non-overlap plans and report speedups
+  --replicas <int>        serve: independent TP replica groups, each with
+                          its own cluster and plan cache (default: 1)
+  --router <name>         serve: round-robin | least-loaded |
+                          shape-affinity (default: round-robin)
+  --no-pipeline           serve: full barrier between a replica's chained
+                          batches instead of cross-batch pipelining
+  --scaling               serve: also serve the single-replica and
+                          unpipelined arms and report goodput scaling and
+                          the pipelining p95 gain
+  --plan-cache-out <path> serve: write the tuned-plan-cache snapshot
+                          (keyed by the system fingerprint) after serving
+  --plan-cache-in <path>  serve: preload every replica's plan cache from a
+                          snapshot; a fingerprint mismatch is an error
   -h, --help              this text
 
 chaos verdicts: every campaign must end bit-exact (clean or recovered via
@@ -260,6 +289,12 @@ impl Cli {
         let mut slo_ms = 20.0f64;
         let mut serve_chaos = false;
         let mut baseline = false;
+        let mut replicas = 1usize;
+        let mut router = RouterPolicy::RoundRobin;
+        let mut no_pipeline = false;
+        let mut scaling = false;
+        let mut plan_cache_in = None;
+        let mut plan_cache_out = None;
         while let Some(flag) = it.next() {
             match flag.as_str() {
                 "-m" => m = Some(parse_u32("-m", it.next())?),
@@ -362,6 +397,39 @@ impl Cli {
                 "--slo-ms" => slo_ms = parse_f64("--slo-ms", it.next())?,
                 "--chaos" => serve_chaos = true,
                 "--baseline" => baseline = true,
+                "--replicas" => {
+                    replicas = parse_u32("--replicas", it.next())? as usize;
+                    if replicas == 0 {
+                        return Err(CliError::usage("--replicas must be at least 1"));
+                    }
+                }
+                "--router" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::usage("missing value for --router"))?;
+                    router = RouterPolicy::parse(&v.to_lowercase()).ok_or_else(|| {
+                        CliError::usage(format!(
+                            "unknown router: {v} (expected round-robin, least-loaded, \
+                             or shape-affinity)"
+                        ))
+                    })?;
+                }
+                "--no-pipeline" => no_pipeline = true,
+                "--scaling" => scaling = true,
+                "--plan-cache-in" => {
+                    plan_cache_in = Some(
+                        it.next()
+                            .ok_or_else(|| CliError::usage("missing value for --plan-cache-in"))?
+                            .clone(),
+                    );
+                }
+                "--plan-cache-out" => {
+                    plan_cache_out = Some(
+                        it.next()
+                            .ok_or_else(|| CliError::usage("missing value for --plan-cache-out"))?
+                            .clone(),
+                    );
+                }
                 "--drop-signal" => {
                     let (rank, group) = parse_rank_group("--drop-signal", it.next())?;
                     mutation = Some(SignalMutation::DropWait { rank, group });
@@ -412,6 +480,12 @@ impl Cli {
             slo_ms,
             serve_chaos,
             baseline,
+            replicas,
+            router,
+            no_pipeline,
+            scaling,
+            plan_cache_in,
+            plan_cache_out,
         })
     }
 }
@@ -588,6 +662,35 @@ mod tests {
         assert!(cli.serve_chaos && cli.baseline);
         assert_eq!(cli.gpus, 4);
         assert_eq!(cli.metrics_out.as_deref(), Some("s.json"));
+    }
+
+    #[test]
+    fn serve_replica_flags_parse() {
+        let cli = Cli::parse(&argv("serve")).unwrap();
+        assert_eq!(cli.replicas, 1);
+        assert_eq!(cli.router, RouterPolicy::RoundRobin);
+        assert!(!cli.no_pipeline && !cli.scaling);
+        assert!(cli.plan_cache_in.is_none() && cli.plan_cache_out.is_none());
+        let cli = Cli::parse(&argv(
+            "serve --replicas 4 --router shape-affinity --no-pipeline --scaling \
+             --plan-cache-out cache.json --plan-cache-in warm.json",
+        ))
+        .unwrap();
+        assert_eq!(cli.replicas, 4);
+        assert_eq!(cli.router, RouterPolicy::ShapeAffinity);
+        assert!(cli.no_pipeline && cli.scaling);
+        assert_eq!(cli.plan_cache_out.as_deref(), Some("cache.json"));
+        assert_eq!(cli.plan_cache_in.as_deref(), Some("warm.json"));
+        let cli = Cli::parse(&argv("serve --router least-loaded")).unwrap();
+        assert_eq!(cli.router, RouterPolicy::LeastLoaded);
+        assert!(
+            Cli::parse(&argv("serve --replicas 0"))
+                .unwrap_err()
+                .show_usage
+        );
+        let err = Cli::parse(&argv("serve --router hash")).unwrap_err();
+        assert!(err.show_usage);
+        assert!(err.message.contains("shape-affinity"));
     }
 
     #[test]

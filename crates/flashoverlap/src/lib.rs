@@ -32,6 +32,7 @@ pub mod pipeline;
 pub mod predictor;
 pub mod resilience;
 pub mod runtime;
+pub mod sequence;
 pub mod system;
 pub mod theory;
 pub mod tuner;
@@ -39,16 +40,17 @@ pub mod writers;
 
 pub use error::FlashOverlapError;
 pub use partition::WavePartition;
-pub use pipeline::{LayerSpec, Pipeline, PipelineReport};
+pub use pipeline::{LayerSpec, Pipeline, PipelineExecOptions, PipelineExecOutcome, PipelineReport};
 pub use predictor::{LatencyPredictor, OfflineProfile};
 pub use resilience::{
     run_chaos, CampaignResult, ChaosConfig, ChaosReport, Fault, FaultPlan,
     ResilientFunctionalReport, ResilientOutcome, ResilientReport, WatchdogConfig,
 };
 pub use runtime::{
-    CommPattern, FunctionalInputs, FunctionalReport, Instrumentation, OverlapPlan, RunReport,
-    SignalMutation,
+    CommPattern, ExecOptions, ExecOutcome, FunctionalInputs, FunctionalReport, Instrumentation,
+    OverlapPlan, RunReport, SignalMutation,
 };
+pub use sequence::{execute_sequence, SequenceOptions, SequenceOutcome};
 pub use system::SystemSpec;
 pub use theory::{nonoverlap_latency, theoretical_latency, theoretical_speedup};
 pub use tuner::{

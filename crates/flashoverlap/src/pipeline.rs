@@ -54,8 +54,8 @@ pub struct LayerSpec {
 ///         LayerSpec { dims, pattern: CommPattern::AllReduce, epilogue: None },
 ///     ],
 /// )?;
-/// let report = pipeline.execute()?;
-/// assert_eq!(report.layers.len(), 2);
+/// let outcome = pipeline.execute_with(&flashoverlap::PipelineExecOptions::new())?;
+/// assert_eq!(outcome.report.layers.len(), 2);
 /// # Ok::<(), flashoverlap::FlashOverlapError>(())
 /// ```
 #[derive(Debug)]
@@ -67,7 +67,7 @@ pub struct Pipeline {
 }
 
 /// Timing results of a pipeline execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PipelineReport {
     /// End-to-end simulated time.
     pub total: SimDuration,
@@ -83,6 +83,58 @@ pub struct FunctionalPipelineReport {
     pub report: PipelineReport,
     /// Per-rank logical outputs of the final layer.
     pub outputs: Vec<Matrix>,
+}
+
+/// Options for [`Pipeline::execute_with`] — the pipeline mirror of
+/// [`crate::runtime::ExecOptions`]. Default options run the whole
+/// pipeline in timing mode.
+#[derive(Debug, Default)]
+pub struct PipelineExecOptions<'a> {
+    instrument: Option<&'a crate::runtime::Instrumentation>,
+    mutate_layer: usize,
+    functional: Option<(&'a [Matrix], &'a [Vec<Matrix>])>,
+}
+
+impl<'a> PipelineExecOptions<'a> {
+    /// Plain timing-mode options.
+    pub fn new() -> Self {
+        PipelineExecOptions::default()
+    }
+
+    /// Attaches observation hooks — the sanitizer entry point for the
+    /// multi-layer path. A seeded [`crate::runtime::SignalMutation`]
+    /// applies to the layer selected by
+    /// [`PipelineExecOptions::mutate_layer`], and a wedge it causes is
+    /// left for the attached probe to report at drain time, not an
+    /// error.
+    pub fn instrument(mut self, instr: &'a crate::runtime::Instrumentation) -> Self {
+        self.instrument = Some(instr);
+        self
+    }
+
+    /// Selects the layer a seeded mutation applies to (default: 0).
+    pub fn mutate_layer(mut self, layer: usize) -> Self {
+        self.mutate_layer = layer;
+        self
+    }
+
+    /// Functional mode: layer 0 consumes `first_a`; every later layer
+    /// consumes the previous layer's fused epilogue output;
+    /// `weights[l]` is layer `l`'s per-rank `K x N` operand set.
+    pub fn functional(mut self, first_a: &'a [Matrix], weights: &'a [Vec<Matrix>]) -> Self {
+        self.functional = Some((first_a, weights));
+        self
+    }
+}
+
+/// Unified results of [`Pipeline::execute_with`].
+#[derive(Debug, Clone)]
+pub struct PipelineExecOutcome {
+    /// Per-layer timing.
+    pub report: PipelineReport,
+    /// Per-rank logical outputs of the final layer (functional mode
+    /// only).
+    pub outputs: Option<Vec<Matrix>>,
 }
 
 impl Pipeline {
@@ -154,50 +206,71 @@ impl Pipeline {
         &self.plans
     }
 
-    /// Runs the whole pipeline in timing mode.
+    /// Runs the whole pipeline with the given options — the single
+    /// execute entry point, mirroring [`OverlapPlan::execute_with`].
+    /// Default options give plain timing mode; combine
+    /// [`PipelineExecOptions::instrument`] and
+    /// [`PipelineExecOptions::functional`] freely.
     ///
     /// # Errors
     ///
-    /// Propagates simulation failures.
-    pub fn execute(&self) -> Result<PipelineReport, FlashOverlapError> {
-        let mut world = self.system.build_cluster(false);
-        let mut sim: ClusterSim = Sim::new();
-        let (reports, _) = self.enqueue_all(&mut world, &mut sim, None, None)?;
-        let end = sim.run(&mut world)?;
-        Ok(PipelineReport {
-            total: end - sim::SimTime::ZERO,
-            layers: reports
-                .into_iter()
-                .map(crate::runtime::Probes::into_report)
-                .collect(),
-        })
-    }
-
-    /// Runs the whole pipeline in timing mode with observation hooks
-    /// attached — the sanitizer entry point for the multi-layer path. A
-    /// seeded [`crate::runtime::SignalMutation`] in `instr` applies to
-    /// layer `mutate_layer` only, and — as with
-    /// [`OverlapPlan::execute_instrumented`] — a wedge it causes is left
-    /// for the attached probe to report at drain time, not an error.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`FlashOverlapError::BadInputs`] if `mutate_layer` is out
-    /// of range, and [`FlashOverlapError::Simulation`] on engine failure.
-    pub fn execute_instrumented(
+    /// Returns [`FlashOverlapError::BadInputs`] on an out-of-range
+    /// mutation layer or malformed functional inputs, and
+    /// [`FlashOverlapError::Simulation`] on engine failure.
+    pub fn execute_with(
         &self,
-        instr: &crate::runtime::Instrumentation,
-        mutate_layer: usize,
-    ) -> Result<PipelineReport, FlashOverlapError> {
-        if mutate_layer >= self.plans.len() {
+        options: &PipelineExecOptions,
+    ) -> Result<PipelineExecOutcome, FlashOverlapError> {
+        if options.mutate_layer >= self.plans.len() {
             return Err(FlashOverlapError::BadInputs {
                 reason: format!(
-                    "mutation targets layer {mutate_layer} of a {}-layer pipeline",
+                    "mutation targets layer {} of a {}-layer pipeline",
+                    options.mutate_layer,
                     self.plans.len()
                 ),
             });
         }
-        let mut world = self.system.build_cluster(false);
+        let n = self.system.n_gpus;
+        let default_instr = crate::runtime::Instrumentation::default();
+        let instr = options.instrument.unwrap_or(&default_instr);
+        let inputs: Option<Vec<FunctionalInputs>> = match options.functional {
+            Some((first_a, weights)) => {
+                if weights.len() != self.plans.len() {
+                    return Err(FlashOverlapError::BadInputs {
+                        reason: format!(
+                            "{} weight sets for {} layers",
+                            weights.len(),
+                            self.plans.len()
+                        ),
+                    });
+                }
+                let inputs: Vec<FunctionalInputs> = (0..self.plans.len())
+                    .map(|l| FunctionalInputs {
+                        a: if l == 0 {
+                            first_a.to_vec()
+                        } else {
+                            // Placeholder with the right shape; the runtime
+                            // reads activations from the previous layer's
+                            // buffer.
+                            vec![
+                                Matrix::zeros(
+                                    self.plans[l].dims.m as usize,
+                                    self.plans[l].dims.k as usize
+                                );
+                                n
+                            ]
+                        },
+                        b: weights[l].clone(),
+                    })
+                    .collect();
+                for (l, inp) in inputs.iter().enumerate() {
+                    self.plans[l].check_inputs_pub(inp)?;
+                }
+                Some(inputs)
+            }
+            None => None,
+        };
+        let mut world = self.system.build_cluster(inputs.is_some());
         if let Some(monitor) = &instr.monitor {
             world.set_monitor(std::rc::Rc::clone(monitor));
         }
@@ -205,79 +278,27 @@ impl Pipeline {
         if let Some(probe) = &instr.probe {
             sim.set_probe(std::rc::Rc::clone(probe));
         }
-        let (reports, _) = self.enqueue_all(
+        let (reports, handles) = self.enqueue_all(
             &mut world,
             &mut sim,
-            None,
-            instr.mutation.map(|m| (mutate_layer, m)),
+            inputs.as_deref(),
+            instr.mutation.map(|m| (options.mutate_layer, m)),
         )?;
         let end = sim.run(&mut world)?;
-        Ok(PipelineReport {
-            total: end - sim::SimTime::ZERO,
-            layers: reports
-                .into_iter()
-                .map(crate::runtime::Probes::into_report)
-                .collect(),
-        })
-    }
-
-    /// Runs the whole pipeline functionally: layer 0 consumes
-    /// `inputs.a`; every later layer consumes the previous layer's fused
-    /// epilogue output; `weights[l]` is layer `l`'s per-rank `K x N`
-    /// operand set.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error on malformed inputs or simulation failure.
-    pub fn execute_functional(
-        &self,
-        first_a: &[Matrix],
-        weights: &[Vec<Matrix>],
-    ) -> Result<FunctionalPipelineReport, FlashOverlapError> {
-        let n = self.system.n_gpus;
-        if weights.len() != self.plans.len() {
-            return Err(FlashOverlapError::BadInputs {
-                reason: format!(
-                    "{} weight sets for {} layers",
-                    weights.len(),
-                    self.plans.len()
-                ),
-            });
-        }
-        let mut world = self.system.build_cluster(true);
-        let mut sim: ClusterSim = Sim::new();
-        let inputs: Vec<FunctionalInputs> = (0..self.plans.len())
-            .map(|l| FunctionalInputs {
-                a: if l == 0 {
-                    first_a.to_vec()
-                } else {
-                    // Placeholder with the right shape; the runtime reads
-                    // activations from the previous layer's buffer.
-                    vec![
-                        Matrix::zeros(self.plans[l].dims.m as usize, self.plans[l].dims.k as usize);
-                        n
-                    ]
-                },
-                b: weights[l].clone(),
-            })
-            .collect();
-        for (l, inp) in inputs.iter().enumerate() {
-            self.plans[l].check_inputs_pub(inp)?;
-        }
-        let (reports, handles) = self.enqueue_all(&mut world, &mut sim, Some(&inputs), None)?;
-        let end = sim.run(&mut world)?;
-        let last = self.plans.len() - 1;
-        let outputs = match &self.epilogues[last] {
-            Some(_) => (0..n)
-                .map(|d| {
-                    let (rows, cols) = self.plans[last].logical_shape(d);
-                    let buf = handles.epilogue_bufs[d].expect("epilogue requested");
-                    Matrix::from_vec(rows, cols, world.devices[d].mem.snapshot(buf))
-                })
-                .collect(),
-            None => self.plans[last].extract_outputs(&world, &handles),
-        };
-        Ok(FunctionalPipelineReport {
+        let outputs = inputs.is_some().then(|| {
+            let last = self.plans.len() - 1;
+            match &self.epilogues[last] {
+                Some(_) => (0..n)
+                    .map(|d| {
+                        let (rows, cols) = self.plans[last].logical_shape(d);
+                        let buf = handles.epilogue_bufs[d].expect("epilogue requested");
+                        Matrix::from_vec(rows, cols, world.devices[d].mem.snapshot(buf))
+                    })
+                    .collect(),
+                None => self.plans[last].extract_outputs(&world, &handles),
+            }
+        });
+        Ok(PipelineExecOutcome {
             report: PipelineReport {
                 total: end - sim::SimTime::ZERO,
                 layers: reports
@@ -286,6 +307,57 @@ impl Pipeline {
                     .collect(),
             },
             outputs,
+        })
+    }
+
+    /// Runs the whole pipeline in timing mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    #[deprecated(note = "use execute_with(&PipelineExecOptions::new())")]
+    pub fn execute(&self) -> Result<PipelineReport, FlashOverlapError> {
+        Ok(self.execute_with(&PipelineExecOptions::new())?.report)
+    }
+
+    /// Runs the whole pipeline in timing mode with observation hooks
+    /// attached; the seeded mutation applies to layer `mutate_layer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashOverlapError::BadInputs`] if `mutate_layer` is out
+    /// of range, and [`FlashOverlapError::Simulation`] on engine failure.
+    #[deprecated(
+        note = "use execute_with(&PipelineExecOptions::new().instrument(instr).mutate_layer(l))"
+    )]
+    pub fn execute_instrumented(
+        &self,
+        instr: &crate::runtime::Instrumentation,
+        mutate_layer: usize,
+    ) -> Result<PipelineReport, FlashOverlapError> {
+        let options = PipelineExecOptions::new()
+            .instrument(instr)
+            .mutate_layer(mutate_layer);
+        Ok(self.execute_with(&options)?.report)
+    }
+
+    /// Runs the whole pipeline functionally.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed inputs or simulation failure.
+    #[deprecated(
+        note = "use execute_with(&PipelineExecOptions::new().functional(first_a, weights))"
+    )]
+    pub fn execute_functional(
+        &self,
+        first_a: &[Matrix],
+        weights: &[Vec<Matrix>],
+    ) -> Result<FunctionalPipelineReport, FlashOverlapError> {
+        let out = self.execute_with(&PipelineExecOptions::new().functional(first_a, weights))?;
+        Ok(FunctionalPipelineReport {
+            report: out.report,
+            outputs: out.outputs.unwrap_or_default(),
         })
     }
 
@@ -441,13 +513,21 @@ mod tests {
             (0..2).map(|_| Matrix::random(64, 128, &mut rng)).collect(),
             (0..2).map(|_| Matrix::random(128, 64, &mut rng)).collect(),
         ];
-        let result = pipeline.execute_functional(&first_a, &weights).unwrap();
+        let result = pipeline
+            .execute_with(&PipelineExecOptions::new().functional(&first_a, &weights))
+            .unwrap();
 
         // Reference: layer 1 reduce + rmsnorm, then layer 2 reduce.
         let h1 = gemm(&first_a[0], &weights[0][0]).add(&gemm(&first_a[1], &weights[0][1]));
         let act = rmsnorm(&h1, &vec![1.0; 128], 1e-6);
         let h2 = gemm(&act, &weights[1][0]).add(&gemm(&act, &weights[1][1]));
-        for (d, out) in result.outputs.iter().enumerate() {
+        for (d, out) in result
+            .outputs
+            .as_deref()
+            .unwrap_or_default()
+            .iter()
+            .enumerate()
+        {
             assert!(allclose(out, &h2, 5e-2), "rank {d}");
         }
         assert_eq!(result.report.layers.len(), 2);
@@ -479,7 +559,10 @@ mod tests {
             ],
         )
         .unwrap();
-        let report = pipeline.execute().unwrap();
+        let report = pipeline
+            .execute_with(&PipelineExecOptions::new())
+            .unwrap()
+            .report;
         assert_eq!(report.layers.len(), 3);
         for pair in report.layers.windows(2) {
             assert!(pair[0].latency < pair[1].latency, "layers run in order");

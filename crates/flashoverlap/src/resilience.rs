@@ -14,7 +14,7 @@
 //!    degrade or stall ([`gpu_sim::CommFault`],
 //!    [`interconnect::FabricSpec::degraded`]), and ranks can lose SMs or
 //!    start late.
-//! 2. **Watchdog** — [`crate::OverlapPlan::execute_resilient`] derives a
+//! 2. **Watchdog** — [`crate::ExecOptions::resilient`] execution derives a
 //!    deadline from the latency predictor's expected time times
 //!    [`WatchdogConfig::deadline_multiplier`] and steps the simulation
 //!    against it. On expiry it escalates: deadline extensions while work
@@ -488,26 +488,31 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, FlashOverlapError>
     let num_groups = plan.group_tile_counts().len();
 
     let inputs = FunctionalInputs::random(config.dims, config.gpus, config.seed);
-    let reference = plan.execute_functional(&inputs)?;
+    let reference = plan.execute_with(&crate::runtime::ExecOptions::new().functional(&inputs))?;
+    let reference_outputs = reference.outputs.unwrap_or_default();
 
     let mut results = Vec::with_capacity(config.campaigns);
     for i in 0..config.campaigns {
         let seed = config.seed + i as u64;
         let faults = FaultPlan::random(seed, config.gpus, num_groups);
-        let run = plan.execute_functional_resilient(&inputs, &faults, &config.watchdog)?;
-        let bit_exact = run.outputs.len() == reference.outputs.len()
-            && run
-                .outputs
+        let run = plan.execute_with(
+            &crate::runtime::ExecOptions::new()
+                .functional(&inputs)
+                .resilient(&faults, &config.watchdog),
+        )?;
+        let run_outputs = run.outputs.unwrap_or_default();
+        let bit_exact = run_outputs.len() == reference_outputs.len()
+            && run_outputs
                 .iter()
-                .zip(&reference.outputs)
+                .zip(&reference_outputs)
                 .all(|(a, b)| a.as_slice() == b.as_slice());
         results.push(CampaignResult {
             seed,
             faults: faults.faults.len(),
-            outcome: run.resilient.outcome,
+            outcome: run.outcome,
             bit_exact,
-            latency_ns: run.resilient.report.latency.as_nanos(),
-            events: run.resilient.events.len(),
+            latency_ns: run.report.latency.as_nanos(),
+            events: run.events.len(),
         });
     }
     Ok(ChaosReport {

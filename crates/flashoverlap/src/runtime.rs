@@ -24,7 +24,7 @@ use gpu_sim::gemm::{CounterHook, EpilogueWriter, GemmConfig, GemmDims, GemmKerne
 use gpu_sim::memory::BufferId;
 use gpu_sim::monitor::ClusterMonitor;
 use gpu_sim::stream::{
-    abort_counter_waits, enqueue, Callback, RecordEvent, ResetCounter, WaitCounter, WaitEvent,
+    abort_counter_waits, enqueue, Callback, RecordEvent, WaitCounter, WaitEvent,
 };
 use gpu_sim::wave::WaveSchedule;
 use gpu_sim::{Cluster, ClusterSim, IncrementFault, RuntimeEvent, RuntimeEventKind};
@@ -87,7 +87,7 @@ enum PlanMapping {
 /// # Examples
 ///
 /// ```
-/// use flashoverlap::{OverlapPlan, SystemSpec};
+/// use flashoverlap::{ExecOptions, OverlapPlan, SystemSpec};
 /// use flashoverlap::runtime::CommPattern;
 /// use gpu_sim::gemm::GemmDims;
 ///
@@ -95,7 +95,7 @@ enum PlanMapping {
 /// let system = SystemSpec::rtx4090(4);
 /// let dims = GemmDims::new(4096, 8192, 8192);
 /// let plan = OverlapPlan::tuned(dims, CommPattern::AllReduce, system)?;
-/// let report = plan.execute()?;
+/// let report = plan.execute_with(&ExecOptions::new())?.report;
 /// assert!(report.gemm_done <= report.latency);
 /// # Ok::<(), flashoverlap::FlashOverlapError>(())
 /// ```
@@ -127,7 +127,7 @@ impl std::fmt::Debug for OverlapPlan {
 }
 
 /// Timing results of one simulated run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunReport {
     /// GEMM launch to final completion (GEMM and all communication): the
     /// operator latency compared against baselines.
@@ -246,6 +246,110 @@ pub struct FunctionalReport {
     /// row slice (rows `r % n == rank`, ascending) for ReduceScatter, and
     /// the received tokens (source-major, row-ascending) for All-to-All.
     pub outputs: Vec<Matrix>,
+}
+
+/// Options for [`OverlapPlan::execute_with`]: one builder covering every
+/// execution mode the runtime supports — timing, instrumented, traced,
+/// functional, fused-epilogue, steady-state iteration, and resilient —
+/// replacing the former `execute*` method matrix.
+///
+/// Modes compose where the composition is meaningful and are rejected
+/// with [`FlashOverlapError::BadInputs`] where it is not (see
+/// [`OverlapPlan::execute_with`]).
+#[derive(Debug, Default)]
+pub struct ExecOptions<'a> {
+    instrument: Option<&'a Instrumentation>,
+    trace: bool,
+    epilogue: Option<&'a ElementwiseOp>,
+    functional: Option<&'a FunctionalInputs>,
+    resilient: Option<(&'a FaultPlan, &'a WatchdogConfig)>,
+    iterations: Option<usize>,
+}
+
+impl<'a> ExecOptions<'a> {
+    /// Plain timing-mode options (the former `execute`).
+    pub fn new() -> Self {
+        ExecOptions::default()
+    }
+
+    /// Attaches observation hooks and the optional seeded signal
+    /// mutation. An instrumented run skips the quiescence check: a
+    /// wedge a seeded [`SignalMutation`] causes is left for the attached
+    /// probe to report at drain time rather than turned into an error.
+    pub fn instrument(mut self, instr: &'a Instrumentation) -> Self {
+        self.instrument = Some(instr);
+        self
+    }
+
+    /// Records per-stream operation spans (timeline / Perfetto export)
+    /// into [`ExecOutcome::spans`].
+    pub fn trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Fuses `op` into a post-communication epilogue kernel (Fig. 6),
+    /// paying the granularity-dependent remap cost of Table 4.
+    pub fn epilogue(mut self, op: &'a ElementwiseOp) -> Self {
+        self.epilogue = Some(op);
+        self
+    }
+
+    /// Runs functionally on real data; per-rank post-remap outputs land
+    /// in [`ExecOutcome::outputs`].
+    pub fn functional(mut self, inputs: &'a FunctionalInputs) -> Self {
+        self.functional = Some(inputs);
+        self
+    }
+
+    /// Runs under the watchdog with `faults` armed: a wedge is broken by
+    /// the escalation ladder and reported as a structured
+    /// [`ResilientOutcome`] instead of hanging.
+    pub fn resilient(mut self, faults: &'a FaultPlan, watchdog: &'a WatchdogConfig) -> Self {
+        self.resilient = Some((faults, watchdog));
+        self
+    }
+
+    /// Runs `n` back-to-back instances of the plan in one simulation
+    /// (kernel launches queued on the same streams, as a serving loop
+    /// would) and reports the steady-state average latency in
+    /// [`ExecOutcome::steady_state`].
+    pub fn iterations(mut self, n: usize) -> Self {
+        self.iterations = Some(n);
+        self
+    }
+}
+
+/// Unified result of [`OverlapPlan::execute_with`]. Fields a mode does
+/// not produce hold their neutral value: empty `spans`/`events`, `None`
+/// `outputs`/`steady_state`, [`ResilientOutcome::Clean`], zero
+/// `faults_armed`.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Timing of the run (in iteration mode, `latency` holds the
+    /// steady-state average and the per-group fields are empty).
+    pub report: RunReport,
+    /// Recorded per-stream spans when [`ExecOptions::trace`] was set.
+    pub spans: Vec<gpu_sim::OpSpan>,
+    /// Per-rank logical outputs when [`ExecOptions::functional`] was
+    /// set.
+    pub outputs: Option<Vec<Matrix>>,
+    /// How the run terminated (`Clean` outside resilient mode).
+    pub outcome: ResilientOutcome,
+    /// Watchdog/fault events recorded in resilient mode.
+    pub events: Vec<RuntimeEvent>,
+    /// Faults armed in resilient mode.
+    pub faults_armed: usize,
+    /// Steady-state average latency when [`ExecOptions::iterations`] was
+    /// set.
+    pub steady_state: Option<SimDuration>,
+}
+
+impl ExecOutcome {
+    /// Events of one kind from the resilient event log.
+    pub fn events_of(&self, kind: gpu_sim::RuntimeEventKind) -> Vec<&RuntimeEvent> {
+        self.events.iter().filter(|e| e.kind == kind).collect()
+    }
 }
 
 impl OverlapPlan {
@@ -368,133 +472,255 @@ impl OverlapPlan {
         }
     }
 
+    /// Executes the plan with the modes selected in `options` — the
+    /// single runtime entry point. The former `execute*` method matrix
+    /// remains as thin deprecated shims over this.
+    ///
+    /// Mode semantics:
+    ///
+    /// - Uninstrumented, non-resilient runs verify stream quiescence and
+    ///   turn a wedged schedule into [`FlashOverlapError::Deadlock`].
+    ///   Instrumented runs skip that check: a wedge a seeded
+    ///   [`SignalMutation`] causes is left for the attached probe to
+    ///   report at drain time (lost-signal/deadlock findings).
+    /// - [`ExecOptions::resilient`] composes with
+    ///   [`ExecOptions::functional`], [`ExecOptions::trace`], and a
+    ///   monitor hook, but rejects epilogues, iteration mode, probes,
+    ///   and mutations (faults are the resilient path's corruption
+    ///   vocabulary).
+    /// - [`ExecOptions::iterations`] is timing-only: it composes with
+    ///   instrumentation (the mutation applies to the final iteration)
+    ///   but rejects functional, epilogue, and trace requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashOverlapError::BadInputs`] on malformed inputs,
+    /// invalid mode combinations, out-of-range fault targets, or zero
+    /// iterations; [`FlashOverlapError::Deadlock`] when an
+    /// uninstrumented schedule wedges; and
+    /// [`FlashOverlapError::Simulation`] on engine failure.
+    pub fn execute_with(&self, options: &ExecOptions) -> Result<ExecOutcome, FlashOverlapError> {
+        if let Some((faults, watchdog)) = options.resilient {
+            return self.run_resilient_with(options, faults, watchdog);
+        }
+        if let Some(iterations) = options.iterations {
+            if options.functional.is_some() || options.epilogue.is_some() || options.trace {
+                return Err(FlashOverlapError::BadInputs {
+                    reason: "iteration mode is timing-only: \
+                             drop .functional()/.epilogue()/.trace()"
+                        .into(),
+                });
+            }
+            let default_instr = Instrumentation::default();
+            let steady =
+                self.run_iterations(iterations, options.instrument.unwrap_or(&default_instr))?;
+            return Ok(ExecOutcome {
+                report: RunReport {
+                    latency: steady,
+                    gemm_done: SimDuration::ZERO,
+                    group_comm_done: Vec::new(),
+                    epilogue_done: None,
+                },
+                spans: Vec::new(),
+                outputs: None,
+                outcome: ResilientOutcome::Clean,
+                events: Vec::new(),
+                faults_armed: 0,
+                steady_state: Some(steady),
+            });
+        }
+        self.run_single(options)
+    }
+
+    /// The resilient arm of [`OverlapPlan::execute_with`].
+    fn run_resilient_with(
+        &self,
+        options: &ExecOptions,
+        faults: &FaultPlan,
+        watchdog: &WatchdogConfig,
+    ) -> Result<ExecOutcome, FlashOverlapError> {
+        if options.epilogue.is_some() {
+            return Err(FlashOverlapError::BadInputs {
+                reason: "resilient mode does not support a fused epilogue".into(),
+            });
+        }
+        if options.iterations.is_some() {
+            return Err(FlashOverlapError::BadInputs {
+                reason: "resilient mode runs a single instance: drop .iterations()".into(),
+            });
+        }
+        if options
+            .instrument
+            .is_some_and(|i| i.probe.is_some() || i.mutation.is_some())
+        {
+            return Err(FlashOverlapError::BadInputs {
+                reason: "resilient mode supports only a monitor hook; \
+                         use a FaultPlan to corrupt signaling"
+                    .into(),
+            });
+        }
+        if let Some(inputs) = options.functional {
+            self.check_inputs(inputs)?;
+        }
+        let monitor = options.instrument.and_then(|i| i.monitor.clone());
+        let (resilient, outputs, spans) =
+            self.run_resilient(options.functional, faults, watchdog, options.trace, monitor)?;
+        Ok(ExecOutcome {
+            report: resilient.report,
+            spans,
+            outputs,
+            outcome: resilient.outcome,
+            events: resilient.events,
+            faults_armed: resilient.faults_armed,
+            steady_state: None,
+        })
+    }
+
+    /// The single-run arm of [`OverlapPlan::execute_with`] (every mode
+    /// except resilient and iteration).
+    fn run_single(&self, options: &ExecOptions) -> Result<ExecOutcome, FlashOverlapError> {
+        if let Some(inputs) = options.functional {
+            self.check_inputs(inputs)?;
+        }
+        if let Some(op) = options.epilogue {
+            self.check_epilogue(op)?;
+        }
+        let default_instr = Instrumentation::default();
+        let instr = options.instrument.unwrap_or(&default_instr);
+        let mut world = self.system.build_cluster(options.functional.is_some());
+        if options.trace {
+            world.enable_op_spans();
+        }
+        if let Some(monitor) = &instr.monitor {
+            world.set_monitor(Rc::clone(monitor));
+        }
+        let mut sim: ClusterSim = Sim::new();
+        if let Some(probe) = &instr.probe {
+            sim.set_probe(Rc::clone(probe));
+        }
+        let streams = StreamCtx::create(&mut world, self.system.n_gpus);
+        let handles = self.enqueue_program_on(
+            &mut world,
+            &mut sim,
+            options.functional,
+            options.epilogue,
+            &streams,
+            None,
+            instr.mutation,
+            None,
+        );
+        sim.run(&mut world)?;
+        let instrumented =
+            instr.monitor.is_some() || instr.probe.is_some() || instr.mutation.is_some();
+        if !instrumented {
+            check_quiescent(&world)?;
+        }
+        let spans = if options.trace {
+            world.op_spans.take().unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        let outputs = match (options.functional, options.epilogue) {
+            (Some(_), Some(_)) => {
+                // The fused kernel produced the logical result in the
+                // epilogue buffers (not host-side post-processing).
+                let n = self.system.n_gpus;
+                Some(
+                    (0..n)
+                        .map(|d| {
+                            let (rows, cols) = self.logical_shape(d);
+                            let buf = handles.epilogue_bufs[d].expect("epilogue requested");
+                            let data = world.devices[d].mem.snapshot(buf);
+                            Matrix::from_vec(rows, cols, data)
+                        })
+                        .collect(),
+                )
+            }
+            (Some(_), None) => Some(self.extract_outputs(&world, &handles)),
+            _ => None,
+        };
+        Ok(ExecOutcome {
+            report: handles.probes.into_report(),
+            spans,
+            outputs,
+            outcome: ResilientOutcome::Clean,
+            events: Vec::new(),
+            faults_armed: 0,
+            steady_state: None,
+        })
+    }
+
     /// Runs the plan in timing mode.
     ///
     /// # Errors
     ///
     /// Returns [`FlashOverlapError::Simulation`] if the simulation engine
     /// fails.
+    #[deprecated(note = "use execute_with(&ExecOptions::new())")]
     pub fn execute(&self) -> Result<RunReport, FlashOverlapError> {
-        let mut world = self.system.build_cluster(false);
-        let mut sim: ClusterSim = Sim::new();
-        let handles = self.enqueue_program(&mut world, &mut sim, None, None);
-        sim.run(&mut world)?;
-        check_quiescent(&world)?;
-        Ok(handles.probes.into_report())
+        Ok(self.execute_with(&ExecOptions::new())?.report)
     }
 
-    /// Runs the plan in timing mode with observation hooks attached and
-    /// (optionally) a seeded signal mutation applied — the entry point
-    /// dynamic analysis tools like `simsan` use.
-    ///
-    /// Unlike [`OverlapPlan::execute`], a wedged simulation is *not* an
-    /// error here: a seeded [`SignalMutation::RaiseThreshold`] starves its
-    /// waiter on purpose, and the attached probe is expected to turn the
-    /// hang into lost-signal/deadlock findings at drain time.
+    /// Runs the plan in timing mode with observation hooks attached —
+    /// see [`ExecOptions::instrument`].
     ///
     /// # Errors
     ///
     /// Returns [`FlashOverlapError::Simulation`] if the simulation engine
     /// itself fails (e.g. the event budget is exhausted).
+    #[deprecated(note = "use execute_with(&ExecOptions::new().instrument(instr))")]
     pub fn execute_instrumented(
         &self,
         instr: &Instrumentation,
     ) -> Result<RunReport, FlashOverlapError> {
-        let mut world = self.system.build_cluster(false);
-        if let Some(monitor) = &instr.monitor {
-            world.set_monitor(Rc::clone(monitor));
-        }
-        let mut sim: ClusterSim = Sim::new();
-        if let Some(probe) = &instr.probe {
-            sim.set_probe(Rc::clone(probe));
-        }
-        let streams = StreamCtx::create(&mut world, self.system.n_gpus);
-        let handles = self.enqueue_program_on(
-            &mut world,
-            &mut sim,
-            None,
-            None,
-            &streams,
-            None,
-            instr.mutation,
-            None,
-        );
-        sim.run(&mut world)?;
-        Ok(handles.probes.into_report())
+        Ok(self
+            .execute_with(&ExecOptions::new().instrument(instr))?
+            .report)
     }
 
-    /// Runs the plan in timing mode with observation hooks attached *and*
-    /// per-stream operation spans recorded — the entry point the
-    /// `telemetry` crate's profiler uses, combining
-    /// [`OverlapPlan::execute_instrumented`] with
-    /// [`OverlapPlan::execute_traced`].
+    /// Instrumented run with per-stream operation spans recorded.
     ///
     /// # Errors
     ///
     /// Returns [`FlashOverlapError::Simulation`] if the simulation engine
     /// itself fails.
+    #[deprecated(note = "use execute_with(&ExecOptions::new().instrument(instr).trace())")]
     pub fn execute_traced_instrumented(
         &self,
         instr: &Instrumentation,
     ) -> Result<(RunReport, Vec<gpu_sim::OpSpan>), FlashOverlapError> {
-        let mut world = self.system.build_cluster(false);
-        world.enable_op_spans();
-        if let Some(monitor) = &instr.monitor {
-            world.set_monitor(Rc::clone(monitor));
-        }
-        let mut sim: ClusterSim = Sim::new();
-        if let Some(probe) = &instr.probe {
-            sim.set_probe(Rc::clone(probe));
-        }
-        let streams = StreamCtx::create(&mut world, self.system.n_gpus);
-        let handles = self.enqueue_program_on(
-            &mut world,
-            &mut sim,
-            None,
-            None,
-            &streams,
-            None,
-            instr.mutation,
-            None,
-        );
-        sim.run(&mut world)?;
-        let spans = world.op_spans.take().unwrap_or_default();
-        Ok((handles.probes.into_report(), spans))
+        let out = self.execute_with(&ExecOptions::new().instrument(instr).trace())?;
+        Ok((out.report, out.spans))
     }
 
-    /// Runs `iterations` back-to-back instances of the plan in one
-    /// simulation (kernel launches queued on the same streams, as a
-    /// serving loop would) and returns the steady-state average latency.
-    ///
-    /// The first iteration pays cold-start effects (no prior comm
-    /// backlog); later iterations expose stream back-pressure between
-    /// consecutive operators, which single-shot measurement misses.
+    /// Steady-state iteration — see [`ExecOptions::iterations`].
     ///
     /// # Errors
     ///
     /// Returns [`FlashOverlapError::Simulation`] on engine failure, and
     /// [`FlashOverlapError::BadInputs`] if `iterations == 0`.
+    #[deprecated(note = "use execute_with(&ExecOptions::new().iterations(n))")]
     pub fn execute_iterations(&self, iterations: usize) -> Result<SimDuration, FlashOverlapError> {
-        self.run_iterations(iterations, &Instrumentation::default())
+        let out = self.execute_with(&ExecOptions::new().iterations(iterations))?;
+        Ok(out.steady_state.expect("iteration mode sets steady_state"))
     }
 
-    /// Steady-state iteration with observation hooks attached — the
-    /// sanitizer entry point for the serving-loop path. A seeded
-    /// [`SignalMutation`] in `instr` applies to the *final* iteration
-    /// (after counting-table reuse reached steady state), and — as with
-    /// [`OverlapPlan::execute_instrumented`] — a wedge it causes is left
-    /// for the attached probe to report at drain time, not an error.
+    /// Instrumented steady-state iteration — see
+    /// [`ExecOptions::iterations`] and [`ExecOptions::instrument`].
     ///
     /// # Errors
     ///
     /// Returns [`FlashOverlapError::Simulation`] on engine failure, and
     /// [`FlashOverlapError::BadInputs`] if `iterations == 0`.
+    #[deprecated(note = "use execute_with(&ExecOptions::new().iterations(n).instrument(instr))")]
     pub fn execute_iterations_instrumented(
         &self,
         iterations: usize,
         instr: &Instrumentation,
     ) -> Result<SimDuration, FlashOverlapError> {
-        self.run_iterations(iterations, instr)
+        let out =
+            self.execute_with(&ExecOptions::new().iterations(iterations).instrument(instr))?;
+        Ok(out.steady_state.expect("iteration mode sets steady_state"))
     }
 
     fn run_iterations(
@@ -507,105 +733,17 @@ impl OverlapPlan {
                 reason: "need at least one iteration".into(),
             });
         }
-        let mut world = self.system.build_cluster(false);
-        if let Some(monitor) = &instr.monitor {
-            world.set_monitor(Rc::clone(monitor));
-        }
-        let mut sim: ClusterSim = Sim::new();
-        if let Some(probe) = &instr.probe {
-            sim.set_probe(Rc::clone(probe));
-        }
-        let n = self.system.n_gpus;
-        let streams = StreamCtx::create(&mut world, n);
-        // A serving loop allocates counting tables once and ping-pongs
-        // between two sets (double buffering): iteration `i`'s signals must
-        // not land in a table whose waits iteration `i - 1` still consumes.
-        let num_groups = self.group_tile_counts().len();
-        let table_sets: [Vec<usize>; 2] = std::array::from_fn(|_| {
-            (0..n)
-                .map(|d| world.devices[d].create_counter(num_groups))
-                .collect()
-        });
-        // Per set: the comm-done events of the iteration that last used it.
-        let mut last_use: [Option<Vec<gpu_sim::GpuEventId>>; 2] = [None, None];
-        for i in 0..iterations {
-            let parity = i % 2;
-            if let Some(events) = last_use[parity].take() {
-                // Reuse: reset each rank's table on the compute stream,
-                // ordered after the previous user's comm stream drained its
-                // waits (resetting under a parked waiter is a bug).
-                for d in 0..n {
-                    enqueue(
-                        &mut world,
-                        &mut sim,
-                        d,
-                        streams.compute[d],
-                        Box::new(WaitEvent(events[d])),
-                    );
-                    enqueue(
-                        &mut world,
-                        &mut sim,
-                        d,
-                        streams.compute[d],
-                        Box::new(ResetCounter {
-                            table: table_sets[parity][d],
-                        }),
-                    );
-                    // The comm stream must not consult the table before the
-                    // reset lands: a stale (pre-reset) count would satisfy
-                    // the new iteration's wait and release its collective
-                    // before any tile is written. (SimSan flags exactly
-                    // this as use-before-signal when the edge is missing.)
-                    let ready = world.devices[d].create_event();
-                    enqueue(
-                        &mut world,
-                        &mut sim,
-                        d,
-                        streams.compute[d],
-                        Box::new(RecordEvent(ready)),
-                    );
-                    enqueue(
-                        &mut world,
-                        &mut sim,
-                        d,
-                        streams.comm[d],
-                        Box::new(WaitEvent(ready)),
-                    );
-                }
-            }
-            let mutation = if i + 1 == iterations {
-                instr.mutation
-            } else {
-                None
-            };
-            let _ = self.enqueue_program_on(
-                &mut world,
-                &mut sim,
-                None,
-                None,
-                &streams,
-                None,
-                mutation,
-                Some(&table_sets[parity]),
-            );
-            let events: Vec<gpu_sim::GpuEventId> = (0..n)
-                .map(|d| {
-                    let ev = world.devices[d].create_event();
-                    enqueue(
-                        &mut world,
-                        &mut sim,
-                        d,
-                        streams.comm[d],
-                        Box::new(RecordEvent(ev)),
-                    );
-                    ev
-                })
-                .collect();
-            last_use[parity] = Some(events);
-        }
-        let end = sim.run(&mut world)?;
+        // Steady state is this plan repeated back to back on one stream
+        // pair — exactly a homogeneous pipelined sequence. The mutation
+        // (if any) lands on the final iteration, after counting-table
+        // reuse reached steady state.
+        let plans = vec![self; iterations];
+        let outcome = crate::sequence::execute_sequence(
+            &plans,
+            &crate::sequence::SequenceOptions::new().instrument(instr),
+        )?;
         Ok(SimDuration::from_nanos(
-            (end - SimTime::ZERO).as_nanos() / iterations as u64,
+            outcome.total.as_nanos() / iterations as u64,
         ))
     }
 
@@ -615,36 +753,26 @@ impl OverlapPlan {
     /// # Errors
     ///
     /// Returns [`FlashOverlapError::Simulation`] on engine failure.
+    #[deprecated(note = "use execute_with(&ExecOptions::new().trace())")]
     pub fn execute_traced(&self) -> Result<(RunReport, Vec<gpu_sim::OpSpan>), FlashOverlapError> {
-        let mut world = self.system.build_cluster(false);
-        world.enable_op_spans();
-        let mut sim: ClusterSim = Sim::new();
-        let handles = self.enqueue_program(&mut world, &mut sim, None, None);
-        sim.run(&mut world)?;
-        let spans = world.op_spans.take().unwrap_or_default();
-        Ok((handles.probes.into_report(), spans))
+        let out = self.execute_with(&ExecOptions::new().trace())?;
+        Ok((out.report, out.spans))
     }
 
     /// Runs the plan in timing mode with the post-communication remap
-    /// fused into a trailing element-wise kernel (Fig. 6): after the
-    /// last group's collective, each rank runs `op` over its logical
-    /// output, gathering through the reorder mapping and paying the
-    /// granularity-dependent remap cost of Table 4.
+    /// fused into a trailing element-wise kernel — see
+    /// [`ExecOptions::epilogue`].
     ///
     /// # Errors
     ///
     /// Returns an error on inconsistent operator parameters or
     /// simulation failure.
+    #[deprecated(note = "use execute_with(&ExecOptions::new().epilogue(op))")]
     pub fn execute_with_epilogue(
         &self,
         op: &ElementwiseOp,
     ) -> Result<RunReport, FlashOverlapError> {
-        self.check_epilogue(op)?;
-        let mut world = self.system.build_cluster(false);
-        let mut sim: ClusterSim = Sim::new();
-        let handles = self.enqueue_program(&mut world, &mut sim, None, Some(op));
-        sim.run(&mut world)?;
-        Ok(handles.probes.into_report())
+        Ok(self.execute_with(&ExecOptions::new().epilogue(op))?.report)
     }
 
     /// Runs the plan in functional mode with real data, returning the
@@ -653,20 +781,15 @@ impl OverlapPlan {
     /// # Errors
     ///
     /// Returns an error on malformed inputs or simulation failure.
+    #[deprecated(note = "use execute_with(&ExecOptions::new().functional(inputs))")]
     pub fn execute_functional(
         &self,
         inputs: &FunctionalInputs,
     ) -> Result<FunctionalReport, FlashOverlapError> {
-        self.check_inputs(inputs)?;
-        let mut world = self.system.build_cluster(true);
-        let mut sim: ClusterSim = Sim::new();
-        let handles = self.enqueue_program(&mut world, &mut sim, Some(inputs), None);
-        sim.run(&mut world)?;
-        check_quiescent(&world)?;
-        let outputs = self.extract_outputs(&world, &handles);
+        let out = self.execute_with(&ExecOptions::new().functional(inputs))?;
         Ok(FunctionalReport {
-            report: handles.probes.into_report(),
-            outputs,
+            report: out.report,
+            outputs: out.outputs.unwrap_or_default(),
         })
     }
 
@@ -678,29 +801,16 @@ impl OverlapPlan {
     ///
     /// Returns an error on malformed inputs/operator or simulation
     /// failure.
+    #[deprecated(note = "use execute_with(&ExecOptions::new().functional(inputs).epilogue(op))")]
     pub fn execute_functional_with_epilogue(
         &self,
         inputs: &FunctionalInputs,
         op: &ElementwiseOp,
     ) -> Result<FunctionalReport, FlashOverlapError> {
-        self.check_inputs(inputs)?;
-        self.check_epilogue(op)?;
-        let mut world = self.system.build_cluster(true);
-        let mut sim: ClusterSim = Sim::new();
-        let handles = self.enqueue_program(&mut world, &mut sim, Some(inputs), Some(op));
-        sim.run(&mut world)?;
-        let n = self.system.n_gpus;
-        let outputs = (0..n)
-            .map(|d| {
-                let (rows, cols) = self.logical_shape(d);
-                let buf = handles.epilogue_bufs[d].expect("epilogue requested");
-                let data = world.devices[d].mem.snapshot(buf);
-                Matrix::from_vec(rows, cols, data)
-            })
-            .collect();
+        let out = self.execute_with(&ExecOptions::new().functional(inputs).epilogue(op))?;
         Ok(FunctionalReport {
-            report: handles.probes.into_report(),
-            outputs,
+            report: out.report,
+            outputs: out.outputs.unwrap_or_default(),
         })
     }
 
@@ -794,17 +904,6 @@ impl OverlapPlan {
             }
         }
         Ok(())
-    }
-
-    pub(crate) fn enqueue_program(
-        &self,
-        world: &mut Cluster,
-        sim: &mut ClusterSim,
-        inputs: Option<&FunctionalInputs>,
-        epilogue: Option<&ElementwiseOp>,
-    ) -> ProgramHandles {
-        let streams = StreamCtx::create(world, self.system.n_gpus);
-        self.enqueue_program_on(world, sim, inputs, epilogue, &streams, None, None, None)
     }
 
     /// Enqueues the overlap program on caller-provided streams, optionally
@@ -1265,13 +1364,19 @@ impl OverlapPlan {
     /// Returns [`FlashOverlapError::BadInputs`] if a fault targets a
     /// rank or group the plan does not have, and
     /// [`FlashOverlapError::Simulation`] on engine failure.
+    #[deprecated(note = "use execute_with(&ExecOptions::new().resilient(faults, watchdog))")]
     pub fn execute_resilient(
         &self,
         faults: &FaultPlan,
         watchdog: &WatchdogConfig,
     ) -> Result<ResilientReport, FlashOverlapError> {
-        let (report, _, _) = self.run_resilient(None, faults, watchdog, false, None)?;
-        Ok(report)
+        let out = self.execute_with(&ExecOptions::new().resilient(faults, watchdog))?;
+        Ok(ResilientReport {
+            report: out.report,
+            outcome: out.outcome,
+            events: out.events,
+            faults_armed: out.faults_armed,
+        })
     }
 
     /// Functional (data-carrying) resilient run: the returned outputs
@@ -1284,18 +1389,28 @@ impl OverlapPlan {
     ///
     /// Returns an error on malformed inputs, out-of-range fault targets,
     /// or engine failure.
+    #[deprecated(
+        note = "use execute_with(&ExecOptions::new().functional(inputs).resilient(faults, watchdog))"
+    )]
     pub fn execute_functional_resilient(
         &self,
         inputs: &FunctionalInputs,
         faults: &FaultPlan,
         watchdog: &WatchdogConfig,
     ) -> Result<ResilientFunctionalReport, FlashOverlapError> {
-        self.check_inputs(inputs)?;
-        let (resilient, outputs, _) =
-            self.run_resilient(Some(inputs), faults, watchdog, false, None)?;
+        let out = self.execute_with(
+            &ExecOptions::new()
+                .functional(inputs)
+                .resilient(faults, watchdog),
+        )?;
         Ok(ResilientFunctionalReport {
-            resilient,
-            outputs: outputs.unwrap_or_default(),
+            resilient: ResilientReport {
+                report: out.report,
+                outcome: out.outcome,
+                events: out.events,
+                faults_armed: out.faults_armed,
+            },
+            outputs: out.outputs.unwrap_or_default(),
         })
     }
 
@@ -1307,14 +1422,36 @@ impl OverlapPlan {
     /// # Errors
     ///
     /// Returns an error on out-of-range fault targets or engine failure.
+    #[deprecated(
+        note = "use execute_with(&ExecOptions::new().resilient(faults, watchdog).trace()) \
+                with a monitor in .instrument()"
+    )]
     pub fn execute_resilient_traced(
         &self,
         faults: &FaultPlan,
         watchdog: &WatchdogConfig,
         monitor: Option<Rc<dyn ClusterMonitor>>,
     ) -> Result<(ResilientReport, Vec<gpu_sim::OpSpan>), FlashOverlapError> {
-        let (report, _, spans) = self.run_resilient(None, faults, watchdog, true, monitor)?;
-        Ok((report, spans))
+        let instr = Instrumentation {
+            monitor,
+            probe: None,
+            mutation: None,
+        };
+        let out = self.execute_with(
+            &ExecOptions::new()
+                .instrument(&instr)
+                .resilient(faults, watchdog)
+                .trace(),
+        )?;
+        Ok((
+            ResilientReport {
+                report: out.report,
+                outcome: out.outcome,
+                events: out.events,
+                faults_armed: out.faults_armed,
+            },
+            out.spans,
+        ))
     }
 
     fn run_resilient(
@@ -1674,7 +1811,7 @@ fn fault_group(fault: &Fault) -> Option<usize> {
 
 /// Turns a drained-but-wedged simulation into a diagnosable error
 /// carrying the full counter context of every starved signal wait.
-fn check_quiescent(world: &Cluster) -> Result<(), FlashOverlapError> {
+pub(crate) fn check_quiescent(world: &Cluster) -> Result<(), FlashOverlapError> {
     world
         .check_quiescent()
         .map_err(|streams| FlashOverlapError::Deadlock {
@@ -1787,6 +1924,20 @@ mod tests {
         acc
     }
 
+    fn exec(plan: &OverlapPlan) -> RunReport {
+        plan.execute_with(&ExecOptions::new()).unwrap().report
+    }
+
+    fn exec_functional(plan: &OverlapPlan, inputs: &FunctionalInputs) -> FunctionalReport {
+        let out = plan
+            .execute_with(&ExecOptions::new().functional(inputs))
+            .unwrap();
+        FunctionalReport {
+            report: out.report,
+            outputs: out.outputs.expect("functional outputs"),
+        }
+    }
+
     #[test]
     fn all_reduce_overlap_is_numerically_exact() {
         let dims = GemmDims::new(256, 256, 64);
@@ -1797,7 +1948,7 @@ mod tests {
         let partition = WavePartition::per_wave(waves);
         let plan = OverlapPlan::new(dims, CommPattern::AllReduce, system, partition).unwrap();
         let inputs = FunctionalInputs::random(dims, 2, 77);
-        let result = plan.execute_functional(&inputs).unwrap();
+        let result = exec_functional(&plan, &inputs);
         let expected = reduced_reference(&inputs);
         for (d, out) in result.outputs.iter().enumerate() {
             assert!(allclose(out, &expected, 1e-2), "rank {d} output mismatch");
@@ -1821,12 +1972,12 @@ mod tests {
     #[test]
     fn resilient_run_without_faults_is_clean_and_matches_execute() {
         let plan = all_reduce_plan(GemmDims::new(256, 256, 64), 2);
-        let clean = plan.execute().unwrap();
+        let clean = exec(&plan);
         let resilient = plan
-            .execute_resilient(
+            .execute_with(&ExecOptions::new().resilient(
                 &crate::resilience::FaultPlan::none(),
                 &WatchdogConfig::default(),
-            )
+            ))
             .unwrap();
         assert!(resilient.outcome.is_clean(), "{:?}", resilient.outcome);
         assert_eq!(resilient.report.latency, clean.latency);
@@ -1852,9 +2003,13 @@ mod tests {
         });
         let inputs = FunctionalInputs::random(dims, 2, 21);
         let result = plan
-            .execute_functional_resilient(&inputs, &faults, &WatchdogConfig::default())
+            .execute_with(
+                &ExecOptions::new()
+                    .functional(&inputs)
+                    .resilient(&faults, &WatchdogConfig::default()),
+            )
             .unwrap();
-        match &result.resilient.outcome {
+        match &result.outcome {
             ResilientOutcome::Recovered { tail_groups, .. } => {
                 assert!(
                     tail_groups.contains(&1),
@@ -1864,23 +2019,23 @@ mod tests {
             other => panic!("expected tail recovery, got {other:?}"),
         }
         assert!(
-            !result
-                .resilient
-                .events_of(RuntimeEventKind::TailRecovery)
-                .is_empty(),
+            !result.events_of(RuntimeEventKind::TailRecovery).is_empty(),
             "tail recovery must be visible in the event log"
         );
         assert!(
-            !result
-                .resilient
-                .events_of(RuntimeEventKind::WatchdogFired)
-                .is_empty(),
+            !result.events_of(RuntimeEventKind::WatchdogFired).is_empty(),
             "the watchdog fired before recovery"
         );
         // The lost signal cost only the signal, never the tile data: the
         // recovered run stays bit-exact.
         let expected = reduced_reference(&inputs);
-        for (d, out) in result.outputs.iter().enumerate() {
+        for (d, out) in result
+            .outputs
+            .as_deref()
+            .unwrap_or_default()
+            .iter()
+            .enumerate()
+        {
             assert!(allclose(out, &expected, 1e-2), "rank {d} output mismatch");
         }
     }
@@ -1899,9 +2054,13 @@ mod tests {
         });
         let inputs = FunctionalInputs::random(dims, 2, 22);
         let result = plan
-            .execute_functional_resilient(&inputs, &faults, &WatchdogConfig::default())
+            .execute_with(
+                &ExecOptions::new()
+                    .functional(&inputs)
+                    .resilient(&faults, &WatchdogConfig::default()),
+            )
             .unwrap();
-        match &result.resilient.outcome {
+        match &result.outcome {
             ResilientOutcome::Degraded {
                 cause,
                 recovered_groups,
@@ -1913,11 +2072,16 @@ mod tests {
             other => panic!("expected degraded fallback, got {other:?}"),
         }
         assert!(!result
-            .resilient
             .events_of(RuntimeEventKind::DegradedFallback)
             .is_empty());
         let expected = reduced_reference(&inputs);
-        for (d, out) in result.outputs.iter().enumerate() {
+        for (d, out) in result
+            .outputs
+            .as_deref()
+            .unwrap_or_default()
+            .iter()
+            .enumerate()
+        {
             assert!(allclose(out, &expected, 1e-2), "rank {d} output mismatch");
         }
     }
@@ -1929,7 +2093,7 @@ mod tests {
         // extend the deadline but must never abort in-flight collectives.
         let faults = crate::resilience::FaultPlan::single(Fault::LinkDegradation { slowdown: 3.0 });
         let report = plan
-            .execute_resilient(&faults, &WatchdogConfig::default())
+            .execute_with(&ExecOptions::new().resilient(&faults, &WatchdogConfig::default()))
             .unwrap();
         assert!(
             !report.outcome.is_degraded() || !report.events.is_empty(),
@@ -1952,11 +2116,21 @@ mod tests {
         });
         let inputs = FunctionalInputs::random(dims, 2, 23);
         let result = plan
-            .execute_functional_resilient(&inputs, &faults, &WatchdogConfig::default())
+            .execute_with(
+                &ExecOptions::new()
+                    .functional(&inputs)
+                    .resilient(&faults, &WatchdogConfig::default()),
+            )
             .unwrap();
         // Whatever the verdict, the run terminated and the data is right.
         let expected = reduced_reference(&inputs);
-        for (d, out) in result.outputs.iter().enumerate() {
+        for (d, out) in result
+            .outputs
+            .as_deref()
+            .unwrap_or_default()
+            .iter()
+            .enumerate()
+        {
             assert!(allclose(out, &expected, 1e-2), "rank {d} output mismatch");
         }
     }
@@ -1977,7 +2151,7 @@ mod tests {
             .unwrap()
         };
         let inputs = FunctionalInputs::random(dims, 2, 5);
-        let result = plan.execute_functional(&inputs).unwrap();
+        let result = exec_functional(&plan, &inputs);
         let expected = reduced_reference(&inputs);
         for (k, out) in result.outputs.iter().enumerate() {
             assert_eq!(out.rows(), 128);
@@ -2012,7 +2186,7 @@ mod tests {
         };
         let inputs = FunctionalInputs::random(dims, 2, 5);
         let per_rank_out: Vec<Matrix> = (0..2).map(|r| gemm(&inputs.a[r], &inputs.b[r])).collect();
-        let result = plan.execute_functional(&inputs).unwrap();
+        let result = exec_functional(&plan, &inputs);
         let mapping = plan.token_mapping().unwrap();
         for d in 0..2 {
             let out = &result.outputs[d];
@@ -2050,7 +2224,7 @@ mod tests {
                 partition.clone(),
             )
             .unwrap();
-            let result = plan.execute_functional(&inputs).unwrap();
+            let result = exec_functional(&plan, &inputs);
             assert!(
                 allclose(&result.outputs[0], &expected, 1e-2),
                 "partition {partition}"
@@ -2074,7 +2248,8 @@ mod tests {
             WavePartition::single(waves),
         )
         .unwrap()
-        .execute()
+        .execute_with(&ExecOptions::new())
+        .map(|o| o.report)
         .unwrap();
         let overlapped = OverlapPlan::new(
             dims,
@@ -2083,7 +2258,8 @@ mod tests {
             WavePartition::new(vec![2; waves as usize / 2]),
         )
         .unwrap()
-        .execute()
+        .execute_with(&ExecOptions::new())
+        .map(|o| o.report)
         .unwrap();
         assert!(
             overlapped.latency < serial.latency,
@@ -2106,7 +2282,7 @@ mod tests {
             WavePartition::per_wave(waves),
         )
         .unwrap();
-        let report = plan.execute().unwrap();
+        let report = exec(&plan);
         for pair in report.group_comm_done.windows(2) {
             assert!(pair[0] < pair[1], "groups must complete in order");
         }
@@ -2128,7 +2304,7 @@ mod tests {
         )
         .unwrap();
         let inputs = FunctionalInputs::random(dims, 2, 17);
-        let result = plan.execute_functional(&inputs).unwrap();
+        let result = exec_functional(&plan, &inputs);
         let shards: Vec<Matrix> = (0..2).map(|r| gemm(&inputs.a[r], &inputs.b[r])).collect();
         for (d, out) in result.outputs.iter().enumerate() {
             assert_eq!((out.rows(), out.cols()), (256, 256));
@@ -2147,8 +2323,9 @@ mod tests {
         let dims = GemmDims::new(2048, 4096, 4096);
         let clean = OverlapPlan::tuned(dims, CommPattern::AllReduce, SystemSpec::rtx4090(4))
             .unwrap()
-            .execute()
+            .execute_with(&ExecOptions::new())
             .unwrap()
+            .report
             .latency;
         let skewed = OverlapPlan::tuned(
             dims,
@@ -2156,8 +2333,9 @@ mod tests {
             SystemSpec::rtx4090(4).with_launch_skew_ns(200_000),
         )
         .unwrap()
-        .execute()
+        .execute_with(&ExecOptions::new())
         .unwrap()
+        .report
         .latency;
         assert!(skewed > clean, "skew must cost time");
         assert!(
@@ -2181,14 +2359,18 @@ mod tests {
         let dims = GemmDims::new(4096, 8192, 8192);
         let system = SystemSpec::rtx4090(4);
         let plan = OverlapPlan::tuned(dims, CommPattern::AllReduce, system).unwrap();
-        let single = plan.execute().unwrap().latency;
-        let steady = plan.execute_iterations(8).unwrap();
+        let single = exec(&plan).latency;
+        let steady = plan
+            .execute_with(&ExecOptions::new().iterations(8))
+            .unwrap()
+            .steady_state
+            .expect("iteration mode sets steady_state");
         let ratio = steady.as_nanos() as f64 / single.as_nanos() as f64;
         // Back-pressure can stretch or slightly compress iterations, but
         // the steady state stays near the single-shot latency.
         assert!((0.8..1.3).contains(&ratio), "ratio {ratio}");
         assert!(matches!(
-            plan.execute_iterations(0),
+            plan.execute_with(&ExecOptions::new().iterations(0)),
             Err(FlashOverlapError::BadInputs { .. })
         ));
     }
@@ -2215,7 +2397,13 @@ mod tests {
             weight: std::rc::Rc::new(weight.clone()),
             eps: 1e-6,
         };
-        let result = plan.execute_functional_with_epilogue(&inputs, &op).unwrap();
+        let out = plan
+            .execute_with(&ExecOptions::new().functional(&inputs).epilogue(&op))
+            .unwrap();
+        let result = FunctionalReport {
+            report: out.report,
+            outputs: out.outputs.expect("functional outputs"),
+        };
         let expected = rmsnorm(&reduced_reference(&inputs), &weight, 1e-6);
         for (d, out) in result.outputs.iter().enumerate() {
             assert!(allclose(out, &expected, 2e-2), "rank {d}");
@@ -2231,9 +2419,12 @@ mod tests {
         let dims = GemmDims::new(4096, 8192, 8192);
         let system = SystemSpec::rtx4090(4);
         let plan = OverlapPlan::tuned(dims, CommPattern::AllReduce, system).unwrap();
-        let plain = plan.execute().unwrap();
+        let plain = exec(&plan);
         assert!(plain.epilogue_done.is_none());
-        let fused = plan.execute_with_epilogue(&ElementwiseOp::Relu).unwrap();
+        let fused = plan
+            .execute_with(&ExecOptions::new().epilogue(&ElementwiseOp::Relu))
+            .unwrap()
+            .report;
         let done = fused.epilogue_done.expect("epilogue requested");
         assert!(done > fused.latency);
         // The epilogue adds roughly one memory-bound kernel, not more.
@@ -2257,7 +2448,7 @@ mod tests {
             eps: 1e-6,
         };
         assert!(matches!(
-            plan.execute_with_epilogue(&bad),
+            plan.execute_with(&ExecOptions::new().epilogue(&bad)),
             Err(FlashOverlapError::BadInputs { .. })
         ));
     }
@@ -2293,7 +2484,7 @@ mod tests {
         .unwrap();
         let bad = FunctionalInputs::random(GemmDims::new(128, 256, 64), 2, 1);
         assert!(matches!(
-            plan.execute_functional(&bad),
+            plan.execute_with(&ExecOptions::new().functional(&bad)),
             Err(FlashOverlapError::BadInputs { .. })
         ));
     }

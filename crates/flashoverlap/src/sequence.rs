@@ -1,0 +1,421 @@
+//! Cross-batch pipelined overlap: executing a sequence of plans on one
+//! replica's stream pair so batch `k + 1`'s GEMM waves are scheduled
+//! while batch `k`'s tail collectives drain.
+//!
+//! A serving replica closes batches one after another; running them in
+//! separate simulations (or with a full barrier between them) leaves the
+//! GEMM-tail/collective-tail overlap window on the table. [`execute_sequence`]
+//! enqueues every batch on the *same* per-rank compute/communication
+//! stream pair: the compute stream is in order, so batch `k + 1`'s GEMM
+//! starts right after batch `k`'s GEMM retires — while batch `k`'s tail
+//! collectives still drain on the communication stream. Counting tables
+//! are allocated once, sized for the widest batch, and ping-ponged
+//! between two sets (the serving loop's double buffering); every reuse
+//! enqueues the cross-batch happens-before edges
+//! (wait-previous-comm → reset → ready → comm-wait) in the signal
+//! vocabulary SimSan already understands, so the sanitizer verifies the
+//! pipelined schedule exactly like a single-operator one.
+//!
+//! [`SequenceOptions::serial`] switches to the non-pipelined reference
+//! schedule (a full barrier between batches), and
+//! [`SequenceOptions::drop_cross_batch_edge`] deliberately skips one
+//! batch's table rearm — the mutation self-test a correct sanitizer
+//! must flag as use-before-signal.
+
+use std::rc::Rc;
+
+use gpu_sim::stream::{enqueue, RecordEvent, ResetCounter, WaitEvent};
+use gpu_sim::{ClusterSim, GpuEventId};
+use sim::{Sim, SimDuration, SimTime};
+use tensor::Matrix;
+
+use crate::error::FlashOverlapError;
+use crate::runtime::{
+    check_quiescent, FunctionalInputs, Instrumentation, OverlapPlan, RunReport, StreamCtx,
+};
+
+/// Options for [`execute_sequence`].
+#[derive(Debug, Default)]
+pub struct SequenceOptions<'a> {
+    serial: bool,
+    instrument: Option<&'a Instrumentation>,
+    trace: bool,
+    functional: Option<&'a [FunctionalInputs]>,
+    mutation_batch: Option<usize>,
+    drop_cross_batch_edge: Option<usize>,
+}
+
+impl<'a> SequenceOptions<'a> {
+    /// Pipelined (default) options.
+    pub fn new() -> Self {
+        SequenceOptions::default()
+    }
+
+    /// Full barrier between batches: batch `k + 1`'s GEMM waits for
+    /// batch `k`'s collectives to drain. The reference schedule —
+    /// functionally bit-identical to the pipelined one, only slower.
+    pub fn serial(mut self) -> Self {
+        self.serial = true;
+        self
+    }
+
+    /// Attaches observation hooks. A seeded
+    /// [`crate::runtime::SignalMutation`] applies to the batch selected
+    /// by [`SequenceOptions::mutation_batch`] (default: the last batch,
+    /// after counting-table reuse reached steady state).
+    pub fn instrument(mut self, instr: &'a Instrumentation) -> Self {
+        self.instrument = Some(instr);
+        self
+    }
+
+    /// Records per-stream operation spans into
+    /// [`SequenceOutcome::spans`].
+    pub fn trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Functional mode: `inputs[i]` feeds plan `i`; per-batch outputs
+    /// land in [`SequenceOutcome::outputs`].
+    pub fn functional(mut self, inputs: &'a [FunctionalInputs]) -> Self {
+        self.functional = Some(inputs);
+        self
+    }
+
+    /// Selects the batch a seeded mutation applies to.
+    pub fn mutation_batch(mut self, batch: usize) -> Self {
+        self.mutation_batch = Some(batch);
+        self
+    }
+
+    /// Deliberately skips batch `batch`'s counting-table rearm (the
+    /// wait-previous-comm → reset → ready edges on table reuse). The
+    /// table then still holds the saturated counts of the batch that
+    /// used it two slots earlier, so this batch's waits are satisfied
+    /// by *stale* signals and its collectives read tiles the GEMM has
+    /// not yet produced: the cross-batch use-before-signal bug class a
+    /// correct sanitizer must flag. Only meaningful for `batch >= 2`
+    /// (the first reuse of a table set); otherwise a no-op.
+    pub fn drop_cross_batch_edge(mut self, batch: usize) -> Self {
+        self.drop_cross_batch_edge = Some(batch);
+        self
+    }
+}
+
+/// Results of [`execute_sequence`].
+#[derive(Debug, Clone)]
+pub struct SequenceOutcome {
+    /// Launch of batch 0 to the last batch's completion.
+    pub total: SimDuration,
+    /// Per-batch reports. Times are absolute simulation times, monotone
+    /// in batch order (batch `i`'s `latency` is its completion time).
+    pub reports: Vec<RunReport>,
+    /// Recorded per-stream spans when tracing was requested.
+    pub spans: Vec<gpu_sim::OpSpan>,
+    /// Per-batch per-rank logical outputs in functional mode.
+    pub outputs: Option<Vec<Vec<Matrix>>>,
+}
+
+/// Executes `plans` back to back on one simulated cluster — batch `i`
+/// is plan `i` — reusing two ping-ponged counting-table sets across
+/// batches. All plans must target systems with the same rank count (a
+/// serving replica executes its chain on one TP group).
+///
+/// # Errors
+///
+/// Returns [`FlashOverlapError::BadInputs`] on an empty sequence,
+/// mismatched rank counts, or malformed functional inputs;
+/// [`FlashOverlapError::Deadlock`] when an uninstrumented schedule
+/// wedges; and [`FlashOverlapError::Simulation`] on engine failure.
+pub fn execute_sequence(
+    plans: &[&OverlapPlan],
+    options: &SequenceOptions,
+) -> Result<SequenceOutcome, FlashOverlapError> {
+    let Some(first) = plans.first() else {
+        return Err(FlashOverlapError::BadInputs {
+            reason: "sequence needs at least one plan".into(),
+        });
+    };
+    let n = first.system.n_gpus;
+    for (i, plan) in plans.iter().enumerate() {
+        if plan.system.n_gpus != n {
+            return Err(FlashOverlapError::BadInputs {
+                reason: format!(
+                    "plan {i} targets {} ranks but the sequence runs on {n}",
+                    plan.system.n_gpus
+                ),
+            });
+        }
+    }
+    if let Some(inputs) = options.functional {
+        if inputs.len() != plans.len() {
+            return Err(FlashOverlapError::BadInputs {
+                reason: format!("{} input sets for {} plans", inputs.len(), plans.len()),
+            });
+        }
+        for (plan, inp) in plans.iter().zip(inputs) {
+            plan.check_inputs_pub(inp)?;
+        }
+    }
+    let default_instr = Instrumentation::default();
+    let instr = options.instrument.unwrap_or(&default_instr);
+
+    let mut world = first.system.build_cluster(options.functional.is_some());
+    if options.trace {
+        world.enable_op_spans();
+    }
+    if let Some(monitor) = &instr.monitor {
+        world.set_monitor(Rc::clone(monitor));
+    }
+    let mut sim: ClusterSim = Sim::new();
+    if let Some(probe) = &instr.probe {
+        sim.set_probe(Rc::clone(probe));
+    }
+    let streams = StreamCtx::create(&mut world, n);
+    // Tables sized for the widest batch: a reset clears every slot, so a
+    // narrower batch simply leaves the tail slots untouched.
+    let max_groups = plans
+        .iter()
+        .map(|p| p.group_tile_counts().len())
+        .max()
+        .unwrap_or(0);
+    let table_sets: [Vec<usize>; 2] = std::array::from_fn(|_| {
+        (0..n)
+            .map(|d| world.devices[d].create_counter(max_groups))
+            .collect()
+    });
+    // Per set: the comm-done events of the batch that last used it.
+    let mut last_use: [Option<Vec<GpuEventId>>; 2] = [None, None];
+    // The previous batch's comm-done events (the serial-mode barrier).
+    let mut prev_comm: Option<Vec<GpuEventId>> = None;
+    let mutation_batch = options.mutation_batch.unwrap_or(plans.len() - 1);
+
+    let mut all_handles = Vec::with_capacity(plans.len());
+    for (i, plan) in plans.iter().enumerate() {
+        let parity = i % 2;
+        if let Some(events) = last_use[parity].take() {
+            // Reuse: reset each rank's table on the compute stream,
+            // ordered after the previous user's comm stream drained its
+            // waits, and hold the comm stream until the reset lands.
+            // Without this rearm the table still holds the previous
+            // user's saturated counts, so this batch's wait is satisfied
+            // the moment the comm stream reaches it and the collective
+            // reads tiles the GEMM has not signaled — which is exactly
+            // what `drop_cross_batch_edge` injects for the sanitizer
+            // self-test.
+            if options.drop_cross_batch_edge != Some(i) {
+                for d in 0..n {
+                    enqueue(
+                        &mut world,
+                        &mut sim,
+                        d,
+                        streams.compute[d],
+                        Box::new(WaitEvent(events[d])),
+                    );
+                    enqueue(
+                        &mut world,
+                        &mut sim,
+                        d,
+                        streams.compute[d],
+                        Box::new(ResetCounter {
+                            table: table_sets[parity][d],
+                        }),
+                    );
+                    let ready = world.devices[d].create_event();
+                    enqueue(
+                        &mut world,
+                        &mut sim,
+                        d,
+                        streams.compute[d],
+                        Box::new(RecordEvent(ready)),
+                    );
+                    enqueue(
+                        &mut world,
+                        &mut sim,
+                        d,
+                        streams.comm[d],
+                        Box::new(WaitEvent(ready)),
+                    );
+                }
+            }
+        }
+        if options.serial {
+            if let Some(events) = &prev_comm {
+                // Full barrier: no GEMM wave of batch `i` may issue
+                // until batch `i - 1`'s collectives drained.
+                for (d, &ev) in events.iter().enumerate() {
+                    enqueue(
+                        &mut world,
+                        &mut sim,
+                        d,
+                        streams.compute[d],
+                        Box::new(WaitEvent(ev)),
+                    );
+                }
+            }
+        }
+        let mutation = if i == mutation_batch {
+            instr.mutation
+        } else {
+            None
+        };
+        let handles = plan.enqueue_program_on(
+            &mut world,
+            &mut sim,
+            options.functional.map(|f| &f[i]),
+            None,
+            &streams,
+            None,
+            mutation,
+            Some(&table_sets[parity]),
+        );
+        let events: Vec<GpuEventId> = (0..n)
+            .map(|d| {
+                let ev = world.devices[d].create_event();
+                enqueue(
+                    &mut world,
+                    &mut sim,
+                    d,
+                    streams.comm[d],
+                    Box::new(RecordEvent(ev)),
+                );
+                ev
+            })
+            .collect();
+        last_use[parity] = Some(events.clone());
+        prev_comm = Some(events);
+        all_handles.push(handles);
+    }
+
+    let end = sim.run(&mut world)?;
+    let instrumented = instr.monitor.is_some() || instr.probe.is_some() || instr.mutation.is_some();
+    if !instrumented && options.drop_cross_batch_edge.is_none() {
+        check_quiescent(&world)?;
+    }
+    let spans = if options.trace {
+        world.op_spans.take().unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    let outputs = options.functional.map(|_| {
+        plans
+            .iter()
+            .zip(&all_handles)
+            .map(|(plan, handles)| plan.extract_outputs(&world, handles))
+            .collect()
+    });
+    Ok(SequenceOutcome {
+        total: end - SimTime::ZERO,
+        reports: all_handles
+            .iter()
+            .map(|h| h.probes_snapshot().into_report())
+            .collect(),
+        spans,
+        outputs,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::indexing_slicing)]
+mod tests {
+    use super::*;
+    use crate::partition::WavePartition;
+    use crate::runtime::CommPattern;
+    use crate::system::SystemSpec;
+    use gpu_sim::gemm::{GemmConfig, GemmDims};
+    use tensor::allclose;
+
+    fn small_system(n: usize) -> SystemSpec {
+        let mut spec = SystemSpec::rtx4090(n);
+        spec.arch.sm_count = 8;
+        spec.comm_sms = 2;
+        spec
+    }
+
+    fn plan_for(dims: GemmDims, system: &SystemSpec) -> OverlapPlan {
+        let config = GemmConfig::choose(dims, &system.arch);
+        let waves = config.grid(dims).num_tiles().div_ceil(system.compute_sms());
+        OverlapPlan::new(
+            dims,
+            CommPattern::AllReduce,
+            system.clone(),
+            WavePartition::per_wave(waves),
+        )
+        .unwrap()
+    }
+
+    fn reduced_reference(inputs: &FunctionalInputs) -> Matrix {
+        let mut acc = tensor::gemm(&inputs.a[0], &inputs.b[0]);
+        for r in 1..inputs.a.len() {
+            acc = acc.add(&tensor::gemm(&inputs.a[r], &inputs.b[r]));
+        }
+        acc
+    }
+
+    #[test]
+    fn pipelined_beats_serial_and_stays_bit_exact() {
+        let system = small_system(2);
+        let dims = [
+            GemmDims::new(256, 256, 64),
+            GemmDims::new(384, 256, 64),
+            GemmDims::new(256, 256, 64),
+            GemmDims::new(512, 256, 64),
+        ];
+        let plans: Vec<OverlapPlan> = dims.iter().map(|&d| plan_for(d, &system)).collect();
+        let refs: Vec<&OverlapPlan> = plans.iter().collect();
+        let inputs: Vec<FunctionalInputs> = dims
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| FunctionalInputs::random(d, 2, 100 + i as u64))
+            .collect();
+        let pipelined =
+            execute_sequence(&refs, &SequenceOptions::new().functional(&inputs)).unwrap();
+        let serial =
+            execute_sequence(&refs, &SequenceOptions::new().serial().functional(&inputs)).unwrap();
+        assert!(
+            pipelined.total < serial.total,
+            "pipelined {} not faster than serial {}",
+            pipelined.total,
+            serial.total
+        );
+        let pipe_out = pipelined.outputs.unwrap();
+        let serial_out = serial.outputs.unwrap();
+        for (b, inp) in inputs.iter().enumerate() {
+            let expected = reduced_reference(inp);
+            for d in 0..2 {
+                assert_eq!(
+                    pipe_out[b][d].as_slice(),
+                    serial_out[b][d].as_slice(),
+                    "batch {b} rank {d}: pipelined and serial must be bit-exact"
+                );
+                assert!(allclose(&pipe_out[b][d], &expected, 1e-2), "batch {b}");
+            }
+        }
+        assert_eq!(pipelined.reports.len(), 4);
+        for pair in pipelined.reports.windows(2) {
+            assert!(
+                pair[0].latency <= pair[1].latency,
+                "batches complete in order"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sequence_is_rejected() {
+        assert!(matches!(
+            execute_sequence(&[], &SequenceOptions::new()),
+            Err(FlashOverlapError::BadInputs { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_input_count_is_rejected() {
+        let system = small_system(2);
+        let plan = plan_for(GemmDims::new(256, 256, 64), &system);
+        let inputs = vec![FunctionalInputs::random(GemmDims::new(256, 256, 64), 2, 1); 2];
+        assert!(matches!(
+            execute_sequence(&[&plan], &SequenceOptions::new().functional(&inputs)),
+            Err(FlashOverlapError::BadInputs { .. })
+        ));
+    }
+}

@@ -102,7 +102,9 @@ pub fn exhaustive_search(
     let mut best: Option<(SimDuration, WavePartition)> = None;
     for partition in candidates {
         let plan = OverlapPlan::new(dims, pattern.clone(), system.clone(), partition.clone())?;
-        let report = plan.execute()?;
+        let report = plan
+            .execute_with(&crate::runtime::ExecOptions::new())?
+            .report;
         if best.as_ref().is_none_or(|(b, _)| report.latency < *b) {
             best = Some((report.latency, partition));
         }
@@ -127,7 +129,10 @@ pub fn measure_partition(
     partition: WavePartition,
 ) -> Result<SimDuration, FlashOverlapError> {
     let plan = OverlapPlan::new(dims, pattern.clone(), system.clone(), partition)?;
-    Ok(plan.execute()?.latency)
+    Ok(plan
+        .execute_with(&crate::runtime::ExecOptions::new())?
+        .report
+        .latency)
 }
 
 impl OverlapPlan {
@@ -172,7 +177,11 @@ mod tests {
         let dims = GemmDims::new(8192, 8192, 16384);
         let system = SystemSpec::rtx4090(4);
         let tuned = OverlapPlan::tuned(dims, CommPattern::AllReduce, system.clone()).unwrap();
-        let tuned_latency = tuned.execute().unwrap().latency;
+        let tuned_latency = tuned
+            .execute_with(&crate::runtime::ExecOptions::new())
+            .unwrap()
+            .report
+            .latency;
         let serial = measure_partition(
             dims,
             &CommPattern::AllReduce,

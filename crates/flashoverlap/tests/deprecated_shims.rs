@@ -1,0 +1,180 @@
+//! Coverage for the deprecated execute shims.
+//!
+//! `execute_with` is the single public execute entry point on
+//! [`OverlapPlan`] and [`Pipeline`]; the old per-mode methods survive
+//! as deprecated one-line delegates so downstream callers migrate on
+//! their own schedule. This test drives every shim once and pins each
+//! one to the `execute_with` call its deprecation note names, so a shim
+//! can never drift from the unified path it wraps.
+
+#![allow(deprecated)]
+#![allow(clippy::unwrap_used)]
+
+use std::rc::Rc;
+
+use flashoverlap::runtime::CommPattern;
+use flashoverlap::{
+    ExecOptions, FaultPlan, FunctionalInputs, Instrumentation, LayerSpec, OverlapPlan, Pipeline,
+    PipelineExecOptions, SystemSpec, WatchdogConfig,
+};
+use gpu_sim::elementwise::ElementwiseOp;
+use gpu_sim::gemm::GemmDims;
+use tensor::Matrix;
+
+fn small_system() -> SystemSpec {
+    let mut spec = SystemSpec::rtx4090(2);
+    spec.arch.sm_count = 8;
+    spec.comm_sms = 2;
+    spec
+}
+
+fn plan() -> OverlapPlan {
+    OverlapPlan::tuned(
+        GemmDims::new(256, 256, 64),
+        CommPattern::AllReduce,
+        small_system(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn plan_timing_shims_match_execute_with() {
+    let plan = plan();
+    let unified = plan.execute_with(&ExecOptions::new()).unwrap();
+
+    assert_eq!(plan.execute().unwrap(), unified.report);
+
+    let instr = Instrumentation::default();
+    assert_eq!(plan.execute_instrumented(&instr).unwrap(), unified.report);
+
+    let (report, spans) = plan.execute_traced().unwrap();
+    assert_eq!(report, unified.report);
+    assert!(!spans.is_empty(), "traced shim records spans");
+
+    let (report, spans) = plan.execute_traced_instrumented(&instr).unwrap();
+    assert_eq!(report, unified.report);
+    assert!(!spans.is_empty());
+
+    let steady = plan.execute_iterations(3).unwrap();
+    let via_options = plan
+        .execute_with(&ExecOptions::new().iterations(3))
+        .unwrap()
+        .steady_state
+        .unwrap();
+    assert_eq!(steady, via_options);
+    assert_eq!(
+        plan.execute_iterations_instrumented(3, &instr).unwrap(),
+        steady
+    );
+}
+
+#[test]
+fn plan_functional_and_epilogue_shims_match_execute_with() {
+    let plan = plan();
+    let inputs = FunctionalInputs::random(plan.dims, 2, 42);
+    let op = ElementwiseOp::Relu;
+
+    let unified = plan
+        .execute_with(&ExecOptions::new().functional(&inputs))
+        .unwrap();
+    let shim = plan.execute_functional(&inputs).unwrap();
+    assert_eq!(shim.report, unified.report);
+    assert_eq!(Some(&shim.outputs), unified.outputs.as_ref());
+
+    let unified = plan
+        .execute_with(&ExecOptions::new().epilogue(&op))
+        .unwrap();
+    assert_eq!(plan.execute_with_epilogue(&op).unwrap(), unified.report);
+
+    let unified = plan
+        .execute_with(&ExecOptions::new().functional(&inputs).epilogue(&op))
+        .unwrap();
+    let shim = plan.execute_functional_with_epilogue(&inputs, &op).unwrap();
+    assert_eq!(shim.report, unified.report);
+    assert_eq!(Some(&shim.outputs), unified.outputs.as_ref());
+}
+
+#[test]
+fn plan_resilient_shims_match_execute_with() {
+    let plan = plan();
+    let faults = FaultPlan::random(9, 2, plan.partition.num_groups());
+    let watchdog = WatchdogConfig::default();
+    let inputs = FunctionalInputs::random(plan.dims, 2, 43);
+
+    let unified = plan
+        .execute_with(&ExecOptions::new().resilient(&faults, &watchdog))
+        .unwrap();
+    let shim = plan.execute_resilient(&faults, &watchdog).unwrap();
+    assert_eq!(shim.outcome, unified.outcome);
+    assert_eq!(shim.report, unified.report);
+    assert_eq!(shim.events, unified.events);
+    assert_eq!(shim.faults_armed, unified.faults_armed);
+
+    let shim = plan
+        .execute_functional_resilient(&inputs, &faults, &watchdog)
+        .unwrap();
+    let unified = plan
+        .execute_with(
+            &ExecOptions::new()
+                .functional(&inputs)
+                .resilient(&faults, &watchdog),
+        )
+        .unwrap();
+    assert_eq!(shim.resilient.outcome, unified.outcome);
+    assert_eq!(Some(&shim.outputs), unified.outputs.as_ref());
+
+    let (report, spans) = plan
+        .execute_resilient_traced(&faults, &watchdog, None)
+        .unwrap();
+    assert_eq!(report.outcome, unified.outcome);
+    assert!(!spans.is_empty(), "resilient traced shim records spans");
+}
+
+fn pipeline() -> Pipeline {
+    Pipeline::tuned(
+        small_system(),
+        vec![
+            LayerSpec {
+                dims: GemmDims::new(256, 128, 64),
+                pattern: CommPattern::AllReduce,
+                epilogue: Some(ElementwiseOp::RmsNorm {
+                    weight: Rc::new(vec![1.0; 128]),
+                    eps: 1e-6,
+                }),
+            },
+            LayerSpec {
+                dims: GemmDims::new(256, 64, 128),
+                pattern: CommPattern::AllReduce,
+                epilogue: None,
+            },
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn pipeline_shims_match_execute_with() {
+    let pipeline = pipeline();
+    let unified = pipeline.execute_with(&PipelineExecOptions::new()).unwrap();
+
+    assert_eq!(pipeline.execute().unwrap(), unified.report);
+
+    let instr = Instrumentation::default();
+    assert_eq!(
+        pipeline.execute_instrumented(&instr, 0).unwrap(),
+        unified.report
+    );
+
+    let mut rng = sim::DetRng::new(5);
+    let first_a: Vec<Matrix> = (0..2).map(|_| Matrix::random(256, 64, &mut rng)).collect();
+    let weights: Vec<Vec<Matrix>> = vec![
+        (0..2).map(|_| Matrix::random(64, 128, &mut rng)).collect(),
+        (0..2).map(|_| Matrix::random(128, 64, &mut rng)).collect(),
+    ];
+    let unified = pipeline
+        .execute_with(&PipelineExecOptions::new().functional(&first_a, &weights))
+        .unwrap();
+    let shim = pipeline.execute_functional(&first_a, &weights).unwrap();
+    assert_eq!(shim.report, unified.report);
+    assert_eq!(Some(&shim.outputs), unified.outputs.as_ref());
+}

@@ -5,7 +5,7 @@
 
 use flashoverlap::resilience::{FaultPlan, ResilientOutcome, WatchdogConfig};
 use flashoverlap::runtime::{CommPattern, FunctionalInputs};
-use flashoverlap::{OverlapPlan, SystemSpec, WavePartition};
+use flashoverlap::{ExecOptions, OverlapPlan, SystemSpec, WavePartition};
 use gpu_sim::gemm::{GemmConfig, GemmDims};
 use proptest::prelude::*;
 
@@ -41,21 +41,28 @@ proptest! {
         let plan = plan_for(m, n, 64, gpus);
         let num_groups = plan.partition.num_groups();
         let inputs = FunctionalInputs::random(plan.dims, gpus, seed ^ 0x9e37);
-        let reference = plan.execute_functional(&inputs).expect("reference run");
+        let reference = plan
+            .execute_with(&ExecOptions::new().functional(&inputs))
+            .expect("reference run");
+        let reference_outputs = reference.outputs.unwrap_or_default();
         let faults = FaultPlan::random(seed, gpus, num_groups);
         prop_assert!(!faults.is_empty());
 
         let run = plan
-            .execute_functional_resilient(&inputs, &faults, &WatchdogConfig::default())
+            .execute_with(
+                &ExecOptions::new()
+                    .functional(&inputs)
+                    .resilient(&faults, &WatchdogConfig::default()),
+            )
             .expect("resilient run terminates");
 
-        let bit_exact = run.outputs.len() == reference.outputs.len()
-            && run
-                .outputs
+        let run_outputs = run.outputs.clone().unwrap_or_default();
+        let bit_exact = run_outputs.len() == reference_outputs.len()
+            && run_outputs
                 .iter()
-                .zip(reference.outputs.iter())
+                .zip(reference_outputs.iter())
                 .all(|(a, b)| a.as_slice() == b.as_slice());
-        match &run.resilient.outcome {
+        match &run.outcome {
             ResilientOutcome::Clean => prop_assert!(bit_exact, "clean run must be bit-exact"),
             ResilientOutcome::Recovered { tail_groups, .. } => {
                 prop_assert!(bit_exact, "recovered run must be bit-exact");
@@ -75,10 +82,10 @@ proptest! {
         let plan = plan_for(256, 256, 64, 2);
         let faults = FaultPlan::random(seed, 2, plan.partition.num_groups());
         let a = plan
-            .execute_resilient(&faults, &WatchdogConfig::default())
+            .execute_with(&ExecOptions::new().resilient(&faults, &WatchdogConfig::default()))
             .expect("first run");
         let b = plan
-            .execute_resilient(&faults, &WatchdogConfig::default())
+            .execute_with(&ExecOptions::new().resilient(&faults, &WatchdogConfig::default()))
             .expect("second run");
         prop_assert_eq!(&a.outcome, &b.outcome);
         prop_assert_eq!(a.report.latency, b.report.latency);

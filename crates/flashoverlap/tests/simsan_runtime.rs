@@ -10,7 +10,10 @@
 //!    a mutation can hide in).
 
 use flashoverlap::runtime::CommPattern;
-use flashoverlap::{Instrumentation, OverlapPlan, SignalMutation, SystemSpec, WavePartition};
+use flashoverlap::{
+    ExecOptions, Instrumentation, OverlapPlan, PipelineExecOptions, SignalMutation, SystemSpec,
+    WavePartition,
+};
 use gpu_sim::gemm::GemmDims;
 use proptest::prelude::*;
 use proptest::sample::select;
@@ -73,7 +76,8 @@ fn run_sanitized(plan: &OverlapPlan, mutation: Option<SignalMutation>) -> Saniti
         probe: Some(sanitizer.probe()),
         mutation,
     };
-    plan.execute_instrumented(&instr).expect("simulation runs");
+    plan.execute_with(&ExecOptions::new().instrument(&instr))
+        .expect("simulation runs");
     sanitizer
 }
 
@@ -205,7 +209,7 @@ proptest! {
 // ---------------------------------------------------------------------------
 // Multi-layer and steady-state paths (counting-table reuse).
 //
-// `Pipeline::execute` and `OverlapPlan::execute_iterations` allocate
+// Pipelines and iterated (steady-state) executions allocate
 // counting tables once and ping-pong between two sets, resetting a set
 // before reuse. The sanitizer must treat each reset as an epoch boundary:
 // clean runs stay clean (no stale-label false positives), and a signal
@@ -256,7 +260,7 @@ fn multi_layer_pipeline_is_race_free_under_simsan() {
         mutation: None,
     };
     pipeline
-        .execute_instrumented(&instr, 0)
+        .execute_with(&PipelineExecOptions::new().instrument(&instr))
         .expect("pipeline runs");
     assert!(sanitizer.is_clean(), "{}", sanitizer.summary());
     assert!(sanitizer.accesses_checked() > 0, "monitor saw no accesses");
@@ -275,7 +279,11 @@ fn late_layer_mutation_is_caught_through_table_reuse() {
         mutation: Some(SignalMutation::DropWait { rank: 0, group: 0 }),
     };
     pipeline
-        .execute_instrumented(&instr, 2)
+        .execute_with(
+            &PipelineExecOptions::new()
+                .instrument(&instr)
+                .mutate_layer(2),
+        )
         .expect("pipeline runs");
     assert!(
         !sanitizer.is_clean(),
@@ -293,7 +301,7 @@ fn steady_state_iterations_are_race_free_under_simsan() {
         probe: Some(sanitizer.probe()),
         mutation: None,
     };
-    p.execute_iterations_instrumented(5, &instr)
+    p.execute_with(&ExecOptions::new().iterations(5).instrument(&instr))
         .expect("iterations run");
     assert!(sanitizer.is_clean(), "{}", sanitizer.summary());
     assert!(sanitizer.accesses_checked() > 0, "monitor saw no accesses");
@@ -308,7 +316,7 @@ fn final_iteration_mutation_is_caught_after_reuse() {
         probe: Some(sanitizer.probe()),
         mutation: Some(SignalMutation::DropWait { rank: 0, group: 0 }),
     };
-    p.execute_iterations_instrumented(4, &instr)
+    p.execute_with(&ExecOptions::new().iterations(4).instrument(&instr))
         .expect("iterations run");
     assert!(
         !sanitizer.is_clean(),
@@ -324,7 +332,7 @@ fn final_iteration_mutation_is_caught_after_reuse() {
         probe: Some(sanitizer.probe()),
         mutation: Some(SignalMutation::RaiseThreshold { rank: 1, group: 1 }),
     };
-    p.execute_iterations_instrumented(4, &instr)
+    p.execute_with(&ExecOptions::new().iterations(4).instrument(&instr))
         .expect("iterations run");
     let reports = sanitizer.reports();
     assert!(

@@ -77,6 +77,22 @@ pub struct CacheStats {
     /// Total partitions evaluated by predictive search across all
     /// misses (the online tuning work the cache amortizes).
     pub tune_evaluated: u64,
+    /// Plans seeded from a persisted snapshot before the run.
+    pub preloaded: u64,
+}
+
+impl CacheStats {
+    /// Element-wise sum — used to aggregate per-replica caches into the
+    /// run totals.
+    pub fn merge(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            tune_evaluated: self.tune_evaluated + other.tune_evaluated,
+            preloaded: self.preloaded + other.preloaded,
+        }
+    }
 }
 
 impl CacheStats {
@@ -221,6 +237,222 @@ impl PlanCache {
             self.entries.remove(&key);
             self.stats.evictions += 1;
         }
+    }
+
+    /// Exports the resident tuned partitions for `system_fp`, sorted by
+    /// `(m, n, k, primitive)` so the output is deterministic regardless
+    /// of map iteration order. `AllToAll` plans are skipped: their
+    /// routing tables are run-specific and cannot be rebuilt from a
+    /// snapshot (serving traffic never produces them).
+    pub fn export_entries(&self, system_fp: u64) -> Vec<PlanEntry> {
+        let mut entries: Vec<PlanEntry> = self
+            .entries
+            .iter()
+            .filter(|(k, _)| k.system_fp == system_fp && k.primitive != Primitive::AllToAll)
+            .map(|(k, e)| PlanEntry {
+                dims: k.dims,
+                primitive: k.primitive,
+                groups: e.plan.partition.sizes().to_vec(),
+            })
+            .collect();
+        entries.sort_by_key(|e| (e.dims.m, e.dims.n, e.dims.k, primitive_label(e.primitive)));
+        entries
+    }
+
+    /// Seeds the cache from persisted entries without counting misses
+    /// or running the tuner. Returns the number of plans loaded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan-construction errors (a snapshot whose partition
+    /// does not cover the shape's wave schedule on this system).
+    pub fn preload(
+        &mut self,
+        system: &SystemSpec,
+        entries: &[PlanEntry],
+    ) -> Result<usize, FlashOverlapError> {
+        let system_fp = system_fingerprint(system);
+        let mut loaded = 0usize;
+        for entry in entries {
+            let key = PlanKey {
+                dims: entry.dims,
+                primitive: entry.primitive,
+                system_fp,
+            };
+            if self.entries.contains_key(&key) || self.entries.len() >= self.capacity {
+                continue;
+            }
+            let pattern =
+                pattern_of(entry.primitive).ok_or_else(|| FlashOverlapError::BadInputs {
+                    reason: "AllToAll plans cannot be preloaded (routing is run-specific)".into(),
+                })?;
+            let plan = Rc::new(OverlapPlan::new(
+                entry.dims,
+                pattern,
+                system.clone(),
+                WavePartition::new(entry.groups.clone()),
+            )?);
+            self.tick += 1;
+            self.entries.insert(
+                key,
+                Entry {
+                    plan,
+                    last_used: self.tick,
+                },
+            );
+            self.stats.preloaded += 1;
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+}
+
+/// One persisted tuned plan: the shape, the primitive, and the tuned
+/// wave partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanEntry {
+    /// GEMM problem shape.
+    pub dims: GemmDims,
+    /// Collective primitive the plan overlaps.
+    pub primitive: Primitive,
+    /// Tuned partition group sizes.
+    pub groups: Vec<u32>,
+}
+
+/// A serialized plan cache: the fingerprint of the system the plans
+/// were tuned for, plus the tuned partitions. Loading a snapshot onto
+/// a system with a different fingerprint is rejected — a partition
+/// tuned for one fabric/SM budget is wrong for another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// [`system_fingerprint`] of the tuning system.
+    pub system_fp: u64,
+    /// Tuned plans, sorted by `(m, n, k, primitive)`.
+    pub entries: Vec<PlanEntry>,
+}
+
+fn primitive_label(p: Primitive) -> &'static str {
+    match p {
+        Primitive::AllReduce => "AllReduce",
+        Primitive::ReduceScatter => "ReduceScatter",
+        Primitive::AllGather => "AllGather",
+        Primitive::AllToAll => "AllToAll",
+    }
+}
+
+fn parse_primitive(s: &str) -> Option<Primitive> {
+    match s {
+        "AllReduce" => Some(Primitive::AllReduce),
+        "ReduceScatter" => Some(Primitive::ReduceScatter),
+        "AllGather" => Some(Primitive::AllGather),
+        "AllToAll" => Some(Primitive::AllToAll),
+        _ => None,
+    }
+}
+
+/// The reconstructible [`CommPattern`] for a primitive (`None` for
+/// `AllToAll`, whose routing tables are not persisted).
+fn pattern_of(p: Primitive) -> Option<CommPattern> {
+    match p {
+        Primitive::AllReduce => Some(CommPattern::AllReduce),
+        Primitive::ReduceScatter => Some(CommPattern::ReduceScatter),
+        Primitive::AllGather => Some(CommPattern::AllGather),
+        Primitive::AllToAll => None,
+    }
+}
+
+impl CacheSnapshot {
+    /// Serializes to the `flashoverlap-plan-cache` JSON document. The
+    /// fingerprint is hex-encoded: the JSON layer stores numbers as
+    /// `f64`, which cannot hold a full `u64` exactly.
+    pub fn to_json(&self) -> String {
+        use telemetry::json::Value;
+        Value::obj(vec![
+            ("kind", Value::str("flashoverlap-plan-cache")),
+            ("system_fp", Value::str(format!("{:016x}", self.system_fp))),
+            (
+                "entries",
+                Value::Arr(
+                    self.entries
+                        .iter()
+                        .map(|e| {
+                            Value::obj(vec![
+                                ("m", Value::num(f64::from(e.dims.m))),
+                                ("n", Value::num(f64::from(e.dims.n))),
+                                ("k", Value::num(f64::from(e.dims.k))),
+                                ("primitive", Value::str(primitive_label(e.primitive))),
+                                (
+                                    "groups",
+                                    Value::Arr(
+                                        e.groups
+                                            .iter()
+                                            .map(|&g| Value::num(f64::from(g)))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_json_pretty()
+    }
+
+    /// Parses a document produced by [`CacheSnapshot::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(text: &str) -> Result<CacheSnapshot, String> {
+        let doc = telemetry::json::parse(text)?;
+        let kind = doc.get("kind").and_then(|v| v.as_str()).unwrap_or("");
+        if kind != "flashoverlap-plan-cache" {
+            return Err(format!("not a plan-cache snapshot (kind = {kind:?})"));
+        }
+        let fp_hex = doc
+            .get("system_fp")
+            .and_then(|v| v.as_str())
+            .ok_or("missing system_fp")?;
+        let system_fp = u64::from_str_radix(fp_hex, 16)
+            .map_err(|e| format!("bad system_fp {fp_hex:?}: {e}"))?;
+        let raw_entries = doc
+            .get("entries")
+            .and_then(|v| v.as_arr())
+            .ok_or("missing entries array")?;
+        let mut entries = Vec::with_capacity(raw_entries.len());
+        for (i, raw) in raw_entries.iter().enumerate() {
+            let field = |name: &str| -> Result<u32, String> {
+                raw.get(name)
+                    .and_then(|v| v.as_f64())
+                    .filter(|&f| f.fract() == 0.0 && f >= 0.0 && f <= f64::from(u32::MAX))
+                    .map(|f| f as u32)
+                    .ok_or_else(|| format!("entry {i}: bad field {name:?}"))
+            };
+            let primitive = raw
+                .get("primitive")
+                .and_then(|v| v.as_str())
+                .and_then(parse_primitive)
+                .ok_or_else(|| format!("entry {i}: bad primitive"))?;
+            let groups = raw
+                .get("groups")
+                .and_then(|v| v.as_arr())
+                .ok_or_else(|| format!("entry {i}: missing groups"))?
+                .iter()
+                .map(|g| {
+                    g.as_f64()
+                        .filter(|&f| f.fract() == 0.0 && f >= 1.0 && f <= f64::from(u32::MAX))
+                        .map(|f| f as u32)
+                        .ok_or_else(|| format!("entry {i}: bad group size"))
+                })
+                .collect::<Result<Vec<u32>, String>>()?;
+            entries.push(PlanEntry {
+                dims: GemmDims::new(field("m")?, field("n")?, field("k")?),
+                primitive,
+                groups,
+            });
+        }
+        Ok(CacheSnapshot { system_fp, entries })
     }
 }
 

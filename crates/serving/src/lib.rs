@@ -5,7 +5,7 @@
 //! first place: an inference server whose GEMM shapes churn with the
 //! traffic. It is the simulated stand-in for a vLLM/Triton-style
 //! serving engine (see DESIGN.md's substitution table), built from
-//! four deterministic pieces:
+//! five deterministic pieces:
 //!
 //! - [`traffic`] — seeded open-loop arrival traces (Poisson or bursty)
 //!   over a weighted model mix ([`workloads::ServeMix`]);
@@ -13,11 +13,17 @@
 //!   deadline, and token-bucket shape quantization;
 //! - [`cache`] — a bounded LRU of tuned [`OverlapPlan`]s keyed by
 //!   `(shape, primitive, system fingerprint)`, running the paper's
-//!   predictive search (§4.1.4) online on each miss;
-//! - [`server`] — the admission/batching/execution loop over virtual
-//!   time, with bounded-queue shedding, optional per-batch fault
-//!   injection through the resilient runtime, and full per-request
-//!   accounting into a [`report::ServeReport`].
+//!   predictive search (§4.1.4) online on each miss, with snapshot
+//!   export/preload for warm restarts;
+//! - [`router`] — batch routing across N independent replica groups
+//!   (round-robin, least-loaded, or shape-affinity, which steers each
+//!   bucketed shape to a home replica to keep its plan cache hot);
+//! - [`server`] — the admission/routing/execution loop over virtual
+//!   time, with bounded-queue shedding, cross-batch pipelined chains
+//!   (batch `k+1`'s GEMM overlaps batch `k`'s tail collectives via
+//!   [`flashoverlap::execute_sequence`]), optional per-batch fault
+//!   injection through the resilient runtime, and full per-request,
+//!   per-replica accounting into a [`report::ServeReport`].
 //!
 //! Everything is seeded: the same [`server::ServeConfig`] produces a
 //! bit-identical report, JSON included.
@@ -29,11 +35,18 @@
 pub mod batch;
 pub mod cache;
 pub mod report;
+pub mod router;
 pub mod server;
 pub mod traffic;
 
 pub use batch::{form_batch, Batch, BatchConfig};
-pub use cache::{system_fingerprint, CacheStats, PlanCache, PlanKey};
-pub use report::{BatchRecord, ComparisonReport, Disposition, RequestRecord, ServeReport};
-pub use server::{serve, serve_baseline, serve_comparison, ServeConfig};
+pub use cache::{system_fingerprint, CacheSnapshot, CacheStats, PlanCache, PlanEntry, PlanKey};
+pub use report::{
+    BatchRecord, ComparisonReport, Disposition, ReplicaStats, RequestRecord, ScalingReport,
+    ServeReport,
+};
+pub use router::{ReplicaLoad, RouteDecision, Router, RouterPolicy};
+pub use server::{
+    serve, serve_baseline, serve_comparison, serve_exporting, serve_scaling, ServeConfig,
+};
 pub use traffic::{generate, ArrivalProcess, Request};

@@ -82,12 +82,44 @@ pub struct BatchRecord {
     pub padded_tokens: u32,
     /// Dispatch time.
     pub start_ns: u64,
-    /// Executed operator latency.
+    /// Executed operator latency. In a pipelined chain this is the
+    /// batch's incremental completion delta, so per-replica sums stay
+    /// additive even when batches overlap.
     pub exec_ns: u64,
     /// Whether the plan lookup hit the cache.
     pub cache_hit: bool,
     /// Resilient outcome label ("clean" outside chaos mode).
     pub outcome: &'static str,
+    /// Replica that executed the batch.
+    pub replica: usize,
+    /// Router decision label ("round-robin", "least-loaded",
+    /// "affinity-hit", "affinity-new").
+    pub routing: &'static str,
+    /// Batches executed in the same chain as this one (1 = alone).
+    pub chain_len: u64,
+}
+
+/// Per-replica accounting over a serve run. Sums across replicas equal
+/// the run totals (the CI smoke gate checks this invariant).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaStats {
+    /// Replica index.
+    pub id: usize,
+    /// Batches this replica executed.
+    pub batches: u64,
+    /// Requests completed on this replica.
+    pub requests: u64,
+    /// Unpadded tokens executed.
+    pub tokens: u64,
+    /// Virtual time the replica spent executing chains.
+    pub busy_ns: u64,
+    /// Chains dispatched (a chain is 1..=chain batches pipelined
+    /// back-to-back through one simulation).
+    pub chains: u64,
+    /// `busy_ns` over the run makespan.
+    pub utilization: f64,
+    /// This replica's plan-cache counters.
+    pub cache: CacheStats,
 }
 
 /// Aggregate report of one serve run.
@@ -109,6 +141,13 @@ pub struct ServeReport {
     pub chaos: bool,
     /// Whether plans were tuned (false = non-overlap baseline arm).
     pub tuned: bool,
+    /// Replica groups serving the traffic.
+    pub replicas: usize,
+    /// Router policy label.
+    pub router: &'static str,
+    /// Whether chains executed with cross-batch pipelining (false =
+    /// serial barrier between consecutive batches).
+    pub pipelined: bool,
     /// Virtual time from first arrival epoch to last completion.
     pub makespan_ns: u64,
     /// Requests completed (any disposition but shed).
@@ -143,8 +182,10 @@ pub struct ServeReport {
     pub mean_batch_tokens: f64,
     /// Distinct GEMM shapes executed.
     pub distinct_shapes: u64,
-    /// Plan-cache counters.
+    /// Plan-cache counters, summed over replicas.
     pub cache: CacheStats,
+    /// Per-replica accounting, id order.
+    pub replica_stats: Vec<ReplicaStats>,
     /// Mean signal latency across batch executions (signaling cost of
     /// §4, aggregated over the run).
     pub mean_signal_ns: f64,
@@ -180,6 +221,9 @@ impl ServeReport {
             ("slo_ms", Value::num(self.slo_ns as f64 / 1e6)),
             ("chaos", Value::Bool(self.chaos)),
             ("tuned", Value::Bool(self.tuned)),
+            ("replicas", Value::num(self.replicas as f64)),
+            ("router", Value::str(self.router)),
+            ("pipelined", Value::Bool(self.pipelined)),
             ("makespan_ns", Value::num(self.makespan_ns as f64)),
             (
                 "requests",
@@ -221,7 +265,12 @@ impl ServeReport {
                         "tune_evaluated",
                         Value::num(self.cache.tune_evaluated as f64),
                     ),
+                    ("preloaded", Value::num(self.cache.preloaded as f64)),
                 ]),
+            ),
+            (
+                "per_replica",
+                Value::Arr(self.replica_stats.iter().map(replica_json).collect()),
             ),
             (
                 "signaling",
@@ -257,6 +306,16 @@ impl ServeReport {
             self.seed,
         ));
         out.push_str(&format!(
+            "  {} replica(s), {} router, {}\n",
+            self.replicas,
+            self.router,
+            if self.pipelined {
+                "cross-batch pipelining"
+            } else {
+                "serial chains"
+            },
+        ));
+        out.push_str(&format!(
             "  completed {} (clean {}, recovered {}, degraded {}), shed {} ({:.1}%)\n",
             self.completed,
             self.clean,
@@ -288,6 +347,17 @@ impl ServeReport {
             self.cache.misses,
             self.cache.evictions,
         ));
+        for r in &self.replica_stats {
+            out.push_str(&format!(
+                "  replica {}: {} batches in {} chains, {} requests, {:.1}% utilized, cache hit rate {:.1}%\n",
+                r.id,
+                r.batches,
+                r.chains,
+                r.requests,
+                r.utilization * 100.0,
+                r.cache.hit_rate() * 100.0,
+            ));
+        }
         out
     }
 }
@@ -321,6 +391,31 @@ fn batch_json(b: &BatchRecord) -> Value {
         ("exec_ns", Value::num(b.exec_ns as f64)),
         ("cache_hit", Value::Bool(b.cache_hit)),
         ("outcome", Value::str(b.outcome)),
+        ("replica", Value::num(b.replica as f64)),
+        ("routing", Value::str(b.routing)),
+        ("chain_len", Value::num(b.chain_len as f64)),
+    ])
+}
+
+fn replica_json(r: &ReplicaStats) -> Value {
+    Value::obj(vec![
+        ("id", Value::num(r.id as f64)),
+        ("batches", Value::num(r.batches as f64)),
+        ("requests", Value::num(r.requests as f64)),
+        ("tokens", Value::num(r.tokens as f64)),
+        ("busy_ns", Value::num(r.busy_ns as f64)),
+        ("chains", Value::num(r.chains as f64)),
+        ("utilization", Value::num(r.utilization)),
+        (
+            "cache",
+            Value::obj(vec![
+                ("hits", Value::num(r.cache.hits as f64)),
+                ("misses", Value::num(r.cache.misses as f64)),
+                ("evictions", Value::num(r.cache.evictions as f64)),
+                ("hit_rate", Value::num(r.cache.hit_rate())),
+                ("preloaded", Value::num(r.cache.preloaded as f64)),
+            ]),
+        ),
     ])
 }
 
@@ -378,6 +473,94 @@ impl ComparisonReport {
         if let Some((p50, p95, mean)) = self.speedups() {
             out.push_str(&format!(
                 "speedup tuned vs baseline: p50 {p50:.3}x, p95 {p95:.3}x, mean {mean:.3}x\n"
+            ));
+        }
+        out
+    }
+}
+
+/// Replica-scaling comparison: the same seeded traffic served through
+/// the multi-replica configuration, a single replica, and the
+/// multi-replica configuration with cross-batch pipelining disabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingReport {
+    /// The configured multi-replica, pipelined arm.
+    pub multi: ServeReport,
+    /// One replica, same everything else.
+    pub single: ServeReport,
+    /// Multi-replica with serial (barriered) chains.
+    pub unpipelined: ServeReport,
+}
+
+impl ScalingReport {
+    /// Goodput of the multi-replica arm over the single-replica arm
+    /// (`None` when the single arm's goodput is zero).
+    pub fn goodput_scaling(&self) -> Option<f64> {
+        if self.single.goodput_rps > 0.0 {
+            Some(self.multi.goodput_rps / self.single.goodput_rps)
+        } else {
+            None
+        }
+    }
+
+    /// p95 of the pipelined vs. the serial multi-replica arm (`None`
+    /// when either arm completed nothing).
+    pub fn pipelining_p95(&self) -> Option<(u64, u64)> {
+        Some((
+            self.multi.latency.as_ref()?.p95,
+            self.unpipelined.latency.as_ref()?.p95,
+        ))
+    }
+
+    /// Serializes all three arms plus the scaling summary.
+    pub fn to_json(&self) -> Value {
+        let pipelining = match self.pipelining_p95() {
+            Some((pipelined, serial)) => Value::obj(vec![
+                ("pipelined_p95_ns", Value::num(pipelined as f64)),
+                ("serial_p95_ns", Value::num(serial as f64)),
+                (
+                    "p95_speedup",
+                    if pipelined > 0 {
+                        Value::num(serial as f64 / pipelined as f64)
+                    } else {
+                        Value::Null
+                    },
+                ),
+            ]),
+            None => Value::Null,
+        };
+        Value::obj(vec![
+            ("kind", Value::str("flashoverlap-serve-scaling")),
+            (
+                "goodput_scaling",
+                self.goodput_scaling().map_or(Value::Null, Value::num),
+            ),
+            ("pipelining", pipelining),
+            ("multi", self.multi.to_json()),
+            ("single", self.single.to_json()),
+            ("unpipelined", self.unpipelined.to_json()),
+        ])
+    }
+
+    /// Human-readable summary of all three arms.
+    pub fn summary(&self) -> String {
+        let mut out = format!("multi-replica arm ({} replicas):\n", self.multi.replicas);
+        out.push_str(&self.multi.summary());
+        out.push_str("single-replica arm:\n");
+        out.push_str(&self.single.summary());
+        out.push_str("serial-chain arm:\n");
+        out.push_str(&self.unpipelined.summary());
+        if let Some(scaling) = self.goodput_scaling() {
+            out.push_str(&format!(
+                "goodput scaling {} -> {} replicas: {scaling:.2}x\n",
+                self.single.replicas, self.multi.replicas
+            ));
+        }
+        if let Some((pipelined, serial)) = self.pipelining_p95() {
+            out.push_str(&format!(
+                "p95 pipelined {:.1} us vs serial chains {:.1} us\n",
+                pipelined as f64 / 1e3,
+                serial as f64 / 1e3,
             ));
         }
         out

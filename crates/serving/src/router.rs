@@ -1,0 +1,245 @@
+//! Replica routing: spreading closed batches across TP replica groups.
+//!
+//! A multi-replica deployment runs N independent tensor-parallel groups
+//! behind one admission queue (the simulated stand-in for vLLM-style
+//! replica routing — see DESIGN.md's substitution table). The router
+//! picks which replica executes each closed batch. Three policies:
+//!
+//! - **round-robin** — rotate through replicas regardless of load; the
+//!   classic stateless baseline.
+//! - **least-loaded** — pick the replica with the fewest queued tokens
+//!   (ties broken toward the replica that frees up soonest, then the
+//!   lowest id), i.e. join-the-shortest-queue in token units.
+//! - **shape-affinity** — steer repeat [`GemmDims`] to the replica that
+//!   tuned a plan for that shape already, so its warm plan cache is
+//!   reused instead of re-tuning the same shape on N caches. Unseen
+//!   shapes fall back to least-loaded and establish the affinity.
+//!
+//! Routing is pure state-machine logic over load snapshots: no clocks,
+//! no randomness, deterministic for a given decision sequence.
+
+// Routing is the one module that turns replica *ids* back into array
+// accesses all over the server loop, so hold it to the stricter
+// no-panic standard: every index is either proven in a comment or
+// routed through `get`.
+#![warn(clippy::indexing_slicing)]
+
+use std::collections::HashMap;
+
+use gpu_sim::gemm::GemmDims;
+
+/// Which replica gets the next batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouterPolicy {
+    /// Rotate through replicas in id order.
+    #[default]
+    RoundRobin,
+    /// Fewest queued tokens wins (ties: earliest free, lowest id).
+    LeastLoaded,
+    /// Repeat shapes go to the replica whose plan cache is warm for
+    /// them; new shapes fall back to least-loaded.
+    ShapeAffinity,
+}
+
+impl RouterPolicy {
+    /// Stable label used in reports and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "round-robin",
+            RouterPolicy::LeastLoaded => "least-loaded",
+            RouterPolicy::ShapeAffinity => "shape-affinity",
+        }
+    }
+
+    /// Parses a CLI-style label (the inverse of [`RouterPolicy::label`]).
+    pub fn parse(s: &str) -> Option<RouterPolicy> {
+        match s {
+            "round-robin" => Some(RouterPolicy::RoundRobin),
+            "least-loaded" => Some(RouterPolicy::LeastLoaded),
+            "shape-affinity" => Some(RouterPolicy::ShapeAffinity),
+            _ => None,
+        }
+    }
+}
+
+/// A replica's load at routing time, as the router sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplicaLoad {
+    /// Padded tokens sitting in the replica's dispatch queue.
+    pub queued_tokens: u64,
+    /// Virtual nanoseconds until the replica's current chain drains
+    /// (0 when idle).
+    pub busy_ns: u64,
+}
+
+/// One routing decision: the chosen replica and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// Index of the chosen replica.
+    pub replica: usize,
+    /// Stable reason label, stamped onto the batch record.
+    pub reason: &'static str,
+}
+
+/// Stateful batch router over a fixed replica set.
+#[derive(Debug, Default)]
+pub struct Router {
+    policy: RouterPolicy,
+    rr_next: usize,
+    affinity: HashMap<GemmDims, usize>,
+}
+
+impl Router {
+    /// A fresh router with no affinity history.
+    pub fn new(policy: RouterPolicy) -> Self {
+        Router {
+            policy,
+            rr_next: 0,
+            affinity: HashMap::new(),
+        }
+    }
+
+    /// The policy this router was built with.
+    pub fn policy(&self) -> RouterPolicy {
+        self.policy
+    }
+
+    /// Routes a batch with GEMM shape `dims` given per-replica `loads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` is empty — the server validates `replicas >= 1`
+    /// at startup, so an empty snapshot is a caller bug.
+    pub fn route(&mut self, dims: GemmDims, loads: &[ReplicaLoad]) -> RouteDecision {
+        assert!(!loads.is_empty(), "router needs at least one replica");
+        match self.policy {
+            RouterPolicy::RoundRobin => {
+                // Proof: `rr_next % len` is in `0..len` because `len > 0`.
+                let replica = self.rr_next % loads.len();
+                self.rr_next = self.rr_next.wrapping_add(1);
+                RouteDecision {
+                    replica,
+                    reason: "round-robin",
+                }
+            }
+            RouterPolicy::LeastLoaded => RouteDecision {
+                replica: least_loaded(loads),
+                reason: "least-loaded",
+            },
+            RouterPolicy::ShapeAffinity => {
+                if let Some(&r) = self.affinity.get(&dims) {
+                    // Affinity entries are only ever inserted from
+                    // `least_loaded(loads)` below, which returns an
+                    // index `< loads.len()`; the replica count is fixed
+                    // for the router's lifetime.
+                    if r < loads.len() {
+                        return RouteDecision {
+                            replica: r,
+                            reason: "affinity-hit",
+                        };
+                    }
+                }
+                let replica = least_loaded(loads);
+                self.affinity.insert(dims, replica);
+                RouteDecision {
+                    replica,
+                    reason: "affinity-new",
+                }
+            }
+        }
+    }
+}
+
+/// Index of the least-loaded replica: fewest queued tokens, then
+/// soonest free, then lowest id. Caller guarantees `loads` is
+/// non-empty, so the minimum exists.
+fn least_loaded(loads: &[ReplicaLoad]) -> usize {
+    loads
+        .iter()
+        .enumerate()
+        .min_by_key(|(i, l)| (l.queued_tokens, l.busy_ns, *i))
+        .map(|(i, _)| i)
+        .expect("loads is non-empty")
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn dims(m: u32) -> GemmDims {
+        GemmDims::new(m, 2048, 704)
+    }
+
+    fn idle(n: usize) -> Vec<ReplicaLoad> {
+        vec![ReplicaLoad::default(); n]
+    }
+
+    #[test]
+    fn round_robin_cycles_through_replicas() {
+        let mut router = Router::new(RouterPolicy::RoundRobin);
+        let loads = idle(3);
+        let picks: Vec<usize> = (0..6)
+            .map(|_| router.route(dims(256), &loads).replica)
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_loaded_prefers_fewest_tokens_then_soonest_free() {
+        let mut router = Router::new(RouterPolicy::LeastLoaded);
+        let loads = vec![
+            ReplicaLoad {
+                queued_tokens: 512,
+                busy_ns: 0,
+            },
+            ReplicaLoad {
+                queued_tokens: 128,
+                busy_ns: 900,
+            },
+            ReplicaLoad {
+                queued_tokens: 128,
+                busy_ns: 100,
+            },
+        ];
+        let d = router.route(dims(256), &loads);
+        assert_eq!((d.replica, d.reason), (2, "least-loaded"));
+    }
+
+    #[test]
+    fn least_loaded_breaks_full_ties_by_lowest_id() {
+        let mut router = Router::new(RouterPolicy::LeastLoaded);
+        assert_eq!(router.route(dims(256), &idle(4)).replica, 0);
+    }
+
+    #[test]
+    fn shape_affinity_steers_repeats_to_the_same_replica() {
+        let mut router = Router::new(RouterPolicy::ShapeAffinity);
+        let mut loads = idle(3);
+        let first = router.route(dims(256), &loads);
+        assert_eq!(first.reason, "affinity-new");
+        // Pile load onto the affine replica; repeats must stick anyway.
+        if let Some(l) = loads.get_mut(first.replica) {
+            l.queued_tokens = 10_000;
+        }
+        let second = router.route(dims(256), &loads);
+        assert_eq!(second.replica, first.replica);
+        assert_eq!(second.reason, "affinity-hit");
+        // A new shape avoids the loaded replica.
+        let other = router.route(dims(512), &loads);
+        assert_ne!(other.replica, first.replica);
+        assert_eq!(other.reason, "affinity-new");
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for policy in [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::LeastLoaded,
+            RouterPolicy::ShapeAffinity,
+        ] {
+            assert_eq!(RouterPolicy::parse(policy.label()), Some(policy));
+        }
+        assert_eq!(RouterPolicy::parse("random"), None);
+    }
+}

@@ -1,37 +1,54 @@
-//! The serving loop: admission control, continuous batching, plan-cache
-//! execution, and SLO accounting over virtual time.
+//! The serving loop: admission control, continuous batching, replica
+//! routing, and pipelined plan-cache execution over virtual time.
 //!
 //! The loop is a discrete-event scheduler one level above the cluster
 //! simulator: requests arrive on a seeded trace ([`crate::traffic`]),
 //! wait in a bounded FIFO (overflow is shed — classic admission
 //! control), close into batches under a token-budget/max-wait policy
-//! ([`crate::batch`]), and execute serially through tuned
-//! [`OverlapPlan`](flashoverlap::OverlapPlan)s from the
-//! [`PlanCache`]. Executed operator latency advances the virtual clock,
-//! so queueing delay emerges from the interaction of the arrival rate
-//! and the simulated operator throughput — backpressure is real, not
-//! modelled.
+//! ([`crate::batch`]), and are routed ([`crate::router`]) to one of
+//! [`ServeConfig::replicas`] independent tensor-parallel groups, each
+//! with its own [`PlanCache`]. An idle replica drains its dispatch
+//! queue in *chains* of up to [`ServeConfig::chain`] batches executed
+//! through one simulation
+//! ([`flashoverlap::execute_sequence`]): with
+//! [`ServeConfig::pipelined`] set, batch *k+1*'s GEMM waves run while
+//! batch *k*'s tail collectives drain, double-buffered counting tables
+//! carrying the cross-batch happens-before edges. Executed chain
+//! latency advances the replica's virtual timeline, so queueing delay
+//! emerges from the interaction of the arrival rate and the simulated
+//! operator throughput — backpressure is real, not modelled.
 //!
-//! With [`ServeConfig::chaos`] set, every batch executes through the
-//! resilient runtime with a per-batch deterministic [`FaultPlan`], and
-//! the batch's resilient outcome (clean / recovered / degraded) is
+//! With [`ServeConfig::chaos`] set, every batch executes alone through
+//! the resilient runtime with a per-batch deterministic [`FaultPlan`],
+//! and the batch's resilient outcome (clean / recovered / degraded) is
 //! stamped onto its member requests — chaos under load, with every
 //! request accounted for.
 
-use flashoverlap::{CommPattern, FaultPlan, FlashOverlapError, SystemSpec, WatchdogConfig};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use flashoverlap::{
+    execute_sequence, CommPattern, ExecOptions, FaultPlan, FlashOverlapError, Instrumentation,
+    OverlapPlan, SequenceOptions, SystemSpec, WatchdogConfig,
+};
 use telemetry::{percentiles, signal_summary, Telemetry};
 use workloads::ServeMix;
 
-use crate::batch::{form_batch, BatchConfig};
-use crate::cache::PlanCache;
-use crate::report::{BatchRecord, ComparisonReport, Disposition, RequestRecord, ServeReport};
+use crate::batch::{form_batch, Batch, BatchConfig};
+use crate::cache::{system_fingerprint, CacheSnapshot, CacheStats, PlanCache, PlanEntry};
+use crate::report::{
+    BatchRecord, ComparisonReport, Disposition, ReplicaStats, RequestRecord, ScalingReport,
+    ServeReport,
+};
+use crate::router::{ReplicaLoad, Router, RouterPolicy};
 use crate::traffic::{generate, ArrivalProcess, Request};
 
 /// Everything a serve run needs. Construct with [`ServeConfig::new`]
 /// and override fields as needed.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Target system (the tensor-parallel group).
+    /// Target system (one tensor-parallel replica group; every replica
+    /// is identical).
     pub system: SystemSpec,
     /// Traffic mix.
     pub mix: ServeMix,
@@ -45,18 +62,31 @@ pub struct ServeConfig {
     pub batch: BatchConfig,
     /// Admission queue bound; arrivals beyond it are shed.
     pub queue_capacity: usize,
-    /// Plan-cache capacity.
+    /// Per-replica plan-cache capacity.
     pub cache_capacity: usize,
     /// Latency SLO.
     pub slo_ns: u64,
     /// Arm per-batch fault injection (resilient execution).
     pub chaos: bool,
+    /// Independent replica groups behind the router.
+    pub replicas: usize,
+    /// Batch-routing policy.
+    pub router: RouterPolicy,
+    /// Execute replica chains with cross-batch pipelining (false
+    /// inserts a serial barrier between consecutive batches).
+    pub pipelined: bool,
+    /// Most batches an idle replica chains into one simulation.
+    pub chain: usize,
+    /// Tuned plans to seed every replica's cache with before the run.
+    /// The snapshot's fingerprint must match [`ServeConfig::system`].
+    pub preload: Option<CacheSnapshot>,
 }
 
 impl ServeConfig {
     /// Defaults: 200 requests of the default mix at 500 rps Poisson
     /// (≈70% utilization of a two-rank 4090 group under the default
-    /// prefill-heavy mix), 20 ms SLO, 64-deep queue, 32-plan cache, no
+    /// prefill-heavy mix), 20 ms SLO, 64-deep queue, 32-plan cache,
+    /// one replica, round-robin router, pipelined 4-batch chains, no
     /// chaos.
     pub fn new(system: SystemSpec) -> Self {
         ServeConfig {
@@ -70,11 +100,17 @@ impl ServeConfig {
             cache_capacity: 32,
             slo_ns: 20_000_000,
             chaos: false,
+            replicas: 1,
+            router: RouterPolicy::RoundRobin,
+            pipelined: true,
+            chain: 4,
+            preload: None,
         }
     }
 
-    /// Validates shape divisibility: every mix model's intermediate
-    /// size must split across the TP group.
+    /// Validates shape divisibility (every mix model's intermediate
+    /// size must split across the TP group), replica/chain bounds, and
+    /// preload fingerprint compatibility.
     fn validate(&self) -> Result<(), FlashOverlapError> {
         let tp = self.system.n_gpus as u32;
         for entry in self.mix.entries() {
@@ -83,6 +119,28 @@ impl ServeConfig {
                     reason: format!(
                         "{}: intermediate {} not divisible by tp {}",
                         entry.model.name, entry.model.intermediate, tp
+                    ),
+                });
+            }
+        }
+        if self.replicas == 0 {
+            return Err(FlashOverlapError::BadInputs {
+                reason: "need at least one replica".into(),
+            });
+        }
+        if self.chain == 0 {
+            return Err(FlashOverlapError::BadInputs {
+                reason: "chain length must be at least 1".into(),
+            });
+        }
+        if let Some(snapshot) = &self.preload {
+            let fp = system_fingerprint(&self.system);
+            if snapshot.system_fp != fp {
+                return Err(FlashOverlapError::BadInputs {
+                    reason: format!(
+                        "plan-cache snapshot was tuned for system {:016x} but this run \
+                         targets {fp:016x}; re-tune instead of loading stale plans",
+                        snapshot.system_fp
                     ),
                 });
             }
@@ -97,16 +155,36 @@ fn fault_seed(seed: u64, batch_id: u64) -> u64 {
     seed ^ (batch_id.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// The replica a convergence failure should blame: the one with the
+/// most undrained batches (ties to the lowest id, so the answer is
+/// deterministic). `None` when nothing is queued anywhere.
+fn wedged_replica(pending_batches: &[usize]) -> Option<usize> {
+    pending_batches
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .max_by_key(|(i, &n)| (n, usize::MAX - i))
+        .map(|(i, _)| i)
+}
+
 /// Runs the serving loop to completion and returns the report. Fully
 /// deterministic in the config: same config, bit-identical report.
 pub fn serve(config: &ServeConfig) -> Result<ServeReport, FlashOverlapError> {
-    serve_with_cache(config, PlanCache::new(config.cache_capacity), true)
+    Ok(serve_run(config, true)?.0)
+}
+
+/// [`serve`], additionally returning the merged tuned-plan snapshot
+/// from every replica's cache — the `--plan-cache-out` payload.
+pub fn serve_exporting(
+    config: &ServeConfig,
+) -> Result<(ServeReport, CacheSnapshot), FlashOverlapError> {
+    serve_run(config, true)
 }
 
 /// Runs the same loop with untuned single-group (non-overlap) plans —
 /// the baseline arm of [`serve_comparison`].
 pub fn serve_baseline(config: &ServeConfig) -> Result<ServeReport, FlashOverlapError> {
-    serve_with_cache(config, PlanCache::new_untuned(config.cache_capacity), false)
+    Ok(serve_run(config, false)?.0)
 }
 
 /// Serves the identical seeded traffic through both the tuned and the
@@ -118,25 +196,116 @@ pub fn serve_comparison(config: &ServeConfig) -> Result<ComparisonReport, FlashO
     })
 }
 
-fn serve_with_cache(
+/// Serves the identical seeded traffic through the configured
+/// multi-replica arm, a single replica, and the multi-replica arm with
+/// pipelining disabled — the replica-scaling evaluation.
+pub fn serve_scaling(config: &ServeConfig) -> Result<ScalingReport, FlashOverlapError> {
+    let multi = serve(config)?;
+    let single = serve(&ServeConfig {
+        replicas: 1,
+        ..config.clone()
+    })?;
+    let unpipelined = serve(&ServeConfig {
+        pipelined: false,
+        ..config.clone()
+    })?;
+    Ok(ScalingReport {
+        multi,
+        single,
+        unpipelined,
+    })
+}
+
+/// One replica group's scheduler state.
+struct Replica {
+    cache: PlanCache,
+    /// Closed batches routed here, waiting for the replica to go idle.
+    pending: VecDeque<(Batch, &'static str)>,
+    /// Virtual time the current chain drains (<= now means idle).
+    free_ns: u64,
+    busy_ns: u64,
+    batches: u64,
+    requests: u64,
+    tokens: u64,
+    chains: u64,
+}
+
+impl Replica {
+    fn new(cache: PlanCache) -> Self {
+        Replica {
+            cache,
+            pending: VecDeque::new(),
+            free_ns: 0,
+            busy_ns: 0,
+            batches: 0,
+            requests: 0,
+            tokens: 0,
+            chains: 0,
+        }
+    }
+
+    fn queued_tokens(&self) -> u64 {
+        self.pending
+            .iter()
+            .map(|(b, _)| u64::from(b.padded_tokens))
+            .sum()
+    }
+}
+
+/// Mutable accounting threaded through chain execution.
+#[derive(Default)]
+struct Accounting {
+    records: Vec<RequestRecord>,
+    batch_records: Vec<BatchRecord>,
+    signal_weighted_sum: f64,
+    signal_samples: u64,
+}
+
+impl Accounting {
+    fn absorb_signals(&mut self, telemetry: &Telemetry, spans: &[gpu_sim::OpSpan]) {
+        let record = telemetry.take_record();
+        if let Some(sig) = signal_summary(&record, spans) {
+            self.signal_weighted_sum += sig.mean_total_ns * sig.samples.len() as f64;
+            self.signal_samples += sig.samples.len() as u64;
+        }
+    }
+}
+
+fn serve_run(
     config: &ServeConfig,
-    mut cache: PlanCache,
     tuned: bool,
-) -> Result<ServeReport, FlashOverlapError> {
+) -> Result<(ServeReport, CacheSnapshot), FlashOverlapError> {
     config.validate()?;
     let tp = config.system.n_gpus as u32;
     let arrivals = generate(&config.mix, config.process, config.requests, config.seed);
     let offered_span_ns = arrivals.last().map_or(0, |r| r.arrival_ns);
 
+    let mut replicas: Vec<Replica> = (0..config.replicas)
+        .map(|_| {
+            let mut cache = if tuned {
+                PlanCache::new(config.cache_capacity)
+            } else {
+                PlanCache::new_untuned(config.cache_capacity)
+            };
+            if let Some(snapshot) = &config.preload {
+                // Fingerprint compatibility was validated up front.
+                cache.preload(&config.system, &snapshot.entries)?;
+            }
+            Ok(cache)
+        })
+        .map(|c: Result<PlanCache, FlashOverlapError>| c.map(Replica::new))
+        .collect::<Result<Vec<Replica>, FlashOverlapError>>()?;
+    let mut router = Router::new(config.router);
+
     let mut queue: Vec<Request> = Vec::new();
     let mut next_arrival = 0usize;
     let mut now_ns = 0u64;
     let mut batch_id = 0u64;
-    let mut records: Vec<RequestRecord> = Vec::with_capacity(arrivals.len());
-    let mut batch_records: Vec<BatchRecord> = Vec::new();
+    let mut acct = Accounting {
+        records: Vec::with_capacity(arrivals.len()),
+        ..Accounting::default()
+    };
     let mut shapes = std::collections::HashSet::new();
-    let mut signal_weighted_sum = 0.0f64;
-    let mut signal_samples = 0u64;
 
     // Loop guard: each iteration either admits, dispatches, or advances
     // the clock to a strictly later event, so this bound is generous.
@@ -146,10 +315,18 @@ fn serve_with_cache(
     loop {
         iterations += 1;
         if iterations > max_iterations {
+            let pending: Vec<usize> = replicas.iter().map(|r| r.pending.len()).collect();
+            let blame = match wedged_replica(&pending) {
+                Some(r) => format!(
+                    "; replica {r} is wedged with {} undrained batch(es)",
+                    pending.get(r).copied().unwrap_or(0)
+                ),
+                None => String::new(),
+            };
             return Err(FlashOverlapError::Simulation(format!(
                 "serve loop failed to converge after {max_iterations} iterations \
-                 ({} requests unresolved)",
-                arrivals.len() - records.len()
+                 ({} requests unresolved{blame})",
+                arrivals.len() - acct.records.len()
             )));
         }
 
@@ -160,7 +337,7 @@ fn serve_with_cache(
                 break;
             }
             if queue.len() >= config.queue_capacity {
-                records.push(RequestRecord {
+                acct.records.push(RequestRecord {
                     id: r.id,
                     model: r.model.name,
                     tokens: r.tokens,
@@ -175,130 +352,245 @@ fn serve_with_cache(
             next_arrival += 1;
         }
 
-        let Some(head) = queue.first() else {
-            match arrivals.get(next_arrival) {
-                // Idle: jump to the next arrival.
-                Some(r) => {
-                    now_ns = r.arrival_ns;
-                    continue;
-                }
-                // Drained: every request is accounted for.
-                None => break,
+        // Batch closing: form every batch that is ready at `now` and
+        // route it to a replica's dispatch queue.
+        while let Some(head) = queue.first() {
+            let head_deadline = head.arrival_ns.saturating_add(config.batch.max_wait_ns);
+            let run_tokens: u32 = queue
+                .iter()
+                .take_while(|r| r.model == head.model)
+                .map(|r| r.tokens)
+                .sum();
+            let ready = run_tokens >= config.batch.max_batch_tokens
+                || now_ns >= head_deadline
+                || next_arrival >= arrivals.len();
+            if !ready {
+                break;
             }
-        };
+            let batch = form_batch(&mut queue, &config.batch, batch_id)
+                .expect("queue is non-empty when a batch closes");
+            batch_id += 1;
+            let dims = batch.gemm_dims(tp);
+            shapes.insert(dims);
+            let loads: Vec<ReplicaLoad> = replicas
+                .iter()
+                .map(|r| ReplicaLoad {
+                    queued_tokens: r.queued_tokens(),
+                    busy_ns: r.free_ns.saturating_sub(now_ns),
+                })
+                .collect();
+            let decision = router.route(dims, &loads);
+            if let Some(replica) = replicas.get_mut(decision.replica) {
+                replica.pending.push_back((batch, decision.reason));
+            }
+        }
 
-        // Batch-closing policy: enough tokens of the head model, the
-        // head's max-wait deadline, or no arrivals left to wait for.
-        let head_deadline = head.arrival_ns.saturating_add(config.batch.max_wait_ns);
-        let run_tokens: u32 = queue
+        // Dispatch: every idle replica drains up to `chain` pending
+        // batches as one (pipelined) simulation starting now.
+        for (idx, replica) in replicas.iter_mut().enumerate() {
+            if replica.free_ns > now_ns || replica.pending.is_empty() {
+                continue;
+            }
+            let take = if config.chaos {
+                // Chaos runs per-batch through the resilient runtime.
+                1
+            } else {
+                replica.pending.len().min(config.chain)
+            };
+            let chain: Vec<(Batch, &'static str)> = replica.pending.drain(..take).collect();
+            replica.free_ns = run_chain(config, idx, replica, chain, now_ns, tp, &mut acct)?;
+        }
+
+        // Termination: every request admitted, batched, and executed.
+        if next_arrival >= arrivals.len()
+            && queue.is_empty()
+            && replicas.iter().all(|r| r.pending.is_empty())
+        {
+            break;
+        }
+
+        // Advance the clock to the next event: an arrival, the head
+        // request's batching deadline, or a busy replica with queued
+        // work going idle.
+        let mut next_event = arrivals.get(next_arrival).map(|r| r.arrival_ns);
+        if let Some(head) = queue.first() {
+            let deadline = head.arrival_ns.saturating_add(config.batch.max_wait_ns);
+            next_event = Some(next_event.map_or(deadline, |t| t.min(deadline)));
+        }
+        for replica in &replicas {
+            if !replica.pending.is_empty() {
+                next_event = Some(next_event.map_or(replica.free_ns, |t| t.min(replica.free_ns)));
+            }
+        }
+        match next_event {
+            Some(t) => now_ns = now_ns.max(t),
+            None => {
+                debug_assert!(false, "no next event yet not terminated");
+                break;
+            }
+        }
+    }
+
+    acct.records.sort_by_key(|r| r.id);
+    debug_assert_eq!(
+        acct.records.len(),
+        arrivals.len(),
+        "every request accounted for"
+    );
+    let makespan_ns = replicas.iter().map(|r| r.free_ns).max().unwrap_or(0);
+
+    let fp = system_fingerprint(&config.system);
+    let mut entries: Vec<PlanEntry> = replicas
+        .iter()
+        .flat_map(|r| r.cache.export_entries(fp))
+        .collect();
+    entries.sort_by_key(|e| (e.dims.m, e.dims.n, e.dims.k, format!("{}", e.primitive)));
+    entries.dedup_by_key(|e| (e.dims, e.primitive));
+    let snapshot = CacheSnapshot {
+        system_fp: fp,
+        entries,
+    };
+
+    let report = build_report(
+        config,
+        tuned,
+        makespan_ns,
+        offered_span_ns,
+        acct,
+        shapes.len() as u64,
+        &replicas,
+    );
+    Ok((report, snapshot))
+}
+
+/// Executes one chain of batches on `replica` starting at `start_ns`,
+/// pushing per-request and per-batch records, and returns the virtual
+/// time the chain drains.
+fn run_chain(
+    config: &ServeConfig,
+    replica_idx: usize,
+    replica: &mut Replica,
+    chain: Vec<(Batch, &'static str)>,
+    start_ns: u64,
+    tp: u32,
+    acct: &mut Accounting,
+) -> Result<u64, FlashOverlapError> {
+    let pattern = CommPattern::AllReduce;
+    let mut plans: Vec<(Rc<OverlapPlan>, bool)> = Vec::with_capacity(chain.len());
+    for (batch, _) in &chain {
+        plans.push(
+            replica
+                .cache
+                .get_or_tune(batch.gemm_dims(tp), &pattern, &config.system)?,
+        );
+    }
+
+    let chain_len = chain.len() as u64;
+    let telemetry = Telemetry::new();
+    let (completions, outcomes, total_ns, spans) = if config.chaos {
+        // Chaos chains have length 1: each batch runs alone through the
+        // resilient runtime with its own deterministic fault plan.
+        let (batch, _) = chain.first().expect("chaos chain is non-empty");
+        let (plan, _) = plans.first().expect("one plan per batch");
+        let faults = FaultPlan::random(
+            fault_seed(config.seed, batch.id),
+            config.system.n_gpus,
+            plan.partition.num_groups(),
+        );
+        let instr = Instrumentation {
+            monitor: Some(telemetry.monitor()),
+            probe: None,
+            mutation: None,
+        };
+        let run = plan.execute_with(
+            &ExecOptions::new()
+                .instrument(&instr)
+                .trace()
+                .resilient(&faults, &WatchdogConfig::default()),
+        )?;
+        let exec_ns = run.report.latency.as_nanos();
+        (vec![exec_ns], vec![run.outcome.label()], exec_ns, run.spans)
+    } else {
+        let instr = telemetry.instrumentation();
+        let plan_refs: Vec<&OverlapPlan> = plans.iter().map(|(p, _)| p.as_ref()).collect();
+        let mut options = SequenceOptions::new().instrument(&instr).trace();
+        if !config.pipelined {
+            options = options.serial();
+        }
+        let outcome = execute_sequence(&plan_refs, &options)?;
+        let completions: Vec<u64> = outcome
+            .reports
             .iter()
-            .take_while(|r| r.model == head.model)
-            .map(|r| r.tokens)
-            .sum();
-        let ready = run_tokens >= config.batch.max_batch_tokens
-            || now_ns >= head_deadline
-            || next_arrival >= arrivals.len();
-        if !ready {
-            let next = arrivals
-                .get(next_arrival)
-                .map_or(u64::MAX, |r| r.arrival_ns);
-            now_ns = next.min(head_deadline);
-            continue;
-        }
+            .map(|r| r.latency.as_nanos())
+            .collect();
+        let outcomes = vec!["clean"; chain.len()];
+        (
+            completions,
+            outcomes,
+            outcome.total.as_nanos(),
+            outcome.spans,
+        )
+    };
+    acct.absorb_signals(&telemetry, &spans);
 
-        let batch = form_batch(&mut queue, &config.batch, batch_id)
-            .expect("queue is non-empty when a batch closes");
-        batch_id += 1;
-
-        let dims = batch.gemm_dims(tp);
-        shapes.insert(dims);
-        let pattern = CommPattern::AllReduce;
-        let (plan, cache_hit) = cache.get_or_tune(dims, &pattern, &config.system)?;
-
-        let telemetry = Telemetry::new();
-        let (exec_ns, outcome_label, spans) = if config.chaos {
-            let faults = FaultPlan::random(
-                fault_seed(config.seed, batch.id),
-                config.system.n_gpus,
-                plan.partition.num_groups(),
-            );
-            let (resilient, spans) = plan.execute_resilient_traced(
-                &faults,
-                &WatchdogConfig::default(),
-                Some(telemetry.monitor()),
-            )?;
-            (
-                resilient.report.latency.as_nanos(),
-                resilient.outcome.label(),
-                spans,
-            )
-        } else {
-            let (report, spans) = plan.execute_traced_instrumented(&telemetry.instrumentation())?;
-            (report.latency.as_nanos(), "clean", spans)
-        };
-        let record = telemetry.take_record();
-        if let Some(sig) = signal_summary(&record, &spans) {
-            signal_weighted_sum += sig.mean_total_ns * sig.samples.len() as f64;
-            signal_samples += sig.samples.len() as u64;
-        }
-
-        let start_ns = now_ns;
-        now_ns = now_ns.saturating_add(exec_ns);
-        let disposition = Disposition::from_outcome_label(outcome_label);
+    let mut prev_done = 0u64;
+    for (((batch, routing), (_, cache_hit)), (done_ns, outcome)) in chain
+        .iter()
+        .zip(&plans)
+        .zip(completions.iter().zip(&outcomes))
+    {
+        let end_ns = start_ns.saturating_add(*done_ns);
+        let disposition = Disposition::from_outcome_label(outcome);
         for r in &batch.requests {
-            records.push(RequestRecord {
+            acct.records.push(RequestRecord {
                 id: r.id,
                 model: r.model.name,
                 tokens: r.tokens,
                 arrival_ns: r.arrival_ns,
                 disposition,
                 batch: Some(batch.id),
-                latency_ns: Some(now_ns - r.arrival_ns),
+                latency_ns: Some(end_ns - r.arrival_ns),
             });
         }
-        batch_records.push(BatchRecord {
+        acct.batch_records.push(BatchRecord {
             id: batch.id,
             model: batch.model.name,
             requests: batch.requests.len() as u64,
             tokens: batch.tokens,
             padded_tokens: batch.padded_tokens,
-            start_ns,
-            exec_ns,
-            cache_hit,
-            outcome: outcome_label,
+            start_ns: start_ns.saturating_add(prev_done),
+            exec_ns: done_ns - prev_done,
+            cache_hit: *cache_hit,
+            outcome,
+            replica: replica_idx,
+            routing,
+            chain_len,
         });
+        replica.batches += 1;
+        replica.requests += batch.requests.len() as u64;
+        replica.tokens += u64::from(batch.tokens);
+        prev_done = *done_ns;
     }
-
-    records.sort_by_key(|r| r.id);
-    debug_assert_eq!(records.len(), arrivals.len(), "every request accounted for");
-
-    Ok(build_report(
-        config,
-        tuned,
-        now_ns,
-        offered_span_ns,
-        records,
-        batch_records,
-        shapes.len() as u64,
-        cache.stats(),
-        signal_weighted_sum,
-        signal_samples,
-    ))
+    replica.busy_ns += total_ns;
+    replica.chains += 1;
+    Ok(start_ns.saturating_add(total_ns))
 }
 
-#[allow(clippy::too_many_arguments)]
 fn build_report(
     config: &ServeConfig,
     tuned: bool,
     makespan_ns: u64,
     offered_span_ns: u64,
-    records: Vec<RequestRecord>,
-    batch_records: Vec<BatchRecord>,
+    acct: Accounting,
     distinct_shapes: u64,
-    cache: crate::cache::CacheStats,
-    signal_weighted_sum: f64,
-    signal_samples: u64,
+    replicas: &[Replica],
 ) -> ServeReport {
+    let Accounting {
+        records,
+        batch_records,
+        signal_weighted_sum,
+        signal_samples,
+    } = acct;
     let offered = records.len() as u64;
     let shed = records
         .iter()
@@ -306,6 +598,9 @@ fn build_report(
         .count() as u64;
     let completed = offered - shed;
     let count = |d: Disposition| records.iter().filter(|r| r.disposition == d).count() as u64;
+    // The merged per-request completion stream across every replica:
+    // percentiles are order statistics of the run, not averages of
+    // per-replica summaries (a hot replica must drag the run's p95).
     let latencies: Vec<u64> = records.iter().filter_map(|r| r.latency_ns).collect();
     let slo_met = records
         .iter()
@@ -320,6 +615,27 @@ fn build_report(
     let total_batch_requests: u64 = batch_records.iter().map(|b| b.requests).sum();
     let total_batch_tokens: u64 = batch_records.iter().map(|b| u64::from(b.tokens)).sum();
     let n_batches = batch_records.len() as u64;
+    let cache = replicas
+        .iter()
+        .fold(CacheStats::default(), |sum, r| sum.merge(&r.cache.stats()));
+    let replica_stats: Vec<ReplicaStats> = replicas
+        .iter()
+        .enumerate()
+        .map(|(id, r)| ReplicaStats {
+            id,
+            batches: r.batches,
+            requests: r.requests,
+            tokens: r.tokens,
+            busy_ns: r.busy_ns,
+            chains: r.chains,
+            utilization: if makespan_ns > 0 {
+                r.busy_ns as f64 / makespan_ns as f64
+            } else {
+                0.0
+            },
+            cache: r.cache.stats(),
+        })
+        .collect();
 
     ServeReport {
         seed: config.seed,
@@ -330,6 +646,9 @@ fn build_report(
         slo_ns: config.slo_ns,
         chaos: config.chaos,
         tuned,
+        replicas: config.replicas,
+        router: config.router.label(),
+        pipelined: config.pipelined,
         makespan_ns,
         completed,
         shed,
@@ -372,6 +691,7 @@ fn build_report(
         },
         distinct_shapes,
         cache,
+        replica_stats,
         mean_signal_ns: if signal_samples > 0 {
             signal_weighted_sum / signal_samples as f64
         } else {
@@ -380,5 +700,44 @@ fn build_report(
         signal_samples,
         records,
         batch_records,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wedged_replica_blames_the_deepest_queue_tie_lowest_id() {
+        assert_eq!(wedged_replica(&[0, 3, 1, 3]), Some(1));
+        assert_eq!(wedged_replica(&[2]), Some(0));
+        assert_eq!(wedged_replica(&[0, 0]), None);
+        assert_eq!(wedged_replica(&[]), None);
+    }
+
+    #[test]
+    fn zero_replicas_is_rejected() {
+        let mut config = ServeConfig::new(SystemSpec::rtx4090(2));
+        config.replicas = 0;
+        assert!(matches!(
+            serve(&config),
+            Err(FlashOverlapError::BadInputs { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_snapshot_fingerprint_is_rejected() {
+        let mut config = ServeConfig::new(SystemSpec::rtx4090(2));
+        config.preload = Some(CacheSnapshot {
+            system_fp: 0xdead_beef,
+            entries: Vec::new(),
+        });
+        let err = serve(&config).unwrap_err();
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("00000000deadbeef"),
+            "error must name the stale fingerprint: {msg}"
+        );
     }
 }

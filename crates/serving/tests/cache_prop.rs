@@ -39,8 +39,12 @@ proptest! {
             cold.partition.clone(),
             "cached partition must match a cold tune"
         );
-        let warm_report = cached.execute().expect("cached plan executes");
-        let cold_report = cold.execute().expect("cold plan executes");
+        let opts = flashoverlap::ExecOptions::new();
+        let warm_report = cached
+            .execute_with(&opts)
+            .expect("cached plan executes")
+            .report;
+        let cold_report = cold.execute_with(&opts).expect("cold plan executes").report;
         prop_assert_eq!(warm_report.latency, cold_report.latency);
         prop_assert_eq!(warm_report.gemm_done, cold_report.gemm_done);
         prop_assert_eq!(warm_report.group_comm_done, cold_report.group_comm_done);

@@ -1,0 +1,119 @@
+//! Property test: cross-batch pipelined execution is bit-exact with
+//! serial execution for the chains every router policy actually
+//! dispatches, across seeds.
+//!
+//! Each case runs a small multi-replica serve, reconstructs the batch
+//! chains each replica executed (from the per-batch records), and
+//! re-executes every chain functionally through
+//! [`flashoverlap::execute_sequence`] twice — pipelined and with the
+//! serial cross-batch barrier — asserting the per-rank outputs are
+//! identical bit for bit. Pipelining reorders work in time; it must
+//! never reorder results.
+
+use std::rc::Rc;
+
+use flashoverlap::{
+    execute_sequence, CommPattern, FunctionalInputs, OverlapPlan, SequenceOptions, SystemSpec,
+};
+use gpu_sim::gemm::GemmDims;
+use proptest::prelude::*;
+use serving::{ArrivalProcess, PlanCache, RouterPolicy, ServeConfig};
+use workloads::{MixEntry, ModelSpec, ServeMix};
+
+/// A deliberately tiny model so the functional (data-carrying) replay
+/// stays cheap: `n = hidden = 128`, `k = intermediate / tp = 64`.
+const TINY: ModelSpec = ModelSpec {
+    hidden: 128,
+    intermediate: 128,
+    name: "tiny-proptest",
+};
+
+fn tiny_config(seed: u64, router: RouterPolicy) -> ServeConfig {
+    let mut config = ServeConfig::new(SystemSpec::rtx4090(2));
+    config.mix = ServeMix::new(vec![MixEntry {
+        model: TINY,
+        weight: 1,
+        min_tokens: 32,
+        max_tokens: 128,
+    }]);
+    config.batch.max_batch_tokens = 128;
+    config.batch.token_bucket = 32;
+    // Dense arrivals so replicas accumulate multi-batch chains.
+    config.process = ArrivalProcess::Poisson { rate_rps: 50_000.0 };
+    config.requests = 16;
+    config.replicas = 2;
+    config.router = router;
+    config.seed = seed;
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn pipelined_chains_are_bit_exact_with_serial(
+        seed in 0u64..1_000_000,
+        router in prop::sample::select(vec![
+            RouterPolicy::RoundRobin,
+            RouterPolicy::LeastLoaded,
+            RouterPolicy::ShapeAffinity,
+        ]),
+    ) {
+        let config = tiny_config(seed, router);
+        let report = serving::serve(&config).expect("serve");
+        prop_assert!(report.batches > 0);
+
+        // Chains are contiguous runs in dispatch order: every batch of
+        // a chain carries the chain's length and replica.
+        let mut cache = PlanCache::new(16);
+        let mut saw_multi_batch_chain = false;
+        let mut i = 0usize;
+        while i < report.batch_records.len() {
+            let len = report.batch_records[i].chain_len as usize;
+            let chain = &report.batch_records[i..i + len];
+            prop_assert!(chain.iter().all(|b| b.replica == chain[0].replica));
+            saw_multi_batch_chain |= len > 1;
+
+            let mut plans: Vec<Rc<OverlapPlan>> = Vec::with_capacity(len);
+            let mut inputs: Vec<FunctionalInputs> = Vec::with_capacity(len);
+            for b in chain {
+                let dims = GemmDims::new(
+                    b.padded_tokens,
+                    TINY.hidden,
+                    TINY.intermediate / config.system.n_gpus as u32,
+                );
+                let (plan, _) = cache
+                    .get_or_tune(dims, &CommPattern::AllReduce, &config.system)
+                    .expect("tune");
+                inputs.push(FunctionalInputs::random(
+                    dims,
+                    config.system.n_gpus,
+                    seed ^ b.id,
+                ));
+                plans.push(plan);
+            }
+            let refs: Vec<&OverlapPlan> = plans.iter().map(|p| p.as_ref()).collect();
+            let pipelined = execute_sequence(
+                &refs,
+                &SequenceOptions::new().functional(&inputs),
+            )
+            .expect("pipelined replay");
+            let serial = execute_sequence(
+                &refs,
+                &SequenceOptions::new().serial().functional(&inputs),
+            )
+            .expect("serial replay");
+            prop_assert_eq!(
+                pipelined.outputs.expect("functional outputs"),
+                serial.outputs.expect("functional outputs"),
+                "pipelining must not change results (chain at batch {})",
+                i
+            );
+            i += len;
+        }
+        prop_assert!(
+            saw_multi_batch_chain,
+            "traffic must be dense enough to exercise real pipelining"
+        );
+    }
+}

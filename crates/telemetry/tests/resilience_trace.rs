@@ -5,7 +5,7 @@
 
 use flashoverlap::resilience::{Fault, FaultPlan, ResilientOutcome, WatchdogConfig};
 use flashoverlap::runtime::CommPattern;
-use flashoverlap::{OverlapPlan, SystemSpec, WavePartition};
+use flashoverlap::{ExecOptions, Instrumentation, OverlapPlan, SystemSpec, WavePartition};
 use gpu_sim::gemm::{GemmConfig, GemmDims};
 use gpu_sim::RuntimeEventKind;
 use telemetry::json::{self, Value};
@@ -40,13 +40,20 @@ fn lost_signal_faults() -> FaultPlan {
 fn dropped_increment_recovery_is_visible_in_the_trace() {
     let plan = small_plan();
     let telemetry = Telemetry::new();
-    let (report, spans) = plan
-        .execute_resilient_traced(
-            &lost_signal_faults(),
-            &WatchdogConfig::default(),
-            Some(telemetry.monitor()),
+    let instr = Instrumentation {
+        monitor: Some(telemetry.monitor()),
+        probe: None,
+        mutation: None,
+    };
+    let report = plan
+        .execute_with(
+            &ExecOptions::new()
+                .instrument(&instr)
+                .trace()
+                .resilient(&lost_signal_faults(), &WatchdogConfig::default()),
         )
         .expect("resilient run");
+    let spans = &report.spans;
 
     // The run recovered through the tail path, and says so.
     match &report.outcome {
@@ -83,7 +90,7 @@ fn dropped_increment_recovery_is_visible_in_the_trace() {
         .runtime_events
         .iter()
         .any(|e| e.kind == RuntimeEventKind::TailRecovery && e.group == Some(1)));
-    let doc = json::parse(&perfetto::trace_string(&spans, Some(&record))).expect("valid JSON");
+    let doc = json::parse(&perfetto::trace_string(spans, Some(&record))).expect("valid JSON");
     let events = doc
         .get("traceEvents")
         .and_then(Value::as_arr)
@@ -107,18 +114,17 @@ fn recovery_timeline_is_deterministic() {
     let plan = small_plan();
     let watchdog = WatchdogConfig::default();
     let run = || {
-        plan.execute_resilient(&lost_signal_faults(), &watchdog)
+        plan.execute_with(&ExecOptions::new().resilient(&lost_signal_faults(), &watchdog))
             .expect("resilient run")
     };
     let (a, b) = (run(), run());
     assert_eq!(a.outcome, b.outcome);
-    let timeline =
-        |r: &flashoverlap::ResilientReport| -> Vec<(u64, RuntimeEventKind, Option<usize>)> {
-            r.events
-                .iter()
-                .map(|e| ((e.at - sim::SimTime::ZERO).as_nanos(), e.kind, e.group))
-                .collect()
-        };
+    let timeline = |r: &flashoverlap::ExecOutcome| -> Vec<(u64, RuntimeEventKind, Option<usize>)> {
+        r.events
+            .iter()
+            .map(|e| ((e.at - sim::SimTime::ZERO).as_nanos(), e.kind, e.group))
+            .collect()
+    };
     assert_eq!(timeline(&a), timeline(&b));
     assert_eq!(a.report.latency, b.report.latency);
 }

@@ -44,7 +44,10 @@ fn main() {
         };
         let base = baselines::run_nonoverlap(dims, &pattern, &system).expect("baseline");
         let plan = OverlapPlan::tuned(dims, pattern, system.clone()).expect("plan");
-        let report = plan.execute().expect("run");
+        let report = plan
+            .execute_with(&flashoverlap::ExecOptions::new())
+            .expect("run")
+            .report;
         println!(
             "   partition {} | non-overlap {base} | FlashOverlap {} ({:.3}x)\n",
             plan.partition,
@@ -66,15 +69,18 @@ fn main() {
     )
     .expect("small plan");
     let inputs = FunctionalInputs::random(small, n_gpus, 3);
-    let result = plan.execute_functional(&inputs).expect("functional");
+    let result = plan
+        .execute_with(&flashoverlap::ExecOptions::new().functional(&inputs))
+        .expect("functional");
+    let outputs = result.outputs.expect("functional outputs");
     let expert_out: Vec<_> = (0..n_gpus)
         .map(|r| gemm(&inputs.a[r], &inputs.b[r]))
         .collect();
     let mapping = plan.token_mapping().expect("token mapping");
-    for dest in 0..n_gpus {
+    for (dest, out) in outputs.iter().enumerate() {
         for (i, &(src, row)) in mapping.recv_expected[dest].iter().enumerate() {
             for c in 0..small.n as usize {
-                let got = result.outputs[dest][(i, c)];
+                let got = out[(i, c)];
                 let want = expert_out[src][(row as usize, c)];
                 assert!(
                     (got - want).abs() < 1e-2,

@@ -34,7 +34,10 @@ fn main() {
     );
 
     // Measure the overlapped operator.
-    let report = plan.execute().expect("simulation");
+    let report = plan
+        .execute_with(&flashoverlap::ExecOptions::new())
+        .expect("simulation")
+        .report;
     let baseline =
         baselines::run_nonoverlap(dims, &CommPattern::AllReduce, &system).expect("baseline");
     println!("FlashOverlap : {}", report.latency);
@@ -51,13 +54,16 @@ fn main() {
     let plan = OverlapPlan::tuned(small, CommPattern::AllReduce, SystemSpec::rtx4090(4))
         .expect("small plan");
     let inputs = FunctionalInputs::random(small, 4, 7);
-    let result = plan.execute_functional(&inputs).expect("functional run");
+    let result = plan
+        .execute_with(&flashoverlap::ExecOptions::new().functional(&inputs))
+        .expect("functional run");
+    let outputs = result.outputs.expect("functional outputs");
     let mut expected = gemm(&inputs.a[0], &inputs.b[0]);
     for r in 1..4 {
         expected = expected.add(&gemm(&inputs.a[r], &inputs.b[r]));
     }
     assert!(
-        allclose(&result.outputs[0], &expected, 1e-2),
+        allclose(&outputs[0], &expected, 1e-2),
         "overlapped result must match the reference"
     );
     println!("functional check: overlapped AllReduce output matches the reference");

@@ -67,9 +67,13 @@ fn main() {
         })
         .collect();
 
-    let result = pipeline
-        .execute_functional(&first_a, &weights)
+    let out = pipeline
+        .execute_with(&flashoverlap::PipelineExecOptions::new().functional(&first_a, &weights))
         .expect("functional run");
+    let result = flashoverlap::pipeline::FunctionalPipelineReport {
+        report: out.report,
+        outputs: out.outputs.expect("functional outputs"),
+    };
     println!(
         "end-to-end simulated time: {} ({} layers overlapped back to back)",
         result.report.total, layers

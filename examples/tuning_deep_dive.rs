@@ -40,8 +40,9 @@ fn main() {
             let predicted = predictor.predict(&p).as_nanos();
             let actual = OverlapPlan::new(dims, CommPattern::AllReduce, system.clone(), p.clone())
                 .expect("plan")
-                .execute()
+                .execute_with(&flashoverlap::ExecOptions::new())
                 .expect("run")
+                .report
                 .latency
                 .as_nanos();
             (p, predicted, actual)

@@ -4,9 +4,21 @@
 //! against the plain oracle on the real (paper) system specs.
 
 use flashoverlap::runtime::CommPattern;
-use flashoverlap::{FunctionalInputs, OverlapPlan, SystemSpec, WavePartition};
+use flashoverlap::{
+    ExecOptions, FunctionalInputs, FunctionalReport, OverlapPlan, SystemSpec, WavePartition,
+};
 use gpu_sim::gemm::{GemmConfig, GemmDims};
 use tensor::{allclose, gemm, rmsnorm, Matrix};
+
+fn run_functional(plan: &OverlapPlan, inputs: &FunctionalInputs) -> FunctionalReport {
+    let out = plan
+        .execute_with(&ExecOptions::new().functional(inputs))
+        .expect("functional execution");
+    FunctionalReport {
+        report: out.report,
+        outputs: out.outputs.expect("functional outputs"),
+    }
+}
 
 fn reduced_reference(inputs: &FunctionalInputs) -> Matrix {
     let mut acc = gemm(&inputs.a[0], &inputs.b[0]);
@@ -27,7 +39,7 @@ fn all_reduce_pipeline_on_rtx4090_system() {
     let system = SystemSpec::rtx4090(4);
     let plan = OverlapPlan::tuned(dims, CommPattern::AllReduce, system).unwrap();
     let inputs = FunctionalInputs::random(dims, 4, 11);
-    let result = plan.execute_functional(&inputs).unwrap();
+    let result = run_functional(&plan, &inputs);
     let expected = reduced_reference(&inputs);
     for (rank, out) in result.outputs.iter().enumerate() {
         assert!(allclose(out, &expected, 2e-2), "rank {rank}");
@@ -40,7 +52,7 @@ fn all_reduce_pipeline_on_a800_system() {
     let system = SystemSpec::a800(2);
     let plan = OverlapPlan::tuned(dims, CommPattern::AllReduce, system).unwrap();
     let inputs = FunctionalInputs::random(dims, 2, 12);
-    let result = plan.execute_functional(&inputs).unwrap();
+    let result = run_functional(&plan, &inputs);
     let expected = reduced_reference(&inputs);
     assert!(allclose(&result.outputs[0], &expected, 2e-2));
     assert!(allclose(&result.outputs[1], &expected, 2e-2));
@@ -52,7 +64,7 @@ fn reduce_scatter_pipeline_delivers_interleaved_rows() {
     let system = SystemSpec::rtx4090(4);
     let plan = OverlapPlan::tuned(dims, CommPattern::ReduceScatter, system).unwrap();
     let inputs = FunctionalInputs::random(dims, 4, 13);
-    let result = plan.execute_functional(&inputs).unwrap();
+    let result = run_functional(&plan, &inputs);
     let expected = reduced_reference(&inputs);
     for (rank, out) in result.outputs.iter().enumerate() {
         assert_eq!(out.rows(), 256, "each rank holds M/n rows");
@@ -81,7 +93,7 @@ fn all_to_all_pipeline_routes_every_token() {
     .unwrap();
     let inputs = FunctionalInputs::random(dims, 4, 14);
     let per_rank: Vec<Matrix> = (0..4).map(|r| gemm(&inputs.a[r], &inputs.b[r])).collect();
-    let result = plan.execute_functional(&inputs).unwrap();
+    let result = run_functional(&plan, &inputs);
     let mapping = plan.token_mapping().unwrap();
     let mut total_tokens = 0;
     for dest in 0..4 {
@@ -112,7 +124,7 @@ fn fused_rmsnorm_remap_restores_logical_order() {
     let system = SystemSpec::rtx4090(2);
     let plan = OverlapPlan::tuned(dims, CommPattern::AllReduce, system.clone()).unwrap();
     let inputs = FunctionalInputs::random(dims, 2, 31);
-    let result = plan.execute_functional(&inputs).unwrap();
+    let result = run_functional(&plan, &inputs);
     let expected = reduced_reference(&inputs);
 
     // Re-pack the verified output through the mapping and run the fused
@@ -185,7 +197,7 @@ fn every_partition_of_a_shape_gives_identical_numerics() {
             WavePartition::new(sizes),
         )
         .unwrap();
-        let result = plan.execute_functional(&inputs).unwrap();
+        let result = run_functional(&plan, &inputs);
         assert!(
             allclose(&result.outputs[0], &expected, 2e-2),
             "partition {} changed numerics",
@@ -201,7 +213,7 @@ fn all_gather_pipeline_on_real_system() {
     let plan = OverlapPlan::tuned(dims, CommPattern::AllGather, system).unwrap();
     let inputs = FunctionalInputs::random(dims, 4, 51);
     let shards: Vec<Matrix> = (0..4).map(|r| gemm(&inputs.a[r], &inputs.b[r])).collect();
-    let result = plan.execute_functional(&inputs).unwrap();
+    let result = run_functional(&plan, &inputs);
     for (rank, out) in result.outputs.iter().enumerate() {
         assert_eq!((out.rows(), out.cols()), (512, 1024));
         for r in 0..512usize {
@@ -241,7 +253,10 @@ fn pipeline_composes_layers_on_real_system() {
         ],
     )
     .unwrap();
-    let report = pipeline.execute().unwrap();
+    let report = pipeline
+        .execute_with(&flashoverlap::PipelineExecOptions::new())
+        .unwrap()
+        .report;
     assert_eq!(report.layers.len(), 2);
     assert!(report.layers[0].latency < report.layers[1].latency);
     assert!(report.total >= report.layers[1].epilogue_done.unwrap());
@@ -252,10 +267,8 @@ fn timing_and_functional_modes_agree_on_latency() {
     let dims = GemmDims::new(1024, 1024, 128);
     let system = SystemSpec::rtx4090(2);
     let plan = OverlapPlan::tuned(dims, CommPattern::AllReduce, system).unwrap();
-    let timing = plan.execute().unwrap();
-    let functional = plan
-        .execute_functional(&FunctionalInputs::random(dims, 2, 5))
-        .unwrap();
+    let timing = plan.execute_with(&ExecOptions::new()).unwrap().report;
+    let functional = run_functional(&plan, &FunctionalInputs::random(dims, 2, 5));
     assert_eq!(
         timing.latency.as_nanos(),
         functional.report.latency.as_nanos(),

@@ -19,7 +19,10 @@ fn tile_wise_overlapping() {
         plan.partition.num_groups() >= 2,
         "balanced shape must tune to a multi-group partition"
     );
-    let report = plan.execute().unwrap();
+    let report = plan
+        .execute_with(&flashoverlap::ExecOptions::new())
+        .unwrap()
+        .report;
     let first_comm = report.group_comm_done[0];
     assert!(
         first_comm < report.gemm_done,
@@ -47,7 +50,10 @@ fn interference_free_computation() {
         WavePartition::single(waves),
     )
     .unwrap();
-    let report = plan.execute().unwrap();
+    let report = plan
+        .execute_with(&flashoverlap::ExecOptions::new())
+        .unwrap()
+        .report;
     // Uncontended runtime waves are full-width.
     let (_, plain) = gemm_estimate(dims, &plan.config, system.arch.sm_count, &system.arch);
     let ratio = report.gemm_done.as_nanos() as f64 / plain.as_nanos() as f64;
@@ -73,7 +79,10 @@ fn contention_bounded_computation() {
         WavePartition::per_wave(waves),
     )
     .unwrap();
-    let report = plan.execute().unwrap();
+    let report = plan
+        .execute_with(&flashoverlap::ExecOptions::new())
+        .unwrap()
+        .report;
     let (_, plain) = gemm_estimate(dims, &plan.config, system.arch.sm_count, &system.arch);
     let (_, contended) = gemm_estimate(dims, &plan.config, system.compute_sms(), &system.arch);
     let measured = report.gemm_done.as_nanos() as f64;
@@ -102,7 +111,10 @@ fn communication_agnosticism() {
         CommPattern::AllToAll { routing },
     ] {
         let plan = OverlapPlan::tuned(dims, pattern, system.clone()).unwrap();
-        let report = plan.execute().unwrap();
+        let report = plan
+            .execute_with(&flashoverlap::ExecOptions::new())
+            .unwrap()
+            .report;
         assert!(report.latency > sim::SimDuration::ZERO);
     }
 }

@@ -3,8 +3,8 @@
 
 use flashoverlap::runtime::CommPattern;
 use flashoverlap::{
-    nonoverlap_latency, theoretical_latency, FunctionalInputs, LatencyPredictor, OverlapPlan,
-    SystemSpec, WavePartition,
+    nonoverlap_latency, theoretical_latency, ExecOptions, FunctionalInputs, LatencyPredictor,
+    OverlapPlan, RunReport, SystemSpec, WavePartition,
 };
 use gpu_sim::gemm::{GemmConfig, GemmDims};
 use proptest::prelude::*;
@@ -14,6 +14,10 @@ fn arb_dims() -> impl Strategy<Value = GemmDims> {
     // Multiples that satisfy every primitive's divisibility constraints
     // for up to 8 ranks.
     (1u32..=8, 1u32..=8, 1u32..=8).prop_map(|(m, n, k)| GemmDims::new(m * 512, n * 512, k * 512))
+}
+
+fn run(plan: &OverlapPlan) -> RunReport {
+    plan.execute_with(&ExecOptions::new()).expect("run").report
 }
 
 fn waves_for(dims: GemmDims, system: &SystemSpec) -> u32 {
@@ -49,7 +53,7 @@ proptest! {
         let partition = arb_partition(waves, seed ^ 0xABCD);
         let plan = OverlapPlan::new(dims, CommPattern::AllReduce, system.clone(), partition)
             .expect("plan");
-        let latency = plan.execute().expect("run").latency;
+        let latency = run(&plan).latency;
         let theory = theoretical_latency(dims, collectives::Primitive::AllReduce, &system);
         prop_assert!(latency >= theory, "beat the theoretical bound: {latency} < {theory}");
     }
@@ -61,7 +65,7 @@ proptest! {
         let system = SystemSpec::rtx4090(4).with_seed(seed);
         let plan = OverlapPlan::tuned(dims, CommPattern::AllReduce, system.clone())
             .expect("plan");
-        let tuned = plan.execute().expect("run").latency.as_nanos() as f64;
+        let tuned = run(&plan).latency.as_nanos() as f64;
         let base = nonoverlap_latency(dims, collectives::Primitive::AllReduce, &system)
             .as_nanos() as f64;
         // Allow noise plus small modelling slack.
@@ -79,9 +83,12 @@ proptest! {
         let partition = arb_partition(waves, seed);
         let plan = OverlapPlan::new(dims, CommPattern::AllReduce, system, partition)
             .expect("plan");
-        let result = plan.execute_functional(&inputs).expect("run");
-        prop_assert!(allclose(&result.outputs[0], &expected, 2e-2));
-        prop_assert!(allclose(&result.outputs[1], &expected, 2e-2));
+        let result = plan
+            .execute_with(&ExecOptions::new().functional(&inputs))
+            .expect("run");
+        let outputs = result.outputs.expect("functional outputs");
+        prop_assert!(allclose(&outputs[0], &expected, 2e-2));
+        prop_assert!(allclose(&outputs[1], &expected, 2e-2));
     }
 
     /// The predictor is a true lower-bound-ish estimate: never more than
@@ -99,7 +106,7 @@ proptest! {
         let predicted = predictor.predict(&partition).as_nanos() as f64;
         let plan = OverlapPlan::new(dims, CommPattern::AllReduce, system, partition)
             .expect("plan");
-        let actual = plan.execute().expect("run").latency.as_nanos() as f64;
+        let actual = run(&plan).latency.as_nanos() as f64;
         let rel = (actual - predicted) / actual;
         prop_assert!(rel > -0.05, "prediction {predicted} far above actual {actual}");
         prop_assert!(rel < 0.25, "prediction {predicted} far below actual {actual}");
@@ -109,10 +116,10 @@ proptest! {
     #[test]
     fn determinism(dims in arb_dims(), seed in 0u64..50) {
         let system = SystemSpec::rtx4090(2).with_seed(seed);
-        let a = OverlapPlan::tuned(dims, CommPattern::AllReduce, system.clone())
-            .expect("plan a").execute().expect("run a");
-        let b = OverlapPlan::tuned(dims, CommPattern::AllReduce, system)
-            .expect("plan b").execute().expect("run b");
+        let a = run(&OverlapPlan::tuned(dims, CommPattern::AllReduce, system.clone())
+            .expect("plan a"));
+        let b = run(&OverlapPlan::tuned(dims, CommPattern::AllReduce, system)
+            .expect("plan b"));
         prop_assert_eq!(a.latency.as_nanos(), b.latency.as_nanos());
         prop_assert_eq!(a.gemm_done.as_nanos(), b.gemm_done.as_nanos());
     }
