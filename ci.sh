@@ -38,6 +38,37 @@ assert metrics["links"], "no link stats"
 print("profile smoke: ok")
 EOF
 
+echo "== verify gate (static schedule proof + conformance matrix, deterministic) =="
+# Two identical runs: the byte-compare is the determinism gate; the
+# command itself exits nonzero on any violation or nonconforming cell.
+cargo run -q -p flashoverlap-cli --bin flashoverlap -- verify \
+  -m 2048 -n 4096 -k 4096 --gpus 2 --metrics-out "$tmp/verify.json" > /dev/null
+cargo run -q -p flashoverlap-cli --bin flashoverlap -- verify \
+  -m 2048 -n 4096 -k 4096 --gpus 2 --metrics-out "$tmp/verify2.json" > /dev/null
+cmp "$tmp/verify.json" "$tmp/verify2.json" \
+  || { echo "verify gate: identical inputs wrote different reports"; exit 1; }
+python3 - "$tmp/verify.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["kind"] == "flashoverlap-verify", report.get("kind")
+assert report["static"]["clean"] is True, report["static"]
+assert report["static"]["violations"] == [], report["static"]["violations"]
+cells = report["matrix"]
+assert len(cells) == 18, f"matrix must be exhaustive, got {len(cells)} cells"
+assert all(c["conforms"] for c in cells), \
+    [f"{c['mutation']}x{c['path']}" for c in cells if not c["conforms"]]
+expected = {c["expected"] for c in cells}
+assert expected == {"caught-static", "caught-dynamic", "benign", "not-applicable"}, expected
+assert sum(c["expected"] == "caught-static" for c in cells) == 11, cells
+assert len(report["caveats"]) == 3, report["caveats"]
+assert len(report["methods"]) == 5, "report must cover every method"
+mix = report["serve_mix"]
+assert mix, "serve-mix sweep must cover at least one quantized shape"
+assert all(s["clean"] for s in mix), [s for s in mix if not s["clean"]]
+print(f"verify gate: ok ({len(cells)} cells conform, {len(mix)} serve shapes clean)")
+EOF
+
 echo "== chaos smoke (seeded fault campaigns, zero hangs, zero violations) =="
 # `timeout` doubles as the hang gate: every campaign must terminate under
 # the watchdog, so the whole sweep finishing inside the limit proves it.

@@ -62,6 +62,9 @@ pub enum Command {
     /// Serve a seeded request trace through the continuous-batching
     /// scheduler with the tuned-plan cache and print the SLO report.
     Serve,
+    /// Statically verify the plan's signal/wait schedule and print the
+    /// mutation conformance matrix, without running the simulator.
+    Verify,
 }
 
 /// Arrival process selector for the `serve` command (rates attach in
@@ -142,7 +145,8 @@ pub struct Cli {
 
 /// The usage text printed on `--help` or parse errors.
 pub const USAGE: &str = "\
-usage: flashoverlap <tune|run|compare|timeline|profile|chaos|serve> [options]
+usage: flashoverlap <tune|run|compare|timeline|profile|verify|chaos|serve>
+                    [options]
 
 options:
   -m, -n, -k <int>        GEMM dimensions (required except for chaos,
@@ -194,6 +198,13 @@ options:
   --plan-cache-in <path>  serve: preload every replica's plan cache from a
                           snapshot; a fingerprint mismatch is an error
   -h, --help              this text
+
+verify proves the tuned (or --partition) plan's signal/wait schedule
+safe from plan data alone — threshold feasibility, deadlock freedom,
+tile-granular race/coverage — then re-proves the static arm of every
+mutation-x-path conformance cell and checks each quantized serve-mix
+shape; --metrics-out writes the machine-readable report. any violation
+or nonconforming cell exits nonzero.
 
 chaos verdicts: every campaign must end bit-exact (clean or recovered via
 tail collectives) or degraded with a named cause; anything else counts as
@@ -255,6 +266,7 @@ impl Cli {
             Some("profile") => Command::Profile,
             Some("chaos") => Command::Chaos,
             Some("serve") => Command::Serve,
+            Some("verify") => Command::Verify,
             Some("-h") | Some("--help") | None => {
                 return Err(CliError::usage("".to_string()));
             }
@@ -711,6 +723,16 @@ mod tests {
                 .unwrap_err()
                 .show_usage
         );
+    }
+
+    #[test]
+    fn verify_command_parses() {
+        let cli = Cli::parse(&argv("verify -m 512 -n 1024 -k 512 --gpus 2")).unwrap();
+        assert_eq!(cli.command, Command::Verify);
+        assert_eq!((cli.m, cli.n, cli.k), (512, 1024, 512));
+        assert_eq!(cli.gpus, 2);
+        // Verify checks a concrete plan; the shape is required like run's.
+        assert!(Cli::parse(&argv("verify")).unwrap_err().show_usage);
     }
 
     #[test]

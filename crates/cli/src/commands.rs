@@ -3,11 +3,12 @@
 use baselines::{measure, Method};
 use bench::{pattern_for, render_timeline, system_for};
 use flashoverlap::{
-    nonoverlap_latency, predictive_search, run_chaos, theoretical_latency, ChaosConfig,
-    ChaosReport, Instrumentation, LatencyPredictor, OverlapPlan, ResilientOutcome, RunReport,
-    SignalMutation,
+    model_of_chain, model_of_plan, nonoverlap_latency, predictive_search, run_chaos, runtime_seam,
+    theoretical_latency, ChaosConfig, ChaosReport, Instrumentation, LatencyPredictor, OverlapPlan,
+    ResilientOutcome, RunReport, RuntimeSeam, SignalMutation,
 };
 use gpu_sim::gemm::GemmDims;
+use planverify::{caveats, conformance_matrix, ExecPath, Mutation, MutationKind, VerifyReport};
 use simsan::Sanitizer;
 use telemetry::json::Value;
 
@@ -248,6 +249,317 @@ fn execute_serve(cli: &Cli) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// A concrete registry mutation targeting rank 0, group 0 (count 1 for
+/// the increment arms) — every real plan has that slot, so one sample
+/// per kind drives each matrix cell's static arm.
+fn sample_mutation(kind: MutationKind) -> Mutation {
+    match kind {
+        MutationKind::DropWait => Mutation::DropWait { rank: 0, group: 0 },
+        MutationKind::RaiseThreshold => Mutation::RaiseThreshold { rank: 0, group: 0 },
+        MutationKind::DropIncrements => Mutation::DropIncrements {
+            rank: 0,
+            group: 0,
+            count: 1,
+        },
+        MutationKind::DelayIncrements => Mutation::DelayIncrements {
+            rank: 0,
+            group: 0,
+            count: 1,
+        },
+        MutationKind::ReorderIncrements => Mutation::ReorderIncrements { rank: 0 },
+        MutationKind::DropRearm => Mutation::DropRearm,
+    }
+}
+
+/// Renders a verify report's violations as a JSON array of lines.
+fn violations_json(report: &VerifyReport) -> Value {
+    Value::Arr(
+        report
+            .violations
+            .iter()
+            .map(|v| Value::str(flashoverlap::verify::violation_line(v)))
+            .collect(),
+    )
+}
+
+/// Renders a verify report's coverage stats.
+fn stats_json(report: &VerifyReport) -> Value {
+    Value::obj(vec![
+        ("segments", Value::num(report.stats.segments as f64)),
+        ("waits", Value::num(report.stats.waits as f64)),
+        ("tiles", Value::num(report.stats.tiles as f64)),
+        ("reads", Value::num(report.stats.reads as f64)),
+        ("truncated", Value::Bool(report.stats.truncated)),
+    ])
+}
+
+/// Runs the `verify` command body against the constructed plan: the
+/// static proof, the per-method signaling inventory, the conformance
+/// matrix with its static arm re-proven per cell, and the quantized
+/// serve-mix sweep. Any violation or nonconforming cell is an error.
+fn execute_verify(
+    cli: &Cli,
+    plan: &OverlapPlan,
+    pattern: &CommPattern,
+    system: &flashoverlap::SystemSpec,
+) -> Result<String, CliError> {
+    let report = plan.verify();
+    let thresholds = plan.wait_thresholds();
+
+    // Every comparison method with its signaling surface: FlashOverlap
+    // carries the proven wait schedule; the baselines overlap (or don't)
+    // without signal/wait gating, so there is nothing to verify — they
+    // are structurally wait-free, not merely unchecked.
+    let mut methods = Vec::new();
+    for method in Method::ALL {
+        let signaling = method == Method::FlashOverlap;
+        let waits: Vec<Value> = if signaling {
+            thresholds
+                .iter()
+                .enumerate()
+                .map(|(g, t)| {
+                    Value::obj(vec![
+                        ("group", Value::num(g as f64)),
+                        (
+                            "threshold",
+                            t.map_or(Value::Null, |v| Value::num(f64::from(v))),
+                        ),
+                    ])
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        methods.push(Value::obj(vec![
+            ("method", Value::str(method.to_string())),
+            (
+                "applicable",
+                Value::Bool(method.applicable(pattern, system)),
+            ),
+            ("signaling", Value::Bool(signaling)),
+            ("waits", Value::Arr(waits)),
+            (
+                "violations",
+                if signaling {
+                    violations_json(&report)
+                } else {
+                    Value::Arr(Vec::new())
+                },
+            ),
+            ("clean", Value::Bool(!signaling || report.is_clean())),
+        ]));
+    }
+
+    // The conformance matrix, static arm re-proven per cell: single-shot
+    // cells mutate the plan's own model; chained cells a four-segment
+    // ping-pong chain. The rearm mutation targets segment 2 — the first
+    // table reuse, where the rearm chain exists to drop.
+    let chain: Vec<&OverlapPlan> = vec![plan; 4];
+    let mut cells = Vec::new();
+    let mut nonconforming: Vec<String> = Vec::new();
+    let mut verdicts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for cell in conformance_matrix() {
+        let mutation = sample_mutation(cell.mutation);
+        let mut model = match cell.path {
+            ExecPath::Single => model_of_plan(plan),
+            ExecPath::Pipeline => model_of_chain(&chain, "layer"),
+            ExecPath::Sequence => model_of_chain(&chain, "batch"),
+        };
+        let segment = if cell.mutation == MutationKind::DropRearm {
+            2.min(model.segments.len().saturating_sub(1))
+        } else {
+            0
+        };
+        model.apply(&mutation, segment);
+        let mutated = planverify::verify(&model);
+        let observed = mutated.violations.first().map_or("clean", |v| v.label());
+        let conforms = match cell.expected {
+            planverify::Expectation::CaughtStatic => !mutated.is_clean(),
+            // Dynamic-only, benign, and n/a cells must stay statically
+            // clean — a violation here would mean the matrix under-claims
+            // the verifier (or the model over-claims the mutation).
+            _ => mutated.is_clean(),
+        };
+        if !conforms {
+            nonconforming.push(format!("({}, {})", cell.mutation, cell.path));
+        }
+        *verdicts.entry(cell.expected.label()).or_default() += 1;
+        let seam = match runtime_seam(&mutation, cell.path) {
+            RuntimeSeam::Signal(_) => "signal-mutation",
+            RuntimeSeam::Fault(_) => "fault-injection",
+            RuntimeSeam::SequenceEdge => "sequence-edge",
+            RuntimeSeam::StaticOnly(_) => "static-only",
+            RuntimeSeam::Nothing(_) => "none",
+        };
+        cells.push(Value::obj(vec![
+            ("mutation", Value::str(cell.mutation.label())),
+            ("path", Value::str(cell.path.label())),
+            ("expected", Value::str(cell.expected.label())),
+            (
+                "reason",
+                cell.expected.reason().map_or(Value::Null, Value::str),
+            ),
+            ("dynamic", Value::str(cell.dynamic.label())),
+            (
+                "caveat",
+                cell.dynamic.caveat().map_or(Value::Null, Value::str),
+            ),
+            ("seam", Value::str(seam)),
+            ("static_observed", Value::str(observed)),
+            ("conforms", Value::Bool(conforms)),
+        ]));
+    }
+
+    // Quantized serve-mix sweep: the token-bucketed TP down-projection
+    // shapes the serving layer actually tunes, at this TP degree. Each
+    // entry's bucket endpoints bound the padded-M range a batch can take.
+    let bucket = serving::BatchConfig::default().token_bucket;
+    let tp = cli.gpus as u32;
+    let mut seen = std::collections::BTreeSet::new();
+    let mut mix_entries = Vec::new();
+    let mut mix_count = 0usize;
+    let mut mix_clean = true;
+    for entry in workloads::ServeMix::default_mix().entries() {
+        if entry.model.intermediate % tp != 0 {
+            // This TP degree cannot shard the model; the server would
+            // reject it at startup too.
+            continue;
+        }
+        for tokens in [entry.min_tokens, entry.max_tokens] {
+            let m = workloads::quantize_tokens(tokens, bucket);
+            if !seen.insert((entry.model.name, m)) {
+                continue;
+            }
+            let k = entry.model.intermediate / tp;
+            let dims = GemmDims::new(m, entry.model.hidden, k);
+            let mix_plan = OverlapPlan::tuned(dims, CommPattern::AllReduce, system.clone())
+                .map_err(|e| {
+                    CliError::runtime(format!(
+                        "serve-mix plan {m}x{}x{k} failed verification: {e}",
+                        entry.model.hidden
+                    ))
+                })?;
+            let mix_report = mix_plan.verify();
+            mix_clean &= mix_report.is_clean();
+            mix_count += 1;
+            mix_entries.push(Value::obj(vec![
+                ("model", Value::str(entry.model.name)),
+                ("m", Value::num(f64::from(m))),
+                ("n", Value::num(f64::from(entry.model.hidden))),
+                ("k", Value::num(f64::from(k))),
+                (
+                    "groups",
+                    Value::num(mix_plan.group_tile_counts().len() as f64),
+                ),
+                ("clean", Value::Bool(mix_report.is_clean())),
+                ("violations", violations_json(&mix_report)),
+            ]));
+        }
+    }
+
+    let doc = Value::obj(vec![
+        ("kind", Value::str("flashoverlap-verify")),
+        (
+            "workload",
+            Value::obj(vec![
+                ("m", Value::num(f64::from(cli.m))),
+                ("n", Value::num(f64::from(cli.n))),
+                ("k", Value::num(f64::from(cli.k))),
+                ("primitive", Value::str(cli.primitive.to_string())),
+                ("gpus", Value::num(cli.gpus as f64)),
+                ("platform", Value::str(system.arch.name)),
+            ]),
+        ),
+        (
+            "plan",
+            Value::obj(vec![
+                ("partition", Value::str(plan.partition.to_string())),
+                ("waves", Value::num(f64::from(plan.total_waves()))),
+                ("groups", Value::num(plan.group_tile_counts().len() as f64)),
+            ]),
+        ),
+        (
+            "static",
+            Value::obj(vec![
+                ("clean", Value::Bool(report.is_clean())),
+                ("violations", violations_json(&report)),
+                ("stats", stats_json(&report)),
+            ]),
+        ),
+        ("methods", Value::Arr(methods)),
+        ("matrix", Value::Arr(cells)),
+        (
+            "caveats",
+            Value::Arr(
+                caveats()
+                    .iter()
+                    .map(|c| {
+                        Value::obj(vec![
+                            ("id", Value::str(c.id)),
+                            ("summary", Value::str(c.summary)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("serve_mix", Value::Arr(mix_entries)),
+    ]);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "static   : {} — {} waits, {} tile footprints, {} reads proven\n",
+        if report.is_clean() {
+            "clean"
+        } else {
+            "VIOLATIONS"
+        },
+        report.stats.waits,
+        report.stats.tiles,
+        report.stats.reads,
+    ));
+    for v in &report.violations {
+        out.push_str(&format!("  - {v}\n"));
+    }
+    let scheduled = thresholds.iter().filter(|t| t.is_some()).count();
+    out.push_str(&format!(
+        "methods  : FlashOverlap schedules {scheduled} wait(s); {} baselines are structurally wait-free\n",
+        Method::ALL.len() - 1,
+    ));
+    let count = |label: &str| verdicts.get(label).copied().unwrap_or(0);
+    out.push_str(&format!(
+        "matrix   : {} cells — {} caught-static, {} caught-dynamic, {} benign, {} n/a; {}\n",
+        conformance_matrix().len(),
+        count("caught-static"),
+        count("caught-dynamic"),
+        count("benign"),
+        count("not-applicable"),
+        if nonconforming.is_empty() {
+            "static arm conforms in every cell".to_string()
+        } else {
+            format!("NONCONFORMING: {}", nonconforming.join(", "))
+        },
+    ));
+    out.push_str(&format!(
+        "caveats  : {} dynamic-observability caveats documented\n",
+        caveats().len(),
+    ));
+    out.push_str(&format!(
+        "serve mix: {} quantized shapes at TP {} — {}\n",
+        mix_count,
+        cli.gpus,
+        if mix_clean { "all clean" } else { "VIOLATIONS" },
+    ));
+    if let Some(path) = &cli.metrics_out {
+        std::fs::write(path, doc.to_json_pretty())
+            .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
+        out.push_str(&format!("metrics written to {path}\n"));
+    }
+    if !report.is_clean() || !nonconforming.is_empty() || !mix_clean {
+        return Err(CliError::runtime(format!("verification failed:\n{out}")));
+    }
+    Ok(out)
+}
+
 /// Executes the parsed command, returning the report text.
 ///
 /// # Errors
@@ -380,6 +692,9 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
         }
         Command::Profile => {
             out.push_str(&profiled_report(cli, dims, &pattern, &system)?);
+        }
+        Command::Verify => {
+            out.push_str(&execute_verify(cli, &plan, &pattern, &system)?);
         }
         // Dispatched before the plan preamble above.
         Command::Chaos => unreachable!("chaos is handled by execute_chaos"),
@@ -717,6 +1032,74 @@ mod tests {
             doc.get("results").unwrap().as_arr().unwrap().len(),
             5,
             "one entry per campaign"
+        );
+    }
+
+    #[test]
+    fn verify_reports_clean_and_writes_deterministic_metrics() {
+        let metrics_a = temp_path("verify-a.json");
+        let metrics_b = temp_path("verify-b.json");
+        let cmd = |path: &std::path::Path| {
+            format!(
+                "verify -m 2048 -n 4096 -k 4096 --gpus 2 --metrics-out {}",
+                path.display()
+            )
+        };
+        let out = execute_argv(&argv(&cmd(&metrics_a))).unwrap();
+        assert!(out.contains("static   : clean"), "{out}");
+        assert!(out.contains("conforms in every cell"), "{out}");
+        assert!(out.contains("serve mix:"), "{out}");
+        assert!(out.contains("all clean"), "{out}");
+        execute_argv(&argv(&cmd(&metrics_b))).unwrap();
+        let a = std::fs::read_to_string(&metrics_a).unwrap();
+        let b = std::fs::read_to_string(&metrics_b).unwrap();
+        assert_eq!(a, b, "verify must write byte-identical reports");
+        let doc = telemetry::json::parse(&a).unwrap();
+        assert_eq!(
+            doc.get("kind").and_then(|v| v.as_str()),
+            Some("flashoverlap-verify")
+        );
+        assert_eq!(
+            doc.get("static")
+                .and_then(|s| s.get("clean"))
+                .and_then(telemetry::json::Value::as_bool),
+            Some(true)
+        );
+        let matrix = doc.get("matrix").unwrap().as_arr().unwrap();
+        assert_eq!(matrix.len(), 18, "6 mutations x 3 paths");
+        assert!(
+            matrix
+                .iter()
+                .all(|c| c.get("conforms").and_then(telemetry::json::Value::as_bool) == Some(true)),
+            "every cell's static arm must conform"
+        );
+        let caught_static = matrix
+            .iter()
+            .filter(|c| c.get("expected").and_then(|v| v.as_str()) == Some("caught-static"))
+            .count();
+        assert_eq!(caught_static, 11);
+        assert_eq!(doc.get("caveats").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(doc.get("methods").unwrap().as_arr().unwrap().len(), 5);
+        let mix = doc.get("serve_mix").unwrap().as_arr().unwrap();
+        assert!(!mix.is_empty(), "default mix yields verifiable shapes");
+        assert!(mix
+            .iter()
+            .all(|e| e.get("clean").and_then(telemetry::json::Value::as_bool) == Some(true)));
+    }
+
+    #[test]
+    fn verify_rejects_a_statically_invalid_partition() {
+        // A partition summing short of the wave count fails construction;
+        // verify surfaces that before any simulation could run.
+        let err = execute_argv(&argv(
+            "verify -m 2048 -n 4096 -k 4096 --partition 1,1,1,1,1,1,1",
+        ))
+        .unwrap_err();
+        assert!(!err.show_usage);
+        assert!(
+            err.message.contains("plan construction failed"),
+            "{}",
+            err.message
         );
     }
 

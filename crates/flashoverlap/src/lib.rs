@@ -21,6 +21,11 @@
 //! latency predictor built from offline profiles (§4, Alg. 1) in
 //! [`predictor`] and [`tuner`]; [`theory`] computes the perfect-overlap
 //! upper bound of §6.3.
+//!
+//! Verification: [`verify`] lowers plans and chained executions into
+//! [`planverify`] schedule models, proving threshold feasibility,
+//! deadlock freedom, and tile-granular race freedom from plan data
+//! alone — before a single simulated cycle runs.
 
 #![warn(missing_docs)]
 
@@ -36,6 +41,7 @@ pub mod sequence;
 pub mod system;
 pub mod theory;
 pub mod tuner;
+pub mod verify;
 pub mod writers;
 
 pub use error::FlashOverlapError;
@@ -55,4 +61,7 @@ pub use system::SystemSpec;
 pub use theory::{nonoverlap_latency, theoretical_latency, theoretical_speedup};
 pub use tuner::{
     exhaustive_search, measure_partition, predictive_search, predictive_search_with, TuneOutcome,
+};
+pub use verify::{
+    model_of_chain, model_of_plan, reject_if_invalid, runtime_seam, verify_sequence, RuntimeSeam,
 };

@@ -1157,7 +1157,7 @@ impl OverlapPlan {
         }
     }
 
-    fn writer_for(&self, rank: usize) -> Rc<dyn EpilogueWriter> {
+    pub(crate) fn writer_for(&self, rank: usize) -> Rc<dyn EpilogueWriter> {
         match &self.mapping {
             PlanMapping::Tile(m) | PlanMapping::Gather(m) => {
                 Rc::new(PackedTileWriter { mapping: m.clone() })
@@ -1170,7 +1170,7 @@ impl OverlapPlan {
         }
     }
 
-    fn group_of_tile(&self) -> &[u32] {
+    pub(crate) fn group_of_tile(&self) -> &[u32] {
         match &self.mapping {
             PlanMapping::Tile(m) | PlanMapping::Gather(m) => &m.layout.group_of_tile,
             PlanMapping::Subtile(m) => &m.layout.group_of_tile,
@@ -1230,6 +1230,28 @@ impl OverlapPlan {
                         .map(|d| Region::new(recv[d], recv_off, recv_count))
                         .collect(),
                 })
+            }
+        }
+    }
+
+    /// The contiguous packed-buffer region `rank`'s collective for group
+    /// `g` reads, as `(offset, elems)`; `None` when the group schedules
+    /// no collective at all (zero total payload — possible for
+    /// All-to-All). Mirrors [`OverlapPlan::group_spec`]'s send side, and
+    /// is what the static verifier models as the group's read set.
+    pub(crate) fn group_send_region(&self, g: usize, rank: usize) -> Option<(usize, usize)> {
+        match &self.mapping {
+            PlanMapping::Tile(m) | PlanMapping::Gather(m) => Some(m.group_regions[g]),
+            PlanMapping::Subtile(m) => Some(m.send_group_regions[g]),
+            PlanMapping::Token(m) => {
+                let plan = &m.group_plans[g];
+                let total: usize = plan.len.iter().map(|row| row.iter().sum::<usize>()).sum();
+                if total == 0 {
+                    return None;
+                }
+                // The pool packs (group asc, dest asc): dest 0's offset is
+                // the group's block start even when dest 0 sends nothing.
+                Some((plan.send_off[rank][0], m.group_send_elems(g, rank)))
             }
         }
     }

@@ -102,6 +102,9 @@ pub fn exhaustive_search(
     let mut best: Option<(SimDuration, WavePartition)> = None;
     for partition in candidates {
         let plan = OverlapPlan::new(dims, pattern.clone(), system.clone(), partition.clone())?;
+        // Prove the candidate's signal/wait schedule safe before spending
+        // a simulated execution on it.
+        plan.check_static()?;
         let report = plan
             .execute_with(&crate::runtime::ExecOptions::new())?
             .report;
@@ -129,6 +132,7 @@ pub fn measure_partition(
     partition: WavePartition,
 ) -> Result<SimDuration, FlashOverlapError> {
     let plan = OverlapPlan::new(dims, pattern.clone(), system.clone(), partition)?;
+    plan.check_static()?;
     Ok(plan
         .execute_with(&crate::runtime::ExecOptions::new())?
         .report
@@ -148,7 +152,11 @@ impl OverlapPlan {
         system: SystemSpec,
     ) -> Result<OverlapPlan, FlashOverlapError> {
         let outcome = predictive_search(dims, pattern.primitive(), &system);
-        OverlapPlan::new(dims, pattern, system, outcome.partition)
+        let plan = OverlapPlan::new(dims, pattern, system, outcome.partition)?;
+        // The searched partition is only scored analytically; prove its
+        // signal/wait schedule safe before handing it out for execution.
+        plan.check_static()?;
+        Ok(plan)
     }
 }
 

@@ -1,0 +1,403 @@
+//! The static-verification seam: lowering plans into
+//! [`planverify::ScheduleModel`]s, plus the registry-to-runtime mutation
+//! mapping that deduplicates the suite's three corruption mechanisms.
+//!
+//! Everything the verifier checks is a property of plan data — the wave
+//! partition, the reordering mapping, the counting-table thresholds —
+//! so the lowering never touches the simulator: per rank it emits the
+//! tile write footprints straight from the plan's [`EpilogueWriter`]
+//! spans, and per wave group the wait threshold (the group's tile
+//! count), the scheduled increments, and the packed-buffer region the
+//! group's collective reads. Chained executions (`Pipeline` layers,
+//! `execute_sequence` batches) lower to one segment each, carrying the
+//! ping-pong counting-table parity and the presence of the rearm chain,
+//! exactly as the executors enqueue them.
+//!
+//! The [`runtime_seam`] mapping is the other half of the conformance
+//! story: the `planverify` mutation registry is the single enumeration
+//! of schedule corruptions, and this module says which runtime knob —
+//! [`SignalMutation`], a [`Fault`], or
+//! [`SequenceOptions::drop_cross_batch_edge`] — drives each one on each
+//! execute path (or that none exists, keeping the coverage gap
+//! explicit).
+//!
+//! [`SequenceOptions::drop_cross_batch_edge`]:
+//! crate::sequence::SequenceOptions::drop_cross_batch_edge
+
+use planverify::{
+    ExecPath, GroupModel, Interval, Mutation, RankModel, ScheduleModel, Segment, TileWrite,
+    VerifyReport, Violation,
+};
+use sim::SimDuration;
+
+use crate::error::FlashOverlapError;
+use crate::pipeline::Pipeline;
+use crate::resilience::Fault;
+use crate::runtime::{OverlapPlan, SignalMutation};
+
+/// Lowers one plan into a single-segment schedule model (table set 0, no
+/// rearm — single-shot executions never reuse a table).
+pub fn model_of_plan(plan: &OverlapPlan) -> ScheduleModel {
+    ScheduleModel {
+        n_ranks: plan.system.n_gpus,
+        segments: vec![segment_of(plan, "plan".to_string(), 0, false)],
+    }
+}
+
+/// Lowers a chained execution — `Pipeline` layers or `execute_sequence`
+/// batches — into one segment per plan, with the executors' table
+/// ping-pong (parity `i % 2`) and rearm chains (present from the first
+/// table reuse, segment 2, onward). `label` names the chain's unit in
+/// reports ("layer", "batch").
+pub fn model_of_chain(plans: &[&OverlapPlan], label: &str) -> ScheduleModel {
+    let n_ranks = plans.first().map_or(0, |p| p.system.n_gpus);
+    ScheduleModel {
+        n_ranks,
+        segments: plans
+            .iter()
+            .enumerate()
+            .map(|(i, p)| segment_of(p, format!("{label} {i}"), i % 2, i >= 2))
+            .collect(),
+    }
+}
+
+fn segment_of(plan: &OverlapPlan, label: String, table: usize, rearmed: bool) -> Segment {
+    Segment {
+        label,
+        table,
+        rearmed,
+        ranks: (0..plan.system.n_gpus)
+            .map(|rank| rank_model(plan, rank))
+            .collect(),
+    }
+}
+
+fn rank_model(plan: &OverlapPlan, rank: usize) -> RankModel {
+    let grid = plan.config.grid(plan.dims);
+    let writer = plan.writer_for(rank);
+    let group_of_tile = plan.group_of_tile().to_vec();
+    let tile_writes = (0..grid.num_tiles())
+        .map(|t| TileWrite {
+            tile: t,
+            group: group_of_tile.get(t as usize).copied().unwrap_or(0) as usize,
+            intervals: writer
+                .write_spans(&grid, t)
+                .into_iter()
+                .map(|r| Interval::new(r.start, r.end - r.start))
+                .collect(),
+        })
+        .collect();
+    let counts = plan.group_tile_counts();
+    let groups = (0..counts.len())
+        .map(|g| {
+            let region = plan.group_send_region(g, rank);
+            GroupModel {
+                group: g,
+                // A group with no collective schedules no wait either.
+                wait: region.map(|_| counts.get(g).copied().unwrap_or(0)),
+                increments: counts.get(g).copied().unwrap_or(0),
+                reads: region
+                    .filter(|&(_, len)| len > 0)
+                    .map(|(start, len)| Interval::new(start, len))
+                    .into_iter()
+                    .collect(),
+            }
+        })
+        .collect();
+    RankModel {
+        rank,
+        tile_writes,
+        groups,
+    }
+}
+
+impl OverlapPlan {
+    /// Statically verifies this plan's signal/wait schedule: threshold
+    /// feasibility, deadlock freedom, and tile-granular race/coverage.
+    pub fn verify(&self) -> VerifyReport {
+        planverify::verify(&model_of_plan(self))
+    }
+
+    /// [`OverlapPlan::verify`] as a gate: `Err` on the first violation,
+    /// naming the shape, group, and threshold.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashOverlapError::BadInputs`] describing the first proven
+    /// violation.
+    pub fn check_static(&self) -> Result<(), FlashOverlapError> {
+        check_report(&self.verify(), &plan_context(self))
+    }
+
+    /// Per-group wait thresholds as the runtime enqueues them: the
+    /// group's tile count, or `None` for groups that schedule no wait
+    /// (zero communicated payload). Persisted with plan-cache snapshots
+    /// so preloading can cross-check the rebuilt schedule.
+    pub fn wait_thresholds(&self) -> Vec<Option<u32>> {
+        let counts = self.group_tile_counts().to_vec();
+        counts
+            .iter()
+            .enumerate()
+            .map(|(g, &c)| self.group_send_region(g, 0).map(|_| c))
+            .collect()
+    }
+}
+
+impl Pipeline {
+    /// Statically verifies the whole layer chain, including the
+    /// counting-table ping-pong and rearm edges `execute_with` enqueues.
+    pub fn verify(&self) -> VerifyReport {
+        let plans: Vec<&OverlapPlan> = self.plans().iter().collect();
+        planverify::verify(&model_of_chain(&plans, "layer"))
+    }
+}
+
+/// Statically verifies an [`execute_sequence`](crate::execute_sequence)
+/// batch chain (pipelined schedule: ping-ponged tables, rearm chains
+/// from the first reuse).
+pub fn verify_sequence(plans: &[&OverlapPlan]) -> VerifyReport {
+    planverify::verify(&model_of_chain(plans, "batch"))
+}
+
+fn plan_context(plan: &OverlapPlan) -> String {
+    format!(
+        "{}x{}x{} {:?}",
+        plan.dims.m,
+        plan.dims.n,
+        plan.dims.k,
+        plan.primitive()
+    )
+}
+
+fn check_report(report: &VerifyReport, context: &str) -> Result<(), FlashOverlapError> {
+    match report.violations.first() {
+        None => Ok(()),
+        Some(v) => Err(FlashOverlapError::BadInputs {
+            reason: format!("statically invalid schedule for {context}: {v}"),
+        }),
+    }
+}
+
+/// Gates a verify report with a caller-supplied context string (shape,
+/// cache key, file name) — the serving cache and CLI use this to reject
+/// corrupt plans with a message naming where they came from.
+///
+/// # Errors
+///
+/// [`FlashOverlapError::BadInputs`] describing the first violation.
+pub fn reject_if_invalid(report: &VerifyReport, context: &str) -> Result<(), FlashOverlapError> {
+    check_report(report, context)
+}
+
+/// Renders one violation compactly for logs/JSON (`label: detail`).
+pub fn violation_line(v: &Violation) -> String {
+    format!("{}: {v}", v.label())
+}
+
+/// The runtime knob that drives a registry mutation on a given execute
+/// path — or the reason none exists. This is the single source of truth
+/// deduplicating the suite's historical mutation mechanisms
+/// ([`SignalMutation`], the signal-affecting [`Fault`] arms, and the
+/// sequence executor's dropped cross-batch edge) behind the
+/// `planverify` registry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeSeam {
+    /// Drive via [`SignalMutation`] (`execute_instrumented`,
+    /// `PipelineExecOptions::mutate_layer`, or
+    /// `SequenceOptions::mutation_batch`).
+    Signal(SignalMutation),
+    /// Drive via the resilient runtime's fault injection.
+    Fault(Fault),
+    /// Drive via `SequenceOptions::drop_cross_batch_edge(batch)`.
+    SequenceEdge,
+    /// No runtime knob reaches this path; only the static verifier
+    /// covers the cell. The string says why.
+    StaticOnly(&'static str),
+    /// Nothing to drive: the mutation is benign or meaningless here.
+    Nothing(&'static str),
+}
+
+/// Signal delay used when lowering [`Mutation::DelayIncrements`] to a
+/// [`Fault::DelayedIncrement`]: long enough to stretch any overlap
+/// window, short enough to stay under watchdog deadlines in self-tests
+/// that want a recovered run.
+pub const SEAM_DELAY: SimDuration = SimDuration::from_micros(200);
+
+/// Maps a registry mutation on an execute path to the runtime seam that
+/// drives it (the dynamic half of the conformance matrix).
+pub fn runtime_seam(mutation: &Mutation, path: ExecPath) -> RuntimeSeam {
+    match (*mutation, path) {
+        (Mutation::DropWait { rank, group }, _) => {
+            RuntimeSeam::Signal(SignalMutation::DropWait { rank, group })
+        }
+        (Mutation::RaiseThreshold { rank, group }, _) => {
+            RuntimeSeam::Signal(SignalMutation::RaiseThreshold { rank, group })
+        }
+        (Mutation::DropIncrements { rank, group, count }, ExecPath::Single) => {
+            RuntimeSeam::Fault(Fault::DroppedIncrement { rank, group, count })
+        }
+        (Mutation::DelayIncrements { rank, group, count }, ExecPath::Single) => {
+            RuntimeSeam::Fault(Fault::DelayedIncrement {
+                rank,
+                group,
+                count,
+                delay: SEAM_DELAY,
+            })
+        }
+        (Mutation::DropIncrements { .. } | Mutation::DelayIncrements { .. }, _) => {
+            RuntimeSeam::StaticOnly(
+                "fault injection does not reach the pipeline/sequence paths yet (ROADMAP \
+                 carried item a)",
+            )
+        }
+        (Mutation::ReorderIncrements { .. }, _) => RuntimeSeam::Nothing(
+            "increments commute; the simulator's issue order is already one \
+                                  of the permutations the totals-only model proves equivalent",
+        ),
+        (Mutation::DropRearm, ExecPath::Sequence) => RuntimeSeam::SequenceEdge,
+        (Mutation::DropRearm, ExecPath::Pipeline) => RuntimeSeam::StaticOnly(
+            "Pipeline::execute_with exposes no edge-deletion knob; the seam is static-only",
+        ),
+        (Mutation::DropRearm, ExecPath::Single) => {
+            RuntimeSeam::Nothing("single-shot executions never reuse a counting table")
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::runtime::CommPattern;
+    use crate::system::SystemSpec;
+    use gpu_sim::gemm::GemmDims;
+    use planverify::MutationKind;
+
+    fn plan(pattern: CommPattern) -> OverlapPlan {
+        let dims = GemmDims::new(512, 1024, 512);
+        let system = SystemSpec::rtx4090(2);
+        OverlapPlan::tuned(dims, pattern, system).unwrap()
+    }
+
+    #[test]
+    fn tuned_plans_verify_clean_for_every_pattern() {
+        for pattern in [
+            CommPattern::AllReduce,
+            CommPattern::ReduceScatter,
+            CommPattern::AllGather,
+        ] {
+            let p = plan(pattern);
+            let report = p.verify();
+            assert!(report.is_clean(), "{:?}: {:?}", p, report.violations);
+            assert!(report.stats.waits > 0, "model must contain real waits");
+            assert!(report.stats.reads > 0);
+            p.check_static().unwrap();
+        }
+    }
+
+    #[test]
+    fn all_to_all_plan_verifies_clean_including_zero_payload_groups() {
+        let dims = GemmDims::new(256, 512, 256);
+        let system = SystemSpec::rtx4090(2);
+        // Route every token to rank 0: rank-1-bound groups carry zero
+        // payload on some (src, dest) pairs.
+        let routing = vec![vec![0usize; 256], vec![0usize; 256]];
+        let p = OverlapPlan::tuned(dims, CommPattern::AllToAll { routing }, system).unwrap();
+        let report = p.verify();
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn mutated_model_fails_statically_with_named_target() {
+        let p = plan(CommPattern::AllReduce);
+        let mut model = model_of_plan(&p);
+        model.apply(&Mutation::RaiseThreshold { rank: 1, group: 0 }, 0);
+        let report = planverify::verify(&model);
+        assert_eq!(report.count_of("unreachable-threshold"), 1);
+        let err = reject_if_invalid(&report, "test-plan").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("test-plan"), "{text}");
+        assert!(text.contains("rank 1"), "{text}");
+        assert!(text.contains("group 0"), "{text}");
+    }
+
+    #[test]
+    fn chain_model_ping_pongs_tables_and_rearms_from_segment_two() {
+        let p = plan(CommPattern::AllReduce);
+        let plans = [&p, &p, &p, &p];
+        let model = model_of_chain(&plans, "batch");
+        let meta: Vec<(usize, bool)> = model
+            .segments
+            .iter()
+            .map(|s| (s.table, s.rearmed))
+            .collect();
+        assert_eq!(meta, vec![(0, false), (1, false), (0, true), (1, true)]);
+        assert!(planverify::verify(&model).is_clean());
+        // Dropping batch 2's rearm is the statically visible stale-table
+        // hazard the sequence mutation self-test exercises dynamically.
+        let mut mutated = model;
+        mutated.apply(&Mutation::DropRearm, 2);
+        let report = planverify::verify(&mutated);
+        assert!(
+            report.count_of("stale-rearm") > 0,
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn wait_thresholds_match_group_tile_counts() {
+        let p = plan(CommPattern::AllReduce);
+        let thresholds = p.wait_thresholds();
+        assert_eq!(thresholds.len(), p.group_tile_counts().len());
+        for (t, &c) in thresholds.iter().zip(p.group_tile_counts()) {
+            assert_eq!(*t, Some(c));
+        }
+    }
+
+    #[test]
+    fn every_matrix_cell_resolves_to_a_seam() {
+        // The registry is the single enumeration: every (kind, path) cell
+        // must map to a concrete runtime seam or an explicit reason.
+        for cell in planverify::conformance_matrix() {
+            let mutation = sample_mutation(cell.mutation);
+            let seam = runtime_seam(&mutation, cell.path);
+            match cell.dynamic.label() {
+                "caught" | "conditional" => assert!(
+                    matches!(
+                        seam,
+                        RuntimeSeam::Signal(_) | RuntimeSeam::Fault(_) | RuntimeSeam::SequenceEdge
+                    ),
+                    "({}, {}) claims dynamic coverage but has seam {seam:?}",
+                    cell.mutation,
+                    cell.path
+                ),
+                _ => assert!(
+                    matches!(seam, RuntimeSeam::StaticOnly(_) | RuntimeSeam::Nothing(_)),
+                    "({}, {}) claims no dynamic coverage but has seam {seam:?}",
+                    cell.mutation,
+                    cell.path
+                ),
+            }
+        }
+    }
+
+    pub(crate) fn sample_mutation(kind: MutationKind) -> Mutation {
+        match kind {
+            MutationKind::DropWait => Mutation::DropWait { rank: 0, group: 0 },
+            MutationKind::RaiseThreshold => Mutation::RaiseThreshold { rank: 0, group: 0 },
+            MutationKind::DropIncrements => Mutation::DropIncrements {
+                rank: 0,
+                group: 0,
+                count: 1,
+            },
+            MutationKind::DelayIncrements => Mutation::DelayIncrements {
+                rank: 0,
+                group: 0,
+                count: 1,
+            },
+            MutationKind::ReorderIncrements => Mutation::ReorderIncrements { rank: 0 },
+            MutationKind::DropRearm => Mutation::DropRearm,
+        }
+    }
+}

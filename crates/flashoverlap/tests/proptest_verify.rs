@@ -1,0 +1,166 @@
+//! Property-based agreement between the static verifier and SimSan.
+//!
+//! `planverify` proves schedules safe from plan data alone; SimSan
+//! checks the one execution the simulator produces. The two layers must
+//! agree wherever both can see:
+//!
+//! 1. every well-formed plan — random shape, random partition — is
+//!    clean under **both** layers (no static false positives on
+//!    schedules the runtime executes race-free);
+//! 2. every randomly-targeted wait mutation is caught by **both**
+//!    layers on an observable fixture (no static false negatives the
+//!    sanitizer would have caught, and vice versa);
+//! 3. chained models agree with the sequence executor: random chain
+//!    lengths verify clean, and a dropped rearm at any reused segment
+//!    is flagged statically.
+
+use flashoverlap::runtime::CommPattern;
+use flashoverlap::{
+    model_of_chain, verify_sequence, ExecOptions, Instrumentation, OverlapPlan, SignalMutation,
+    SystemSpec, WavePartition,
+};
+use gpu_sim::gemm::GemmDims;
+use planverify::{verify, Mutation};
+use proptest::prelude::*;
+use proptest::sample::select;
+use simsan::Sanitizer;
+
+/// Planned waves equal runtime waves (see simsan_runtime.rs) — both
+/// layers can observe every signal edge.
+fn small_system() -> SystemSpec {
+    let mut spec = SystemSpec::rtx4090(2);
+    spec.arch.sm_count = 8;
+    spec.comm_sms = 0;
+    spec
+}
+
+/// A plan for `m x 512 x 64` split into `groups` wave groups.
+fn plan_with(m: u32, groups: u32) -> OverlapPlan {
+    let dims = GemmDims::new(m, 512, 64);
+    let system = small_system();
+    let probe = OverlapPlan::new(
+        dims,
+        CommPattern::AllReduce,
+        system.clone(),
+        WavePartition::new(vec![1]),
+    );
+    let waves = match probe {
+        Ok(p) => p.total_waves(),
+        Err(flashoverlap::FlashOverlapError::PartitionMismatch { schedule_waves, .. }) => {
+            schedule_waves
+        }
+        Err(e) => panic!("probe failed: {e}"),
+    };
+    let partition = if groups >= waves {
+        WavePartition::per_wave(waves)
+    } else {
+        let base = waves / groups;
+        let mut sizes = vec![base; groups as usize];
+        let used = base * (groups - 1);
+        sizes[groups as usize - 1] = waves - used;
+        WavePartition::new(sizes)
+    };
+    OverlapPlan::new(dims, CommPattern::AllReduce, system, partition).expect("valid plan")
+}
+
+fn run_sanitized(plan: &OverlapPlan, mutation: Option<SignalMutation>) -> Sanitizer {
+    let sanitizer = Sanitizer::new();
+    let instr = Instrumentation {
+        monitor: Some(sanitizer.monitor()),
+        probe: Some(sanitizer.probe()),
+        mutation,
+    };
+    plan.execute_with(&ExecOptions::new().instrument(&instr))
+        .expect("simulation runs");
+    sanitizer
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random well-formed plans are clean under both layers.
+    #[test]
+    fn clean_plans_pass_both_layers(
+        m in select(vec![256u32, 384, 512]),
+        groups in 1..5u32,
+    ) {
+        let plan = plan_with(m, groups);
+        let report = plan.verify();
+        prop_assert!(report.is_clean(), "static violations: {:?}", report.violations);
+        let s = run_sanitized(&plan, None);
+        prop_assert!(s.is_clean(), "{}", s.summary());
+        prop_assert!(s.accesses_checked() > 0, "monitor saw no accesses");
+    }
+
+    /// Any single wait mutation — random rank, random group, both
+    /// kinds — is caught by the static verifier AND by SimSan on the
+    /// observable two-group fixture.
+    #[test]
+    fn wait_mutations_are_caught_by_both_layers(
+        m in select(vec![384u32, 640, 896]),
+        rank in 0..2usize,
+        group in 0..2usize,
+        raise in any::<bool>(),
+    ) {
+        let plan = plan_with(m, 2);
+        prop_assert_eq!(plan.partition.num_groups(), 2);
+
+        let static_mutation = if raise {
+            Mutation::RaiseThreshold { rank, group }
+        } else {
+            Mutation::DropWait { rank, group }
+        };
+        let mut model = flashoverlap::model_of_plan(&plan);
+        model.apply(&static_mutation, 0);
+        let report = verify(&model);
+        prop_assert!(
+            !report.is_clean(),
+            "planverify missed {static_mutation:?}"
+        );
+
+        let dynamic_mutation = if raise {
+            SignalMutation::RaiseThreshold { rank, group }
+        } else {
+            SignalMutation::DropWait { rank, group }
+        };
+        let s = run_sanitized(&plan, Some(dynamic_mutation));
+        prop_assert!(
+            !s.is_clean(),
+            "SimSan missed {dynamic_mutation:?} the static layer caught"
+        );
+    }
+
+    /// Chained (sequence) models of random length and mixed shapes
+    /// verify clean, and dropping the rearm at any reused segment is
+    /// flagged statically with the segment named.
+    #[test]
+    fn chains_verify_clean_and_rearm_drops_are_flagged(
+        len in 3..6usize,
+        ms in proptest::collection::vec(select(vec![256u32, 384, 512]), 6),
+        seg_raw in 0..8usize,
+    ) {
+        let plans: Vec<OverlapPlan> = ms
+            .iter()
+            .take(len)
+            .map(|&m| plan_with(m, 2))
+            .collect();
+        let refs: Vec<&OverlapPlan> = plans.iter().collect();
+        let report = verify_sequence(&refs);
+        prop_assert!(report.is_clean(), "static violations: {:?}", report.violations);
+
+        // Rearm edges exist from the first table reuse onwards.
+        let segment = 2 + seg_raw % (len - 2);
+        let mut model = model_of_chain(&refs, "batch");
+        model.apply(&Mutation::DropRearm, segment);
+        let report = verify(&model);
+        prop_assert!(!report.is_clean(), "planverify missed a dropped rearm");
+        prop_assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.label() == "stale-rearm"),
+            "expected a stale-rearm violation: {:?}",
+            report.violations
+        );
+    }
+}

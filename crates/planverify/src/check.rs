@@ -1,0 +1,613 @@
+//! The three static checks over a [`ScheduleModel`].
+//!
+//! [`verify`] walks the segments in execution order, carrying the
+//! residual (un-reset) counting-table state across table reuses, and
+//! reports every violation it can prove from the plan data alone:
+//!
+//! - **Threshold feasibility / deadlock**: a wait whose threshold exceeds
+//!   the increments that can ever land on its table slot blocks that
+//!   rank's comm stream forever — and, through the collective rendezvous,
+//!   every other rank's. Reported with the exact blocked
+//!   `(rank, table, group, threshold)`, like the runtime's `StuckWait`.
+//! - **Rearm integrity**: a segment that reuses a counting table without
+//!   the rearm chain leaves stale counts behind; any stale count lets the
+//!   new wait release before this segment's tiles are written.
+//! - **Tile-granular races and coverage**: each group's collective reads
+//!   only element intervals whose writing tiles are *guaranteed complete*
+//!   at release — the tile's group must be at or before the read's group
+//!   on the serial comm stream, with a fully-counted wait. Reads of
+//!   never-written elements are reported as coverage gaps.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::model::{RankModel, ScheduleModel, Segment};
+
+/// Upper bound on reported violations: one corrupt wait can implicate
+/// every tile of its group, so reporting is truncated (deterministically,
+/// in walk order) once the report is unambiguous.
+pub const VIOLATION_CAP: usize = 256;
+
+/// One statically proven schedule defect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A wait threshold no scheduled increment total can reach: the comm
+    /// stream blocks forever at this wait (and all ranks block at the
+    /// group's collective rendezvous).
+    UnreachableThreshold {
+        /// Segment index.
+        segment: usize,
+        /// Blocked rank.
+        rank: usize,
+        /// Counting-table set the wait consults.
+        table: usize,
+        /// Blocked group.
+        group: usize,
+        /// The unreachable threshold.
+        threshold: u32,
+        /// Increments that can ever land on the slot (stale + scheduled).
+        available: u32,
+    },
+    /// A wait threshold below the group's scheduled increments: the
+    /// collective can be released while up to `scheduled - threshold`
+    /// of the group's tiles are still unwritten.
+    EarlyRelease {
+        /// Segment index.
+        segment: usize,
+        /// Rank.
+        rank: usize,
+        /// Group.
+        group: usize,
+        /// The under-full threshold.
+        threshold: u32,
+        /// Increments (tiles) actually scheduled for the group.
+        scheduled: u32,
+    },
+    /// A segment reuses a counting table without the rearm chain: stale
+    /// counts from the previous user can satisfy this wait before any of
+    /// the segment's tiles are written.
+    StaleRearm {
+        /// Segment index.
+        segment: usize,
+        /// Rank.
+        rank: usize,
+        /// Reused table set.
+        table: usize,
+        /// Group whose wait the stale counts can release early.
+        group: usize,
+        /// Stale increments left on the slot.
+        stale: u32,
+    },
+    /// A tile whose write footprint intersects a collective read without
+    /// being guaranteed complete when the read's wait releases.
+    TileRace {
+        /// Segment index.
+        segment: usize,
+        /// Rank.
+        rank: usize,
+        /// Group whose collective read races.
+        group: usize,
+        /// The racing tile (address order).
+        tile: u32,
+        /// The racing tile's wave group.
+        tile_group: usize,
+    },
+    /// A collective read interval no scheduled tile write covers.
+    UncoveredRead {
+        /// Segment index.
+        segment: usize,
+        /// Rank.
+        rank: usize,
+        /// Group.
+        group: usize,
+        /// First uncovered element.
+        start: usize,
+        /// Uncovered element count.
+        len: usize,
+    },
+}
+
+impl Violation {
+    /// Stable kebab-case class label (report keys, CI assertions).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Violation::UnreachableThreshold { .. } => "unreachable-threshold",
+            Violation::EarlyRelease { .. } => "early-release",
+            Violation::StaleRearm { .. } => "stale-rearm",
+            Violation::TileRace { .. } => "tile-race",
+            Violation::UncoveredRead { .. } => "uncovered-read",
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UnreachableThreshold {
+                segment,
+                rank,
+                table,
+                group,
+                threshold,
+                available,
+            } => write!(
+                f,
+                "segment {segment}: rank {rank} blocks forever on table {table} group {group} \
+                 (threshold {threshold}, only {available} increments can ever arrive); all ranks \
+                 deadlock at the group's collective rendezvous"
+            ),
+            Violation::EarlyRelease {
+                segment,
+                rank,
+                group,
+                threshold,
+                scheduled,
+            } => write!(
+                f,
+                "segment {segment}: rank {rank} group {group} waits for only {threshold} of \
+                 {scheduled} scheduled increments — the collective can read unwritten tiles"
+            ),
+            Violation::StaleRearm {
+                segment,
+                rank,
+                table,
+                group,
+                stale,
+            } => write!(
+                f,
+                "segment {segment}: rank {rank} reuses table {table} without the rearm chain; \
+                 {stale} stale increments can release group {group}'s wait before any tile of \
+                 this segment is written"
+            ),
+            Violation::TileRace {
+                segment,
+                rank,
+                group,
+                tile,
+                tile_group,
+            } => write!(
+                f,
+                "segment {segment}: rank {rank} group {group}'s collective reads tile {tile} \
+                 (group {tile_group}) without a completed-signal guarantee"
+            ),
+            Violation::UncoveredRead {
+                segment,
+                rank,
+                group,
+                start,
+                len,
+            } => write!(
+                f,
+                "segment {segment}: rank {rank} group {group} reads {len} elements at offset \
+                 {start} that no scheduled tile write covers"
+            ),
+        }
+    }
+}
+
+/// What the verifier examined — evidence the report covered the model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyStats {
+    /// Segments walked.
+    pub segments: usize,
+    /// Counter waits checked for feasibility.
+    pub waits: usize,
+    /// Tile write footprints examined.
+    pub tiles: usize,
+    /// Collective read intervals checked for races and coverage.
+    pub reads: usize,
+    /// Whether reporting hit [`VIOLATION_CAP`].
+    pub truncated: bool,
+}
+
+/// Result of [`verify`]: the proven violations (empty for a safe
+/// schedule) and the coverage stats.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Proven violations in deterministic walk order (segment, rank,
+    /// group).
+    pub violations: Vec<Violation>,
+    /// Coverage evidence.
+    pub stats: VerifyStats,
+}
+
+impl VerifyReport {
+    /// Whether the schedule is statically safe.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations of one class.
+    pub fn count_of(&self, label: &str) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.label() == label)
+            .count()
+    }
+}
+
+/// Verifies a schedule model. Deterministic: identical models yield
+/// identical reports.
+pub fn verify(model: &ScheduleModel) -> VerifyReport {
+    let mut violations = Vec::new();
+    let mut stats = VerifyStats {
+        segments: model.segments.len(),
+        ..VerifyStats::default()
+    };
+    // Residual per-(table, rank) slot counts left by earlier segments:
+    // waits never consume counts, only the rearm chain's reset clears
+    // them.
+    let mut residual: HashMap<(usize, usize), Vec<u32>> = HashMap::new();
+    for (si, seg) in model.segments.iter().enumerate() {
+        for rm in &seg.ranks {
+            let slot = residual.entry((seg.table, rm.rank)).or_default();
+            if seg.rearmed {
+                slot.clear();
+            }
+            let stale_counts = slot.clone();
+            check_rank(si, seg, rm, &stale_counts, &mut violations, &mut stats);
+            // Deposit this segment's increments for the table's next user.
+            for gm in &rm.groups {
+                let slot = residual.entry((seg.table, rm.rank)).or_default();
+                if slot.len() <= gm.group {
+                    slot.resize(gm.group + 1, 0);
+                }
+                if let Some(c) = slot.get_mut(gm.group) {
+                    *c += gm.increments;
+                }
+            }
+        }
+    }
+    if violations.len() > VIOLATION_CAP {
+        violations.truncate(VIOLATION_CAP);
+        stats.truncated = true;
+    }
+    VerifyReport { violations, stats }
+}
+
+fn check_rank(
+    si: usize,
+    seg: &Segment,
+    rm: &RankModel,
+    stale_counts: &[u32],
+    violations: &mut Vec<Violation>,
+    stats: &mut VerifyStats,
+) {
+    stats.tiles += rm.tile_writes.len();
+    // Groups whose waits guarantee, at release, that every one of their
+    // scheduled tiles has been written (full threshold, clean slot).
+    let mut guaranteed: Vec<bool> = Vec::new();
+    let mark = |v: &mut Vec<bool>, g: usize, val: bool| {
+        if v.len() <= g {
+            v.resize(g + 1, false);
+        }
+        if let Some(s) = v.get_mut(g) {
+            *s = val;
+        }
+    };
+    // Once one wait is unreachable, the serial comm stream never reaches
+    // later groups: their reads cannot race because they never execute.
+    let mut blocked = false;
+    for gm in &rm.groups {
+        let stale = stale_counts.get(gm.group).copied().unwrap_or(0);
+        // A wait-level violation is the root cause; the per-tile race pass
+        // would only re-report its symptoms, so it is skipped for the
+        // group once one is recorded.
+        let mut wait_flagged = false;
+        if let Some(threshold) = gm.wait {
+            stats.waits += 1;
+            if threshold > stale + gm.increments {
+                violations.push(Violation::UnreachableThreshold {
+                    segment: si,
+                    rank: rm.rank,
+                    table: seg.table,
+                    group: gm.group,
+                    threshold,
+                    available: stale + gm.increments,
+                });
+                blocked = true;
+            } else if stale > 0 && !gm.reads.is_empty() {
+                violations.push(Violation::StaleRearm {
+                    segment: si,
+                    rank: rm.rank,
+                    table: seg.table,
+                    group: gm.group,
+                    stale,
+                });
+                wait_flagged = true;
+            } else if threshold < gm.increments && !gm.reads.is_empty() {
+                violations.push(Violation::EarlyRelease {
+                    segment: si,
+                    rank: rm.rank,
+                    group: gm.group,
+                    threshold,
+                    scheduled: gm.increments,
+                });
+                wait_flagged = true;
+            } else if threshold >= gm.increments && stale == 0 {
+                mark(&mut guaranteed, gm.group, true);
+            }
+        }
+        if blocked || wait_flagged {
+            continue;
+        }
+        for read in &gm.reads {
+            if read.len == 0 {
+                continue;
+            }
+            stats.reads += 1;
+            // Race pass: every tile whose footprint intersects the read
+            // must be guaranteed complete when the wait releases — its
+            // group at or before this one on the serial comm stream, with
+            // a fully-counted wait.
+            let mut covering: Vec<(usize, usize)> = Vec::new();
+            for tw in &rm.tile_writes {
+                let mut touches = false;
+                for iv in &tw.intervals {
+                    if iv.overlaps(read) {
+                        touches = true;
+                        let s = iv.start.max(read.start);
+                        let e = iv.end().min(read.end());
+                        covering.push((s, e));
+                    }
+                }
+                if !touches {
+                    continue;
+                }
+                let safe =
+                    tw.group <= gm.group && guaranteed.get(tw.group).copied().unwrap_or(false);
+                if !safe {
+                    violations.push(Violation::TileRace {
+                        segment: si,
+                        rank: rm.rank,
+                        group: gm.group,
+                        tile: tw.tile,
+                        tile_group: tw.group,
+                    });
+                }
+            }
+            // Coverage pass: the read must be fully covered by scheduled
+            // writes; report the first gap per read.
+            covering.sort_unstable();
+            let mut cursor = read.start;
+            let mut gap: Option<(usize, usize)> = None;
+            for (s, e) in covering {
+                if s > cursor {
+                    gap = Some((cursor, s - cursor));
+                    break;
+                }
+                cursor = cursor.max(e);
+            }
+            if gap.is_none() && cursor < read.end() {
+                gap = Some((cursor, read.end() - cursor));
+            }
+            if let Some((start, len)) = gap {
+                violations.push(Violation::UncoveredRead {
+                    segment: si,
+                    rank: rm.rank,
+                    group: gm.group,
+                    start,
+                    len,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::indexing_slicing)]
+mod tests {
+    use super::*;
+    use crate::model::{GroupModel, Interval, RankModel, ScheduleModel, Segment, TileWrite};
+    use crate::mutation::Mutation;
+
+    /// Two groups, two tiles each, one rank; group regions [0, 32) and
+    /// [32, 64).
+    fn model(segments: usize, rearm_from_second: bool) -> ScheduleModel {
+        let mk_segment = |i: usize| {
+            let tile_writes = (0..4u32)
+                .map(|t| TileWrite {
+                    tile: t,
+                    group: (t / 2) as usize,
+                    intervals: vec![Interval::new(t as usize * 16, 16)],
+                })
+                .collect();
+            let groups = (0..2)
+                .map(|g| GroupModel {
+                    group: g,
+                    wait: Some(2),
+                    increments: 2,
+                    reads: vec![Interval::new(g * 32, 32)],
+                })
+                .collect();
+            Segment {
+                label: format!("batch {i}"),
+                table: i % 2,
+                rearmed: i >= 2 && rearm_from_second,
+                ranks: vec![RankModel {
+                    rank: 0,
+                    tile_writes,
+                    groups,
+                }],
+            }
+        };
+        ScheduleModel {
+            n_ranks: 1,
+            segments: (0..segments).map(mk_segment).collect(),
+        }
+    }
+
+    #[test]
+    fn clean_single_segment_verifies() {
+        let report = verify(&model(1, true));
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.stats.waits, 2);
+        assert_eq!(report.stats.reads, 2);
+        assert_eq!(report.stats.tiles, 4);
+    }
+
+    #[test]
+    fn clean_rearmed_chain_verifies() {
+        let report = verify(&model(4, true));
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.stats.segments, 4);
+    }
+
+    #[test]
+    fn dropped_wait_races_every_tile_of_the_group() {
+        let mut m = model(1, true);
+        m.apply(&Mutation::DropWait { rank: 0, group: 1 }, 0);
+        let report = verify(&m);
+        assert_eq!(report.count_of("tile-race"), 2, "{:?}", report.violations);
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| matches!(v, Violation::TileRace { group: 1, .. })));
+    }
+
+    #[test]
+    fn raised_threshold_is_an_unreachable_deadlock() {
+        let mut m = model(1, true);
+        m.apply(&Mutation::RaiseThreshold { rank: 0, group: 0 }, 0);
+        let report = verify(&m);
+        assert_eq!(report.count_of("unreachable-threshold"), 1);
+        assert!(
+            report.count_of("tile-race") == 0,
+            "groups behind the blocked wait never execute: {:?}",
+            report.violations
+        );
+        match &report.violations[0] {
+            Violation::UnreachableThreshold {
+                rank,
+                group,
+                available,
+                ..
+            } => {
+                assert_eq!((*rank, *group, *available), (0, 0, 2));
+            }
+            v => panic!("wrong class: {v:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_increments_make_the_threshold_unreachable() {
+        let mut m = model(1, true);
+        m.apply(
+            &Mutation::DropIncrements {
+                rank: 0,
+                group: 1,
+                count: 1,
+            },
+            0,
+        );
+        let report = verify(&m);
+        assert_eq!(report.count_of("unreachable-threshold"), 1);
+    }
+
+    #[test]
+    fn lowered_threshold_is_an_early_release() {
+        let mut m = model(1, true);
+        m.segments[0].ranks[0].groups[1].wait = Some(1);
+        let report = verify(&m);
+        assert_eq!(report.count_of("early-release"), 1);
+    }
+
+    #[test]
+    fn missing_rearm_is_flagged_on_table_reuse() {
+        let mut m = model(3, true);
+        m.apply(&Mutation::DropRearm, 2);
+        let report = verify(&m);
+        // Batch 2 reuses batch 0's table without a reset: both groups'
+        // waits can release on stale counts.
+        assert_eq!(report.count_of("stale-rearm"), 2, "{:?}", report.violations);
+        assert!(report.violations.iter().all(|v| matches!(
+            v,
+            Violation::StaleRearm {
+                segment: 2,
+                table: 0,
+                stale: 2,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn first_use_of_each_table_needs_no_rearm() {
+        // Segments 0 and 1 have rearmed == false but touch fresh tables.
+        let report = verify(&model(2, true));
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn cross_group_write_into_a_read_region_races() {
+        let mut m = model(1, true);
+        // Tile 3 (group 1) also scribbles into group 0's region.
+        m.segments[0].ranks[0].tile_writes[3]
+            .intervals
+            .push(Interval::new(8, 4));
+        let report = verify(&m);
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::TileRace {
+                group: 0,
+                tile: 3,
+                tile_group: 1,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn uncovered_read_is_reported_with_the_gap() {
+        let mut m = model(1, true);
+        // Group 1's second tile never writes its half.
+        m.segments[0].ranks[0].tile_writes[3].intervals.clear();
+        let report = verify(&m);
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::UncoveredRead {
+                group: 1,
+                start: 48,
+                len: 16,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn zero_payload_group_skips_wait_and_reads() {
+        let mut m = model(1, true);
+        m.segments[0].ranks[0].groups[1].wait = None;
+        m.segments[0].ranks[0].groups[1].reads.clear();
+        // Tiles of a zero-payload group still increment the counter; with
+        // no wait and no reads there is nothing to violate.
+        let report = verify(&m);
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn reporting_truncates_deterministically() {
+        let mut m = model(1, true);
+        // One huge group with hundreds of tiles and no wait.
+        let tiles: Vec<TileWrite> = (0..(VIOLATION_CAP as u32 + 50))
+            .map(|t| TileWrite {
+                tile: t,
+                group: 0,
+                intervals: vec![Interval::new(t as usize * 4, 4)],
+            })
+            .collect();
+        let total = tiles.len() * 4;
+        m.segments[0].ranks[0].tile_writes = tiles;
+        m.segments[0].ranks[0].groups = vec![GroupModel {
+            group: 0,
+            wait: None,
+            increments: VIOLATION_CAP as u32 + 50,
+            reads: vec![Interval::new(0, total)],
+        }];
+        let a = verify(&m);
+        let b = verify(&m);
+        assert!(a.stats.truncated);
+        assert_eq!(a.violations.len(), VIOLATION_CAP);
+        assert_eq!(a.violations, b.violations);
+    }
+}

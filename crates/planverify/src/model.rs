@@ -1,0 +1,272 @@
+//! The symbolic schedule model the checks run over.
+//!
+//! A [`ScheduleModel`] is the signal/wait/event dependency structure of an
+//! overlapped execution, lowered straight from plan data: per rank and
+//! per wave group, the wait threshold guarding the group's collective,
+//! the counting-table increments scheduled for it, the element intervals
+//! the collective reads, and the per-tile write footprints of the
+//! reordered GEMM epilogue. Chained executions (`Pipeline` layers,
+//! `execute_sequence` batches) become one [`Segment`] each, carrying the
+//! counting-table set they use (ping-pong parity) and whether the rearm
+//! chain — wait on the previous user's comm-done, reset, ready-event —
+//! is present.
+//!
+//! The model is *order-free and clock-free on purpose*: it tracks
+//! increment totals, never issue order or timing. That makes two of the
+//! registry's mutations benign by construction ([`Mutation::
+//! ReorderIncrements`] permutes what the model does not represent;
+//! [`Mutation::DelayIncrements`] shifts a clock the model does not have)
+//! — which is exactly the claim the conformance matrix documents.
+
+use crate::mutation::Mutation;
+use crate::shadow;
+
+/// The threshold inflation the runtime's `RaiseThreshold` mutation
+/// applies; mirrored here so the static model mutates identically.
+pub const RAISE_DELTA: u32 = 1_000_000;
+
+/// A half-open element interval `[start, start + len)` in a rank's packed
+/// send buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// First element.
+    pub start: usize,
+    /// Element count.
+    pub len: usize,
+}
+
+impl Interval {
+    /// Creates an interval.
+    pub fn new(start: usize, len: usize) -> Self {
+        Interval { start, len }
+    }
+
+    /// One past the last element.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+
+    /// Whether the intervals intersect (empty intervals intersect
+    /// nothing).
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        shadow::ranges_overlap(self.start, self.end(), other.start, other.end())
+    }
+}
+
+/// The packed-buffer write footprint of one reordered GEMM tile.
+#[derive(Debug, Clone)]
+pub struct TileWrite {
+    /// Address-order tile index.
+    pub tile: u32,
+    /// The wave group whose counting-table slot this tile increments.
+    pub group: usize,
+    /// Element intervals the tile's epilogue writes (one for whole-tile
+    /// mappings, one per destination subtile or token row otherwise).
+    pub intervals: Vec<Interval>,
+}
+
+/// One wave group's signaling contract on one rank.
+#[derive(Debug, Clone)]
+pub struct GroupModel {
+    /// Group id (ascending within a rank — comm-stream issue order).
+    pub group: usize,
+    /// The `WaitCounter` threshold guarding this group's collective, or
+    /// `None` when no wait is scheduled (zero-payload groups schedule
+    /// neither wait nor collective).
+    pub wait: Option<u32>,
+    /// Counting-table increments scheduled for this group in this
+    /// segment (one per tile of the group).
+    pub increments: u32,
+    /// Element intervals the group's collective reads from the packed
+    /// buffer once the wait releases.
+    pub reads: Vec<Interval>,
+}
+
+/// One rank's schedule within a segment.
+#[derive(Debug, Clone)]
+pub struct RankModel {
+    /// Rank (device) id.
+    pub rank: usize,
+    /// Write footprints of every tile of the GEMM.
+    pub tile_writes: Vec<TileWrite>,
+    /// Per-group contracts, ascending by group id.
+    pub groups: Vec<GroupModel>,
+}
+
+/// One chained execution unit — the whole plan for a single-shot
+/// execution, a layer of a `Pipeline`, or a batch of `execute_sequence`.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Human-readable position ("plan", "layer 2", "batch 5").
+    pub label: String,
+    /// Counting-table set the segment signals through (ping-pong parity
+    /// for chains; always 0 single-shot).
+    pub table: usize,
+    /// Whether the rearm chain (wait on the table's previous user →
+    /// `ResetCounter` → ready-event → comm-stream wait) is present. Only
+    /// meaningful when the table was used by an earlier segment.
+    pub rearmed: bool,
+    /// Per-rank schedules.
+    pub ranks: Vec<RankModel>,
+}
+
+/// The full symbolic model of one (possibly chained) overlapped
+/// execution.
+#[derive(Debug, Clone)]
+pub struct ScheduleModel {
+    /// Participating ranks.
+    pub n_ranks: usize,
+    /// Segments in execution order.
+    pub segments: Vec<Segment>,
+}
+
+impl ScheduleModel {
+    /// Applies a registry mutation to `segment`, mirroring what the
+    /// corresponding runtime seam does to the executed schedule.
+    ///
+    /// [`Mutation::DelayIncrements`] and [`Mutation::ReorderIncrements`]
+    /// are no-ops by construction — the model carries neither a clock nor
+    /// an issue order — which is the machine-checked form of their
+    /// "documented benign" verdicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the targeted segment, rank, or group does not exist in
+    /// the model; the conformance driver always aims at real targets.
+    pub fn apply(&mut self, mutation: &Mutation, segment: usize) {
+        let seg = self
+            .segments
+            .get_mut(segment)
+            .expect("mutation targets an existing segment");
+        match *mutation {
+            Mutation::DropWait { rank, group } => {
+                *Self::wait_slot(seg, rank, group) = None;
+            }
+            Mutation::RaiseThreshold { rank, group } => {
+                let wait = Self::wait_slot(seg, rank, group);
+                *wait = wait.map(|t| t + RAISE_DELTA);
+            }
+            Mutation::DropIncrements { rank, group, count } => {
+                let gm = Self::group_slot(seg, rank, group);
+                gm.increments = gm.increments.saturating_sub(count);
+            }
+            // Timing-only: the model has no clock, so a delayed increment
+            // changes nothing it represents.
+            Mutation::DelayIncrements { .. } => {}
+            // Order-only: the model tracks increment totals, never issue
+            // order, so any permutation is definitionally invisible.
+            Mutation::ReorderIncrements { .. } => {}
+            Mutation::DropRearm => {
+                seg.rearmed = false;
+            }
+        }
+    }
+
+    fn group_slot(seg: &mut Segment, rank: usize, group: usize) -> &mut GroupModel {
+        seg.ranks
+            .get_mut(rank)
+            .expect("mutation targets an existing rank")
+            .groups
+            .iter_mut()
+            .find(|g| g.group == group)
+            .expect("mutation targets an existing group")
+    }
+
+    fn wait_slot(seg: &mut Segment, rank: usize, group: usize) -> &mut Option<u32> {
+        &mut Self::group_slot(seg, rank, group).wait
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::indexing_slicing)]
+mod tests {
+    use super::*;
+
+    /// A minimal clean two-group, one-rank, one-segment model.
+    pub(crate) fn tiny_model() -> ScheduleModel {
+        let tile_writes = vec![
+            TileWrite {
+                tile: 0,
+                group: 0,
+                intervals: vec![Interval::new(0, 16)],
+            },
+            TileWrite {
+                tile: 1,
+                group: 1,
+                intervals: vec![Interval::new(16, 16)],
+            },
+        ];
+        let groups = vec![
+            GroupModel {
+                group: 0,
+                wait: Some(1),
+                increments: 1,
+                reads: vec![Interval::new(0, 16)],
+            },
+            GroupModel {
+                group: 1,
+                wait: Some(1),
+                increments: 1,
+                reads: vec![Interval::new(16, 16)],
+            },
+        ];
+        ScheduleModel {
+            n_ranks: 1,
+            segments: vec![Segment {
+                label: "plan".into(),
+                table: 0,
+                rearmed: false,
+                ranks: vec![RankModel {
+                    rank: 0,
+                    tile_writes,
+                    groups,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn apply_drop_wait_clears_the_threshold() {
+        let mut m = tiny_model();
+        m.apply(&Mutation::DropWait { rank: 0, group: 1 }, 0);
+        let seg = &m.segments[0];
+        assert_eq!(seg.ranks[0].groups[1].wait, None);
+        assert_eq!(seg.ranks[0].groups[0].wait, Some(1), "other group intact");
+    }
+
+    #[test]
+    fn apply_raise_threshold_inflates_like_the_runtime() {
+        let mut m = tiny_model();
+        m.apply(&Mutation::RaiseThreshold { rank: 0, group: 0 }, 0);
+        assert_eq!(m.segments[0].ranks[0].groups[0].wait, Some(1 + RAISE_DELTA));
+    }
+
+    #[test]
+    fn timing_and_order_mutations_are_noops_by_construction() {
+        let clean = tiny_model();
+        let mut delayed = tiny_model();
+        delayed.apply(
+            &Mutation::DelayIncrements {
+                rank: 0,
+                group: 0,
+                count: 1,
+            },
+            0,
+        );
+        let mut reordered = tiny_model();
+        reordered.apply(&Mutation::ReorderIncrements { rank: 0 }, 0);
+        // Structural equality via the debug form: the model derives no
+        // PartialEq on purpose (it would tempt float-style comparisons on
+        // future fields), but the mutation contract is "unchanged".
+        assert_eq!(format!("{clean:?}"), format!("{delayed:?}"));
+        assert_eq!(format!("{clean:?}"), format!("{reordered:?}"));
+    }
+
+    #[test]
+    fn drop_rearm_clears_the_segment_flag() {
+        let mut m = tiny_model();
+        m.segments[0].rearmed = true;
+        m.apply(&Mutation::DropRearm, 0);
+        assert!(!m.segments[0].rearmed);
+    }
+}

@@ -1,0 +1,444 @@
+//! The unified mutation registry and the protocol-conformance matrix
+//! (ROADMAP carried item c).
+//!
+//! The repo historically grew three unrelated mutation mechanisms — the
+//! runtime's `SignalMutation` (drop/raise a wait), the sequence
+//! executor's `drop_cross_batch_edge`, and the signal-affecting
+//! `FaultPlan` arms (dropped/delayed increments). Each had its own
+//! ad-hoc self-test, so a new execute path could silently miss coverage.
+//! This module is the single enumerable registry: every corruption the
+//! suite knows how to express is a [`Mutation`], every execute path is an
+//! [`ExecPath`], and [`conformance_matrix`] classifies each
+//! `(mutation, path)` cell as caught-static, caught-dynamic, or
+//! documented-benign — with the dynamic-observability caveats promoted
+//! from code comments to machine-checked [`Caveat`] entries.
+
+use std::fmt;
+
+/// One schedule corruption, parameterized with its target. The model
+/// mutates via [`crate::model::ScheduleModel::apply`]; the runtime seams
+/// live in `flashoverlap::verify` (the registry itself stays
+/// simulator-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Delete the `WaitCounter` guarding `(rank, group)` — the collective
+    /// launches ungated (runtime seam: `SignalMutation::DropWait`).
+    DropWait {
+        /// Target rank.
+        rank: usize,
+        /// Target group.
+        group: usize,
+    },
+    /// Inflate the wait threshold far beyond any reachable count
+    /// (runtime seam: `SignalMutation::RaiseThreshold`).
+    RaiseThreshold {
+        /// Target rank.
+        rank: usize,
+        /// Target group.
+        group: usize,
+    },
+    /// Swallow `count` of the group's counting-table increments (runtime
+    /// seam: `Fault::DroppedIncrement` under the resilient runtime).
+    DropIncrements {
+        /// Target rank.
+        rank: usize,
+        /// Target group.
+        group: usize,
+        /// Increments swallowed.
+        count: u32,
+    },
+    /// Delay `count` of the group's increments without losing them
+    /// (runtime seam: `Fault::DelayedIncrement`).
+    DelayIncrements {
+        /// Target rank.
+        rank: usize,
+        /// Target group.
+        group: usize,
+        /// Increments delayed.
+        count: u32,
+    },
+    /// Permute the order the rank's epilogue issues its increments in.
+    /// No runtime seam exists (the simulator issues increments in tile
+    /// completion order) — the registry documents *why* none is needed:
+    /// the totals-only model proves any order equivalent.
+    ReorderIncrements {
+        /// Target rank.
+        rank: usize,
+    },
+    /// Delete a chained segment's rearm edges (wait on the table's
+    /// previous user → `ResetCounter` → ready-event). Runtime seam:
+    /// `SequenceOptions::drop_cross_batch_edge` on the sequence path.
+    DropRearm,
+}
+
+impl Mutation {
+    /// This mutation's registry kind.
+    pub fn kind(&self) -> MutationKind {
+        match self {
+            Mutation::DropWait { .. } => MutationKind::DropWait,
+            Mutation::RaiseThreshold { .. } => MutationKind::RaiseThreshold,
+            Mutation::DropIncrements { .. } => MutationKind::DropIncrements,
+            Mutation::DelayIncrements { .. } => MutationKind::DelayIncrements,
+            Mutation::ReorderIncrements { .. } => MutationKind::ReorderIncrements,
+            Mutation::DropRearm => MutationKind::DropRearm,
+        }
+    }
+}
+
+/// The registry of mutation kinds (target-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationKind {
+    /// Delete a wait.
+    DropWait,
+    /// Inflate a wait threshold.
+    RaiseThreshold,
+    /// Swallow increments.
+    DropIncrements,
+    /// Delay increments.
+    DelayIncrements,
+    /// Permute increment order.
+    ReorderIncrements,
+    /// Delete a rearm chain.
+    DropRearm,
+}
+
+impl MutationKind {
+    /// Every registered mutation kind.
+    pub const ALL: [MutationKind; 6] = [
+        MutationKind::DropWait,
+        MutationKind::RaiseThreshold,
+        MutationKind::DropIncrements,
+        MutationKind::DelayIncrements,
+        MutationKind::ReorderIncrements,
+        MutationKind::DropRearm,
+    ];
+
+    /// Stable kebab-case label (report keys, CI assertions).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MutationKind::DropWait => "drop-wait",
+            MutationKind::RaiseThreshold => "raise-threshold",
+            MutationKind::DropIncrements => "drop-increments",
+            MutationKind::DelayIncrements => "delay-increments",
+            MutationKind::ReorderIncrements => "reorder-increments",
+            MutationKind::DropRearm => "drop-rearm",
+        }
+    }
+}
+
+impl fmt::Display for MutationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The execute paths a plan can run through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecPath {
+    /// `OverlapPlan::execute_with` — one plan, one shot.
+    Single,
+    /// `Pipeline::execute_with` — chained layers, ping-ponged tables.
+    Pipeline,
+    /// `execute_sequence` — chained batches, ping-ponged tables.
+    Sequence,
+}
+
+impl ExecPath {
+    /// Every execute path.
+    pub const ALL: [ExecPath; 3] = [ExecPath::Single, ExecPath::Pipeline, ExecPath::Sequence];
+
+    /// Stable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecPath::Single => "single",
+            ExecPath::Pipeline => "pipeline",
+            ExecPath::Sequence => "sequence",
+        }
+    }
+}
+
+impl fmt::Display for ExecPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The primary verdict of a conformance cell — the strongest guarantee
+/// the suite makes about the `(mutation, path)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// `planverify` proves the mutated schedule unsafe from plan data
+    /// alone, before execution.
+    CaughtStatic,
+    /// Static analysis is provably blind to it (the model is clock-free),
+    /// but a dynamic detector (SimSan or the watchdog) reports it at run
+    /// time; the reason names the detector.
+    CaughtDynamic(&'static str),
+    /// The mutation provably cannot corrupt results; the reason is the
+    /// machine-checked argument.
+    Benign(&'static str),
+    /// The mutation has no meaning on this path; the reason says why.
+    NotApplicable(&'static str),
+}
+
+impl Expectation {
+    /// Stable verdict label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Expectation::CaughtStatic => "caught-static",
+            Expectation::CaughtDynamic(_) => "caught-dynamic",
+            Expectation::Benign(_) => "benign",
+            Expectation::NotApplicable(_) => "not-applicable",
+        }
+    }
+
+    /// The reason attached to non-caught-static verdicts.
+    pub fn reason(&self) -> Option<&'static str> {
+        match self {
+            Expectation::CaughtStatic => None,
+            Expectation::CaughtDynamic(r)
+            | Expectation::Benign(r)
+            | Expectation::NotApplicable(r) => Some(r),
+        }
+    }
+}
+
+/// How the *dynamic* layer (SimSan, the watchdog) sees the cell —
+/// secondary evidence alongside the primary [`Expectation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicCoverage {
+    /// A runtime seam exists and the dynamic detector always reports it.
+    Caught(&'static str),
+    /// A runtime seam exists but detection needs an observability
+    /// condition; the id names the registered [`Caveat`].
+    Conditional(&'static str),
+    /// No runtime seam reaches this path; the reason says why.
+    None(&'static str),
+    /// The mutation is benign, so there is nothing to detect.
+    Benign,
+}
+
+impl DynamicCoverage {
+    /// Stable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DynamicCoverage::Caught(_) => "caught",
+            DynamicCoverage::Conditional(_) => "conditional",
+            DynamicCoverage::None(_) => "none",
+            DynamicCoverage::Benign => "benign",
+        }
+    }
+
+    /// The caveat id, for conditional coverage.
+    pub fn caveat(&self) -> Option<&'static str> {
+        match self {
+            DynamicCoverage::Conditional(id) => Some(id),
+            _ => None,
+        }
+    }
+}
+
+/// One cell of the conformance matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixCell {
+    /// The mutation kind.
+    pub mutation: MutationKind,
+    /// The execute path.
+    pub path: ExecPath,
+    /// Primary verdict.
+    pub expected: Expectation,
+    /// Secondary dynamic-layer evidence.
+    pub dynamic: DynamicCoverage,
+}
+
+/// A machine-checked dynamic-observability caveat: a condition under
+/// which the dynamic checker is a *true negative* while the static
+/// verifier still catches the mutation. Each entry is exercised by a
+/// conformance test of the same id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Caveat {
+    /// Stable id, referenced by [`DynamicCoverage::Conditional`] cells
+    /// and by the test that exercises it.
+    pub id: &'static str,
+    /// What the condition is and why static analysis is unaffected.
+    pub summary: &'static str,
+}
+
+/// The registered caveats.
+pub fn caveats() -> &'static [Caveat] {
+    &[
+        Caveat {
+            id: "wave-collapse",
+            summary: "with comm_sms > 0 a small schedule's planned waves can collapse into one \
+                      runtime wave, closing the use-before-signal window a dropped wait would \
+                      open — SimSan's miss is a true negative; planverify catches the dropped \
+                      wait from plan data regardless",
+        },
+        Caveat {
+            id: "zero-payload-group",
+            summary: "a group with no communicated payload schedules neither wait nor \
+                      collective, so wait mutations aimed at it are no-ops for both the static \
+                      and the dynamic checker",
+        },
+        Caveat {
+            id: "sequence-edge-observability",
+            summary: "a dropped cross-batch rearm edge is dynamically observable only when the \
+                      producing batch is compute-bound enough to leave the stale-count window \
+                      open; planverify flags the missing reset unconditionally",
+        },
+    ]
+}
+
+/// The full conformance matrix: every registered mutation kind crossed
+/// with every execute path, classified. Exhaustive by construction —
+/// iteration over [`MutationKind::ALL`] × [`ExecPath::ALL`].
+pub fn conformance_matrix() -> Vec<MatrixCell> {
+    let mut cells = Vec::with_capacity(MutationKind::ALL.len() * ExecPath::ALL.len());
+    for kind in MutationKind::ALL {
+        for path in ExecPath::ALL {
+            cells.push(MatrixCell {
+                mutation: kind,
+                path,
+                expected: expected(kind, path),
+                dynamic: dynamic(kind, path),
+            });
+        }
+    }
+    cells
+}
+
+fn expected(kind: MutationKind, path: ExecPath) -> Expectation {
+    match (kind, path) {
+        (MutationKind::DropWait | MutationKind::RaiseThreshold, _) => Expectation::CaughtStatic,
+        (MutationKind::DropIncrements, _) => Expectation::CaughtStatic,
+        (MutationKind::DelayIncrements, ExecPath::Single) => Expectation::CaughtDynamic(
+            "the model is clock-free — a delay changes no counting-table total; the watchdog \
+             catches the starved group past its deadline and recovers via tail collectives",
+        ),
+        (MutationKind::DelayIncrements, _) => Expectation::NotApplicable(
+            "fault injection does not reach the pipeline/sequence paths yet (ROADMAP carried \
+             item a); the registry keeps the gap explicit instead of silent",
+        ),
+        (MutationKind::ReorderIncrements, _) => Expectation::Benign(
+            "increments are commutative and a wait observes only the running total, never the \
+             order — the totals-only model makes any permutation a structural no-op",
+        ),
+        (MutationKind::DropRearm, ExecPath::Single) => Expectation::NotApplicable(
+            "a single-shot execution never reuses a counting table, so there is no rearm chain \
+             to drop",
+        ),
+        (MutationKind::DropRearm, _) => Expectation::CaughtStatic,
+    }
+}
+
+fn dynamic(kind: MutationKind, path: ExecPath) -> DynamicCoverage {
+    match (kind, path) {
+        (MutationKind::DropWait, _) => DynamicCoverage::Conditional("wave-collapse"),
+        (MutationKind::RaiseThreshold, _) => {
+            DynamicCoverage::Caught("SimSan reports lost-signal + deadlock at drain time")
+        }
+        (MutationKind::DropIncrements, ExecPath::Single) => DynamicCoverage::Caught(
+            "the resilient runtime's watchdog escalates (outcome leaves Clean)",
+        ),
+        (MutationKind::DelayIncrements, ExecPath::Single) => DynamicCoverage::Caught(
+            "the watchdog fires once the delay exceeds the deadline and recovers the group",
+        ),
+        (MutationKind::DropIncrements | MutationKind::DelayIncrements, _) => DynamicCoverage::None(
+            "fault injection does not reach the pipeline/sequence paths yet (ROADMAP carried \
+             item a)",
+        ),
+        (MutationKind::ReorderIncrements, _) => DynamicCoverage::Benign,
+        (MutationKind::DropRearm, ExecPath::Sequence) => {
+            DynamicCoverage::Conditional("sequence-edge-observability")
+        }
+        (MutationKind::DropRearm, ExecPath::Pipeline) => DynamicCoverage::None(
+            "Pipeline::execute_with exposes no edge-deletion knob; the seam is static-only",
+        ),
+        (MutationKind::DropRearm, ExecPath::Single) => {
+            DynamicCoverage::None("no rearm chain exists single-shot")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_exhaustive_and_unique() {
+        let cells = conformance_matrix();
+        assert_eq!(cells.len(), MutationKind::ALL.len() * ExecPath::ALL.len());
+        for kind in MutationKind::ALL {
+            for path in ExecPath::ALL {
+                assert_eq!(
+                    cells
+                        .iter()
+                        .filter(|c| c.mutation == kind && c.path == path)
+                        .count(),
+                    1,
+                    "cell ({kind}, {path}) must appear exactly once"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_conditional_cell_names_a_registered_caveat() {
+        let ids: Vec<&str> = caveats().iter().map(|c| c.id).collect();
+        for cell in conformance_matrix() {
+            if let Some(id) = cell.dynamic.caveat() {
+                assert!(
+                    ids.contains(&id),
+                    "cell ({}, {}) references unregistered caveat {id}",
+                    cell.mutation,
+                    cell.path
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_caveat_is_referenced_or_standalone_documented() {
+        // zero-payload-group is exercised by a dedicated conformance test
+        // rather than a matrix cell; the other caveats must be reachable
+        // from the matrix so they cannot go stale.
+        let referenced: Vec<&str> = conformance_matrix()
+            .iter()
+            .filter_map(|c| c.dynamic.caveat())
+            .collect();
+        for caveat in caveats() {
+            if caveat.id == "zero-payload-group" {
+                continue;
+            }
+            assert!(
+                referenced.contains(&caveat.id),
+                "caveat {} is registered but unreferenced",
+                caveat.id
+            );
+        }
+    }
+
+    #[test]
+    fn verdict_classes_are_all_exercised() {
+        let cells = conformance_matrix();
+        for label in [
+            "caught-static",
+            "caught-dynamic",
+            "benign",
+            "not-applicable",
+        ] {
+            assert!(
+                cells.iter().any(|c| c.expected.label() == label),
+                "no cell carries verdict {label}"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(MutationKind::DropWait.label(), "drop-wait");
+        assert_eq!(ExecPath::Sequence.label(), "sequence");
+        assert_eq!(Expectation::CaughtStatic.label(), "caught-static");
+        assert_eq!(Expectation::Benign("x").reason(), Some("x"));
+    }
+}

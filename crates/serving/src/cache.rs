@@ -205,12 +205,12 @@ impl PlanCache {
             let waves = config.grid(dims).num_tiles().div_ceil(system.compute_sms());
             WavePartition::single(waves.max(1))
         };
-        let plan = Rc::new(OverlapPlan::new(
-            dims,
-            pattern.clone(),
-            system.clone(),
-            partition,
-        )?);
+        let plan = OverlapPlan::new(dims, pattern.clone(), system.clone(), partition)?;
+        // Never cache a schedule the static verifier cannot prove safe:
+        // a corrupt plan served from the cache would poison every batch
+        // that hits the same shape.
+        plan.check_static()?;
+        let plan = Rc::new(plan);
         if self.entries.len() >= self.capacity {
             self.evict_lru();
         }
@@ -253,6 +253,7 @@ impl PlanCache {
                 dims: k.dims,
                 primitive: k.primitive,
                 groups: e.plan.partition.sizes().to_vec(),
+                thresholds: Some(e.plan.group_tile_counts().to_vec()),
             })
             .collect();
         entries.sort_by_key(|e| (e.dims.m, e.dims.n, e.dims.k, primitive_label(e.primitive)));
@@ -286,12 +287,48 @@ impl PlanCache {
                 pattern_of(entry.primitive).ok_or_else(|| FlashOverlapError::BadInputs {
                     reason: "AllToAll plans cannot be preloaded (routing is run-specific)".into(),
                 })?;
-            let plan = Rc::new(OverlapPlan::new(
+            let plan = OverlapPlan::new(
                 entry.dims,
                 pattern,
                 system.clone(),
                 WavePartition::new(entry.groups.clone()),
-            )?);
+            )?;
+            let context = format!(
+                "snapshot entry {}x{}x{} {}",
+                entry.dims.m,
+                entry.dims.n,
+                entry.dims.k,
+                primitive_label(entry.primitive)
+            );
+            // Cross-check persisted thresholds against the rebuilt
+            // schedule: any divergence means the snapshot does not
+            // describe the plan this system would execute.
+            if let Some(thresholds) = &entry.thresholds {
+                let rebuilt = plan.group_tile_counts();
+                if thresholds.len() != rebuilt.len() {
+                    return Err(FlashOverlapError::BadInputs {
+                        reason: format!(
+                            "{context}: snapshot has {} wait thresholds but the rebuilt plan \
+                             schedules {} groups",
+                            thresholds.len(),
+                            rebuilt.len()
+                        ),
+                    });
+                }
+                for (g, (&snap, &built)) in thresholds.iter().zip(rebuilt).enumerate() {
+                    if snap != built {
+                        return Err(FlashOverlapError::BadInputs {
+                            reason: format!(
+                                "{context}: group {g} wait threshold {snap} does not match the \
+                                 rebuilt plan's {built} scheduled increments"
+                            ),
+                        });
+                    }
+                }
+            }
+            // Full static verification before the plan can serve traffic.
+            flashoverlap::reject_if_invalid(&plan.verify(), &context)?;
+            let plan = Rc::new(plan);
             self.tick += 1;
             self.entries.insert(
                 key,
@@ -317,6 +354,13 @@ pub struct PlanEntry {
     pub primitive: Primitive,
     /// Tuned partition group sizes.
     pub groups: Vec<u32>,
+    /// Per-group wait thresholds as the exporting plan scheduled them
+    /// (the group tile counts). `None` for snapshots written before the
+    /// field existed; when present, [`PlanCache::preload`] cross-checks
+    /// them against the rebuilt plan and rejects any mismatch — a
+    /// corrupted snapshot fails at load time with the shape, group, and
+    /// threshold named, not at first execution.
+    pub thresholds: Option<Vec<u32>>,
 }
 
 /// A serialized plan cache: the fingerprint of the system the plans
@@ -376,7 +420,7 @@ impl CacheSnapshot {
                     self.entries
                         .iter()
                         .map(|e| {
-                            Value::obj(vec![
+                            let mut fields = vec![
                                 ("m", Value::num(f64::from(e.dims.m))),
                                 ("n", Value::num(f64::from(e.dims.n))),
                                 ("k", Value::num(f64::from(e.dims.k))),
@@ -390,7 +434,19 @@ impl CacheSnapshot {
                                             .collect(),
                                     ),
                                 ),
-                            ])
+                            ];
+                            if let Some(thresholds) = &e.thresholds {
+                                fields.push((
+                                    "thresholds",
+                                    Value::Arr(
+                                        thresholds
+                                            .iter()
+                                            .map(|&t| Value::num(f64::from(t)))
+                                            .collect(),
+                                    ),
+                                ));
+                            }
+                            Value::obj(fields)
                         })
                         .collect(),
                 ),
@@ -446,10 +502,29 @@ impl CacheSnapshot {
                         .ok_or_else(|| format!("entry {i}: bad group size"))
                 })
                 .collect::<Result<Vec<u32>, String>>()?;
+            // Optional (absent in pre-verification snapshots): per-group
+            // wait thresholds, cross-checked against the rebuilt plan at
+            // preload time.
+            let thresholds = match raw.get("thresholds").and_then(|v| v.as_arr()) {
+                None => None,
+                Some(arr) => Some(
+                    arr.iter()
+                        .map(|t| {
+                            t.as_f64()
+                                .filter(|&f| {
+                                    f.fract() == 0.0 && f >= 0.0 && f <= f64::from(u32::MAX)
+                                })
+                                .map(|f| f as u32)
+                                .ok_or_else(|| format!("entry {i}: bad threshold"))
+                        })
+                        .collect::<Result<Vec<u32>, String>>()?,
+                ),
+            };
             entries.push(PlanEntry {
                 dims: GemmDims::new(field("m")?, field("n")?, field("k")?),
                 primitive,
                 groups,
+                thresholds,
             });
         }
         Ok(CacheSnapshot { system_fp, entries })
@@ -527,6 +602,64 @@ mod tests {
             system_fingerprint(&a),
             system_fingerprint(&SystemSpec::rtx4090(2))
         );
+    }
+
+    #[test]
+    fn snapshot_round_trips_thresholds_through_json() {
+        let mut cache = PlanCache::new(4);
+        let sys = system();
+        let dims = GemmDims::new(256, 2048, 704);
+        cache
+            .get_or_tune(dims, &CommPattern::AllReduce, &sys)
+            .unwrap();
+        let fp = system_fingerprint(&sys);
+        let snapshot = CacheSnapshot {
+            system_fp: fp,
+            entries: cache.export_entries(fp),
+        };
+        let entry = &snapshot.entries[0];
+        assert!(
+            entry.thresholds.is_some(),
+            "exports persist the wait thresholds"
+        );
+        let parsed = CacheSnapshot::from_json(&snapshot.to_json()).unwrap();
+        assert_eq!(parsed, snapshot);
+        // A fresh cache accepts the snapshot (thresholds cross-check
+        // against the rebuilt plan) ...
+        let mut fresh = PlanCache::new(4);
+        assert_eq!(fresh.preload(&sys, &parsed.entries).unwrap(), 1);
+        // ... and entries without thresholds (older snapshots) still load.
+        let mut legacy_entries = parsed.entries.clone();
+        legacy_entries[0].thresholds = None;
+        let mut legacy = PlanCache::new(4);
+        assert_eq!(legacy.preload(&sys, &legacy_entries).unwrap(), 1);
+    }
+
+    #[test]
+    fn preload_rejects_threshold_mismatch_naming_shape_and_group() {
+        let mut cache = PlanCache::new(4);
+        let sys = system();
+        let dims = GemmDims::new(256, 2048, 704);
+        cache
+            .get_or_tune(dims, &CommPattern::AllReduce, &sys)
+            .unwrap();
+        let fp = system_fingerprint(&sys);
+        let mut entries = cache.export_entries(fp);
+        // Corrupt one persisted threshold (DropIncrements-shaped damage).
+        let thresholds = entries[0].thresholds.as_mut().unwrap();
+        thresholds[0] += 7;
+        let bad = thresholds[0];
+        let mut fresh = PlanCache::new(4);
+        let err = fresh.preload(&sys, &entries).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("256x2048x704"), "{text}");
+        assert!(text.contains("group 0"), "{text}");
+        assert!(text.contains(&format!("threshold {bad}")), "{text}");
+        // Wrong group count is also caught at load time.
+        let mut truncated = cache.export_entries(fp);
+        truncated[0].thresholds.as_mut().unwrap().pop();
+        let err = fresh.preload(&sys, &truncated).unwrap_err();
+        assert!(err.to_string().contains("thresholds"), "{err}");
     }
 
     #[test]

@@ -35,6 +35,13 @@
 //! arrive in simulated-time order, so only the "does the old access
 //! happen-before the new one" direction needs testing, with the
 //! FastTrack-style epoch comparison `old.clock[old.tid] <= now[old.tid]`.
+//!
+//! Conflict footprints are tile-granular via the predicate shared with the
+//! static verifier ([`planverify::shadow::may_conflict`]): two accesses
+//! attributed to the same reordered GEMM tile conflict even when their
+//! modelled element ranges are disjoint, because the epilogue stores the
+//! whole tile slot as one burst — pure range intersection provably misses
+//! that partial-overlap case.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -312,7 +319,19 @@ impl State {
             if r.kind == AccessKind::Read && a.kind == AccessKind::Read {
                 continue;
             }
-            if r.range.start >= a.range.end || a.range.start >= r.range.end {
+            // Footprint test at tile granularity (shared with the static
+            // verifier): same-tile accesses conflict even when their
+            // modelled sub-ranges are disjoint, because the epilogue
+            // stores the whole tile slot as one burst — the sub-ranges
+            // under-approximate the store's true footprint.
+            if !planverify::shadow::may_conflict(
+                r.tile,
+                r.range.start,
+                r.range.end,
+                a.tile,
+                a.range.start,
+                a.range.end,
+            ) {
                 continue;
             }
             // Happens-before (epoch test): the old access is covered by the
@@ -860,6 +879,66 @@ mod tests {
             None,
         ));
         assert!(s.is_clean());
+    }
+
+    #[test]
+    fn same_tile_partial_overlap_race_is_caught_by_the_tile_shadow() {
+        // Regression for ROADMAP carried item b: two unordered accesses to
+        // *different sub-ranges of the same tile*. The epilogue stores
+        // tile 4's slot as one burst, so the collective send genuinely
+        // overlaps the write — but the modelled ranges are disjoint, and
+        // the old range-intersection skip would have dropped the pair:
+        let (w, r) = (32..64usize, 0..32usize);
+        assert!(
+            w.start >= r.end || r.start >= w.end,
+            "the ranges must be disjoint for this test to prove anything"
+        );
+        let s = Sanitizer::new();
+        let m = s.monitor();
+        m.on_access(&access(
+            0,
+            0,
+            3,
+            w,
+            AccessKind::Write,
+            AccessScope::TileWrite,
+            Some(4),
+        ));
+        m.on_access(&access(
+            0,
+            1,
+            3,
+            r,
+            AccessKind::Read,
+            AccessScope::CollectiveSend,
+            Some(4),
+        ));
+        let reports = s.reports();
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        assert_eq!(reports[0].kind(), "use-before-signal");
+        // Different tiles with the same disjoint ranges stay clean: the
+        // predicate sharpens on tile identity, it does not widen.
+        let s = Sanitizer::new();
+        let m = s.monitor();
+        m.on_access(&access(
+            0,
+            0,
+            3,
+            32..64,
+            AccessKind::Write,
+            AccessScope::TileWrite,
+            Some(4),
+        ));
+        m.on_access(&access(
+            0,
+            1,
+            3,
+            0..32,
+            AccessKind::Read,
+            AccessScope::CollectiveSend,
+            Some(5),
+        ));
+        assert!(s.is_clean(), "{:?}", s.reports());
     }
 
     #[test]

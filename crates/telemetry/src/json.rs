@@ -76,6 +76,14 @@ impl Value {
         }
     }
 
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Serializes compactly (no whitespace).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
