@@ -162,4 +162,60 @@ print(f"multi-replica smoke: ok ({scaling['goodput_scaling']:.2f}x goodput, "
       f"vs rr {rr['plan_cache']['hit_rate']:.2f})")
 EOF
 
+echo "== analyze gate (critical-path attribution, tuned vs per-wave signaling) =="
+cargo run -q -p flashoverlap-cli --bin flashoverlap -- analyze \
+  -m 2048 -n 4096 -k 4096 --gpus 2 --platform a800 \
+  --metrics-out "$tmp/analyze.json" > /dev/null
+python3 - "$tmp/analyze.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    analyze = json.load(f)
+assert analyze["kind"] == "flashoverlap-analyze", analyze.get("kind")
+for arm in ("tuned", "per_wave"):
+    attr = analyze[arm]["attribution"]
+    cats = attr["categories"]
+    assert sum(cats.values()) == attr["makespan_ns"], \
+        f"{arm}: attribution must sum exactly to the makespan"
+    assert all(0.0 <= s <= 1.0 for s in attr["shares"].values()), attr["shares"]
+tuned = analyze["tuned"]["attribution"]["categories"]["signal_wait_ns"]
+per_wave = analyze["per_wave"]["attribution"]["categories"]["signal_wait_ns"]
+assert tuned < per_wave, \
+    f"tuned plan must spend less critical-path time in signal-wait " \
+    f"({tuned} vs {per_wave})"
+assert analyze["signal_wait_saved_ns"] > 0, analyze["signal_wait_saved_ns"]
+print(f"analyze gate: ok (signal-wait {tuned} ns tuned vs {per_wave} ns per-wave)")
+EOF
+
+echo "== bench gate (BENCH_serve.json byte-stable, attribution identity exact) =="
+# Two identical seeded runs byte-compare; the committed artifact at the
+# repo root must match what the pinned command regenerates today.
+timeout 300 cargo run -q -p flashoverlap-cli --bin flashoverlap -- bench \
+  --requests 120 --seed 7 --metrics-out "$tmp/bench.json" > /dev/null
+timeout 300 cargo run -q -p flashoverlap-cli --bin flashoverlap -- bench \
+  --requests 120 --seed 7 --metrics-out "$tmp/bench2.json" > /dev/null
+cmp "$tmp/bench.json" "$tmp/bench2.json" \
+  || { echo "bench gate: same seed wrote different artifacts"; exit 1; }
+cmp "$tmp/bench.json" BENCH_serve.json \
+  || { echo "bench gate: committed BENCH_serve.json is stale; regenerate with" \
+       "'flashoverlap bench --requests 120 --seed 7'"; exit 1; }
+python3 - "$tmp/bench.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+assert bench["kind"] == "flashoverlap-bench-serve", bench.get("kind")
+attr = bench["attribution"]
+assert attr["identity_holds"] is True, attr
+assert sum(attr["categories"].values()) == bench["makespan_ns"], \
+    "every nanosecond of the makespan must land in exactly one category"
+assert all(0.0 <= s <= 1.0 for s in attr["shares"].values()), attr["shares"]
+assert abs(sum(attr["shares"].values()) - 1.0) < 1e-9, attr["shares"]
+sched = bench["scheduling"]
+for wait in ("form_wait", "queue_wait"):
+    p = sched[wait]
+    assert p is None or p["p50_ns"] <= p["p95_ns"] <= p["p99_ns"], (wait, p)
+assert bench["drift_rows"] > 0, "predictor-drift table must be populated"
+print(f"bench gate: ok (makespan {bench['makespan_ns']/1e6:.2f} ms virtual, "
+      f"idle share {attr['shares']['idle']:.3f})")
+EOF
+
 echo "ci: all gates passed"

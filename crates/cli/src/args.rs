@@ -65,6 +65,13 @@ pub enum Command {
     /// Statically verify the plan's signal/wait schedule and print the
     /// mutation conformance matrix, without running the simulator.
     Verify,
+    /// Attribute every nanosecond of one run's critical path to an
+    /// exclusive category (compute, transfer, signal-wait, ...) and
+    /// compare the tuned plan against the naive per-wave baseline.
+    Analyze,
+    /// Run the serve regression benchmark and write `BENCH_serve.json`
+    /// (virtual-time metrics only, byte-stable for a fixed seed).
+    Bench,
 }
 
 /// Arrival process selector for the `serve` command (rates attach in
@@ -145,8 +152,8 @@ pub struct Cli {
 
 /// The usage text printed on `--help` or parse errors.
 pub const USAGE: &str = "\
-usage: flashoverlap <tune|run|compare|timeline|profile|verify|chaos|serve>
-                    [options]
+usage: flashoverlap <tune|run|compare|timeline|profile|verify|analyze|chaos|
+                     serve|bench> [options]
 
 options:
   -m, -n, -k <int>        GEMM dimensions (required except for chaos,
@@ -212,8 +219,25 @@ a violation and fails the sweep.
 
 serve accounting: every offered request terminates as clean, recovered,
 degraded (chaos), or shed at admission; the report carries p50/p95/p99
-latency, goodput, shed rate, and plan-cache hit rate. serve defaults to
---gpus 2 and ignores -m/-n/-k (shapes come from the traffic mix).
+latency, goodput, shed rate, plan-cache hit rate, batch-form/queue wait
+percentiles, critical-path attribution, and predictor drift. serve
+defaults to --gpus 2 and ignores -m/-n/-k (shapes come from the traffic
+mix); --trace-out writes the request-lifecycle Perfetto trace.
+
+analyze runs the tuned plan and the naive per-wave signaling baseline
+(§4.1.1) on the same shape, walks each run's happens-before graph
+backward from the last completion, and buckets every nanosecond of the
+critical path into exclusive categories (gemm-compute,
+collective-transfer, signal-wait, rearm-stall, recovery, idle) that sum
+exactly to the makespan; --metrics-out writes the comparison JSON and
+--trace-out writes the tuned run's Perfetto trace with the critical
+path highlighted as its own track.
+
+bench serves a seeded trace like serve and writes BENCH_serve.json
+(default; override with --metrics-out): virtual-time metrics only —
+throughput, latency percentiles, wait percentiles, attribution shares —
+so the file is byte-identical for a fixed seed, while host wall-clock
+and events/sec go to stdout for regression eyeballing.
 ";
 
 fn parse_u32(flag: &str, value: Option<&String>) -> Result<u32, CliError> {
@@ -267,6 +291,8 @@ impl Cli {
             Some("chaos") => Command::Chaos,
             Some("serve") => Command::Serve,
             Some("verify") => Command::Verify,
+            Some("analyze") => Command::Analyze,
+            Some("bench") => Command::Bench,
             Some("-h") | Some("--help") | None => {
                 return Err(CliError::usage("".to_string()));
             }
@@ -281,7 +307,7 @@ impl Cli {
         // Chaos sweeps default to the miniature two-rank campaign system
         // (matching `ChaosConfig::default`) so 50-campaign runs stay fast;
         // serve does the same so hundred-request traces stay fast.
-        let mut gpus = if matches!(command, Command::Chaos | Command::Serve) {
+        let mut gpus = if matches!(command, Command::Chaos | Command::Serve | Command::Bench) {
             2
         } else {
             4
@@ -459,7 +485,7 @@ impl Cli {
         // Chaos has a sensible built-in workload (the default campaign
         // shape) and serve draws shapes from the traffic mix; every other
         // command needs explicit dimensions.
-        let (m, n, k) = if matches!(command, Command::Chaos | Command::Serve) {
+        let (m, n, k) = if matches!(command, Command::Chaos | Command::Serve | Command::Bench) {
             (m.unwrap_or(384), n.unwrap_or(512), k.unwrap_or(64))
         } else {
             let (Some(m), Some(n), Some(k)) = (m, n, k) else {
@@ -733,6 +759,32 @@ mod tests {
         assert_eq!(cli.gpus, 2);
         // Verify checks a concrete plan; the shape is required like run's.
         assert!(Cli::parse(&argv("verify")).unwrap_err().show_usage);
+    }
+
+    #[test]
+    fn analyze_command_parses() {
+        let cli = Cli::parse(&argv(
+            "analyze -m 2048 -n 4096 -k 4096 --gpus 2 --platform a800 \
+             --metrics-out a.json --trace-out t.json",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Analyze);
+        assert_eq!((cli.m, cli.n, cli.k), (2048, 4096, 4096));
+        assert_eq!(cli.gpus, 2);
+        assert_eq!(cli.metrics_out.as_deref(), Some("a.json"));
+        assert_eq!(cli.trace_out.as_deref(), Some("t.json"));
+        // Analyze attributes a concrete run; the shape is required.
+        assert!(Cli::parse(&argv("analyze")).unwrap_err().show_usage);
+    }
+
+    #[test]
+    fn bench_command_parses_with_serve_defaults() {
+        let cli = Cli::parse(&argv("bench --requests 120 --seed 7")).unwrap();
+        assert_eq!(cli.command, Command::Bench);
+        assert_eq!(cli.requests, 120);
+        assert_eq!(cli.seed, 7);
+        assert_eq!(cli.gpus, 2, "bench defaults to the two-rank system");
+        assert!(cli.metrics_out.is_none(), "default path resolves later");
     }
 
     #[test]

@@ -181,10 +181,9 @@ fn execute_chaos(cli: &Cli) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Runs the `serve` command: a seeded continuous-batching trace through
-/// the tuned-plan cache across one or more replicas, with optional
-/// chaos, baseline, scaling, and plan-cache persistence arms.
-fn execute_serve(cli: &Cli) -> Result<String, CliError> {
+/// Builds the [`serving::ServeConfig`] shared by the `serve` and
+/// `bench` commands from the CLI flags.
+fn serve_config(cli: &Cli) -> Result<serving::ServeConfig, CliError> {
     let system = system_for(cli.platform, cli.gpus).with_algorithm(cli.algorithm);
     let mut config = serving::ServeConfig::new(system);
     config.seed = cli.seed;
@@ -211,21 +210,39 @@ fn execute_serve(cli: &Cli) -> Result<String, CliError> {
             .map_err(|e| CliError::runtime(format!("parsing {path}: {e}")))?;
         config.preload = Some(snapshot);
     }
+    Ok(config)
+}
+
+/// Runs the `serve` command: a seeded continuous-batching trace through
+/// the tuned-plan cache across one or more replicas, with optional
+/// chaos, baseline, scaling, and plan-cache persistence arms.
+fn execute_serve(cli: &Cli) -> Result<String, CliError> {
+    let config = serve_config(cli)?;
     let mut exported = None;
-    let (mut out, json) = if cli.scaling {
+    let (mut out, json, traced) = if cli.scaling {
         let scaling = serving::serve_scaling(&config)
             .map_err(|e| CliError::runtime(format!("serve scaling failed: {e}")))?;
-        (scaling.summary(), scaling.to_json())
+        let traced = scaling.multi.clone();
+        (scaling.summary(), scaling.to_json(), traced)
     } else if cli.baseline {
         let cmp = serving::serve_comparison(&config)
             .map_err(|e| CliError::runtime(format!("serve comparison failed: {e}")))?;
-        (cmp.summary(), cmp.to_json())
+        let traced = cmp.tuned.clone();
+        (cmp.summary(), cmp.to_json(), traced)
     } else {
         let (report, snapshot) = serving::serve_exporting(&config)
             .map_err(|e| CliError::runtime(format!("serve failed: {e}")))?;
         exported = Some(snapshot);
-        (report.summary(), report.to_json())
+        let json = report.to_json();
+        (report.summary(), json, report)
     };
+    if let Some(path) = &cli.trace_out {
+        // The scaling/baseline arms trace their primary (multi/tuned)
+        // report; request flows in the other arms carry the same ids.
+        std::fs::write(path, serving::serve_trace_string(&traced))
+            .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
+        out.push_str(&format!("request-lifecycle trace written to {path}\n"));
+    }
     if let Some(path) = &cli.plan_cache_out {
         // The scaling/baseline arms consume their reports internally; an
         // extra export run is deterministic and reuses the same config.
@@ -246,6 +263,267 @@ fn execute_serve(cli: &Cli) -> Result<String, CliError> {
             .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
         out.push_str(&format!("metrics written to {path}\n"));
     }
+    Ok(out)
+}
+
+/// Executes `plan` instrumented and traced, returning the spans, the
+/// causal telemetry record, the critical-path attribution, and the run
+/// report.
+fn attributed_run(
+    plan: &OverlapPlan,
+) -> Result<
+    (
+        Vec<gpu_sim::OpSpan>,
+        telemetry::TelemetryRecord,
+        telemetry::Attribution,
+        RunReport,
+    ),
+    CliError,
+> {
+    let telemetry = telemetry::Telemetry::new();
+    let instr = telemetry.instrumentation();
+    let out = plan
+        .execute_with(&flashoverlap::ExecOptions::new().instrument(&instr).trace())
+        .map_err(|e| CliError::runtime(format!("simulation failed: {e}")))?;
+    let record = telemetry.take_record();
+    let attribution = telemetry::attribute(&out.spans, &record);
+    Ok((out.spans, record, attribution, out.report))
+}
+
+/// One arm of the analyze comparison as JSON.
+fn analyze_arm_json(
+    partition: &flashoverlap::WavePartition,
+    report: &RunReport,
+    attribution: &telemetry::Attribution,
+) -> Value {
+    Value::obj(vec![
+        ("partition", Value::str(partition.to_string())),
+        ("latency_ns", Value::num(report.latency.as_nanos() as f64)),
+        ("attribution", attribution.to_json()),
+    ])
+}
+
+/// Runs the `analyze` command: attributes the tuned (or `--partition`)
+/// plan's critical path and compares it against the naive per-wave
+/// signaling baseline (§4.1.1) on the same workload — the tuner's win
+/// read directly off the signal-wait category.
+fn execute_analyze(
+    cli: &Cli,
+    plan: &OverlapPlan,
+    pattern: &CommPattern,
+    system: &flashoverlap::SystemSpec,
+) -> Result<String, CliError> {
+    use telemetry::Category;
+
+    let dims = GemmDims::new(cli.m, cli.n, cli.k);
+    let (spans, record, tuned_attr, tuned_report) = attributed_run(plan)?;
+    let per_wave = flashoverlap::WavePartition::per_wave(plan.total_waves());
+    let baseline = OverlapPlan::new(dims, pattern.clone(), system.clone(), per_wave.clone())
+        .map_err(|e| CliError::runtime(format!("per-wave baseline construction failed: {e}")))?;
+    let (_, _, base_attr, base_report) = attributed_run(&baseline)?;
+
+    let tuned_wait = tuned_attr.totals.get(Category::SignalWait);
+    let base_wait = base_attr.totals.get(Category::SignalWait);
+    let doc = Value::obj(vec![
+        ("kind", Value::str("flashoverlap-analyze")),
+        (
+            "workload",
+            Value::obj(vec![
+                ("m", Value::num(f64::from(cli.m))),
+                ("n", Value::num(f64::from(cli.n))),
+                ("k", Value::num(f64::from(cli.k))),
+                ("primitive", Value::str(cli.primitive.to_string())),
+                ("gpus", Value::num(cli.gpus as f64)),
+                ("platform", Value::str(system.arch.name)),
+            ]),
+        ),
+        (
+            "tuned",
+            analyze_arm_json(&plan.partition, &tuned_report, &tuned_attr),
+        ),
+        (
+            "per_wave",
+            analyze_arm_json(&per_wave, &base_report, &base_attr),
+        ),
+        (
+            "signal_wait_saved_ns",
+            Value::num(base_wait as f64 - tuned_wait as f64),
+        ),
+    ]);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "tuned    : partition {}, latency {} — {}\n",
+        plan.partition,
+        tuned_report.latency,
+        tuned_attr.summary(),
+    ));
+    out.push_str(&format!(
+        "per-wave : partition {per_wave}, latency {} — {}\n",
+        base_report.latency,
+        base_attr.summary(),
+    ));
+    out.push_str(&format!(
+        "signal-wait on the critical path: tuned {tuned_wait} ns vs per-wave {base_wait} ns\n",
+    ));
+    let identity = tuned_attr.identity_holds() && base_attr.identity_holds();
+    out.push_str(&format!(
+        "identity : {}\n",
+        if identity {
+            "both attributions sum exactly to their makespans"
+        } else {
+            "VIOLATED — attribution does not tile the makespan"
+        },
+    ));
+    if let Some(path) = &cli.trace_out {
+        let trace = telemetry::perfetto::trace_with_attribution(&spans, Some(&record), &tuned_attr);
+        std::fs::write(path, trace.to_json())
+            .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
+        out.push_str(&format!(
+            "perfetto trace with critical-path track written to {path}\n"
+        ));
+    }
+    if let Some(path) = &cli.metrics_out {
+        std::fs::write(path, doc.to_json_pretty())
+            .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
+        out.push_str(&format!("metrics written to {path}\n"));
+    }
+    if !identity {
+        return Err(CliError::runtime(format!(
+            "attribution identity violated:\n{out}"
+        )));
+    }
+    Ok(out)
+}
+
+/// Percentile triple as JSON for the bench report.
+fn bench_wait_json(p: &Option<telemetry::Percentiles>) -> Value {
+    match p {
+        Some(p) => Value::obj(vec![
+            ("p50_ns", Value::num(p.p50 as f64)),
+            ("p95_ns", Value::num(p.p95 as f64)),
+            ("p99_ns", Value::num(p.p99 as f64)),
+        ]),
+        None => Value::Null,
+    }
+}
+
+/// Runs the `bench` command: the serve regression benchmark. The JSON
+/// artifact carries only virtual-time metrics (byte-stable for a fixed
+/// seed — the CI gate byte-compares two runs); host wall-clock and
+/// events/sec go to stdout only.
+fn execute_bench(cli: &Cli) -> Result<String, CliError> {
+    let config = serve_config(cli)?;
+    let started = std::time::Instant::now();
+    let report = serving::serve(&config)
+        .map_err(|e| CliError::runtime(format!("bench serve failed: {e}")))?;
+    let wall = started.elapsed();
+
+    let doc = Value::obj(vec![
+        ("kind", Value::str("flashoverlap-bench-serve")),
+        ("seed", Value::num(report.seed as f64)),
+        ("requests", Value::num(report.offered as f64)),
+        ("gpus", Value::num(report.gpus as f64)),
+        ("platform", Value::str(report.platform)),
+        ("replicas", Value::num(report.replicas as f64)),
+        ("chaos", Value::Bool(report.chaos)),
+        ("makespan_ns", Value::num(report.makespan_ns as f64)),
+        (
+            "throughput",
+            Value::obj(vec![
+                ("goodput_rps", Value::num(report.goodput_rps)),
+                ("offered_rps", Value::num(report.offered_rps)),
+                ("shed_rate", Value::num(report.shed_rate)),
+            ]),
+        ),
+        (
+            "latency",
+            match &report.latency {
+                Some(p) => Value::obj(vec![
+                    ("p50_ns", Value::num(p.p50 as f64)),
+                    ("p95_ns", Value::num(p.p95 as f64)),
+                    ("p99_ns", Value::num(p.p99 as f64)),
+                    ("mean_ns", Value::num(report.mean_latency_ns)),
+                ]),
+                None => Value::Null,
+            },
+        ),
+        (
+            "scheduling",
+            Value::obj(vec![
+                ("form_wait", bench_wait_json(&report.form_wait)),
+                ("queue_wait", bench_wait_json(&report.queue_wait)),
+            ]),
+        ),
+        (
+            "attribution",
+            Value::obj(vec![
+                ("makespan_ns", Value::num(report.makespan_ns as f64)),
+                (
+                    "identity_holds",
+                    Value::Bool(report.attribution.sum() == report.makespan_ns),
+                ),
+                ("categories", report.attribution.to_json()),
+                ("shares", report.attribution.shares_json(report.makespan_ns)),
+            ]),
+        ),
+        (
+            "signaling",
+            Value::obj(vec![
+                ("mean_signal_ns", Value::num(report.mean_signal_ns)),
+                ("samples", Value::num(report.signal_samples as f64)),
+            ]),
+        ),
+        ("batches", Value::num(report.batches as f64)),
+        ("drift_rows", Value::num(report.drift.len() as f64)),
+    ]);
+
+    let path = cli
+        .metrics_out
+        .clone()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    std::fs::write(&path, doc.to_json_pretty())
+        .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
+
+    // Host-side figures stay out of the artifact: they vary run to run
+    // and would break the byte-compare gate.
+    let events = report.offered + report.batches;
+    let secs = wall.as_secs_f64().max(1e-9);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bench    : {} requests, seed {}, {} x{} ({} replicas{})\n",
+        report.offered,
+        report.seed,
+        report.platform,
+        report.gpus,
+        report.replicas,
+        if report.chaos { ", chaos" } else { "" },
+    ));
+    out.push_str(&format!(
+        "virtual  : makespan {:.2} ms, goodput {:.0} rps{}\n",
+        report.makespan_ns as f64 / 1e6,
+        report.goodput_rps,
+        report.latency.as_ref().map_or(String::new(), |p| format!(
+            ", p95 {:.1} us",
+            p.p95 as f64 / 1e3
+        )),
+    ));
+    if report.makespan_ns > 0 {
+        let share = |c| report.attribution.get(c) as f64 / report.makespan_ns as f64 * 100.0;
+        out.push_str(&format!(
+            "critical : gemm {:.1}%, transfer {:.1}%, signal-wait {:.1}%, queue-wait {:.1}%, idle {:.1}%\n",
+            share(telemetry::Category::GemmCompute),
+            share(telemetry::Category::CollectiveTransfer),
+            share(telemetry::Category::SignalWait),
+            share(telemetry::Category::QueueWait),
+            share(telemetry::Category::Idle),
+        ));
+    }
+    out.push_str(&format!(
+        "host     : {secs:.3} s wall-clock, {:.0} events/s ({events} events: requests + batches)\n",
+        events as f64 / secs,
+    ));
+    out.push_str(&format!("bench report written to {path}\n"));
     Ok(out)
 }
 
@@ -575,6 +853,11 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
         // Serve draws its GEMM shapes from the traffic mix, not -m/-n/-k.
         return execute_serve(cli);
     }
+    if cli.command == Command::Bench {
+        // Bench is a serve run with a byte-stable artifact; like serve,
+        // it draws shapes from the traffic mix.
+        return execute_bench(cli);
+    }
     let dims = GemmDims::new(cli.m, cli.n, cli.k);
     let system = system_for(cli.platform, cli.gpus).with_algorithm(cli.algorithm);
     let pattern = pattern_for(cli.primitive, dims, cli.gpus, cli.seed);
@@ -696,9 +979,13 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
         Command::Verify => {
             out.push_str(&execute_verify(cli, &plan, &pattern, &system)?);
         }
+        Command::Analyze => {
+            out.push_str(&execute_analyze(cli, &plan, &pattern, &system)?);
+        }
         // Dispatched before the plan preamble above.
         Command::Chaos => unreachable!("chaos is handled by execute_chaos"),
         Command::Serve => unreachable!("serve is handled by execute_serve"),
+        Command::Bench => unreachable!("bench is handled by execute_bench"),
     }
     Ok(out)
 }
@@ -1110,5 +1397,130 @@ mod tests {
         ))
         .unwrap();
         assert!(out.contains("FlashOverlap"));
+    }
+
+    #[test]
+    fn analyze_attributes_less_signal_wait_than_per_wave() {
+        let metrics_a = temp_path("analyze-a.json");
+        let metrics_b = temp_path("analyze-b.json");
+        let trace = temp_path("analyze-trace.json");
+        let cmd = |path: &std::path::Path| {
+            format!(
+                "analyze -m 2048 -n 4096 -k 4096 --gpus 2 --platform a800 --metrics-out {}",
+                path.display()
+            )
+        };
+        let out = execute_argv(&argv(&format!(
+            "{} --trace-out {}",
+            cmd(&metrics_a),
+            trace.display()
+        )))
+        .unwrap();
+        assert!(out.contains("tuned"), "{out}");
+        assert!(out.contains("per-wave"), "{out}");
+        assert!(
+            out.contains("both attributions sum exactly to their makespans"),
+            "{out}"
+        );
+        execute_argv(&argv(&cmd(&metrics_b))).unwrap();
+        let a = std::fs::read_to_string(&metrics_a).unwrap();
+        let b = std::fs::read_to_string(&metrics_b).unwrap();
+        assert_eq!(a, b, "analyze must write byte-identical metrics");
+
+        let doc = telemetry::json::parse(&a).unwrap();
+        assert_eq!(
+            doc.get("kind").and_then(|v| v.as_str()),
+            Some("flashoverlap-analyze")
+        );
+        let wait = |arm: &str| {
+            doc.get(arm)
+                .and_then(|v| v.get("attribution"))
+                .and_then(|v| v.get("categories"))
+                .and_then(|v| v.get("signal_wait_ns"))
+                .and_then(telemetry::json::Value::as_f64)
+                .unwrap()
+        };
+        // The paper's tuning win, read directly off the critical path:
+        // the tuned partition spends strictly less time blocked on
+        // signals than naive per-wave signaling on the same workload.
+        assert!(
+            wait("tuned") < wait("per_wave"),
+            "tuned signal-wait {} must beat per-wave {}",
+            wait("tuned"),
+            wait("per_wave")
+        );
+        assert!(
+            doc.get("signal_wait_saved_ns")
+                .and_then(telemetry::json::Value::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        // The highlighted trace carries a critical-path track beyond the
+        // per-device ones.
+        let trace_doc = telemetry::json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let events = trace_doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(
+            events.iter().any(|e| {
+                e.get("ph").and_then(telemetry::json::Value::as_str) == Some("M")
+                    && e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(telemetry::json::Value::as_str)
+                        == Some("critical path")
+            }),
+            "trace must carry the critical-path track"
+        );
+    }
+
+    #[test]
+    fn bench_writes_byte_stable_artifact_with_exact_attribution() {
+        let bench_a = temp_path("bench-a.json");
+        let bench_b = temp_path("bench-b.json");
+        let cmd = |path: &std::path::Path| {
+            format!(
+                "bench --requests 60 --seed 7 --metrics-out {}",
+                path.display()
+            )
+        };
+        let out = execute_argv(&argv(&cmd(&bench_a))).unwrap();
+        assert!(out.contains("wall-clock"), "{out}");
+        assert!(out.contains("bench report written to"), "{out}");
+        execute_argv(&argv(&cmd(&bench_b))).unwrap();
+        let a = std::fs::read_to_string(&bench_a).unwrap();
+        let b = std::fs::read_to_string(&bench_b).unwrap();
+        assert_eq!(
+            a, b,
+            "same seed must produce a byte-identical bench artifact"
+        );
+
+        let doc = telemetry::json::parse(&a).unwrap();
+        assert_eq!(
+            doc.get("kind").and_then(|v| v.as_str()),
+            Some("flashoverlap-bench-serve")
+        );
+        assert_eq!(
+            doc.get("attribution")
+                .and_then(|v| v.get("identity_holds"))
+                .and_then(telemetry::json::Value::as_bool),
+            Some(true),
+            "serve attribution must tile the makespan exactly"
+        );
+        // Category nanoseconds sum to the makespan — the identity the CI
+        // gate re-checks from the committed artifact.
+        let attribution = doc.get("attribution").unwrap();
+        let makespan = attribution
+            .get("makespan_ns")
+            .and_then(telemetry::json::Value::as_f64)
+            .unwrap();
+        let categories = attribution.get("categories").unwrap();
+        let total: f64 = telemetry::Category::ALL
+            .iter()
+            .map(|c| {
+                categories
+                    .get(&format!("{}_ns", c.key()))
+                    .and_then(telemetry::json::Value::as_f64)
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(total, makespan);
     }
 }

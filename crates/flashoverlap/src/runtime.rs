@@ -1374,6 +1374,18 @@ impl OverlapPlan {
         }
     }
 
+    /// The predictor's expected per-group collective completion times
+    /// (absolute, from GEMM launch) — the baseline that measured
+    /// [`RunReport::group_comm_done`] values are compared against for
+    /// measured-vs-predicted drift reporting. `None` when the planned
+    /// wave count diverges from the profiled estimate (swizzle
+    /// overrides), where per-group predictions are undefined.
+    pub fn predicted_group_completions(&self) -> Option<Vec<SimDuration>> {
+        let predictor = LatencyPredictor::build(self.dims, self.primitive(), &self.system);
+        (predictor.profile().total_waves == self.partition.total_waves())
+            .then(|| predictor.predict_group_completions(&self.partition))
+    }
+
     /// Runs the plan in timing mode under the watchdog: `faults` are
     /// injected at the simulator's seams, and a wedge (lost signal,
     /// starved rendezvous) is broken by the escalation ladder — deadline
@@ -1989,6 +2001,23 @@ mod tests {
             WavePartition::per_wave(waves),
         )
         .unwrap()
+    }
+
+    #[test]
+    fn predicted_group_completions_align_with_the_plan() {
+        let plan = all_reduce_plan(GemmDims::new(256, 256, 64), 2);
+        let predicted = plan
+            .predicted_group_completions()
+            .expect("per-wave plan matches the profiled wave count");
+        assert_eq!(predicted.len(), plan.partition.num_groups());
+        assert!(
+            predicted.windows(2).all(|w| w[0] <= w[1]),
+            "group completions must be monotone: {predicted:?}"
+        );
+        // The measured run produces one completion per group too, so the
+        // drift join is well-defined.
+        let report = exec(&plan);
+        assert_eq!(report.group_comm_done.len(), predicted.len());
     }
 
     #[test]

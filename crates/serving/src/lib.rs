@@ -37,16 +37,18 @@ pub mod cache;
 pub mod report;
 pub mod router;
 pub mod server;
+pub mod trace;
 pub mod traffic;
 
 pub use batch::{form_batch, Batch, BatchConfig};
 pub use cache::{system_fingerprint, CacheSnapshot, CacheStats, PlanCache, PlanEntry, PlanKey};
 pub use report::{
-    BatchRecord, ComparisonReport, Disposition, ReplicaStats, RequestRecord, ScalingReport,
-    ServeReport,
+    BatchRecord, ComparisonReport, Disposition, DriftRow, ReplicaStats, RequestRecord,
+    ScalingReport, ServeReport,
 };
 pub use router::{ReplicaLoad, RouteDecision, Router, RouterPolicy};
 pub use server::{
     serve, serve_baseline, serve_comparison, serve_exporting, serve_scaling, ServeConfig,
 };
+pub use trace::{serve_trace, serve_trace_string};
 pub use traffic::{generate, ArrivalProcess, Request};

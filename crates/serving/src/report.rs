@@ -9,6 +9,7 @@
 //! serializes through the vendored `telemetry::json` module so `--seed`
 //! determinism is checkable byte-for-byte on the JSON output.
 
+use telemetry::attribution::{AttributionTotals, Category};
 use telemetry::json::Value;
 use telemetry::Percentiles;
 
@@ -65,6 +66,12 @@ pub struct RequestRecord {
     pub batch: Option<u64>,
     /// Enqueue→complete latency (`None` when shed).
     pub latency_ns: Option<u64>,
+    /// Arrival→batch-close wait — the batch-forming share of the
+    /// latency (`None` when shed).
+    pub form_wait_ns: Option<u64>,
+    /// Batch-close→dispatch wait — time the closed batch sat queued
+    /// behind the replica's earlier work (`None` when shed).
+    pub queue_wait_ns: Option<u64>,
 }
 
 /// Accounting for one executed batch.
@@ -97,6 +104,13 @@ pub struct BatchRecord {
     pub routing: &'static str,
     /// Batches executed in the same chain as this one (1 = alone).
     pub chain_len: u64,
+    /// When the batch closed and was routed.
+    pub close_ns: u64,
+    /// Close→dispatch wait behind the replica's earlier chains.
+    pub queue_wait_ns: u64,
+    /// Critical-path attribution of this batch's execution window,
+    /// clipped from its chain's attribution; totals sum to `exec_ns`.
+    pub attribution: Option<AttributionTotals>,
 }
 
 /// Per-replica accounting over a serve run. Sums across replicas equal
@@ -120,6 +134,43 @@ pub struct ReplicaStats {
     pub utilization: f64,
     /// This replica's plan-cache counters.
     pub cache: CacheStats,
+}
+
+/// Measured-vs-predicted collective-completion drift for one
+/// `(GEMM shape, wave group)` pair, aggregated over a serve run — the
+/// signal the ROADMAP's online-autotuning item needs to decide when a
+/// cached plan has gone stale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftRow {
+    /// GEMM rows.
+    pub m: u32,
+    /// GEMM columns.
+    pub n: u32,
+    /// GEMM reduction depth.
+    pub k: u32,
+    /// Wave-group index within the plan.
+    pub group: usize,
+    /// Executions sampled (chain-leading and chaos batches, where the
+    /// measured completion is not skewed by pipelining).
+    pub samples: u64,
+    /// Mean [`LatencyPredictor`](flashoverlap::LatencyPredictor)
+    /// completion prediction.
+    pub mean_predicted_ns: f64,
+    /// Mean measured completion.
+    pub mean_measured_ns: f64,
+}
+
+impl DriftRow {
+    /// Relative drift: `(measured − predicted) / predicted` (zero when
+    /// the prediction is zero). Positive means the fabric/occupancy ran
+    /// slower than the model.
+    pub fn drift(&self) -> f64 {
+        if self.mean_predicted_ns > 0.0 {
+            (self.mean_measured_ns - self.mean_predicted_ns) / self.mean_predicted_ns
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Aggregate report of one serve run.
@@ -191,6 +242,20 @@ pub struct ServeReport {
     pub mean_signal_ns: f64,
     /// Signal-latency samples behind the mean.
     pub signal_samples: u64,
+    /// Batch-forming wait percentiles (arrival → batch close) over
+    /// completed requests.
+    pub form_wait: Option<Percentiles>,
+    /// Dispatch-queue wait percentiles (batch close → execution start)
+    /// over completed requests.
+    pub queue_wait: Option<Percentiles>,
+    /// Critical-path attribution of the bottleneck replica's timeline:
+    /// per-category totals that sum exactly to `makespan_ns` (tuner
+    /// time is zero by construction — plan search is analytic and costs
+    /// no virtual time; `cache.tune_evaluated` counts the searches).
+    pub attribution: AttributionTotals,
+    /// Per-(shape, group) measured-vs-predicted drift rows, shape-major
+    /// order.
+    pub drift: Vec<DriftRow>,
     /// Per-request accounting, id order.
     pub records: Vec<RequestRecord>,
     /// Per-batch accounting, dispatch order.
@@ -280,6 +345,29 @@ impl ServeReport {
                 ]),
             ),
             (
+                "scheduling",
+                Value::obj(vec![
+                    ("form_wait", wait_json(&self.form_wait)),
+                    ("queue_wait", wait_json(&self.queue_wait)),
+                ]),
+            ),
+            (
+                "attribution",
+                Value::obj(vec![
+                    ("makespan_ns", Value::num(self.makespan_ns as f64)),
+                    (
+                        "identity_holds",
+                        Value::Bool(self.attribution.sum() == self.makespan_ns),
+                    ),
+                    ("categories", self.attribution.to_json()),
+                    ("shares", self.attribution.shares_json(self.makespan_ns)),
+                ]),
+            ),
+            (
+                "predictor_drift",
+                Value::Arr(self.drift.iter().map(drift_json).collect()),
+            ),
+            (
                 "per_request",
                 Value::Arr(self.records.iter().map(request_json).collect()),
             ),
@@ -358,8 +446,78 @@ impl ServeReport {
                 r.cache.hit_rate() * 100.0,
             ));
         }
+        if let (Some(f), Some(q)) = (&self.form_wait, &self.queue_wait) {
+            out.push_str(&format!(
+                "  batch-form wait p50/p95/p99: {:.1}/{:.1}/{:.1} us; queue wait p50/p95/p99: {:.1}/{:.1}/{:.1} us\n",
+                f.p50 as f64 / 1e3,
+                f.p95 as f64 / 1e3,
+                f.p99 as f64 / 1e3,
+                q.p50 as f64 / 1e3,
+                q.p95 as f64 / 1e3,
+                q.p99 as f64 / 1e3,
+            ));
+        }
+        if self.makespan_ns > 0 {
+            out.push_str("  critical path:");
+            for category in Category::ALL {
+                let ns = self.attribution.get(category);
+                if ns > 0 {
+                    out.push_str(&format!(
+                        " {} {:.1}%",
+                        category.label(),
+                        ns as f64 / self.makespan_ns as f64 * 100.0,
+                    ));
+                }
+            }
+            out.push('\n');
+        }
+        if !self.drift.is_empty() {
+            let worst = self
+                .drift
+                .iter()
+                .max_by(|a, b| {
+                    a.drift()
+                        .abs()
+                        .partial_cmp(&b.drift().abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("non-empty drift");
+            out.push_str(&format!(
+                "  predictor drift: {} rows, worst {:+.1}% at {}x{}x{} group {}\n",
+                self.drift.len(),
+                worst.drift() * 100.0,
+                worst.m,
+                worst.n,
+                worst.k,
+                worst.group,
+            ));
+        }
         out
     }
+}
+
+fn wait_json(p: &Option<Percentiles>) -> Value {
+    match p {
+        Some(p) => Value::obj(vec![
+            ("p50_ns", Value::num(p.p50 as f64)),
+            ("p95_ns", Value::num(p.p95 as f64)),
+            ("p99_ns", Value::num(p.p99 as f64)),
+        ]),
+        None => Value::Null,
+    }
+}
+
+fn drift_json(d: &DriftRow) -> Value {
+    Value::obj(vec![
+        ("m", Value::num(f64::from(d.m))),
+        ("n", Value::num(f64::from(d.n))),
+        ("k", Value::num(f64::from(d.k))),
+        ("group", Value::num(d.group as f64)),
+        ("samples", Value::num(d.samples as f64)),
+        ("mean_predicted_ns", Value::num(d.mean_predicted_ns)),
+        ("mean_measured_ns", Value::num(d.mean_measured_ns)),
+        ("drift", Value::num(d.drift())),
+    ])
 }
 
 fn request_json(r: &RequestRecord) -> Value {
@@ -376,6 +534,15 @@ fn request_json(r: &RequestRecord) -> Value {
         (
             "latency_ns",
             r.latency_ns.map_or(Value::Null, |l| Value::num(l as f64)),
+        ),
+        (
+            "form_wait_ns",
+            r.form_wait_ns.map_or(Value::Null, |w| Value::num(w as f64)),
+        ),
+        (
+            "queue_wait_ns",
+            r.queue_wait_ns
+                .map_or(Value::Null, |w| Value::num(w as f64)),
         ),
     ])
 }
@@ -394,6 +561,14 @@ fn batch_json(b: &BatchRecord) -> Value {
         ("replica", Value::num(b.replica as f64)),
         ("routing", Value::str(b.routing)),
         ("chain_len", Value::num(b.chain_len as f64)),
+        ("close_ns", Value::num(b.close_ns as f64)),
+        ("queue_wait_ns", Value::num(b.queue_wait_ns as f64)),
+        (
+            "attribution",
+            b.attribution
+                .as_ref()
+                .map_or(Value::Null, AttributionTotals::to_json),
+        ),
     ])
 }
 

@@ -31,14 +31,15 @@ use flashoverlap::{
     execute_sequence, CommPattern, ExecOptions, FaultPlan, FlashOverlapError, Instrumentation,
     OverlapPlan, SequenceOptions, SystemSpec, WatchdogConfig,
 };
+use telemetry::attribution::{attribute_makespan, AttributionTotals, Category};
 use telemetry::{percentiles, signal_summary, Telemetry};
 use workloads::ServeMix;
 
 use crate::batch::{form_batch, Batch, BatchConfig};
 use crate::cache::{system_fingerprint, CacheSnapshot, CacheStats, PlanCache, PlanEntry};
 use crate::report::{
-    BatchRecord, ComparisonReport, Disposition, ReplicaStats, RequestRecord, ScalingReport,
-    ServeReport,
+    BatchRecord, ComparisonReport, Disposition, DriftRow, ReplicaStats, RequestRecord,
+    ScalingReport, ServeReport,
 };
 use crate::router::{ReplicaLoad, Router, RouterPolicy};
 use crate::traffic::{generate, ArrivalProcess, Request};
@@ -216,11 +217,20 @@ pub fn serve_scaling(config: &ServeConfig) -> Result<ScalingReport, FlashOverlap
     })
 }
 
+/// A closed batch sitting in a replica's dispatch queue.
+struct PendingBatch {
+    batch: Batch,
+    routing: &'static str,
+    /// When the batch closed and was routed — the start of its
+    /// dispatch-queue wait.
+    close_ns: u64,
+}
+
 /// One replica group's scheduler state.
 struct Replica {
     cache: PlanCache,
     /// Closed batches routed here, waiting for the replica to go idle.
-    pending: VecDeque<(Batch, &'static str)>,
+    pending: VecDeque<PendingBatch>,
     /// Virtual time the current chain drains (<= now means idle).
     free_ns: u64,
     busy_ns: u64,
@@ -228,6 +238,9 @@ struct Replica {
     requests: u64,
     tokens: u64,
     chains: u64,
+    /// Executed chains as `(start_ns, total_ns, attribution)` — the raw
+    /// material of the serve-level critical-path attribution.
+    chain_log: Vec<(u64, u64, AttributionTotals)>,
 }
 
 impl Replica {
@@ -241,16 +254,22 @@ impl Replica {
             requests: 0,
             tokens: 0,
             chains: 0,
+            chain_log: Vec::new(),
         }
     }
 
     fn queued_tokens(&self) -> u64 {
         self.pending
             .iter()
-            .map(|(b, _)| u64::from(b.padded_tokens))
+            .map(|p| u64::from(p.batch.padded_tokens))
             .sum()
     }
 }
+
+/// Drift accumulator key: `(m, n, k, group)`.
+type DriftKey = (u32, u32, u32, usize);
+/// Drift accumulator cell: `(samples, predicted_sum, measured_sum)`.
+type DriftCell = (u64, f64, f64);
 
 /// Mutable accounting threaded through chain execution.
 #[derive(Default)]
@@ -259,14 +278,38 @@ struct Accounting {
     batch_records: Vec<BatchRecord>,
     signal_weighted_sum: f64,
     signal_samples: u64,
+    /// Drift accumulator; BTreeMap so the report rows come out in
+    /// deterministic shape-major order.
+    drift: std::collections::BTreeMap<DriftKey, DriftCell>,
 }
 
 impl Accounting {
-    fn absorb_signals(&mut self, telemetry: &Telemetry, spans: &[gpu_sim::OpSpan]) {
-        let record = telemetry.take_record();
-        if let Some(sig) = signal_summary(&record, spans) {
+    fn absorb_signals(&mut self, record: &telemetry::TelemetryRecord, spans: &[gpu_sim::OpSpan]) {
+        if let Some(sig) = signal_summary(record, spans) {
             self.signal_weighted_sum += sig.mean_total_ns * sig.samples.len() as f64;
             self.signal_samples += sig.samples.len() as u64;
+        }
+    }
+
+    /// Folds one batch's measured group completions against the plan's
+    /// [`LatencyPredictor`](flashoverlap::LatencyPredictor) predictions.
+    fn absorb_drift(
+        &mut self,
+        dims: gpu_sim::gemm::GemmDims,
+        predicted: &[sim::SimDuration],
+        measured: &[sim::SimDuration],
+    ) {
+        if predicted.len() != measured.len() {
+            return;
+        }
+        for (group, (p, m)) in predicted.iter().zip(measured).enumerate() {
+            let cell = self
+                .drift
+                .entry((dims.m, dims.n, dims.k, group))
+                .or_insert((0, 0.0, 0.0));
+            cell.0 += 1;
+            cell.1 += p.as_nanos() as f64;
+            cell.2 += m.as_nanos() as f64;
         }
     }
 }
@@ -345,6 +388,8 @@ fn serve_run(
                     disposition: Disposition::Shed,
                     batch: None,
                     latency_ns: None,
+                    form_wait_ns: None,
+                    queue_wait_ns: None,
                 });
             } else {
                 queue.push(*r);
@@ -381,7 +426,11 @@ fn serve_run(
                 .collect();
             let decision = router.route(dims, &loads);
             if let Some(replica) = replicas.get_mut(decision.replica) {
-                replica.pending.push_back((batch, decision.reason));
+                replica.pending.push_back(PendingBatch {
+                    batch,
+                    routing: decision.reason,
+                    close_ns: now_ns,
+                });
             }
         }
 
@@ -397,7 +446,7 @@ fn serve_run(
             } else {
                 replica.pending.len().min(config.chain)
             };
-            let chain: Vec<(Batch, &'static str)> = replica.pending.drain(..take).collect();
+            let chain: Vec<PendingBatch> = replica.pending.drain(..take).collect();
             replica.free_ns = run_chain(config, idx, replica, chain, now_ns, tp, &mut acct)?;
         }
 
@@ -470,27 +519,27 @@ fn run_chain(
     config: &ServeConfig,
     replica_idx: usize,
     replica: &mut Replica,
-    chain: Vec<(Batch, &'static str)>,
+    chain: Vec<PendingBatch>,
     start_ns: u64,
     tp: u32,
     acct: &mut Accounting,
 ) -> Result<u64, FlashOverlapError> {
     let pattern = CommPattern::AllReduce;
     let mut plans: Vec<(Rc<OverlapPlan>, bool)> = Vec::with_capacity(chain.len());
-    for (batch, _) in &chain {
+    for p in &chain {
         plans.push(
             replica
                 .cache
-                .get_or_tune(batch.gemm_dims(tp), &pattern, &config.system)?,
+                .get_or_tune(p.batch.gemm_dims(tp), &pattern, &config.system)?,
         );
     }
 
     let chain_len = chain.len() as u64;
     let telemetry = Telemetry::new();
-    let (completions, outcomes, total_ns, spans) = if config.chaos {
+    let (completions, outcomes, total_ns, spans, group_dones) = if config.chaos {
         // Chaos chains have length 1: each batch runs alone through the
         // resilient runtime with its own deterministic fault plan.
-        let (batch, _) = chain.first().expect("chaos chain is non-empty");
+        let batch = &chain.first().expect("chaos chain is non-empty").batch;
         let (plan, _) = plans.first().expect("one plan per batch");
         let faults = FaultPlan::random(
             fault_seed(config.seed, batch.id),
@@ -509,7 +558,13 @@ fn run_chain(
                 .resilient(&faults, &WatchdogConfig::default()),
         )?;
         let exec_ns = run.report.latency.as_nanos();
-        (vec![exec_ns], vec![run.outcome.label()], exec_ns, run.spans)
+        (
+            vec![exec_ns],
+            vec![run.outcome.label()],
+            exec_ns,
+            run.spans,
+            vec![run.report.group_comm_done.clone()],
+        )
     } else {
         let instr = telemetry.instrumentation();
         let plan_refs: Vec<&OverlapPlan> = plans.iter().map(|(p, _)| p.as_ref()).collect();
@@ -524,23 +579,50 @@ fn run_chain(
             .map(|r| r.latency.as_nanos())
             .collect();
         let outcomes = vec!["clean"; chain.len()];
+        let group_dones: Vec<Vec<sim::SimDuration>> = outcome
+            .reports
+            .iter()
+            .map(|r| r.group_comm_done.clone())
+            .collect();
         (
             completions,
             outcomes,
             outcome.total.as_nanos(),
             outcome.spans,
+            group_dones,
         )
     };
-    acct.absorb_signals(&telemetry, &spans);
+    let record = telemetry.take_record();
+    acct.absorb_signals(&record, &spans);
+    // Critical-path attribution of the whole chain; per-batch shares are
+    // clipped out of it below.
+    let attribution = attribute_makespan(&spans, &record, total_ns);
+
+    // Predictor drift: sample only the chain-leading batch (and chaos
+    // batches, which always run alone) — later pipelined batches'
+    // measured completions include comm-stream queueing behind the
+    // previous batch's tail and would bias the comparison.
+    if let (Some(p), Some(measured)) = (plans.first(), group_dones.first()) {
+        if let Some(predicted) = p.0.predicted_group_completions() {
+            let dims = chain
+                .first()
+                .expect("chain is non-empty")
+                .batch
+                .gemm_dims(tp);
+            acct.absorb_drift(dims, &predicted, measured);
+        }
+    }
 
     let mut prev_done = 0u64;
-    for (((batch, routing), (_, cache_hit)), (done_ns, outcome)) in chain
+    for ((pending, (_, cache_hit)), (done_ns, outcome)) in chain
         .iter()
         .zip(&plans)
         .zip(completions.iter().zip(&outcomes))
     {
+        let batch = &pending.batch;
         let end_ns = start_ns.saturating_add(*done_ns);
         let disposition = Disposition::from_outcome_label(outcome);
+        let queue_wait = start_ns.saturating_sub(pending.close_ns);
         for r in &batch.requests {
             acct.records.push(RequestRecord {
                 id: r.id,
@@ -550,6 +632,8 @@ fn run_chain(
                 disposition,
                 batch: Some(batch.id),
                 latency_ns: Some(end_ns - r.arrival_ns),
+                form_wait_ns: Some(pending.close_ns.saturating_sub(r.arrival_ns)),
+                queue_wait_ns: Some(queue_wait),
             });
         }
         acct.batch_records.push(BatchRecord {
@@ -563,8 +647,11 @@ fn run_chain(
             cache_hit: *cache_hit,
             outcome,
             replica: replica_idx,
-            routing,
+            routing: pending.routing,
             chain_len,
+            close_ns: pending.close_ns,
+            queue_wait_ns: queue_wait,
+            attribution: Some(attribution.clip_window(prev_done, *done_ns)),
         });
         replica.batches += 1;
         replica.requests += batch.requests.len() as u64;
@@ -573,7 +660,76 @@ fn run_chain(
     }
     replica.busy_ns += total_ns;
     replica.chains += 1;
+    replica
+        .chain_log
+        .push((start_ns, total_ns, attribution.totals));
     Ok(start_ns.saturating_add(total_ns))
+}
+
+/// Serve-level critical-path attribution: the bottleneck replica's
+/// timeline (its last chain ends at the makespan) is its executed
+/// chains plus the gaps between them. Chain windows carry their own
+/// attribution; a gap is charged [`Category::QueueWait`] where requests
+/// were in the system still forming batches (the union of per-request
+/// `[arrival, arrival + form_wait]` intervals) and [`Category::Idle`]
+/// where the system was truly empty. Totals sum to `makespan_ns`.
+fn serve_attribution(
+    makespan_ns: u64,
+    replicas: &[Replica],
+    records: &[RequestRecord],
+) -> AttributionTotals {
+    let mut totals = AttributionTotals::default();
+    // Bottleneck replica: max free_ns, ties to the lowest id.
+    let Some(bottleneck) = replicas
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, r)| (r.free_ns, usize::MAX - i))
+        .map(|(_, r)| r)
+    else {
+        totals.add(Category::Idle, makespan_ns);
+        return totals;
+    };
+
+    // Merged union of batch-forming intervals across all requests.
+    let mut forming: Vec<(u64, u64)> = records
+        .iter()
+        .filter_map(|r| r.form_wait_ns.map(|w| (r.arrival_ns, r.arrival_ns + w)))
+        .filter(|(lo, hi)| hi > lo)
+        .collect();
+    forming.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::new();
+    for (lo, hi) in forming {
+        match merged.last_mut() {
+            Some((_, last_hi)) if lo <= *last_hi => *last_hi = (*last_hi).max(hi),
+            _ => merged.push((lo, hi)),
+        }
+    }
+    let charge_gap = |totals: &mut AttributionTotals, lo: u64, hi: u64| {
+        if hi <= lo {
+            return;
+        }
+        let mut queue_wait = 0u64;
+        for &(ilo, ihi) in &merged {
+            let o_lo = ilo.max(lo);
+            let o_hi = ihi.min(hi);
+            if o_hi > o_lo {
+                queue_wait += o_hi - o_lo;
+            }
+        }
+        totals.add(Category::QueueWait, queue_wait);
+        totals.add(Category::Idle, (hi - lo) - queue_wait);
+    };
+
+    let mut chains = bottleneck.chain_log.clone();
+    chains.sort_unstable_by_key(|&(start, _, _)| start);
+    let mut cursor = 0u64;
+    for (start, total, chain_totals) in &chains {
+        charge_gap(&mut totals, cursor, *start);
+        totals.merge(chain_totals);
+        cursor = start + total;
+    }
+    charge_gap(&mut totals, cursor, makespan_ns);
+    totals
 }
 
 fn build_report(
@@ -590,7 +746,23 @@ fn build_report(
         batch_records,
         signal_weighted_sum,
         signal_samples,
+        drift,
     } = acct;
+    let attribution = serve_attribution(makespan_ns, replicas, &records);
+    let form_waits: Vec<u64> = records.iter().filter_map(|r| r.form_wait_ns).collect();
+    let queue_waits: Vec<u64> = records.iter().filter_map(|r| r.queue_wait_ns).collect();
+    let drift_rows: Vec<DriftRow> = drift
+        .into_iter()
+        .map(|((m, n, k, group), (samples, pred, meas))| DriftRow {
+            m,
+            n,
+            k,
+            group,
+            samples,
+            mean_predicted_ns: pred / samples as f64,
+            mean_measured_ns: meas / samples as f64,
+        })
+        .collect();
     let offered = records.len() as u64;
     let shed = records
         .iter()
@@ -698,6 +870,10 @@ fn build_report(
             0.0
         },
         signal_samples,
+        form_wait: percentiles(&form_waits),
+        queue_wait: percentiles(&queue_waits),
+        attribution,
+        drift: drift_rows,
         records,
         batch_records,
     }

@@ -64,6 +64,83 @@ fn every_request_is_accounted_and_the_cache_warms() {
 }
 
 #[test]
+fn attribution_waits_and_drift_are_internally_consistent() {
+    let cfg = config(11, 90);
+    let report = serve(&cfg).expect("serve run");
+
+    // Serve-level critical path tiles the makespan exactly.
+    assert_eq!(
+        report.attribution.sum(),
+        report.makespan_ns,
+        "attribution identity must hold: {:?} vs makespan {}",
+        report.attribution,
+        report.makespan_ns
+    );
+
+    // Per-batch clips sum to the batch's execution window, and close ≤
+    // dispatch for every batch.
+    for b in &report.batch_records {
+        let attr = b.attribution.as_ref().expect("executed batch attribution");
+        assert_eq!(
+            attr.sum(),
+            b.exec_ns,
+            "batch {} attribution must tile its exec window",
+            b.id
+        );
+        assert!(
+            b.close_ns <= b.start_ns,
+            "batch {} closed after it started",
+            b.id
+        );
+        assert!(
+            b.queue_wait_ns <= b.start_ns - b.close_ns,
+            "batch {}: queue wait {} exceeds close→start span",
+            b.id,
+            b.queue_wait_ns
+        );
+    }
+
+    // Wait decomposition: form + queue ≤ total latency for every
+    // completed request, and shed requests carry no waits.
+    for r in &report.records {
+        match r.disposition {
+            Disposition::Shed => {
+                assert!(r.form_wait_ns.is_none() && r.queue_wait_ns.is_none());
+            }
+            _ => {
+                let form = r.form_wait_ns.expect("completed request form wait");
+                let queue = r.queue_wait_ns.expect("completed request queue wait");
+                let latency = r.latency_ns.expect("completed request latency");
+                assert!(
+                    form + queue <= latency,
+                    "request {}: form {} + queue {} > latency {}",
+                    r.id,
+                    form,
+                    queue,
+                    latency
+                );
+            }
+        }
+    }
+    assert!(report.form_wait.is_some() && report.queue_wait.is_some());
+
+    // Drift rows exist (plans predict group completions) and are
+    // finite, ordered, and backed by samples.
+    assert!(!report.drift.is_empty(), "expected drift rows");
+    let mut prev_key = None;
+    for d in &report.drift {
+        assert!(d.samples > 0);
+        assert!(d.mean_predicted_ns.is_finite() && d.mean_measured_ns.is_finite());
+        assert!(d.drift().is_finite());
+        let key = (d.m, d.n, d.k, d.group);
+        if let Some(p) = prev_key {
+            assert!(key > p, "drift rows must be strictly ordered");
+        }
+        prev_key = Some(key);
+    }
+}
+
+#[test]
 fn bursty_overload_sheds_and_still_accounts_everyone() {
     let mut cfg = config(13, 150);
     cfg.process = ArrivalProcess::Bursty {

@@ -24,12 +24,16 @@
 
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
 pub mod profile;
 pub mod record;
 
+pub use attribution::{
+    attribute, attribute_makespan, Attribution, AttributionTotals, Category, Segment,
+};
 pub use metrics::{
     link_stats, occupancy_stats, overlap_efficiency, percentile, percentiles, signal_summary,
     stream_stats, LinkStats, OccupancyStats, Percentiles, SignalSample, SignalSummary, StreamStats,

@@ -489,6 +489,49 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_of_all_equal_samples_collapse() {
+        // A constant population has a flat distribution: every
+        // percentile, including the extremes, is that constant.
+        let samples = [7u64; 16];
+        let p = percentiles(&samples).unwrap();
+        assert_eq!((p.p50, p.p95, p.p99), (7, 7, 7));
+        assert_eq!(percentile(&samples, 0.0), Some(7));
+        assert_eq!(percentile(&samples, 1.0), Some(7));
+    }
+
+    #[test]
+    fn percentile_nearest_rank_at_quantile_boundaries() {
+        // Four samples: the rank boundary sits exactly on a sample at
+        // q = k/4. Nearest-rank must pick that sample at the boundary
+        // and step to the next one just past it (no interpolation
+        // between samples).
+        let sorted = [10u64, 20, 30, 40];
+        assert_eq!(percentile(&sorted, 0.25), Some(10));
+        assert_eq!(percentile(&sorted, 0.25 + 1e-9), Some(20));
+        assert_eq!(percentile(&sorted, 0.50), Some(20));
+        assert_eq!(percentile(&sorted, 0.50 + 1e-9), Some(30));
+        assert_eq!(percentile(&sorted, 0.75), Some(30));
+        assert_eq!(percentile(&sorted, 0.75 + 1e-9), Some(40));
+        // An infinitesimal q still lands on the first sample, and the
+        // top boundary stays clamped to the last.
+        assert_eq!(percentile(&sorted, 1e-12), Some(10));
+        assert_eq!(percentile(&sorted, 1.0 - 1e-12), Some(40));
+    }
+
+    #[test]
+    fn efficiency_degenerate_measurements_stay_in_bounds() {
+        // Zero-duration measurements clamp to a perfect 1.0 (callers
+        // that know the span data is degenerate withhold the value; see
+        // `profile::MethodMetrics::degenerate`), and a zero-room bound
+        // is undefined.
+        let z = SimDuration::ZERO;
+        let base = SimDuration::from_micros(10);
+        let theory = SimDuration::from_micros(4);
+        assert_eq!(overlap_efficiency(z, base, theory), Some(1.0));
+        assert_eq!(overlap_efficiency(z, z, z), None);
+    }
+
+    #[test]
     fn link_stats_union_overlapping_intervals() {
         let mut record = TelemetryRecord::default();
         for (start, end, bytes) in [(0u64, 100u64, 100u64), (50, 150, 100), (300, 400, 50)] {

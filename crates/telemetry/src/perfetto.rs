@@ -19,6 +19,7 @@
 use gpu_sim::{OpSpan, RuntimeEventKind, SpanMeta};
 use sim::SimTime;
 
+use crate::attribution::Attribution;
 use crate::json::Value;
 use crate::record::TelemetryRecord;
 
@@ -113,6 +114,67 @@ pub fn trace(spans: &[OpSpan], record: Option<&TelemetryRecord>) -> Value {
 /// Serializes the trace document compactly.
 pub fn trace_string(spans: &[OpSpan], record: Option<&TelemetryRecord>) -> String {
     trace(spans, record).to_json()
+}
+
+/// Builds the trace document with a highlighted **critical path** track
+/// appended: a synthetic process (one pid past the last device) whose
+/// single thread carries one `ph: "X"` slice per attribution segment,
+/// named by category, so the exclusive latency breakdown reads directly
+/// off the timeline above the per-stream rows it was derived from.
+pub fn trace_with_attribution(
+    spans: &[OpSpan],
+    record: Option<&TelemetryRecord>,
+    attribution: &Attribution,
+) -> Value {
+    let doc = trace(spans, record);
+    let pid = spans.iter().map(|s| s.device + 1).max().unwrap_or(1);
+    let mut extra: Vec<Value> = Vec::new();
+    let mut name_proc = event("M", "process_name", pid, 0, 0.0);
+    name_proc.push((
+        "args",
+        Value::obj(vec![("name", Value::str("critical path"))]),
+    ));
+    extra.push(Value::obj(name_proc));
+    let mut name_thread = event("M", "thread_name", pid, 0, 0.0);
+    name_thread.push((
+        "args",
+        Value::obj(vec![("name", Value::str("attribution"))]),
+    ));
+    extra.push(Value::obj(name_thread));
+    for seg in &attribution.segments {
+        let mut e = event("X", seg.category.label(), pid, 0, seg.start_ns as f64 / 1e3);
+        e.push(("dur", Value::num(seg.len_ns() as f64 / 1e3)));
+        e.push(("cat", Value::str("critical-path")));
+        e.push((
+            "args",
+            Value::obj(vec![
+                ("op", Value::str(seg.op)),
+                (
+                    "device",
+                    seg.device.map_or(Value::Null, |d| Value::num(d as f64)),
+                ),
+                (
+                    "stream",
+                    seg.stream.map_or(Value::Null, |s| Value::num(s as f64)),
+                ),
+            ]),
+        ));
+        extra.push(Value::obj(e));
+    }
+    // Splice the extra events into the document's event array.
+    match doc {
+        Value::Obj(mut pairs) => {
+            for (k, v) in &mut pairs {
+                if k == "traceEvents" {
+                    if let Value::Arr(events) = v {
+                        events.append(&mut extra);
+                    }
+                }
+            }
+            Value::Obj(pairs)
+        }
+        other => other,
+    }
 }
 
 /// One flow arrow per released signal wait: from the counting-table
@@ -404,6 +466,43 @@ mod tests {
                 && e.get("ts").unwrap().as_f64().unwrap() + e.get("dur").unwrap().as_f64().unwrap()
                     >= ts
         }));
+    }
+
+    #[test]
+    fn attribution_track_rides_above_device_rows() {
+        let spans = sample_spans();
+        let record = sample_record();
+        let attribution = crate::attribution::attribute(&spans, &record);
+        let doc = trace_with_attribution(&spans, Some(&record), &attribution);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // The synthetic process sits past the last device and is named.
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(Value::as_str) == Some("M")
+                && e.get("pid").and_then(Value::as_f64) == Some(1.0)
+                && e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                    == Some("critical path")
+        }));
+        // One slice per segment, named by category, tiling the makespan.
+        let slices: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("X")
+                    && e.get("cat").and_then(Value::as_str) == Some("critical-path")
+            })
+            .collect();
+        assert_eq!(slices.len(), attribution.segments.len());
+        let total_us: f64 = slices
+            .iter()
+            .map(|e| e.get("dur").and_then(Value::as_f64).unwrap())
+            .sum();
+        assert!((total_us - attribution.makespan_ns as f64 / 1e3).abs() < 1e-9);
+        // The fixture has no wait span, so the path is the collective
+        // plus the leading idle gap.
+        assert!(slices
+            .iter()
+            .any(|e| e.get("name").and_then(Value::as_str) == Some("collective-transfer")));
     }
 
     #[test]

@@ -158,8 +158,12 @@ pub struct MethodMetrics {
     /// Speedup over the non-overlap reference.
     pub speedup: Option<f64>,
     /// Overlap efficiency in `[0, 1]` (see
-    /// [`crate::metrics::overlap_efficiency`]).
+    /// [`crate::metrics::overlap_efficiency`]). `None` when undefined
+    /// *or* when the run is degenerate.
     pub overlap_efficiency: Option<f64>,
+    /// The measured run was degenerate (zero-duration span data), so
+    /// speedup/efficiency ratios would be meaningless and are withheld.
+    pub degenerate: bool,
     /// Why the method failed, when applicable but infeasible.
     pub error: Option<String>,
 }
@@ -197,16 +201,18 @@ fn build_report(
         .iter()
         .map(|run| {
             let latency_us = run.latency.map(|l| l.as_nanos() as f64 / 1e3);
+            // A zero-duration measurement (degenerate span data) would
+            // divide to an infinite speedup and clamp to a perfect
+            // efficiency; flag it and withhold both ratios instead.
+            let degenerate = run.latency.is_some_and(|l| l.is_zero());
+            let sound = run.latency.filter(|l| !l.is_zero());
             MethodMetrics {
                 name: run.method.to_string(),
                 applicable: run.applicable,
                 latency_us,
-                speedup: run
-                    .latency
-                    .map(|l| base.as_nanos() as f64 / l.as_nanos() as f64),
-                overlap_efficiency: run
-                    .latency
-                    .and_then(|l| overlap_efficiency(l, base, theory)),
+                speedup: sound.map(|l| base.as_nanos() as f64 / l.as_nanos() as f64),
+                overlap_efficiency: sound.and_then(|l| overlap_efficiency(l, base, theory)),
+                degenerate,
                 error: run.error.clone(),
             }
         })
@@ -282,6 +288,7 @@ impl MetricsReport {
                                 ("latency_us", opt_num(m.latency_us)),
                                 ("speedup", opt_num(m.speedup)),
                                 ("overlap_efficiency", opt_num(m.overlap_efficiency)),
+                                ("degenerate", Value::Bool(m.degenerate)),
                                 ("error", m.error.as_ref().map_or(Value::Null, Value::str)),
                             ])
                         })
@@ -291,11 +298,20 @@ impl MetricsReport {
             (
                 "signal_latency",
                 self.signal_latency.as_ref().map_or(Value::Null, |s| {
+                    let totals: Vec<u64> = s.samples.iter().map(|g| g.total_ns).collect();
+                    let pct = crate::metrics::percentiles(&totals);
+                    let pnum = |f: fn(&crate::metrics::Percentiles) -> u64| {
+                        pct.as_ref()
+                            .map_or(Value::Null, |p| Value::num(f(p) as f64))
+                    };
                     Value::obj(vec![
                         ("samples", Value::num(s.samples.len() as f64)),
                         ("mean_total_ns", Value::num(s.mean_total_ns)),
                         ("min_total_ns", Value::num(s.min_total_ns as f64)),
                         ("max_total_ns", Value::num(s.max_total_ns as f64)),
+                        ("p50_total_ns", pnum(|p| p.p50)),
+                        ("p95_total_ns", pnum(|p| p.p95)),
+                        ("p99_total_ns", pnum(|p| p.p99)),
                         (
                             "mean_release_to_collective_ns",
                             Value::num(s.mean_release_to_collective_ns),
@@ -411,6 +427,16 @@ impl MetricsReport {
                 out.push_str(&format!("{:<22} failed: {err}\n", m.name));
                 continue;
             }
+            if m.degenerate {
+                out.push_str(&format!(
+                    "{:<22} {:>12.1} {:>9} {:>12}\n",
+                    m.name,
+                    m.latency_us.unwrap_or(f64::NAN),
+                    "-",
+                    "degenerate",
+                ));
+                continue;
+            }
             out.push_str(&format!(
                 "{:<22} {:>12.1} {:>8.2}x {:>12}\n",
                 m.name,
@@ -421,6 +447,8 @@ impl MetricsReport {
             ));
         }
         if let Some(s) = &self.signal_latency {
+            let totals: Vec<u64> = s.samples.iter().map(|g| g.total_ns).collect();
+            let pct = crate::metrics::percentiles(&totals);
             out.push_str(&format!(
                 "\nsignal latency ({} samples): mean {:.2} us, min {:.2} us, max {:.2} us\n",
                 s.samples.len(),
@@ -428,6 +456,14 @@ impl MetricsReport {
                 s.min_total_ns as f64 / 1e3,
                 s.max_total_ns as f64 / 1e3,
             ));
+            if let Some(p) = pct {
+                out.push_str(&format!(
+                    "signal latency tail: p50 {:.2} us, p95 {:.2} us, p99 {:.2} us\n",
+                    p.p50 as f64 / 1e3,
+                    p.p95 as f64 / 1e3,
+                    p.p99 as f64 / 1e3,
+                ));
+            }
         }
         for l in &self.links {
             out.push_str(&format!(
