@@ -162,6 +162,50 @@ print(f"multi-replica smoke: ok ({scaling['goodput_scaling']:.2f}x goodput, "
       f"vs rr {rr['plan_cache']['hit_rate']:.2f})")
 EOF
 
+echo "== chaos-sequence gate (wedged replica: quarantine + re-route, no abort) =="
+# A deterministically wedged replica must not abort the run: serve exits
+# zero, quarantines the replica, re-routes its queue, and two seeded
+# runs byte-compare. Arrivals are fast enough that the wedged replica's
+# queue holds batches worth re-routing at quarantine time.
+timeout 300 cargo run -q -p flashoverlap-cli --bin flashoverlap -- serve \
+  --chaos --replicas 4 --wedge-replica 2 --rate 12000 --requests 200 --seed 7 \
+  --metrics-out "$tmp/wedge.json" > /dev/null \
+  || { echo "chaos-sequence gate: wedged replica aborted the run"; exit 1; }
+timeout 300 cargo run -q -p flashoverlap-cli --bin flashoverlap -- serve \
+  --chaos --replicas 4 --wedge-replica 2 --rate 12000 --requests 200 --seed 7 \
+  --metrics-out "$tmp/wedge2.json" > /dev/null
+cmp "$tmp/wedge.json" "$tmp/wedge2.json" \
+  || { echo "chaos-sequence gate: same seed wrote different reports"; exit 1; }
+python3 - "$tmp/wedge.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    wedge = json.load(f)
+assert wedge["chaos"] is True and wedge["wedge_replica"] == 2, wedge
+reqs = wedge["requests"]
+assert reqs["completed"] + reqs["shed"] == wedge["offered"], reqs
+assert reqs["clean"] + reqs["recovered"] + reqs["degraded"] == reqs["completed"], reqs
+res = wedge["resilience"]
+per = wedge["per_replica"]
+assert per[2]["quarantined"] is True, "the wedged replica must end quarantined"
+assert res["replicas_quarantined"] >= 1, res
+assert res["replicas_quarantined"] < wedge["replicas"], \
+    "the last healthy replica must never be pulled from service"
+assert res["replicas_quarantined"] == sum(r["quarantined"] for r in per), res
+assert res["batches_rerouted"] > 0, "quarantine must re-route the stranded queue"
+rerouted = [b for b in wedge["per_batch"] if b["routing"] == "re-routed"]
+assert rerouted, "re-routed batches must be stamped in the batch records"
+assert len(rerouted) <= res["batches_rerouted"], "records cannot exceed hops"
+assert all(b["replica"] != 2 for b in rerouted), \
+    "a re-routed batch landed back on the wedged replica"
+assert sum(r["batches"] for r in per) == wedge["batches"]["executed"], \
+    "per-replica batches must still sum to the total under quarantine"
+assert sum(r["requests"] for r in per) == reqs["completed"], \
+    "per-replica requests must still sum to completed under quarantine"
+print(f"chaos-sequence gate: ok ({res['replicas_quarantined']} quarantined, "
+      f"{res['batches_rerouted']} re-route hops, {res['quarantine_shed']} shed, "
+      f"{reqs['recovered']} recovered, {reqs['degraded']} degraded)")
+EOF
+
 echo "== analyze gate (critical-path attribution, tuned vs per-wave signaling) =="
 cargo run -q -p flashoverlap-cli --bin flashoverlap -- analyze \
   -m 2048 -n 4096 -k 4096 --gpus 2 --platform a800 \

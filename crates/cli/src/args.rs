@@ -135,6 +135,10 @@ pub struct Cli {
     pub baseline: bool,
     /// Number of independent TP replica groups (`serve`).
     pub replicas: usize,
+    /// Force this replica's first chaos chain to wedge so the
+    /// quarantine → re-route path is reproducible (`serve`; requires
+    /// `--chaos`).
+    pub wedge_replica: Option<usize>,
     /// Routing policy assigning closed batches to replicas (`serve`).
     pub router: RouterPolicy,
     /// Disable cross-batch pipelining: full barrier between chained
@@ -193,6 +197,10 @@ options:
                           untuned non-overlap plans and report speedups
   --replicas <int>        serve: independent TP replica groups, each with
                           its own cluster and plan cache (default: 1)
+  --wedge-replica <int>   serve: force this replica's first chaos chain to
+                          wedge unrecoverably; the replica is quarantined
+                          and its queued batches re-route deterministically
+                          (requires --chaos)
   --router <name>         serve: round-robin | least-loaded |
                           shape-affinity (default: round-robin)
   --no-pipeline           serve: full barrier between a replica's chained
@@ -328,6 +336,7 @@ impl Cli {
         let mut serve_chaos = false;
         let mut baseline = false;
         let mut replicas = 1usize;
+        let mut wedge_replica = None;
         let mut router = RouterPolicy::RoundRobin;
         let mut no_pipeline = false;
         let mut scaling = false;
@@ -441,6 +450,9 @@ impl Cli {
                         return Err(CliError::usage("--replicas must be at least 1"));
                     }
                 }
+                "--wedge-replica" => {
+                    wedge_replica = Some(parse_u32("--wedge-replica", it.next())? as usize);
+                }
                 "--router" => {
                     let v = it
                         .next()
@@ -519,6 +531,7 @@ impl Cli {
             serve_chaos,
             baseline,
             replicas,
+            wedge_replica,
             router,
             no_pipeline,
             scaling,
@@ -721,6 +734,9 @@ mod tests {
         assert_eq!(cli.plan_cache_in.as_deref(), Some("warm.json"));
         let cli = Cli::parse(&argv("serve --router least-loaded")).unwrap();
         assert_eq!(cli.router, RouterPolicy::LeastLoaded);
+        let cli = Cli::parse(&argv("serve --chaos --replicas 4 --wedge-replica 2")).unwrap();
+        assert_eq!(cli.wedge_replica, Some(2));
+        assert_eq!(Cli::parse(&argv("serve")).unwrap().wedge_replica, None);
         assert!(
             Cli::parse(&argv("serve --replicas 0"))
                 .unwrap_err()

@@ -191,6 +191,7 @@ fn serve_config(cli: &Cli) -> Result<serving::ServeConfig, CliError> {
     config.slo_ns = (cli.slo_ms * 1e6).round() as u64;
     config.chaos = cli.serve_chaos;
     config.replicas = cli.replicas;
+    config.wedge_replica = cli.wedge_replica;
     config.router = cli.router;
     config.pipelined = !cli.no_pipeline;
     config.process = match cli.arrival {

@@ -3,6 +3,32 @@
 use std::error::Error;
 use std::fmt;
 
+/// Where in a pipelined/sequenced chain a starved wait sits: the chain
+/// segment (layer or batch index), the counting-table parity the segment
+/// inherited under double-buffered table reuse, and the table id itself.
+/// A wedge that names its chain position names the rearm edge it starved
+/// — which prior segment's comm-done the reset was waiting behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainPosition {
+    /// Chain segment (layer or batch index) whose wait starved.
+    pub segment: usize,
+    /// Table parity the segment inherited (`segment % 2` under
+    /// double-buffering).
+    pub parity: usize,
+    /// The inherited counting-table id the starved wait watches.
+    pub table: usize,
+}
+
+impl fmt::Display for ChainPosition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chain segment {} (parity {}, inherited table {})",
+            self.segment, self.parity, self.table
+        )
+    }
+}
+
 /// Errors surfaced by plan construction, tuning, and execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FlashOverlapError {
@@ -34,6 +60,9 @@ pub enum FlashOverlapError {
         streams: Vec<String>,
         /// Every starved signal wait, with its counter context.
         waits: Vec<gpu_sim::StuckWait>,
+        /// Chain positions of the starved waits (one per wait that maps
+        /// to a chain segment; empty for single-shot execution).
+        chain: Vec<ChainPosition>,
     },
     /// Functional inputs are inconsistent with the plan (wrong matrix
     /// shapes, wrong rank count, missing routing).
@@ -57,10 +86,17 @@ impl fmt::Display for FlashOverlapError {
                 write!(f, "incompatible shape: {reason}")
             }
             FlashOverlapError::Simulation(msg) => write!(f, "simulation failed: {msg}"),
-            FlashOverlapError::Deadlock { streams, waits } => {
+            FlashOverlapError::Deadlock {
+                streams,
+                waits,
+                chain,
+            } => {
                 write!(f, "deadlock: streams never drained — {}", streams.join("; "))?;
                 for wait in waits {
                     write!(f, "; {wait}")?;
+                }
+                for pos in chain {
+                    write!(f, "; {pos}")?;
                 }
                 Ok(())
             }
@@ -108,11 +144,36 @@ mod tests {
                 count: 5,
                 threshold: 8,
             }],
+            chain: Vec::new(),
         };
         let text = e.to_string();
         assert!(text.contains("rank 1"), "{text}");
         assert!(text.contains("group 3"), "{text}");
         assert!(text.contains("count 5 < threshold 8"), "{text}");
+    }
+
+    #[test]
+    fn deadlock_names_the_chain_position() {
+        let e = FlashOverlapError::Deadlock {
+            streams: vec!["device 0 stream 1: 0 in flight, 1 queued (wait-counter)".into()],
+            waits: vec![gpu_sim::StuckWait {
+                device: 0,
+                stream: 1,
+                table: 4,
+                group: 0,
+                count: 1,
+                threshold: 6,
+            }],
+            chain: vec![ChainPosition {
+                segment: 3,
+                parity: 1,
+                table: 4,
+            }],
+        };
+        let text = e.to_string();
+        assert!(text.contains("chain segment 3"), "{text}");
+        assert!(text.contains("parity 1"), "{text}");
+        assert!(text.contains("inherited table 4"), "{text}");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+mod chain;
 pub mod error;
 pub mod mapping;
 pub mod notation;
@@ -44,7 +45,7 @@ pub mod tuner;
 pub mod verify;
 pub mod writers;
 
-pub use error::FlashOverlapError;
+pub use error::{ChainPosition, FlashOverlapError};
 pub use partition::WavePartition;
 pub use pipeline::{LayerSpec, Pipeline, PipelineExecOptions, PipelineExecOutcome, PipelineReport};
 pub use predictor::{LatencyPredictor, OfflineProfile};

@@ -9,13 +9,21 @@
 //! compose exactly as they would on a device, and in functional mode
 //! real activations flow layer to layer.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use gpu_sim::elementwise::ElementwiseOp;
 use gpu_sim::gemm::GemmDims;
-use gpu_sim::ClusterSim;
+use gpu_sim::{ClusterSim, RuntimeEvent};
 use sim::{Sim, SimDuration};
 use tensor::Matrix;
 
+use crate::chain::{
+    arm_cluster_faults, check_quiescent_chain, drive_chain, enqueue_segment_faults,
+    validate_chain_faults, ChainSegment, EventLog,
+};
 use crate::error::FlashOverlapError;
+use crate::resilience::{FaultPlan, ResilientOutcome, WatchdogConfig};
 use crate::runtime::{CommPattern, FunctionalInputs, OverlapPlan, RunReport, StreamCtx};
 use crate::system::SystemSpec;
 use crate::tuner::predictive_search;
@@ -93,6 +101,7 @@ pub struct PipelineExecOptions<'a> {
     instrument: Option<&'a crate::runtime::Instrumentation>,
     mutate_layer: usize,
     functional: Option<(&'a [Matrix], &'a [Vec<Matrix>])>,
+    resilient: Option<(&'a [FaultPlan], &'a WatchdogConfig)>,
 }
 
 impl<'a> PipelineExecOptions<'a> {
@@ -125,6 +134,20 @@ impl<'a> PipelineExecOptions<'a> {
         self.functional = Some((first_a, weights));
         self
     }
+
+    /// Runs the pipeline under the chain watchdog with deterministic
+    /// fault injection: `faults[l]` arms at layer `l`'s position in the
+    /// stream order (the table-quarantine rule disarms whatever budget
+    /// the previous same-parity layer left on the inherited table), and
+    /// a wedge at layer `k` is broken by the escalation ladder without
+    /// poisoning the double-buffered tables layer `k + 1` inherits. One
+    /// [`ResilientOutcome`] per layer lands in
+    /// [`PipelineExecOutcome::outcomes`]. Incompatible with
+    /// probe/mutation instrumentation.
+    pub fn resilient(mut self, faults: &'a [FaultPlan], watchdog: &'a WatchdogConfig) -> Self {
+        self.resilient = Some((faults, watchdog));
+        self
+    }
 }
 
 /// Unified results of [`Pipeline::execute_with`].
@@ -135,6 +158,15 @@ pub struct PipelineExecOutcome {
     /// Per-rank logical outputs of the final layer (functional mode
     /// only).
     pub outputs: Option<Vec<Matrix>>,
+    /// Per-layer termination outcome. All `Clean` on non-resilient runs;
+    /// under [`PipelineExecOptions::resilient`], layer `k` wedging ends
+    /// it `Recovered`/`Degraded` while later layers report how they rode
+    /// out the recovery.
+    pub outcomes: Vec<ResilientOutcome>,
+    /// Fault/recovery timeline of a resilient run (empty otherwise).
+    pub events: Vec<RuntimeEvent>,
+    /// Total faults armed across all layers of a resilient run.
+    pub faults_armed: usize,
 }
 
 impl Pipeline {
@@ -149,19 +181,62 @@ impl Pipeline {
     /// `layer l+1` on every rank), and propagates plan-construction
     /// errors.
     pub fn tuned(system: SystemSpec, layers: Vec<LayerSpec>) -> Result<Self, FlashOverlapError> {
-        if layers.is_empty() {
+        let mut plans = Vec::with_capacity(layers.len());
+        let mut epilogues = Vec::with_capacity(layers.len());
+        for layer in layers {
+            let outcome = predictive_search(layer.dims, layer.pattern.primitive(), &system);
+            plans.push(OverlapPlan::new(
+                layer.dims,
+                layer.pattern,
+                system.clone(),
+                outcome.partition,
+            )?);
+            epilogues.push(layer.epilogue);
+        }
+        Pipeline::with_plans(system, plans, epilogues)
+    }
+
+    /// Builds a pipeline from pre-tuned plans — one per layer, with
+    /// `epilogues[l]` the fused epilogue feeding layer `l + 1` — without
+    /// re-running the partition search. Use this to pin explicit wave
+    /// partitions (e.g. a per-wave partition per layer) instead of the
+    /// predictive tuner's choice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashOverlapError::BadInputs`] under the same chaining
+    /// rules as [`Pipeline::tuned`], on a plan/epilogue count mismatch,
+    /// or when a plan targets a different rank count than `system`.
+    pub fn with_plans(
+        system: SystemSpec,
+        plans: Vec<OverlapPlan>,
+        epilogues: Vec<Option<ElementwiseOp>>,
+    ) -> Result<Self, FlashOverlapError> {
+        if plans.is_empty() {
             return Err(FlashOverlapError::BadInputs {
                 reason: "pipeline needs at least one layer".into(),
             });
         }
-        let mut plans = Vec::with_capacity(layers.len());
-        let mut epilogues = Vec::with_capacity(layers.len());
-        for (i, layer) in layers.into_iter().enumerate() {
-            let outcome = predictive_search(layer.dims, layer.pattern.primitive(), &system);
-            let plan =
-                OverlapPlan::new(layer.dims, layer.pattern, system.clone(), outcome.partition)?;
-            if let Some(prev) = plans.last() {
-                let prev_plan: &OverlapPlan = prev;
+        if epilogues.len() != plans.len() {
+            return Err(FlashOverlapError::BadInputs {
+                reason: format!(
+                    "{} epilogue slots for {} layers",
+                    epilogues.len(),
+                    plans.len()
+                ),
+            });
+        }
+        for (i, plan) in plans.iter().enumerate() {
+            if plan.system.n_gpus != system.n_gpus {
+                return Err(FlashOverlapError::BadInputs {
+                    reason: format!(
+                        "layer {i} targets {} ranks but the pipeline runs on {}",
+                        plan.system.n_gpus, system.n_gpus
+                    ),
+                });
+            }
+            if i > 0 {
+                let prev_plan = &plans[i - 1];
                 let (rows, cols) = prev_plan.logical_shape(0);
                 if matches!(prev_plan.pattern(), CommPattern::AllToAll { .. }) {
                     return Err(FlashOverlapError::BadInputs {
@@ -177,17 +252,15 @@ impl Pipeline {
                         ),
                     });
                 }
-                if epilogues.last().is_some_and(Option::is_none) {
+                if epilogues[i - 1].is_none() {
                     return Err(FlashOverlapError::BadInputs {
                         reason: format!("layer {} needs an epilogue to feed layer {i}", i - 1),
                     });
                 }
             }
-            if let Some(op) = &layer.epilogue {
+            if let Some(op) = &epilogues[i] {
                 plan.validate_epilogue(op)?;
             }
-            plans.push(plan);
-            epilogues.push(layer.epilogue);
         }
         Ok(Pipeline {
             system,
@@ -233,6 +306,17 @@ impl Pipeline {
         let n = self.system.n_gpus;
         let default_instr = crate::runtime::Instrumentation::default();
         let instr = options.instrument.unwrap_or(&default_instr);
+        if let Some((faults, _)) = options.resilient {
+            let plan_refs: Vec<&OverlapPlan> = self.plans.iter().collect();
+            validate_chain_faults(&plan_refs, faults)?;
+            if instr.probe.is_some() || instr.mutation.is_some() {
+                return Err(FlashOverlapError::BadInputs {
+                    reason: "resilient pipelines inject faults through FaultPlan, \
+                             not probes or signal mutations"
+                        .into(),
+                });
+            }
+        }
         let inputs: Option<Vec<FunctionalInputs>> = match options.functional {
             Some((first_a, weights)) => {
                 if weights.len() != self.plans.len() {
@@ -278,35 +362,64 @@ impl Pipeline {
         if let Some(probe) = &instr.probe {
             sim.set_probe(std::rc::Rc::clone(probe));
         }
-        let (reports, handles) = self.enqueue_all(
+        // Cluster-level faults (degraded links, stalls, stragglers) exist
+        // before the chain starts, whichever layer's plan armed them.
+        let log: EventLog = Rc::new(RefCell::new(Vec::new()));
+        let faults_armed = match options.resilient {
+            Some((faults, _)) => arm_cluster_faults(&mut world, &sim, faults, &log),
+            None => 0,
+        };
+        let streams = StreamCtx::create(&mut world, n);
+        let segments = self.enqueue_all(
             &mut world,
             &mut sim,
+            &streams,
             inputs.as_deref(),
             instr.mutation.map(|m| (options.mutate_layer, m)),
-        )?;
-        let end = sim.run(&mut world)?;
+            options.resilient.map(|(faults, _)| faults),
+            &log,
+        );
+        let (end, outcomes) = if let Some((_, watchdog)) = options.resilient {
+            let plan_refs: Vec<&OverlapPlan> = self.plans.iter().collect();
+            let run = drive_chain(
+                &mut world, &mut sim, &plan_refs, &segments, &streams, watchdog, &log,
+            )?;
+            (run.end, run.outcomes)
+        } else {
+            let end = sim.run(&mut world)?;
+            let instrumented =
+                instr.monitor.is_some() || instr.probe.is_some() || instr.mutation.is_some();
+            if !instrumented {
+                check_quiescent_chain(&world, &segments)?;
+            }
+            (end, vec![ResilientOutcome::Clean; self.plans.len()])
+        };
+        let last_handles = &segments.last().expect("at least one layer").handles;
         let outputs = inputs.is_some().then(|| {
             let last = self.plans.len() - 1;
             match &self.epilogues[last] {
                 Some(_) => (0..n)
                     .map(|d| {
                         let (rows, cols) = self.plans[last].logical_shape(d);
-                        let buf = handles.epilogue_bufs[d].expect("epilogue requested");
+                        let buf = last_handles.epilogue_bufs[d].expect("epilogue requested");
                         Matrix::from_vec(rows, cols, world.devices[d].mem.snapshot(buf))
                     })
                     .collect(),
-                None => self.plans[last].extract_outputs(&world, &handles),
+                None => self.plans[last].extract_outputs(&world, last_handles),
             }
         });
         Ok(PipelineExecOutcome {
             report: PipelineReport {
                 total: end - sim::SimTime::ZERO,
-                layers: reports
-                    .into_iter()
-                    .map(crate::runtime::Probes::into_report)
+                layers: segments
+                    .iter()
+                    .map(|s| s.handles.probes_snapshot().into_report())
                     .collect(),
             },
             outputs,
+            outcomes,
+            events: Rc::try_unwrap(log).map_or_else(|rc| rc.borrow().clone(), RefCell::into_inner),
+            faults_armed,
         })
     }
 
@@ -361,21 +474,22 @@ impl Pipeline {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn enqueue_all(
         &self,
         world: &mut gpu_sim::Cluster,
         sim: &mut ClusterSim,
+        streams: &StreamCtx,
         inputs: Option<&[FunctionalInputs]>,
         mutation: Option<(usize, crate::runtime::SignalMutation)>,
-    ) -> Result<(Vec<crate::runtime::Probes>, crate::runtime::ProgramHandles), FlashOverlapError>
-    {
+        faults: Option<&[FaultPlan]>,
+        log: &EventLog,
+    ) -> Vec<ChainSegment> {
         use gpu_sim::stream::{enqueue, RecordEvent, ResetCounter, WaitEvent};
 
         let n = self.system.n_gpus;
-        let streams = StreamCtx::create(world, n);
-        let mut probes = Vec::with_capacity(self.plans.len());
+        let mut segments: Vec<ChainSegment> = Vec::with_capacity(self.plans.len());
         let mut prev_outputs: Option<Vec<gpu_sim::memory::BufferId>> = None;
-        let mut last_handles = None;
         // Counting tables are allocated once, sized for the widest layer,
         // and ping-ponged between two sets across layers (steady-state
         // double buffering): layer `l`'s signals must not land in a table
@@ -395,9 +509,11 @@ impl Pipeline {
         let mut last_use: [Option<Vec<gpu_sim::GpuEventId>>; 2] = [None, None];
         for (l, plan) in self.plans.iter().enumerate() {
             let parity = l % 2;
+            let mut ready_events: Option<Vec<gpu_sim::GpuEventId>> = None;
             if let Some(events) = last_use[parity].take() {
                 // Reuse: reset the tables on the compute stream, ordered
                 // after the previous user's comm stream drained its waits.
+                let mut readies = Vec::with_capacity(n);
                 for d in 0..n {
                     enqueue(
                         world,
@@ -421,6 +537,7 @@ impl Pipeline {
                     // before any tile is written. (SimSan flags exactly
                     // this as use-before-signal when the edge is missing.)
                     let ready = world.devices[d].create_event();
+                    readies.push(ready);
                     enqueue(
                         world,
                         sim,
@@ -430,6 +547,15 @@ impl Pipeline {
                     );
                     enqueue(world, sim, d, streams.comm[d], Box::new(WaitEvent(ready)));
                 }
+                ready_events = Some(readies);
+            }
+            if let Some(faults) = faults {
+                // Between the rearm (reset) and the program: the arming
+                // callback quarantines leftover budget on the inherited
+                // table, then arms this layer's own faults.
+                if let Some(fp) = faults.get(l) {
+                    enqueue_segment_faults(world, sim, streams, l, fp, &table_sets[parity], log);
+                }
             }
             let layer_inputs = inputs.map(|i| &i[l]);
             let layer_mutation = mutation.and_then(|(target, m)| (target == l).then_some(m));
@@ -438,7 +564,7 @@ impl Pipeline {
                 sim,
                 layer_inputs,
                 self.epilogues[l].as_ref(),
-                &streams,
+                streams,
                 prev_outputs.as_deref(),
                 layer_mutation,
                 Some(&table_sets[parity]),
@@ -450,16 +576,21 @@ impl Pipeline {
                     ev
                 })
                 .collect();
-            last_use[parity] = Some(events);
+            last_use[parity] = Some(events.clone());
             prev_outputs = self.epilogues[l].as_ref().map(|_| {
                 (0..n)
                     .map(|d| handles.epilogue_bufs[d].expect("epilogue requested"))
                     .collect()
             });
-            probes.push(handles.probes_snapshot());
-            last_handles = Some(handles);
+            segments.push(ChainSegment::new(
+                plan,
+                handles,
+                parity,
+                ready_events,
+                events,
+            ));
         }
-        Ok((probes, last_handles.expect("at least one layer")))
+        segments
     }
 }
 
@@ -614,6 +745,163 @@ mod tests {
         .map(|_| ())
         .unwrap_err();
         assert!(matches!(err, FlashOverlapError::BadInputs { .. }));
+    }
+
+    fn per_wave_plan(dims: GemmDims, system: &SystemSpec) -> OverlapPlan {
+        let config = gpu_sim::gemm::GemmConfig::choose(dims, &system.arch);
+        let waves = config.grid(dims).num_tiles().div_ceil(system.compute_sms());
+        OverlapPlan::new(
+            dims,
+            CommPattern::AllReduce,
+            system.clone(),
+            crate::WavePartition::per_wave(waves),
+        )
+        .unwrap()
+    }
+
+    fn three_layer_resilient_fixture(
+        system: &SystemSpec,
+    ) -> (Pipeline, Vec<Matrix>, Vec<Vec<Matrix>>) {
+        let dims = [
+            GemmDims::new(1024, 128, 64),
+            GemmDims::new(1024, 64, 128),
+            GemmDims::new(1024, 128, 64),
+        ];
+        let plans: Vec<OverlapPlan> = dims.iter().map(|&d| per_wave_plan(d, system)).collect();
+        let pipeline = Pipeline::with_plans(
+            system.clone(),
+            plans,
+            vec![Some(rms_op(128)), Some(rms_op(64)), None],
+        )
+        .unwrap();
+        let mut rng = sim::DetRng::new(17);
+        let first_a: Vec<Matrix> = (0..2).map(|_| Matrix::random(1024, 64, &mut rng)).collect();
+        let weights: Vec<Vec<Matrix>> = dims
+            .iter()
+            .map(|d| {
+                (0..2)
+                    .map(|_| Matrix::random(d.k as usize, d.n as usize, &mut rng))
+                    .collect()
+            })
+            .collect();
+        (pipeline, first_a, weights)
+    }
+
+    #[test]
+    fn resilient_fault_free_pipeline_is_clean_and_bit_exact() {
+        use crate::resilience::{FaultPlan, WatchdogConfig};
+        let system = small_system(2);
+        let (pipeline, first_a, weights) = three_layer_resilient_fixture(&system);
+        let faults = vec![FaultPlan::none(); 3];
+        let watchdog = WatchdogConfig::default();
+        let resilient = pipeline
+            .execute_with(
+                &PipelineExecOptions::new()
+                    .functional(&first_a, &weights)
+                    .resilient(&faults, &watchdog),
+            )
+            .unwrap();
+        let plain = pipeline
+            .execute_with(&PipelineExecOptions::new().functional(&first_a, &weights))
+            .unwrap();
+        assert_eq!(resilient.outcomes.len(), 3);
+        assert!(
+            resilient.outcomes.iter().all(|o| o.label() == "clean"),
+            "{:?}",
+            resilient.outcomes
+        );
+        assert_eq!(resilient.faults_armed, 0);
+        assert_eq!(
+            resilient.report.total, plain.report.total,
+            "fault-free watchdog is timing-neutral"
+        );
+        let res_out = resilient.outputs.unwrap();
+        let plain_out = plain.outputs.unwrap();
+        for d in 0..2 {
+            assert_eq!(res_out[d].as_slice(), plain_out[d].as_slice());
+        }
+    }
+
+    #[test]
+    fn wedged_layer_recovers_and_downstream_layers_stay_bit_exact() {
+        use crate::resilience::{Fault, FaultPlan, ResilientOutcome, WatchdogConfig};
+        let system = small_system(2);
+        let (pipeline, first_a, weights) = three_layer_resilient_fixture(&system);
+        // Starve layer 1's last group: its wait wedges mid-pipeline, the
+        // watchdog breaks the wedge via the tail rung (earlier groups
+        // complete), and layer 2 — whose activations flow through the
+        // recovered collective — must still match the fault-free run.
+        let last_group = pipeline.plans()[1].group_tile_counts().len() - 1;
+        assert!(last_group >= 1, "test needs a multi-group wedged layer");
+        let mut faults = vec![FaultPlan::none(); 3];
+        faults[1] = FaultPlan::single(Fault::DroppedIncrement {
+            rank: 0,
+            group: last_group,
+            count: 64,
+        });
+        let watchdog = WatchdogConfig::default();
+        let outcome = pipeline
+            .execute_with(
+                &PipelineExecOptions::new()
+                    .functional(&first_a, &weights)
+                    .resilient(&faults, &watchdog),
+            )
+            .unwrap();
+        assert_eq!(outcome.faults_armed, 1);
+        assert!(
+            matches!(outcome.outcomes[1], ResilientOutcome::Recovered { .. }),
+            "wedged layer must recover: {:?}",
+            outcome.outcomes
+        );
+        for (l, o) in outcome.outcomes.iter().enumerate() {
+            assert_ne!(o.label(), "degraded", "layer {l}: {o:?}");
+        }
+        let fault_free = pipeline
+            .execute_with(&PipelineExecOptions::new().functional(&first_a, &weights))
+            .unwrap();
+        let wedged_out = outcome.outputs.unwrap();
+        let clean_out = fault_free.outputs.unwrap();
+        for d in 0..2 {
+            assert_eq!(
+                wedged_out[d].as_slice(),
+                clean_out[d].as_slice(),
+                "rank {d} diverged after mid-pipeline recovery"
+            );
+        }
+        assert!(outcome
+            .events
+            .iter()
+            .any(|e| e.detail.contains("segment 1 wedge detected")));
+        assert!(outcome
+            .events
+            .iter()
+            .any(|e| e.detail.contains("re-issued as tail collective")));
+    }
+
+    #[test]
+    fn resilient_rejects_mutations_and_mismatched_fault_plans() {
+        use crate::resilience::{FaultPlan, WatchdogConfig};
+        let system = small_system(2);
+        let (pipeline, _, _) = three_layer_resilient_fixture(&system);
+        let watchdog = WatchdogConfig::default();
+        let two = vec![FaultPlan::none(); 2];
+        assert!(matches!(
+            pipeline.execute_with(&PipelineExecOptions::new().resilient(&two, &watchdog)),
+            Err(FlashOverlapError::BadInputs { .. })
+        ));
+        let three = vec![FaultPlan::none(); 3];
+        let instr = crate::runtime::Instrumentation {
+            mutation: Some(crate::runtime::SignalMutation::DropWait { rank: 0, group: 0 }),
+            ..Default::default()
+        };
+        assert!(matches!(
+            pipeline.execute_with(
+                &PipelineExecOptions::new()
+                    .resilient(&three, &watchdog)
+                    .instrument(&instr)
+            ),
+            Err(FlashOverlapError::BadInputs { .. })
+        ));
     }
 
     #[test]

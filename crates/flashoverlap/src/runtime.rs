@@ -484,9 +484,11 @@ impl OverlapPlan {
     ///   [`SignalMutation`] causes is left for the attached probe to
     ///   report at drain time (lost-signal/deadlock findings).
     /// - [`ExecOptions::resilient`] composes with
-    ///   [`ExecOptions::functional`], [`ExecOptions::trace`], and a
-    ///   monitor hook, but rejects epilogues, iteration mode, probes,
-    ///   and mutations (faults are the resilient path's corruption
+    ///   [`ExecOptions::functional`], [`ExecOptions::trace`], a monitor
+    ///   hook, and [`ExecOptions::iterations`] (the fault plan arms at
+    ///   the final, steady-state iteration and the whole chain runs
+    ///   under the chain watchdog), but rejects epilogues, probes, and
+    ///   mutations (faults are the resilient path's corruption
     ///   vocabulary).
     /// - [`ExecOptions::iterations`] is timing-only: it composes with
     ///   instrumentation (the mutation applies to the final iteration)
@@ -544,11 +546,6 @@ impl OverlapPlan {
                 reason: "resilient mode does not support a fused epilogue".into(),
             });
         }
-        if options.iterations.is_some() {
-            return Err(FlashOverlapError::BadInputs {
-                reason: "resilient mode runs a single instance: drop .iterations()".into(),
-            });
-        }
         if options
             .instrument
             .is_some_and(|i| i.probe.is_some() || i.mutation.is_some())
@@ -558,6 +555,9 @@ impl OverlapPlan {
                          use a FaultPlan to corrupt signaling"
                     .into(),
             });
+        }
+        if let Some(iterations) = options.iterations {
+            return self.run_resilient_iterations(options, iterations, faults, watchdog);
         }
         if let Some(inputs) = options.functional {
             self.check_inputs(inputs)?;
@@ -573,6 +573,66 @@ impl OverlapPlan {
             events: resilient.events,
             faults_armed: resilient.faults_armed,
             steady_state: None,
+        })
+    }
+
+    /// Resilient iteration mode: `n` back-to-back instances on one
+    /// stream pair under the chain watchdog. The fault plan arms at the
+    /// final iteration — counting-table reuse has reached steady state
+    /// by then, so an injected wedge exercises the inherited-table
+    /// recovery path rather than a fresh-table special case. The
+    /// reported outcome is the most severe across iterations.
+    fn run_resilient_iterations(
+        &self,
+        options: &ExecOptions,
+        iterations: usize,
+        faults: &FaultPlan,
+        watchdog: &WatchdogConfig,
+    ) -> Result<ExecOutcome, FlashOverlapError> {
+        if options.functional.is_some() || options.trace {
+            return Err(FlashOverlapError::BadInputs {
+                reason: "iteration mode is timing-only: drop .functional()/.trace()".into(),
+            });
+        }
+        let Some(last) = iterations.checked_sub(1) else {
+            return Err(FlashOverlapError::BadInputs {
+                reason: "iteration count must be positive".into(),
+            });
+        };
+        let mut chain_faults = vec![FaultPlan::none(); iterations];
+        chain_faults[last] = faults.clone();
+        let plans = vec![self; iterations];
+        let mut seq_options =
+            crate::sequence::SequenceOptions::new().resilient(&chain_faults, watchdog);
+        if let Some(instr) = options.instrument {
+            seq_options = seq_options.instrument(instr);
+        }
+        let seq = crate::sequence::execute_sequence(&plans, &seq_options)?;
+        let severity = |o: &ResilientOutcome| match o {
+            ResilientOutcome::Clean => 0,
+            ResilientOutcome::Recovered { .. } => 1,
+            ResilientOutcome::Degraded { .. } => 2,
+        };
+        let outcome = seq
+            .outcomes
+            .iter()
+            .max_by_key(|o| severity(o))
+            .cloned()
+            .unwrap_or(ResilientOutcome::Clean);
+        let steady = SimDuration::from_nanos(seq.total.as_nanos() / iterations as u64);
+        Ok(ExecOutcome {
+            report: RunReport {
+                latency: steady,
+                gemm_done: SimDuration::ZERO,
+                group_comm_done: Vec::new(),
+                epilogue_done: None,
+            },
+            spans: Vec::new(),
+            outputs: None,
+            outcome,
+            events: seq.events,
+            faults_armed: seq.faults_armed,
+            steady_state: Some(steady),
         })
     }
 
@@ -1077,11 +1137,13 @@ impl OverlapPlan {
         // stream to drain, then run the element-wise kernel with the
         // remap gathered in.
         let mut epilogue_bufs: Vec<Option<BufferId>> = vec![None; n];
+        let mut epilogue_gates = Vec::new();
         if let Some(op) = epilogue {
             let granularity = self.remap_granularity();
             for d in 0..n {
                 let (rows, cols) = self.logical_shape(d);
                 let comm_done = world.devices[d].create_event();
+                epilogue_gates.push(comm_done);
                 enqueue(
                     world,
                     sim,
@@ -1139,6 +1201,7 @@ impl OverlapPlan {
             packed_bufs,
             recv_bufs,
             epilogue_bufs,
+            epilogue_gates,
             comm,
             tables,
         }
@@ -1178,7 +1241,7 @@ impl OverlapPlan {
         }
     }
 
-    fn group_spec(
+    pub(crate) fn group_spec(
         &self,
         g: usize,
         packed: &[BufferId],
@@ -1851,6 +1914,7 @@ pub(crate) fn check_quiescent(world: &Cluster) -> Result<(), FlashOverlapError> 
         .map_err(|streams| FlashOverlapError::Deadlock {
             waits: world.stuck_waits(),
             streams,
+            chain: Vec::new(),
         })
 }
 
@@ -1878,6 +1942,10 @@ pub(crate) struct ProgramHandles {
     pub(crate) packed_bufs: Vec<BufferId>,
     pub(crate) recv_bufs: Vec<BufferId>,
     pub(crate) epilogue_bufs: Vec<Option<BufferId>>,
+    /// Per-rank comm→compute gate events of the fused epilogue (empty
+    /// when the program has none). Chain recovery re-records them so a
+    /// compute stream parked on a wedged layer's epilogue wakes up.
+    pub(crate) epilogue_gates: Vec<gpu_sim::GpuEventId>,
     /// The communicator the program's collective kernels rendezvous
     /// through — the recovery runtime aborts its pending state, exactly
     /// like `ncclCommAbort` on the real library's communicator handle.
@@ -1897,9 +1965,9 @@ impl ProgramHandles {
 
 #[derive(Clone)]
 pub(crate) struct Probes {
-    gemm_done: Rc<Cell<Option<SimTime>>>,
-    group_done: Rc<RefCell<Vec<Option<SimTime>>>>,
-    epilogue_done: Rc<Cell<Option<SimTime>>>,
+    pub(crate) gemm_done: Rc<Cell<Option<SimTime>>>,
+    pub(crate) group_done: Rc<RefCell<Vec<Option<SimTime>>>>,
+    pub(crate) epilogue_done: Rc<Cell<Option<SimTime>>>,
 }
 
 impl Probes {
@@ -2184,6 +2252,62 @@ mod tests {
         {
             assert!(allclose(out, &expected, 1e-2), "rank {d} output mismatch");
         }
+    }
+
+    #[test]
+    fn resilient_iterations_run_the_chain_watchdog() {
+        let plan = all_reduce_plan(GemmDims::new(256, 256, 64), 2);
+        // Fault-free: the chain watchdog is timing-neutral, so the
+        // steady-state average matches plain iteration mode exactly.
+        let plain = plan
+            .execute_with(&ExecOptions::new().iterations(4))
+            .unwrap();
+        let clean = plan
+            .execute_with(&ExecOptions::new().iterations(4).resilient(
+                &crate::resilience::FaultPlan::none(),
+                &WatchdogConfig::default(),
+            ))
+            .unwrap();
+        assert!(clean.outcome.is_clean(), "{:?}", clean.outcome);
+        assert_eq!(clean.steady_state, plain.steady_state);
+        assert_eq!(clean.faults_armed, 0);
+        // The fault plan arms at the final iteration — its counting
+        // table is inherited from two iterations earlier, so the wedge
+        // exercises the chain (inherited-table) recovery path.
+        let faults = crate::resilience::FaultPlan::single(Fault::DroppedIncrement {
+            rank: 0,
+            group: 1,
+            count: 64,
+        });
+        let wedged = plan
+            .execute_with(
+                &ExecOptions::new()
+                    .iterations(4)
+                    .resilient(&faults, &WatchdogConfig::default()),
+            )
+            .unwrap();
+        assert_eq!(wedged.faults_armed, 1);
+        assert!(
+            matches!(wedged.outcome, ResilientOutcome::Recovered { .. }),
+            "{:?}",
+            wedged.outcome
+        );
+        assert!(
+            wedged
+                .events
+                .iter()
+                .any(|e| e.detail.contains("segment 3 wedge detected")),
+            "the wedge names the final iteration: {:?}",
+            wedged.events
+        );
+        assert!(wedged.steady_state.unwrap() > plain.steady_state.unwrap());
+        assert!(matches!(
+            plan.execute_with(&ExecOptions::new().iterations(0).resilient(
+                &crate::resilience::FaultPlan::none(),
+                &WatchdogConfig::default(),
+            )),
+            Err(FlashOverlapError::BadInputs { .. })
+        ));
     }
 
     #[test]

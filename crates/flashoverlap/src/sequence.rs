@@ -22,17 +22,21 @@
 //! batch's table rearm — the mutation self-test a correct sanitizer
 //! must flag as use-before-signal.
 
+use std::cell::RefCell;
 use std::rc::Rc;
 
 use gpu_sim::stream::{enqueue, RecordEvent, ResetCounter, WaitEvent};
-use gpu_sim::{ClusterSim, GpuEventId};
+use gpu_sim::{ClusterSim, GpuEventId, RuntimeEvent};
 use sim::{Sim, SimDuration, SimTime};
 use tensor::Matrix;
 
-use crate::error::FlashOverlapError;
-use crate::runtime::{
-    check_quiescent, FunctionalInputs, Instrumentation, OverlapPlan, RunReport, StreamCtx,
+use crate::chain::{
+    arm_cluster_faults, check_quiescent_chain, drive_chain, enqueue_segment_faults, ChainSegment,
+    EventLog,
 };
+use crate::error::FlashOverlapError;
+use crate::resilience::{FaultPlan, ResilientOutcome, WatchdogConfig};
+use crate::runtime::{FunctionalInputs, Instrumentation, OverlapPlan, RunReport, StreamCtx};
 
 /// Options for [`execute_sequence`].
 #[derive(Debug, Default)]
@@ -43,6 +47,7 @@ pub struct SequenceOptions<'a> {
     functional: Option<&'a [FunctionalInputs]>,
     mutation_batch: Option<usize>,
     drop_cross_batch_edge: Option<usize>,
+    resilient: Option<(&'a [FaultPlan], &'a WatchdogConfig)>,
 }
 
 impl<'a> SequenceOptions<'a> {
@@ -100,6 +105,20 @@ impl<'a> SequenceOptions<'a> {
         self.drop_cross_batch_edge = Some(batch);
         self
     }
+
+    /// Runs the whole chain under the chain watchdog with deterministic
+    /// fault injection: `faults[i]` arms at batch `i`'s position in the
+    /// stream order (the table-quarantine rule disarms whatever budget
+    /// the previous same-parity batch left on the inherited table), and
+    /// a wedge at batch `k` is broken by the escalation ladder without
+    /// poisoning the double-buffered tables batch `k + 1` inherits. One
+    /// [`ResilientOutcome`] per batch lands in
+    /// [`SequenceOutcome::outcomes`]. Incompatible with probe/mutation
+    /// instrumentation and [`SequenceOptions::drop_cross_batch_edge`].
+    pub fn resilient(mut self, faults: &'a [FaultPlan], watchdog: &'a WatchdogConfig) -> Self {
+        self.resilient = Some((faults, watchdog));
+        self
+    }
 }
 
 /// Results of [`execute_sequence`].
@@ -114,6 +133,15 @@ pub struct SequenceOutcome {
     pub spans: Vec<gpu_sim::OpSpan>,
     /// Per-batch per-rank logical outputs in functional mode.
     pub outputs: Option<Vec<Vec<Matrix>>>,
+    /// Per-batch termination outcome. All `Clean` on non-resilient runs;
+    /// under [`SequenceOptions::resilient`], batch `k` wedging ends it
+    /// `Recovered`/`Degraded` while later batches report how they rode
+    /// out the recovery.
+    pub outcomes: Vec<ResilientOutcome>,
+    /// Fault/recovery timeline of a resilient run (empty otherwise).
+    pub events: Vec<RuntimeEvent>,
+    /// Total faults armed across all batches of a resilient run.
+    pub faults_armed: usize,
 }
 
 /// Executes `plans` back to back on one simulated cluster — batch `i`
@@ -159,6 +187,23 @@ pub fn execute_sequence(
     }
     let default_instr = Instrumentation::default();
     let instr = options.instrument.unwrap_or(&default_instr);
+    if let Some((faults, _)) = options.resilient {
+        crate::chain::validate_chain_faults(plans, faults)?;
+        if instr.probe.is_some() || instr.mutation.is_some() {
+            return Err(FlashOverlapError::BadInputs {
+                reason: "resilient sequences inject faults through FaultPlan, \
+                         not probes or signal mutations"
+                    .into(),
+            });
+        }
+        if options.drop_cross_batch_edge.is_some() {
+            return Err(FlashOverlapError::BadInputs {
+                reason: "drop_cross_batch_edge is a sanitizer self-test, \
+                         incompatible with resilient execution"
+                    .into(),
+            });
+        }
+    }
 
     let mut world = first.system.build_cluster(options.functional.is_some());
     if options.trace {
@@ -171,6 +216,13 @@ pub fn execute_sequence(
     if let Some(probe) = &instr.probe {
         sim.set_probe(Rc::clone(probe));
     }
+    // Cluster-level faults (degraded links, stalls, stragglers) exist
+    // before the chain starts, whichever batch's plan armed them.
+    let log: EventLog = Rc::new(RefCell::new(Vec::new()));
+    let faults_armed = match options.resilient {
+        Some((faults, _)) => arm_cluster_faults(&mut world, &sim, faults, &log),
+        None => 0,
+    };
     let streams = StreamCtx::create(&mut world, n);
     // Tables sized for the widest batch: a reset clears every slot, so a
     // narrower batch simply leaves the tail slots untouched.
@@ -190,9 +242,10 @@ pub fn execute_sequence(
     let mut prev_comm: Option<Vec<GpuEventId>> = None;
     let mutation_batch = options.mutation_batch.unwrap_or(plans.len() - 1);
 
-    let mut all_handles = Vec::with_capacity(plans.len());
+    let mut segments: Vec<ChainSegment> = Vec::with_capacity(plans.len());
     for (i, plan) in plans.iter().enumerate() {
         let parity = i % 2;
+        let mut ready_events: Option<Vec<GpuEventId>> = None;
         if let Some(events) = last_use[parity].take() {
             // Reuse: reset each rank's table on the compute stream,
             // ordered after the previous user's comm stream drained its
@@ -204,6 +257,7 @@ pub fn execute_sequence(
             // what `drop_cross_batch_edge` injects for the sanitizer
             // self-test.
             if options.drop_cross_batch_edge != Some(i) {
+                let mut readies = Vec::with_capacity(n);
                 for d in 0..n {
                     enqueue(
                         &mut world,
@@ -222,6 +276,7 @@ pub fn execute_sequence(
                         }),
                     );
                     let ready = world.devices[d].create_event();
+                    readies.push(ready);
                     enqueue(
                         &mut world,
                         &mut sim,
@@ -237,6 +292,7 @@ pub fn execute_sequence(
                         Box::new(WaitEvent(ready)),
                     );
                 }
+                ready_events = Some(readies);
             }
         }
         if options.serial {
@@ -253,6 +309,20 @@ pub fn execute_sequence(
                     );
                 }
             }
+        }
+        if let Some((faults, _)) = options.resilient {
+            // Between the rearm (reset) and the program: the arming
+            // callback quarantines leftover budget on the inherited
+            // table, then arms this batch's own faults.
+            enqueue_segment_faults(
+                &mut world,
+                &mut sim,
+                &streams,
+                i,
+                &faults[i],
+                &table_sets[parity],
+                &log,
+            );
         }
         let mutation = if i == mutation_batch {
             instr.mutation
@@ -283,15 +353,30 @@ pub fn execute_sequence(
             })
             .collect();
         last_use[parity] = Some(events.clone());
-        prev_comm = Some(events);
-        all_handles.push(handles);
+        prev_comm = Some(events.clone());
+        segments.push(ChainSegment::new(
+            plan,
+            handles,
+            parity,
+            ready_events,
+            events,
+        ));
     }
 
-    let end = sim.run(&mut world)?;
-    let instrumented = instr.monitor.is_some() || instr.probe.is_some() || instr.mutation.is_some();
-    if !instrumented && options.drop_cross_batch_edge.is_none() {
-        check_quiescent(&world)?;
-    }
+    let (end, outcomes) = if let Some((_, watchdog)) = options.resilient {
+        let run = drive_chain(
+            &mut world, &mut sim, plans, &segments, &streams, watchdog, &log,
+        )?;
+        (run.end, run.outcomes)
+    } else {
+        let end = sim.run(&mut world)?;
+        let instrumented =
+            instr.monitor.is_some() || instr.probe.is_some() || instr.mutation.is_some();
+        if !instrumented && options.drop_cross_batch_edge.is_none() {
+            check_quiescent_chain(&world, &segments)?;
+        }
+        (end, vec![ResilientOutcome::Clean; plans.len()])
+    };
     let spans = if options.trace {
         world.op_spans.take().unwrap_or_default()
     } else {
@@ -300,18 +385,21 @@ pub fn execute_sequence(
     let outputs = options.functional.map(|_| {
         plans
             .iter()
-            .zip(&all_handles)
-            .map(|(plan, handles)| plan.extract_outputs(&world, handles))
+            .zip(&segments)
+            .map(|(plan, seg)| plan.extract_outputs(&world, &seg.handles))
             .collect()
     });
     Ok(SequenceOutcome {
         total: end - SimTime::ZERO,
-        reports: all_handles
+        reports: segments
             .iter()
-            .map(|h| h.probes_snapshot().into_report())
+            .map(|s| s.handles.probes_snapshot().into_report())
             .collect(),
         spans,
         outputs,
+        outcomes,
+        events: Rc::try_unwrap(log).map_or_else(|rc| rc.borrow().clone(), RefCell::into_inner),
+        faults_armed,
     })
 }
 
@@ -398,6 +486,150 @@ mod tests {
                 "batches complete in order"
             );
         }
+    }
+
+    #[test]
+    fn resilient_fault_free_chain_is_clean_and_bit_exact() {
+        use crate::resilience::{FaultPlan, WatchdogConfig};
+        let system = small_system(2);
+        let dims = [
+            GemmDims::new(256, 256, 64),
+            GemmDims::new(384, 256, 64),
+            GemmDims::new(256, 256, 64),
+        ];
+        let plans: Vec<OverlapPlan> = dims.iter().map(|&d| plan_for(d, &system)).collect();
+        let refs: Vec<&OverlapPlan> = plans.iter().collect();
+        let inputs: Vec<FunctionalInputs> = dims
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| FunctionalInputs::random(d, 2, 300 + i as u64))
+            .collect();
+        let faults = vec![FaultPlan::none(); plans.len()];
+        let watchdog = WatchdogConfig::default();
+        let resilient = execute_sequence(
+            &refs,
+            &SequenceOptions::new()
+                .functional(&inputs)
+                .resilient(&faults, &watchdog),
+        )
+        .unwrap();
+        let plain = execute_sequence(&refs, &SequenceOptions::new().functional(&inputs)).unwrap();
+        assert_eq!(resilient.outcomes.len(), 3);
+        assert!(
+            resilient.outcomes.iter().all(|o| o.label() == "clean"),
+            "{:?}",
+            resilient.outcomes
+        );
+        assert_eq!(resilient.faults_armed, 0);
+        assert_eq!(
+            resilient.total, plain.total,
+            "fault-free watchdog is timing-neutral"
+        );
+        let res_out = resilient.outputs.unwrap();
+        let plain_out = plain.outputs.unwrap();
+        for b in 0..3 {
+            for d in 0..2 {
+                assert_eq!(res_out[b][d].as_slice(), plain_out[b][d].as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn wedged_batch_recovers_without_poisoning_inheritors() {
+        use crate::resilience::{Fault, FaultPlan, ResilientOutcome, WatchdogConfig};
+        let system = small_system(2);
+        let dims = [
+            GemmDims::new(256, 256, 64),
+            GemmDims::new(512, 256, 64),
+            GemmDims::new(256, 256, 64),
+            GemmDims::new(384, 256, 64),
+        ];
+        let plans: Vec<OverlapPlan> = dims.iter().map(|&d| plan_for(d, &system)).collect();
+        let refs: Vec<&OverlapPlan> = plans.iter().collect();
+        let inputs: Vec<FunctionalInputs> = dims
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| FunctionalInputs::random(d, 2, 400 + i as u64))
+            .collect();
+        // Drop more increments than batch 1's last group can spare: its
+        // wait starves and the watchdog must break the wedge. Batch 1's
+        // dims partition into multiple groups and only the last is
+        // starved, so earlier groups complete and the ladder takes the
+        // tail rung (a single-group batch could only go bulk/degraded) —
+        // batch 1 sits mid-chain, so batch 3 inherits its parity-1 table.
+        let last_group = plans[1].group_tile_counts().len() - 1;
+        assert!(last_group >= 1, "test needs a multi-group wedged batch");
+        let mut faults = vec![FaultPlan::none(); plans.len()];
+        faults[1] = FaultPlan::single(Fault::DroppedIncrement {
+            rank: 0,
+            group: last_group,
+            count: 64,
+        });
+        let watchdog = WatchdogConfig::default();
+        let outcome = execute_sequence(
+            &refs,
+            &SequenceOptions::new()
+                .functional(&inputs)
+                .resilient(&faults, &watchdog),
+        )
+        .unwrap();
+        assert_eq!(outcome.faults_armed, 1);
+        assert!(
+            matches!(outcome.outcomes[1], ResilientOutcome::Recovered { .. }),
+            "wedged batch must recover: {:?}",
+            outcome.outcomes
+        );
+        for (b, o) in outcome.outcomes.iter().enumerate() {
+            assert_ne!(o.label(), "degraded", "batch {b}: {o:?}");
+        }
+        // The hard invariant: recovery must not poison downstream
+        // parity — every batch's outputs match the fault-free run
+        // tile for tile.
+        let fault_free =
+            execute_sequence(&refs, &SequenceOptions::new().functional(&inputs)).unwrap();
+        let wedged_out = outcome.outputs.unwrap();
+        let clean_out = fault_free.outputs.unwrap();
+        for b in 0..4 {
+            for d in 0..2 {
+                assert_eq!(
+                    wedged_out[b][d].as_slice(),
+                    clean_out[b][d].as_slice(),
+                    "batch {b} rank {d} diverged after recovery"
+                );
+            }
+        }
+        // The recovery timeline names the wedge and the re-issued work.
+        assert!(outcome
+            .events
+            .iter()
+            .any(|e| e.detail.contains("segment 1 wedge detected")));
+        assert!(outcome
+            .events
+            .iter()
+            .any(|e| e.detail.contains("re-issued as tail collective")));
+    }
+
+    #[test]
+    fn resilient_rejects_edge_drop_and_mismatched_fault_plans() {
+        use crate::resilience::{FaultPlan, WatchdogConfig};
+        let system = small_system(2);
+        let plan = plan_for(GemmDims::new(256, 256, 64), &system);
+        let watchdog = WatchdogConfig::default();
+        let faults = vec![FaultPlan::none()];
+        assert!(matches!(
+            execute_sequence(
+                &[&plan],
+                &SequenceOptions::new()
+                    .resilient(&faults, &watchdog)
+                    .drop_cross_batch_edge(2)
+            ),
+            Err(FlashOverlapError::BadInputs { .. })
+        ));
+        let two = vec![FaultPlan::none(); 2];
+        assert!(matches!(
+            execute_sequence(&[&plan], &SequenceOptions::new().resilient(&two, &watchdog)),
+            Err(FlashOverlapError::BadInputs { .. })
+        ));
     }
 
     #[test]

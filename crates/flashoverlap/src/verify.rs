@@ -233,22 +233,19 @@ pub fn runtime_seam(mutation: &Mutation, path: ExecPath) -> RuntimeSeam {
         (Mutation::RaiseThreshold { rank, group }, _) => {
             RuntimeSeam::Signal(SignalMutation::RaiseThreshold { rank, group })
         }
-        (Mutation::DropIncrements { rank, group, count }, ExecPath::Single) => {
+        (Mutation::DropIncrements { rank, group, count }, _) => {
+            // Every path: single-shot via `ExecOptions::resilient`,
+            // chains via `SequenceOptions::resilient` /
+            // `PipelineExecOptions::resilient` (per-segment FaultPlans).
             RuntimeSeam::Fault(Fault::DroppedIncrement { rank, group, count })
         }
-        (Mutation::DelayIncrements { rank, group, count }, ExecPath::Single) => {
+        (Mutation::DelayIncrements { rank, group, count }, _) => {
             RuntimeSeam::Fault(Fault::DelayedIncrement {
                 rank,
                 group,
                 count,
                 delay: SEAM_DELAY,
             })
-        }
-        (Mutation::DropIncrements { .. } | Mutation::DelayIncrements { .. }, _) => {
-            RuntimeSeam::StaticOnly(
-                "fault injection does not reach the pipeline/sequence paths yet (ROADMAP \
-                 carried item a)",
-            )
         }
         (Mutation::ReorderIncrements { .. }, _) => RuntimeSeam::Nothing(
             "increments commute; the simulator's issue order is already one \

@@ -416,6 +416,258 @@ fn fault_seams_escalate_the_watchdog_single_shot() {
     );
 }
 
+/// The resilience-calibrated fixture (same shape as the single-shot
+/// fault-seam test): per-wave 256x256x64 across 2 GPUs, multi-group.
+fn calibrated_plan() -> OverlapPlan {
+    let dims = GemmDims::new(256, 256, 64);
+    let mut system = SystemSpec::rtx4090(2);
+    system.arch.sm_count = 8;
+    system.comm_sms = 2;
+    let config = gpu_sim::gemm::GemmConfig::choose(dims, &system.arch);
+    let waves = config.grid(dims).num_tiles().div_ceil(system.compute_sms());
+    OverlapPlan::new(
+        dims,
+        CommPattern::AllReduce,
+        system,
+        WavePartition::per_wave(waves),
+    )
+    .expect("valid plan")
+}
+
+fn chain_fault(mutation: &Mutation, path: ExecPath) -> flashoverlap::Fault {
+    match runtime_seam(mutation, path) {
+        RuntimeSeam::Fault(f) => f,
+        other => panic!("expected a fault seam for {mutation:?} on {path}, got {other:?}"),
+    }
+}
+
+#[test]
+fn fault_seams_escalate_the_chain_watchdog_on_the_sequence_path() {
+    // DropIncrements x Sequence: the per-segment FaultPlan arms the
+    // dropped increment at the last batch — steady-state inherited-table
+    // territory — and the chain watchdog must break the wedge.
+    let plan = calibrated_plan();
+    assert!(
+        plan.group_tile_counts().len() >= 2,
+        "need a completed group"
+    );
+    let plans: Vec<&OverlapPlan> = std::iter::repeat_n(&plan, 4).collect();
+    let fault = chain_fault(
+        &Mutation::DropIncrements {
+            rank: 0,
+            group: 1,
+            count: 1,
+        },
+        ExecPath::Sequence,
+    );
+    let mut faults = vec![FaultPlan::none(); 4];
+    faults[3] = FaultPlan::single(fault);
+    let outcome = execute_sequence(
+        &plans,
+        &SequenceOptions::new().resilient(&faults, &WatchdogConfig::default()),
+    )
+    .expect("resilient sequence terminates");
+    assert!(
+        !matches!(outcome.outcomes[3], ResilientOutcome::Clean),
+        "dropped increment in batch 3 must escalate, got {:?}",
+        outcome.outcomes
+    );
+    assert!(
+        outcome
+            .events
+            .iter()
+            .any(|e| e.kind == RuntimeEventKind::WatchdogFired),
+        "the chain watchdog must fire on the starved segment"
+    );
+
+    // DelayIncrements x Sequence: per-segment deadlines are calibrated
+    // from each batch's predictor-derived budget; tighten the multiplier
+    // until it separates the clean chain from the delayed one.
+    let tight = WatchdogConfig {
+        deadline_multiplier: 1.1,
+        ..WatchdogConfig::default()
+    };
+    let none = vec![FaultPlan::none(); 4];
+    let clean = execute_sequence(&plans, &SequenceOptions::new().resilient(&none, &tight))
+        .expect("clean chain terminates");
+    assert!(
+        !clean
+            .events
+            .iter()
+            .any(|e| e.kind == RuntimeEventKind::WatchdogFired),
+        "control: the tightened deadline must not fire without the fault"
+    );
+    // The delay is armed at batch 0: its deadline is anchored at chain
+    // start with exactly that segment's budget (the same calibration as
+    // the single-shot test), whereas deeper segments re-base the
+    // deadline on frontier advances and the pipelining slack would
+    // absorb a 200us shift.
+    let fault = chain_fault(
+        &Mutation::DelayIncrements {
+            rank: 0,
+            group: 1,
+            count: 1,
+        },
+        ExecPath::Sequence,
+    );
+    let mut faults = vec![FaultPlan::none(); 4];
+    faults[0] = FaultPlan::single(fault);
+    let delayed = execute_sequence(&plans, &SequenceOptions::new().resilient(&faults, &tight))
+        .expect("delayed chain terminates");
+    assert!(
+        delayed
+            .events
+            .iter()
+            .any(|e| e.kind == RuntimeEventKind::FaultInjected),
+        "the delay fault must take effect"
+    );
+    assert!(
+        delayed
+            .events
+            .iter()
+            .any(|e| e.kind == RuntimeEventKind::WatchdogFired),
+        "the chain watchdog must observe a delay past the per-segment deadline"
+    );
+}
+
+#[test]
+fn fault_seams_escalate_the_chain_watchdog_on_the_pipeline_path() {
+    use gpu_sim::elementwise::ElementwiseOp;
+    use std::rc::Rc;
+
+    // Chainable per-wave layers on the calibrated system (the tuned
+    // pipeline collapses to one group per layer, which cannot exercise
+    // the tail rung).
+    let mut system = SystemSpec::rtx4090(2);
+    system.arch.sm_count = 8;
+    system.comm_sms = 2;
+    let rms = |cols: usize| ElementwiseOp::RmsNorm {
+        weight: Rc::new(vec![1.0; cols]),
+        eps: 1e-6,
+    };
+    let per_wave = |dims: GemmDims| {
+        let config = gpu_sim::gemm::GemmConfig::choose(dims, &system.arch);
+        let waves = config.grid(dims).num_tiles().div_ceil(system.compute_sms());
+        OverlapPlan::new(
+            dims,
+            CommPattern::AllReduce,
+            system.clone(),
+            WavePartition::per_wave(waves),
+        )
+        .expect("valid plan")
+    };
+    let plans = vec![
+        per_wave(GemmDims::new(1024, 128, 64)),
+        per_wave(GemmDims::new(1024, 64, 128)),
+        per_wave(GemmDims::new(1024, 128, 64)),
+    ];
+    let last_group = plans[1].group_tile_counts().len() - 1;
+    assert!(last_group >= 1, "fixture needs a multi-group wedged layer");
+    let pipeline = flashoverlap::Pipeline::with_plans(
+        system.clone(),
+        plans,
+        vec![Some(rms(128)), Some(rms(64)), None],
+    )
+    .expect("valid pipeline");
+
+    // DropIncrements x Pipeline: wedge layer 1, recover via tail rung.
+    let fault = chain_fault(
+        &Mutation::DropIncrements {
+            rank: 0,
+            group: last_group,
+            count: 64,
+        },
+        ExecPath::Pipeline,
+    );
+    let mut faults = vec![FaultPlan::none(); 3];
+    faults[1] = FaultPlan::single(fault);
+    let outcome = pipeline
+        .execute_with(&PipelineExecOptions::new().resilient(&faults, &WatchdogConfig::default()))
+        .expect("resilient pipeline terminates");
+    assert!(
+        !matches!(outcome.outcomes[1], ResilientOutcome::Clean),
+        "dropped increment in layer 1 must escalate, got {:?}",
+        outcome.outcomes
+    );
+    assert!(
+        outcome
+            .events
+            .iter()
+            .any(|e| e.kind == RuntimeEventKind::WatchdogFired),
+        "the chain watchdog must fire on the starved layer"
+    );
+
+    // DelayIncrements x Pipeline under the tightened per-segment
+    // deadline: clean control stays silent, the delayed layer fires.
+    let tight = WatchdogConfig {
+        deadline_multiplier: 1.1,
+        ..WatchdogConfig::default()
+    };
+    let none = vec![FaultPlan::none(); 3];
+    let clean = pipeline
+        .execute_with(&PipelineExecOptions::new().resilient(&none, &tight))
+        .expect("clean pipeline terminates");
+    assert!(
+        !clean
+            .events
+            .iter()
+            .any(|e| e.kind == RuntimeEventKind::WatchdogFired),
+        "control: the tightened deadline must not fire without the fault"
+    );
+    let fault = chain_fault(
+        &Mutation::DelayIncrements {
+            rank: 0,
+            group: last_group,
+            count: 1,
+        },
+        ExecPath::Pipeline,
+    );
+    let mut faults = vec![FaultPlan::none(); 3];
+    faults[1] = FaultPlan::single(fault);
+    let delayed = pipeline
+        .execute_with(&PipelineExecOptions::new().resilient(&faults, &tight))
+        .expect("delayed pipeline terminates");
+    assert!(
+        delayed
+            .events
+            .iter()
+            .any(|e| e.kind == RuntimeEventKind::FaultInjected),
+        "the delay fault must take effect"
+    );
+    assert!(
+        delayed
+            .events
+            .iter()
+            .any(|e| e.kind == RuntimeEventKind::WatchdogFired),
+        "the chain watchdog must observe a delay past the per-segment deadline"
+    );
+}
+
+#[test]
+fn no_fault_reachable_cell_is_left_not_applicable() {
+    // The acceptance bar for the chain-recovery work: every cell whose
+    // seam is a runtime fault must claim dynamic coverage — zero
+    // `NotApplicable` verdicts remain on fault-reachable paths.
+    for cell in conformance_matrix() {
+        let mutation = sample_mutation(cell.mutation);
+        if let RuntimeSeam::Fault(_) = runtime_seam(&mutation, cell.path) {
+            assert!(
+                !matches!(cell.expected, Expectation::NotApplicable(_)),
+                "cell ({}, {}) is fault-reachable but marked not-applicable",
+                cell.mutation,
+                cell.path
+            );
+            assert!(
+                matches!(cell.dynamic, DynamicCoverage::Caught(_)),
+                "cell ({}, {}) is fault-reachable but claims dynamic coverage {:?}",
+                cell.mutation,
+                cell.path,
+                cell.dynamic.label()
+            );
+        }
+    }
+}
+
 #[test]
 fn sequence_edge_seam_is_caught_when_compute_bound() {
     assert!(matches!(

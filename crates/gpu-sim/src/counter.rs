@@ -163,6 +163,17 @@ impl CounterTable {
         Some(kind)
     }
 
+    /// Disarms every armed increment fault and returns how many armed
+    /// entries were cleared. Chain recovery quarantines a wedged
+    /// segment's leftover fault budget with this before the table is
+    /// handed to the next same-parity segment, so a fault armed for
+    /// segment `k` can never leak into segment `k + 2`.
+    pub fn disarm_faults(&mut self) -> usize {
+        let cleared = self.faults.len();
+        self.faults.clear();
+        cleared
+    }
+
     /// Resets all counts to zero (table reuse across iterations).
     ///
     /// # Panics
@@ -278,6 +289,18 @@ mod tests {
         assert_eq!(t.parked_waiters().count(), 0);
         // Counts untouched; a later register sees the real state.
         assert_eq!(t.count(0), 0);
+    }
+
+    #[test]
+    fn disarm_faults_quarantines_leftover_budget() {
+        let mut t = CounterTable::new(2);
+        t.arm_fault(0, IncrementFault::Dropped, 3);
+        t.arm_fault(1, IncrementFault::Delayed(SimDuration::from_nanos(10)), 1);
+        assert_eq!(t.take_increment_fault(0), Some(IncrementFault::Dropped));
+        assert_eq!(t.disarm_faults(), 2);
+        assert_eq!(t.take_increment_fault(0), None, "budget quarantined");
+        assert_eq!(t.take_increment_fault(1), None, "budget quarantined");
+        assert_eq!(t.disarm_faults(), 0, "idempotent once cleared");
     }
 
     #[test]

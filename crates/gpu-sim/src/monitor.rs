@@ -94,6 +94,11 @@ pub enum RuntimeEventKind {
     FaultInjected,
     /// A watchdog deadline expired and the runtime escalated.
     WatchdogFired,
+    /// Leftover armed fault budget was disarmed before a counting table
+    /// was handed to the next same-parity chain segment (the
+    /// table-quarantine rule: a fault armed for segment `k` must not
+    /// leak into segment `k + 2`).
+    FaultQuarantined,
     /// A starved group was recovered through the tail-collective path.
     TailRecovery,
     /// The overlap plan was abandoned; remaining output completed via

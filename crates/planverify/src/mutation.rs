@@ -311,13 +311,10 @@ fn expected(kind: MutationKind, path: ExecPath) -> Expectation {
     match (kind, path) {
         (MutationKind::DropWait | MutationKind::RaiseThreshold, _) => Expectation::CaughtStatic,
         (MutationKind::DropIncrements, _) => Expectation::CaughtStatic,
-        (MutationKind::DelayIncrements, ExecPath::Single) => Expectation::CaughtDynamic(
+        (MutationKind::DelayIncrements, _) => Expectation::CaughtDynamic(
             "the model is clock-free — a delay changes no counting-table total; the watchdog \
-             catches the starved group past its deadline and recovers via tail collectives",
-        ),
-        (MutationKind::DelayIncrements, _) => Expectation::NotApplicable(
-            "fault injection does not reach the pipeline/sequence paths yet (ROADMAP carried \
-             item a); the registry keeps the gap explicit instead of silent",
+             catches the starved group (or chain segment) past its predictor-derived deadline \
+             and recovers via tail collectives",
         ),
         (MutationKind::ReorderIncrements, _) => Expectation::Benign(
             "increments are commutative and a wait observes only the running total, never the \
@@ -337,15 +334,13 @@ fn dynamic(kind: MutationKind, path: ExecPath) -> DynamicCoverage {
         (MutationKind::RaiseThreshold, _) => {
             DynamicCoverage::Caught("SimSan reports lost-signal + deadlock at drain time")
         }
-        (MutationKind::DropIncrements, ExecPath::Single) => DynamicCoverage::Caught(
-            "the resilient runtime's watchdog escalates (outcome leaves Clean)",
+        (MutationKind::DropIncrements, _) => DynamicCoverage::Caught(
+            "the resilient runtime's watchdog escalates (outcome leaves Clean); on chained \
+             paths the per-segment FaultPlan arms it and the chain watchdog breaks the wedge",
         ),
-        (MutationKind::DelayIncrements, ExecPath::Single) => DynamicCoverage::Caught(
-            "the watchdog fires once the delay exceeds the deadline and recovers the group",
-        ),
-        (MutationKind::DropIncrements | MutationKind::DelayIncrements, _) => DynamicCoverage::None(
-            "fault injection does not reach the pipeline/sequence paths yet (ROADMAP carried \
-             item a)",
+        (MutationKind::DelayIncrements, _) => DynamicCoverage::Caught(
+            "the watchdog fires once the delay exceeds the per-segment deadline and recovers \
+             the group",
         ),
         (MutationKind::ReorderIncrements, _) => DynamicCoverage::Benign,
         (MutationKind::DropRearm, ExecPath::Sequence) => {

@@ -62,7 +62,9 @@ pub struct RequestRecord {
     pub arrival_ns: u64,
     /// How the request left the system.
     pub disposition: Disposition,
-    /// Batch that executed it (`None` when shed).
+    /// Batch that executed it (`None` when shed at admission; a request
+    /// shed because its batch found no healthy replica keeps its batch
+    /// id).
     pub batch: Option<u64>,
     /// Enqueue→complete latency (`None` when shed).
     pub latency_ns: Option<u64>,
@@ -132,6 +134,10 @@ pub struct ReplicaStats {
     pub chains: u64,
     /// `busy_ns` over the run makespan.
     pub utilization: f64,
+    /// Whether the replica ended the run quarantined (a chaos chain
+    /// came back degraded, or the serve loop blamed it for a stall);
+    /// its queued batches were re-routed or shed.
+    pub quarantined: bool,
     /// This replica's plan-cache counters.
     pub cache: CacheStats,
 }
@@ -199,6 +205,17 @@ pub struct ServeReport {
     /// Whether chains executed with cross-batch pipelining (false =
     /// serial barrier between consecutive batches).
     pub pipelined: bool,
+    /// Replica forced to wedge deterministically (`--wedge-replica`).
+    pub wedge_replica: Option<usize>,
+    /// Replicas quarantined during the run (wedged under chaos or
+    /// blamed for a serve-loop stall).
+    pub replicas_quarantined: u64,
+    /// Batches re-routed off a quarantined replica's dispatch queue to
+    /// a healthy one.
+    pub batches_rerouted: u64,
+    /// Requests shed because their batch had no healthy replica left
+    /// (counted inside `shed` as well).
+    pub quarantine_shed: u64,
     /// Virtual time from first arrival epoch to last completion.
     pub makespan_ns: u64,
     /// Requests completed (any disposition but shed).
@@ -289,6 +306,11 @@ impl ServeReport {
             ("replicas", Value::num(self.replicas as f64)),
             ("router", Value::str(self.router)),
             ("pipelined", Value::Bool(self.pipelined)),
+            (
+                "wedge_replica",
+                self.wedge_replica
+                    .map_or(Value::Null, |r| Value::num(r as f64)),
+            ),
             ("makespan_ns", Value::num(self.makespan_ns as f64)),
             (
                 "requests",
@@ -331,6 +353,19 @@ impl ServeReport {
                         Value::num(self.cache.tune_evaluated as f64),
                     ),
                     ("preloaded", Value::num(self.cache.preloaded as f64)),
+                ]),
+            ),
+            (
+                "resilience",
+                Value::obj(vec![
+                    (
+                        "replicas_quarantined",
+                        Value::num(self.replicas_quarantined as f64),
+                    ),
+                    ("batches_rerouted", Value::num(self.batches_rerouted as f64)),
+                    ("quarantine_shed", Value::num(self.quarantine_shed as f64)),
+                    ("recovered", Value::num(self.recovered as f64)),
+                    ("degraded", Value::num(self.degraded as f64)),
                 ]),
             ),
             (
@@ -435,15 +470,22 @@ impl ServeReport {
             self.cache.misses,
             self.cache.evictions,
         ));
+        if self.replicas_quarantined > 0 || self.batches_rerouted > 0 {
+            out.push_str(&format!(
+                "  quarantine: {} replica(s) quarantined, {} batch(es) re-routed, {} request(s) shed with no healthy replica\n",
+                self.replicas_quarantined, self.batches_rerouted, self.quarantine_shed,
+            ));
+        }
         for r in &self.replica_stats {
             out.push_str(&format!(
-                "  replica {}: {} batches in {} chains, {} requests, {:.1}% utilized, cache hit rate {:.1}%\n",
+                "  replica {}: {} batches in {} chains, {} requests, {:.1}% utilized, cache hit rate {:.1}%{}\n",
                 r.id,
                 r.batches,
                 r.chains,
                 r.requests,
                 r.utilization * 100.0,
                 r.cache.hit_rate() * 100.0,
+                if r.quarantined { " [quarantined]" } else { "" },
             ));
         }
         if let (Some(f), Some(q)) = (&self.form_wait, &self.queue_wait) {
@@ -581,6 +623,7 @@ fn replica_json(r: &ReplicaStats) -> Value {
         ("busy_ns", Value::num(r.busy_ns as f64)),
         ("chains", Value::num(r.chains as f64)),
         ("utilization", Value::num(r.utilization)),
+        ("quarantined", Value::Bool(r.quarantined)),
         (
             "cache",
             Value::obj(vec![

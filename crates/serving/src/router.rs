@@ -112,54 +112,84 @@ impl Router {
     /// at startup, so an empty snapshot is a caller bug.
     pub fn route(&mut self, dims: GemmDims, loads: &[ReplicaLoad]) -> RouteDecision {
         assert!(!loads.is_empty(), "router needs at least one replica");
+        let eligible = vec![true; loads.len()];
+        self.route_among(dims, loads, &eligible)
+            .expect("every replica is eligible")
+    }
+
+    /// Routes among the replicas whose `eligible` flag is set —
+    /// quarantined replicas stay in `loads` (indices are stable replica
+    /// ids) but are never chosen. Returns `None` when no replica is
+    /// eligible; the caller sheds the batch.
+    pub fn route_among(
+        &mut self,
+        dims: GemmDims,
+        loads: &[ReplicaLoad],
+        eligible: &[bool],
+    ) -> Option<RouteDecision> {
+        assert_eq!(
+            loads.len(),
+            eligible.len(),
+            "one eligibility flag per replica"
+        );
+        if !eligible.iter().any(|&e| e) {
+            return None;
+        }
         match self.policy {
             RouterPolicy::RoundRobin => {
-                // Proof: `rr_next % len` is in `0..len` because `len > 0`.
-                let replica = self.rr_next % loads.len();
-                self.rr_next = self.rr_next.wrapping_add(1);
-                RouteDecision {
-                    replica,
-                    reason: "round-robin",
+                // Scan at most `len` slots from the rotor for the next
+                // eligible replica; the any() guard above proves one
+                // exists.
+                for step in 0..loads.len() {
+                    let replica = (self.rr_next + step) % loads.len();
+                    if eligible.get(replica).copied().unwrap_or(false) {
+                        self.rr_next = replica.wrapping_add(1);
+                        return Some(RouteDecision {
+                            replica,
+                            reason: "round-robin",
+                        });
+                    }
                 }
+                None
             }
-            RouterPolicy::LeastLoaded => RouteDecision {
-                replica: least_loaded(loads),
+            RouterPolicy::LeastLoaded => Some(RouteDecision {
+                replica: least_loaded(loads, eligible)?,
                 reason: "least-loaded",
-            },
+            }),
             RouterPolicy::ShapeAffinity => {
                 if let Some(&r) = self.affinity.get(&dims) {
                     // Affinity entries are only ever inserted from
-                    // `least_loaded(loads)` below, which returns an
-                    // index `< loads.len()`; the replica count is fixed
-                    // for the router's lifetime.
-                    if r < loads.len() {
-                        return RouteDecision {
+                    // `least_loaded` below, which returns an index
+                    // `< loads.len()`; the replica count is fixed for
+                    // the router's lifetime. A quarantined affine
+                    // replica falls through and the shape re-homes.
+                    if r < loads.len() && eligible.get(r).copied().unwrap_or(false) {
+                        return Some(RouteDecision {
                             replica: r,
                             reason: "affinity-hit",
-                        };
+                        });
                     }
                 }
-                let replica = least_loaded(loads);
+                let replica = least_loaded(loads, eligible)?;
                 self.affinity.insert(dims, replica);
-                RouteDecision {
+                Some(RouteDecision {
                     replica,
                     reason: "affinity-new",
-                }
+                })
             }
         }
     }
 }
 
-/// Index of the least-loaded replica: fewest queued tokens, then
-/// soonest free, then lowest id. Caller guarantees `loads` is
-/// non-empty, so the minimum exists.
-fn least_loaded(loads: &[ReplicaLoad]) -> usize {
+/// Index of the least-loaded eligible replica: fewest queued tokens,
+/// then soonest free, then lowest id. `None` when nothing is eligible.
+fn least_loaded(loads: &[ReplicaLoad], eligible: &[bool]) -> Option<usize> {
     loads
         .iter()
         .enumerate()
+        .filter(|(i, _)| eligible.get(*i).copied().unwrap_or(false))
         .min_by_key(|(i, l)| (l.queued_tokens, l.busy_ns, *i))
         .map(|(i, _)| i)
-        .expect("loads is non-empty")
 }
 
 #[cfg(test)]
@@ -229,6 +259,46 @@ mod tests {
         let other = router.route(dims(512), &loads);
         assert_ne!(other.replica, first.replica);
         assert_eq!(other.reason, "affinity-new");
+    }
+
+    #[test]
+    fn round_robin_skips_quarantined_replicas() {
+        let mut router = Router::new(RouterPolicy::RoundRobin);
+        let loads = idle(3);
+        let eligible = vec![true, false, true];
+        let picks: Vec<usize> = (0..4)
+            .map(|_| {
+                router
+                    .route_among(dims(256), &loads, &eligible)
+                    .unwrap()
+                    .replica
+            })
+            .collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn affinity_rehomes_when_the_affine_replica_is_quarantined() {
+        let mut router = Router::new(RouterPolicy::ShapeAffinity);
+        let loads = idle(3);
+        let first = router.route(dims(256), &loads);
+        assert_eq!((first.replica, first.reason), (0, "affinity-new"));
+        let mut eligible = vec![true; 3];
+        *eligible.get_mut(first.replica).unwrap() = false;
+        let moved = router.route_among(dims(256), &loads, &eligible).unwrap();
+        assert_eq!((moved.replica, moved.reason), (1, "affinity-new"));
+        // The re-homed affinity sticks on later fully-eligible routes.
+        let repeat = router.route(dims(256), &loads);
+        assert_eq!((repeat.replica, repeat.reason), (1, "affinity-hit"));
+    }
+
+    #[test]
+    fn no_eligible_replica_routes_nowhere() {
+        let mut router = Router::new(RouterPolicy::LeastLoaded);
+        assert_eq!(
+            router.route_among(dims(256), &idle(2), &[false, false]),
+            None
+        );
     }
 
     #[test]

@@ -18,17 +18,23 @@
 //! emerges from the interaction of the arrival rate and the simulated
 //! operator throughput — backpressure is real, not modelled.
 //!
-//! With [`ServeConfig::chaos`] set, every batch executes alone through
-//! the resilient runtime with a per-batch deterministic [`FaultPlan`],
-//! and the batch's resilient outcome (clean / recovered / degraded) is
-//! stamped onto its member requests — chaos under load, with every
-//! request accounted for.
+//! With [`ServeConfig::chaos`] set, chains still form and still
+//! pipeline: each batch carries its own deterministic per-batch
+//! [`FaultPlan`] into a resilient [`flashoverlap::execute_sequence`]
+//! (the chain watchdog recovers wedged segments without poisoning the
+//! counting tables downstream batches inherit), and the batch's
+//! resilient outcome (clean / recovered / degraded) is stamped onto its
+//! member requests — chaos under load, with every request accounted
+//! for. A chain that comes back degraded marks its replica *wedged*:
+//! the replica is quarantined, its queued batches are deterministically
+//! re-routed to healthy replicas (or shed, with full accounting, when
+//! none remain), and the run completes instead of aborting.
 
 use std::collections::VecDeque;
 use std::rc::Rc;
 
 use flashoverlap::{
-    execute_sequence, CommPattern, ExecOptions, FaultPlan, FlashOverlapError, Instrumentation,
+    execute_sequence, CommPattern, Fault, FaultPlan, FlashOverlapError, Instrumentation,
     OverlapPlan, SequenceOptions, SystemSpec, WatchdogConfig,
 };
 use telemetry::attribution::{attribute_makespan, AttributionTotals, Category};
@@ -78,6 +84,11 @@ pub struct ServeConfig {
     pub pipelined: bool,
     /// Most batches an idle replica chains into one simulation.
     pub chain: usize,
+    /// Force this replica's first chaos chain to wedge deterministically
+    /// (an unrecoverable dropped-signal fault on its leading batch), so
+    /// the quarantine → re-route path is reproducible under a fixed
+    /// seed. Requires [`ServeConfig::chaos`].
+    pub wedge_replica: Option<usize>,
     /// Tuned plans to seed every replica's cache with before the run.
     /// The snapshot's fingerprint must match [`ServeConfig::system`].
     pub preload: Option<CacheSnapshot>,
@@ -105,6 +116,7 @@ impl ServeConfig {
             router: RouterPolicy::RoundRobin,
             pipelined: true,
             chain: 4,
+            wedge_replica: None,
             preload: None,
         }
     }
@@ -133,6 +145,22 @@ impl ServeConfig {
             return Err(FlashOverlapError::BadInputs {
                 reason: "chain length must be at least 1".into(),
             });
+        }
+        if let Some(w) = self.wedge_replica {
+            if w >= self.replicas {
+                return Err(FlashOverlapError::BadInputs {
+                    reason: format!(
+                        "--wedge-replica {w} targets a replica that does not exist \
+                         ({} configured)",
+                        self.replicas
+                    ),
+                });
+            }
+            if !self.chaos {
+                return Err(FlashOverlapError::BadInputs {
+                    reason: "--wedge-replica injects a fault plan and requires --chaos".into(),
+                });
+            }
         }
         if let Some(snapshot) = &self.preload {
             let fp = system_fingerprint(&self.system);
@@ -166,6 +194,74 @@ fn wedged_replica(pending_batches: &[usize]) -> Option<usize> {
         .filter(|(_, &n)| n > 0)
         .max_by_key(|(i, &n)| (n, usize::MAX - i))
         .map(|(i, _)| i)
+}
+
+/// Sheds every member request of a batch that found no healthy replica,
+/// keeping the accounting identities intact (the requests count toward
+/// `shed`, and the batch id survives on their records).
+fn shed_pending(p: &PendingBatch, acct: &mut Accounting) {
+    for r in &p.batch.requests {
+        acct.records.push(RequestRecord {
+            id: r.id,
+            model: r.model.name,
+            tokens: r.tokens,
+            arrival_ns: r.arrival_ns,
+            disposition: Disposition::Shed,
+            batch: Some(p.batch.id),
+            latency_ns: None,
+            form_wait_ns: Some(p.close_ns.saturating_sub(r.arrival_ns)),
+            queue_wait_ns: None,
+        });
+    }
+    acct.quarantine_shed += p.batch.requests.len() as u64;
+}
+
+/// Pulls replica `idx` from service: marks it quarantined, drains its
+/// dispatch queue, and deterministically re-routes each queued batch to
+/// a healthy replica (or sheds it, fully accounted, when none remain).
+/// The caller guarantees another healthy replica exists — the last
+/// replica in service is never quarantined.
+fn quarantine_replica(
+    replicas: &mut [Replica],
+    idx: usize,
+    reason: &'static str,
+    router: &mut Router,
+    tp: u32,
+    now_ns: u64,
+    acct: &mut Accounting,
+) {
+    let Some(replica) = replicas.get_mut(idx) else {
+        return;
+    };
+    if replica.quarantined.is_some() {
+        return;
+    }
+    replica.quarantined = Some(reason);
+    let orphans: Vec<PendingBatch> = replica.pending.drain(..).collect();
+    for p in orphans {
+        let eligible: Vec<bool> = replicas.iter().map(|r| r.quarantined.is_none()).collect();
+        let loads: Vec<ReplicaLoad> = replicas
+            .iter()
+            .map(|r| ReplicaLoad {
+                queued_tokens: r.queued_tokens(),
+                busy_ns: r.free_ns.saturating_sub(now_ns),
+            })
+            .collect();
+        match router.route_among(p.batch.gemm_dims(tp), &loads, &eligible) {
+            Some(decision) => {
+                if let Some(target) = replicas.get_mut(decision.replica) {
+                    target.pending.push_back(PendingBatch {
+                        routing: "re-routed",
+                        ..p
+                    });
+                    acct.batches_rerouted += 1;
+                } else {
+                    shed_pending(&p, acct);
+                }
+            }
+            None => shed_pending(&p, acct),
+        }
+    }
 }
 
 /// Runs the serving loop to completion and returns the report. Fully
@@ -238,6 +334,11 @@ struct Replica {
     requests: u64,
     tokens: u64,
     chains: u64,
+    /// Set when the replica is pulled from service: a chaos chain came
+    /// back degraded (wedged under fault injection) or the serve loop
+    /// blamed it for a stall. A quarantined replica receives no new
+    /// batches and never dispatches again.
+    quarantined: Option<&'static str>,
     /// Executed chains as `(start_ns, total_ns, attribution)` — the raw
     /// material of the serve-level critical-path attribution.
     chain_log: Vec<(u64, u64, AttributionTotals)>,
@@ -254,6 +355,7 @@ impl Replica {
             requests: 0,
             tokens: 0,
             chains: 0,
+            quarantined: None,
             chain_log: Vec::new(),
         }
     }
@@ -278,6 +380,10 @@ struct Accounting {
     batch_records: Vec<BatchRecord>,
     signal_weighted_sum: f64,
     signal_samples: u64,
+    /// Batches moved off a quarantined replica's dispatch queue.
+    batches_rerouted: u64,
+    /// Requests shed because their batch had no healthy replica left.
+    quarantine_shed: u64,
     /// Drift accumulator; BTreeMap so the report rows come out in
     /// deterministic shape-major order.
     drift: std::collections::BTreeMap<DriftKey, DriftCell>,
@@ -359,6 +465,27 @@ fn serve_run(
         iterations += 1;
         if iterations > max_iterations {
             let pending: Vec<usize> = replicas.iter().map(|r| r.pending.len()).collect();
+            // Survive the wedge when possible: quarantine the blamed
+            // replica and re-route its queue instead of aborting. Each
+            // replica can be quarantined at most once and the last
+            // healthy replica is never pulled, so the retries are
+            // bounded by the replica count.
+            if let Some(r) = wedged_replica(&pending) {
+                let healthy = replicas.iter().filter(|x| x.quarantined.is_none()).count();
+                if healthy > 1 && replicas.get(r).is_some_and(|x| x.quarantined.is_none()) {
+                    quarantine_replica(
+                        &mut replicas,
+                        r,
+                        "serve loop stalled on this replica",
+                        &mut router,
+                        tp,
+                        now_ns,
+                        &mut acct,
+                    );
+                    iterations = 0;
+                    continue;
+                }
+            }
             let blame = match wedged_replica(&pending) {
                 Some(r) => format!(
                     "; replica {r} is wedged with {} undrained batch(es)",
@@ -417,6 +544,7 @@ fn serve_run(
             batch_id += 1;
             let dims = batch.gemm_dims(tp);
             shapes.insert(dims);
+            let eligible: Vec<bool> = replicas.iter().map(|r| r.quarantined.is_none()).collect();
             let loads: Vec<ReplicaLoad> = replicas
                 .iter()
                 .map(|r| ReplicaLoad {
@@ -424,30 +552,68 @@ fn serve_run(
                     busy_ns: r.free_ns.saturating_sub(now_ns),
                 })
                 .collect();
-            let decision = router.route(dims, &loads);
-            if let Some(replica) = replicas.get_mut(decision.replica) {
-                replica.pending.push_back(PendingBatch {
-                    batch,
-                    routing: decision.reason,
-                    close_ns: now_ns,
-                });
+            match router.route_among(dims, &loads, &eligible) {
+                Some(decision) => {
+                    if let Some(replica) = replicas.get_mut(decision.replica) {
+                        replica.pending.push_back(PendingBatch {
+                            batch,
+                            routing: decision.reason,
+                            close_ns: now_ns,
+                        });
+                    }
+                }
+                // No healthy replica left (unreachable while the
+                // last-replica-in-service rule holds; kept as the
+                // accounted fallback).
+                None => shed_pending(
+                    &PendingBatch {
+                        batch,
+                        routing: "no-healthy-replica",
+                        close_ns: now_ns,
+                    },
+                    &mut acct,
+                ),
             }
         }
 
-        // Dispatch: every idle replica drains up to `chain` pending
-        // batches as one (pipelined) simulation starting now.
-        for (idx, replica) in replicas.iter_mut().enumerate() {
-            if replica.free_ns > now_ns || replica.pending.is_empty() {
-                continue;
-            }
-            let take = if config.chaos {
-                // Chaos runs per-batch through the resilient runtime.
-                1
-            } else {
-                replica.pending.len().min(config.chain)
+        // Dispatch: every idle, in-service replica drains up to `chain`
+        // pending batches as one (pipelined) simulation starting now —
+        // chains form under chaos too; each batch just carries its own
+        // fault plan into the resilient sequence.
+        for idx in 0..replicas.len() {
+            let degraded = {
+                let Some(replica) = replicas.get_mut(idx) else {
+                    continue;
+                };
+                if replica.quarantined.is_some()
+                    || replica.free_ns > now_ns
+                    || replica.pending.is_empty()
+                {
+                    continue;
+                }
+                let take = replica.pending.len().min(config.chain);
+                let chain: Vec<PendingBatch> = replica.pending.drain(..take).collect();
+                let (free_ns, degraded) =
+                    run_chain(config, idx, replica, chain, now_ns, tp, &mut acct)?;
+                replica.free_ns = free_ns;
+                degraded
             };
-            let chain: Vec<PendingBatch> = replica.pending.drain(..take).collect();
-            replica.free_ns = run_chain(config, idx, replica, chain, now_ns, tp, &mut acct)?;
+            // A degraded chain marks the replica wedged. Quarantine it
+            // and re-route its queue — unless it is the last replica in
+            // service, which keeps limping rather than shedding all
+            // remaining traffic.
+            let healthy = replicas.iter().filter(|r| r.quarantined.is_none()).count();
+            if degraded && healthy > 1 {
+                quarantine_replica(
+                    &mut replicas,
+                    idx,
+                    "wedged: chaos chain came back degraded",
+                    &mut router,
+                    tp,
+                    now_ns,
+                    &mut acct,
+                );
+            }
         }
 
         // Termination: every request admitted, batched, and executed.
@@ -513,8 +679,9 @@ fn serve_run(
 }
 
 /// Executes one chain of batches on `replica` starting at `start_ns`,
-/// pushing per-request and per-batch records, and returns the virtual
-/// time the chain drains.
+/// pushing per-request and per-batch records. Returns the virtual time
+/// the chain drains and whether any batch in it came back degraded
+/// (the caller's quarantine signal).
 fn run_chain(
     config: &ServeConfig,
     replica_idx: usize,
@@ -523,7 +690,7 @@ fn run_chain(
     start_ns: u64,
     tp: u32,
     acct: &mut Accounting,
-) -> Result<u64, FlashOverlapError> {
+) -> Result<(u64, bool), FlashOverlapError> {
     let pattern = CommPattern::AllReduce;
     let mut plans: Vec<(Rc<OverlapPlan>, bool)> = Vec::with_capacity(chain.len());
     for p in &chain {
@@ -536,72 +703,81 @@ fn run_chain(
 
     let chain_len = chain.len() as u64;
     let telemetry = Telemetry::new();
-    let (completions, outcomes, total_ns, spans, group_dones) = if config.chaos {
-        // Chaos chains have length 1: each batch runs alone through the
-        // resilient runtime with its own deterministic fault plan.
-        let batch = &chain.first().expect("chaos chain is non-empty").batch;
-        let (plan, _) = plans.first().expect("one plan per batch");
-        let faults = FaultPlan::random(
-            fault_seed(config.seed, batch.id),
-            config.system.n_gpus,
-            plan.partition.num_groups(),
-        );
-        let instr = Instrumentation {
-            monitor: Some(telemetry.monitor()),
-            probe: None,
-            mutation: None,
-        };
-        let run = plan.execute_with(
-            &ExecOptions::new()
-                .instrument(&instr)
-                .trace()
-                .resilient(&faults, &WatchdogConfig::default()),
-        )?;
-        let exec_ns = run.report.latency.as_nanos();
-        (
-            vec![exec_ns],
-            vec![run.outcome.label()],
-            exec_ns,
-            run.spans,
-            vec![run.report.group_comm_done.clone()],
-        )
+    // Per-batch deterministic fault plans. The wedge-replica override
+    // replaces the leading batch's draw with an unrecoverable
+    // dropped-signal wedge (group 0 starves, so no group completes and
+    // recovery can only abandon the overlap — deterministically
+    // degraded).
+    let chaos_faults: Vec<FaultPlan> = if config.chaos {
+        chain
+            .iter()
+            .zip(&plans)
+            .enumerate()
+            .map(|(i, (p, (plan, _)))| {
+                if i == 0 && config.wedge_replica == Some(replica_idx) {
+                    FaultPlan::single(Fault::DroppedIncrement {
+                        rank: 0,
+                        group: 0,
+                        count: u32::MAX,
+                    })
+                } else {
+                    FaultPlan::random(
+                        fault_seed(config.seed, p.batch.id),
+                        config.system.n_gpus,
+                        plan.partition.num_groups(),
+                    )
+                }
+            })
+            .collect()
     } else {
-        let instr = telemetry.instrumentation();
-        let plan_refs: Vec<&OverlapPlan> = plans.iter().map(|(p, _)| p.as_ref()).collect();
-        let mut options = SequenceOptions::new().instrument(&instr).trace();
-        if !config.pipelined {
-            options = options.serial();
-        }
-        let outcome = execute_sequence(&plan_refs, &options)?;
-        let completions: Vec<u64> = outcome
-            .reports
-            .iter()
-            .map(|r| r.latency.as_nanos())
-            .collect();
-        let outcomes = vec!["clean"; chain.len()];
-        let group_dones: Vec<Vec<sim::SimDuration>> = outcome
-            .reports
-            .iter()
-            .map(|r| r.group_comm_done.clone())
-            .collect();
-        (
-            completions,
-            outcomes,
-            outcome.total.as_nanos(),
-            outcome.spans,
-            group_dones,
-        )
+        Vec::new()
     };
+    let watchdog = WatchdogConfig::default();
+    // Resilient sequences reject probe instrumentation, so chaos chains
+    // run monitor-only (spans still flow; tail/bulk recovery collectives
+    // land in the `recovery` attribution category).
+    let monitor_instr = Instrumentation {
+        monitor: Some(telemetry.monitor()),
+        probe: None,
+        mutation: None,
+    };
+    let probe_instr = telemetry.instrumentation();
+    let mut options = SequenceOptions::new().trace();
+    options = if config.chaos {
+        options
+            .instrument(&monitor_instr)
+            .resilient(&chaos_faults, &watchdog)
+    } else {
+        options.instrument(&probe_instr)
+    };
+    if !config.pipelined {
+        options = options.serial();
+    }
+    let plan_refs: Vec<&OverlapPlan> = plans.iter().map(|(p, _)| p.as_ref()).collect();
+    let outcome = execute_sequence(&plan_refs, &options)?;
+    let completions: Vec<u64> = outcome
+        .reports
+        .iter()
+        .map(|r| r.latency.as_nanos())
+        .collect();
+    let outcomes: Vec<&'static str> = outcome.outcomes.iter().map(|o| o.label()).collect();
+    let group_dones: Vec<Vec<sim::SimDuration>> = outcome
+        .reports
+        .iter()
+        .map(|r| r.group_comm_done.clone())
+        .collect();
+    let total_ns = outcome.total.as_nanos();
+    let spans = outcome.spans;
     let record = telemetry.take_record();
     acct.absorb_signals(&record, &spans);
     // Critical-path attribution of the whole chain; per-batch shares are
     // clipped out of it below.
     let attribution = attribute_makespan(&spans, &record, total_ns);
 
-    // Predictor drift: sample only the chain-leading batch (and chaos
-    // batches, which always run alone) — later pipelined batches'
-    // measured completions include comm-stream queueing behind the
-    // previous batch's tail and would bias the comparison.
+    // Predictor drift: sample only the chain-leading batch — later
+    // pipelined batches' measured completions include comm-stream
+    // queueing behind the previous batch's tail and would bias the
+    // comparison.
     if let (Some(p), Some(measured)) = (plans.first(), group_dones.first()) {
         if let Some(predicted) = p.0.predicted_group_completions() {
             let dims = chain
@@ -621,6 +797,11 @@ fn run_chain(
     {
         let batch = &pending.batch;
         let end_ns = start_ns.saturating_add(*done_ns);
+        // Recovery can complete a wedged batch *after* its successor
+        // (the tail re-issue runs while downstream comm drains), so the
+        // accounting window is clamped monotone; request latencies keep
+        // the true completion time.
+        let window_end = (*done_ns).max(prev_done);
         let disposition = Disposition::from_outcome_label(outcome);
         let queue_wait = start_ns.saturating_sub(pending.close_ns);
         for r in &batch.requests {
@@ -643,7 +824,7 @@ fn run_chain(
             tokens: batch.tokens,
             padded_tokens: batch.padded_tokens,
             start_ns: start_ns.saturating_add(prev_done),
-            exec_ns: done_ns - prev_done,
+            exec_ns: window_end - prev_done,
             cache_hit: *cache_hit,
             outcome,
             replica: replica_idx,
@@ -651,19 +832,20 @@ fn run_chain(
             chain_len,
             close_ns: pending.close_ns,
             queue_wait_ns: queue_wait,
-            attribution: Some(attribution.clip_window(prev_done, *done_ns)),
+            attribution: Some(attribution.clip_window(prev_done, window_end)),
         });
         replica.batches += 1;
         replica.requests += batch.requests.len() as u64;
         replica.tokens += u64::from(batch.tokens);
-        prev_done = *done_ns;
+        prev_done = window_end;
     }
     replica.busy_ns += total_ns;
     replica.chains += 1;
     replica
         .chain_log
         .push((start_ns, total_ns, attribution.totals));
-    Ok(start_ns.saturating_add(total_ns))
+    let any_degraded = outcomes.contains(&"degraded");
+    Ok((start_ns.saturating_add(total_ns), any_degraded))
 }
 
 /// Serve-level critical-path attribution: the bottleneck replica's
@@ -746,6 +928,8 @@ fn build_report(
         batch_records,
         signal_weighted_sum,
         signal_samples,
+        batches_rerouted,
+        quarantine_shed,
         drift,
     } = acct;
     let attribution = serve_attribution(makespan_ns, replicas, &records);
@@ -805,6 +989,7 @@ fn build_report(
             } else {
                 0.0
             },
+            quarantined: r.quarantined.is_some(),
             cache: r.cache.stats(),
         })
         .collect();
@@ -821,6 +1006,10 @@ fn build_report(
         replicas: config.replicas,
         router: config.router.label(),
         pipelined: config.pipelined,
+        wedge_replica: config.wedge_replica,
+        replicas_quarantined: replicas.iter().filter(|r| r.quarantined.is_some()).count() as u64,
+        batches_rerouted,
+        quarantine_shed,
         makespan_ns,
         completed,
         shed,

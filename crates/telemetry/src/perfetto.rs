@@ -231,6 +231,7 @@ fn instant_events(record: &TelemetryRecord, events: &mut Vec<Value>) {
         let name = match ev.kind {
             RuntimeEventKind::FaultInjected => "fault-injected",
             RuntimeEventKind::WatchdogFired => "watchdog-fired",
+            RuntimeEventKind::FaultQuarantined => "fault-quarantined",
             RuntimeEventKind::TailRecovery => "tail-recovery",
             RuntimeEventKind::DegradedFallback => "degraded-fallback",
         };
