@@ -230,6 +230,57 @@ assert analyze["signal_wait_saved_ns"] > 0, analyze["signal_wait_saved_ns"]
 print(f"analyze gate: ok (signal-wait {tuned} ns tuned vs {per_wave} ns per-wave)")
 EOF
 
+echo "== topology gate (2-node serve: determinism, hierarchical savings, locality) =="
+# Two nodes x 2 GPUs each: same seed byte-compares, the hierarchical
+# collective schedule must cross nodes with strictly fewer bytes than
+# the flat ring, and the locality router must spill across nodes less
+# than round-robin under identical traffic.
+timeout 300 cargo run -q -p flashoverlap-cli --bin flashoverlap -- serve \
+  --requests 120 --rate 2400 --seed 11 --gpus 4 --nodes 2 --replicas 4 \
+  --router locality --metrics-out "$tmp/topo.json" > /dev/null
+timeout 300 cargo run -q -p flashoverlap-cli --bin flashoverlap -- serve \
+  --requests 120 --rate 2400 --seed 11 --gpus 4 --nodes 2 --replicas 4 \
+  --router locality --metrics-out "$tmp/topo2.json" > /dev/null
+cmp "$tmp/topo.json" "$tmp/topo2.json" \
+  || { echo "topology gate: same seed wrote different two-node reports"; exit 1; }
+timeout 300 cargo run -q -p flashoverlap-cli --bin flashoverlap -- serve \
+  --requests 120 --rate 2400 --seed 11 --gpus 4 --nodes 2 --replicas 4 \
+  --router round-robin --metrics-out "$tmp/topo-rr.json" > /dev/null
+python3 - "$tmp/topo.json" "$tmp/topo-rr.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    loc = json.load(f)
+with open(sys.argv[2]) as f:
+    rr = json.load(f)
+assert loc["nodes"] == 2 and loc["router"] == "locality", loc["router"]
+per_node = loc["per_node"]
+assert len(per_node) == 2, "one stats row per node"
+assert sum(n["replicas"] for n in per_node) == loc["replicas"], per_node
+assert sum(n["batches"] for n in per_node) == loc["batches"]["executed"], \
+    "per-node batches must sum to the total"
+assert sum(n["requests"] for n in per_node) == loc["requests"]["completed"], \
+    "per-node requests must sum to completed"
+assert sum(n["tokens"] for n in per_node) \
+    == sum(r["tokens"] for r in loc["per_replica"]), \
+    "per-node tokens must agree with the replica rows they fold"
+for r in loc["per_replica"]:
+    assert r["node"] == r["id"] % loc["nodes"], r
+ib = loc["cross_node"]["inter_bytes"]
+assert ib["hierarchical"] > 0, "a node-spanning TP group must cross nodes"
+assert ib["hierarchical"] < ib["flat_baseline"], \
+    f"hierarchical collectives must move fewer inter-node bytes than the " \
+    f"flat ring ({ib['hierarchical']} vs {ib['flat_baseline']})"
+assert loc["offered"] == rr["offered"], "identical traffic required"
+loc_rate = loc["cross_node"]["batches"] / loc["batches"]["executed"]
+rr_rate = rr["cross_node"]["batches"] / rr["batches"]["executed"]
+assert loc_rate < rr_rate, \
+    f"locality must spill across nodes less than round-robin " \
+    f"({loc_rate:.3f} vs {rr_rate:.3f})"
+saved = 1 - ib["hierarchical"] / ib["flat_baseline"]
+print(f"topology gate: ok (hierarchical saves {saved:.0%} inter-node bytes, "
+      f"spill rate {loc_rate:.2f} locality vs {rr_rate:.2f} round-robin)")
+EOF
+
 echo "== bench gate (BENCH_serve.json byte-stable, attribution identity exact) =="
 # Two identical seeded runs byte-compare; the committed artifact at the
 # repo root must match what the pinned command regenerates today.

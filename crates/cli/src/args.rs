@@ -18,7 +18,8 @@ pub struct CliError {
 }
 
 impl CliError {
-    fn usage(message: impl Into<String>) -> Self {
+    /// A usage error (the caller prints the help text after it).
+    pub fn usage(message: impl Into<String>) -> Self {
         CliError {
             message: message.into(),
             show_usage: true,
@@ -135,6 +136,10 @@ pub struct Cli {
     pub baseline: bool,
     /// Number of independent TP replica groups (`serve`).
     pub replicas: usize,
+    /// Nodes the replicas are placed across; > 1 splits every TP group
+    /// over a two-tier topology and arms inter-node migration
+    /// accounting (`serve`).
+    pub nodes: usize,
     /// Force this replica's first chaos chain to wedge so the
     /// quarantine → re-route path is reproducible (`serve`; requires
     /// `--chaos`).
@@ -197,12 +202,20 @@ options:
                           untuned non-overlap plans and report speedups
   --replicas <int>        serve: independent TP replica groups, each with
                           its own cluster and plan cache (default: 1)
+  --nodes <int>           serve: place replicas across this many nodes
+                          (replica r lives on node r mod nodes) over a
+                          two-tier NVLink/HDR-IB topology; batches routed
+                          off their home node pay an accounted inter-node
+                          migration penalty (default: 1; requires
+                          gpus and replicas divisible by nodes)
   --wedge-replica <int>   serve: force this replica's first chaos chain to
                           wedge unrecoverably; the replica is quarantined
                           and its queued batches re-route deterministically
                           (requires --chaos)
   --router <name>         serve: round-robin | least-loaded |
-                          shape-affinity (default: round-robin)
+                          shape-affinity | locality (default: round-robin;
+                          locality prefers same-node replicas and spills
+                          across nodes only past a slack threshold)
   --no-pipeline           serve: full barrier between a replica's chained
                           batches instead of cross-batch pipelining
   --scaling               serve: also serve the single-replica and
@@ -336,6 +349,7 @@ impl Cli {
         let mut serve_chaos = false;
         let mut baseline = false;
         let mut replicas = 1usize;
+        let mut nodes = 1usize;
         let mut wedge_replica = None;
         let mut router = RouterPolicy::RoundRobin;
         let mut no_pipeline = false;
@@ -450,6 +464,12 @@ impl Cli {
                         return Err(CliError::usage("--replicas must be at least 1"));
                     }
                 }
+                "--nodes" => {
+                    nodes = parse_u32("--nodes", it.next())? as usize;
+                    if nodes == 0 {
+                        return Err(CliError::usage("--nodes must be at least 1"));
+                    }
+                }
                 "--wedge-replica" => {
                     wedge_replica = Some(parse_u32("--wedge-replica", it.next())? as usize);
                 }
@@ -460,7 +480,7 @@ impl Cli {
                     router = RouterPolicy::parse(&v.to_lowercase()).ok_or_else(|| {
                         CliError::usage(format!(
                             "unknown router: {v} (expected round-robin, least-loaded, \
-                             or shape-affinity)"
+                             shape-affinity, or locality)"
                         ))
                     })?;
                 }
@@ -531,6 +551,7 @@ impl Cli {
             serve_chaos,
             baseline,
             replicas,
+            nodes,
             wedge_replica,
             router,
             no_pipeline,
@@ -734,6 +755,11 @@ mod tests {
         assert_eq!(cli.plan_cache_in.as_deref(), Some("warm.json"));
         let cli = Cli::parse(&argv("serve --router least-loaded")).unwrap();
         assert_eq!(cli.router, RouterPolicy::LeastLoaded);
+        assert_eq!(cli.nodes, 1);
+        let cli = Cli::parse(&argv("serve --nodes 2 --replicas 4 --router locality")).unwrap();
+        assert_eq!(cli.nodes, 2);
+        assert_eq!(cli.router, RouterPolicy::Locality);
+        assert!(Cli::parse(&argv("serve --nodes 0")).unwrap_err().show_usage);
         let cli = Cli::parse(&argv("serve --chaos --replicas 4 --wedge-replica 2")).unwrap();
         assert_eq!(cli.wedge_replica, Some(2));
         assert_eq!(Cli::parse(&argv("serve")).unwrap().wedge_replica, None);

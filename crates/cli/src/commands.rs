@@ -184,13 +184,32 @@ fn execute_chaos(cli: &Cli) -> Result<String, CliError> {
 /// Builds the [`serving::ServeConfig`] shared by the `serve` and
 /// `bench` commands from the CLI flags.
 fn serve_config(cli: &Cli) -> Result<serving::ServeConfig, CliError> {
-    let system = system_for(cli.platform, cli.gpus).with_algorithm(cli.algorithm);
+    let mut system = system_for(cli.platform, cli.gpus).with_algorithm(cli.algorithm);
+    if cli.nodes > 1 {
+        // Multi-node: split every TP group across the nodes (so its
+        // collectives run hierarchically over the two-tier fabric) and
+        // arm the server's node placement / migration accounting.
+        if !cli.gpus.is_multiple_of(cli.nodes) {
+            return Err(CliError::usage(format!(
+                "--nodes {} must divide --gpus {} evenly",
+                cli.nodes, cli.gpus
+            )));
+        }
+        if !cli.replicas.is_multiple_of(cli.nodes) {
+            return Err(CliError::usage(format!(
+                "--nodes {} must divide --replicas {} evenly",
+                cli.nodes, cli.replicas
+            )));
+        }
+        system = system.with_nodes(cli.nodes);
+    }
     let mut config = serving::ServeConfig::new(system);
     config.seed = cli.seed;
     config.requests = cli.requests;
     config.slo_ns = (cli.slo_ms * 1e6).round() as u64;
     config.chaos = cli.serve_chaos;
     config.replicas = cli.replicas;
+    config.nodes = cli.nodes;
     config.wedge_replica = cli.wedge_replica;
     config.router = cli.router;
     config.pipelined = !cli.no_pipeline;
@@ -1130,6 +1149,40 @@ mod tests {
             json.get("kind").and_then(|v| v.as_str()),
             Some("flashoverlap-serve")
         );
+    }
+
+    #[test]
+    fn serve_across_nodes_reports_migration_and_replays() {
+        let metrics_a = temp_path("serve-nodes-a.json");
+        let metrics_b = temp_path("serve-nodes-b.json");
+        let cmd = |path: &std::path::Path| {
+            format!(
+                "serve --requests 60 --rate 2400 --seed 11 --nodes 2 --replicas 4 \
+                 --router locality --metrics-out {}",
+                path.display()
+            )
+        };
+        let out = execute_argv(&argv(&cmd(&metrics_a))).unwrap();
+        assert!(out.contains("2 nodes:"), "{out}");
+        assert!(out.contains("node 0:"), "{out}");
+        assert!(out.contains("node 1:"), "{out}");
+        assert!(out.contains("locality router"), "{out}");
+        execute_argv(&argv(&cmd(&metrics_b))).unwrap();
+        let a = std::fs::read_to_string(&metrics_a).unwrap();
+        let b = std::fs::read_to_string(&metrics_b).unwrap();
+        assert_eq!(a, b, "same seed must write byte-identical node metrics");
+        let json = telemetry::json::parse(&a).unwrap();
+        assert_eq!(json.get("nodes").and_then(|v| v.as_f64()), Some(2.0));
+        let per_node = json.get("per_node").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(per_node.len(), 2);
+    }
+
+    #[test]
+    fn serve_rejects_indivisible_node_counts() {
+        let err = execute_argv(&argv("serve --nodes 3 --replicas 3 --gpus 4")).unwrap_err();
+        assert!(err.message.contains("divide --gpus"), "{}", err.message);
+        let err = execute_argv(&argv("serve --nodes 2 --replicas 3 --gpus 4")).unwrap_err();
+        assert!(err.message.contains("divide --replicas"), "{}", err.message);
     }
 
     #[test]

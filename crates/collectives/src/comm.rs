@@ -24,8 +24,10 @@ use gpu_sim::stream::{Completion, Kernel, LaunchCtx, StreamId};
 use gpu_sim::ClusterSim;
 use interconnect::FabricSpec;
 use sim::SimDuration;
+use topology::Topology;
 
-use crate::cost::{collective_duration_with, Algorithm, Primitive, BYTES_PER_ELEM};
+use crate::cost::{Algorithm, Primitive, BYTES_PER_ELEM};
+use crate::hierarchical;
 
 /// A contiguous region of one buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,14 +118,22 @@ impl CollectiveSpec {
         }
     }
 
-    fn duration(&self, fabric: &FabricSpec, n: usize, algorithm: Algorithm) -> SimDuration {
+    fn duration(&self, topo: &Topology, n: usize, algorithm: Algorithm) -> SimDuration {
         match self {
-            CollectiveSpec::AllToAllV { plan, .. } => all_to_all::duration(plan, n, fabric),
-            _ => collective_duration_with(
+            // Personalized exchanges run at the speed of the slowest tier
+            // they cross; there is no hierarchical shortcut.
+            CollectiveSpec::AllToAllV { plan, .. } => {
+                let fabric = if topo.spans_nodes() {
+                    &topo.inter
+                } else {
+                    &topo.intra
+                };
+                all_to_all::duration(plan, n, fabric)
+            }
+            _ => hierarchical::tiered_duration(
                 self.primitive(),
                 self.payload_bytes(),
-                n,
-                fabric,
+                topo,
                 algorithm,
             ),
         }
@@ -143,8 +153,14 @@ impl CollectiveSpec {
     }
 
     /// Applies the data semantics against the cluster (functional mode).
-    fn apply_data(&self, world: &mut Cluster, ranks: &[DeviceId]) {
+    /// On a multi-node topology AllReduce reduces hierarchically —
+    /// per-node partial sums first, then across nodes — matching the
+    /// dataflow of the hierarchical schedule.
+    fn apply_data(&self, world: &mut Cluster, ranks: &[DeviceId], topo: &Topology) {
         match self {
+            CollectiveSpec::AllReduce { regions } if topo.spans_nodes() => {
+                all_reduce::apply_data_hierarchical(world, ranks, regions, &topo.node_map());
+            }
             CollectiveSpec::AllReduce { regions } => {
                 all_reduce::apply_data(world, ranks, regions);
             }
@@ -210,6 +226,17 @@ impl CollectiveSpec {
         }
     }
 
+    /// Like [`CollectiveSpec::link_loads`], but scheduled over a two-tier
+    /// topology: ring collectives route over the hierarchical schedule
+    /// (intra-node rings + the inter-node leader ring) when the topology
+    /// spans nodes; All-to-All keeps its explicit pairwise plan.
+    pub fn link_loads_tiered(&self, topo: &Topology) -> Vec<(usize, usize, u64)> {
+        match self {
+            CollectiveSpec::AllToAllV { .. } => self.link_loads(topo.n_gpus()),
+            _ => hierarchical::ring_loads(self.primitive(), self.payload_bytes(), topo),
+        }
+    }
+
     /// The local buffer ranges rank `rank` receives — written when the
     /// collective completes.
     pub fn recv_ranges(&self, rank: usize) -> Vec<(BufferId, Range<usize>)> {
@@ -241,7 +268,10 @@ struct CommState {
 
 struct CommInner {
     ranks: Vec<DeviceId>,
-    fabric: FabricSpec,
+    /// The communicator's own rank space mapped onto nodes and tiers;
+    /// single-node for every pre-topology constructor. `topology.intra`
+    /// doubles as the flat fabric.
+    topology: Topology,
     sm_footprint: u32,
     algorithm: Algorithm,
     state: RefCell<CommState>,
@@ -295,7 +325,40 @@ impl Communicator {
         sm_footprint: u32,
         algorithm: Algorithm,
     ) -> Self {
+        let n = ranks.len();
+        Self::with_topology(
+            ranks,
+            Topology::single_node(fabric, n.max(1)),
+            sm_footprint,
+            algorithm,
+        )
+    }
+
+    /// Creates a communicator whose ranks are laid out on a two-tier
+    /// topology. `topology` describes the communicator's *own* rank
+    /// space: communicator rank `i` sits on `topology.node_of(i)`, so it
+    /// must cover exactly `ranks.len()` GPUs. Collectives schedule
+    /// hierarchically (and charge inter-tier costs) whenever the
+    /// topology spans nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Communicator::new`], or if the topology size does
+    /// not match the rank count.
+    pub fn with_topology(
+        ranks: Vec<DeviceId>,
+        topology: Topology,
+        sm_footprint: u32,
+        algorithm: Algorithm,
+    ) -> Self {
         assert!(ranks.len() >= 2, "communicator needs at least two ranks");
+        assert_eq!(
+            topology.n_gpus(),
+            ranks.len(),
+            "topology covers {} GPUs but the communicator has {} ranks",
+            topology.n_gpus(),
+            ranks.len()
+        );
         let mut sorted = ranks.clone();
         sorted.sort_unstable();
         sorted.dedup();
@@ -303,7 +366,7 @@ impl Communicator {
         Communicator {
             inner: Rc::new(CommInner {
                 ranks,
-                fabric,
+                topology,
                 sm_footprint,
                 algorithm,
                 state: RefCell::new(CommState::default()),
@@ -326,9 +389,15 @@ impl Communicator {
         &self.inner.ranks
     }
 
-    /// The fabric this communicator runs over.
+    /// The fabric this communicator runs over (the intra-node tier on a
+    /// multi-node topology).
     pub fn fabric(&self) -> &FabricSpec {
-        &self.inner.fabric
+        &self.inner.topology.intra
+    }
+
+    /// The topology the communicator's ranks are laid out on.
+    pub fn topology(&self) -> &Topology {
+        &self.inner.topology
     }
 
     /// The constant SM footprint per in-flight collective.
@@ -430,7 +499,7 @@ impl Communicator {
     /// models; the runtime uses the same function, so this is exact up to
     /// rendezvous skew).
     pub fn duration_of(&self, spec: &CollectiveSpec) -> SimDuration {
-        spec.duration(&self.inner.fabric, self.size(), self.inner.algorithm)
+        spec.duration(&self.inner.topology, self.size(), self.inner.algorithm)
     }
 }
 
@@ -438,7 +507,8 @@ impl std::fmt::Debug for Communicator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Communicator")
             .field("ranks", &self.inner.ranks)
-            .field("fabric", &self.inner.fabric.name)
+            .field("fabric", &self.inner.topology.intra.name)
+            .field("nodes", &self.inner.topology.nodes)
             .field("sm_footprint", &self.inner.sm_footprint)
             .finish()
     }
@@ -555,8 +625,13 @@ impl Kernel for CollectiveKernel {
                     .uniform(0.0, world.noise.comm_frac.max(0.0));
             // Injected fabric faults: a persistent bandwidth-degradation
             // multiplier, plus a transient per-collective stall while the
-            // stall budget lasts.
-            let slowdown = world.comm_fault.slowdown_factor();
+            // stall budget lasts. Inter-tier degradation only bites when
+            // this communicator's collective actually crosses nodes.
+            let crosses_nodes = inner.topology.spans_nodes();
+            let mut slowdown = world.comm_fault.slowdown_factor();
+            if crosses_nodes {
+                slowdown *= world.comm_fault.inter_slowdown_factor();
+            }
             let stall = world.comm_fault.take_stall().unwrap_or(SimDuration::ZERO);
             if stall.as_nanos() > 0 {
                 world.notify_runtime_event(&gpu_sim::monitor::RuntimeEvent {
@@ -572,7 +647,7 @@ impl Kernel for CollectiveKernel {
             }
             let duration = self
                 .spec
-                .duration(&inner.fabric, n, inner.algorithm)
+                .duration(&inner.topology, n, inner.algorithm)
                 .mul_f64(noise * slowdown)
                 + stall;
             // Serialize behind earlier collectives on this communicator:
@@ -587,7 +662,7 @@ impl Kernel for CollectiveKernel {
             // The wire is busy for the whole [start, finish_at) window;
             // report each link's share for utilization timelines.
             if let Some(monitor) = world.monitor.clone() {
-                for (src, dst, bytes) in self.spec.link_loads(n) {
+                for (src, dst, bytes) in self.spec.link_loads_tiered(&inner.topology) {
                     monitor.on_link_transfer(&LinkTransfer {
                         src: inner.ranks[src],
                         dst: inner.ranks[dst],
@@ -616,7 +691,7 @@ impl Kernel for CollectiveKernel {
                     }
                 }
                 if w.functional {
-                    spec.apply_data(w, comm.ranks());
+                    spec.apply_data(w, comm.ranks(), comm.topology());
                 }
                 let footprint = comm.sm_footprint();
                 for (rank, completion) in pending.completions.into_iter().enumerate() {
@@ -928,6 +1003,7 @@ mod tests {
                 slowdown,
                 stall: SimDuration::from_nanos(stall_ns),
                 stall_count: u32::from(stall_ns > 0),
+                inter_slowdown: 0.0,
             };
             let comm = comm(&world);
             let streams = streams(&mut world);
@@ -1035,5 +1111,125 @@ mod tests {
     #[should_panic(expected = "at least two ranks")]
     fn single_rank_communicator_panics() {
         let _ = Communicator::new(vec![0], FabricSpec::rtx4090_pcie(), 16);
+    }
+
+    fn two_node_comm(world: &Cluster) -> Communicator {
+        Communicator::with_topology(
+            (0..world.num_devices()).collect(),
+            Topology::a800_hdr(2, world.num_devices() / 2),
+            16,
+            Algorithm::Ring,
+        )
+    }
+
+    #[test]
+    fn multi_node_communicator_charges_hierarchical_duration() {
+        let (world, _) = cluster(4);
+        let comm = two_node_comm(&world);
+        let regions: Vec<Region> = (0..4).map(|_| Region::new(0, 0, 1 << 20)).collect();
+        let spec = CollectiveSpec::AllReduce { regions };
+        let expected = crate::hierarchical::tiered_duration(
+            Primitive::AllReduce,
+            (1u64 << 20) * BYTES_PER_ELEM,
+            comm.topology(),
+            Algorithm::Ring,
+        );
+        assert_eq!(comm.duration_of(&spec), expected);
+        // Hierarchical beats the flat ring at inter-node speed.
+        let flat = crate::hierarchical::flat_tiered_duration(
+            Primitive::AllReduce,
+            (1u64 << 20) * BYTES_PER_ELEM,
+            comm.topology(),
+            Algorithm::Ring,
+        );
+        assert!(comm.duration_of(&spec) < flat);
+    }
+
+    #[test]
+    fn multi_node_allreduce_still_sums_across_ranks() {
+        let (mut world, mut sim) = cluster(4);
+        let comm = two_node_comm(&world);
+        let streams = streams(&mut world);
+        let mut regions = Vec::new();
+        for d in 0..4 {
+            // Integer-valued payloads: hierarchical association is
+            // bit-exact with the flat sum.
+            let data: Vec<f32> = (0..8).map(|i| (d * 8 + i) as f32).collect();
+            let buf = world.devices[d].mem.alloc_init(&data);
+            regions.push(Region::new(buf, 0, 8));
+        }
+        for (d, kernel) in comm
+            .kernels(CollectiveSpec::AllReduce {
+                regions: regions.clone(),
+            })
+            .into_iter()
+            .enumerate()
+        {
+            enqueue(&mut world, &mut sim, d, streams[d], Box::new(kernel));
+        }
+        sim.run(&mut world).unwrap();
+        for (d, region) in regions.iter().enumerate() {
+            let data = world.devices[d].mem.snapshot(region.buf);
+            for (i, &x) in data.iter().enumerate() {
+                let expected: f32 = (0..4).map(|r| (r * 8 + i) as f32).sum();
+                assert_eq!(x, expected, "rank {d} elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn inter_fault_spares_single_node_collectives() {
+        let run = |nodes: usize, inter_slowdown: f64| -> u64 {
+            let (mut world, mut sim) = cluster(4);
+            world.comm_fault.inter_slowdown = inter_slowdown;
+            let comm = if nodes > 1 {
+                two_node_comm(&world)
+            } else {
+                Communicator::new((0..4).collect(), FabricSpec::a800_nvlink(), 16)
+            };
+            let streams = streams(&mut world);
+            let mut regions = Vec::new();
+            for d in 0..4 {
+                let buf = world.devices[d].mem.alloc(1 << 20);
+                regions.push(Region::new(buf, 0, 1 << 20));
+            }
+            let spec = CollectiveSpec::AllReduce { regions };
+            for (d, kernel) in comm.kernels(spec).into_iter().enumerate() {
+                enqueue(&mut world, &mut sim, d, streams[d], Box::new(kernel));
+            }
+            sim.run(&mut world).unwrap().as_nanos()
+        };
+        // A degraded inter-node link leaves single-node collectives
+        // untouched but stretches node-spanning ones.
+        assert_eq!(run(1, 4.0), run(1, 1.0));
+        let spanned_clean = run(2, 1.0);
+        let spanned_faulted = run(2, 4.0);
+        assert!(
+            spanned_faulted as f64 >= 3.9 * spanned_clean as f64,
+            "inter fault should stretch node-spanning collectives: \
+             {spanned_faulted} vs {spanned_clean}"
+        );
+    }
+
+    #[test]
+    fn tiered_link_loads_route_over_the_leader_ring() {
+        let (world, _) = cluster(4);
+        let comm = two_node_comm(&world);
+        let regions: Vec<Region> = (0..4).map(|_| Region::new(0, 0, 1 << 20)).collect();
+        let spec = CollectiveSpec::AllReduce { regions };
+        let loads = spec.link_loads_tiered(comm.topology());
+        let topo = comm.topology();
+        let inter: u64 = loads
+            .iter()
+            .filter(|&&(s, d, _)| !topo.same_node(s, d))
+            .map(|&(_, _, b)| b)
+            .sum();
+        let flat: u64 = spec
+            .link_loads(4)
+            .iter()
+            .filter(|&&(s, d, _)| !topo.same_node(s, d))
+            .map(|&(_, _, b)| b)
+            .sum();
+        assert!(inter > 0 && inter < flat, "inter {inter} vs flat {flat}");
     }
 }

@@ -44,6 +44,44 @@ pub(super) fn apply_data(world: &mut Cluster, ranks: &[DeviceId], regions: &[Reg
     }
 }
 
+/// Functional-mode data semantics of the hierarchical schedule: each
+/// node reduces its ranks' contributions first (rank order within the
+/// node), then the node partials reduce across nodes (node order), and
+/// the total broadcasts everywhere. The association differs from the
+/// flat left-to-right sum, but both orders agree bit-exactly whenever
+/// every intermediate sum is exactly representable (the property the
+/// hierarchical proptest pins on integer-valued tensors).
+pub(super) fn apply_data_hierarchical(
+    world: &mut Cluster,
+    ranks: &[DeviceId],
+    regions: &[Region],
+    node_of: &[usize],
+) {
+    let count = regions[0].count;
+    let n_nodes = node_of.iter().max().map_or(0, |m| m + 1);
+    let mut partials = vec![vec![0.0f32; count]; n_nodes];
+    for (r, region) in regions.iter().enumerate() {
+        let data = world.devices[ranks[r]].mem.data(region.buf);
+        let acc = &mut partials[node_of[r]];
+        for (a, &x) in acc
+            .iter_mut()
+            .zip(&data[region.offset..region.offset + count])
+        {
+            *a += x;
+        }
+    }
+    let mut acc = vec![0.0f32; count];
+    for partial in &partials {
+        for (a, &x) in acc.iter_mut().zip(partial) {
+            *a += x;
+        }
+    }
+    for (r, region) in regions.iter().enumerate() {
+        let data = world.devices[ranks[r]].mem.data_mut(region.buf);
+        data[region.offset..region.offset + count].copy_from_slice(&acc);
+    }
+}
+
 /// The local elements rank `rank` contributes (read from arrival on).
 pub(super) fn send_ranges(regions: &[Region], rank: usize) -> Vec<(BufferId, Range<usize>)> {
     let r = regions[rank];

@@ -112,8 +112,8 @@ fn direct_duration(prim: Primitive, bytes: u64, n: usize, fabric: &FabricSpec) -
     let per_phase = match fabric.kind {
         // Pairwise NVLink moves the peer transfers in parallel.
         LinkKind::NvLink => fabric.p2p.wire_time(bytes),
-        // One PCIe egress port serializes them.
-        LinkKind::Pcie => fabric.p2p.wire_time(bytes) * (n as u64 - 1),
+        // One PCIe egress port / IB NIC serializes them.
+        LinkKind::Pcie | LinkKind::InfiniBand => fabric.p2p.wire_time(bytes) * (n as u64 - 1),
     };
     overhead + per_phase * phases
 }
@@ -154,7 +154,7 @@ pub fn all_to_all_duration(per_dest_bytes: &[u64], n: usize, fabric: &FabricSpec
     let overhead = SimDuration::from_nanos(fabric.p2p.call_overhead_ns);
     let messages = per_dest_bytes.len().min(n.saturating_sub(1)).max(1);
     match fabric.kind {
-        LinkKind::Pcie => {
+        LinkKind::Pcie | LinkKind::InfiniBand => {
             let wire: SimDuration = per_dest_bytes
                 .iter()
                 .take(messages)

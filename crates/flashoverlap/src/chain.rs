@@ -221,6 +221,10 @@ pub(crate) fn arm_cluster_faults(
                     let prior = world.comm_fault.slowdown.max(1.0);
                     world.comm_fault.slowdown = prior * slowdown.max(1.0);
                 }
+                Fault::InterLinkDegradation { slowdown } => {
+                    let prior = world.comm_fault.inter_slowdown.max(1.0);
+                    world.comm_fault.inter_slowdown = prior * slowdown.max(1.0);
+                }
                 Fault::LinkStall { stall, count } => {
                     world.comm_fault.stall = world.comm_fault.stall.max(stall);
                     world.comm_fault.stall_count += count;
@@ -259,7 +263,9 @@ fn fault_device(fault: &Fault) -> gpu_sim::DeviceId {
         | Fault::DelayedIncrement { rank, .. }
         | Fault::StragglerSms { rank, .. }
         | Fault::SlowRank { rank, .. } => rank,
-        Fault::LinkDegradation { .. } | Fault::LinkStall { .. } => 0,
+        Fault::LinkDegradation { .. }
+        | Fault::InterLinkDegradation { .. }
+        | Fault::LinkStall { .. } => 0,
     }
 }
 

@@ -15,7 +15,7 @@
 //! collective starts only after its waves computed *and* the previous
 //! collective drained the stream.
 
-use collectives::{collective_duration_with, Primitive, BYTES_PER_ELEM};
+use collectives::{tiered_duration, Primitive, BYTES_PER_ELEM};
 use gpu_sim::gemm::{gemm_estimate, GemmConfig, GemmDims};
 use interconnect::{log_spaced_sizes, SampledCurve};
 use sim::SimDuration;
@@ -62,7 +62,11 @@ impl OfflineProfile {
         let (total_waves, gemm_duration) = gemm_estimate(dims, &config, sms, &system.arch);
 
         // Sample the communication latency curve over the range a group
-        // can span: one tile up to the whole output.
+        // can span: one tile up to the whole output. Charging goes through
+        // the tiered cost model, so on a multi-node topology the curve
+        // reflects the hierarchical schedule (inter-tier bandwidth on the
+        // leader phase) and `predictive_search` tunes node-spanning groups
+        // differently from single-node ones.
         let max_bytes = dims.out_elems() * BYTES_PER_ELEM;
         let min_bytes = (config.tile.elems() * BYTES_PER_ELEM)
             .min(max_bytes / 2)
@@ -74,13 +78,7 @@ impl OfflineProfile {
                 .map(|bytes| {
                     (
                         bytes,
-                        collective_duration_with(
-                            primitive,
-                            bytes,
-                            system.n_gpus,
-                            &system.fabric,
-                            system.algorithm,
-                        ),
+                        tiered_duration(primitive, bytes, &system.topology, system.algorithm),
                     )
                 })
                 .collect(),

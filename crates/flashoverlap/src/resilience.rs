@@ -82,6 +82,14 @@ pub enum Fault {
         /// Duration multiplier applied at every rendezvous.
         slowdown: f64,
     },
+    /// Collectives that *cross a node boundary* run `slowdown` times
+    /// longer; single-node collectives are untouched — a congested or
+    /// flapping inter-node (InfiniBand-tier) link. On a single-node
+    /// topology this fault is armed but never felt.
+    InterLinkDegradation {
+        /// Duration multiplier applied only at node-spanning rendezvous.
+        slowdown: f64,
+    },
     /// The next `count` collective calls stall for `stall` before
     /// starting (transient link congestion or retransmit bursts).
     LinkStall {
@@ -125,6 +133,12 @@ impl fmt::Display for Fault {
             ),
             Fault::LinkDegradation { slowdown } => {
                 write!(f, "degrade links: {slowdown:.2}x slower collectives")
+            }
+            Fault::InterLinkDegradation { slowdown } => {
+                write!(
+                    f,
+                    "degrade inter-node links: {slowdown:.2}x slower node-spanning collectives"
+                )
             }
             Fault::LinkStall { stall, count } => {
                 write!(f, "stall next {count} collective calls by {stall}")
@@ -222,7 +236,9 @@ impl FaultPlan {
                 Fault::StragglerSms { rank, .. } | Fault::SlowRank { rank, .. } => {
                     (Some(rank), None)
                 }
-                Fault::LinkDegradation { .. } | Fault::LinkStall { .. } => (None, None),
+                Fault::LinkDegradation { .. }
+                | Fault::InterLinkDegradation { .. }
+                | Fault::LinkStall { .. } => (None, None),
             };
             if let Some(r) = rank {
                 if r >= n_ranks {

@@ -985,9 +985,9 @@ impl OverlapPlan {
         tables_override: Option<&[usize]>,
     ) -> ProgramHandles {
         let n = self.system.n_gpus;
-        let comm = Communicator::with_algorithm(
+        let comm = Communicator::with_topology(
             (0..n).collect(),
-            self.system.fabric.clone(),
+            self.system.topology.clone(),
             self.system.comm_sms,
             self.system.algorithm,
         );
@@ -1580,6 +1580,10 @@ impl OverlapPlan {
                     let prior = world.comm_fault.slowdown.max(1.0);
                     world.comm_fault.slowdown = prior * slowdown.max(1.0);
                 }
+                Fault::InterLinkDegradation { slowdown } => {
+                    let prior = world.comm_fault.inter_slowdown.max(1.0);
+                    world.comm_fault.inter_slowdown = prior * slowdown.max(1.0);
+                }
                 Fault::LinkStall { stall, count } => {
                     world.comm_fault.stall = world.comm_fault.stall.max(stall);
                     world.comm_fault.stall_count += count;
@@ -1892,7 +1896,9 @@ fn fault_device(fault: &Fault) -> gpu_sim::DeviceId {
         | Fault::DelayedIncrement { rank, .. }
         | Fault::StragglerSms { rank, .. }
         | Fault::SlowRank { rank, .. } => rank,
-        Fault::LinkDegradation { .. } | Fault::LinkStall { .. } => 0,
+        Fault::LinkDegradation { .. }
+        | Fault::InterLinkDegradation { .. }
+        | Fault::LinkStall { .. } => 0,
     }
 }
 
@@ -2222,6 +2228,83 @@ mod tests {
         assert!(
             report.events_of(RuntimeEventKind::TailRecovery).is_empty(),
             "no recovery collectives for a merely slow link"
+        );
+    }
+
+    fn two_node_plan(dims: GemmDims, n: usize) -> OverlapPlan {
+        let system = small_system(n).with_nodes(2);
+        let config = GemmConfig::choose(dims, &system.arch);
+        let waves = config.grid(dims).num_tiles().div_ceil(system.compute_sms());
+        OverlapPlan::new(
+            dims,
+            CommPattern::AllReduce,
+            system,
+            WavePartition::per_wave(waves),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn multi_node_plan_sums_correctly_end_to_end() {
+        // Two-tier topology switches the runtime onto the hierarchical
+        // collective schedule; the reduced output must still match the
+        // flat reference.
+        let dims = GemmDims::new(256, 256, 64);
+        let plan = two_node_plan(dims, 4);
+        let inputs = FunctionalInputs::random(dims, 4, 77);
+        let result = plan
+            .execute_with(&ExecOptions::new().functional(&inputs))
+            .unwrap();
+        let expected = reduced_reference(&inputs);
+        for (d, out) in result
+            .outputs
+            .as_deref()
+            .unwrap_or_default()
+            .iter()
+            .enumerate()
+        {
+            assert!(allclose(out, &expected, 1e-2), "rank {d} output mismatch");
+        }
+    }
+
+    #[test]
+    fn inter_link_fault_spares_single_node_plans() {
+        let dims = GemmDims::new(256, 256, 64);
+        let fault =
+            crate::resilience::FaultPlan::single(Fault::InterLinkDegradation { slowdown: 4.0 });
+        let none = crate::resilience::FaultPlan::none();
+        let watchdog = WatchdogConfig::default();
+        // Single-node plan: the fault arms but no collective spans nodes,
+        // so timing is identical to the fault-free resilient run.
+        let plan = all_reduce_plan(dims, 2);
+        let clean = plan
+            .execute_with(&ExecOptions::new().resilient(&none, &watchdog))
+            .unwrap()
+            .report
+            .latency;
+        let faulted = plan
+            .execute_with(&ExecOptions::new().resilient(&fault, &watchdog))
+            .unwrap()
+            .report
+            .latency;
+        assert_eq!(clean, faulted, "inter fault must not touch a single node");
+        // Two-node plan: every hierarchical leader phase crosses the
+        // degraded tier, so the run slows down.
+        let plan = two_node_plan(dims, 4);
+        let clean = plan
+            .execute_with(&ExecOptions::new().resilient(&none, &watchdog))
+            .unwrap()
+            .report
+            .latency;
+        let faulted = plan
+            .execute_with(&ExecOptions::new().resilient(&fault, &watchdog))
+            .unwrap()
+            .report
+            .latency;
+        assert!(
+            faulted > clean,
+            "node-spanning plan must feel the inter-link fault \
+             (clean {clean}, faulted {faulted})"
         );
     }
 

@@ -4,6 +4,7 @@ use collectives::Algorithm;
 use gpu_sim::arch::GpuArch;
 use gpu_sim::cluster::Cluster;
 use interconnect::FabricSpec;
+use topology::Topology;
 
 /// A complete description of the simulated multi-GPU server an overlap
 /// plan targets.
@@ -11,8 +12,15 @@ use interconnect::FabricSpec;
 pub struct SystemSpec {
     /// GPU architecture of every device.
     pub arch: GpuArch,
-    /// Inter-GPU fabric.
+    /// Inter-GPU fabric (the intra-node tier of [`SystemSpec::topology`];
+    /// kept in sync by the builders).
     pub fabric: FabricSpec,
+    /// How the GPUs are laid out across nodes. Single-node by default;
+    /// [`SystemSpec::with_nodes`] splits the group across nodes with an
+    /// InfiniBand-class inter tier, which switches collectives to the
+    /// hierarchical schedule and makes the predictor charge node-spanning
+    /// groups at inter-tier cost.
+    pub topology: Topology,
     /// Number of GPUs participating (the parallel group size).
     pub n_gpus: usize,
     /// Constant SM footprint of one in-flight collective (§4.2.1:
@@ -38,6 +46,7 @@ impl SystemSpec {
         SystemSpec {
             arch: GpuArch::rtx4090(),
             fabric: FabricSpec::rtx4090_pcie(),
+            topology: Topology::single_node(FabricSpec::rtx4090_pcie(), n_gpus.max(1)),
             n_gpus,
             comm_sms: 16,
             seed: 0x5eed,
@@ -51,6 +60,7 @@ impl SystemSpec {
         SystemSpec {
             arch: GpuArch::a800(),
             fabric: FabricSpec::a800_nvlink(),
+            topology: Topology::single_node(FabricSpec::a800_nvlink(), n_gpus.max(1)),
             n_gpus,
             comm_sms: 20,
             seed: 0x5eed,
@@ -84,6 +94,54 @@ impl SystemSpec {
         self
     }
 
+    /// Returns a copy laid out on an explicit two-tier topology. The
+    /// fabric field is re-synced to the topology's intra tier so every
+    /// single-tier consumer (telemetry peaks, Fig. 8 curves) keeps
+    /// reading a coherent value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology's GPU count differs from `n_gpus`.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        assert_eq!(
+            topology.n_gpus(),
+            self.n_gpus,
+            "topology covers {} GPUs but the system has {}",
+            topology.n_gpus(),
+            self.n_gpus
+        );
+        self.fabric = topology.intra.clone();
+        self.topology = topology;
+        self
+    }
+
+    /// Returns a copy with the GPUs split evenly across `nodes` nodes:
+    /// the existing fabric becomes the intra-node tier and nodes connect
+    /// over HDR InfiniBand. `nodes == 1` is the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or does not divide the GPU count.
+    pub fn with_nodes(self, nodes: usize) -> Self {
+        assert!(nodes >= 1, "need at least one node");
+        assert_eq!(
+            self.n_gpus % nodes,
+            0,
+            "{} GPUs do not split evenly across {nodes} nodes",
+            self.n_gpus
+        );
+        if nodes == 1 {
+            return self;
+        }
+        let topology = Topology::two_tier(
+            nodes,
+            self.n_gpus / nodes,
+            self.fabric.clone(),
+            FabricSpec::hdr_infiniband(),
+        );
+        self.with_topology(topology)
+    }
+
     /// SMs left to the GEMM while communication is in flight (Alg. 1
     /// line 3).
     pub fn compute_sms(&self) -> u32 {
@@ -109,6 +167,7 @@ impl SystemSpec {
             gemm_frac: Self::GEMM_NOISE_FRAC,
             comm_frac: Self::COMM_NOISE_FRAC,
         };
+        cluster.set_node_map(self.topology.node_map());
         cluster
     }
 }
@@ -144,5 +203,26 @@ mod tests {
         assert_eq!(cluster.num_devices(), 3);
         assert!(cluster.functional);
         assert_eq!(cluster.devices[0].arch.name, "A800");
+        assert_eq!(cluster.node_of, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn with_nodes_splits_the_group_and_places_devices() {
+        let spec = SystemSpec::a800(8).with_nodes(2);
+        assert_eq!(spec.topology.nodes, 2);
+        assert_eq!(spec.topology.gpus_per_node, 4);
+        assert_eq!(spec.fabric.name, spec.topology.intra.name);
+        assert_eq!(spec.topology.inter.name, "HDR-IB");
+        let cluster = spec.build_cluster(false);
+        assert_eq!(cluster.node_of, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        // nodes == 1 is the identity.
+        let single = SystemSpec::a800(8).with_nodes(1);
+        assert!(!single.topology.spans_nodes());
+    }
+
+    #[test]
+    #[should_panic(expected = "do not split evenly")]
+    fn uneven_node_split_panics() {
+        let _ = SystemSpec::a800(6).with_nodes(4);
     }
 }

@@ -238,6 +238,35 @@ mod tests {
     }
 
     #[test]
+    fn cross_node_topology_tunes_a_different_plan() {
+        // The predictor charges node-spanning groups at inter-tier cost,
+        // so on at least one shape the argmin partition must move when
+        // the same 8 GPUs split across two nodes.
+        let shapes = [
+            GemmDims::new(4096, 8192, 4096),
+            GemmDims::new(8192, 8192, 8192),
+            GemmDims::new(2048, 16384, 4096),
+            GemmDims::new(4096, 4096, 2048),
+        ];
+        let flat = SystemSpec::a800(8);
+        let tiered = SystemSpec::a800(8).with_nodes(2);
+        let mut diverged = false;
+        for dims in shapes {
+            let f = predictive_search(dims, Primitive::AllReduce, &flat);
+            let t = predictive_search(dims, Primitive::AllReduce, &tiered);
+            // Both searches must still produce executable partitions.
+            assert_eq!(f.partition.total_waves(), t.partition.total_waves());
+            if f.partition != t.partition {
+                diverged = true;
+            }
+        }
+        assert!(
+            diverged,
+            "splitting the group across nodes never changed the tuned plan"
+        );
+    }
+
+    #[test]
     fn exhaustive_search_rejects_large_wave_counts() {
         let dims = GemmDims::new(16384, 16384, 1024);
         let system = SystemSpec::rtx4090(4);

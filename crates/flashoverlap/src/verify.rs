@@ -40,7 +40,19 @@ use crate::runtime::{OverlapPlan, SignalMutation};
 pub fn model_of_plan(plan: &OverlapPlan) -> ScheduleModel {
     ScheduleModel {
         n_ranks: plan.system.n_gpus,
+        node_of: node_map_of(plan),
         segments: vec![segment_of(plan, "plan".to_string(), 0, false)],
+    }
+}
+
+/// The rank→node map lowered into the model — empty for single-node
+/// systems, so the verifier's node-coverage pass only runs on schedules
+/// that actually rendezvous across nodes.
+fn node_map_of(plan: &OverlapPlan) -> Vec<usize> {
+    if plan.system.topology.spans_nodes() {
+        plan.system.topology.node_map()
+    } else {
+        Vec::new()
     }
 }
 
@@ -53,6 +65,7 @@ pub fn model_of_chain(plans: &[&OverlapPlan], label: &str) -> ScheduleModel {
     let n_ranks = plans.first().map_or(0, |p| p.system.n_gpus);
     ScheduleModel {
         n_ranks,
+        node_of: plans.first().map_or_else(Vec::new, |p| node_map_of(p)),
         segments: plans
             .iter()
             .enumerate()
@@ -290,6 +303,25 @@ mod tests {
             assert!(report.stats.reads > 0);
             p.check_static().unwrap();
         }
+    }
+
+    #[test]
+    fn multi_node_plan_lowers_its_node_map_and_verifies_clean() {
+        let dims = GemmDims::new(512, 1024, 512);
+        let system = SystemSpec::rtx4090(4).with_nodes(2);
+        let p = OverlapPlan::tuned(dims, CommPattern::AllReduce, system).unwrap();
+        let model = model_of_plan(&p);
+        assert_eq!(model.node_of, vec![0, 0, 1, 1]);
+        let report = p.verify();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert!(
+            report.stats.node_checks >= 2,
+            "node-coverage pass must run on hierarchical models"
+        );
+        // Single-node plans lower an empty map: the pass is skipped.
+        let flat = plan(CommPattern::AllReduce);
+        assert!(model_of_plan(&flat).node_of.is_empty());
+        assert_eq!(flat.verify().stats.node_checks, 0);
     }
 
     #[test]

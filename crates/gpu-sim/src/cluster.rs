@@ -88,6 +88,10 @@ pub struct CommFault {
     pub stall: sim::SimDuration,
     /// How many upcoming collectives the stall still applies to.
     pub stall_count: u32,
+    /// Extra multiplier (≥ 1) applied only to collectives whose
+    /// communicator spans nodes — a degraded *inter-node* link. Composes
+    /// with `slowdown`; single-node collectives never feel it.
+    pub inter_slowdown: f64,
 }
 
 impl CommFault {
@@ -103,6 +107,12 @@ impl CommFault {
     /// The effective duration multiplier (clamped to ≥ 1).
     pub fn slowdown_factor(&self) -> f64 {
         self.slowdown.max(1.0)
+    }
+
+    /// The extra multiplier for node-spanning collectives (clamped to
+    /// ≥ 1).
+    pub fn inter_slowdown_factor(&self) -> f64 {
+        self.inter_slowdown.max(1.0)
     }
 }
 
@@ -157,6 +167,11 @@ pub struct Cluster {
     pub monitor: Option<Rc<dyn ClusterMonitor>>,
     /// Injected communication-fabric faults (none by default).
     pub comm_fault: CommFault,
+    /// Device → node placement map (all zeros for a single-node box).
+    /// Filled in by the topology-aware cluster builders; gpu-sim itself
+    /// never interprets it, but telemetry and serving read it to label
+    /// devices and place replicas.
+    pub node_of: Vec<usize>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -193,7 +208,22 @@ impl Cluster {
             op_spans: None,
             monitor: None,
             comm_fault: CommFault::default(),
+            node_of: vec![0; n],
         }
+    }
+
+    /// Records the device → node placement (one entry per device).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's length differs from the device count.
+    pub fn set_node_map(&mut self, node_of: Vec<usize>) {
+        assert_eq!(
+            node_of.len(),
+            self.devices.len(),
+            "node map needs one entry per device"
+        );
+        self.node_of = node_of;
     }
 
     /// Attaches an access/synchronization observer.
@@ -441,8 +471,10 @@ mod tests {
             slowdown: 0.5,
             stall: sim::SimDuration::from_nanos(100),
             stall_count: 2,
+            inter_slowdown: 0.0,
         };
         assert_eq!(fault.slowdown_factor(), 1.0, "slowdown clamps to >= 1");
+        assert_eq!(fault.inter_slowdown_factor(), 1.0, "inter clamps to >= 1");
         assert!(fault.take_stall().is_some());
         assert!(fault.take_stall().is_some());
         assert!(fault.take_stall().is_none());

@@ -11,6 +11,10 @@ pub enum LinkKind {
     /// low bandwidth, high per-call overhead, no peer-to-peer access on the
     /// evaluated RTX 4090 server.
     Pcie,
+    /// InfiniBand (or RoCE) NICs between nodes: moderate bandwidth, high
+    /// per-call overhead, and one NIC per endpoint so concurrent messages
+    /// from the same node serialize like a PCIe port.
+    InfiniBand,
 }
 
 /// A description of the inter-GPU fabric of one server.
@@ -59,6 +63,22 @@ impl FabricSpec {
             name: "RTX4090-PCIe",
             kind: LinkKind::Pcie,
             p2p: BandwidthModel::new(12.0, 768 << 10, 20_000),
+            peer_to_peer: false,
+        }
+    }
+
+    /// An inter-node InfiniBand fabric (HDR-class, one NIC per node).
+    ///
+    /// Calibration: ~25 GB/s effective saturated per direction (200 Gb/s
+    /// HDR with protocol losses), half-saturation near 1 MiB — RDMA setup
+    /// and rendezvous costs bite until messages are large — and ~15 us
+    /// per-call overhead. An order of magnitude below NVLink, the tier
+    /// gap that makes hierarchical collectives pay.
+    pub fn hdr_infiniband() -> Self {
+        FabricSpec {
+            name: "HDR-IB",
+            kind: LinkKind::InfiniBand,
+            p2p: BandwidthModel::new(25.0, 1 << 20, 15_000),
             peer_to_peer: false,
         }
     }
@@ -127,5 +147,16 @@ mod tests {
     #[test]
     fn kinds_are_distinguishable() {
         assert_ne!(LinkKind::NvLink, LinkKind::Pcie);
+        assert_ne!(LinkKind::Pcie, LinkKind::InfiniBand);
+    }
+
+    #[test]
+    fn infiniband_sits_between_pcie_and_nvlink() {
+        let nv = FabricSpec::a800_nvlink();
+        let ib = FabricSpec::hdr_infiniband();
+        let pcie = FabricSpec::rtx4090_pcie();
+        assert!(pcie.p2p.peak_gbps < ib.p2p.peak_gbps);
+        assert!(ib.p2p.peak_gbps < nv.p2p.peak_gbps / 4.0);
+        assert!(!ib.peer_to_peer);
     }
 }

@@ -92,6 +92,17 @@ pub enum Violation {
         /// The racing tile's wave group.
         tile_group: usize,
     },
+    /// A hierarchical (multi-node) segment with no rank on `node`: the
+    /// leader phase of every node-spanning collective rendezvouses with
+    /// that node's leader, so the whole segment's comm streams block.
+    MissingNodeLeader {
+        /// Segment index.
+        segment: usize,
+        /// The node with no participating rank.
+        node: usize,
+        /// Nodes the topology declares.
+        nodes: usize,
+    },
     /// A collective read interval no scheduled tile write covers.
     UncoveredRead {
         /// Segment index.
@@ -115,6 +126,7 @@ impl Violation {
             Violation::EarlyRelease { .. } => "early-release",
             Violation::StaleRearm { .. } => "stale-rearm",
             Violation::TileRace { .. } => "tile-race",
+            Violation::MissingNodeLeader { .. } => "missing-node-leader",
             Violation::UncoveredRead { .. } => "uncovered-read",
         }
     }
@@ -170,6 +182,15 @@ impl fmt::Display for Violation {
                 "segment {segment}: rank {rank} group {group}'s collective reads tile {tile} \
                  (group {tile_group}) without a completed-signal guarantee"
             ),
+            Violation::MissingNodeLeader {
+                segment,
+                node,
+                nodes,
+            } => write!(
+                f,
+                "segment {segment}: node {node} of {nodes} fields no rank; every node-spanning \
+                 collective waits on its leader and the segment's comm streams block"
+            ),
             Violation::UncoveredRead {
                 segment,
                 rank,
@@ -196,6 +217,9 @@ pub struct VerifyStats {
     pub tiles: usize,
     /// Collective read intervals checked for races and coverage.
     pub reads: usize,
+    /// Node-coverage checks run (segments × nodes on hierarchical
+    /// models; zero single-node).
+    pub node_checks: usize,
     /// Whether reporting hit [`VIOLATION_CAP`].
     pub truncated: bool,
 }
@@ -238,6 +262,32 @@ pub fn verify(model: &ScheduleModel) -> VerifyReport {
     // waits never consume counts, only the rearm chain's reset clears
     // them.
     let mut residual: HashMap<(usize, usize), Vec<u32>> = HashMap::new();
+    // Node-coverage pass (hierarchical models only): every node must
+    // field at least one rank in every segment, or the leader phase of
+    // each node-spanning collective rendezvouses with nobody.
+    if !model.node_of.is_empty() {
+        let nodes = model.node_of.iter().max().map_or(0, |m| m + 1);
+        for (si, seg) in model.segments.iter().enumerate() {
+            let mut present = vec![false; nodes];
+            for rm in &seg.ranks {
+                if let Some(&node) = model.node_of.get(rm.rank) {
+                    if let Some(p) = present.get_mut(node) {
+                        *p = true;
+                    }
+                }
+            }
+            stats.node_checks += nodes;
+            for (node, covered) in present.iter().enumerate() {
+                if !covered {
+                    violations.push(Violation::MissingNodeLeader {
+                        segment: si,
+                        node,
+                        nodes,
+                    });
+                }
+            }
+        }
+    }
     for (si, seg) in model.segments.iter().enumerate() {
         for rm in &seg.ranks {
             let slot = residual.entry((seg.table, rm.rank)).or_default();
@@ -433,6 +483,7 @@ mod tests {
         };
         ScheduleModel {
             n_ranks: 1,
+            node_of: Vec::new(),
             segments: (0..segments).map(mk_segment).collect(),
         }
     }
@@ -583,6 +634,52 @@ mod tests {
         // no wait and no reads there is nothing to violate.
         let report = verify(&m);
         assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    /// The single-rank model spread over a two-node map: rank 0 on node
+    /// 0 and a phantom second node with no ranks unless `covered`.
+    fn hierarchical_model(covered: bool) -> ScheduleModel {
+        let mut m = model(1, true);
+        m.node_of = if covered {
+            vec![0] // one node, one rank: trivially covered
+        } else {
+            vec![0, 1] // declares rank 1 on node 1, but no segment fields it
+        };
+        m.n_ranks = m.node_of.len();
+        m
+    }
+
+    #[test]
+    fn covered_hierarchical_model_verifies() {
+        let report = verify(&hierarchical_model(true));
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.stats.node_checks, 1);
+    }
+
+    #[test]
+    fn node_without_ranks_is_a_missing_leader() {
+        let report = verify(&hierarchical_model(false));
+        assert_eq!(
+            report.count_of("missing-node-leader"),
+            1,
+            "{:?}",
+            report.violations
+        );
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::MissingNodeLeader {
+                segment: 0,
+                node: 1,
+                nodes: 2,
+            }
+        )));
+        assert_eq!(report.stats.node_checks, 2);
+    }
+
+    #[test]
+    fn single_node_models_skip_the_node_pass() {
+        let report = verify(&model(1, true));
+        assert_eq!(report.stats.node_checks, 0);
     }
 
     #[test]

@@ -116,6 +116,13 @@ pub struct Segment {
 pub struct ScheduleModel {
     /// Participating ranks.
     pub n_ranks: usize,
+    /// Node of each rank on a hierarchical (multi-node) schedule; empty
+    /// for single-node models. When non-empty, the verifier additionally
+    /// proves node coverage: every node must field at least one rank per
+    /// segment, because the hierarchical collective's leader phase
+    /// rendezvouses across nodes — a node with no ranks wedges every
+    /// node-spanning collective of the segment.
+    pub node_of: Vec<usize>,
     /// Segments in execution order.
     pub segments: Vec<Segment>,
 }
@@ -212,6 +219,7 @@ mod tests {
         ];
         ScheduleModel {
             n_ranks: 1,
+            node_of: Vec::new(),
             segments: vec![Segment {
                 label: "plan".into(),
                 table: 0,

@@ -54,6 +54,11 @@ pub fn system_fingerprint(system: &SystemSpec) -> u64 {
     eat(&system.arch.sm_count.to_le_bytes());
     eat(system.fabric.name.as_bytes());
     eat(&(system.n_gpus as u64).to_le_bytes());
+    // Topology layout: a plan tuned for a single node is wrong for a
+    // node-spanning group even when every other knob matches.
+    eat(&(system.topology.nodes as u64).to_le_bytes());
+    eat(&(system.topology.gpus_per_node as u64).to_le_bytes());
+    eat(system.topology.inter.name.as_bytes());
     eat(&system.comm_sms.to_le_bytes());
     eat(&system.seed.to_le_bytes());
     eat(&[match system.algorithm {
@@ -598,6 +603,11 @@ mod tests {
         let c = SystemSpec::a800(2);
         assert_ne!(system_fingerprint(&a), system_fingerprint(&b));
         assert_ne!(system_fingerprint(&a), system_fingerprint(&c));
+        // Node layout changes the fingerprint: multi-node plans must not
+        // alias single-node ones.
+        let flat = SystemSpec::a800(8);
+        let tiered = SystemSpec::a800(8).with_nodes(2);
+        assert_ne!(system_fingerprint(&flat), system_fingerprint(&tiered));
         assert_eq!(
             system_fingerprint(&a),
             system_fingerprint(&SystemSpec::rtx4090(2))

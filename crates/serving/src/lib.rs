@@ -16,8 +16,11 @@
 //!   predictive search (§4.1.4) online on each miss, with snapshot
 //!   export/preload for warm restarts;
 //! - [`router`] — batch routing across N independent replica groups
-//!   (round-robin, least-loaded, or shape-affinity, which steers each
-//!   bucketed shape to a home replica to keep its plan cache hot);
+//!   (round-robin, least-loaded, shape-affinity — which steers each
+//!   bucketed shape to a home replica to keep its plan cache hot — or
+//!   locality, which on multi-node deployments prefers replicas on the
+//!   batch's home node and spills across nodes only under overload,
+//!   with the inter-node migration penalty accounted);
 //! - [`server`] — the admission/routing/execution loop over virtual
 //!   time, with bounded-queue shedding, cross-batch pipelined chains
 //!   (batch `k+1`'s GEMM overlaps batch `k`'s tail collectives via
@@ -43,10 +46,10 @@ pub mod traffic;
 pub use batch::{form_batch, Batch, BatchConfig};
 pub use cache::{system_fingerprint, CacheSnapshot, CacheStats, PlanCache, PlanEntry, PlanKey};
 pub use report::{
-    BatchRecord, ComparisonReport, Disposition, DriftRow, ReplicaStats, RequestRecord,
+    BatchRecord, ComparisonReport, Disposition, DriftRow, NodeStats, ReplicaStats, RequestRecord,
     ScalingReport, ServeReport,
 };
-pub use router::{ReplicaLoad, RouteDecision, Router, RouterPolicy};
+pub use router::{home_node, ReplicaLoad, RouteDecision, Router, RouterPolicy};
 pub use server::{
     serve, serve_baseline, serve_comparison, serve_exporting, serve_scaling, ServeConfig,
 };

@@ -101,6 +101,12 @@ pub struct BatchRecord {
     pub outcome: &'static str,
     /// Replica that executed the batch.
     pub replica: usize,
+    /// Node the executing replica lives on (0 on single-node
+    /// deployments).
+    pub node: usize,
+    /// Inter-node migration charged before execution — non-zero only
+    /// when the batch ran off its home node on a multi-node deployment.
+    pub migration_ns: u64,
     /// Router decision label ("round-robin", "least-loaded",
     /// "affinity-hit", "affinity-new").
     pub routing: &'static str,
@@ -121,6 +127,9 @@ pub struct BatchRecord {
 pub struct ReplicaStats {
     /// Replica index.
     pub id: usize,
+    /// Node the replica is placed on (replica id modulo the node
+    /// count; 0 on single-node deployments).
+    pub node: usize,
     /// Batches this replica executed.
     pub batches: u64,
     /// Requests completed on this replica.
@@ -140,6 +149,27 @@ pub struct ReplicaStats {
     pub quarantined: bool,
     /// This replica's plan-cache counters.
     pub cache: CacheStats,
+}
+
+/// Per-node rollup of replica accounting on a multi-node deployment.
+/// Each row sums the node's replicas; summing the rows reproduces the
+/// run totals, so requests/tokens/busy time roll up node → replica →
+/// total exactly (the CI topology gate checks this identity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeStats {
+    /// Node index.
+    pub node: usize,
+    /// Replicas placed on the node.
+    pub replicas: u64,
+    /// Batches the node's replicas executed.
+    pub batches: u64,
+    /// Requests completed on the node.
+    pub requests: u64,
+    /// Unpadded tokens executed on the node.
+    pub tokens: u64,
+    /// Virtual time the node's replicas spent executing chains
+    /// (including inter-node migration they absorbed).
+    pub busy_ns: u64,
 }
 
 /// Measured-vs-predicted collective-completion drift for one
@@ -200,6 +230,8 @@ pub struct ServeReport {
     pub tuned: bool,
     /// Replica groups serving the traffic.
     pub replicas: usize,
+    /// Nodes the replicas are placed across (1 = single-node).
+    pub nodes: usize,
     /// Router policy label.
     pub router: &'static str,
     /// Whether chains executed with cross-batch pipelining (false =
@@ -216,6 +248,17 @@ pub struct ServeReport {
     /// Requests shed because their batch had no healthy replica left
     /// (counted inside `shed` as well).
     pub quarantine_shed: u64,
+    /// Batches executed off their home node (0 on single-node runs).
+    pub cross_node_batches: u64,
+    /// Total inter-node migration time charged to cross-node batches.
+    pub migration_ns: u64,
+    /// Inter-node bytes the hierarchical collective schedule moved for
+    /// the run's tensor-parallel AllReduces (0 on single-node runs).
+    pub inter_bytes_hierarchical: u64,
+    /// Inter-node bytes the flat rank-order ring would have moved for
+    /// the same AllReduces — the baseline hierarchical scheduling is
+    /// measured against (0 on single-node runs).
+    pub inter_bytes_flat: u64,
     /// Virtual time from first arrival epoch to last completion.
     pub makespan_ns: u64,
     /// Requests completed (any disposition but shed).
@@ -254,6 +297,8 @@ pub struct ServeReport {
     pub cache: CacheStats,
     /// Per-replica accounting, id order.
     pub replica_stats: Vec<ReplicaStats>,
+    /// Per-node rollup of `replica_stats`, node order.
+    pub node_stats: Vec<NodeStats>,
     /// Mean signal latency across batch executions (signaling cost of
     /// §4, aggregated over the run).
     pub mean_signal_ns: f64,
@@ -304,6 +349,7 @@ impl ServeReport {
             ("chaos", Value::Bool(self.chaos)),
             ("tuned", Value::Bool(self.tuned)),
             ("replicas", Value::num(self.replicas as f64)),
+            ("nodes", Value::num(self.nodes as f64)),
             ("router", Value::str(self.router)),
             ("pipelined", Value::Bool(self.pipelined)),
             (
@@ -369,8 +415,29 @@ impl ServeReport {
                 ]),
             ),
             (
+                "cross_node",
+                Value::obj(vec![
+                    ("batches", Value::num(self.cross_node_batches as f64)),
+                    ("migration_ns", Value::num(self.migration_ns as f64)),
+                    (
+                        "inter_bytes",
+                        Value::obj(vec![
+                            (
+                                "hierarchical",
+                                Value::num(self.inter_bytes_hierarchical as f64),
+                            ),
+                            ("flat_baseline", Value::num(self.inter_bytes_flat as f64)),
+                        ]),
+                    ),
+                ]),
+            ),
+            (
                 "per_replica",
                 Value::Arr(self.replica_stats.iter().map(replica_json).collect()),
+            ),
+            (
+                "per_node",
+                Value::Arr(self.node_stats.iter().map(node_json).collect()),
             ),
             (
                 "signaling",
@@ -438,6 +505,29 @@ impl ServeReport {
                 "serial chains"
             },
         ));
+        if self.nodes > 1 {
+            out.push_str(&format!(
+                "  {} nodes: {} cross-node batch(es), {:.1} us total inter-node migration\n",
+                self.nodes,
+                self.cross_node_batches,
+                self.migration_ns as f64 / 1e3,
+            ));
+            out.push_str(&format!(
+                "  collectives: {:.1} MB inter-node (hierarchical) vs {:.1} MB flat ring\n",
+                self.inter_bytes_hierarchical as f64 / 1e6,
+                self.inter_bytes_flat as f64 / 1e6,
+            ));
+            for n in &self.node_stats {
+                out.push_str(&format!(
+                    "  node {}: {} replica(s), {} batches, {} requests, busy {:.2} ms\n",
+                    n.node,
+                    n.replicas,
+                    n.batches,
+                    n.requests,
+                    n.busy_ns as f64 / 1e6,
+                ));
+            }
+        }
         out.push_str(&format!(
             "  completed {} (clean {}, recovered {}, degraded {}), shed {} ({:.1}%)\n",
             self.completed,
@@ -601,6 +691,8 @@ fn batch_json(b: &BatchRecord) -> Value {
         ("cache_hit", Value::Bool(b.cache_hit)),
         ("outcome", Value::str(b.outcome)),
         ("replica", Value::num(b.replica as f64)),
+        ("node", Value::num(b.node as f64)),
+        ("migration_ns", Value::num(b.migration_ns as f64)),
         ("routing", Value::str(b.routing)),
         ("chain_len", Value::num(b.chain_len as f64)),
         ("close_ns", Value::num(b.close_ns as f64)),
@@ -614,9 +706,21 @@ fn batch_json(b: &BatchRecord) -> Value {
     ])
 }
 
+fn node_json(n: &NodeStats) -> Value {
+    Value::obj(vec![
+        ("node", Value::num(n.node as f64)),
+        ("replicas", Value::num(n.replicas as f64)),
+        ("batches", Value::num(n.batches as f64)),
+        ("requests", Value::num(n.requests as f64)),
+        ("tokens", Value::num(n.tokens as f64)),
+        ("busy_ns", Value::num(n.busy_ns as f64)),
+    ])
+}
+
 fn replica_json(r: &ReplicaStats) -> Value {
     Value::obj(vec![
         ("id", Value::num(r.id as f64)),
+        ("node", Value::num(r.node as f64)),
         ("batches", Value::num(r.batches as f64)),
         ("requests", Value::num(r.requests as f64)),
         ("tokens", Value::num(r.tokens as f64)),

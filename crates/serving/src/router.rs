@@ -14,6 +14,12 @@
 //!   tuned a plan for that shape already, so its warm plan cache is
 //!   reused instead of re-tuning the same shape on N caches. Unseen
 //!   shapes fall back to least-loaded and establish the affinity.
+//! - **locality** — on a multi-node deployment, prefer replicas on the
+//!   batch's *home node* (the node its session state would live on,
+//!   derived deterministically from the shape) and spill across nodes
+//!   only when the home node is overloaded past
+//!   [`SPILL_SLACK_TOKENS`]; every spill is labelled so the server can
+//!   account the inter-node migration penalty.
 //!
 //! Routing is pure state-machine logic over load snapshots: no clocks,
 //! no randomness, deterministic for a given decision sequence.
@@ -39,6 +45,10 @@ pub enum RouterPolicy {
     /// Repeat shapes go to the replica whose plan cache is warm for
     /// them; new shapes fall back to least-loaded.
     ShapeAffinity,
+    /// Prefer replicas on the batch's home node; spill to another node
+    /// only when the home node is overloaded (or has no healthy
+    /// replica). Falls back to least-loaded on single-node deployments.
+    Locality,
 }
 
 impl RouterPolicy {
@@ -48,6 +58,7 @@ impl RouterPolicy {
             RouterPolicy::RoundRobin => "round-robin",
             RouterPolicy::LeastLoaded => "least-loaded",
             RouterPolicy::ShapeAffinity => "shape-affinity",
+            RouterPolicy::Locality => "locality",
         }
     }
 
@@ -57,6 +68,7 @@ impl RouterPolicy {
             "round-robin" => Some(RouterPolicy::RoundRobin),
             "least-loaded" => Some(RouterPolicy::LeastLoaded),
             "shape-affinity" => Some(RouterPolicy::ShapeAffinity),
+            "locality" => Some(RouterPolicy::Locality),
             _ => None,
         }
     }
@@ -70,6 +82,31 @@ pub struct ReplicaLoad {
     /// Virtual nanoseconds until the replica's current chain drains
     /// (0 when idle).
     pub busy_ns: u64,
+    /// Node the replica is placed on (0 for single-node deployments).
+    pub node: usize,
+}
+
+/// Extra queued tokens a home-node replica may carry, beyond double the
+/// best remote replica's queue, before the locality policy spills the
+/// batch across nodes.
+pub const SPILL_SLACK_TOKENS: u64 = 2048;
+
+/// The node a batch's session state lives on: a deterministic FNV-1a
+/// hash of the GEMM shape folded over the node count (the simulated
+/// stand-in for KV-cache placement of the session that produced the
+/// shape).
+pub fn home_node(dims: GemmDims, nodes: usize) -> usize {
+    if nodes <= 1 {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in [dims.m, dims.n, dims.k] {
+        for b in part.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    (h % nodes as u64) as usize
 }
 
 /// One routing decision: the chosen replica and why.
@@ -177,6 +214,44 @@ impl Router {
                     reason: "affinity-new",
                 })
             }
+            RouterPolicy::Locality => {
+                let nodes = loads.iter().map(|l| l.node).max().map_or(1, |m| m + 1);
+                let home = home_node(dims, nodes);
+                let local = least_loaded_where(loads, eligible, |l| l.node == home);
+                let remote = least_loaded_where(loads, eligible, |l| l.node != home);
+                match (local, remote) {
+                    (Some(l), Some(r)) => {
+                        // `least_loaded_where` only returns in-range
+                        // indices, so these lookups always succeed.
+                        let local_tokens = loads.get(l).map_or(0, |x| x.queued_tokens);
+                        let remote_tokens = loads.get(r).map_or(0, |x| x.queued_tokens);
+                        let overloaded = local_tokens
+                            > remote_tokens
+                                .saturating_mul(2)
+                                .saturating_add(SPILL_SLACK_TOKENS);
+                        if overloaded {
+                            Some(RouteDecision {
+                                replica: r,
+                                reason: "locality-spill",
+                            })
+                        } else {
+                            Some(RouteDecision {
+                                replica: l,
+                                reason: "locality-local",
+                            })
+                        }
+                    }
+                    (Some(l), None) => Some(RouteDecision {
+                        replica: l,
+                        reason: "locality-local",
+                    }),
+                    (None, Some(r)) => Some(RouteDecision {
+                        replica: r,
+                        reason: "locality-spill",
+                    }),
+                    (None, None) => None,
+                }
+            }
         }
     }
 }
@@ -184,10 +259,20 @@ impl Router {
 /// Index of the least-loaded eligible replica: fewest queued tokens,
 /// then soonest free, then lowest id. `None` when nothing is eligible.
 fn least_loaded(loads: &[ReplicaLoad], eligible: &[bool]) -> Option<usize> {
+    least_loaded_where(loads, eligible, |_| true)
+}
+
+/// [`least_loaded`] restricted to replicas matching `pred` (the locality
+/// policy's home-node / remote split).
+fn least_loaded_where(
+    loads: &[ReplicaLoad],
+    eligible: &[bool],
+    pred: impl Fn(&ReplicaLoad) -> bool,
+) -> Option<usize> {
     loads
         .iter()
         .enumerate()
-        .filter(|(i, _)| eligible.get(*i).copied().unwrap_or(false))
+        .filter(|(i, l)| eligible.get(*i).copied().unwrap_or(false) && pred(l))
         .min_by_key(|(i, l)| (l.queued_tokens, l.busy_ns, *i))
         .map(|(i, _)| i)
 }
@@ -222,14 +307,17 @@ mod tests {
             ReplicaLoad {
                 queued_tokens: 512,
                 busy_ns: 0,
+                node: 0,
             },
             ReplicaLoad {
                 queued_tokens: 128,
                 busy_ns: 900,
+                node: 0,
             },
             ReplicaLoad {
                 queued_tokens: 128,
                 busy_ns: 100,
+                node: 0,
             },
         ];
         let d = router.route(dims(256), &loads);
@@ -301,12 +389,101 @@ mod tests {
         );
     }
 
+    /// Four replicas over two nodes: 0/1 on node 0, 2/3 on node 1.
+    fn two_node_loads() -> Vec<ReplicaLoad> {
+        (0..4)
+            .map(|i| ReplicaLoad {
+                queued_tokens: 0,
+                busy_ns: 0,
+                node: i / 2,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn locality_prefers_the_home_node() {
+        let mut router = Router::new(RouterPolicy::Locality);
+        let loads = two_node_loads();
+        let d = dims(256);
+        let home = home_node(d, 2);
+        let decision = router.route(d, &loads);
+        assert_eq!(decision.reason, "locality-local");
+        assert_eq!(
+            loads.get(decision.replica).unwrap().node,
+            home,
+            "local decision must land on the home node"
+        );
+        // Repeats keep landing locally (stateless w.r.t. history).
+        assert_eq!(router.route(d, &loads).reason, "locality-local");
+    }
+
+    #[test]
+    fn locality_spills_only_past_the_slack() {
+        let mut router = Router::new(RouterPolicy::Locality);
+        let d = dims(256);
+        let home = home_node(d, 2);
+        let mut loads = two_node_loads();
+        // Load the home node to just under the spill threshold: stays.
+        for l in loads.iter_mut().filter(|l| l.node == home) {
+            l.queued_tokens = SPILL_SLACK_TOKENS;
+        }
+        let stay = router.route(d, &loads);
+        assert_eq!(stay.reason, "locality-local");
+        // Past double-remote + slack: spills to the other node.
+        for l in loads.iter_mut().filter(|l| l.node == home) {
+            l.queued_tokens = SPILL_SLACK_TOKENS + 1;
+        }
+        for l in loads.iter_mut().filter(|l| l.node != home) {
+            l.queued_tokens = 0;
+        }
+        let spill = router.route(d, &loads);
+        assert_eq!(spill.reason, "locality-spill");
+        assert_ne!(loads.get(spill.replica).unwrap().node, home);
+    }
+
+    #[test]
+    fn locality_spills_when_the_home_node_is_quarantined() {
+        let mut router = Router::new(RouterPolicy::Locality);
+        let loads = two_node_loads();
+        let d = dims(256);
+        let home = home_node(d, 2);
+        let eligible: Vec<bool> = loads.iter().map(|l| l.node != home).collect();
+        let decision = router.route_among(d, &loads, &eligible).unwrap();
+        assert_eq!(decision.reason, "locality-spill");
+        assert_ne!(loads.get(decision.replica).unwrap().node, home);
+    }
+
+    #[test]
+    fn locality_on_one_node_degenerates_to_least_loaded() {
+        let mut router = Router::new(RouterPolicy::Locality);
+        let mut loads = idle(3);
+        loads.get_mut(0).unwrap().queued_tokens = 512;
+        let decision = router.route(dims(256), &loads);
+        assert_eq!((decision.replica, decision.reason), (1, "locality-local"));
+    }
+
+    #[test]
+    fn home_node_is_deterministic_and_in_range() {
+        for m in [64, 128, 256, 512, 1024] {
+            for nodes in [1, 2, 3, 4] {
+                let h = home_node(dims(m), nodes);
+                assert!(h < nodes);
+                assert_eq!(h, home_node(dims(m), nodes));
+            }
+        }
+        // Different shapes spread across nodes (not all on one).
+        let homes: std::collections::HashSet<usize> =
+            (1..64).map(|m| home_node(dims(m * 16), 2)).collect();
+        assert_eq!(homes.len(), 2, "shapes must spread over both nodes");
+    }
+
     #[test]
     fn labels_round_trip_through_parse() {
         for policy in [
             RouterPolicy::RoundRobin,
             RouterPolicy::LeastLoaded,
             RouterPolicy::ShapeAffinity,
+            RouterPolicy::Locality,
         ] {
             assert_eq!(RouterPolicy::parse(policy.label()), Some(policy));
         }

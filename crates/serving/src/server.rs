@@ -44,10 +44,10 @@ use workloads::ServeMix;
 use crate::batch::{form_batch, Batch, BatchConfig};
 use crate::cache::{system_fingerprint, CacheSnapshot, CacheStats, PlanCache, PlanEntry};
 use crate::report::{
-    BatchRecord, ComparisonReport, Disposition, DriftRow, ReplicaStats, RequestRecord,
+    BatchRecord, ComparisonReport, Disposition, DriftRow, NodeStats, ReplicaStats, RequestRecord,
     ScalingReport, ServeReport,
 };
-use crate::router::{ReplicaLoad, Router, RouterPolicy};
+use crate::router::{home_node, ReplicaLoad, Router, RouterPolicy};
 use crate::traffic::{generate, ArrivalProcess, Request};
 
 /// Everything a serve run needs. Construct with [`ServeConfig::new`]
@@ -77,6 +77,12 @@ pub struct ServeConfig {
     pub chaos: bool,
     /// Independent replica groups behind the router.
     pub replicas: usize,
+    /// Nodes the replicas are spread across (replica `r` lives on node
+    /// `r % nodes`). Batches routed off their home node pay an
+    /// inter-node migration penalty over
+    /// [`SystemSpec::topology`](flashoverlap::SystemSpec)'s inter
+    /// fabric. 1 = the single-node deployment every prior config ran.
+    pub nodes: usize,
     /// Batch-routing policy.
     pub router: RouterPolicy,
     /// Execute replica chains with cross-batch pipelining (false
@@ -113,6 +119,7 @@ impl ServeConfig {
             slo_ns: 20_000_000,
             chaos: false,
             replicas: 1,
+            nodes: 1,
             router: RouterPolicy::RoundRobin,
             pipelined: true,
             chain: 4,
@@ -144,6 +151,19 @@ impl ServeConfig {
         if self.chain == 0 {
             return Err(FlashOverlapError::BadInputs {
                 reason: "chain length must be at least 1".into(),
+            });
+        }
+        if self.nodes == 0 {
+            return Err(FlashOverlapError::BadInputs {
+                reason: "need at least one node".into(),
+            });
+        }
+        if self.nodes > self.replicas {
+            return Err(FlashOverlapError::BadInputs {
+                reason: format!(
+                    "--nodes {} exceeds --replicas {}; every node needs at least one replica",
+                    self.nodes, self.replicas
+                ),
             });
         }
         if let Some(w) = self.wedge_replica {
@@ -182,6 +202,25 @@ impl ServeConfig {
 /// from neighbouring batches (splitmix-style odd multiplier).
 fn fault_seed(seed: u64, batch_id: u64) -> u64 {
     seed ^ (batch_id.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Inter-node migration penalty for executing `dims` on `node`: pulling
+/// the batch's activation tensor (`m × k` elements) over the inter-node
+/// fabric when the chosen replica sits off the batch's home node. Zero
+/// on single-node deployments and for home-node placements, so every
+/// `nodes == 1` run is byte-identical to the pre-topology simulator.
+fn migration_penalty_ns(config: &ServeConfig, dims: gpu_sim::gemm::GemmDims, node: usize) -> u64 {
+    if config.nodes <= 1 || node == home_node(dims, config.nodes) {
+        return 0;
+    }
+    let bytes = u64::from(dims.m) * u64::from(dims.k) * collectives::BYTES_PER_ELEM;
+    config
+        .system
+        .topology
+        .inter
+        .p2p
+        .transfer_time(bytes)
+        .as_nanos()
 }
 
 /// The replica a convergence failure should blame: the one with the
@@ -226,10 +265,11 @@ fn quarantine_replica(
     idx: usize,
     reason: &'static str,
     router: &mut Router,
-    tp: u32,
+    config: &ServeConfig,
     now_ns: u64,
     acct: &mut Accounting,
 ) {
+    let tp = config.system.n_gpus as u32;
     let Some(replica) = replicas.get_mut(idx) else {
         return;
     };
@@ -242,16 +282,24 @@ fn quarantine_replica(
         let eligible: Vec<bool> = replicas.iter().map(|r| r.quarantined.is_none()).collect();
         let loads: Vec<ReplicaLoad> = replicas
             .iter()
-            .map(|r| ReplicaLoad {
+            .enumerate()
+            .map(|(i, r)| ReplicaLoad {
                 queued_tokens: r.queued_tokens(),
                 busy_ns: r.free_ns.saturating_sub(now_ns),
+                node: i % config.nodes,
             })
             .collect();
-        match router.route_among(p.batch.gemm_dims(tp), &loads, &eligible) {
+        let dims = p.batch.gemm_dims(tp);
+        match router.route_among(dims, &loads, &eligible) {
             Some(decision) => {
+                // The new placement may cross a node boundary the old
+                // one did not (or vice versa): re-derive the penalty.
+                let migration_ns =
+                    migration_penalty_ns(config, dims, decision.replica % config.nodes);
                 if let Some(target) = replicas.get_mut(decision.replica) {
                     target.pending.push_back(PendingBatch {
                         routing: "re-routed",
+                        migration_ns,
                         ..p
                     });
                     acct.batches_rerouted += 1;
@@ -320,6 +368,9 @@ struct PendingBatch {
     /// When the batch closed and was routed — the start of its
     /// dispatch-queue wait.
     close_ns: u64,
+    /// Inter-node migration charged before execution (computed at
+    /// routing time; zero for home-node or single-node placements).
+    migration_ns: u64,
 }
 
 /// One replica group's scheduler state.
@@ -384,6 +435,16 @@ struct Accounting {
     batches_rerouted: u64,
     /// Requests shed because their batch had no healthy replica left.
     quarantine_shed: u64,
+    /// Batches executed off their home node (multi-node deployments).
+    cross_node_batches: u64,
+    /// Total inter-node migration charged to cross-node batches.
+    migration_ns: u64,
+    /// Inter-node bytes the hierarchical schedule moved for the run's
+    /// tensor-parallel AllReduces (multi-node deployments).
+    inter_bytes_hierarchical: u64,
+    /// Inter-node bytes the flat rank-order ring would have moved for
+    /// the same AllReduces.
+    inter_bytes_flat: u64,
     /// Drift accumulator; BTreeMap so the report rows come out in
     /// deterministic shape-major order.
     drift: std::collections::BTreeMap<DriftKey, DriftCell>,
@@ -478,7 +539,7 @@ fn serve_run(
                         r,
                         "serve loop stalled on this replica",
                         &mut router,
-                        tp,
+                        config,
                         now_ns,
                         &mut acct,
                     );
@@ -547,18 +608,23 @@ fn serve_run(
             let eligible: Vec<bool> = replicas.iter().map(|r| r.quarantined.is_none()).collect();
             let loads: Vec<ReplicaLoad> = replicas
                 .iter()
-                .map(|r| ReplicaLoad {
+                .enumerate()
+                .map(|(i, r)| ReplicaLoad {
                     queued_tokens: r.queued_tokens(),
                     busy_ns: r.free_ns.saturating_sub(now_ns),
+                    node: i % config.nodes,
                 })
                 .collect();
             match router.route_among(dims, &loads, &eligible) {
                 Some(decision) => {
+                    let migration_ns =
+                        migration_penalty_ns(config, dims, decision.replica % config.nodes);
                     if let Some(replica) = replicas.get_mut(decision.replica) {
                         replica.pending.push_back(PendingBatch {
                             batch,
                             routing: decision.reason,
                             close_ns: now_ns,
+                            migration_ns,
                         });
                     }
                 }
@@ -570,6 +636,7 @@ fn serve_run(
                         batch,
                         routing: "no-healthy-replica",
                         close_ns: now_ns,
+                        migration_ns: 0,
                     },
                     &mut acct,
                 ),
@@ -609,7 +676,7 @@ fn serve_run(
                     idx,
                     "wedged: chaos chain came back degraded",
                     &mut router,
-                    tp,
+                    config,
                     now_ns,
                     &mut acct,
                 );
@@ -702,6 +769,11 @@ fn run_chain(
     }
 
     let chain_len = chain.len() as u64;
+    // Total inter-node migration for the chain, charged up front: the
+    // chain cannot launch until every member batch's activations have
+    // crossed the inter-node fabric. Zero on single-node runs, so the
+    // pre-topology timeline is reproduced exactly.
+    let mig_ns: u64 = chain.iter().map(|p| p.migration_ns).sum();
     let telemetry = Telemetry::new();
     // Per-batch deterministic fault plans. The wedge-replica override
     // replaces the leading batch's draw with an unrecoverable
@@ -796,7 +868,7 @@ fn run_chain(
         .zip(completions.iter().zip(&outcomes))
     {
         let batch = &pending.batch;
-        let end_ns = start_ns.saturating_add(*done_ns);
+        let end_ns = start_ns.saturating_add(mig_ns).saturating_add(*done_ns);
         // Recovery can complete a wedged batch *after* its successor
         // (the tail re-issue runs while downstream comm drains), so the
         // accounting window is clamped monotone; request latencies keep
@@ -817,17 +889,39 @@ fn run_chain(
                 queue_wait_ns: Some(queue_wait),
             });
         }
+        if pending.migration_ns > 0 {
+            acct.cross_node_batches += 1;
+            acct.migration_ns += pending.migration_ns;
+        }
+        if config.nodes > 1 {
+            // Byte accounting for the batch's tensor-parallel AllReduce
+            // (full reduced M x N output): what the hierarchical schedule
+            // actually crossed nodes with vs. what the flat ring would
+            // have.
+            let dims = batch.gemm_dims(tp);
+            let payload = u64::from(dims.m) * u64::from(dims.n) * collectives::BYTES_PER_ELEM;
+            let topo = &config.system.topology;
+            acct.inter_bytes_hierarchical += collectives::inter_bytes_hierarchical(
+                collectives::Primitive::AllReduce,
+                payload,
+                topo,
+            );
+            acct.inter_bytes_flat +=
+                collectives::inter_bytes_flat(collectives::Primitive::AllReduce, payload, topo);
+        }
         acct.batch_records.push(BatchRecord {
             id: batch.id,
             model: batch.model.name,
             requests: batch.requests.len() as u64,
             tokens: batch.tokens,
             padded_tokens: batch.padded_tokens,
-            start_ns: start_ns.saturating_add(prev_done),
+            start_ns: start_ns.saturating_add(mig_ns).saturating_add(prev_done),
             exec_ns: window_end - prev_done,
             cache_hit: *cache_hit,
             outcome,
             replica: replica_idx,
+            node: replica_idx % config.nodes,
+            migration_ns: pending.migration_ns,
             routing: pending.routing,
             chain_len,
             close_ns: pending.close_ns,
@@ -839,13 +933,21 @@ fn run_chain(
         replica.tokens += u64::from(batch.tokens);
         prev_done = window_end;
     }
-    replica.busy_ns += total_ns;
+    replica.busy_ns += mig_ns + total_ns;
     replica.chains += 1;
+    // The chain window spans migration + execution; migration is
+    // inter-node traffic, so it lands in the collective-transfer
+    // category and the serve-level attribution identity still holds.
+    let mut chain_totals = attribution.totals;
+    chain_totals.add(Category::CollectiveTransfer, mig_ns);
     replica
         .chain_log
-        .push((start_ns, total_ns, attribution.totals));
+        .push((start_ns, mig_ns.saturating_add(total_ns), chain_totals));
     let any_degraded = outcomes.contains(&"degraded");
-    Ok((start_ns.saturating_add(total_ns), any_degraded))
+    Ok((
+        start_ns.saturating_add(mig_ns).saturating_add(total_ns),
+        any_degraded,
+    ))
 }
 
 /// Serve-level critical-path attribution: the bottleneck replica's
@@ -930,6 +1032,10 @@ fn build_report(
         signal_samples,
         batches_rerouted,
         quarantine_shed,
+        cross_node_batches,
+        migration_ns,
+        inter_bytes_hierarchical,
+        inter_bytes_flat,
         drift,
     } = acct;
     let attribution = serve_attribution(makespan_ns, replicas, &records);
@@ -979,6 +1085,7 @@ fn build_report(
         .enumerate()
         .map(|(id, r)| ReplicaStats {
             id,
+            node: id % config.nodes,
             batches: r.batches,
             requests: r.requests,
             tokens: r.tokens,
@@ -993,6 +1100,23 @@ fn build_report(
             cache: r.cache.stats(),
         })
         .collect();
+    // Node rollup: fold replica rows into their node; summing the node
+    // rows reproduces the run totals (node → replica → total identity).
+    let mut node_stats: Vec<NodeStats> = (0..config.nodes)
+        .map(|node| NodeStats {
+            node,
+            ..NodeStats::default()
+        })
+        .collect();
+    for r in &replica_stats {
+        if let Some(n) = node_stats.get_mut(r.node) {
+            n.replicas += 1;
+            n.batches += r.batches;
+            n.requests += r.requests;
+            n.tokens += r.tokens;
+            n.busy_ns += r.busy_ns;
+        }
+    }
 
     ServeReport {
         seed: config.seed,
@@ -1004,12 +1128,17 @@ fn build_report(
         chaos: config.chaos,
         tuned,
         replicas: config.replicas,
+        nodes: config.nodes,
         router: config.router.label(),
         pipelined: config.pipelined,
         wedge_replica: config.wedge_replica,
         replicas_quarantined: replicas.iter().filter(|r| r.quarantined.is_some()).count() as u64,
         batches_rerouted,
         quarantine_shed,
+        cross_node_batches,
+        migration_ns,
+        inter_bytes_hierarchical,
+        inter_bytes_flat,
         makespan_ns,
         completed,
         shed,
@@ -1053,6 +1182,7 @@ fn build_report(
         distinct_shapes,
         cache,
         replica_stats,
+        node_stats,
         mean_signal_ns: if signal_samples > 0 {
             signal_weighted_sum / signal_samples as f64
         } else {

@@ -36,7 +36,8 @@ pub use attribution::{
 };
 pub use metrics::{
     link_stats, occupancy_stats, overlap_efficiency, percentile, percentiles, signal_summary,
-    stream_stats, LinkStats, OccupancyStats, Percentiles, SignalSample, SignalSummary, StreamStats,
+    stream_stats, LinkPeaks, LinkStats, OccupancyStats, Percentiles, SignalSample, SignalSummary,
+    StreamStats,
 };
 pub use profile::{profile, MethodMetrics, MethodRun, MetricsReport, Profile, Workload};
 pub use record::{Telemetry, TelemetryRecord};

@@ -106,6 +106,9 @@ pub struct LinkStats {
     pub src: DeviceId,
     /// Destination device.
     pub dst: DeviceId,
+    /// Fabric tier the link crosses ("intra" within a node, "inter"
+    /// across nodes; always "intra" on a single-node fabric).
+    pub tier: &'static str,
     /// Total bytes carried.
     pub bytes: u64,
     /// Time the link carried at least one transfer (interval union).
@@ -113,16 +116,75 @@ pub struct LinkStats {
     /// Achieved bandwidth while busy, in GB/s (bytes per busy
     /// nanosecond).
     pub achieved_gbps: f64,
-    /// `achieved_gbps` over the fabric's peak per-link bandwidth, when
-    /// known. Ring collectives drive each link below wire speed (call
-    /// overheads, protocol factor), so this sits below 1.
+    /// `achieved_gbps` over *this link's* peak bandwidth, when known —
+    /// the intra- or inter-node peak depending on the tier the link
+    /// crosses, so a saturated IB link is not scored against NVLink
+    /// wire speed. Ring collectives drive each link below wire speed
+    /// (call overheads, protocol factor), so this sits below 1.
     pub utilization: Option<f64>,
 }
 
+/// Per-tier peak bandwidths: the utilization denominators of
+/// [`link_stats`], resolved per link from a device → node map.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkPeaks {
+    /// Node of each device id; empty means a single-node fabric
+    /// (every link is intra-tier). Devices beyond the map's length
+    /// are treated as node 0.
+    pub node_of: Vec<usize>,
+    /// Peak GB/s between devices on the same node.
+    pub intra_gbps: Option<f64>,
+    /// Peak GB/s between devices on different nodes.
+    pub inter_gbps: Option<f64>,
+}
+
+impl LinkPeaks {
+    /// A uniform single-tier fabric: one peak for every link.
+    pub fn uniform(peak_gbps: Option<f64>) -> Self {
+        LinkPeaks {
+            node_of: Vec::new(),
+            intra_gbps: peak_gbps,
+            inter_gbps: peak_gbps,
+        }
+    }
+
+    /// A two-tier fabric over an explicit device → node map.
+    pub fn two_tier(node_of: Vec<usize>, intra_gbps: Option<f64>, inter_gbps: Option<f64>) -> Self {
+        LinkPeaks {
+            node_of,
+            intra_gbps,
+            inter_gbps,
+        }
+    }
+
+    fn node(&self, device: DeviceId) -> usize {
+        self.node_of.get(device).copied().unwrap_or(0)
+    }
+
+    /// The tier label of the `src` → `dst` link.
+    pub fn tier(&self, src: DeviceId, dst: DeviceId) -> &'static str {
+        if self.node(src) == self.node(dst) {
+            "intra"
+        } else {
+            "inter"
+        }
+    }
+
+    /// The peak bandwidth of the `src` → `dst` link, when known.
+    pub fn peak(&self, src: DeviceId, dst: DeviceId) -> Option<f64> {
+        if self.node(src) == self.node(dst) {
+            self.intra_gbps
+        } else {
+            self.inter_gbps
+        }
+    }
+}
+
 /// Aggregates per-link transfer intervals into per-link utilization.
-/// `peak_gbps` is the fabric's peak per-link bandwidth (GB/s), used as
-/// the utilization denominator when known.
-pub fn link_stats(record: &TelemetryRecord, peak_gbps: Option<f64>) -> Vec<LinkStats> {
+/// Each link's utilization denominator is *its own* tier's peak from
+/// `peaks` — an inter-node link is scored against the inter-node
+/// fabric, not a uniform cluster-wide number.
+pub fn link_stats(record: &TelemetryRecord, peaks: &LinkPeaks) -> Vec<LinkStats> {
     let mut pairs: Vec<(DeviceId, DeviceId)> =
         record.transfers.iter().map(|t| (t.src, t.dst)).collect();
     pairs.sort_unstable();
@@ -160,10 +222,14 @@ pub fn link_stats(record: &TelemetryRecord, peak_gbps: Option<f64>) -> Vec<LinkS
             LinkStats {
                 src,
                 dst,
+                tier: peaks.tier(src, dst),
                 bytes,
                 busy_ns,
                 achieved_gbps,
-                utilization: peak_gbps.filter(|&p| p > 0.0).map(|p| achieved_gbps / p),
+                utilization: peaks
+                    .peak(src, dst)
+                    .filter(|&p| p > 0.0)
+                    .map(|p| achieved_gbps / p),
             }
         })
         .collect()
@@ -543,12 +609,39 @@ mod tests {
                 end: t(end),
             });
         }
-        let stats = link_stats(&record, Some(2.0));
+        let stats = link_stats(&record, &LinkPeaks::uniform(Some(2.0)));
         assert_eq!(stats.len(), 1);
         assert_eq!(stats[0].bytes, 250);
         assert_eq!(stats[0].busy_ns, 250, "overlap counted once");
         assert!((stats[0].achieved_gbps - 1.0).abs() < 1e-12);
         assert!((stats[0].utilization.unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(stats[0].tier, "intra", "uniform fabric is all intra");
+    }
+
+    #[test]
+    fn link_stats_score_each_tier_against_its_own_peak() {
+        let mut record = TelemetryRecord::default();
+        // d0->d1 stays on node 0; d1->d2 crosses to node 1. Both carry
+        // 100 bytes over 100 ns: 1 GB/s achieved.
+        for (src, dst) in [(0, 1), (1, 2)] {
+            record.transfers.push(LinkTransfer {
+                src,
+                dst,
+                bytes: 100,
+                start: t(0),
+                end: t(100),
+            });
+        }
+        let peaks = LinkPeaks::two_tier(vec![0, 0, 1, 1], Some(4.0), Some(2.0));
+        let stats = link_stats(&record, &peaks);
+        assert_eq!(stats.len(), 2);
+        let intra = stats.iter().find(|l| (l.src, l.dst) == (0, 1)).unwrap();
+        let inter = stats.iter().find(|l| (l.src, l.dst) == (1, 2)).unwrap();
+        assert_eq!((intra.tier, inter.tier), ("intra", "inter"));
+        // Same achieved bandwidth, different denominators: the inter
+        // link is twice as utilized relative to its slower fabric.
+        assert!((intra.utilization.unwrap() - 0.25).abs() < 1e-12);
+        assert!((inter.utilization.unwrap() - 0.5).abs() < 1e-12);
     }
 
     #[test]

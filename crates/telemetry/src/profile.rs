@@ -11,8 +11,8 @@ use sim::SimDuration;
 
 use crate::json::Value;
 use crate::metrics::{
-    link_stats, occupancy_stats, overlap_efficiency, signal_summary, stream_stats, LinkStats,
-    OccupancyStats, SignalSummary, StreamStats,
+    link_stats, occupancy_stats, overlap_efficiency, signal_summary, stream_stats, LinkPeaks,
+    LinkStats, OccupancyStats, SignalSummary, StreamStats,
 };
 use crate::perfetto;
 use crate::record::{Telemetry, TelemetryRecord};
@@ -229,7 +229,17 @@ fn build_report(
                 .unwrap_or(0);
             (
                 signal_summary(&record, spans),
-                link_stats(&record, Some(system.fabric.p2p.peak_gbps)),
+                // Per-tier denominators: intra-node links are scored
+                // against the intra fabric, node-crossing links against
+                // the inter fabric (identical on single-node systems).
+                link_stats(
+                    &record,
+                    &LinkPeaks::two_tier(
+                        system.topology.node_map(),
+                        Some(system.topology.intra.p2p.peak_gbps),
+                        Some(system.topology.inter.p2p.peak_gbps),
+                    ),
+                ),
                 stream_stats(spans, run_ns),
                 occupancy_stats(&record, spans, run_ns),
             )
@@ -351,6 +361,7 @@ impl MetricsReport {
                             Value::obj(vec![
                                 ("src", Value::num(l.src as f64)),
                                 ("dst", Value::num(l.dst as f64)),
+                                ("tier", Value::str(l.tier)),
                                 ("bytes", Value::num(l.bytes as f64)),
                                 ("busy_ns", Value::num(l.busy_ns as f64)),
                                 ("achieved_gbps", Value::num(l.achieved_gbps)),
@@ -467,9 +478,10 @@ impl MetricsReport {
         }
         for l in &self.links {
             out.push_str(&format!(
-                "link d{}->d{}: {:.1} MB, busy {:.1} us, {:.1} GB/s{}\n",
+                "link d{}->d{} [{}]: {:.1} MB, busy {:.1} us, {:.1} GB/s{}\n",
                 l.src,
                 l.dst,
+                l.tier,
                 l.bytes as f64 / 1e6,
                 l.busy_ns as f64 / 1e3,
                 l.achieved_gbps,
