@@ -313,4 +313,64 @@ print(f"bench gate: ok (makespan {bench['makespan_ns']/1e6:.2f} ms virtual, "
       f"idle share {attr['shares']['idle']:.3f})")
 EOF
 
+echo "== parallel gate (sealed engines: byte-identical for any --parallel, wall-clock tracked) =="
+# The deterministic-merge contract: the same seeded bench must write a
+# byte-identical artifact under --parallel 4, under an odd thread count
+# (engines share threads via i mod threads), and with the serial
+# engine. Wall-clock goes to the trend artifact — tracked, not gated —
+# except the one ordering that must hold: with real cores available,
+# parallel must not lose to serial on the chain-heavy scenario.
+par_scenario=(--requests 200 --rate 400 --gpus 8 --replicas 4 --seed 7)
+timeout 300 cargo run -q -p flashoverlap-cli --bin flashoverlap -- bench \
+  "${par_scenario[@]}" --metrics-out "$tmp/par-serial.json" \
+  --wallclock-out "$tmp/wc-serial.json" > /dev/null
+timeout 300 cargo run -q -p flashoverlap-cli --bin flashoverlap -- bench \
+  "${par_scenario[@]}" --parallel 4 --metrics-out "$tmp/par-4.json" \
+  --wallclock-out "$tmp/wc-4.json" > /dev/null
+timeout 300 cargo run -q -p flashoverlap-cli --bin flashoverlap -- bench \
+  "${par_scenario[@]}" --parallel 3 --metrics-out "$tmp/par-3.json" > /dev/null
+cmp "$tmp/par-serial.json" "$tmp/par-4.json" \
+  || { echo "parallel gate: --parallel 4 diverged from serial"; exit 1; }
+cmp "$tmp/par-serial.json" "$tmp/par-3.json" \
+  || { echo "parallel gate: --parallel 3 diverged from serial"; exit 1; }
+# Chaos + wedged replica under threads: the eager-force path must make
+# the quarantine decision at the same virtual instant the serial engine
+# does. wedge.json is the serial run from the chaos-sequence gate.
+timeout 300 cargo run -q -p flashoverlap-cli --bin flashoverlap -- serve \
+  --chaos --replicas 4 --wedge-replica 2 --rate 12000 --requests 200 --seed 7 \
+  --parallel 4 --metrics-out "$tmp/wedge-par.json" > /dev/null
+cmp "$tmp/wedge.json" "$tmp/wedge-par.json" \
+  || { echo "parallel gate: wedged chaos serve diverged under --parallel 4"; exit 1; }
+python3 - "$tmp/wc-serial.json" "$tmp/wc-4.json" BENCH_wallclock.json "$(nproc)" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    serial = json.load(f)
+with open(sys.argv[2]) as f:
+    par = json.load(f)
+for trend in (serial, par):
+    assert trend["kind"] == "flashoverlap-bench-wallclock", trend.get("kind")
+    assert trend["events"] == serial["events"], "same scenario, same event count"
+    assert trend["wall_s"] > 0 and trend["events_per_sec"] > 0, trend
+assert serial["mode"] == "serial" and serial["threads"] == 1, serial
+assert par["mode"] == "parallel" and par["threads"] == 4, par
+# The committed trend artifact: scenario pinned, wall values free to
+# drift (they are host-dependent; review diffs track them).
+with open(sys.argv[3]) as f:
+    committed = json.load(f)
+assert committed["kind"] == "flashoverlap-bench-wallclock", committed.get("kind")
+for key in ("seed", "requests", "gpus", "replicas", "mode", "threads"):
+    assert committed[key] == par[key], \
+        f"committed BENCH_wallclock.json pins a different scenario ({key})"
+cores = int(sys.argv[4])
+if cores >= 2:
+    assert par["wall_s"] <= serial["wall_s"], \
+        f"parallel(4) must not lose to serial with {cores} cores " \
+        f"({par['wall_s']:.3f}s vs {serial['wall_s']:.3f}s)"
+    verdict = f"{serial['wall_s'] / par['wall_s']:.2f}x speedup on {cores} cores"
+else:
+    verdict = "single core: wall-clock ordering not asserted"
+print(f"parallel gate: ok (byte-identical at 1/3/4 threads incl. wedged chaos; "
+      f"serial {serial['wall_s']:.3f}s vs parallel {par['wall_s']:.3f}s — {verdict})")
+EOF
+
 echo "ci: all gates passed"

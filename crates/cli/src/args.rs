@@ -85,6 +85,113 @@ pub enum ServeArrival {
     Bursty,
 }
 
+/// Raw argv tokens mid-parse; flag groups pull their values from it.
+type ArgIter<'a> = std::iter::Peekable<std::slice::Iter<'a, String>>;
+
+/// Pulls the path value following a flag, or errors with usage.
+fn parse_path(flag: &str, value: Option<&String>) -> Result<String, CliError> {
+    Ok(value
+        .ok_or_else(|| CliError::usage(format!("missing value for {flag}")))?
+        .clone())
+}
+
+/// Artifact output paths shared across commands. The flags used to be
+/// parsed by per-command copy-paste; this group owns them once and
+/// every command reads the same fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutputArgs {
+    /// `--trace-out`: Perfetto/Chrome trace (timeline, profile, serve,
+    /// analyze).
+    pub trace_out: Option<String>,
+    /// `--metrics-out`: machine-readable metrics report JSON.
+    pub metrics_out: Option<String>,
+    /// `--wallclock-out`: bench host wall-clock trend artifact
+    /// (`BENCH_wallclock.json` schema — tracked, never byte-gated).
+    pub wallclock_out: Option<String>,
+}
+
+impl OutputArgs {
+    /// Consumes `flag` (and its value) if it belongs to this group;
+    /// returns whether it did.
+    fn accept(&mut self, flag: &str, it: &mut ArgIter<'_>) -> Result<bool, CliError> {
+        match flag {
+            "--trace-out" => self.trace_out = Some(parse_path(flag, it.next())?),
+            "--metrics-out" => self.metrics_out = Some(parse_path(flag, it.next())?),
+            "--wallclock-out" => self.wallclock_out = Some(parse_path(flag, it.next())?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+/// Tuned-plan-cache snapshot persistence (`serve`/`bench`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanCacheArgs {
+    /// `--plan-cache-in`: snapshot preloaded into every replica.
+    pub load: Option<String>,
+    /// `--plan-cache-out`: snapshot written after serving.
+    pub save: Option<String>,
+}
+
+impl PlanCacheArgs {
+    /// Consumes `flag` (and its value) if it belongs to this group;
+    /// returns whether it did.
+    fn accept(&mut self, flag: &str, it: &mut ArgIter<'_>) -> Result<bool, CliError> {
+        match flag {
+            "--plan-cache-in" => self.load = Some(parse_path(flag, it.next())?),
+            "--plan-cache-out" => self.save = Some(parse_path(flag, it.next())?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+/// Replica-engine execution mode (`--parallel`, serve/bench). The
+/// virtual-time report is byte-identical across every setting; only
+/// host wall-clock changes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ParallelArg {
+    /// Run every replica engine inline on the serve loop's thread.
+    #[default]
+    Serial,
+    /// Run the replica engines on this many worker threads.
+    Threads(usize),
+    /// Run both the serial and parallel engine pools and diff the
+    /// reports byte-for-byte (serve only).
+    Validate,
+}
+
+impl ParallelArg {
+    /// Consumes `--parallel <n|serial|validate>` if present; returns
+    /// whether it did.
+    fn accept(&mut self, flag: &str, it: &mut ArgIter<'_>) -> Result<bool, CliError> {
+        if flag != "--parallel" {
+            return Ok(false);
+        }
+        let v = it
+            .next()
+            .ok_or_else(|| CliError::usage("missing value for --parallel"))?;
+        *self = match v.to_lowercase().as_str() {
+            "serial" => ParallelArg::Serial,
+            "validate" => ParallelArg::Validate,
+            n => {
+                let threads: usize = n.parse().map_err(|_| {
+                    CliError::usage(format!(
+                        "--parallel expects a thread count, `serial`, or `validate` (got {v})"
+                    ))
+                })?;
+                if threads == 0 {
+                    return Err(CliError::usage(
+                        "--parallel thread count must be at least 1",
+                    ));
+                }
+                ParallelArg::Threads(threads)
+            }
+        };
+        Ok(true)
+    }
+}
+
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
 pub struct Cli {
@@ -108,12 +215,9 @@ pub struct Cli {
     pub seed: u64,
     /// Collective algorithm.
     pub algorithm: Algorithm,
-    /// Optional path to write a Perfetto/Chrome trace (timeline and
-    /// profile commands).
-    pub trace_out: Option<String>,
-    /// Optional path to write the machine-readable metrics report
-    /// (run, compare, and profile commands).
-    pub metrics_out: Option<String>,
+    /// Artifact output paths (`--trace-out`, `--metrics-out`,
+    /// `--wallclock-out`).
+    pub output: OutputArgs,
     /// Run under the SimSan happens-before sanitizer (run/timeline).
     pub sanitize: bool,
     /// Seeded signal mutation for sanitizer self-tests (implies
@@ -152,11 +256,10 @@ pub struct Cli {
     /// Also serve the single-replica and unpipelined arms and report
     /// the scaling comparison (`serve --scaling`).
     pub scaling: bool,
-    /// Path to a tuned-plan-cache snapshot to preload (`serve`).
-    pub plan_cache_in: Option<String>,
-    /// Path to write the tuned-plan-cache snapshot after serving
-    /// (`serve`).
-    pub plan_cache_out: Option<String>,
+    /// Tuned-plan-cache snapshot persistence (`serve`).
+    pub plan_cache: PlanCacheArgs,
+    /// Replica-engine execution mode (`serve`/`bench`).
+    pub parallel: ParallelArg,
 }
 
 /// The usage text printed on `--help` or parse errors.
@@ -225,6 +328,16 @@ options:
                           (keyed by the system fingerprint) after serving
   --plan-cache-in <path>  serve: preload every replica's plan cache from a
                           snapshot; a fingerprint mismatch is an error
+  --parallel <n|serial|validate>
+                          serve/bench: run the replica engines on n worker
+                          threads instead of inline (default: serial).
+                          virtual-time results are byte-identical for any
+                          thread count; only host wall-clock changes.
+                          validate (serve only) runs both engine pools and
+                          fails unless the reports diff byte-equal
+  --wallclock-out <path>  bench: also write the host wall-clock trend
+                          artifact (wall seconds, events/sec, exec mode,
+                          threads); tracked run-to-run, never byte-gated
   -h, --help              this text
 
 verify proves the tuned (or --partition) plan's signal/wait schedule
@@ -257,11 +370,19 @@ path highlighted as its own track.
 bench serves a seeded trace like serve and writes BENCH_serve.json
 (default; override with --metrics-out): virtual-time metrics only —
 throughput, latency percentiles, wait percentiles, attribution shares —
-so the file is byte-identical for a fixed seed, while host wall-clock
-and events/sec go to stdout for regression eyeballing.
+so the file is byte-identical for a fixed seed and any --parallel
+setting, while host wall-clock (monotonic-clock deltas) and events/sec
+go to stdout — and to --wallclock-out — for regression eyeballing.
 ";
 
 fn parse_u32(flag: &str, value: Option<&String>) -> Result<u32, CliError> {
+    value
+        .ok_or_else(|| CliError::usage(format!("missing value for {flag}")))?
+        .parse()
+        .map_err(|_| CliError::usage(format!("invalid integer for {flag}")))
+}
+
+fn parse_u64(flag: &str, value: Option<&String>) -> Result<u64, CliError> {
     value
         .ok_or_else(|| CliError::usage(format!("missing value for {flag}")))?
         .parse()
@@ -337,8 +458,7 @@ impl Cli {
         let mut partition = None;
         let mut seed = 7u64;
         let mut algorithm = Algorithm::Ring;
-        let mut trace_out = None;
-        let mut metrics_out = None;
+        let mut output = OutputArgs::default();
         let mut sanitize = false;
         let mut mutation = None;
         let mut campaigns = 20usize;
@@ -354,15 +474,23 @@ impl Cli {
         let mut router = RouterPolicy::RoundRobin;
         let mut no_pipeline = false;
         let mut scaling = false;
-        let mut plan_cache_in = None;
-        let mut plan_cache_out = None;
+        let mut plan_cache = PlanCacheArgs::default();
+        let mut parallel = ParallelArg::default();
         while let Some(flag) = it.next() {
+            // Shared flag groups first (the hand-rolled equivalent of a
+            // flattened sub-struct); singleton flags fall through.
+            if output.accept(flag, &mut it)?
+                || plan_cache.accept(flag, &mut it)?
+                || parallel.accept(flag, &mut it)?
+            {
+                continue;
+            }
             match flag.as_str() {
                 "-m" => m = Some(parse_u32("-m", it.next())?),
                 "-n" => n = Some(parse_u32("-n", it.next())?),
                 "-k" => k = Some(parse_u32("-k", it.next())?),
                 "--gpus" => gpus = parse_u32("--gpus", it.next())? as usize,
-                "--seed" => seed = parse_u32("--seed", it.next())? as u64,
+                "--seed" => seed = parse_u64("--seed", it.next())?,
                 "--primitive" => {
                     let v = it
                         .next()
@@ -414,20 +542,6 @@ impl Cli {
                             return Err(CliError::usage(format!("unknown algorithm: {other}")));
                         }
                     };
-                }
-                "--trace-out" => {
-                    trace_out = Some(
-                        it.next()
-                            .ok_or_else(|| CliError::usage("missing value for --trace-out"))?
-                            .clone(),
-                    );
-                }
-                "--metrics-out" => {
-                    metrics_out = Some(
-                        it.next()
-                            .ok_or_else(|| CliError::usage("missing value for --metrics-out"))?
-                            .clone(),
-                    );
                 }
                 "--sanitize" => sanitize = true,
                 "--campaigns" => {
@@ -486,20 +600,6 @@ impl Cli {
                 }
                 "--no-pipeline" => no_pipeline = true,
                 "--scaling" => scaling = true,
-                "--plan-cache-in" => {
-                    plan_cache_in = Some(
-                        it.next()
-                            .ok_or_else(|| CliError::usage("missing value for --plan-cache-in"))?
-                            .clone(),
-                    );
-                }
-                "--plan-cache-out" => {
-                    plan_cache_out = Some(
-                        it.next()
-                            .ok_or_else(|| CliError::usage("missing value for --plan-cache-out"))?
-                            .clone(),
-                    );
-                }
                 "--drop-signal" => {
                     let (rank, group) = parse_rank_group("--drop-signal", it.next())?;
                     mutation = Some(SignalMutation::DropWait { rank, group });
@@ -539,8 +639,7 @@ impl Cli {
             partition,
             seed,
             algorithm,
-            trace_out,
-            metrics_out,
+            output,
             sanitize,
             mutation,
             campaigns,
@@ -556,8 +655,8 @@ impl Cli {
             router,
             no_pipeline,
             scaling,
-            plan_cache_in,
-            plan_cache_out,
+            plan_cache,
+            parallel,
         })
     }
 }
@@ -638,7 +737,7 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(cli.algorithm, Algorithm::Auto);
-        assert_eq!(cli.trace_out.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(cli.output.trace_out.as_deref(), Some("/tmp/t.json"));
         assert!(
             Cli::parse(&argv("run -m 1 -n 1 -k 1 --algorithm bogus"))
                 .unwrap_err()
@@ -653,10 +752,10 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(cli.command, Command::Profile);
-        assert_eq!(cli.trace_out.as_deref(), Some("t.json"));
-        assert_eq!(cli.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(cli.output.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(cli.output.metrics_out.as_deref(), Some("m.json"));
         let cli = Cli::parse(&argv("run -m 64 -n 64 -k 64 --metrics-out m.json")).unwrap();
-        assert_eq!(cli.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(cli.output.metrics_out.as_deref(), Some("m.json"));
         assert!(
             Cli::parse(&argv("profile -m 1 -n 1 -k 1 --metrics-out"))
                 .unwrap_err()
@@ -733,7 +832,7 @@ mod tests {
         assert_eq!(cli.seed, 9);
         assert!(cli.serve_chaos && cli.baseline);
         assert_eq!(cli.gpus, 4);
-        assert_eq!(cli.metrics_out.as_deref(), Some("s.json"));
+        assert_eq!(cli.output.metrics_out.as_deref(), Some("s.json"));
     }
 
     #[test]
@@ -742,7 +841,7 @@ mod tests {
         assert_eq!(cli.replicas, 1);
         assert_eq!(cli.router, RouterPolicy::RoundRobin);
         assert!(!cli.no_pipeline && !cli.scaling);
-        assert!(cli.plan_cache_in.is_none() && cli.plan_cache_out.is_none());
+        assert!(cli.plan_cache.load.is_none() && cli.plan_cache.save.is_none());
         let cli = Cli::parse(&argv(
             "serve --replicas 4 --router shape-affinity --no-pipeline --scaling \
              --plan-cache-out cache.json --plan-cache-in warm.json",
@@ -751,8 +850,8 @@ mod tests {
         assert_eq!(cli.replicas, 4);
         assert_eq!(cli.router, RouterPolicy::ShapeAffinity);
         assert!(cli.no_pipeline && cli.scaling);
-        assert_eq!(cli.plan_cache_out.as_deref(), Some("cache.json"));
-        assert_eq!(cli.plan_cache_in.as_deref(), Some("warm.json"));
+        assert_eq!(cli.plan_cache.save.as_deref(), Some("cache.json"));
+        assert_eq!(cli.plan_cache.load.as_deref(), Some("warm.json"));
         let cli = Cli::parse(&argv("serve --router least-loaded")).unwrap();
         assert_eq!(cli.router, RouterPolicy::LeastLoaded);
         assert_eq!(cli.nodes, 1);
@@ -771,6 +870,55 @@ mod tests {
         let err = Cli::parse(&argv("serve --router hash")).unwrap_err();
         assert!(err.show_usage);
         assert!(err.message.contains("shape-affinity"));
+    }
+
+    #[test]
+    fn parallel_flag_parses() {
+        assert_eq!(
+            Cli::parse(&argv("serve")).unwrap().parallel,
+            ParallelArg::Serial
+        );
+        let cli = Cli::parse(&argv("serve --replicas 4 --parallel 4")).unwrap();
+        assert_eq!(cli.parallel, ParallelArg::Threads(4));
+        let cli = Cli::parse(&argv("bench --parallel serial")).unwrap();
+        assert_eq!(cli.parallel, ParallelArg::Serial);
+        let cli = Cli::parse(&argv("serve --parallel validate")).unwrap();
+        assert_eq!(cli.parallel, ParallelArg::Validate);
+        assert!(
+            Cli::parse(&argv("serve --parallel 0"))
+                .unwrap_err()
+                .show_usage
+        );
+        let err = Cli::parse(&argv("serve --parallel sometimes")).unwrap_err();
+        assert!(err.show_usage);
+        assert!(err.message.contains("serial"));
+        assert!(
+            Cli::parse(&argv("serve --parallel"))
+                .unwrap_err()
+                .show_usage
+        );
+    }
+
+    #[test]
+    fn wallclock_out_parses() {
+        let cli = Cli::parse(&argv("bench --wallclock-out w.json")).unwrap();
+        assert_eq!(cli.output.wallclock_out.as_deref(), Some("w.json"));
+        assert!(Cli::parse(&argv("bench"))
+            .unwrap()
+            .output
+            .wallclock_out
+            .is_none());
+        assert!(
+            Cli::parse(&argv("bench --wallclock-out"))
+                .unwrap_err()
+                .show_usage
+        );
+    }
+
+    #[test]
+    fn seed_accepts_full_u64_range() {
+        let cli = Cli::parse(&argv("serve --seed 18446744073709551615")).unwrap();
+        assert_eq!(cli.seed, u64::MAX);
     }
 
     #[test]
@@ -813,8 +961,8 @@ mod tests {
         assert_eq!(cli.command, Command::Analyze);
         assert_eq!((cli.m, cli.n, cli.k), (2048, 4096, 4096));
         assert_eq!(cli.gpus, 2);
-        assert_eq!(cli.metrics_out.as_deref(), Some("a.json"));
-        assert_eq!(cli.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(cli.output.metrics_out.as_deref(), Some("a.json"));
+        assert_eq!(cli.output.trace_out.as_deref(), Some("t.json"));
         // Analyze attributes a concrete run; the shape is required.
         assert!(Cli::parse(&argv("analyze")).unwrap_err().show_usage);
     }
@@ -826,7 +974,10 @@ mod tests {
         assert_eq!(cli.requests, 120);
         assert_eq!(cli.seed, 7);
         assert_eq!(cli.gpus, 2, "bench defaults to the two-rank system");
-        assert!(cli.metrics_out.is_none(), "default path resolves later");
+        assert!(
+            cli.output.metrics_out.is_none(),
+            "default path resolves later"
+        );
     }
 
     #[test]

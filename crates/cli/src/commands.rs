@@ -14,7 +14,7 @@ use telemetry::json::Value;
 
 use flashoverlap::runtime::CommPattern;
 
-use crate::args::{Cli, CliError, Command, ServeArrival};
+use crate::args::{Cli, CliError, Command, ParallelArg, ServeArrival};
 
 /// Profiles every method on the workload and writes the metrics report
 /// (and, for the `profile` command, the Perfetto trace). Returns the
@@ -29,7 +29,7 @@ fn profiled_report(
         .map_err(|e| CliError::runtime(format!("profiling failed: {e}")))?;
     let mut out = profile.report.summary();
     if cli.command == Command::Profile {
-        if let Some(path) = &cli.trace_out {
+        if let Some(path) = &cli.output.trace_out {
             let trace = profile.trace_string().ok_or_else(|| {
                 CliError::runtime("FlashOverlap run failed; no trace to write".to_owned())
             })?;
@@ -38,7 +38,7 @@ fn profiled_report(
             out.push_str(&format!("perfetto trace written to {path}\n"));
         }
     }
-    if let Some(path) = &cli.metrics_out {
+    if let Some(path) = &cli.output.metrics_out {
         std::fs::write(path, profile.report.to_json().to_json_pretty())
             .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
         out.push_str(&format!("metrics written to {path}\n"));
@@ -167,7 +167,7 @@ fn execute_chaos(cli: &Cli) -> Result<String, CliError> {
          violations: {}\n",
         report.violations()
     ));
-    if let Some(path) = &cli.metrics_out {
+    if let Some(path) = &cli.output.metrics_out {
         std::fs::write(path, chaos_json(&report).to_json_pretty())
             .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
         out.push_str(&format!("metrics written to {path}\n"));
@@ -223,7 +223,13 @@ fn serve_config(cli: &Cli) -> Result<serving::ServeConfig, CliError> {
             mean_phase_ms: 5.0,
         },
     };
-    if let Some(path) = &cli.plan_cache_in {
+    config.exec = match cli.parallel {
+        // Validate drives both engine pools itself; the base config
+        // stays serial so its report is the reference.
+        ParallelArg::Serial | ParallelArg::Validate => serving::ExecMode::Serial,
+        ParallelArg::Threads(threads) => serving::ExecMode::Parallel(threads),
+    };
+    if let Some(path) = &cli.plan_cache.load {
         let text = std::fs::read_to_string(path)
             .map_err(|e| CliError::runtime(format!("reading {path}: {e}")))?;
         let snapshot = serving::CacheSnapshot::from_json(&text)
@@ -233,13 +239,43 @@ fn serve_config(cli: &Cli) -> Result<serving::ServeConfig, CliError> {
     Ok(config)
 }
 
+/// The worker-thread count a [`serving::ExecMode`] actually uses (the
+/// engine pool never spawns more threads than replicas).
+fn effective_threads(exec: serving::ExecMode, replicas: usize) -> (&'static str, usize) {
+    match exec {
+        serving::ExecMode::Serial => ("serial", 1),
+        serving::ExecMode::Parallel(threads) => ("parallel", threads.clamp(1, replicas.max(1))),
+    }
+}
+
 /// Runs the `serve` command: a seeded continuous-batching trace through
 /// the tuned-plan cache across one or more replicas, with optional
 /// chaos, baseline, scaling, and plan-cache persistence arms.
 fn execute_serve(cli: &Cli) -> Result<String, CliError> {
     let config = serve_config(cli)?;
     let mut exported = None;
-    let (mut out, json, traced) = if cli.scaling {
+    let (mut out, json, traced) = if cli.parallel == ParallelArg::Validate {
+        if cli.scaling || cli.baseline {
+            return Err(CliError::usage(
+                "--parallel validate cannot combine with --scaling or --baseline",
+            ));
+        }
+        // Cross-check the two engine pools: at least two threads so the
+        // parallel arm really runs workers, capped at the replica count.
+        let threads = cli.replicas.max(2);
+        let (report, matched) = serving::validate_parallel(&config, threads)
+            .map_err(|e| CliError::runtime(format!("serve failed: {e}")))?;
+        if !matched {
+            return Err(CliError::runtime(format!(
+                "parallel({threads}) ServeReport diverged from serial — \
+                 deterministic-merge bug; re-run with --parallel serial to unblock"
+            )));
+        }
+        let mut s = format!("validate : serial and parallel({threads}) reports byte-identical\n");
+        let json = report.to_json();
+        s.push_str(&report.summary());
+        (s, json, report)
+    } else if cli.scaling {
         let scaling = serving::serve_scaling(&config)
             .map_err(|e| CliError::runtime(format!("serve scaling failed: {e}")))?;
         let traced = scaling.multi.clone();
@@ -256,14 +292,14 @@ fn execute_serve(cli: &Cli) -> Result<String, CliError> {
         let json = report.to_json();
         (report.summary(), json, report)
     };
-    if let Some(path) = &cli.trace_out {
+    if let Some(path) = &cli.output.trace_out {
         // The scaling/baseline arms trace their primary (multi/tuned)
         // report; request flows in the other arms carry the same ids.
         std::fs::write(path, serving::serve_trace_string(&traced))
             .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
         out.push_str(&format!("request-lifecycle trace written to {path}\n"));
     }
-    if let Some(path) = &cli.plan_cache_out {
+    if let Some(path) = &cli.plan_cache.save {
         // The scaling/baseline arms consume their reports internally; an
         // extra export run is deterministic and reuses the same config.
         let snapshot = match exported {
@@ -278,7 +314,7 @@ fn execute_serve(cli: &Cli) -> Result<String, CliError> {
             .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
         out.push_str(&format!("plan cache written to {path}\n"));
     }
-    if let Some(path) = &cli.metrics_out {
+    if let Some(path) = &cli.output.metrics_out {
         std::fs::write(path, json.to_json_pretty())
             .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
         out.push_str(&format!("metrics written to {path}\n"));
@@ -395,7 +431,7 @@ fn execute_analyze(
             "VIOLATED — attribution does not tile the makespan"
         },
     ));
-    if let Some(path) = &cli.trace_out {
+    if let Some(path) = &cli.output.trace_out {
         let trace = telemetry::perfetto::trace_with_attribution(&spans, Some(&record), &tuned_attr);
         std::fs::write(path, trace.to_json())
             .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
@@ -403,7 +439,7 @@ fn execute_analyze(
             "perfetto trace with critical-path track written to {path}\n"
         ));
     }
-    if let Some(path) = &cli.metrics_out {
+    if let Some(path) = &cli.output.metrics_out {
         std::fs::write(path, doc.to_json_pretty())
             .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
         out.push_str(&format!("metrics written to {path}\n"));
@@ -433,7 +469,15 @@ fn bench_wait_json(p: &Option<telemetry::Percentiles>) -> Value {
 /// seed — the CI gate byte-compares two runs); host wall-clock and
 /// events/sec go to stdout only.
 fn execute_bench(cli: &Cli) -> Result<String, CliError> {
+    if cli.parallel == ParallelArg::Validate {
+        return Err(CliError::usage(
+            "--parallel validate is a serve mode; bench takes a thread count or `serial`",
+        ));
+    }
     let config = serve_config(cli)?;
+    let (mode, threads) = effective_threads(config.exec, config.replicas);
+    // Instant is the host's monotonic clock, so the delta is immune to
+    // wall-time adjustments mid-run.
     let started = std::time::Instant::now();
     let report = serving::serve(&config)
         .map_err(|e| CliError::runtime(format!("bench serve failed: {e}")))?;
@@ -499,6 +543,7 @@ fn execute_bench(cli: &Cli) -> Result<String, CliError> {
     ]);
 
     let path = cli
+        .output
         .metrics_out
         .clone()
         .unwrap_or_else(|| "BENCH_serve.json".to_string());
@@ -540,10 +585,33 @@ fn execute_bench(cli: &Cli) -> Result<String, CliError> {
         ));
     }
     out.push_str(&format!(
-        "host     : {secs:.3} s wall-clock, {:.0} events/s ({events} events: requests + batches)\n",
+        "host     : {secs:.3} s wall-clock (monotonic), {:.0} events/s, \
+         {mode} x{threads} thread{} ({events} events: requests + batches)\n",
         events as f64 / secs,
+        if threads == 1 { "" } else { "s" },
     ));
     out.push_str(&format!("bench report written to {path}\n"));
+    if let Some(wallclock_path) = &cli.output.wallclock_out {
+        // The wall-clock trend artifact is intentionally separate from
+        // the virtual-time report: it varies run to run, so it is
+        // tracked for trends, never byte-gated.
+        let trend = Value::obj(vec![
+            ("kind", Value::str("flashoverlap-bench-wallclock")),
+            ("seed", Value::num(report.seed as f64)),
+            ("requests", Value::num(report.offered as f64)),
+            ("gpus", Value::num(report.gpus as f64)),
+            ("replicas", Value::num(report.replicas as f64)),
+            ("chaos", Value::Bool(report.chaos)),
+            ("mode", Value::str(mode)),
+            ("threads", Value::num(threads as f64)),
+            ("wall_s", Value::num(secs)),
+            ("events", Value::num(events as f64)),
+            ("events_per_sec", Value::num(events as f64 / secs)),
+        ]);
+        std::fs::write(wallclock_path, trend.to_json_pretty())
+            .map_err(|e| CliError::runtime(format!("writing {wallclock_path}: {e}")))?;
+        out.push_str(&format!("wall-clock trend written to {wallclock_path}\n"));
+    }
     Ok(out)
 }
 
@@ -847,7 +915,7 @@ fn execute_verify(
         cli.gpus,
         if mix_clean { "all clean" } else { "VIOLATIONS" },
     ));
-    if let Some(path) = &cli.metrics_out {
+    if let Some(path) = &cli.output.metrics_out {
         std::fs::write(path, doc.to_json_pretty())
             .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
         out.push_str(&format!("metrics written to {path}\n"));
@@ -942,7 +1010,7 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
             if let Some(text) = sanitizer_text {
                 out.push_str(&text);
             }
-            if cli.metrics_out.is_some() {
+            if cli.output.metrics_out.is_some() {
                 out.push_str(&profiled_report(cli, dims, &pattern, &system)?);
             }
         }
@@ -962,7 +1030,7 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
                     base.as_nanos() as f64 / latency.as_nanos() as f64
                 ));
             }
-            if cli.metrics_out.is_some() {
+            if cli.output.metrics_out.is_some() {
                 out.push_str(&profiled_report(cli, dims, &pattern, &system)?);
             }
         }
@@ -980,7 +1048,7 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
                 .collect();
             out.push_str(&format!("latency  : {}\n", report.latency));
             out.push_str(&render_timeline(&rank0, 100));
-            if let Some(path) = &cli.trace_out {
+            if let Some(path) = &cli.output.trace_out {
                 std::fs::write(path, telemetry::perfetto::trace_string(&spans, None))
                     .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
                 out.push_str(&format!("perfetto trace written to {path}\n"));
@@ -1576,5 +1644,61 @@ mod tests {
             })
             .sum();
         assert_eq!(total, makespan);
+    }
+
+    #[test]
+    fn bench_parallel_matches_serial_artifact_and_writes_wallclock_trend() {
+        let serial = temp_path("bench-serial.json");
+        let parallel = temp_path("bench-parallel.json");
+        let trend = temp_path("bench-wallclock.json");
+        let out = execute_argv(&argv(&format!(
+            "bench --requests 60 --seed 7 --replicas 4 --rate 2400 --metrics-out {}",
+            serial.display()
+        )))
+        .unwrap();
+        assert!(out.contains("serial x1 thread"), "{out}");
+        let out = execute_argv(&argv(&format!(
+            "bench --requests 60 --seed 7 --replicas 4 --rate 2400 --parallel 4 \
+             --metrics-out {} --wallclock-out {}",
+            parallel.display(),
+            trend.display()
+        )))
+        .unwrap();
+        assert!(out.contains("parallel x4 threads"), "{out}");
+        assert!(out.contains("wall-clock trend written to"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&serial).unwrap(),
+            std::fs::read_to_string(&parallel).unwrap(),
+            "the virtual-time artifact must not depend on --parallel"
+        );
+        let doc = telemetry::json::parse(&std::fs::read_to_string(&trend).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("kind").and_then(|v| v.as_str()),
+            Some("flashoverlap-bench-wallclock")
+        );
+        assert_eq!(doc.get("mode").and_then(|v| v.as_str()), Some("parallel"));
+        assert_eq!(
+            doc.get("threads").and_then(telemetry::json::Value::as_f64),
+            Some(4.0)
+        );
+        assert!(
+            doc.get("wall_s")
+                .and_then(telemetry::json::Value::as_f64)
+                .unwrap()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn serve_validate_mode_diffs_the_engines() {
+        let out = execute_argv(&argv(
+            "serve --requests 40 --replicas 2 --parallel validate",
+        ))
+        .unwrap();
+        assert!(out.contains("byte-identical"), "{out}");
+        let err = execute_argv(&argv("serve --scaling --parallel validate")).unwrap_err();
+        assert!(err.show_usage, "{}", err.message);
+        let err = execute_argv(&argv("bench --parallel validate")).unwrap_err();
+        assert!(err.show_usage, "{}", err.message);
     }
 }

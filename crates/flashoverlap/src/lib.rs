@@ -50,8 +50,8 @@ pub use partition::WavePartition;
 pub use pipeline::{LayerSpec, Pipeline, PipelineExecOptions, PipelineExecOutcome, PipelineReport};
 pub use predictor::{LatencyPredictor, OfflineProfile};
 pub use resilience::{
-    run_chaos, CampaignResult, ChaosConfig, ChaosReport, Fault, FaultPlan,
-    ResilientFunctionalReport, ResilientOutcome, ResilientReport, WatchdogConfig,
+    run_chaos, CampaignResult, ChaosConfig, ChaosReport, Fault, FaultPlan, ResilientOutcome,
+    ResilientReport, WatchdogConfig,
 };
 pub use runtime::{
     CommPattern, ExecOptions, ExecOutcome, FunctionalInputs, FunctionalReport, Instrumentation,

@@ -84,15 +84,6 @@ pub struct PipelineReport {
     pub layers: Vec<RunReport>,
 }
 
-/// Functional pipeline results.
-#[derive(Debug, Clone)]
-pub struct FunctionalPipelineReport {
-    /// Timing.
-    pub report: PipelineReport,
-    /// Per-rank logical outputs of the final layer.
-    pub outputs: Vec<Matrix>,
-}
-
 /// Options for [`Pipeline::execute_with`] — the pipeline mirror of
 /// [`crate::runtime::ExecOptions`]. Default options run the whole
 /// pipeline in timing mode.
@@ -420,57 +411,6 @@ impl Pipeline {
             outcomes,
             events: Rc::try_unwrap(log).map_or_else(|rc| rc.borrow().clone(), RefCell::into_inner),
             faults_armed,
-        })
-    }
-
-    /// Runs the whole pipeline in timing mode.
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulation failures.
-    #[deprecated(note = "use execute_with(&PipelineExecOptions::new())")]
-    pub fn execute(&self) -> Result<PipelineReport, FlashOverlapError> {
-        Ok(self.execute_with(&PipelineExecOptions::new())?.report)
-    }
-
-    /// Runs the whole pipeline in timing mode with observation hooks
-    /// attached; the seeded mutation applies to layer `mutate_layer`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`FlashOverlapError::BadInputs`] if `mutate_layer` is out
-    /// of range, and [`FlashOverlapError::Simulation`] on engine failure.
-    #[deprecated(
-        note = "use execute_with(&PipelineExecOptions::new().instrument(instr).mutate_layer(l))"
-    )]
-    pub fn execute_instrumented(
-        &self,
-        instr: &crate::runtime::Instrumentation,
-        mutate_layer: usize,
-    ) -> Result<PipelineReport, FlashOverlapError> {
-        let options = PipelineExecOptions::new()
-            .instrument(instr)
-            .mutate_layer(mutate_layer);
-        Ok(self.execute_with(&options)?.report)
-    }
-
-    /// Runs the whole pipeline functionally.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error on malformed inputs or simulation failure.
-    #[deprecated(
-        note = "use execute_with(&PipelineExecOptions::new().functional(first_a, weights))"
-    )]
-    pub fn execute_functional(
-        &self,
-        first_a: &[Matrix],
-        weights: &[Vec<Matrix>],
-    ) -> Result<FunctionalPipelineReport, FlashOverlapError> {
-        let out = self.execute_with(&PipelineExecOptions::new().functional(first_a, weights))?;
-        Ok(FunctionalPipelineReport {
-            report: out.report,
-            outputs: out.outputs.unwrap_or_default(),
         })
     }
 

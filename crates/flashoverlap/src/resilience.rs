@@ -42,7 +42,6 @@ use std::fmt;
 
 use gpu_sim::gemm::GemmDims;
 use sim::{DetRng, SimDuration};
-use tensor::Matrix;
 
 use crate::error::FlashOverlapError;
 use crate::runtime::{CommPattern, FunctionalInputs, OverlapPlan, RunReport};
@@ -346,17 +345,6 @@ impl ResilientReport {
     pub fn events_of(&self, kind: gpu_sim::RuntimeEventKind) -> Vec<&gpu_sim::RuntimeEvent> {
         self.events.iter().filter(|e| e.kind == kind).collect()
     }
-}
-
-/// Results of one functional resilient execution.
-#[derive(Debug, Clone)]
-pub struct ResilientFunctionalReport {
-    /// Outcome, timing, and recovery timeline.
-    pub resilient: ResilientReport,
-    /// Per-rank logical outputs after the post-communication remap
-    /// (complete whenever the outcome is `Clean` or `Recovered`; may be
-    /// partial for a `Degraded` run that could not finish).
-    pub outputs: Vec<Matrix>,
 }
 
 /// Configuration of a seeded chaos campaign run.

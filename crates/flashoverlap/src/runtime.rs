@@ -35,9 +35,7 @@ use crate::error::FlashOverlapError;
 use crate::mapping::{SubtileMapping, TileMapping, TokenMapping};
 use crate::partition::WavePartition;
 use crate::predictor::LatencyPredictor;
-use crate::resilience::{
-    Fault, FaultPlan, ResilientFunctionalReport, ResilientOutcome, ResilientReport, WatchdogConfig,
-};
+use crate::resilience::{Fault, FaultPlan, ResilientOutcome, ResilientReport, WatchdogConfig};
 use crate::system::SystemSpec;
 use crate::writers::{PackedTileWriter, SubtilePackedWriter, TokenPoolWriter};
 
@@ -191,7 +189,7 @@ impl SignalMutation {
 }
 
 /// Observation hooks and fault injection for an instrumented run (see
-/// [`OverlapPlan::execute_instrumented`]). The `simsan` crate provides
+/// [`ExecOptions::instrument`]). The `simsan` crate provides
 /// monitor/probe implementations; this crate stays policy-free.
 #[derive(Default)]
 pub struct Instrumentation {
@@ -473,8 +471,8 @@ impl OverlapPlan {
     }
 
     /// Executes the plan with the modes selected in `options` — the
-    /// single runtime entry point. The former `execute*` method matrix
-    /// remains as thin deprecated shims over this.
+    /// single runtime entry point, which replaced the former `execute*`
+    /// method matrix.
     ///
     /// Mode semantics:
     ///
@@ -710,79 +708,6 @@ impl OverlapPlan {
         })
     }
 
-    /// Runs the plan in timing mode.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`FlashOverlapError::Simulation`] if the simulation engine
-    /// fails.
-    #[deprecated(note = "use execute_with(&ExecOptions::new())")]
-    pub fn execute(&self) -> Result<RunReport, FlashOverlapError> {
-        Ok(self.execute_with(&ExecOptions::new())?.report)
-    }
-
-    /// Runs the plan in timing mode with observation hooks attached —
-    /// see [`ExecOptions::instrument`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`FlashOverlapError::Simulation`] if the simulation engine
-    /// itself fails (e.g. the event budget is exhausted).
-    #[deprecated(note = "use execute_with(&ExecOptions::new().instrument(instr))")]
-    pub fn execute_instrumented(
-        &self,
-        instr: &Instrumentation,
-    ) -> Result<RunReport, FlashOverlapError> {
-        Ok(self
-            .execute_with(&ExecOptions::new().instrument(instr))?
-            .report)
-    }
-
-    /// Instrumented run with per-stream operation spans recorded.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`FlashOverlapError::Simulation`] if the simulation engine
-    /// itself fails.
-    #[deprecated(note = "use execute_with(&ExecOptions::new().instrument(instr).trace())")]
-    pub fn execute_traced_instrumented(
-        &self,
-        instr: &Instrumentation,
-    ) -> Result<(RunReport, Vec<gpu_sim::OpSpan>), FlashOverlapError> {
-        let out = self.execute_with(&ExecOptions::new().instrument(instr).trace())?;
-        Ok((out.report, out.spans))
-    }
-
-    /// Steady-state iteration — see [`ExecOptions::iterations`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`FlashOverlapError::Simulation`] on engine failure, and
-    /// [`FlashOverlapError::BadInputs`] if `iterations == 0`.
-    #[deprecated(note = "use execute_with(&ExecOptions::new().iterations(n))")]
-    pub fn execute_iterations(&self, iterations: usize) -> Result<SimDuration, FlashOverlapError> {
-        let out = self.execute_with(&ExecOptions::new().iterations(iterations))?;
-        Ok(out.steady_state.expect("iteration mode sets steady_state"))
-    }
-
-    /// Instrumented steady-state iteration — see
-    /// [`ExecOptions::iterations`] and [`ExecOptions::instrument`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`FlashOverlapError::Simulation`] on engine failure, and
-    /// [`FlashOverlapError::BadInputs`] if `iterations == 0`.
-    #[deprecated(note = "use execute_with(&ExecOptions::new().iterations(n).instrument(instr))")]
-    pub fn execute_iterations_instrumented(
-        &self,
-        iterations: usize,
-        instr: &Instrumentation,
-    ) -> Result<SimDuration, FlashOverlapError> {
-        let out =
-            self.execute_with(&ExecOptions::new().iterations(iterations).instrument(instr))?;
-        Ok(out.steady_state.expect("iteration mode sets steady_state"))
-    }
-
     fn run_iterations(
         &self,
         iterations: usize,
@@ -805,73 +730,6 @@ impl OverlapPlan {
         Ok(SimDuration::from_nanos(
             outcome.total.as_nanos() / iterations as u64,
         ))
-    }
-
-    /// Runs the plan in timing mode with per-stream operation spans
-    /// recorded, for timeline rendering.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`FlashOverlapError::Simulation`] on engine failure.
-    #[deprecated(note = "use execute_with(&ExecOptions::new().trace())")]
-    pub fn execute_traced(&self) -> Result<(RunReport, Vec<gpu_sim::OpSpan>), FlashOverlapError> {
-        let out = self.execute_with(&ExecOptions::new().trace())?;
-        Ok((out.report, out.spans))
-    }
-
-    /// Runs the plan in timing mode with the post-communication remap
-    /// fused into a trailing element-wise kernel — see
-    /// [`ExecOptions::epilogue`].
-    ///
-    /// # Errors
-    ///
-    /// Returns an error on inconsistent operator parameters or
-    /// simulation failure.
-    #[deprecated(note = "use execute_with(&ExecOptions::new().epilogue(op))")]
-    pub fn execute_with_epilogue(
-        &self,
-        op: &ElementwiseOp,
-    ) -> Result<RunReport, FlashOverlapError> {
-        Ok(self.execute_with(&ExecOptions::new().epilogue(op))?.report)
-    }
-
-    /// Runs the plan in functional mode with real data, returning the
-    /// post-remap logical outputs alongside timing.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error on malformed inputs or simulation failure.
-    #[deprecated(note = "use execute_with(&ExecOptions::new().functional(inputs))")]
-    pub fn execute_functional(
-        &self,
-        inputs: &FunctionalInputs,
-    ) -> Result<FunctionalReport, FlashOverlapError> {
-        let out = self.execute_with(&ExecOptions::new().functional(inputs))?;
-        Ok(FunctionalReport {
-            report: out.report,
-            outputs: out.outputs.unwrap_or_default(),
-        })
-    }
-
-    /// Functional run with the fused epilogue: the returned per-rank
-    /// outputs are `op` applied to the logical output, produced by the
-    /// in-simulator fused kernel (not host-side post-processing).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error on malformed inputs/operator or simulation
-    /// failure.
-    #[deprecated(note = "use execute_with(&ExecOptions::new().functional(inputs).epilogue(op))")]
-    pub fn execute_functional_with_epilogue(
-        &self,
-        inputs: &FunctionalInputs,
-        op: &ElementwiseOp,
-    ) -> Result<FunctionalReport, FlashOverlapError> {
-        let out = self.execute_with(&ExecOptions::new().functional(inputs).epilogue(op))?;
-        Ok(FunctionalReport {
-            report: out.report,
-            outputs: out.outputs.unwrap_or_default(),
-        })
     }
 
     /// Validates an epilogue operator against this plan's logical output
@@ -1447,108 +1305,6 @@ impl OverlapPlan {
         let predictor = LatencyPredictor::build(self.dims, self.primitive(), &self.system);
         (predictor.profile().total_waves == self.partition.total_waves())
             .then(|| predictor.predict_group_completions(&self.partition))
-    }
-
-    /// Runs the plan in timing mode under the watchdog: `faults` are
-    /// injected at the simulator's seams, and a wedge (lost signal,
-    /// starved rendezvous) is broken by the escalation ladder — deadline
-    /// extensions, then tail recovery, then the bulk degraded fallback —
-    /// so the run terminates with a structured outcome instead of
-    /// hanging.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`FlashOverlapError::BadInputs`] if a fault targets a
-    /// rank or group the plan does not have, and
-    /// [`FlashOverlapError::Simulation`] on engine failure.
-    #[deprecated(note = "use execute_with(&ExecOptions::new().resilient(faults, watchdog))")]
-    pub fn execute_resilient(
-        &self,
-        faults: &FaultPlan,
-        watchdog: &WatchdogConfig,
-    ) -> Result<ResilientReport, FlashOverlapError> {
-        let out = self.execute_with(&ExecOptions::new().resilient(faults, watchdog))?;
-        Ok(ResilientReport {
-            report: out.report,
-            outcome: out.outcome,
-            events: out.events,
-            faults_armed: out.faults_armed,
-        })
-    }
-
-    /// Functional (data-carrying) resilient run: the returned outputs
-    /// are bit-exact against a fault-free run whenever the outcome is
-    /// `Clean` or `Recovered` — and for every `Degraded` run whose bulk
-    /// fallback completed, since recovery collectives only read
-    /// GEMM-complete buffers.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error on malformed inputs, out-of-range fault targets,
-    /// or engine failure.
-    #[deprecated(
-        note = "use execute_with(&ExecOptions::new().functional(inputs).resilient(faults, watchdog))"
-    )]
-    pub fn execute_functional_resilient(
-        &self,
-        inputs: &FunctionalInputs,
-        faults: &FaultPlan,
-        watchdog: &WatchdogConfig,
-    ) -> Result<ResilientFunctionalReport, FlashOverlapError> {
-        let out = self.execute_with(
-            &ExecOptions::new()
-                .functional(inputs)
-                .resilient(faults, watchdog),
-        )?;
-        Ok(ResilientFunctionalReport {
-            resilient: ResilientReport {
-                report: out.report,
-                outcome: out.outcome,
-                events: out.events,
-                faults_armed: out.faults_armed,
-            },
-            outputs: out.outputs.unwrap_or_default(),
-        })
-    }
-
-    /// Resilient run with per-stream operation spans recorded and an
-    /// optional monitor attached — how telemetry captures the recovery
-    /// timeline (tail/bulk collective spans, fault and recovery instant
-    /// events).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error on out-of-range fault targets or engine failure.
-    #[deprecated(
-        note = "use execute_with(&ExecOptions::new().resilient(faults, watchdog).trace()) \
-                with a monitor in .instrument()"
-    )]
-    pub fn execute_resilient_traced(
-        &self,
-        faults: &FaultPlan,
-        watchdog: &WatchdogConfig,
-        monitor: Option<Rc<dyn ClusterMonitor>>,
-    ) -> Result<(ResilientReport, Vec<gpu_sim::OpSpan>), FlashOverlapError> {
-        let instr = Instrumentation {
-            monitor,
-            probe: None,
-            mutation: None,
-        };
-        let out = self.execute_with(
-            &ExecOptions::new()
-                .instrument(&instr)
-                .resilient(faults, watchdog)
-                .trace(),
-        )?;
-        Ok((
-            ResilientReport {
-                report: out.report,
-                outcome: out.outcome,
-                events: out.events,
-                faults_armed: out.faults_armed,
-            },
-            out.spans,
-        ))
     }
 
     fn run_resilient(

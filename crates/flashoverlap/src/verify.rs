@@ -215,7 +215,7 @@ pub fn violation_line(v: &Violation) -> String {
 /// `planverify` registry.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeSeam {
-    /// Drive via [`SignalMutation`] (`execute_instrumented`,
+    /// Drive via [`SignalMutation`] (`ExecOptions::instrument`,
     /// `PipelineExecOptions::mutate_layer`, or
     /// `SequenceOptions::mutation_batch`).
     Signal(SignalMutation),

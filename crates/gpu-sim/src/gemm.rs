@@ -336,7 +336,7 @@ fn finish_wave(mut run: GemmRun, count: usize, world: &mut Cluster, sim: &mut Cl
     // Access monitoring: report each tile's epilogue writes at the wave
     // boundary (emitted in timing mode too — the sanitizer tracks ranges,
     // not values).
-    if let Some(monitor) = world.monitor.clone() {
+    if let Some(monitor) = world.monitor.as_deref() {
         let stream = run.completion.stream();
         for &t in &wave_tiles {
             for range in run.writer.write_spans(&run.grid, t) {
@@ -435,7 +435,7 @@ fn finish_wave(mut run: GemmRun, count: usize, world: &mut Cluster, sim: &mut Cl
                         detail: format!("delayed counter increment by {by:?} (tile {t})"),
                     });
                     sim.schedule_in(by, move |w, s| {
-                        if let Some(monitor) = w.monitor.clone() {
+                        if let Some(monitor) = w.monitor.as_deref() {
                             monitor.on_counter_increment(
                                 s.now(),
                                 device,

@@ -205,7 +205,7 @@ impl Kernel for RecordEvent {
         let ev = &mut world.devices[ctx.device].events[self.0];
         ev.recorded = Some(sim.now());
         let waiters = std::mem::take(&mut ev.waiters);
-        if let Some(monitor) = world.monitor.clone() {
+        if let Some(monitor) = world.monitor.as_deref() {
             monitor.on_event_record(sim.now(), ctx.device, ctx.stream, self.0);
             // Parked waiters synchronize now, at record time.
             for completion in &waiters {
@@ -233,7 +233,7 @@ impl Kernel for WaitEvent {
     fn launch(self: Box<Self>, ctx: LaunchCtx, world: &mut Cluster, sim: &mut ClusterSim) {
         let ev = &mut world.devices[ctx.device].events[self.0];
         if ev.recorded.is_some() {
-            if let Some(monitor) = world.monitor.clone() {
+            if let Some(monitor) = world.monitor.as_deref() {
                 monitor.on_event_wait(sim.now(), ctx.device, ctx.stream, self.0);
             }
             ctx.completion.finish(world, sim);
@@ -268,7 +268,7 @@ impl Kernel for WaitCounter {
         match dev.counters[self.table].register(self.group, self.threshold, ctx.completion) {
             Some(completion) => {
                 // Already satisfied; still pay one polling quantum.
-                if let Some(monitor) = world.monitor.clone() {
+                if let Some(monitor) = world.monitor.as_deref() {
                     monitor.on_counter_satisfied(
                         sim.now(),
                         device,
@@ -331,7 +331,7 @@ pub struct ResetCounter {
 impl Kernel for ResetCounter {
     fn launch(self: Box<Self>, ctx: LaunchCtx, world: &mut Cluster, sim: &mut ClusterSim) {
         world.devices[ctx.device].counters[self.table].reset();
-        if let Some(monitor) = world.monitor.clone() {
+        if let Some(monitor) = world.monitor.as_deref() {
             monitor.on_counter_reset(sim.now(), ctx.device, ctx.stream, self.table);
         }
         ctx.completion.finish(world, sim);
@@ -378,7 +378,7 @@ pub(crate) fn wake_counter_waiters(
     waiters: Vec<crate::counter::Waiter>,
 ) {
     for waiter in waiters {
-        if let Some(monitor) = world.monitor.clone() {
+        if let Some(monitor) = world.monitor.as_deref() {
             // The parked wait synchronizes now, at the releasing increment.
             monitor.on_counter_satisfied(
                 sim.now(),

@@ -1,0 +1,700 @@
+//! The sealed per-replica execution engine.
+//!
+//! A [`ReplicaEngine`] owns everything one replica group needs to run a
+//! chain of batches — the simulated cluster (constructed per execution
+//! by [`flashoverlap::execute_sequence`]), the tuned-plan
+//! [`PlanCache`], the telemetry monitor/probe wiring, and the chain
+//! assembly (per-batch fault plans, sequence options, pipelining). The
+//! serve loop never touches any of that state directly: it talks to the
+//! engine exclusively through typed [`EngineCommand`] /
+//! [`EngineReply`] messages carrying deterministic sequence numbers,
+//! which makes the thread boundary auditable and the replica state
+//! `Send`-free by construction — the worker (holding `Rc`-based plans)
+//! is built *inside* its thread; only plain data crosses.
+//!
+//! Determinism argument (the reason `--parallel N` is byte-identical to
+//! serial for every `N`): a chain's result is a pure function of the
+//! engine's command history — the per-replica command stream is FIFO,
+//! replies are matched per replica, and the loop applies every chain's
+//! accounting effects in global dispatch-sequence order (see
+//! [`ChainEffects`]), so no wall-clock interleaving can reorder
+//! anything observable. Virtual time lives in the commands
+//! (`start_ns`) and replies (`free_ns`); threads only decide *when*
+//! the answer is computed, never *what* it is.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use flashoverlap::{
+    execute_sequence, CommPattern, Fault, FaultPlan, FlashOverlapError, Instrumentation,
+    OverlapPlan, SequenceOptions, WatchdogConfig,
+};
+use telemetry::attribution::{attribute_makespan, AttributionTotals, Category};
+use telemetry::{signal_summary, Telemetry, TelemetryRecord};
+
+use crate::batch::Batch;
+use crate::cache::{system_fingerprint, CacheStats, PlanCache, PlanEntry};
+use crate::report::{BatchRecord, Disposition, RequestRecord};
+use crate::server::{fault_seed, ExecMode, ServeConfig};
+
+/// A closed batch sitting in a replica's dispatch queue (and, once
+/// dispatched, travelling to the engine inside a chain command).
+#[derive(Debug, Clone)]
+pub struct PendingBatch {
+    /// The closed batch.
+    pub batch: Batch,
+    /// Routing label stamped onto the batch record.
+    pub routing: &'static str,
+    /// When the batch closed and was routed — the start of its
+    /// dispatch-queue wait.
+    pub close_ns: u64,
+    /// Inter-node migration charged before execution (computed at
+    /// routing time; zero for home-node or single-node placements).
+    pub migration_ns: u64,
+}
+
+/// A command sent from the serve loop to one replica engine. Sequence
+/// numbers are assigned by the loop in global dispatch order and echoed
+/// on the reply, pinning the deterministic merge.
+#[derive(Debug)]
+pub enum EngineCommand {
+    /// Execute `chain` as one (pipelined) simulation starting at
+    /// `start_ns` virtual time.
+    ExecuteChain {
+        /// Global dispatch sequence number.
+        seq: u64,
+        /// Virtual time the chain launches.
+        start_ns: u64,
+        /// The batches, in dispatch-queue order.
+        chain: Vec<PendingBatch>,
+    },
+    /// Flush the engine: return lifetime stats, the chain log, and the
+    /// cache snapshot entries. Terminal — sent exactly once.
+    Finalize {
+        /// Global sequence number (after every chain's).
+        seq: u64,
+    },
+}
+
+/// A reply from a replica engine, matched to its command by `seq`.
+#[derive(Debug)]
+pub enum EngineReply {
+    /// Result of an [`EngineCommand::ExecuteChain`].
+    Chain {
+        /// Echo of the command's sequence number.
+        seq: u64,
+        /// The chain's timing and accounting effects, or the execution
+        /// error.
+        result: Result<ChainResult, FlashOverlapError>,
+    },
+    /// Result of an [`EngineCommand::Finalize`].
+    Final {
+        /// Echo of the command's sequence number.
+        seq: u64,
+        /// The engine's lifetime totals, or the construction error that
+        /// prevented the engine from ever serving.
+        result: Result<EngineFinal, FlashOverlapError>,
+    },
+}
+
+/// What one executed chain did: the new replica-idle time plus every
+/// accounting side effect, packaged so the loop can apply effects in
+/// global dispatch-sequence order regardless of which thread finished
+/// first.
+#[derive(Debug)]
+pub struct ChainResult {
+    /// Virtual time the chain drains (the replica's next idle instant).
+    pub free_ns: u64,
+    /// Whether any batch in the chain came back degraded (the caller's
+    /// quarantine signal; only possible under chaos).
+    pub degraded: bool,
+    /// The chain's accounting effects.
+    pub effects: ChainEffects,
+}
+
+/// The accounting side effects of one executed chain, replayed into the
+/// run's [`Accounting`](crate::server) strictly in dispatch-sequence
+/// order — f64 accumulation order and batch-record order are part of
+/// the byte-identical report contract.
+#[derive(Debug, Default)]
+pub struct ChainEffects {
+    /// Per-request completion records.
+    pub(crate) records: Vec<RequestRecord>,
+    /// Per-batch execution records, in chain order.
+    pub(crate) batch_records: Vec<BatchRecord>,
+    /// Signal-latency weighted sum delta (`mean * samples`).
+    pub(crate) signal_weighted_sum: f64,
+    /// Signal sample count delta.
+    pub(crate) signal_samples: u64,
+    /// Batches executed off their home node.
+    pub(crate) cross_node_batches: u64,
+    /// Inter-node migration charged to those batches.
+    pub(crate) migration_ns: u64,
+    /// Inter-node bytes the hierarchical schedule moved.
+    pub(crate) inter_bytes_hierarchical: u64,
+    /// Inter-node bytes the flat ring would have moved.
+    pub(crate) inter_bytes_flat: u64,
+    /// Predictor-drift sample from the chain-leading batch:
+    /// `(dims, predicted, measured)` group completions.
+    #[allow(clippy::type_complexity)]
+    pub(crate) drift: Option<(
+        gpu_sim::gemm::GemmDims,
+        Vec<sim::SimDuration>,
+        Vec<sim::SimDuration>,
+    )>,
+}
+
+/// The engine's lifetime totals, returned by
+/// [`EngineCommand::Finalize`]: everything the report builder needs
+/// from inside the sealed boundary.
+#[derive(Debug)]
+pub struct EngineFinal {
+    /// Batches executed.
+    pub(crate) batches: u64,
+    /// Requests completed.
+    pub(crate) requests: u64,
+    /// Tokens processed (pre-padding).
+    pub(crate) tokens: u64,
+    /// Chains executed.
+    pub(crate) chains: u64,
+    /// Virtual busy time (migration + execution).
+    pub(crate) busy_ns: u64,
+    /// Executed chains as `(start_ns, total_ns, attribution)`.
+    pub(crate) chain_log: Vec<(u64, u64, AttributionTotals)>,
+    /// Plan-cache hit/miss/eviction counters.
+    pub(crate) cache_stats: CacheStats,
+    /// Exported tuned-plan entries (the `--plan-cache-out` payload).
+    pub(crate) entries: Vec<PlanEntry>,
+}
+
+/// The worker behind one [`ReplicaEngine`]: owns the plan cache and the
+/// chain executor. `Rc`-based internals make it deliberately `!Send` —
+/// it is constructed on whichever thread runs it and never moves.
+struct EngineWorker {
+    config: ServeConfig,
+    replica_idx: usize,
+    tp: u32,
+    cache: PlanCache,
+    batches: u64,
+    requests: u64,
+    tokens: u64,
+    chains: u64,
+    busy_ns: u64,
+    chain_log: Vec<(u64, u64, AttributionTotals)>,
+    /// Recycled telemetry buffers: each chain's recorder takes this
+    /// record's capacity and hands it back after harvest, so the
+    /// per-event vectors stop re-growing from zero on every chain.
+    scratch: TelemetryRecord,
+}
+
+impl EngineWorker {
+    fn new(
+        config: ServeConfig,
+        tuned: bool,
+        replica_idx: usize,
+    ) -> Result<Self, FlashOverlapError> {
+        let mut cache = if tuned {
+            PlanCache::new(config.cache_capacity)
+        } else {
+            PlanCache::new_untuned(config.cache_capacity)
+        };
+        if let Some(snapshot) = &config.preload {
+            // Fingerprint compatibility was validated up front.
+            cache.preload(&config.system, &snapshot.entries)?;
+        }
+        let tp = config.system.n_gpus as u32;
+        Ok(EngineWorker {
+            config,
+            replica_idx,
+            tp,
+            cache,
+            batches: 0,
+            requests: 0,
+            tokens: 0,
+            chains: 0,
+            busy_ns: 0,
+            chain_log: Vec::new(),
+            scratch: TelemetryRecord::default(),
+        })
+    }
+
+    fn handle(&mut self, cmd: EngineCommand) -> EngineReply {
+        match cmd {
+            EngineCommand::ExecuteChain {
+                seq,
+                start_ns,
+                chain,
+            } => EngineReply::Chain {
+                seq,
+                result: self.execute_chain(start_ns, chain),
+            },
+            EngineCommand::Finalize { seq } => EngineReply::Final {
+                seq,
+                result: Ok(self.finalize()),
+            },
+        }
+    }
+
+    /// Executes one chain of batches starting at `start_ns`, recording
+    /// per-request and per-batch effects. The virtual-time math is
+    /// identical to the pre-engine serve loop's inline `run_chain` —
+    /// byte-compatibility of the report depends on it.
+    fn execute_chain(
+        &mut self,
+        start_ns: u64,
+        chain: Vec<PendingBatch>,
+    ) -> Result<ChainResult, FlashOverlapError> {
+        // Split the borrow: the cache is mutated while the config is
+        // read, and the lifetime counters bump batch by batch.
+        let EngineWorker {
+            config,
+            replica_idx,
+            tp,
+            cache,
+            batches,
+            requests,
+            tokens,
+            chains,
+            busy_ns,
+            chain_log,
+            scratch,
+        } = self;
+        let config: &ServeConfig = config;
+        let replica_idx = *replica_idx;
+        let tp = *tp;
+        let mut effects = ChainEffects::default();
+
+        let pattern = CommPattern::AllReduce;
+        let mut plans: Vec<(std::rc::Rc<OverlapPlan>, bool)> = Vec::with_capacity(chain.len());
+        for p in &chain {
+            plans.push(cache.get_or_tune(p.batch.gemm_dims(tp), &pattern, &config.system)?);
+        }
+
+        let chain_len = chain.len() as u64;
+        // Total inter-node migration for the chain, charged up front: the
+        // chain cannot launch until every member batch's activations have
+        // crossed the inter-node fabric. Zero on single-node runs, so the
+        // pre-topology timeline is reproduced exactly.
+        let mig_ns: u64 = chain.iter().map(|p| p.migration_ns).sum();
+        let telemetry = Telemetry::recycling(std::mem::take(scratch));
+        // Per-batch deterministic fault plans. The wedge-replica override
+        // replaces the leading batch's draw with an unrecoverable
+        // dropped-signal wedge (group 0 starves, so no group completes and
+        // recovery can only abandon the overlap — deterministically
+        // degraded).
+        let chaos_faults: Vec<FaultPlan> = if config.chaos {
+            chain
+                .iter()
+                .zip(&plans)
+                .enumerate()
+                .map(|(i, (p, (plan, _)))| {
+                    if i == 0 && config.wedge_replica == Some(replica_idx) {
+                        FaultPlan::single(Fault::DroppedIncrement {
+                            rank: 0,
+                            group: 0,
+                            count: u32::MAX,
+                        })
+                    } else {
+                        FaultPlan::random(
+                            fault_seed(config.seed, p.batch.id),
+                            config.system.n_gpus,
+                            plan.partition.num_groups(),
+                        )
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let watchdog = WatchdogConfig::default();
+        // Resilient sequences reject probe instrumentation, so chaos chains
+        // run monitor-only (spans still flow; tail/bulk recovery collectives
+        // land in the `recovery` attribution category).
+        let monitor_instr = Instrumentation {
+            monitor: Some(telemetry.monitor()),
+            probe: None,
+            mutation: None,
+        };
+        let probe_instr = telemetry.instrumentation();
+        let mut options = SequenceOptions::new().trace();
+        options = if config.chaos {
+            options
+                .instrument(&monitor_instr)
+                .resilient(&chaos_faults, &watchdog)
+        } else {
+            options.instrument(&probe_instr)
+        };
+        if !config.pipelined {
+            options = options.serial();
+        }
+        let plan_refs: Vec<&OverlapPlan> = plans.iter().map(|(p, _)| p.as_ref()).collect();
+        let outcome = execute_sequence(&plan_refs, &options)?;
+        let completions: Vec<u64> = outcome
+            .reports
+            .iter()
+            .map(|r| r.latency.as_nanos())
+            .collect();
+        let outcomes: Vec<&'static str> = outcome.outcomes.iter().map(|o| o.label()).collect();
+        let group_dones: Vec<Vec<sim::SimDuration>> = outcome
+            .reports
+            .iter()
+            .map(|r| r.group_comm_done.clone())
+            .collect();
+        let total_ns = outcome.total.as_nanos();
+        let spans = outcome.spans;
+        let record = telemetry.take_record();
+        if let Some(sig) = signal_summary(&record, &spans) {
+            effects.signal_weighted_sum = sig.mean_total_ns * sig.samples.len() as f64;
+            effects.signal_samples = sig.samples.len() as u64;
+        }
+        // Critical-path attribution of the whole chain; per-batch shares are
+        // clipped out of it below.
+        let attribution = attribute_makespan(&spans, &record, total_ns);
+        // Done reading the record — hand its buffers back for the next
+        // chain's recorder (recycling clears them on reuse).
+        *scratch = record;
+
+        // Predictor drift: sample only the chain-leading batch — later
+        // pipelined batches' measured completions include comm-stream
+        // queueing behind the previous batch's tail and would bias the
+        // comparison.
+        if let (Some(p), Some(measured)) = (plans.first(), group_dones.first()) {
+            if let Some(predicted) = p.0.predicted_group_completions() {
+                let dims = chain
+                    .first()
+                    .expect("chain is non-empty")
+                    .batch
+                    .gemm_dims(tp);
+                effects.drift = Some((dims, predicted, measured.clone()));
+            }
+        }
+
+        let mut prev_done = 0u64;
+        for ((pending, (_, cache_hit)), (done_ns, outcome)) in chain
+            .iter()
+            .zip(&plans)
+            .zip(completions.iter().zip(&outcomes))
+        {
+            let batch = &pending.batch;
+            let end_ns = start_ns.saturating_add(mig_ns).saturating_add(*done_ns);
+            // Recovery can complete a wedged batch *after* its successor
+            // (the tail re-issue runs while downstream comm drains), so the
+            // accounting window is clamped monotone; request latencies keep
+            // the true completion time.
+            let window_end = (*done_ns).max(prev_done);
+            let disposition = Disposition::from_outcome_label(outcome);
+            let queue_wait = start_ns.saturating_sub(pending.close_ns);
+            for r in &batch.requests {
+                effects.records.push(RequestRecord {
+                    id: r.id,
+                    model: r.model.name,
+                    tokens: r.tokens,
+                    arrival_ns: r.arrival_ns,
+                    disposition,
+                    batch: Some(batch.id),
+                    latency_ns: Some(end_ns - r.arrival_ns),
+                    form_wait_ns: Some(pending.close_ns.saturating_sub(r.arrival_ns)),
+                    queue_wait_ns: Some(queue_wait),
+                });
+            }
+            if pending.migration_ns > 0 {
+                effects.cross_node_batches += 1;
+                effects.migration_ns += pending.migration_ns;
+            }
+            if config.nodes > 1 {
+                // Byte accounting for the batch's tensor-parallel AllReduce
+                // (full reduced M x N output): what the hierarchical schedule
+                // actually crossed nodes with vs. what the flat ring would
+                // have.
+                let dims = batch.gemm_dims(tp);
+                let payload = u64::from(dims.m) * u64::from(dims.n) * collectives::BYTES_PER_ELEM;
+                let topo = &config.system.topology;
+                effects.inter_bytes_hierarchical += collectives::inter_bytes_hierarchical(
+                    collectives::Primitive::AllReduce,
+                    payload,
+                    topo,
+                );
+                effects.inter_bytes_flat +=
+                    collectives::inter_bytes_flat(collectives::Primitive::AllReduce, payload, topo);
+            }
+            effects.batch_records.push(BatchRecord {
+                id: batch.id,
+                model: batch.model.name,
+                requests: batch.requests.len() as u64,
+                tokens: batch.tokens,
+                padded_tokens: batch.padded_tokens,
+                start_ns: start_ns.saturating_add(mig_ns).saturating_add(prev_done),
+                exec_ns: window_end - prev_done,
+                cache_hit: *cache_hit,
+                outcome,
+                replica: replica_idx,
+                node: replica_idx % config.nodes,
+                migration_ns: pending.migration_ns,
+                routing: pending.routing,
+                chain_len,
+                close_ns: pending.close_ns,
+                queue_wait_ns: queue_wait,
+                attribution: Some(attribution.clip_window(prev_done, window_end)),
+            });
+            *batches += 1;
+            *requests += batch.requests.len() as u64;
+            *tokens += u64::from(batch.tokens);
+            prev_done = window_end;
+        }
+        *busy_ns += mig_ns + total_ns;
+        *chains += 1;
+        // The chain window spans migration + execution; migration is
+        // inter-node traffic, so it lands in the collective-transfer
+        // category and the serve-level attribution identity still holds.
+        let mut chain_totals = attribution.totals;
+        chain_totals.add(Category::CollectiveTransfer, mig_ns);
+        chain_log.push((start_ns, mig_ns.saturating_add(total_ns), chain_totals));
+        let any_degraded = outcomes.contains(&"degraded");
+        Ok(ChainResult {
+            free_ns: start_ns.saturating_add(mig_ns).saturating_add(total_ns),
+            degraded: any_degraded,
+            effects,
+        })
+    }
+
+    fn finalize(&mut self) -> EngineFinal {
+        let fp = system_fingerprint(&self.config.system);
+        EngineFinal {
+            batches: self.batches,
+            requests: self.requests,
+            tokens: self.tokens,
+            chains: self.chains,
+            busy_ns: self.busy_ns,
+            chain_log: std::mem::take(&mut self.chain_log),
+            cache_stats: self.cache.stats(),
+            entries: self.cache.export_entries(fp),
+        }
+    }
+}
+
+/// The loop-facing handle to one sealed replica engine.
+///
+/// Serial engines execute commands inline at `send` time and queue the
+/// reply; parallel engines forward commands to a worker thread and
+/// `recv` blocks until the reply lands. Either way the observable
+/// protocol is identical: per-replica FIFO commands, per-replica
+/// replies, sequence numbers pinning the global merge order.
+pub struct ReplicaEngine {
+    inner: EngineInner,
+}
+
+impl std::fmt::Debug for ReplicaEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            EngineInner::Serial { .. } => f.write_str("ReplicaEngine(serial)"),
+            EngineInner::Parallel { engine, .. } => write!(f, "ReplicaEngine(parallel #{engine})"),
+        }
+    }
+}
+
+enum EngineInner {
+    Serial {
+        worker: Box<RefCell<EngineWorker>>,
+        replies: RefCell<VecDeque<EngineReply>>,
+    },
+    Parallel {
+        engine: usize,
+        commands: mpsc::Sender<(usize, EngineCommand)>,
+        replies: mpsc::Receiver<EngineReply>,
+    },
+}
+
+impl ReplicaEngine {
+    /// Submits a command to the engine. Never blocks.
+    pub fn send(&self, cmd: EngineCommand) {
+        match &self.inner {
+            EngineInner::Serial { worker, replies } => {
+                let reply = worker.borrow_mut().handle(cmd);
+                replies.borrow_mut().push_back(reply);
+            }
+            EngineInner::Parallel {
+                engine, commands, ..
+            } => {
+                // A send can only fail if the worker thread died, which a
+                // worker panic causes; the paired recv surfaces it.
+                let _ = commands.send((*engine, cmd));
+            }
+        }
+    }
+
+    /// Receives the next reply, blocking until the engine produces it.
+    /// Replies come back in command order (per-replica FIFO).
+    pub fn recv(&self) -> EngineReply {
+        match &self.inner {
+            EngineInner::Serial { replies, .. } => replies
+                .borrow_mut()
+                .pop_front()
+                .expect("serial engine recv without a pending command"),
+            EngineInner::Parallel { replies, .. } => replies
+                .recv()
+                .expect("replica engine thread terminated unexpectedly"),
+        }
+    }
+}
+
+/// All replica engines of one serve run, plus the worker threads that
+/// back them in parallel mode. Dropping the pool closes the command
+/// channels and joins the threads.
+pub struct EnginePool {
+    /// One engine per replica, indexed like the replicas.
+    pub engines: Vec<ReplicaEngine>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for EnginePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnginePool")
+            .field("engines", &self.engines.len())
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+impl EnginePool {
+    /// Builds the engines for `config.replicas` replicas.
+    ///
+    /// Serial mode constructs every worker inline (surfacing preload
+    /// errors immediately, like the pre-engine loop). Parallel mode
+    /// spawns `min(threads, replicas)` worker threads, assigns engine
+    /// `i` to thread `i % threads`, and constructs each worker *on* its
+    /// thread — worker state never crosses the boundary; construction
+    /// errors surface on the engine's first reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns any serial-mode worker construction error (e.g. a
+    /// malformed preload snapshot).
+    pub fn new(config: &ServeConfig, tuned: bool) -> Result<EnginePool, FlashOverlapError> {
+        match config.exec {
+            ExecMode::Serial => {
+                let engines = (0..config.replicas)
+                    .map(|idx| {
+                        Ok(ReplicaEngine {
+                            inner: EngineInner::Serial {
+                                worker: Box::new(RefCell::new(EngineWorker::new(
+                                    config.clone(),
+                                    tuned,
+                                    idx,
+                                )?)),
+                                replies: RefCell::new(VecDeque::new()),
+                            },
+                        })
+                    })
+                    .collect::<Result<Vec<_>, FlashOverlapError>>()?;
+                Ok(EnginePool {
+                    engines,
+                    threads: Vec::new(),
+                })
+            }
+            ExecMode::Parallel(threads) => {
+                let thread_count = threads.clamp(1, config.replicas.max(1));
+                let mut reply_txs: Vec<Option<mpsc::Sender<EngineReply>>> = Vec::new();
+                let mut engines_by_thread: Vec<Vec<(usize, mpsc::Sender<EngineReply>)>> =
+                    (0..thread_count).map(|_| Vec::new()).collect();
+                let mut reply_rxs = Vec::new();
+                for idx in 0..config.replicas {
+                    let (tx, rx) = mpsc::channel();
+                    engines_by_thread[idx % thread_count].push((idx, tx.clone()));
+                    reply_txs.push(Some(tx));
+                    reply_rxs.push(rx);
+                }
+                let mut cmd_txs = Vec::new();
+                let mut threads_out = Vec::new();
+                for assigned in engines_by_thread {
+                    let (cmd_tx, cmd_rx) = mpsc::channel::<(usize, EngineCommand)>();
+                    cmd_txs.push(cmd_tx);
+                    let config = config.clone();
+                    threads_out.push(std::thread::spawn(move || {
+                        engine_thread(&config, tuned, assigned, &cmd_rx);
+                    }));
+                }
+                let engines = reply_rxs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(idx, rx)| ReplicaEngine {
+                        inner: EngineInner::Parallel {
+                            engine: idx,
+                            commands: cmd_txs[idx % thread_count].clone(),
+                            replies: rx,
+                        },
+                    })
+                    .collect();
+                Ok(EnginePool {
+                    engines,
+                    threads: threads_out,
+                })
+            }
+        }
+    }
+}
+
+impl Drop for EnginePool {
+    fn drop(&mut self) {
+        // Dropping the engines drops the command senders, which drains
+        // and exits the worker threads.
+        self.engines.clear();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Worker-thread main: build the assigned workers locally (so their
+/// `Rc`-based plan caches never cross threads), then serve commands in
+/// arrival order until the loop drops the channel.
+fn engine_thread(
+    config: &ServeConfig,
+    tuned: bool,
+    assigned: Vec<(usize, mpsc::Sender<EngineReply>)>,
+    commands: &mpsc::Receiver<(usize, EngineCommand)>,
+) {
+    let mut workers: HashMap<
+        usize,
+        (
+            mpsc::Sender<EngineReply>,
+            Result<EngineWorker, FlashOverlapError>,
+        ),
+    > = assigned
+        .into_iter()
+        .map(|(idx, tx)| (idx, (tx, EngineWorker::new(config.clone(), tuned, idx))))
+        .collect();
+    while let Ok((idx, cmd)) = commands.recv() {
+        let Some((tx, worker)) = workers.get_mut(&idx) else {
+            continue;
+        };
+        let reply = match worker {
+            Ok(w) => w.handle(cmd),
+            // Construction failed; every command answers with the error.
+            Err(e) => match cmd {
+                EngineCommand::ExecuteChain { seq, .. } => EngineReply::Chain {
+                    seq,
+                    result: Err(e.clone()),
+                },
+                EngineCommand::Finalize { seq } => EngineReply::Final {
+                    seq,
+                    result: Err(e.clone()),
+                },
+            },
+        };
+        let _ = tx.send(reply);
+    }
+}
+
+// Everything that crosses the thread boundary must be Send; the worker
+// itself (Rc-based plan cache) deliberately is not and never moves.
+#[allow(dead_code)]
+fn assert_boundary_types_are_send() {
+    fn is_send<T: Send>() {}
+    is_send::<ServeConfig>();
+    is_send::<EngineCommand>();
+    is_send::<EngineReply>();
+    is_send::<ChainEffects>();
+    is_send::<EngineFinal>();
+}

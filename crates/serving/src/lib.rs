@@ -37,6 +37,7 @@
 
 pub mod batch;
 pub mod cache;
+pub mod engine;
 pub mod report;
 pub mod router;
 pub mod server;
@@ -45,13 +46,17 @@ pub mod traffic;
 
 pub use batch::{form_batch, Batch, BatchConfig};
 pub use cache::{system_fingerprint, CacheSnapshot, CacheStats, PlanCache, PlanEntry, PlanKey};
+pub use engine::{
+    ChainResult, EngineCommand, EnginePool, EngineReply, PendingBatch, ReplicaEngine,
+};
 pub use report::{
     BatchRecord, ComparisonReport, Disposition, DriftRow, NodeStats, ReplicaStats, RequestRecord,
     ScalingReport, ServeReport,
 };
 pub use router::{home_node, ReplicaLoad, RouteDecision, Router, RouterPolicy};
 pub use server::{
-    serve, serve_baseline, serve_comparison, serve_exporting, serve_scaling, ServeConfig,
+    serve, serve_baseline, serve_comparison, serve_exporting, serve_scaling, validate_parallel,
+    ExecMode, ServeConfig,
 };
 pub use trace::{serve_trace, serve_trace_string};
 pub use traffic::{generate, ArrivalProcess, Request};

@@ -7,10 +7,11 @@
 //! control), close into batches under a token-budget/max-wait policy
 //! ([`crate::batch`]), and are routed ([`crate::router`]) to one of
 //! [`ServeConfig::replicas`] independent tensor-parallel groups, each
-//! with its own [`PlanCache`]. An idle replica drains its dispatch
-//! queue in *chains* of up to [`ServeConfig::chain`] batches executed
-//! through one simulation
-//! ([`flashoverlap::execute_sequence`]): with
+//! sealed behind a [`crate::engine::ReplicaEngine`] that owns the
+//! replica's [`PlanCache`](crate::cache::PlanCache), telemetry wiring,
+//! and chain executor. An idle replica drains its dispatch queue in
+//! *chains* of up to [`ServeConfig::chain`] batches executed through
+//! one simulation ([`flashoverlap::execute_sequence`]): with
 //! [`ServeConfig::pipelined`] set, batch *k+1*'s GEMM waves run while
 //! batch *k*'s tail collectives drain, double-buffered counting tables
 //! carrying the cross-batch happens-before edges. Executed chain
@@ -18,37 +19,62 @@
 //! emerges from the interaction of the arrival rate and the simulated
 //! operator throughput — backpressure is real, not modelled.
 //!
+//! With [`ServeConfig::exec`] set to [`ExecMode::Parallel`], the
+//! engines run on worker threads and the loop forces an outstanding
+//! chain's reply only at the points where a scheduling decision reads
+//! its result (dispatch eligibility, clock advance, load-aware
+//! routing). Every chain carries a dispatch sequence number and its
+//! accounting effects are merged in sequence order, so the report is
+//! byte-identical to [`ExecMode::Serial`] for any thread count — the
+//! gpucachesim-style deterministic-parallel contract. See DESIGN.md's
+//! "Parallel simulation" section for the determinism argument.
+//!
 //! With [`ServeConfig::chaos`] set, chains still form and still
 //! pipeline: each batch carries its own deterministic per-batch
-//! [`FaultPlan`] into a resilient [`flashoverlap::execute_sequence`]
-//! (the chain watchdog recovers wedged segments without poisoning the
-//! counting tables downstream batches inherit), and the batch's
-//! resilient outcome (clean / recovered / degraded) is stamped onto its
-//! member requests — chaos under load, with every request accounted
-//! for. A chain that comes back degraded marks its replica *wedged*:
-//! the replica is quarantined, its queued batches are deterministically
-//! re-routed to healthy replicas (or shed, with full accounting, when
-//! none remain), and the run completes instead of aborting.
+//! [`FaultPlan`](flashoverlap::FaultPlan) into a resilient
+//! [`flashoverlap::execute_sequence`] (the chain watchdog recovers
+//! wedged segments without poisoning the counting tables downstream
+//! batches inherit), and the batch's resilient outcome (clean /
+//! recovered / degraded) is stamped onto its member requests — chaos
+//! under load, with every request accounted for. A chain that comes
+//! back degraded marks its replica *wedged*: the replica is
+//! quarantined, its queued batches are deterministically re-routed to
+//! healthy replicas (or shed, with full accounting, when none remain),
+//! and the run completes instead of aborting. Chaos dispatches are
+//! forced eagerly — the quarantine/re-route decision must land at the
+//! exact virtual instant the serial engine would make it.
 
 use std::collections::VecDeque;
-use std::rc::Rc;
 
-use flashoverlap::{
-    execute_sequence, CommPattern, Fault, FaultPlan, FlashOverlapError, Instrumentation,
-    OverlapPlan, SequenceOptions, SystemSpec, WatchdogConfig,
-};
-use telemetry::attribution::{attribute_makespan, AttributionTotals, Category};
-use telemetry::{percentiles, signal_summary, Telemetry};
+use flashoverlap::{FlashOverlapError, SystemSpec};
+use telemetry::attribution::{AttributionTotals, Category};
+use telemetry::percentiles;
 use workloads::ServeMix;
 
-use crate::batch::{form_batch, Batch, BatchConfig};
-use crate::cache::{system_fingerprint, CacheSnapshot, CacheStats, PlanCache, PlanEntry};
+use crate::batch::{form_batch, BatchConfig};
+use crate::cache::{system_fingerprint, CacheSnapshot, CacheStats, PlanEntry};
+use crate::engine::{
+    ChainEffects, EngineCommand, EngineFinal, EnginePool, EngineReply, PendingBatch, ReplicaEngine,
+};
 use crate::report::{
     BatchRecord, ComparisonReport, Disposition, DriftRow, NodeStats, ReplicaStats, RequestRecord,
     ScalingReport, ServeReport,
 };
 use crate::router::{home_node, ReplicaLoad, Router, RouterPolicy};
 use crate::traffic::{generate, ArrivalProcess, Request};
+
+/// How the serve loop runs its replica engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Every engine executes inline on the serve-loop thread — the
+    /// reference engine.
+    Serial,
+    /// Engines are spread over up to this many worker threads (clamped
+    /// to the replica count; `Parallel(0)` and `Parallel(1)` still use
+    /// one worker thread). Byte-identical to [`ExecMode::Serial`] for
+    /// any thread count.
+    Parallel(usize),
+}
 
 /// Everything a serve run needs. Construct with [`ServeConfig::new`]
 /// and override fields as needed.
@@ -98,6 +124,12 @@ pub struct ServeConfig {
     /// Tuned plans to seed every replica's cache with before the run.
     /// The snapshot's fingerprint must match [`ServeConfig::system`].
     pub preload: Option<CacheSnapshot>,
+    /// Replica-engine execution mode. [`ExecMode::Parallel`] runs the
+    /// engines on worker threads with a sequence-numbered deterministic
+    /// merge — same config, bit-identical report, any thread count.
+    /// Virtual-time results never depend on this knob; only wall-clock
+    /// does.
+    pub exec: ExecMode,
 }
 
 impl ServeConfig {
@@ -105,7 +137,7 @@ impl ServeConfig {
     /// (≈70% utilization of a two-rank 4090 group under the default
     /// prefill-heavy mix), 20 ms SLO, 64-deep queue, 32-plan cache,
     /// one replica, round-robin router, pipelined 4-batch chains, no
-    /// chaos.
+    /// chaos, serial execution.
     pub fn new(system: SystemSpec) -> Self {
         ServeConfig {
             system,
@@ -125,6 +157,7 @@ impl ServeConfig {
             chain: 4,
             wedge_replica: None,
             preload: None,
+            exec: ExecMode::Serial,
         }
     }
 
@@ -200,7 +233,7 @@ impl ServeConfig {
 
 /// Per-batch fault-plan seed: decorrelated from the traffic seed and
 /// from neighbouring batches (splitmix-style odd multiplier).
-fn fault_seed(seed: u64, batch_id: u64) -> u64 {
+pub(crate) fn fault_seed(seed: u64, batch_id: u64) -> u64 {
     seed ^ (batch_id.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
@@ -259,9 +292,11 @@ fn shed_pending(p: &PendingBatch, acct: &mut Accounting) {
 /// dispatch queue, and deterministically re-routes each queued batch to
 /// a healthy replica (or sheds it, fully accounted, when none remain).
 /// The caller guarantees another healthy replica exists — the last
-/// replica in service is never quarantined.
+/// replica in service is never quarantined — and that no chain is in
+/// flight anywhere if the router reads loads (chaos dispatches are
+/// forced eagerly; the stall path forces everything first).
 fn quarantine_replica(
-    replicas: &mut [Replica],
+    slots: &mut [ReplicaSlot],
     idx: usize,
     reason: &'static str,
     router: &mut Router,
@@ -270,22 +305,22 @@ fn quarantine_replica(
     acct: &mut Accounting,
 ) {
     let tp = config.system.n_gpus as u32;
-    let Some(replica) = replicas.get_mut(idx) else {
+    let Some(slot) = slots.get_mut(idx) else {
         return;
     };
-    if replica.quarantined.is_some() {
+    if slot.quarantined.is_some() {
         return;
     }
-    replica.quarantined = Some(reason);
-    let orphans: Vec<PendingBatch> = replica.pending.drain(..).collect();
+    slot.quarantined = Some(reason);
+    let orphans: Vec<PendingBatch> = slot.pending.drain(..).collect();
     for p in orphans {
-        let eligible: Vec<bool> = replicas.iter().map(|r| r.quarantined.is_none()).collect();
-        let loads: Vec<ReplicaLoad> = replicas
+        let eligible: Vec<bool> = slots.iter().map(|s| s.quarantined.is_none()).collect();
+        let loads: Vec<ReplicaLoad> = slots
             .iter()
             .enumerate()
-            .map(|(i, r)| ReplicaLoad {
-                queued_tokens: r.queued_tokens(),
-                busy_ns: r.free_ns.saturating_sub(now_ns),
+            .map(|(i, s)| ReplicaLoad {
+                queued_tokens: s.queued_tokens(),
+                busy_ns: s.free_ns.saturating_sub(now_ns),
                 node: i % config.nodes,
             })
             .collect();
@@ -296,7 +331,7 @@ fn quarantine_replica(
                 // one did not (or vice versa): re-derive the penalty.
                 let migration_ns =
                     migration_penalty_ns(config, dims, decision.replica % config.nodes);
-                if let Some(target) = replicas.get_mut(decision.replica) {
+                if let Some(target) = slots.get_mut(decision.replica) {
                     target.pending.push_back(PendingBatch {
                         routing: "re-routed",
                         migration_ns,
@@ -313,7 +348,9 @@ fn quarantine_replica(
 }
 
 /// Runs the serving loop to completion and returns the report. Fully
-/// deterministic in the config: same config, bit-identical report.
+/// deterministic in the config: same config, bit-identical report —
+/// including [`ServeConfig::exec`] thread counts, which only change
+/// wall-clock.
 pub fn serve(config: &ServeConfig) -> Result<ServeReport, FlashOverlapError> {
     Ok(serve_run(config, true)?.0)
 }
@@ -361,53 +398,53 @@ pub fn serve_scaling(config: &ServeConfig) -> Result<ScalingReport, FlashOverlap
     })
 }
 
-/// A closed batch sitting in a replica's dispatch queue.
-struct PendingBatch {
-    batch: Batch,
-    routing: &'static str,
-    /// When the batch closed and was routed — the start of its
-    /// dispatch-queue wait.
-    close_ns: u64,
-    /// Inter-node migration charged before execution (computed at
-    /// routing time; zero for home-node or single-node placements).
-    migration_ns: u64,
+/// Runs the serial and parallel engines over the same config and diffs
+/// the rendered reports byte-for-byte — the validation mode from the
+/// gpucachesim playbook. Returns the serial report plus whether the
+/// parallel run (on `threads` worker threads) reproduced it exactly.
+pub fn validate_parallel(
+    config: &ServeConfig,
+    threads: usize,
+) -> Result<(ServeReport, bool), FlashOverlapError> {
+    let serial = serve(&ServeConfig {
+        exec: ExecMode::Serial,
+        ..config.clone()
+    })?;
+    let parallel = serve(&ServeConfig {
+        exec: ExecMode::Parallel(threads),
+        ..config.clone()
+    })?;
+    let matched = serial.to_json().to_json_pretty() == parallel.to_json().to_json_pretty();
+    Ok((serial, matched))
 }
 
-/// One replica group's scheduler state.
-struct Replica {
-    cache: PlanCache,
+/// The serve loop's mirror of one replica. The dispatch queue stays
+/// loop-side — routing reads queue depth synchronously — while all
+/// execution state lives behind the sealed engine. `free_ns` is the
+/// *last known* drain time: stale while a chain is in flight, and
+/// refreshed by [`force_chain`] exactly at the scheduling points that
+/// read it.
+struct ReplicaSlot {
     /// Closed batches routed here, waiting for the replica to go idle.
     pending: VecDeque<PendingBatch>,
-    /// Virtual time the current chain drains (<= now means idle).
+    /// Virtual time the last known chain drains (<= now means idle).
     free_ns: u64,
-    busy_ns: u64,
-    batches: u64,
-    requests: u64,
-    tokens: u64,
-    chains: u64,
+    /// Whether an `ExecuteChain` reply is still outstanding.
+    in_flight: bool,
     /// Set when the replica is pulled from service: a chaos chain came
     /// back degraded (wedged under fault injection) or the serve loop
     /// blamed it for a stall. A quarantined replica receives no new
     /// batches and never dispatches again.
     quarantined: Option<&'static str>,
-    /// Executed chains as `(start_ns, total_ns, attribution)` — the raw
-    /// material of the serve-level critical-path attribution.
-    chain_log: Vec<(u64, u64, AttributionTotals)>,
 }
 
-impl Replica {
-    fn new(cache: PlanCache) -> Self {
-        Replica {
-            cache,
+impl ReplicaSlot {
+    fn new() -> Self {
+        ReplicaSlot {
             pending: VecDeque::new(),
             free_ns: 0,
-            busy_ns: 0,
-            batches: 0,
-            requests: 0,
-            tokens: 0,
-            chains: 0,
+            in_flight: false,
             quarantined: None,
-            chain_log: Vec::new(),
         }
     }
 
@@ -417,6 +454,87 @@ impl Replica {
             .map(|p| u64::from(p.batch.padded_tokens))
             .sum()
     }
+}
+
+/// Blocks on replica `idx`'s outstanding chain reply (no-op when none
+/// is outstanding), folding the result into the mirror and the
+/// sequence-ordered effect merge. Returns the chain's degraded flag.
+/// Execution errors land in `failures` instead of propagating, so the
+/// caller can drain every engine and then surface the lowest-sequence
+/// error — the one the serial engine would have hit first.
+fn force_chain(
+    engines: &[ReplicaEngine],
+    slots: &mut [ReplicaSlot],
+    completed: &mut Vec<(u64, ChainEffects)>,
+    failures: &mut Vec<(u64, FlashOverlapError)>,
+    idx: usize,
+) -> bool {
+    let Some(slot) = slots.get_mut(idx) else {
+        return false;
+    };
+    if !slot.in_flight {
+        return false;
+    }
+    slot.in_flight = false;
+    let Some(engine) = engines.get(idx) else {
+        return false;
+    };
+    match engine.recv() {
+        EngineReply::Chain { seq, result } => match result {
+            Ok(res) => {
+                slot.free_ns = res.free_ns;
+                completed.push((seq, res.effects));
+                res.degraded
+            }
+            Err(e) => {
+                failures.push((seq, e));
+                false
+            }
+        },
+        EngineReply::Final { .. } => {
+            unreachable!("finalize reply received while a chain was outstanding")
+        }
+    }
+}
+
+/// Forces every outstanding chain. Lazily forced chains are always
+/// clean (only chaos chains degrade, and chaos dispatches are forced
+/// eagerly at dispatch time), so the degraded flag is asserted away.
+fn force_all(
+    engines: &[ReplicaEngine],
+    slots: &mut [ReplicaSlot],
+    completed: &mut Vec<(u64, ChainEffects)>,
+    failures: &mut Vec<(u64, FlashOverlapError)>,
+) {
+    for idx in 0..slots.len() {
+        let degraded = force_chain(engines, slots, completed, failures, idx);
+        debug_assert!(!degraded, "lazily forced chain came back degraded");
+    }
+}
+
+/// Drains every outstanding chain and takes the lowest-sequence failure
+/// — the error the serial engine would have returned first. `None` when
+/// every chain so far succeeded.
+fn first_failure(
+    engines: &[ReplicaEngine],
+    slots: &mut [ReplicaSlot],
+    completed: &mut Vec<(u64, ChainEffects)>,
+    failures: &mut Vec<(u64, FlashOverlapError)>,
+) -> Option<FlashOverlapError> {
+    if failures.is_empty() {
+        return None;
+    }
+    force_all(engines, slots, completed, failures);
+    failures.sort_by_key(|&(seq, _)| seq);
+    failures.drain(..).next().map(|(_, e)| e)
+}
+
+/// A replica's end-of-run state: the loop-side mirror joined with the
+/// engine's finalize reply.
+struct ReplicaView {
+    free_ns: u64,
+    quarantined: Option<&'static str>,
+    fin: EngineFinal,
 }
 
 /// Drift accumulator key: `(m, n, k, group)`.
@@ -451,10 +569,32 @@ struct Accounting {
 }
 
 impl Accounting {
-    fn absorb_signals(&mut self, record: &telemetry::TelemetryRecord, spans: &[gpu_sim::OpSpan]) {
-        if let Some(sig) = signal_summary(record, spans) {
-            self.signal_weighted_sum += sig.mean_total_ns * sig.samples.len() as f64;
-            self.signal_samples += sig.samples.len() as u64;
+    /// Applies one executed chain's effects. Callers apply chains in
+    /// dispatch-sequence order: the f64 accumulation order and the
+    /// batch-record order are part of the byte-identical report
+    /// contract.
+    fn absorb_chain(&mut self, eff: ChainEffects) {
+        let ChainEffects {
+            records,
+            batch_records,
+            signal_weighted_sum,
+            signal_samples,
+            cross_node_batches,
+            migration_ns,
+            inter_bytes_hierarchical,
+            inter_bytes_flat,
+            drift,
+        } = eff;
+        self.records.extend(records);
+        self.batch_records.extend(batch_records);
+        self.signal_weighted_sum += signal_weighted_sum;
+        self.signal_samples += signal_samples;
+        self.cross_node_batches += cross_node_batches;
+        self.migration_ns += migration_ns;
+        self.inter_bytes_hierarchical += inter_bytes_hierarchical;
+        self.inter_bytes_flat += inter_bytes_flat;
+        if let Some((dims, predicted, measured)) = drift {
+            self.absorb_drift(dims, &predicted, &measured);
         }
     }
 
@@ -490,31 +630,23 @@ fn serve_run(
     let arrivals = generate(&config.mix, config.process, config.requests, config.seed);
     let offered_span_ns = arrivals.last().map_or(0, |r| r.arrival_ns);
 
-    let mut replicas: Vec<Replica> = (0..config.replicas)
-        .map(|_| {
-            let mut cache = if tuned {
-                PlanCache::new(config.cache_capacity)
-            } else {
-                PlanCache::new_untuned(config.cache_capacity)
-            };
-            if let Some(snapshot) = &config.preload {
-                // Fingerprint compatibility was validated up front.
-                cache.preload(&config.system, &snapshot.entries)?;
-            }
-            Ok(cache)
-        })
-        .map(|c: Result<PlanCache, FlashOverlapError>| c.map(Replica::new))
-        .collect::<Result<Vec<Replica>, FlashOverlapError>>()?;
+    let pool = EnginePool::new(config, tuned)?;
+    let mut slots: Vec<ReplicaSlot> = (0..config.replicas).map(|_| ReplicaSlot::new()).collect();
     let mut router = Router::new(config.router);
 
     let mut queue: Vec<Request> = Vec::new();
     let mut next_arrival = 0usize;
     let mut now_ns = 0u64;
     let mut batch_id = 0u64;
+    // Global dispatch sequence: assigned at ExecuteChain send time,
+    // echoed on the reply, and the order chain effects merge in.
+    let mut next_seq = 0u64;
     let mut acct = Accounting {
         records: Vec::with_capacity(arrivals.len()),
         ..Accounting::default()
     };
+    let mut completed: Vec<(u64, ChainEffects)> = Vec::new();
+    let mut failures: Vec<(u64, FlashOverlapError)> = Vec::new();
     let mut shapes = std::collections::HashSet::new();
 
     // Loop guard: each iteration either admits, dispatches, or advances
@@ -525,17 +657,25 @@ fn serve_run(
     loop {
         iterations += 1;
         if iterations > max_iterations {
-            let pending: Vec<usize> = replicas.iter().map(|r| r.pending.len()).collect();
+            // Drain in-flight chains so the accounting below matches
+            // what the serial engine had executed by this point.
+            force_all(&pool.engines, &mut slots, &mut completed, &mut failures);
+            if let Some(err) =
+                first_failure(&pool.engines, &mut slots, &mut completed, &mut failures)
+            {
+                return Err(err);
+            }
+            let pending: Vec<usize> = slots.iter().map(|s| s.pending.len()).collect();
             // Survive the wedge when possible: quarantine the blamed
             // replica and re-route its queue instead of aborting. Each
             // replica can be quarantined at most once and the last
             // healthy replica is never pulled, so the retries are
             // bounded by the replica count.
             if let Some(r) = wedged_replica(&pending) {
-                let healthy = replicas.iter().filter(|x| x.quarantined.is_none()).count();
-                if healthy > 1 && replicas.get(r).is_some_and(|x| x.quarantined.is_none()) {
+                let healthy = slots.iter().filter(|x| x.quarantined.is_none()).count();
+                if healthy > 1 && slots.get(r).is_some_and(|x| x.quarantined.is_none()) {
                     quarantine_replica(
-                        &mut replicas,
+                        &mut slots,
                         r,
                         "serve loop stalled on this replica",
                         &mut router,
@@ -554,6 +694,12 @@ fn serve_run(
                 ),
                 None => String::new(),
             };
+            // Fold executed chains in so the unresolved-request count
+            // matches the serial engine's.
+            completed.sort_by_key(|&(seq, _)| seq);
+            for (_, eff) in completed.drain(..) {
+                acct.absorb_chain(eff);
+            }
             return Err(FlashOverlapError::Simulation(format!(
                 "serve loop failed to converge after {max_iterations} iterations \
                  ({} requests unresolved{blame})",
@@ -605,13 +751,25 @@ fn serve_run(
             batch_id += 1;
             let dims = batch.gemm_dims(tp);
             shapes.insert(dims);
-            let eligible: Vec<bool> = replicas.iter().map(|r| r.quarantined.is_none()).collect();
-            let loads: Vec<ReplicaLoad> = replicas
+            // A load-aware router compares busy times, so outstanding
+            // chains must land before the snapshot. Round-robin is
+            // load-blind and keeps routing while chains are in flight —
+            // the free-running fast path.
+            if config.router.reads_loads() {
+                force_all(&pool.engines, &mut slots, &mut completed, &mut failures);
+                if let Some(err) =
+                    first_failure(&pool.engines, &mut slots, &mut completed, &mut failures)
+                {
+                    return Err(err);
+                }
+            }
+            let eligible: Vec<bool> = slots.iter().map(|s| s.quarantined.is_none()).collect();
+            let loads: Vec<ReplicaLoad> = slots
                 .iter()
                 .enumerate()
-                .map(|(i, r)| ReplicaLoad {
-                    queued_tokens: r.queued_tokens(),
-                    busy_ns: r.free_ns.saturating_sub(now_ns),
+                .map(|(i, s)| ReplicaLoad {
+                    queued_tokens: s.queued_tokens(),
+                    busy_ns: s.free_ns.saturating_sub(now_ns),
                     node: i % config.nodes,
                 })
                 .collect();
@@ -619,8 +777,8 @@ fn serve_run(
                 Some(decision) => {
                     let migration_ns =
                         migration_penalty_ns(config, dims, decision.replica % config.nodes);
-                    if let Some(replica) = replicas.get_mut(decision.replica) {
-                        replica.pending.push_back(PendingBatch {
+                    if let Some(slot) = slots.get_mut(decision.replica) {
+                        slot.pending.push_back(PendingBatch {
                             batch,
                             routing: decision.reason,
                             close_ns: now_ns,
@@ -647,32 +805,82 @@ fn serve_run(
         // pending batches as one (pipelined) simulation starting now —
         // chains form under chaos too; each batch just carries its own
         // fault plan into the resilient sequence.
-        for idx in 0..replicas.len() {
-            let degraded = {
-                let Some(replica) = replicas.get_mut(idx) else {
-                    continue;
-                };
-                if replica.quarantined.is_some()
-                    || replica.free_ns > now_ns
-                    || replica.pending.is_empty()
+        for idx in 0..slots.len() {
+            if slots
+                .get(idx)
+                .is_none_or(|s| s.quarantined.is_some() || s.pending.is_empty())
+            {
+                continue;
+            }
+            // The dispatch decision reads this replica's drain time, so
+            // an outstanding chain must land first. (Under chaos every
+            // dispatch is forced eagerly below, so nothing is ever
+            // outstanding here.)
+            if slots.get(idx).is_some_and(|s| s.in_flight) {
+                let degraded = force_chain(
+                    &pool.engines,
+                    &mut slots,
+                    &mut completed,
+                    &mut failures,
+                    idx,
+                );
+                debug_assert!(!degraded, "lazily forced chain came back degraded");
+                if let Some(err) =
+                    first_failure(&pool.engines, &mut slots, &mut completed, &mut failures)
                 {
-                    continue;
+                    return Err(err);
                 }
-                let take = replica.pending.len().min(config.chain);
-                let chain: Vec<PendingBatch> = replica.pending.drain(..take).collect();
-                let (free_ns, degraded) =
-                    run_chain(config, idx, replica, chain, now_ns, tp, &mut acct)?;
-                replica.free_ns = free_ns;
-                degraded
+            }
+            if slots.get(idx).is_none_or(|s| s.free_ns > now_ns) {
+                continue;
+            }
+            let chain: Vec<PendingBatch> = match slots.get_mut(idx) {
+                Some(slot) => {
+                    let take = slot.pending.len().min(config.chain);
+                    slot.pending.drain(..take).collect()
+                }
+                None => continue,
+            };
+            if let Some(engine) = pool.engines.get(idx) {
+                engine.send(EngineCommand::ExecuteChain {
+                    seq: next_seq,
+                    start_ns: now_ns,
+                    chain,
+                });
+            }
+            next_seq += 1;
+            if let Some(slot) = slots.get_mut(idx) {
+                slot.in_flight = true;
+            }
+            // Chaos chains are forced eagerly: the degrade → quarantine
+            // → re-route decision must happen at the exact virtual
+            // instant the serial engine makes it, before any later
+            // routing or dispatch can observe different state.
+            let degraded = if config.chaos {
+                let d = force_chain(
+                    &pool.engines,
+                    &mut slots,
+                    &mut completed,
+                    &mut failures,
+                    idx,
+                );
+                if let Some(err) =
+                    first_failure(&pool.engines, &mut slots, &mut completed, &mut failures)
+                {
+                    return Err(err);
+                }
+                d
+            } else {
+                false
             };
             // A degraded chain marks the replica wedged. Quarantine it
             // and re-route its queue — unless it is the last replica in
             // service, which keeps limping rather than shedding all
             // remaining traffic.
-            let healthy = replicas.iter().filter(|r| r.quarantined.is_none()).count();
+            let healthy = slots.iter().filter(|s| s.quarantined.is_none()).count();
             if degraded && healthy > 1 {
                 quarantine_replica(
-                    &mut replicas,
+                    &mut slots,
                     idx,
                     "wedged: chaos chain came back degraded",
                     &mut router,
@@ -684,24 +892,49 @@ fn serve_run(
         }
 
         // Termination: every request admitted, batched, and executed.
+        // In-flight chains don't block termination — their effects are
+        // already determined; the post-loop drain collects them.
         if next_arrival >= arrivals.len()
             && queue.is_empty()
-            && replicas.iter().all(|r| r.pending.is_empty())
+            && slots.iter().all(|s| s.pending.is_empty())
         {
             break;
         }
 
         // Advance the clock to the next event: an arrival, the head
         // request's batching deadline, or a busy replica with queued
-        // work going idle.
+        // work going idle. A replica's drain time only matters when it
+        // still has queued work, so only those chains are forced — a
+        // replica executing with an empty queue keeps running
+        // concurrently with the loop.
+        for idx in 0..slots.len() {
+            if slots
+                .get(idx)
+                .is_some_and(|s| !s.pending.is_empty() && s.in_flight)
+            {
+                let degraded = force_chain(
+                    &pool.engines,
+                    &mut slots,
+                    &mut completed,
+                    &mut failures,
+                    idx,
+                );
+                debug_assert!(!degraded, "lazily forced chain came back degraded");
+                if let Some(err) =
+                    first_failure(&pool.engines, &mut slots, &mut completed, &mut failures)
+                {
+                    return Err(err);
+                }
+            }
+        }
         let mut next_event = arrivals.get(next_arrival).map(|r| r.arrival_ns);
         if let Some(head) = queue.first() {
             let deadline = head.arrival_ns.saturating_add(config.batch.max_wait_ns);
             next_event = Some(next_event.map_or(deadline, |t| t.min(deadline)));
         }
-        for replica in &replicas {
-            if !replica.pending.is_empty() {
-                next_event = Some(next_event.map_or(replica.free_ns, |t| t.min(replica.free_ns)));
+        for slot in &slots {
+            if !slot.pending.is_empty() {
+                next_event = Some(next_event.map_or(slot.free_ns, |t| t.min(slot.free_ns)));
             }
         }
         match next_event {
@@ -713,18 +946,55 @@ fn serve_run(
         }
     }
 
+    // Drain every outstanding chain — the makespan needs final drain
+    // times — then surface any execution error the lazy schedule had
+    // not yet observed.
+    force_all(&pool.engines, &mut slots, &mut completed, &mut failures);
+    if let Some(err) = first_failure(&pool.engines, &mut slots, &mut completed, &mut failures) {
+        return Err(err);
+    }
+
+    // Finalize every engine. Commands are FIFO per engine and all
+    // chains are drained, so the next reply on each channel is the
+    // finalize result.
+    for engine in &pool.engines {
+        engine.send(EngineCommand::Finalize { seq: next_seq });
+        next_seq += 1;
+    }
+    let mut views: Vec<ReplicaView> = Vec::with_capacity(slots.len());
+    for (slot, engine) in slots.iter().zip(&pool.engines) {
+        match engine.recv() {
+            EngineReply::Final { result, .. } => views.push(ReplicaView {
+                free_ns: slot.free_ns,
+                quarantined: slot.quarantined,
+                fin: result?,
+            }),
+            EngineReply::Chain { .. } => {
+                unreachable!("chain reply after every chain was drained")
+            }
+        }
+    }
+
+    // The deterministic merge: apply every chain's accounting effects
+    // in dispatch-sequence order — exactly the order the serial engine
+    // produced them in, whatever thread computed them.
+    completed.sort_by_key(|&(seq, _)| seq);
+    for (_, eff) in completed.drain(..) {
+        acct.absorb_chain(eff);
+    }
+
     acct.records.sort_by_key(|r| r.id);
     debug_assert_eq!(
         acct.records.len(),
         arrivals.len(),
         "every request accounted for"
     );
-    let makespan_ns = replicas.iter().map(|r| r.free_ns).max().unwrap_or(0);
+    let makespan_ns = views.iter().map(|r| r.free_ns).max().unwrap_or(0);
 
     let fp = system_fingerprint(&config.system);
-    let mut entries: Vec<PlanEntry> = replicas
+    let mut entries: Vec<PlanEntry> = views
         .iter()
-        .flat_map(|r| r.cache.export_entries(fp))
+        .flat_map(|r| r.fin.entries.iter().cloned())
         .collect();
     entries.sort_by_key(|e| (e.dims.m, e.dims.n, e.dims.k, format!("{}", e.primitive)));
     entries.dedup_by_key(|e| (e.dims, e.primitive));
@@ -740,214 +1010,9 @@ fn serve_run(
         offered_span_ns,
         acct,
         shapes.len() as u64,
-        &replicas,
+        &views,
     );
     Ok((report, snapshot))
-}
-
-/// Executes one chain of batches on `replica` starting at `start_ns`,
-/// pushing per-request and per-batch records. Returns the virtual time
-/// the chain drains and whether any batch in it came back degraded
-/// (the caller's quarantine signal).
-fn run_chain(
-    config: &ServeConfig,
-    replica_idx: usize,
-    replica: &mut Replica,
-    chain: Vec<PendingBatch>,
-    start_ns: u64,
-    tp: u32,
-    acct: &mut Accounting,
-) -> Result<(u64, bool), FlashOverlapError> {
-    let pattern = CommPattern::AllReduce;
-    let mut plans: Vec<(Rc<OverlapPlan>, bool)> = Vec::with_capacity(chain.len());
-    for p in &chain {
-        plans.push(
-            replica
-                .cache
-                .get_or_tune(p.batch.gemm_dims(tp), &pattern, &config.system)?,
-        );
-    }
-
-    let chain_len = chain.len() as u64;
-    // Total inter-node migration for the chain, charged up front: the
-    // chain cannot launch until every member batch's activations have
-    // crossed the inter-node fabric. Zero on single-node runs, so the
-    // pre-topology timeline is reproduced exactly.
-    let mig_ns: u64 = chain.iter().map(|p| p.migration_ns).sum();
-    let telemetry = Telemetry::new();
-    // Per-batch deterministic fault plans. The wedge-replica override
-    // replaces the leading batch's draw with an unrecoverable
-    // dropped-signal wedge (group 0 starves, so no group completes and
-    // recovery can only abandon the overlap — deterministically
-    // degraded).
-    let chaos_faults: Vec<FaultPlan> = if config.chaos {
-        chain
-            .iter()
-            .zip(&plans)
-            .enumerate()
-            .map(|(i, (p, (plan, _)))| {
-                if i == 0 && config.wedge_replica == Some(replica_idx) {
-                    FaultPlan::single(Fault::DroppedIncrement {
-                        rank: 0,
-                        group: 0,
-                        count: u32::MAX,
-                    })
-                } else {
-                    FaultPlan::random(
-                        fault_seed(config.seed, p.batch.id),
-                        config.system.n_gpus,
-                        plan.partition.num_groups(),
-                    )
-                }
-            })
-            .collect()
-    } else {
-        Vec::new()
-    };
-    let watchdog = WatchdogConfig::default();
-    // Resilient sequences reject probe instrumentation, so chaos chains
-    // run monitor-only (spans still flow; tail/bulk recovery collectives
-    // land in the `recovery` attribution category).
-    let monitor_instr = Instrumentation {
-        monitor: Some(telemetry.monitor()),
-        probe: None,
-        mutation: None,
-    };
-    let probe_instr = telemetry.instrumentation();
-    let mut options = SequenceOptions::new().trace();
-    options = if config.chaos {
-        options
-            .instrument(&monitor_instr)
-            .resilient(&chaos_faults, &watchdog)
-    } else {
-        options.instrument(&probe_instr)
-    };
-    if !config.pipelined {
-        options = options.serial();
-    }
-    let plan_refs: Vec<&OverlapPlan> = plans.iter().map(|(p, _)| p.as_ref()).collect();
-    let outcome = execute_sequence(&plan_refs, &options)?;
-    let completions: Vec<u64> = outcome
-        .reports
-        .iter()
-        .map(|r| r.latency.as_nanos())
-        .collect();
-    let outcomes: Vec<&'static str> = outcome.outcomes.iter().map(|o| o.label()).collect();
-    let group_dones: Vec<Vec<sim::SimDuration>> = outcome
-        .reports
-        .iter()
-        .map(|r| r.group_comm_done.clone())
-        .collect();
-    let total_ns = outcome.total.as_nanos();
-    let spans = outcome.spans;
-    let record = telemetry.take_record();
-    acct.absorb_signals(&record, &spans);
-    // Critical-path attribution of the whole chain; per-batch shares are
-    // clipped out of it below.
-    let attribution = attribute_makespan(&spans, &record, total_ns);
-
-    // Predictor drift: sample only the chain-leading batch — later
-    // pipelined batches' measured completions include comm-stream
-    // queueing behind the previous batch's tail and would bias the
-    // comparison.
-    if let (Some(p), Some(measured)) = (plans.first(), group_dones.first()) {
-        if let Some(predicted) = p.0.predicted_group_completions() {
-            let dims = chain
-                .first()
-                .expect("chain is non-empty")
-                .batch
-                .gemm_dims(tp);
-            acct.absorb_drift(dims, &predicted, measured);
-        }
-    }
-
-    let mut prev_done = 0u64;
-    for ((pending, (_, cache_hit)), (done_ns, outcome)) in chain
-        .iter()
-        .zip(&plans)
-        .zip(completions.iter().zip(&outcomes))
-    {
-        let batch = &pending.batch;
-        let end_ns = start_ns.saturating_add(mig_ns).saturating_add(*done_ns);
-        // Recovery can complete a wedged batch *after* its successor
-        // (the tail re-issue runs while downstream comm drains), so the
-        // accounting window is clamped monotone; request latencies keep
-        // the true completion time.
-        let window_end = (*done_ns).max(prev_done);
-        let disposition = Disposition::from_outcome_label(outcome);
-        let queue_wait = start_ns.saturating_sub(pending.close_ns);
-        for r in &batch.requests {
-            acct.records.push(RequestRecord {
-                id: r.id,
-                model: r.model.name,
-                tokens: r.tokens,
-                arrival_ns: r.arrival_ns,
-                disposition,
-                batch: Some(batch.id),
-                latency_ns: Some(end_ns - r.arrival_ns),
-                form_wait_ns: Some(pending.close_ns.saturating_sub(r.arrival_ns)),
-                queue_wait_ns: Some(queue_wait),
-            });
-        }
-        if pending.migration_ns > 0 {
-            acct.cross_node_batches += 1;
-            acct.migration_ns += pending.migration_ns;
-        }
-        if config.nodes > 1 {
-            // Byte accounting for the batch's tensor-parallel AllReduce
-            // (full reduced M x N output): what the hierarchical schedule
-            // actually crossed nodes with vs. what the flat ring would
-            // have.
-            let dims = batch.gemm_dims(tp);
-            let payload = u64::from(dims.m) * u64::from(dims.n) * collectives::BYTES_PER_ELEM;
-            let topo = &config.system.topology;
-            acct.inter_bytes_hierarchical += collectives::inter_bytes_hierarchical(
-                collectives::Primitive::AllReduce,
-                payload,
-                topo,
-            );
-            acct.inter_bytes_flat +=
-                collectives::inter_bytes_flat(collectives::Primitive::AllReduce, payload, topo);
-        }
-        acct.batch_records.push(BatchRecord {
-            id: batch.id,
-            model: batch.model.name,
-            requests: batch.requests.len() as u64,
-            tokens: batch.tokens,
-            padded_tokens: batch.padded_tokens,
-            start_ns: start_ns.saturating_add(mig_ns).saturating_add(prev_done),
-            exec_ns: window_end - prev_done,
-            cache_hit: *cache_hit,
-            outcome,
-            replica: replica_idx,
-            node: replica_idx % config.nodes,
-            migration_ns: pending.migration_ns,
-            routing: pending.routing,
-            chain_len,
-            close_ns: pending.close_ns,
-            queue_wait_ns: queue_wait,
-            attribution: Some(attribution.clip_window(prev_done, window_end)),
-        });
-        replica.batches += 1;
-        replica.requests += batch.requests.len() as u64;
-        replica.tokens += u64::from(batch.tokens);
-        prev_done = window_end;
-    }
-    replica.busy_ns += mig_ns + total_ns;
-    replica.chains += 1;
-    // The chain window spans migration + execution; migration is
-    // inter-node traffic, so it lands in the collective-transfer
-    // category and the serve-level attribution identity still holds.
-    let mut chain_totals = attribution.totals;
-    chain_totals.add(Category::CollectiveTransfer, mig_ns);
-    replica
-        .chain_log
-        .push((start_ns, mig_ns.saturating_add(total_ns), chain_totals));
-    let any_degraded = outcomes.contains(&"degraded");
-    Ok((
-        start_ns.saturating_add(mig_ns).saturating_add(total_ns),
-        any_degraded,
-    ))
 }
 
 /// Serve-level critical-path attribution: the bottleneck replica's
@@ -959,7 +1024,7 @@ fn run_chain(
 /// where the system was truly empty. Totals sum to `makespan_ns`.
 fn serve_attribution(
     makespan_ns: u64,
-    replicas: &[Replica],
+    replicas: &[ReplicaView],
     records: &[RequestRecord],
 ) -> AttributionTotals {
     let mut totals = AttributionTotals::default();
@@ -1004,7 +1069,7 @@ fn serve_attribution(
         totals.add(Category::Idle, (hi - lo) - queue_wait);
     };
 
-    let mut chains = bottleneck.chain_log.clone();
+    let mut chains = bottleneck.fin.chain_log.clone();
     chains.sort_unstable_by_key(|&(start, _, _)| start);
     let mut cursor = 0u64;
     for (start, total, chain_totals) in &chains {
@@ -1023,7 +1088,7 @@ fn build_report(
     offered_span_ns: u64,
     acct: Accounting,
     distinct_shapes: u64,
-    replicas: &[Replica],
+    replicas: &[ReplicaView],
 ) -> ServeReport {
     let Accounting {
         records,
@@ -1077,27 +1142,27 @@ fn build_report(
     let total_batch_requests: u64 = batch_records.iter().map(|b| b.requests).sum();
     let total_batch_tokens: u64 = batch_records.iter().map(|b| u64::from(b.tokens)).sum();
     let n_batches = batch_records.len() as u64;
-    let cache = replicas
-        .iter()
-        .fold(CacheStats::default(), |sum, r| sum.merge(&r.cache.stats()));
+    let cache = replicas.iter().fold(CacheStats::default(), |sum, r| {
+        sum.merge(&r.fin.cache_stats)
+    });
     let replica_stats: Vec<ReplicaStats> = replicas
         .iter()
         .enumerate()
         .map(|(id, r)| ReplicaStats {
             id,
             node: id % config.nodes,
-            batches: r.batches,
-            requests: r.requests,
-            tokens: r.tokens,
-            busy_ns: r.busy_ns,
-            chains: r.chains,
+            batches: r.fin.batches,
+            requests: r.fin.requests,
+            tokens: r.fin.tokens,
+            busy_ns: r.fin.busy_ns,
+            chains: r.fin.chains,
             utilization: if makespan_ns > 0 {
-                r.busy_ns as f64 / makespan_ns as f64
+                r.fin.busy_ns as f64 / makespan_ns as f64
             } else {
                 0.0
             },
             quarantined: r.quarantined.is_some(),
-            cache: r.cache.stats(),
+            cache: r.fin.cache_stats,
         })
         .collect();
     // Node rollup: fold replica rows into their node; summing the node
@@ -1234,5 +1299,16 @@ mod tests {
             msg.contains("00000000deadbeef"),
             "error must name the stale fingerprint: {msg}"
         );
+    }
+
+    #[test]
+    fn parallel_mode_rejects_bad_configs_like_serial() {
+        let mut config = ServeConfig::new(SystemSpec::rtx4090(2));
+        config.replicas = 0;
+        config.exec = ExecMode::Parallel(4);
+        assert!(matches!(
+            serve(&config),
+            Err(FlashOverlapError::BadInputs { .. })
+        ));
     }
 }

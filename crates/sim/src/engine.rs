@@ -221,7 +221,9 @@ impl<W> Sim<W> {
         self.now = ev.at;
         self.processed += 1;
         (ev.run)(world, self);
-        if let Some(probe) = self.probe.clone() {
+        // Borrow, don't clone: this runs once per event, and the Rc
+        // refcount bounce shows up in the serve hot path.
+        if let Some(probe) = self.probe.as_deref() {
             probe.after_event(self.now, world);
         }
         true
@@ -241,7 +243,7 @@ impl<W> Sim<W> {
                 });
             }
         }
-        if let Some(probe) = self.probe.clone() {
+        if let Some(probe) = self.probe.as_deref() {
             probe.on_drain(self.now, world);
         }
         Ok(self.now)

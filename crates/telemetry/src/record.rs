@@ -95,6 +95,32 @@ pub struct TelemetryRecord {
     pub drained_at: Option<SimTime>,
 }
 
+impl TelemetryRecord {
+    /// Clears every buffer while keeping the allocations, so a serving
+    /// loop can recycle one record's capacity across chains instead of
+    /// re-growing the per-event vectors from zero each time.
+    pub fn clear(&mut self) {
+        let TelemetryRecord {
+            increments,
+            satisfied,
+            rendezvous,
+            transfers,
+            occupancy,
+            gpu_events,
+            runtime_events,
+            drained_at,
+        } = self;
+        increments.clear();
+        satisfied.clear();
+        rendezvous.clear();
+        transfers.clear();
+        occupancy.clear();
+        gpu_events.clear();
+        runtime_events.clear();
+        *drained_at = None;
+    }
+}
+
 #[derive(Default)]
 struct Inner {
     state: RefCell<TelemetryRecord>,
@@ -214,6 +240,19 @@ impl Telemetry {
     pub fn new() -> Self {
         Telemetry {
             inner: Rc::new(Inner::default()),
+        }
+    }
+
+    /// A recording session that reuses `scratch`'s buffer capacity (its
+    /// contents are cleared). Pair with [`Telemetry::take_record`] to
+    /// ping-pong one allocation through a long run of short sessions —
+    /// the replica-engine hot path attaches a recorder per chain.
+    pub fn recycling(mut scratch: TelemetryRecord) -> Self {
+        scratch.clear();
+        Telemetry {
+            inner: Rc::new(Inner {
+                state: RefCell::new(scratch),
+            }),
         }
     }
 

@@ -70,13 +70,10 @@ fn main() {
     let out = pipeline
         .execute_with(&flashoverlap::PipelineExecOptions::new().functional(&first_a, &weights))
         .expect("functional run");
-    let result = flashoverlap::pipeline::FunctionalPipelineReport {
-        report: out.report,
-        outputs: out.outputs.expect("functional outputs"),
-    };
+    let outputs = out.outputs.expect("functional outputs");
     println!(
         "end-to-end simulated time: {} ({} layers overlapped back to back)",
-        result.report.total, layers
+        out.report.total, layers
     );
 
     // Reference forward pass on the host.
@@ -89,7 +86,7 @@ fn main() {
         let normalized = rmsnorm(&h, &weight_gain, 1e-6);
         acts = vec![normalized; n_gpus];
     }
-    for (d, out) in result.outputs.iter().enumerate() {
+    for (d, out) in outputs.iter().enumerate() {
         assert!(
             allclose(out, &acts[0], 5e-2),
             "rank {d}: pipeline output diverges from reference"
